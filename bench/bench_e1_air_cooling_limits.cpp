@@ -1,0 +1,79 @@
+//===- bench/bench_e1_air_cooling_limits.cpp - Experiments E1/E2 -------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces the paper's Section 1 air-cooling measurements:
+///  E1 - CM Rigel-2 (Virtex-6): 1255 W, FPGA overheat +33.1 C over a 25 C
+///       ambient (=> 58.1 C max junction).
+///  E2 - CM Taygeta (Virtex-7): 1661 W, overheat +47.9 C (=> 72.9 C), above
+///       the 65..70 C long-life band, motivating liquid cooling.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Designs.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace rcs;
+using namespace rcs::rcsystem;
+
+namespace {
+
+struct AnchorRow {
+  const char *Label;
+  ModuleConfig Config;
+  double PaperOverheatC;
+  double PaperPowerW;
+};
+
+} // namespace
+
+int main() {
+  ExternalConditions Conditions = core::makeNominalConditions();
+  const double Ambient = Conditions.AmbientAirTempC;
+
+  AnchorRow Rows[] = {
+      {"Rigel-2 (8x32 Virtex-6)", core::makeRigel2Module(), 33.1, 1255.0},
+      {"Taygeta (8x32 Virtex-7)", core::makeTaygetaModule(), 47.9, 1661.0},
+  };
+
+  std::printf("E1/E2: air-cooled CM thermal limits (paper Section 1)\n");
+  std::printf("Ambient %.0f C; overheat = max junction - ambient.\n\n",
+              Ambient);
+  Table T({"module", "overheat paper (C)", "overheat sim (C)",
+           "CM power paper (W)", "CM power sim (W)", "max Tj sim (C)",
+           "in 65..70 C band"});
+  bool Ok = true;
+  for (AnchorRow &Row : Rows) {
+    ComputationalModule Module(Row.Config);
+    Expected<ModuleThermalReport> Report =
+        Module.solveSteadyState(Conditions);
+    if (!Report) {
+      std::fprintf(stderr, "%s failed: %s\n", Row.Label,
+                   Report.message().c_str());
+      return 1;
+    }
+    double Overheat = Report->overheatC(Ambient);
+    double Power = Report->ItPowerW + Report->PsuLossW;
+    T.addRow({Row.Label, formatString("%.1f", Row.PaperOverheatC),
+              formatString("%.1f", Overheat),
+              formatString("%.0f", Row.PaperPowerW),
+              formatString("%.0f", Power),
+              formatString("%.1f", Report->MaxJunctionTempC),
+              Report->WithinReliableLimit ? "yes" : "NO"});
+    Ok = Ok && std::fabs(Overheat - Row.PaperOverheatC) < 2.0 &&
+         std::fabs(Power - Row.PaperPowerW) < 60.0;
+  }
+  std::printf("%s\n", T.render().c_str());
+  std::printf("Shape check (overheat within 2 C, power within 60 W): %s\n",
+              Ok ? "PASS" : "FAIL");
+  std::printf("Conclusion reproduced: Taygeta exceeds the reliable band on "
+              "air; a 25 C room is no longer enough.\n");
+  return Ok ? 0 : 1;
+}

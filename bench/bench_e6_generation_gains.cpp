@@ -1,0 +1,84 @@
+//===- bench/bench_e6_generation_gains.cpp - Experiment E6 --------------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces Section 3's generation comparison: "The performance of a
+/// next-generation SKAT CM is increased in 8.7 times in comparison with the
+/// Taygeta CM. Original design solutions provide more than triple
+/// increasing of the system packing density."
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Designs.h"
+#include "metrics/Metrics.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace rcs;
+using namespace rcs::rcsystem;
+
+int main() {
+  ExternalConditions Conditions = core::makeNominalConditions();
+
+  struct Entry {
+    const char *Label;
+    ModuleConfig Config;
+  } Entries[] = {
+      {"Rigel-2", core::makeRigel2Module()},
+      {"Taygeta", core::makeTaygetaModule()},
+      {"SKAT", core::makeSkatModule()},
+      {"SKAT+", core::makeSkatPlusModule()},
+  };
+
+  std::printf("E6: per-generation module metrics (paper Section 3)\n\n");
+  Table T({"module", "CCBs/U", "peak TFLOPS", "TFLOPS/U", "GFLOPS/W",
+           "max Tj (C)", "PUE est"});
+  std::vector<metrics::ModuleEfficiency> Effs;
+  for (Entry &E : Entries) {
+    ComputationalModule Module(E.Config);
+    Expected<ModuleThermalReport> Report =
+        Module.solveSteadyState(Conditions);
+    if (!Report) {
+      std::fprintf(stderr, "%s failed: %s\n", E.Label,
+                   Report.message().c_str());
+      return 1;
+    }
+    metrics::ModuleEfficiency Eff =
+        metrics::computeModuleEfficiency(Module, *Report);
+    Effs.push_back(Eff);
+    T.addRow({E.Label, formatString("%.2f", Eff.BoardsPerU),
+              formatString("%.1f", Eff.PeakGflops / 1000.0),
+              formatString("%.1f", Eff.GflopsPerU / 1000.0),
+              formatString("%.2f", Eff.GflopsPerWatt),
+              formatString("%.1f", Eff.MaxJunctionTempC),
+              formatString("%.3f", Eff.EstimatedPue)});
+  }
+  std::printf("%s\n", T.render().c_str());
+
+  metrics::GenerationGain Gain =
+      metrics::compareGenerations(Effs[1], Effs[2]);
+  std::printf("SKAT vs Taygeta: performance x%.2f (paper: 8.7), packing "
+              "density x%.2f (paper: > 3), specific performance x%.1f, "
+              "efficiency x%.2f\n",
+              Gain.PerformanceRatio, Gain.PackingDensityRatio,
+              Gain.SpecificPerformanceRatio, Gain.EfficiencyRatio);
+
+  metrics::GenerationGain PlusGain =
+      metrics::compareGenerations(Effs[2], Effs[3]);
+  std::printf("SKAT+ vs SKAT: performance x%.2f (paper Section 4: 3x at "
+              "unchanged size)\n\n",
+              PlusGain.PerformanceRatio);
+
+  bool Ok = std::fabs(Gain.PerformanceRatio - 8.7) < 0.15 &&
+            Gain.PackingDensityRatio >= 3.0 &&
+            std::fabs(PlusGain.PerformanceRatio - 3.0) < 0.1;
+  std::printf("Shape check (8.7x performance, >3x packing, 3x SKAT+): %s\n",
+              Ok ? "PASS" : "FAIL");
+  return Ok ? 0 : 1;
+}

@@ -1,0 +1,105 @@
+//===- bench/bench_e8_skatplus_projection.cpp - Experiment E8 ------------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces the Section 4 SKAT+ projection: UltraScale+ parts triple
+/// performance at unchanged module size, but on the unmodified SKAT
+/// cooling system temperatures leave the proven envelope; the Section 4
+/// modifications (immersed higher-performance pumps, enlarged sink
+/// surface, bigger heat exchanger, controller-less CCBs that fit the 45 mm
+/// packages in a 19" rack) restore the margin - with reserve for a future
+/// "UltraScale 2" generation (Section 5).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Designs.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+#include "system/Board.h"
+
+#include <cstdio>
+
+using namespace rcs;
+using namespace rcs::rcsystem;
+
+namespace {
+
+ModuleThermalReport mustSolve(const ModuleConfig &Config) {
+  ComputationalModule Module(Config);
+  Expected<ModuleThermalReport> Report =
+      Module.solveSteadyState(core::makeNominalConditions());
+  if (!Report) {
+    std::fprintf(stderr, "%s failed: %s\n", Config.Name.c_str(),
+                 Report.message().c_str());
+    std::exit(1);
+  }
+  return *Report;
+}
+
+} // namespace
+
+int main() {
+  std::printf("E8: SKAT+ projection with UltraScale+ FPGAs (paper "
+              "Section 4)\n\n");
+
+  // --- The 45 mm package / 19" rack constraint ----------------------------
+  CcbConfig WithController;
+  WithController.Model = fpga::FpgaModel::XCVU9P;
+  WithController.SeparateControllerFpga = true;
+  CcbConfig WithoutController = WithController;
+  WithoutController.SeparateControllerFpga = false;
+  std::printf("CCB fit in a standard 19\" rack (45 x 45 mm packages):\n");
+  Table Fit({"board layout", "fits 19\" rack", "peak GFLOPS"});
+  Fit.addRow({"8 compute + separate controller FPGA",
+              Ccb(WithController).fitsStandard19InchRack() ? "yes" : "NO",
+              formatString("%.0f", Ccb(WithController).peakGflops())});
+  Fit.addRow({"8 compute, controller folded in (SKAT+)",
+              Ccb(WithoutController).fitsStandard19InchRack() ? "yes" : "NO",
+              formatString("%.0f", Ccb(WithoutController).peakGflops())});
+  std::printf("%s\n", Fit.render().c_str());
+
+  // --- Thermal comparison ---------------------------------------------------
+  ModuleThermalReport Skat = mustSolve(core::makeSkatModule());
+  ModuleThermalReport Naive = mustSolve(core::makeSkatPlusNaiveModule());
+  ModuleThermalReport Modified = mustSolve(core::makeSkatPlusModule());
+
+  // Future family on the modified cooling (Section 5's reserve claim).
+  ModuleConfig Future = core::makeSkatPlusModule();
+  Future.Name = "UltraScale 2 on SKAT+ cooling";
+  Future.Board.Model = fpga::FpgaModel::UltraScale2;
+  ModuleThermalReport FutureReport = mustSolve(Future);
+
+  Table T({"configuration", "CM heat (kW)", "max Tj (C)", "coolant (C)",
+           "within SKAT envelope (Tj<=55, oil<=30.5)"});
+  auto addRow = [&T](const char *Label, const ModuleThermalReport &R) {
+    bool InEnvelope = R.MaxJunctionTempC <= 55.0 &&
+                      R.CoolantHotTempC <= 30.5;
+    T.addRow({Label, formatString("%.1f", R.TotalHeatW / 1000.0),
+              formatString("%.1f", R.MaxJunctionTempC),
+              formatString("%.1f", R.CoolantHotTempC),
+              InEnvelope ? "yes" : "NO"});
+  };
+  addRow("SKAT (UltraScale, baseline)", Skat);
+  addRow("SKAT+ naive: US+ chips, unmodified cooling", Naive);
+  addRow("SKAT+ modified (Section 4 changes)", Modified);
+  addRow("UltraScale 2 on SKAT+ cooling (projection)", FutureReport);
+  std::printf("%s\n", T.render().c_str());
+
+  std::printf("Section 4 modifications: immersed pumps (x2, higher head), "
+              "+60%% sink pin area, +88%% HX surface, controller-less "
+              "CCBs.\n\n");
+
+  bool Ok = !Ccb(WithController).fitsStandard19InchRack() &&
+            Ccb(WithoutController).fitsStandard19InchRack() &&
+            Naive.MaxJunctionTempC > Modified.MaxJunctionTempC + 3.0 &&
+            Naive.CoolantHotTempC > 30.5 &&
+            Modified.MaxJunctionTempC <= 50.0 &&
+            FutureReport.MaxJunctionTempC <= 60.0;
+  std::printf("Shape check (fit constraint, naive envelope exit, modified "
+              "margin, future reserve): %s\n",
+              Ok ? "PASS" : "FAIL");
+  return Ok ? 0 : 1;
+}

@@ -1,0 +1,76 @@
+//===- bench/bench_e9_rack_performance.cpp - Experiment E9 --------------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces Section 5's rack-level claim: "it is now possible to mount
+/// not less than 12 new-generation CMs, with a total performance above
+/// 1 PFlops, in a single 47U computer rack", with the chilled-water plant
+/// closing the loop.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Designs.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace rcs;
+using namespace rcs::rcsystem;
+
+int main() {
+  std::printf("E9: 47U rack of SKAT modules (paper Section 5)\n\n");
+
+  Rack SkatRack(core::makeSkatRack());
+  Expected<RackReport> Report = SkatRack.solveSteadyState(25.0);
+  if (!Report) {
+    std::fprintf(stderr, "rack solve failed: %s\n",
+                 Report.message().c_str());
+    return 1;
+  }
+
+  Table T({"quantity", "paper", "simulated"});
+  T.addRow({"modules per 47U rack", ">= 12",
+            formatString("%d (height allows %d)",
+                         SkatRack.config().NumModules,
+                         SkatRack.maxModulesByHeight())});
+  T.addRow({"total performance", "> 1 PFlops",
+            formatString("%.3f PFlops", SkatRack.peakPflops())});
+  T.addRow({"max FPGA temperature", "<= 55 C",
+            formatString("%.1f C", Report->MaxJunctionTempC)});
+  T.addRow({"rack IT power", "-",
+            formatString("%.1f kW", Report->TotalItPowerW / 1000.0)});
+  T.addRow({"chiller electrical power", "-",
+            formatString("%.1f kW", Report->ChillerPowerW / 1000.0)});
+  T.addRow({"pumps + module circulation", "-",
+            formatString("%.1f kW",
+                         (Report->PrimaryPumpPowerW +
+                          Report->ModulePumpFanPowerW) /
+                             1000.0)});
+  T.addRow({"PUE", "-", formatString("%.3f", Report->Pue)});
+  T.addRow({"loop flow imbalance", "self-balancing",
+            formatString("%.2f%%",
+                         Report->Balance.ImbalanceFraction * 100.0)});
+  std::printf("%s\n", T.render().c_str());
+
+  // SKAT+ projection at rack scale.
+  Rack PlusRack(core::makeSkatPlusRack());
+  Expected<RackReport> PlusReport = PlusRack.solveSteadyState(25.0);
+  if (PlusReport)
+    std::printf("SKAT+ rack projection: %.2f PFlops, PUE %.3f, max Tj "
+                "%.1f C\n\n",
+                PlusRack.peakPflops(), PlusReport->Pue,
+                PlusReport->MaxJunctionTempC);
+
+  bool Ok = SkatRack.peakPflops() > 1.0 &&
+            SkatRack.maxModulesByHeight() >= 12 &&
+            Report->MaxJunctionTempC <= 55.0 && Report->Pue < 1.35 &&
+            Report->Balance.ImbalanceFraction < 0.05;
+  std::printf("Shape check (>= 12 CMs, > 1 PFlops, SKAT envelope, balanced "
+              "loops): %s\n",
+              Ok ? "PASS" : "FAIL");
+  return Ok ? 0 : 1;
+}

@@ -1,0 +1,116 @@
+//===- bench/bench_p1_solvers.cpp - Solver micro-benchmarks ------------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark micro-benchmarks of the numerical kernels: thermal
+/// network steady-state and transient solves, hydraulic network Newton
+/// solves, the full coupled module solve and a rack solve. Also serves as
+/// the ablation harness for the coupled fixed-point iteration cost.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Designs.h"
+#include "fluids/Fluid.h"
+#include "hydraulics/Manifold.h"
+#include "sim/Transient.h"
+#include "thermal/Network.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace rcs;
+
+/// Builds a ladder thermal network with \p Rungs chip->sink->coolant
+/// chains hanging off a shared coolant rail.
+static thermal::ThermalNetwork makeLadderNetwork(int Rungs) {
+  thermal::ThermalNetwork Net;
+  thermal::NodeId Coolant = Net.addBoundaryNode("coolant", 30.0);
+  for (int I = 0; I != Rungs; ++I) {
+    thermal::NodeId Chip = Net.addNode("chip", 100.0);
+    thermal::NodeId Sink = Net.addNode("sink", 300.0);
+    Net.addResistance(Chip, Sink, 0.12);
+    Net.addResistance(Sink, Coolant, 0.15);
+    Net.addHeatSource(Chip, 91.0);
+    if (I > 0)
+      Net.addConductance(Chip, Chip - 2, 0.5); // Board coupling.
+  }
+  return Net;
+}
+
+static void BM_ThermalSteadyState(benchmark::State &State) {
+  thermal::ThermalNetwork Net =
+      makeLadderNetwork(static_cast<int>(State.range(0)));
+  for (auto _ : State) {
+    auto Temps = Net.solveSteadyState();
+    benchmark::DoNotOptimize(Temps);
+  }
+}
+BENCHMARK(BM_ThermalSteadyState)->Arg(8)->Arg(32)->Arg(96)->Arg(192);
+
+static void BM_ThermalTransientStep(benchmark::State &State) {
+  thermal::ThermalNetwork Net =
+      makeLadderNetwork(static_cast<int>(State.range(0)));
+  std::vector<double> Temps(Net.numNodes(), 30.0);
+  for (auto _ : State) {
+    Status S = Net.stepTransient(Temps, 1.0);
+    benchmark::DoNotOptimize(S);
+  }
+}
+BENCHMARK(BM_ThermalTransientStep)->Arg(8)->Arg(96);
+
+static void BM_HydraulicRackSolve(benchmark::State &State) {
+  hydraulics::RackHydraulicsConfig Config;
+  Config.NumLoops = static_cast<int>(State.range(0));
+  Config.Layout = hydraulics::ManifoldLayout::ReverseReturn;
+  hydraulics::RackHydraulics Rack =
+      hydraulics::buildRackPrimaryLoop(Config);
+  auto Water = fluids::makeWater();
+  for (auto _ : State) {
+    auto Solution = Rack.Network.solve(*Water, 18.0, 1e-3);
+    benchmark::DoNotOptimize(Solution);
+  }
+}
+BENCHMARK(BM_HydraulicRackSolve)->Arg(6)->Arg(12)->Arg(24);
+
+static void BM_ImmersionModuleSolve(benchmark::State &State) {
+  rcsystem::ComputationalModule Module(core::makeSkatModule());
+  auto Conditions = core::makeNominalConditions();
+  for (auto _ : State) {
+    auto Report = Module.solveSteadyState(Conditions);
+    benchmark::DoNotOptimize(Report);
+  }
+}
+BENCHMARK(BM_ImmersionModuleSolve);
+
+static void BM_AirModuleSolve(benchmark::State &State) {
+  rcsystem::ComputationalModule Module(core::makeTaygetaModule());
+  auto Conditions = core::makeNominalConditions();
+  for (auto _ : State) {
+    auto Report = Module.solveSteadyState(Conditions);
+    benchmark::DoNotOptimize(Report);
+  }
+}
+BENCHMARK(BM_AirModuleSolve);
+
+static void BM_FullRackSolve(benchmark::State &State) {
+  rcsystem::Rack Rack(core::makeSkatRack());
+  for (auto _ : State) {
+    auto Report = Rack.solveSteadyState(25.0);
+    benchmark::DoNotOptimize(Report);
+  }
+}
+BENCHMARK(BM_FullRackSolve);
+
+static void BM_TransientSimMinute(benchmark::State &State) {
+  for (auto _ : State) {
+    sim::TransientSimulator Simulator(core::makeSkatModule(),
+                                      core::makeNominalConditions());
+    auto Trace = Simulator.run(60.0);
+    benchmark::DoNotOptimize(Trace);
+  }
+}
+BENCHMARK(BM_TransientSimMinute);
+
+BENCHMARK_MAIN();

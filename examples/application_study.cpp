@@ -1,0 +1,94 @@
+//===- examples/application_study.cpp - Applications to watts to degrees -----===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Closes the loop the paper's introduction opens: real RCS applications
+/// (spin-glass Monte-Carlo, dense linear algebra, streaming DSP) are run
+/// as reference kernels, mapped onto the XCKU095's resources, and the
+/// resulting utilization drives the SKAT module's electro-thermal solve -
+/// task to pipelines to watts to degrees.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Designs.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+#include "workload/Kernels.h"
+
+#include <cstdio>
+
+using namespace rcs;
+using namespace rcs::workload;
+
+namespace {
+
+struct StudyRow {
+  const char *Label;
+  FpgaMapping Mapping;
+  double HostOps;
+};
+
+} // namespace
+
+int main() {
+  const fpga::FpgaSpec &Spec = fpga::getFpgaSpec(fpga::FpgaModel::XCKU095);
+
+  // Run each kernel on the host (validates the algorithm and counts the
+  // useful operations), then map it onto the FPGA fabric.
+  std::printf("Running reference kernels...\n");
+  IsingKernel Spin(256, 0.44, 1);
+  KernelRunResult SpinRun = Spin.run(200);
+  std::printf("  spin-glass MC: %d^2 lattice, 200 sweeps, m = %.3f, "
+              "E = %.3f per spin\n",
+              256, Spin.magnetizationPerSpin(), Spin.energyPerSpin());
+
+  GemmKernel Gemm(256);
+  KernelRunResult GemmRun = Gemm.run();
+  std::printf("  GEMM: 256^3, checksum %.3e\n", GemmRun.Checksum);
+
+  FirKernel Fir(64, 100000);
+  KernelRunResult FirRun = Fir.run();
+  std::printf("  FIR: 64 taps x 100k samples, checksum %.3e\n\n",
+              FirRun.Checksum);
+
+  StudyRow Rows[] = {
+      {"spin-glass Monte-Carlo", Spin.mapTo(Spec), SpinRun.OpCount},
+      {"dense GEMM", Gemm.mapTo(Spec), GemmRun.OpCount},
+      {"streaming FIR", Fir.mapTo(Spec), FirRun.OpCount},
+  };
+
+  rcsystem::ComputationalModule Skat(core::makeSkatModule());
+  rcsystem::ExternalConditions Conditions = core::makeNominalConditions();
+
+  std::printf("SKAT module under each application (96 x XCKU095):\n");
+  Table T({"application", "fabric util", "pipelines/FPGA",
+           "per-FPGA power (W)", "CM power (kW)", "max Tj (C)",
+           "sustained TOPS (module)"});
+  for (StudyRow &Row : Rows) {
+    Expected<rcsystem::ModuleThermalReport> Report =
+        Skat.solveSteadyState(Conditions,
+                              Row.Mapping.toWorkloadPoint());
+    if (!Report) {
+      std::fprintf(stderr, "%s failed: %s\n", Row.Label,
+                   Report.message().c_str());
+      return 1;
+    }
+    T.addRow({Row.Label,
+              formatString("%.0f%%", Row.Mapping.Utilization * 100.0),
+              formatString("%d", Row.Mapping.PipelinesFitted),
+              formatString("%.1f", Report->Fpgas.front().PowerW),
+              formatString("%.1f", Report->TotalHeatW / 1000.0),
+              formatString("%.1f", Report->MaxJunctionTempC),
+              formatString("%.1f",
+                           96.0 * Row.Mapping.SustainedGflops / 1000.0)});
+  }
+  std::printf("%s\n", T.render().c_str());
+  std::printf("The spin machine fills the fabric (the paper's 85..95%% "
+              "workload band) and dissipates the full 91 W per chip; the "
+              "streaming filter leaves thermal headroom that could host a "
+              "second accelerator partition.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+//===- examples/cooling_comparison.cpp - Air vs cold plate vs immersion ------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Section 2 argument as a table: one 12-board module of Kintex
+/// UltraScale FPGAs solved under the three cooling technologies, plus the
+/// fluid-property comparison the paper quotes (heat capacity and flow
+/// budget per FPGA).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Designs.h"
+#include "fluids/FluidComparison.h"
+#include "metrics/Metrics.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace rcs;
+using namespace rcs::rcsystem;
+
+static void addModuleRow(Table &T, const char *Label,
+                         const ModuleConfig &Config,
+                         const ExternalConditions &Conditions) {
+  ComputationalModule Module(Config);
+  Expected<ModuleThermalReport> Report = Module.solveSteadyState(Conditions);
+  if (!Report) {
+    T.addRow({Label, "unsolvable", "-", "-", "-", "-"});
+    std::printf("note: %s: %s\n", Label, Report.message().c_str());
+    return;
+  }
+  metrics::ModuleEfficiency Eff =
+      metrics::computeModuleEfficiency(Module, *Report);
+  T.addRow({Label, formatString("%.1f", Report->MaxJunctionTempC),
+            formatString("%.1f", Report->CoolantHotTempC),
+            formatString("%.2f", Eff.GflopsPerWatt),
+            formatString("%.3f", Eff.EstimatedPue),
+            Report->WithinReliableLimit ? "yes" : "NO"});
+}
+
+int main() {
+  ExternalConditions Conditions = core::makeNominalConditions();
+
+  // The same compute complement (12 x 8 XCKU095) under each technology.
+  ModuleConfig Immersion = core::makeSkatModule();
+
+  ModuleConfig ColdPlate = Immersion;
+  ColdPlate.Name = "cold plate";
+  ColdPlate.Cooling = CoolingKind::ColdPlate;
+  ColdPlate.ColdPlate.WaterFlowM3PerS = 1.6e-3;
+
+  ModuleConfig Air = Immersion;
+  Air.Name = "forced air";
+  Air.Cooling = CoolingKind::ForcedAir;
+  Air.Air = core::makeUltraScaleAirModule().Air;
+  // Scale airflow for 12 boards instead of 4.
+  Air.Air.AirflowM3PerS *= 3.0;
+  Air.Air.FlowAreaM2 *= 3.0;
+
+  std::printf("One 96-FPGA Kintex UltraScale module under three cooling "
+              "technologies\n\n");
+  Table T({"cooling", "max Tj (C)", "coolant out (C)", "GFLOPS/W", "PUE est",
+           "in long-life band"});
+  addModuleRow(T, "forced air", Air, Conditions);
+  addModuleRow(T, "cold plate", ColdPlate, Conditions);
+  addModuleRow(T, "immersion (SKAT)", Immersion, Conditions);
+  std::printf("%s\n", T.render().c_str());
+
+  // The paper's fluid-side numbers.
+  auto AirFluid = fluids::makeAir();
+  auto Water = fluids::makeWater();
+  auto Oil = fluids::makeMineralOilMd45();
+  std::printf("Fluid comparison at 25 C (paper Section 2):\n");
+  std::printf("  water/air volumetric heat capacity ratio: %.0f "
+              "(paper: 1500..4000)\n",
+              fluids::volumetricHeatCapacityRatio(*Water, *AirFluid, 25.0));
+  std::printf("  oil/air volumetric heat capacity ratio:   %.0f\n",
+              fluids::volumetricHeatCapacityRatio(*Oil, *AirFluid, 25.0));
+  double WaterFlow =
+      fluids::requiredVolumeFlowM3PerS(*Water, 91.0, 25.0, 5.0);
+  double AirFlow =
+      fluids::requiredVolumeFlowM3PerS(*AirFluid, 91.0, 25.0, 5.0);
+  std::printf("  flow to cool one 91 W FPGA at dT=5C: %.0f ml/min water vs "
+              "%.2f m^3/min air (paper: 250 ml vs 1 m^3)\n",
+              WaterFlow * 6.0e7, AirFlow * 60.0);
+  return 0;
+}

@@ -1,0 +1,69 @@
+//===- examples/job_scheduling.cpp - Thermal-aware job scheduling ------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The RCS as a shared facility: a mixed queue of spin-glass, molecular
+/// dynamics, linear algebra and DSP jobs is scheduled onto a rack of SKAT
+/// modules under three placement policies, and the resulting makespan,
+/// energy and thermal peaks are compared.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Designs.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+#include "workload/Scheduler.h"
+
+#include <cstdio>
+
+using namespace rcs;
+using namespace rcs::workload;
+
+int main() {
+  rcsystem::RackConfig Rack = core::makeSkatRack();
+  Rack.NumModules = 6; // Half a rack keeps the demo fast.
+  rcsystem::ExternalConditions Conditions = core::makeNominalConditions();
+
+  std::vector<Job> Jobs = makeStandardJobMix(24, /*Seed=*/2018);
+  std::printf("Scheduling %zu jobs (8..48 FPGAs, 0.5..6 h) on %d SKAT "
+              "modules:\n\n",
+              Jobs.size(), Rack.NumModules);
+
+  Table T({"policy", "makespan (h)", "energy (kWh)", "peak Tj (C)",
+           "mean utilization", "thermal violations"});
+  for (PlacementPolicy Policy :
+       {PlacementPolicy::FirstFit, PlacementPolicy::CoolestFirst,
+        PlacementPolicy::LoadSpread}) {
+    Expected<ScheduleResult> Result =
+        scheduleOnRack(Rack, Conditions, Jobs, Policy);
+    if (!Result) {
+      std::fprintf(stderr, "%s failed: %s\n", placementPolicyName(Policy),
+                   Result.message().c_str());
+      return 1;
+    }
+    T.addRow({placementPolicyName(Policy),
+              formatString("%.2f", Result->MakespanHours),
+              formatString("%.1f", Result->EnergyKwh),
+              formatString("%.1f", Result->PeakJunctionC),
+              formatString("%.0f%%", Result->MeanUtilization * 100.0),
+              formatString("%d", Result->ThermalViolations)});
+  }
+  Expected<ScheduleResult> Backfilled = scheduleOnRack(
+      Rack, Conditions, Jobs, PlacementPolicy::CoolestFirst,
+      /*Backfill=*/true);
+  if (Backfilled)
+    T.addRow({"coolest first + backfill",
+              formatString("%.2f", Backfilled->MakespanHours),
+              formatString("%.1f", Backfilled->EnergyKwh),
+              formatString("%.1f", Backfilled->PeakJunctionC),
+              formatString("%.0f%%", Backfilled->MeanUtilization * 100.0),
+              formatString("%d", Backfilled->ThermalViolations)});
+  std::printf("%s\n", T.render().c_str());
+  std::printf("On an immersion rack every policy stays deep inside the "
+              "long-life band - placement freedom the air-cooled "
+              "generations never had.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+//===- examples/quickstart.cpp - skatsim in 60 lines -------------------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Quickstart: build the paper's SKAT immersion-cooled computational
+/// module, solve its steady state under nominal machine-room conditions,
+/// and print the operating point the paper reports in Section 3.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Designs.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace rcs;
+
+int main() {
+  // 1. A SKAT module: 3U, 12 boards x 8 Kintex UltraScale FPGAs, immersed
+  //    in an engineered dielectric, pump + plate HX in the heat-exchange
+  //    section.
+  rcsystem::ModuleConfig Config = core::makeSkatModule();
+  rcsystem::ComputationalModule Skat(Config);
+
+  // 2. Nominal boundary conditions: 25 C room, 18 C chilled water.
+  rcsystem::ExternalConditions Conditions = core::makeNominalConditions();
+
+  // 3. Solve the coupled electro-thermal-hydraulic steady state.
+  Expected<rcsystem::ModuleThermalReport> Report =
+      Skat.solveSteadyState(Conditions);
+  if (!Report) {
+    std::fprintf(stderr, "solve failed: %s\n", Report.message().c_str());
+    return 1;
+  }
+
+  std::printf("SKAT computational module - steady state\n\n");
+  Table Summary({"quantity", "value", "paper says"});
+  Summary.addRow({"FPGAs", formatString("%d", Skat.computeFpgaCount()),
+                  "12 CCBs x 8 FPGAs"});
+  Summary.addRow({"power per FPGA",
+                  formatString("%.1f W", Report->Fpgas.front().PowerW),
+                  "91 W"});
+  Summary.addRow({"FPGA heat, whole CM",
+                  formatString("%.0f W", Report->FpgaHeatW), "8736 W"});
+  Summary.addRow({"coolant temperature",
+                  formatString("%.1f C", Report->CoolantHotTempC),
+                  "<= 30 C"});
+  Summary.addRow({"max FPGA temperature",
+                  formatString("%.1f C", Report->MaxJunctionTempC),
+                  "<= 55 C"});
+  Summary.addRow({"oil flow",
+                  formatString("%.0f l/min",
+                               Report->CoolantFlowM3PerS * 60000.0),
+                  "-"});
+  Summary.addRow({"peak performance",
+                  formatString("%.1f TFLOPS", Skat.peakGflops() / 1000.0),
+                  "8.7x Taygeta"});
+  std::printf("%s\n", Summary.render().c_str());
+
+  for (const std::string &Warning : Report->Warnings)
+    std::printf("warning: %s\n", Warning.c_str());
+  std::printf("within long-life junction limit: %s\n",
+              Report->WithinReliableLimit ? "yes" : "no");
+  return 0;
+}

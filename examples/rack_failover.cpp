@@ -1,0 +1,71 @@
+//===- examples/rack_failover.cpp - Rack hydraulic failover ------------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Fig. 5 story end to end: a 47U rack of 12 SKAT modules on
+/// reverse-return manifolds. We solve the healthy rack, then valve off one
+/// module's circulation loop for maintenance and show that the remaining
+/// loops re-balance evenly - the paper's claim that no extra hydraulic
+/// balancing subsystem is needed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Designs.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace rcs;
+using namespace rcs::rcsystem;
+
+static void printRack(const char *Label, const RackReport &Report) {
+  std::printf("%s\n", Label);
+  Table T({"module", "water flow (l/min)", "max Tj (C)", "oil out (C)",
+           "state"});
+  for (size_t I = 0; I != Report.Modules.size(); ++I) {
+    const ModuleThermalReport &M = Report.Modules[I];
+    bool Down = M.TotalHeatW == 0.0;
+    T.addRow({formatString("CM %zu", I + 1),
+              formatString("%.1f", Report.LoopFlowsM3PerS[I] * 60000.0),
+              Down ? "-" : formatString("%.1f", M.MaxJunctionTempC),
+              Down ? "-" : formatString("%.1f", M.CoolantHotTempC),
+              Down ? "isolated" : "running"});
+  }
+  std::printf("%s", T.render().c_str());
+  std::printf("flow imbalance (max-min)/mean: %.2f%%   rack IT power: "
+              "%.1f kW   PUE: %.3f   peak: %.3f PFLOPS\n\n",
+              Report.Balance.ImbalanceFraction * 100.0,
+              Report.TotalItPowerW / 1000.0, Report.Pue,
+              Report.PeakGflops * 1e9 / 1e15);
+}
+
+int main() {
+  Rack TheRack(core::makeSkatRack());
+
+  Expected<RackReport> Healthy = TheRack.solveSteadyState(25.0);
+  if (!Healthy) {
+    std::fprintf(stderr, "rack solve failed: %s\n",
+                 Healthy.message().c_str());
+    return 1;
+  }
+  printRack("Healthy rack (reverse-return manifolds, Fig. 5):", *Healthy);
+
+  Expected<RackReport> Degraded =
+      TheRack.solveSteadyState(25.0, /*IsolatedLoop=*/4);
+  if (!Degraded) {
+    std::fprintf(stderr, "rack solve failed: %s\n",
+                 Degraded.message().c_str());
+    return 1;
+  }
+  printRack("CM 5 isolated for maintenance:", *Degraded);
+
+  for (const std::string &Warning : Degraded->Warnings)
+    std::printf("warning: %s\n", Warning.c_str());
+  std::printf("Result: the surviving loops gain flow uniformly; no "
+              "balancing valves were touched.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+//===- examples/rack_outage.cpp - Chiller outage at rack scale ---------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A facility incident, end to end: the rack chiller fails at t = 1 h and
+/// is repaired 20 minutes later. The shared water loop and every module's
+/// oil bath ride the outage on thermal inertia; per-module protection
+/// stays armed but never fires. A second run without repair shows the
+/// protection staging the rack down safely.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Designs.h"
+#include "sim/RackTransient.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+
+using namespace rcs;
+
+static void printTrace(const char *Label,
+                       const std::vector<sim::RackTraceSample> &Trace) {
+  std::printf("%s\n", Label);
+  std::printf("  t(h)   water(C)  oil(C)  maxTj(C)  chiller(kW)  down\n");
+  double NextPrint = 0.0;
+  int LastDown = -1;
+  for (const sim::RackTraceSample &Sample : Trace) {
+    bool DownChanged = Sample.ModulesShutDown != LastDown;
+    if (Sample.TimeS >= NextPrint || DownChanged) {
+      std::printf("  %5.2f  %8.1f  %6.1f  %8.1f  %11.1f  %4d\n",
+                  Sample.TimeS / 3600.0, Sample.WaterTempC,
+                  Sample.MeanOilTempC, Sample.MaxJunctionTempC,
+                  Sample.ChillerDutyW / 1000.0, Sample.ModulesShutDown);
+      NextPrint = Sample.TimeS + 1200.0;
+      LastDown = Sample.ModulesShutDown;
+    }
+  }
+  std::printf("\n");
+}
+
+int main() {
+  // Scenario 1: 20-minute outage, repaired.
+  sim::RackTransientSimulator Repaired(core::makeSkatRack(), 25.0);
+  Repaired.scheduleChillerCapacity(3600.0, 0.0);
+  Repaired.scheduleChillerCapacity(3600.0 + 1200.0, 1.0);
+  Expected<std::vector<sim::RackTraceSample>> RepairTrace =
+      Repaired.run(4.0 * 3600.0);
+  if (!RepairTrace) {
+    std::fprintf(stderr, "simulation failed: %s\n",
+                 RepairTrace.message().c_str());
+    return 1;
+  }
+  printTrace("Chiller fails at 1.0 h, repaired at 1.33 h:", *RepairTrace);
+
+  // Scenario 2: the chiller stays dead; protection stages the rack down.
+  sim::RackTransientSimulator Unrepaired(core::makeSkatRack(), 25.0);
+  Unrepaired.scheduleChillerCapacity(3600.0, 0.0);
+  Expected<std::vector<sim::RackTraceSample>> DeadTrace =
+      Unrepaired.run(8.0 * 3600.0);
+  if (!DeadTrace) {
+    std::fprintf(stderr, "simulation failed: %s\n",
+                 DeadTrace.message().c_str());
+    return 1;
+  }
+  printTrace("Chiller fails at 1.0 h and stays down:", *DeadTrace);
+
+  std::printf("The oil and water inventories buy tens of minutes of "
+              "protected full-power operation; when the outage outlasts "
+              "them, per-module protection sheds the rack without "
+              "exceeding silicon limits.\n");
+  return 0;
+}

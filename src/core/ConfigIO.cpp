@@ -1,0 +1,421 @@
+//===- core/ConfigIO.cpp - Module config (de)serialization --------------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ConfigIO.h"
+
+#include "core/Designs.h"
+#include "support/StringUtils.h"
+#include "support/Units.h"
+
+#include <cstdio>
+#include <functional>
+#include <map>
+
+using namespace rcs;
+using namespace rcs::core;
+using namespace rcs::rcsystem;
+
+namespace {
+
+/// One parsed `key = value` with its location for diagnostics.
+struct Entry {
+  std::string Section;
+  std::string Key;
+  std::string Value;
+  int Line;
+};
+
+Expected<std::vector<Entry>> tokenize(const std::string &Text) {
+  std::vector<Entry> Entries;
+  std::string Section;
+  int LineNo = 0;
+  for (const std::string &RawLine : splitString(Text, '\n')) {
+    ++LineNo;
+    std::string Line = RawLine;
+    size_t Comment = Line.find_first_of("#;");
+    if (Comment != std::string::npos)
+      Line.erase(Comment);
+    Line = trimString(Line);
+    if (Line.empty())
+      continue;
+    if (Line.front() == '[') {
+      if (Line.back() != ']')
+        return Expected<std::vector<Entry>>::error(formatString(
+            "line %d: unterminated section header", LineNo));
+      Section = toLower(trimString(Line.substr(1, Line.size() - 2)));
+      continue;
+    }
+    size_t Eq = Line.find('=');
+    if (Eq == std::string::npos)
+      return Expected<std::vector<Entry>>::error(
+          formatString("line %d: expected 'key = value'", LineNo));
+    Entry E;
+    E.Section = Section;
+    E.Key = toLower(trimString(Line.substr(0, Eq)));
+    E.Value = trimString(Line.substr(Eq + 1));
+    E.Line = LineNo;
+    if (E.Key.empty() || E.Value.empty())
+      return Expected<std::vector<Entry>>::error(
+          formatString("line %d: empty key or value", LineNo));
+    Entries.push_back(std::move(E));
+  }
+  return Entries;
+}
+
+Expected<double> parseNumber(const Entry &E) {
+  char *End = nullptr;
+  double Value = std::strtod(E.Value.c_str(), &End);
+  if (End == E.Value.c_str() || *End != '\0')
+    return Expected<double>::error(formatString(
+        "line %d: '%s' is not a number", E.Line, E.Value.c_str()));
+  return Value;
+}
+
+Expected<bool> parseBool(const Entry &E) {
+  std::string V = toLower(E.Value);
+  if (V == "true" || V == "yes" || V == "1")
+    return true;
+  if (V == "false" || V == "no" || V == "0")
+    return false;
+  return Expected<bool>::error(formatString(
+      "line %d: '%s' is not a boolean", E.Line, E.Value.c_str()));
+}
+
+Status applyEntry(ModuleConfig &Config, const Entry &E) {
+  auto Num = [&](double &Field) -> Status {
+    Expected<double> Value = parseNumber(E);
+    if (!Value)
+      return Value.status();
+    Field = *Value;
+    return Status::ok();
+  };
+  auto Int = [&](int &Field) -> Status {
+    Expected<double> Value = parseNumber(E);
+    if (!Value)
+      return Value.status();
+    Field = static_cast<int>(*Value);
+    return Status::ok();
+  };
+  auto Bool = [&](bool &Field) -> Status {
+    Expected<bool> Value = parseBool(E);
+    if (!Value)
+      return Value.status();
+    Field = *Value;
+    return Status::ok();
+  };
+  auto badKey = [&]() {
+    return Status::error(formatString("line %d: unknown key '%s' in [%s]",
+                                      E.Line, E.Key.c_str(),
+                                      E.Section.c_str()));
+  };
+
+  if (E.Section == "module") {
+    if (E.Key == "base")
+      return Status::ok(); // Handled in the first pass.
+    if (E.Key == "name") {
+      Config.Name = E.Value;
+      return Status::ok();
+    }
+    if (E.Key == "height_u")
+      return Int(Config.HeightU);
+    if (E.Key == "num_ccbs")
+      return Int(Config.NumCcbs);
+    if (E.Key == "num_psus")
+      return Int(Config.NumPsus);
+    if (E.Key == "psu_rated_w")
+      return Num(Config.PsuRatedPowerW);
+    if (E.Key == "cooling") {
+      std::string V = toLower(E.Value);
+      if (V == "air")
+        Config.Cooling = CoolingKind::ForcedAir;
+      else if (V == "coldplate" || V == "cold_plate")
+        Config.Cooling = CoolingKind::ColdPlate;
+      else if (V == "immersion")
+        Config.Cooling = CoolingKind::Immersion;
+      else
+        return Status::error(formatString(
+            "line %d: cooling must be air|coldplate|immersion", E.Line));
+      return Status::ok();
+    }
+    return badKey();
+  }
+
+  if (E.Section == "board") {
+    if (E.Key == "model") {
+      static const std::map<std::string, fpga::FpgaModel> Models = {
+          {"xc6vlx240t", fpga::FpgaModel::XC6VLX240T},
+          {"xc7vx485t", fpga::FpgaModel::XC7VX485T},
+          {"xcku095", fpga::FpgaModel::XCKU095},
+          {"xcvu9p", fpga::FpgaModel::XCVU9P},
+          {"ultrascale2", fpga::FpgaModel::UltraScale2}};
+      auto It = Models.find(toLower(E.Value));
+      if (It == Models.end())
+        return Status::error(formatString("line %d: unknown FPGA model '%s'",
+                                          E.Line, E.Value.c_str()));
+      Config.Board.Model = It->second;
+      return Status::ok();
+    }
+    if (E.Key == "num_compute_fpgas")
+      return Int(Config.Board.NumComputeFpgas);
+    if (E.Key == "separate_controller")
+      return Bool(Config.Board.SeparateControllerFpga);
+    if (E.Key == "misc_power_w")
+      return Num(Config.Board.MiscPowerW);
+    return badKey();
+  }
+
+  if (E.Section == "load") {
+    if (E.Key == "utilization")
+      return Num(Config.Load.Utilization);
+    if (E.Key == "clock_fraction")
+      return Num(Config.Load.ClockFraction);
+    return badKey();
+  }
+
+  if (E.Section == "immersion") {
+    ImmersionCoolingConfig &Immersion = Config.Immersion;
+    if (E.Key == "coolant") {
+      std::string V = toLower(E.Value);
+      if (V == "white")
+        Immersion.CoolantKind =
+            ImmersionCoolingConfig::Coolant::WhiteMineralOil;
+      else if (V == "md45" || V == "md-4.5")
+        Immersion.CoolantKind =
+            ImmersionCoolingConfig::Coolant::MineralOilMd45;
+      else if (V == "engineered" || V == "skat")
+        Immersion.CoolantKind =
+            ImmersionCoolingConfig::Coolant::EngineeredDielectric;
+      else
+        return Status::error(formatString(
+            "line %d: coolant must be white|md45|engineered", E.Line));
+      return Status::ok();
+    }
+    if (E.Key == "pump_rated_flow_lpm") {
+      Expected<double> Value = parseNumber(E);
+      if (!Value)
+        return Value.status();
+      Immersion.PumpRatedFlowM3PerS =
+          units::litersPerMinuteToM3PerS(*Value);
+      return Status::ok();
+    }
+    if (E.Key == "pump_rated_head_kpa") {
+      Expected<double> Value = parseNumber(E);
+      if (!Value)
+        return Value.status();
+      Immersion.PumpRatedHeadPa = *Value * 1000.0;
+      return Status::ok();
+    }
+    if (E.Key == "num_pumps")
+      return Int(Immersion.NumPumps);
+    if (E.Key == "immersed_pumps")
+      return Bool(Immersion.ImmersedPumps);
+    if (E.Key == "bath_flow_area_m2")
+      return Num(Immersion.BathFlowAreaM2);
+    if (E.Key == "hx_ua_w_per_k")
+      return Num(Immersion.HxUaWPerK);
+    if (E.Key == "tim") {
+      std::string V = toLower(E.Value);
+      if (V == "grease")
+        Immersion.Tim = ImmersionCoolingConfig::TimKind::SiliconeGrease;
+      else if (V == "skat")
+        Immersion.Tim = ImmersionCoolingConfig::TimKind::SkatInterface;
+      else if (V == "graphite")
+        Immersion.Tim = ImmersionCoolingConfig::TimKind::GraphitePad;
+      else
+        return Status::error(formatString(
+            "line %d: tim must be grease|skat|graphite", E.Line));
+      return Status::ok();
+    }
+    if (E.Key == "tim_exposure_h")
+      return Num(Immersion.TimExposureHours);
+    if (E.Key == "distribution") {
+      std::string V = toLower(E.Value);
+      if (V == "parallel")
+        Immersion.Distribution =
+            ImmersionCoolingConfig::OilDistribution::ParallelAcrossBoards;
+      else if (V == "series")
+        Immersion.Distribution =
+            ImmersionCoolingConfig::OilDistribution::SeriesAlongBoards;
+      else
+        return Status::error(formatString(
+            "line %d: distribution must be parallel|series", E.Line));
+      return Status::ok();
+    }
+    return badKey();
+  }
+
+  if (E.Section == "air") {
+    if (E.Key == "airflow_m3s")
+      return Num(Config.Air.AirflowM3PerS);
+    if (E.Key == "flow_area_m2")
+      return Num(Config.Air.FlowAreaM2);
+    if (E.Key == "fan_w_per_m3s")
+      return Num(Config.Air.FanSpecificPowerWPerM3PerS);
+    return badKey();
+  }
+
+  if (E.Section == "coldplate") {
+    if (E.Key == "plate_r_k_per_w")
+      return Num(Config.ColdPlate.PlateResistanceKPerW);
+    if (E.Key == "water_flow_lpm") {
+      Expected<double> Value = parseNumber(E);
+      if (!Value)
+        return Value.status();
+      Config.ColdPlate.WaterFlowM3PerS =
+          units::litersPerMinuteToM3PerS(*Value);
+      return Status::ok();
+    }
+    if (E.Key == "pump_power_w")
+      return Num(Config.ColdPlate.PumpPowerW);
+    return badKey();
+  }
+
+  return Status::error(formatString("line %d: unknown section [%s]",
+                                    E.Line, E.Section.c_str()));
+}
+
+} // namespace
+
+Expected<ModuleConfig>
+rcs::core::parseModuleConfig(const std::string &Text) {
+  Expected<std::vector<Entry>> Entries = tokenize(Text);
+  if (!Entries)
+    return Expected<ModuleConfig>(Entries.status());
+
+  // First pass: resolve the base design.
+  ModuleConfig Config = makeSkatModule();
+  for (const Entry &E : *Entries) {
+    if (E.Section != "module" || E.Key != "base")
+      continue;
+    std::string Base = toLower(E.Value);
+    if (Base == "rigel2")
+      Config = makeRigel2Module();
+    else if (Base == "taygeta")
+      Config = makeTaygetaModule();
+    else if (Base == "ultrascale-air")
+      Config = makeUltraScaleAirModule();
+    else if (Base == "skat")
+      Config = makeSkatModule();
+    else if (Base == "skat-plus")
+      Config = makeSkatPlusModule();
+    else if (Base == "skat-plus-naive")
+      Config = makeSkatPlusNaiveModule();
+    else
+      return Expected<ModuleConfig>::error(formatString(
+          "line %d: unknown base design '%s'", E.Line, E.Value.c_str()));
+  }
+
+  // Second pass: apply overrides in order.
+  for (const Entry &E : *Entries) {
+    Status Applied = applyEntry(Config, E);
+    if (!Applied.isOk())
+      return Expected<ModuleConfig>(Applied);
+  }
+  return Config;
+}
+
+Expected<ModuleConfig>
+rcs::core::loadModuleConfigFile(const std::string &Path) {
+  std::FILE *File = std::fopen(Path.c_str(), "r");
+  if (!File)
+    return Expected<ModuleConfig>::error("cannot open config file: " +
+                                         Path);
+  std::string Text;
+  char Buffer[4096];
+  size_t Read = 0;
+  while ((Read = std::fread(Buffer, 1, sizeof(Buffer), File)) > 0)
+    Text.append(Buffer, Read);
+  std::fclose(File);
+  return parseModuleConfig(Text);
+}
+
+std::string
+rcs::core::serializeModuleConfig(const ModuleConfig &Config) {
+  std::string Out;
+  const char *CoolingName =
+      Config.Cooling == CoolingKind::ForcedAir    ? "air"
+      : Config.Cooling == CoolingKind::ColdPlate ? "coldplate"
+                                                 : "immersion";
+  Out += "[module]\n";
+  Out += "name = " + Config.Name + "\n";
+  Out += formatString("height_u = %d\n", Config.HeightU);
+  Out += formatString("num_ccbs = %d\n", Config.NumCcbs);
+  Out += formatString("num_psus = %d\n", Config.NumPsus);
+  Out += formatString("psu_rated_w = %g\n", Config.PsuRatedPowerW);
+  Out += formatString("cooling = %s\n", CoolingName);
+
+  Out += "\n[board]\n";
+  static const std::map<fpga::FpgaModel, const char *> ModelNames = {
+      {fpga::FpgaModel::XC6VLX240T, "XC6VLX240T"},
+      {fpga::FpgaModel::XC7VX485T, "XC7VX485T"},
+      {fpga::FpgaModel::XCKU095, "XCKU095"},
+      {fpga::FpgaModel::XCVU9P, "XCVU9P"},
+      {fpga::FpgaModel::UltraScale2, "UltraScale2"}};
+  Out += formatString("model = %s\n", ModelNames.at(Config.Board.Model));
+  Out += formatString("num_compute_fpgas = %d\n",
+                      Config.Board.NumComputeFpgas);
+  Out += formatString("separate_controller = %s\n",
+                      Config.Board.SeparateControllerFpga ? "true"
+                                                          : "false");
+  Out += formatString("misc_power_w = %g\n", Config.Board.MiscPowerW);
+
+  Out += "\n[load]\n";
+  Out += formatString("utilization = %g\n", Config.Load.Utilization);
+  Out += formatString("clock_fraction = %g\n", Config.Load.ClockFraction);
+
+  const ImmersionCoolingConfig &Immersion = Config.Immersion;
+  const char *Coolant =
+      Immersion.CoolantKind ==
+              ImmersionCoolingConfig::Coolant::WhiteMineralOil
+          ? "white"
+      : Immersion.CoolantKind ==
+              ImmersionCoolingConfig::Coolant::MineralOilMd45
+          ? "md45"
+          : "engineered";
+  const char *Tim =
+      Immersion.Tim == ImmersionCoolingConfig::TimKind::SiliconeGrease
+          ? "grease"
+      : Immersion.Tim == ImmersionCoolingConfig::TimKind::GraphitePad
+          ? "graphite"
+          : "skat";
+  Out += "\n[immersion]\n";
+  Out += formatString("coolant = %s\n", Coolant);
+  Out += formatString("pump_rated_flow_lpm = %g\n",
+                      units::m3PerSToLitersPerMinute(
+                          Immersion.PumpRatedFlowM3PerS));
+  Out += formatString("pump_rated_head_kpa = %g\n",
+                      Immersion.PumpRatedHeadPa / 1000.0);
+  Out += formatString("num_pumps = %d\n", Immersion.NumPumps);
+  Out += formatString("immersed_pumps = %s\n",
+                      Immersion.ImmersedPumps ? "true" : "false");
+  Out += formatString("bath_flow_area_m2 = %g\n",
+                      Immersion.BathFlowAreaM2);
+  Out += formatString("hx_ua_w_per_k = %g\n", Immersion.HxUaWPerK);
+  Out += formatString("tim = %s\n", Tim);
+  Out += formatString("tim_exposure_h = %g\n",
+                      Immersion.TimExposureHours);
+  Out += formatString(
+      "distribution = %s\n",
+      Immersion.Distribution ==
+              ImmersionCoolingConfig::OilDistribution::SeriesAlongBoards
+          ? "series"
+          : "parallel");
+
+  Out += "\n[air]\n";
+  Out += formatString("airflow_m3s = %g\n", Config.Air.AirflowM3PerS);
+  Out += formatString("flow_area_m2 = %g\n", Config.Air.FlowAreaM2);
+  Out += formatString("fan_w_per_m3s = %g\n",
+                      Config.Air.FanSpecificPowerWPerM3PerS);
+
+  Out += "\n[coldplate]\n";
+  Out += formatString("plate_r_k_per_w = %g\n",
+                      Config.ColdPlate.PlateResistanceKPerW);
+  Out += formatString("water_flow_lpm = %g\n",
+                      units::m3PerSToLitersPerMinute(
+                          Config.ColdPlate.WaterFlowM3PerS));
+  Out += formatString("pump_power_w = %g\n", Config.ColdPlate.PumpPowerW);
+  return Out;
+}

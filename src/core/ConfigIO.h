@@ -1,0 +1,54 @@
+//===- core/ConfigIO.h - Module config (de)serialization --------*- C++ -*-===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// INI-style serialization for ModuleConfig so experiments can be defined
+/// as files instead of code (used by the skatsim CLI's --config flag).
+///
+/// Format: `[section]` headers with `key = value` lines; `#` and `;` start
+/// comments. A `base` key in `[module]` starts from one of the named paper
+/// designs, after which any subset of keys may override fields:
+///
+/// \code
+///   [module]
+///   base = skat
+///   num_ccbs = 16
+///
+///   [immersion]
+///   coolant = md45
+///   pump_rated_flow_lpm = 150
+/// \endcode
+///
+/// Unknown sections or keys are errors (typos must not silently produce a
+/// different experiment).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_CORE_CONFIGIO_H
+#define RCS_CORE_CONFIGIO_H
+
+#include "support/Status.h"
+#include "system/Module.h"
+
+#include <string>
+
+namespace rcs {
+namespace core {
+
+/// Parses \p Text into a module configuration.
+Expected<rcsystem::ModuleConfig> parseModuleConfig(const std::string &Text);
+
+/// Reads and parses the file at \p Path.
+Expected<rcsystem::ModuleConfig>
+loadModuleConfigFile(const std::string &Path);
+
+/// Serializes \p Config to the INI format (full dump, no `base`).
+std::string serializeModuleConfig(const rcsystem::ModuleConfig &Config);
+
+} // namespace core
+} // namespace rcs
+
+#endif // RCS_CORE_CONFIGIO_H

@@ -1,0 +1,141 @@
+//===- core/DesignSpace.cpp - Design exploration tools ------------------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DesignSpace.h"
+
+#include "fluids/Fluid.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace rcs;
+using namespace rcs::core;
+using namespace rcs::rcsystem;
+
+std::vector<SinkCandidate>
+rcs::core::sweepImmersionSinks(const ModuleConfig &Module,
+                               const ExternalConditions &Conditions,
+                               const SinkSweepRanges &Ranges,
+                               double PressureWeightCPerPa) {
+  assert(Module.Cooling == CoolingKind::Immersion &&
+         "sink sweep requires an immersion module");
+  std::vector<SinkCandidate> Candidates;
+  auto Oil = fluids::makeEngineeredDielectric();
+
+  for (double Height : Ranges.PinHeightsM) {
+    for (double Pitch : Ranges.PitchesM) {
+      for (double Diameter : Ranges.PinDiametersM) {
+        if (Pitch <= Diameter + 5e-4)
+          continue; // Pins would choke the flow.
+        ModuleConfig Candidate = Module;
+        Candidate.Immersion.SinkGeometry.PinHeightM = Height;
+        Candidate.Immersion.SinkGeometry.PitchM = Pitch;
+        Candidate.Immersion.SinkGeometry.PinDiameterM = Diameter;
+
+        ComputationalModule Cm(Candidate);
+        Expected<ModuleThermalReport> Report =
+            Cm.solveSteadyState(Conditions);
+        if (!Report)
+          continue;
+
+        thermal::PinFinHeatSink Sink("candidate",
+                                     Candidate.Immersion.SinkGeometry);
+        thermal::SinkEvaluation Eval = Sink.evaluate(
+            *Oil, Report->CoolantColdTempC + 2.0,
+            Report->ApproachVelocityMPerS, Report->MeanJunctionTempC);
+
+        SinkCandidate Entry;
+        Entry.Geometry = Candidate.Immersion.SinkGeometry;
+        Entry.ResistanceKPerW = Eval.ResistanceKPerW;
+        Entry.PressureDropPa = Eval.PressureDropPa;
+        Entry.MaxJunctionTempC = Report->MaxJunctionTempC;
+        Entry.Score = Report->MaxJunctionTempC +
+                      PressureWeightCPerPa * Eval.PressureDropPa;
+        Candidates.push_back(Entry);
+      }
+    }
+  }
+  std::stable_sort(Candidates.begin(), Candidates.end(),
+                   [](const SinkCandidate &A, const SinkCandidate &B) {
+                     return A.Score < B.Score;
+                   });
+  return Candidates;
+}
+
+std::vector<PumpCandidate>
+rcs::core::sweepOilPumps(const ModuleConfig &Module,
+                         const ExternalConditions &Conditions,
+                         const std::vector<double> &RatedFlowsM3PerS,
+                         const std::vector<double> &RatedHeadsPa,
+                         double PowerWeightCPerW) {
+  assert(Module.Cooling == CoolingKind::Immersion &&
+         "pump sweep requires an immersion module");
+  std::vector<PumpCandidate> Candidates;
+  for (double Flow : RatedFlowsM3PerS) {
+    for (double Head : RatedHeadsPa) {
+      ModuleConfig Candidate = Module;
+      Candidate.Immersion.PumpRatedFlowM3PerS = Flow;
+      Candidate.Immersion.PumpRatedHeadPa = Head;
+      ComputationalModule Cm(Candidate);
+      Expected<ModuleThermalReport> Report =
+          Cm.solveSteadyState(Conditions);
+      if (!Report)
+        continue;
+      PumpCandidate Entry;
+      Entry.RatedFlowM3PerS = Flow;
+      Entry.RatedHeadPa = Head;
+      Entry.AchievedFlowM3PerS = Report->CoolantFlowM3PerS;
+      Entry.MaxJunctionTempC = Report->MaxJunctionTempC;
+      Entry.PumpElectricalW = Report->PumpPowerW;
+      Entry.Score = Report->MaxJunctionTempC +
+                    PowerWeightCPerW * Report->PumpPowerW;
+      Candidates.push_back(Entry);
+    }
+  }
+  std::stable_sort(Candidates.begin(), Candidates.end(),
+                   [](const PumpCandidate &A, const PumpCandidate &B) {
+                     return A.Score < B.Score;
+                   });
+  return Candidates;
+}
+
+Expected<double> rcs::core::maxWaterSetpointForJunctionLimit(
+    const ModuleConfig &Module, const ExternalConditions &Base,
+    double JunctionLimitC, double MinC, double MaxC) {
+  ComputationalModule Cm(Module);
+  auto maxJunctionAt = [&](double SetpointC) -> Expected<double> {
+    ExternalConditions Conditions = Base;
+    Conditions.WaterInletTempC = SetpointC;
+    Expected<ModuleThermalReport> Report = Cm.solveSteadyState(Conditions);
+    if (!Report)
+      return Expected<double>(Report.status());
+    return Report->MaxJunctionTempC;
+  };
+
+  Expected<double> AtMin = maxJunctionAt(MinC);
+  if (!AtMin)
+    return AtMin;
+  if (*AtMin > JunctionLimitC)
+    return Expected<double>::error(
+        "junction limit unreachable even at the coldest setpoint");
+  Expected<double> AtMax = maxJunctionAt(MaxC);
+  if (AtMax && *AtMax <= JunctionLimitC)
+    return MaxC;
+
+  // Bisect on the (monotone) setpoint -> junction map.
+  double Lo = MinC, Hi = MaxC;
+  while (Hi - Lo > 0.25) {
+    double Mid = 0.5 * (Lo + Hi);
+    Expected<double> AtMid = maxJunctionAt(Mid);
+    if (!AtMid)
+      return AtMid;
+    if (*AtMid <= JunctionLimitC)
+      Lo = Mid;
+    else
+      Hi = Mid;
+  }
+  return Lo;
+}

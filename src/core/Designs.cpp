@@ -1,0 +1,209 @@
+//===- core/Designs.cpp - The paper's named systems -----------------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Calibration: geometric and flow parameters below were tuned (within
+/// physically plausible ranges for the respective hardware generations) so
+/// the solved operating points reproduce the paper's reported numbers; see
+/// EXPERIMENTS.md for paper-vs-measured values.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Designs.h"
+
+using namespace rcs;
+using namespace rcs::core;
+using namespace rcs::rcsystem;
+
+ExternalConditions rcs::core::makeNominalConditions() {
+  ExternalConditions Conditions;
+  Conditions.AmbientAirTempC = 25.0;
+  Conditions.WaterInletTempC = 18.0;
+  Conditions.WaterFlowM3PerS = 3.0e-4; // ~18 l/min per CM heat exchanger.
+  return Conditions;
+}
+
+/// The air-cooling plate-fin sink used by the Virtex-6/-7 generations:
+/// a 45 mm extrusion constrained to ~20 mm height by board pitch.
+static thermal::PlateFinGeometry makeLegacyAirSink() {
+  thermal::PlateFinGeometry G;
+  G.BaseLengthM = 0.045;
+  G.BaseWidthM = 0.045;
+  G.BaseThicknessM = 0.005;
+  G.FinHeightM = 0.020;
+  G.FinThicknessM = 0.0005;
+  G.FinCount = 16;
+  G.Material = thermal::SinkMaterial::Aluminum;
+  return G;
+}
+
+/// The taller copper sink assumed for a hypothetical UltraScale air
+/// build: vendors improved sinks with every generation, which is why the
+/// projected overheat grows only +10..15 C despite doubling chip power.
+static thermal::PlateFinGeometry makeImprovedAirSink() {
+  thermal::PlateFinGeometry G;
+  G.BaseLengthM = 0.050;
+  G.BaseWidthM = 0.050;
+  G.BaseThicknessM = 0.006;
+  G.FinHeightM = 0.028;
+  G.FinThicknessM = 0.0004;
+  G.FinCount = 24;
+  G.Material = thermal::SinkMaterial::Copper;
+  return G;
+}
+
+/// The SKAT low-height solder-pin immersion sink (paper Section 2).
+static thermal::PinFinGeometry makeSkatImmersionSink() {
+  thermal::PinFinGeometry G;
+  G.BaseLengthM = 0.050;
+  G.BaseWidthM = 0.050;
+  G.BaseThicknessM = 0.004;
+  G.PinDiameterM = 0.0015;
+  G.PinHeightM = 0.010;
+  G.PitchM = 0.004;
+  G.Material = thermal::SinkMaterial::Copper;
+  G.TurbulatorFactor = 1.25;
+  return G;
+}
+
+/// SKAT+ sink: Section 4 goal 1, "increase the effective surface of
+/// heat-exchange" - taller pins on a larger 45 mm-package base.
+static thermal::PinFinGeometry makeSkatPlusImmersionSink() {
+  thermal::PinFinGeometry G = makeSkatImmersionSink();
+  G.BaseLengthM = 0.054;
+  G.BaseWidthM = 0.054;
+  G.PinHeightM = 0.016;
+  return G;
+}
+
+ModuleConfig rcs::core::makeRigel2Module() {
+  ModuleConfig M;
+  M.Name = "Rigel-2";
+  M.HeightU = 3;
+  M.NumCcbs = 4;
+  M.Board.Model = fpga::FpgaModel::XC6VLX240T;
+  M.Board.NumComputeFpgas = 8;
+  M.Board.SeparateControllerFpga = true;
+  M.Board.MiscPowerW = 31.0;
+  M.Load = fpga::WorkloadPoint{0.90, 1.0};
+  M.NumPsus = 1;
+  M.PsuRatedPowerW = 2500.0;
+  M.Cooling = CoolingKind::ForcedAir;
+  M.Air.AirflowM3PerS = 0.36;
+  M.Air.FlowAreaM2 = 0.080;
+  M.Air.SinkGeometry = makeLegacyAirSink();
+  return M;
+}
+
+ModuleConfig rcs::core::makeTaygetaModule() {
+  ModuleConfig M = makeRigel2Module();
+  M.Name = "Taygeta";
+  M.Board.Model = fpga::FpgaModel::XC7VX485T;
+  M.Board.MiscPowerW = 30.0;
+  // Same chassis and sink generation, slightly lower airflow per watt as
+  // the denser Virtex-7 boards restrict the duct.
+  M.Air.AirflowM3PerS = 0.32;
+  return M;
+}
+
+ModuleConfig rcs::core::makeUltraScaleAirModule() {
+  ModuleConfig M = makeTaygetaModule();
+  M.Name = "UltraScale-on-air (projection)";
+  M.Board.Model = fpga::FpgaModel::XCKU095;
+  M.Board.MiscPowerW = 40.0;
+  M.Air.AirflowM3PerS = 0.36;
+  M.Air.FlowAreaM2 = 0.085;
+  M.Air.SinkGeometry = makeImprovedAirSink();
+  return M;
+}
+
+ModuleConfig rcs::core::makeSkatModule() {
+  ModuleConfig M;
+  M.Name = "SKAT";
+  M.HeightU = 3;
+  M.NumCcbs = 12;
+  M.Board.Model = fpga::FpgaModel::XCKU095;
+  M.Board.NumComputeFpgas = 8;
+  M.Board.SeparateControllerFpga = true;
+  M.Board.MiscPowerW = 45.0;
+  M.Load = fpga::WorkloadPoint{0.90, 1.0};
+  M.NumPsus = 3;
+  M.PsuRatedPowerW = 4000.0;
+  M.Cooling = CoolingKind::Immersion;
+  M.Immersion.CoolantKind =
+      ImmersionCoolingConfig::Coolant::EngineeredDielectric;
+  M.Immersion.PumpRatedFlowM3PerS = 2.2e-3;
+  M.Immersion.PumpRatedHeadPa = 6.0e4;
+  M.Immersion.NumPumps = 1;
+  M.Immersion.ImmersedPumps = false;
+  M.Immersion.BathFlowAreaM2 = 0.042;
+  M.Immersion.BathLossCoefficient = 12.0;
+  M.Immersion.SinkGeometry = makeSkatImmersionSink();
+  M.Immersion.HxUaWPerK = 1600.0;
+  M.Immersion.HxOilRatedFlowM3PerS = 2.2e-3;
+  M.Immersion.HxOilRatedDropPa = 3.0e4;
+  M.Immersion.Tim = ImmersionCoolingConfig::TimKind::SkatInterface;
+  M.Immersion.Distribution =
+      ImmersionCoolingConfig::OilDistribution::ParallelAcrossBoards;
+  return M;
+}
+
+ModuleConfig rcs::core::makeSkatPlusModule() {
+  ModuleConfig M = makeSkatModule();
+  M.Name = "SKAT+";
+  M.Board.Model = fpga::FpgaModel::XCVU9P;
+  // Section 4: the separate controller FPGA is removed so the 45 mm
+  // packages fit the 19" rack; one compute FPGA hosts its functions.
+  M.Board.SeparateControllerFpga = false;
+  M.Board.MiscPowerW = 50.0;
+  // Section 4 goals: higher-performance immersed pumps, larger sink
+  // surface, bigger heat exchanger.
+  M.Immersion.PumpRatedFlowM3PerS = 3.2e-3;
+  M.Immersion.PumpRatedHeadPa = 7.5e4;
+  M.Immersion.NumPumps = 2;
+  M.Immersion.ImmersedPumps = true;
+  M.Immersion.SinkGeometry = makeSkatPlusImmersionSink();
+  M.Immersion.HxUaWPerK = 3000.0;
+  M.Immersion.HxOilRatedFlowM3PerS = 3.2e-3;
+  return M;
+}
+
+ModuleConfig rcs::core::makeSkatPlusNaiveModule() {
+  ModuleConfig M = makeSkatModule();
+  M.Name = "SKAT+ (naive: unmodified cooling)";
+  M.Board.Model = fpga::FpgaModel::XCVU9P;
+  M.Board.SeparateControllerFpga = false;
+  M.Board.MiscPowerW = 50.0;
+  // Cooling system deliberately left at SKAT sizing.
+  return M;
+}
+
+RackConfig rcs::core::makeSkatRack() {
+  RackConfig R;
+  R.Name = "SKAT 47U rack";
+  R.HeightU = 47;
+  R.NumModules = 12;
+  R.Module = makeSkatModule();
+  R.Hydraulics.Layout = hydraulics::ManifoldLayout::ReverseReturn;
+  R.Hydraulics.NumLoops = R.NumModules;
+  R.Hydraulics.HxRatedFlowM3PerS = 3.0e-4;
+  R.Hydraulics.HxRatedDropPa = 2.2e4;
+  R.Hydraulics.PumpRatedFlowM3PerS = 4.0e-3;
+  R.Hydraulics.PumpRatedHeadPa = 1.4e5;
+  R.ChillerSupplyTempC = 18.0;
+  R.ChillerRatedDutyW = 130e3;
+  return R;
+}
+
+RackConfig rcs::core::makeSkatPlusRack() {
+  RackConfig R = makeSkatRack();
+  R.Name = "SKAT+ 47U rack (projected)";
+  R.Module = makeSkatPlusModule();
+  // UltraScale+ modules reject somewhat more heat per CM.
+  R.Hydraulics.HxRatedFlowM3PerS = 3.5e-4;
+  R.Hydraulics.PumpRatedFlowM3PerS = 5.0e-3;
+  R.ChillerRatedDutyW = 160e3;
+  return R;
+}

@@ -1,0 +1,72 @@
+//===- core/Designs.h - The paper's named systems ---------------*- C++ -*-===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Factory functions for the machines the paper describes, ready to solve:
+///
+///  - Rigel-2: air-cooled Virtex-6 CM (Section 1; 1255 W, +33.1 C
+///    overheat at 25 C ambient).
+///  - Taygeta: air-cooled Virtex-7 CM (Section 1; 1661 W, +47.9 C).
+///  - "UltraScale on air": the projection Section 1 warns about (+10..15 C
+///    over Taygeta, into the 80..85 C band).
+///  - SKAT: the immersion-cooled 3U CM of Section 3 (12 CCBs x 8 XCKU095,
+///    91 W per FPGA, coolant <= 30 C, junctions <= 55 C).
+///  - SKAT+: the Section 4 redesign for 45 mm UltraScale+ parts
+///    (controller-less CCBs, immersed pumps, enlarged heat-exchange
+///    surface).
+///  - The 47U SKAT rack (Section 5; 12 CMs, > 1 PFlops).
+///
+/// These factories are the library's primary entry points; every bench and
+/// example builds on them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_CORE_DESIGNS_H
+#define RCS_CORE_DESIGNS_H
+
+#include "system/Module.h"
+#include "system/Rack.h"
+
+namespace rcs {
+namespace core {
+
+/// Nominal machine-room boundary conditions used across the experiments:
+/// 25 C room, 18 C chilled water.
+rcsystem::ExternalConditions makeNominalConditions();
+
+/// The air-cooled Virtex-6 computational module (CM Rigel-2).
+rcsystem::ModuleConfig makeRigel2Module();
+
+/// The air-cooled Virtex-7 computational module (CM Taygeta).
+rcsystem::ModuleConfig makeTaygetaModule();
+
+/// A hypothetical Kintex UltraScale module on (improved) air cooling -
+/// the Section 1 projection that motivates immersion.
+rcsystem::ModuleConfig makeUltraScaleAirModule();
+
+/// The SKAT immersion CM (Fig. 2): 3U, 12 CCBs x 8 XCKU095, three 4 kW
+/// immersion PSUs, MD-4.5 class engineered dielectric.
+rcsystem::ModuleConfig makeSkatModule();
+
+/// The SKAT+ prototype (Figs. 3-4): UltraScale+ parts, controller-less
+/// CCBs (the 45 mm packages no longer fit otherwise), immersed pumps and
+/// an enlarged heat-exchange surface.
+rcsystem::ModuleConfig makeSkatPlusModule();
+
+/// A naive SKAT+ variant that keeps the SKAT cooling system unchanged -
+/// used to show why the Section 4 modifications are necessary.
+rcsystem::ModuleConfig makeSkatPlusNaiveModule();
+
+/// The 47U rack of 12 SKAT CMs with the Fig. 5 reverse-return manifolds.
+rcsystem::RackConfig makeSkatRack();
+
+/// The projected SKAT+ rack.
+rcsystem::RackConfig makeSkatPlusRack();
+
+} // namespace core
+} // namespace rcs
+
+#endif // RCS_CORE_DESIGNS_H

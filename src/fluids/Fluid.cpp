@@ -1,0 +1,221 @@
+//===- fluids/Fluid.cpp - Heat-transfer agent property models --------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Property tables are standard handbook values (Incropera & DeWitt for air
+/// and water; transformer-oil handbooks for the mineral oils). The MD-4.5
+/// analog follows the paper's description: a low-viscosity dielectric
+/// mineral oil; its name encodes ~4.5 cSt kinematic viscosity at 40 C.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fluids/Fluid.h"
+
+#include <cassert>
+
+using namespace rcs;
+using namespace rcs::fluids;
+
+Fluid::~Fluid() = default;
+
+Fluid::Fluid(std::string NameIn, FluidKind KindIn, LinearTable DensityIn,
+             LinearTable SpecificHeatIn, LinearTable ConductivityIn,
+             LinearTable ViscosityIn, double MinTempCIn, double MaxTempCIn)
+    : Name(std::move(NameIn)), Kind(KindIn), Density(std::move(DensityIn)),
+      SpecificHeat(std::move(SpecificHeatIn)),
+      Conductivity(std::move(ConductivityIn)),
+      Viscosity(std::move(ViscosityIn)), MinTempC(MinTempCIn),
+      MaxTempC(MaxTempCIn) {
+  assert(MinTempC < MaxTempC && "inverted fluid operating range");
+}
+
+namespace {
+
+/// Trivial concrete fluid; all behavior lives in the base class.
+class TableFluid : public Fluid {
+public:
+  TableFluid(std::string Name, FluidKind Kind, LinearTable Density,
+             LinearTable SpecificHeat, LinearTable Conductivity,
+             LinearTable Viscosity, double MinTempC, double MaxTempC)
+      : Fluid(std::move(Name), Kind, std::move(Density),
+              std::move(SpecificHeat), std::move(Conductivity),
+              std::move(Viscosity), MinTempC, MaxTempC) {}
+
+  using Fluid::setCostPerLiter;
+  using Fluid::setDielectricStrength;
+  using Fluid::setFlashPoint;
+};
+
+} // namespace
+
+std::unique_ptr<Fluid> rcs::fluids::makeAir() {
+  auto F = std::make_unique<TableFluid>(
+      "air (1 atm)", FluidKind::Gas,
+      LinearTable{{-25.0, 1.422},
+                  {0.0, 1.293},
+                  {25.0, 1.184},
+                  {50.0, 1.092},
+                  {75.0, 1.015},
+                  {100.0, 0.946}},
+      LinearTable{{-25.0, 1006.0},
+                  {0.0, 1006.0},
+                  {25.0, 1007.0},
+                  {50.0, 1008.0},
+                  {75.0, 1009.0},
+                  {100.0, 1011.0}},
+      LinearTable{{-25.0, 0.0223},
+                  {0.0, 0.0243},
+                  {25.0, 0.0262},
+                  {50.0, 0.0281},
+                  {75.0, 0.0299},
+                  {100.0, 0.0318}},
+      LinearTable{{-25.0, 1.60e-5},
+                  {0.0, 1.72e-5},
+                  {25.0, 1.85e-5},
+                  {50.0, 1.96e-5},
+                  {75.0, 2.08e-5},
+                  {100.0, 2.19e-5}},
+      /*MinTempC=*/-25.0, /*MaxTempC=*/100.0);
+  F->setCostPerLiter(0.0);
+  return F;
+}
+
+std::unique_ptr<Fluid> rcs::fluids::makeWater() {
+  auto F = std::make_unique<TableFluid>(
+      "water", FluidKind::AqueousLiquid,
+      LinearTable{{0.0, 999.8},
+                  {20.0, 998.2},
+                  {40.0, 992.2},
+                  {60.0, 983.2},
+                  {80.0, 971.8},
+                  {100.0, 958.4}},
+      LinearTable{{0.0, 4217.0},
+                  {20.0, 4182.0},
+                  {40.0, 4179.0},
+                  {60.0, 4185.0},
+                  {80.0, 4197.0},
+                  {100.0, 4216.0}},
+      LinearTable{{0.0, 0.561},
+                  {20.0, 0.598},
+                  {40.0, 0.631},
+                  {60.0, 0.654},
+                  {80.0, 0.670},
+                  {100.0, 0.679}},
+      LinearTable{{0.0, 1.792e-3},
+                  {20.0, 1.002e-3},
+                  {40.0, 0.653e-3},
+                  {60.0, 0.467e-3},
+                  {80.0, 0.355e-3},
+                  {100.0, 0.282e-3}},
+      /*MinTempC=*/0.5, /*MaxTempC=*/99.0);
+  F->setCostPerLiter(0.02);
+  return F;
+}
+
+std::unique_ptr<Fluid> rcs::fluids::makeGlycolSolution(double GlycolFraction) {
+  assert(GlycolFraction >= 0.2 && GlycolFraction <= 0.5 &&
+         "glycol fraction outside modeled range");
+  // Tables are for 30% propylene glycol; scale first-order in fraction.
+  double S = (GlycolFraction - 0.3) / 0.3;
+  auto scale = [S](double Base, double Sens) { return Base * (1.0 + Sens * S); };
+  LinearTable Density{{0.0, scale(1033.0, 0.015)},
+                      {20.0, scale(1025.0, 0.015)},
+                      {40.0, scale(1015.0, 0.015)},
+                      {60.0, scale(1003.0, 0.015)},
+                      {80.0, scale(990.0, 0.015)},
+                      {100.0, scale(976.0, 0.015)}};
+  LinearTable SpecificHeat{{0.0, scale(3730.0, -0.08)},
+                           {20.0, scale(3780.0, -0.08)},
+                           {40.0, scale(3830.0, -0.08)},
+                           {60.0, scale(3880.0, -0.08)},
+                           {80.0, scale(3930.0, -0.08)},
+                           {100.0, scale(3980.0, -0.08)}};
+  LinearTable Conductivity{{0.0, scale(0.45, -0.10)},
+                           {20.0, scale(0.47, -0.10)},
+                           {40.0, scale(0.49, -0.10)},
+                           {60.0, scale(0.50, -0.10)},
+                           {80.0, scale(0.51, -0.10)},
+                           {100.0, scale(0.52, -0.10)}};
+  LinearTable Viscosity{{0.0, scale(5.0e-3, 0.8)},
+                        {20.0, scale(2.4e-3, 0.8)},
+                        {40.0, scale(1.3e-3, 0.8)},
+                        {60.0, scale(0.85e-3, 0.8)},
+                        {80.0, scale(0.60e-3, 0.8)},
+                        {100.0, scale(0.46e-3, 0.8)}};
+  double FreezePointC = -3.0 - 40.0 * (GlycolFraction - 0.2) / 0.3;
+  auto F = std::make_unique<TableFluid>(
+      "propylene glycol solution", FluidKind::AqueousLiquid,
+      std::move(Density), std::move(SpecificHeat), std::move(Conductivity),
+      std::move(Viscosity), FreezePointC, 100.0);
+  F->setCostPerLiter(2.5);
+  return F;
+}
+
+std::unique_ptr<Fluid> rcs::fluids::makeMineralOilMd45() {
+  // Kinematic viscosity anchors (cSt): 16 @0C, 8.5 @20C, 4.5 @40C,
+  // 3.0 @60C, 2.2 @80C, 1.7 @100C; dynamic = nu * rho.
+  LinearTable Density{{0.0, 887.0},  {20.0, 874.0}, {40.0, 861.0},
+                      {60.0, 848.0}, {80.0, 835.0}, {100.0, 822.0}};
+  LinearTable SpecificHeat{{0.0, 1800.0},  {20.0, 1880.0}, {40.0, 1960.0},
+                           {60.0, 2040.0}, {80.0, 2120.0}, {100.0, 2200.0}};
+  LinearTable Conductivity{{0.0, 0.134},  {20.0, 0.132}, {40.0, 0.130},
+                           {60.0, 0.128}, {80.0, 0.126}, {100.0, 0.124}};
+  LinearTable Viscosity{{0.0, 16.0e-6 * 887.0},  {20.0, 8.5e-6 * 874.0},
+                        {40.0, 4.5e-6 * 861.0},  {60.0, 3.0e-6 * 848.0},
+                        {80.0, 2.2e-6 * 835.0},  {100.0, 1.7e-6 * 822.0}};
+  auto F = std::make_unique<TableFluid>(
+      "mineral oil MD-4.5", FluidKind::DielectricLiquid, std::move(Density),
+      std::move(SpecificHeat), std::move(Conductivity), std::move(Viscosity),
+      /*MinTempC=*/-30.0, /*MaxTempC=*/110.0);
+  F->setDielectricStrength(13.0);
+  F->setFlashPoint(152.0);
+  F->setCostPerLiter(6.0);
+  return F;
+}
+
+std::unique_ptr<Fluid> rcs::fluids::makeEngineeredDielectric() {
+  // The paper's custom agent: "best possible dielectric strength, high heat
+  // transfer capacity, the maximum possible heat capacity and low
+  // viscosity" relative to stock mineral oil.
+  LinearTable Density{{0.0, 880.0},  {20.0, 868.0}, {40.0, 856.0},
+                      {60.0, 844.0}, {80.0, 832.0}, {100.0, 820.0}};
+  LinearTable SpecificHeat{{0.0, 1980.0},  {20.0, 2070.0}, {40.0, 2160.0},
+                           {60.0, 2250.0}, {80.0, 2340.0}, {100.0, 2420.0}};
+  LinearTable Conductivity{{0.0, 0.142},  {20.0, 0.140}, {40.0, 0.138},
+                           {60.0, 0.136}, {80.0, 0.134}, {100.0, 0.132}};
+  LinearTable Viscosity{{0.0, 11.0e-6 * 880.0},  {20.0, 6.0e-6 * 868.0},
+                        {40.0, 3.2e-6 * 856.0},  {60.0, 2.2e-6 * 844.0},
+                        {80.0, 1.7e-6 * 832.0},  {100.0, 1.35e-6 * 820.0}};
+  auto F = std::make_unique<TableFluid>(
+      "SKAT engineered dielectric", FluidKind::DielectricLiquid,
+      std::move(Density), std::move(SpecificHeat), std::move(Conductivity),
+      std::move(Viscosity), /*MinTempC=*/-35.0, /*MaxTempC=*/120.0);
+  F->setDielectricStrength(18.0);
+  F->setFlashPoint(198.0);
+  F->setCostPerLiter(14.0);
+  return F;
+}
+
+std::unique_ptr<Fluid> rcs::fluids::makeWhiteMineralOil() {
+  // Heavier white oil typical of first-generation immersion tanks; its
+  // higher viscosity is one of the shortcomings Section 2 lists.
+  LinearTable Density{{0.0, 872.0},  {20.0, 860.0}, {40.0, 848.0},
+                      {60.0, 836.0}, {80.0, 824.0}, {100.0, 812.0}};
+  LinearTable SpecificHeat{{0.0, 1750.0},  {20.0, 1830.0}, {40.0, 1910.0},
+                           {60.0, 1990.0}, {80.0, 2070.0}, {100.0, 2150.0}};
+  LinearTable Conductivity{{0.0, 0.133},  {20.0, 0.131}, {40.0, 0.129},
+                           {60.0, 0.127}, {80.0, 0.125}, {100.0, 0.123}};
+  LinearTable Viscosity{{0.0, 120.0e-6 * 872.0}, {20.0, 48.0e-6 * 860.0},
+                        {40.0, 21.0e-6 * 848.0}, {60.0, 11.5e-6 * 836.0},
+                        {80.0, 7.2e-6 * 824.0},  {100.0, 5.0e-6 * 812.0}};
+  auto F = std::make_unique<TableFluid>(
+      "white mineral oil", FluidKind::DielectricLiquid, std::move(Density),
+      std::move(SpecificHeat), std::move(Conductivity), std::move(Viscosity),
+      /*MinTempC=*/-15.0, /*MaxTempC=*/110.0);
+  F->setDielectricStrength(11.0);
+  F->setFlashPoint(185.0);
+  F->setCostPerLiter(4.0);
+  return F;
+}

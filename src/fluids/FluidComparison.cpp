@@ -1,0 +1,57 @@
+//===- fluids/FluidComparison.cpp - Air-vs-liquid metrics ------------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fluids/FluidComparison.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace rcs;
+using namespace rcs::fluids;
+
+double rcs::fluids::volumetricHeatCapacityRatio(const Fluid &Liquid,
+                                                const Fluid &Gas,
+                                                double TempC) {
+  return Liquid.volumetricHeatCapacityJPerM3K(TempC) /
+         Gas.volumetricHeatCapacityJPerM3K(TempC);
+}
+
+double rcs::fluids::requiredVolumeFlowM3PerS(const Fluid &Coolant,
+                                             double PowerW, double InletTempC,
+                                             double DeltaTC) {
+  assert(PowerW >= 0 && DeltaTC > 0 && "invalid flow sizing inputs");
+  double MeanTempC = InletTempC + 0.5 * DeltaTC;
+  double RhoCp = Coolant.volumetricHeatCapacityJPerM3K(MeanTempC);
+  return PowerW / (RhoCp * DeltaTC);
+}
+
+double rcs::fluids::flatPlateHtcWPerM2K(const Fluid &F, double TempC,
+                                        double VelocityMPerS,
+                                        double PlateLengthM) {
+  assert(VelocityMPerS > 0 && PlateLengthM > 0 && "invalid plate inputs");
+  double Nu = F.kinematicViscosityM2PerS(TempC);
+  double Re = VelocityMPerS * PlateLengthM / Nu;
+  double Pr = F.prandtl(TempC);
+  const double ReTransition = 5e5;
+  double Nusselt = 0.0;
+  if (Re < ReTransition) {
+    Nusselt = 0.664 * std::sqrt(Re) * std::cbrt(Pr);
+  } else {
+    // Mixed boundary layer (Incropera eq. 7.38).
+    Nusselt = (0.037 * std::pow(Re, 0.8) - 871.0) * std::cbrt(Pr);
+  }
+  return Nusselt * F.thermalConductivityWPerMK(TempC) / PlateLengthM;
+}
+
+double rcs::fluids::heatFlowIntensityRatio(const Fluid &Liquid,
+                                           const Fluid &Gas, double TempC,
+                                           double VelocityMPerS,
+                                           double PlateLengthM) {
+  double HLiquid =
+      flatPlateHtcWPerM2K(Liquid, TempC, VelocityMPerS, PlateLengthM);
+  double HGas = flatPlateHtcWPerM2K(Gas, TempC, VelocityMPerS, PlateLengthM);
+  return HLiquid / HGas;
+}

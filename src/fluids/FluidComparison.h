@@ -1,0 +1,51 @@
+//===- fluids/FluidComparison.h - Air-vs-liquid metrics ---------*- C++ -*-===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Derived comparison metrics behind the paper's Section 2 claims: liquid
+/// heat capacity is 1500..4000x that of air, heat-transfer coefficients up
+/// to 100x higher, heat flow ~70x more intensive at conventional velocity,
+/// and one FPGA needs ~1 m^3 of air or ~250 ml of water per minute.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_FLUIDS_FLUIDCOMPARISON_H
+#define RCS_FLUIDS_FLUIDCOMPARISON_H
+
+#include "fluids/Fluid.h"
+
+namespace rcs {
+namespace fluids {
+
+/// Ratio of volumetric heat capacities (rho*cp) of \p Liquid to \p Gas at
+/// \p TempC. The paper quotes 1500..4000 for common liquids vs air.
+double volumetricHeatCapacityRatio(const Fluid &Liquid, const Fluid &Gas,
+                                   double TempC);
+
+/// Volume flow in m^3/s needed to absorb \p PowerW with a bulk temperature
+/// rise of \p DeltaTC in \p Coolant entering at \p InletTempC.
+double requiredVolumeFlowM3PerS(const Fluid &Coolant, double PowerW,
+                                double InletTempC, double DeltaTC);
+
+/// Forced-convection heat-transfer coefficient over a flat plate of length
+/// \p PlateLengthM at free-stream velocity \p VelocityMPerS, W/(m^2*K).
+///
+/// Uses the laminar/turbulent flat-plate Nusselt correlations with a
+/// transition Reynolds number of 5e5; this is the "similar surfaces at the
+/// conventional velocity" comparison in Section 2.
+double flatPlateHtcWPerM2K(const Fluid &F, double TempC,
+                           double VelocityMPerS, double PlateLengthM);
+
+/// Ratio of flat-plate heat flux of \p Liquid to \p Gas under identical
+/// geometry, velocity and surface-to-bulk temperature difference.
+double heatFlowIntensityRatio(const Fluid &Liquid, const Fluid &Gas,
+                              double TempC, double VelocityMPerS,
+                              double PlateLengthM);
+
+} // namespace fluids
+} // namespace rcs
+
+#endif // RCS_FLUIDS_FLUIDCOMPARISON_H

@@ -1,0 +1,86 @@
+//===- fluids/SelectionCriteria.cpp - Coolant selection scoring ------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fluids/SelectionCriteria.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace rcs;
+using namespace rcs::fluids;
+
+/// Maps \p Value onto [0,1] with 0 at \p Worst and 1 at \p Best (either
+/// direction), clamping outside.
+static double normalizeLinear(double Value, double Worst, double Best) {
+  double T = (Value - Worst) / (Best - Worst);
+  return std::clamp(T, 0.0, 1.0);
+}
+
+SelectionScore rcs::fluids::scoreCoolant(const Fluid &Candidate, double TempC,
+                                         const SelectionWeights &Weights) {
+  SelectionScore Score;
+  Score.FluidName = Candidate.name();
+
+  // Hard gate: an open-loop agent must be dielectric. Conducting liquids
+  // (water, glycol) are usable only in closed loops.
+  if (!Candidate.isDielectric()) {
+    Score.PassesHardGates = false;
+    return Score;
+  }
+
+  // Heat transfer: volumetric heat capacity (1.2e6 poor .. 2.2e6 excellent
+  // for oils) blended with conductivity (0.10 .. 0.16 W/mK).
+  double RhoCp = Candidate.volumetricHeatCapacityJPerM3K(TempC);
+  double K = Candidate.thermalConductivityWPerMK(TempC);
+  Score.HeatTransferScore = 0.6 * normalizeLinear(RhoCp, 1.2e6, 2.2e6) +
+                            0.4 * normalizeLinear(K, 0.10, 0.16);
+
+  // Viscosity: log-scale, 100 cSt poor .. 1 cSt excellent.
+  double NuCst = Candidate.kinematicViscosityM2PerS(TempC) * 1e6;
+  Score.ViscosityScore =
+      normalizeLinear(std::log10(std::max(NuCst, 1e-3)), std::log10(100.0),
+                      std::log10(1.0));
+
+  // Dielectric strength: 8 kV/mm marginal .. 20 kV/mm excellent.
+  double Breakdown = Candidate.dielectricStrengthKvPerMm().value_or(0.0);
+  Score.DielectricScore = normalizeLinear(Breakdown, 8.0, 20.0);
+
+  // Fire safety: flash-point margin above the maximum operating
+  // temperature; 40 C margin marginal .. 120 C comfortable.
+  double FlashMargin =
+      Candidate.flashPointC().value_or(1e3) - Candidate.maxOperatingTempC();
+  Score.FireSafetyScore = normalizeLinear(FlashMargin, 40.0, 120.0);
+
+  // Stability proxy: width of the usable temperature window, 80..150 C.
+  double Window =
+      Candidate.maxOperatingTempC() - Candidate.minOperatingTempC();
+  Score.StabilityScore = normalizeLinear(Window, 80.0, 150.0);
+
+  // Cost: $20/l poor .. $2/l good.
+  Score.CostScore = normalizeLinear(Candidate.costPerLiterUsd(), 20.0, 2.0);
+
+  Score.Total = Weights.HeatTransfer * Score.HeatTransferScore +
+                Weights.Viscosity * Score.ViscosityScore +
+                Weights.Dielectric * Score.DielectricScore +
+                Weights.FireSafety * Score.FireSafetyScore +
+                Weights.Stability * Score.StabilityScore +
+                Weights.Cost * Score.CostScore;
+  return Score;
+}
+
+std::vector<SelectionScore>
+rcs::fluids::rankCoolants(const std::vector<const Fluid *> &Candidates,
+                          double TempC, const SelectionWeights &Weights) {
+  std::vector<SelectionScore> Scores;
+  Scores.reserve(Candidates.size());
+  for (const Fluid *Candidate : Candidates)
+    Scores.push_back(scoreCoolant(*Candidate, TempC, Weights));
+  std::stable_sort(Scores.begin(), Scores.end(),
+                   [](const SelectionScore &A, const SelectionScore &B) {
+                     return A.Total > B.Total;
+                   });
+  return Scores;
+}

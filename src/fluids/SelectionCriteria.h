@@ -1,0 +1,69 @@
+//===- fluids/SelectionCriteria.h - Coolant selection scoring --*- C++ -*-===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper (Section 2) lists the strict requirements an immersion
+/// heat-transfer agent must satisfy: heat-transfer capacity, electrical
+/// conduction (must be dielectric), viscosity, toxicity, fire safety,
+/// parameter stability and reasonable cost. This module turns those
+/// requirements into a quantitative score so the coolant choice the authors
+/// made (a low-viscosity dielectric mineral oil) can be reproduced as an
+/// optimization over candidate fluids.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_FLUIDS_SELECTIONCRITERIA_H
+#define RCS_FLUIDS_SELECTIONCRITERIA_H
+
+#include "fluids/Fluid.h"
+
+#include <string>
+#include <vector>
+
+namespace rcs {
+namespace fluids {
+
+/// Weights for each of the paper's selection requirements. Defaults follow
+/// the emphasis of Section 2 (dielectric behaviour and heat transfer are
+/// hard requirements, cost matters but less).
+struct SelectionWeights {
+  double HeatTransfer = 0.30; ///< rho*cp and conductivity.
+  double Viscosity = 0.20;    ///< Pumping cost and convection quality.
+  double Dielectric = 0.25;   ///< Breakdown strength (hard gate for
+                              ///< immersion).
+  double FireSafety = 0.10;   ///< Flash-point margin over max operating T.
+  double Stability = 0.05;    ///< Operating-range width as a proxy.
+  double Cost = 0.10;         ///< Price per liter.
+};
+
+/// Per-criterion normalized scores in [0, 1] plus the weighted total.
+struct SelectionScore {
+  std::string FluidName;
+  double HeatTransferScore = 0.0;
+  double ViscosityScore = 0.0;
+  double DielectricScore = 0.0;
+  double FireSafetyScore = 0.0;
+  double StabilityScore = 0.0;
+  double CostScore = 0.0;
+  double Total = 0.0;
+  /// False when the fluid fails a hard gate (conducting liquid in an
+  /// open-loop system); such fluids get Total = 0.
+  bool PassesHardGates = true;
+};
+
+/// Scores one candidate at the expected operating temperature \p TempC.
+SelectionScore scoreCoolant(const Fluid &Candidate, double TempC,
+                            const SelectionWeights &Weights = {});
+
+/// Scores all candidates and sorts by total, best first.
+std::vector<SelectionScore>
+rankCoolants(const std::vector<const Fluid *> &Candidates, double TempC,
+             const SelectionWeights &Weights = {});
+
+} // namespace fluids
+} // namespace rcs
+
+#endif // RCS_FLUIDS_SELECTIONCRITERIA_H

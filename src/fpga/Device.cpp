@@ -1,0 +1,171 @@
+//===- fpga/Device.cpp - FPGA device database --------------------------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Calibration notes. Per-device electrical parameters are chosen so the
+/// simulated operating-mode powers match the paper:
+///  - Rigel-2: 1255 W per CM with 32 XC6VLX240T => ~33 W per FPGA plus
+///    module infrastructure;
+///  - Taygeta: 1661 W per CM with 32 XC7VX485T => ~45 W per FPGA;
+///  - SKAT: 91 W measured per XCKU095 (8736 W per CM of 96 FPGAs);
+///  - Virtex UltraScale class: "power consumption of up to 100 W";
+///  - UltraScale+: "three time increase in computational performance" at
+///    similar power (16FinFET process).
+/// Peak throughput values reproduce the paper's ratios: SKAT CM is 8.7x a
+/// Taygeta CM, and 12 SKAT CMs exceed 1 PFlops per rack.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fpga/Device.h"
+
+#include <cassert>
+
+using namespace rcs;
+using namespace rcs::fpga;
+
+static FpgaSpec makeXc6vlx240t() {
+  FpgaSpec S;
+  S.Name = "XC6VLX240T-1FFG1759C";
+  S.Family = FpgaFamily::Virtex6;
+  S.ProcessNm = 40;
+  S.LogicKCells = 241;
+  S.DspSlices = 768;
+  S.PackageSizeM = 0.0425;
+  S.ThetaJcKPerW = 0.11;
+  S.StaticPower25W = 3.5;
+  S.DynamicPowerMaxW = 26.3;
+  S.MaxJunctionTempC = 85.0;
+  S.ReliableJunctionTempC = 70.0;
+  S.PeakGflops = 150.0;
+  S.NominalClockMHz = 200.0;
+  return S;
+}
+
+static FpgaSpec makeXc7vx485t() {
+  FpgaSpec S;
+  S.Name = "XC7VX485T-1FFG1761C";
+  S.Family = FpgaFamily::Virtex7;
+  S.ProcessNm = 28;
+  S.LogicKCells = 485;
+  S.DspSlices = 2800;
+  S.PackageSizeM = 0.0425;
+  S.ThetaJcKPerW = 0.10;
+  S.StaticPower25W = 5.0;
+  S.DynamicPowerMaxW = 29.5;
+  S.MaxJunctionTempC = 85.0;
+  S.ReliableJunctionTempC = 70.0;
+  S.PeakGflops = 300.0;
+  S.NominalClockMHz = 250.0;
+  return S;
+}
+
+static FpgaSpec makeXcku095() {
+  FpgaSpec S;
+  S.Name = "XCKU095";
+  S.Family = FpgaFamily::KintexUltraScale;
+  S.ProcessNm = 20;
+  S.LogicKCells = 940;
+  S.DspSlices = 768;
+  S.PackageSizeM = 0.0425;
+  S.ThetaJcKPerW = 0.09;
+  S.StaticPower25W = 6.0;
+  S.DynamicPowerMaxW = 90.0;
+  S.MaxJunctionTempC = 85.0;
+  S.ReliableJunctionTempC = 70.0;
+  S.PeakGflops = 870.0;
+  S.NominalClockMHz = 350.0;
+  return S;
+}
+
+static FpgaSpec makeXcvu9p() {
+  FpgaSpec S;
+  S.Name = "XCVU9P-class UltraScale+";
+  S.Family = FpgaFamily::UltraScalePlus;
+  S.ProcessNm = 16;
+  S.LogicKCells = 2586;
+  S.DspSlices = 6840;
+  S.PackageSizeM = 0.045; // The 45 mm body that forces the CCB redesign.
+  S.ThetaJcKPerW = 0.08;
+  S.StaticPower25W = 9.0;
+  S.DynamicPowerMaxW = 118.0;
+  S.MaxJunctionTempC = 90.0;
+  S.ReliableJunctionTempC = 72.0;
+  S.PeakGflops = 2610.0; // 3x the XCKU095 per the paper.
+  S.NominalClockMHz = 450.0;
+  return S;
+}
+
+static FpgaSpec makeUltraScale2() {
+  FpgaSpec S;
+  S.Name = "UltraScale2 (projected)";
+  S.Family = FpgaFamily::UltraScale2;
+  S.ProcessNm = 7;
+  S.LogicKCells = 5200;
+  S.DspSlices = 12000;
+  S.PackageSizeM = 0.045;
+  S.ThetaJcKPerW = 0.07;
+  S.StaticPower25W = 10.0;
+  S.DynamicPowerMaxW = 110.0;
+  S.MaxJunctionTempC = 95.0;
+  S.ReliableJunctionTempC = 75.0;
+  S.PeakGflops = 5200.0;
+  S.NominalClockMHz = 550.0;
+  return S;
+}
+
+const FpgaSpec &rcs::fpga::getFpgaSpec(FpgaModel Model) {
+  static const FpgaSpec V6 = makeXc6vlx240t();
+  static const FpgaSpec V7 = makeXc7vx485t();
+  static const FpgaSpec Ku = makeXcku095();
+  static const FpgaSpec Vu = makeXcvu9p();
+  static const FpgaSpec U2 = makeUltraScale2();
+  switch (Model) {
+  case FpgaModel::XC6VLX240T:
+    return V6;
+  case FpgaModel::XC7VX485T:
+    return V7;
+  case FpgaModel::XCKU095:
+    return Ku;
+  case FpgaModel::XCVU9P:
+    return Vu;
+  case FpgaModel::UltraScale2:
+    return U2;
+  }
+  assert(false && "unknown FPGA model");
+  return V6;
+}
+
+const char *rcs::fpga::familyName(FpgaFamily Family) {
+  switch (Family) {
+  case FpgaFamily::Virtex6:
+    return "Virtex-6";
+  case FpgaFamily::Virtex7:
+    return "Virtex-7";
+  case FpgaFamily::KintexUltraScale:
+    return "Kintex UltraScale";
+  case FpgaFamily::UltraScalePlus:
+    return "UltraScale+";
+  case FpgaFamily::UltraScale2:
+    return "UltraScale 2";
+  }
+  assert(false && "unknown FPGA family");
+  return "?";
+}
+
+FpgaModel rcs::fpga::nextGeneration(FpgaModel Model) {
+  switch (Model) {
+  case FpgaModel::XC6VLX240T:
+    return FpgaModel::XC7VX485T;
+  case FpgaModel::XC7VX485T:
+    return FpgaModel::XCKU095;
+  case FpgaModel::XCKU095:
+    return FpgaModel::XCVU9P;
+  case FpgaModel::XCVU9P:
+  case FpgaModel::UltraScale2:
+    return FpgaModel::UltraScale2;
+  }
+  assert(false && "unknown FPGA model");
+  return Model;
+}

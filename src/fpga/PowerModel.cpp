@@ -1,0 +1,59 @@
+//===- fpga/PowerModel.cpp - FPGA power model --------------------------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fpga/PowerModel.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace rcs;
+using namespace rcs::fpga;
+
+double FpgaPowerModel::staticPowerW(double JunctionTempC) const {
+  // Leakage doubles every 25 C (a standard CMOS rule of thumb).
+  return Spec->StaticPower25W * std::exp2((JunctionTempC - 25.0) / 25.0);
+}
+
+double FpgaPowerModel::dynamicPowerW(const WorkloadPoint &Load) const {
+  assert(Load.Utilization >= 0.0 && Load.Utilization <= 1.0 &&
+         "utilization out of range");
+  assert(Load.ClockFraction >= 0.0 && Load.ClockFraction <= 1.3 &&
+         "clock fraction out of range");
+  return Spec->DynamicPowerMaxW * Load.Utilization * Load.ClockFraction;
+}
+
+double FpgaPowerModel::totalPowerW(const WorkloadPoint &Load,
+                                   double JunctionTempC) const {
+  return staticPowerW(JunctionTempC) + dynamicPowerW(Load);
+}
+
+double FpgaPowerModel::solveJunctionTempC(const WorkloadPoint &Load,
+                                          double ThermalResistanceKPerW,
+                                          double ReferenceTempC) const {
+  assert(ThermalResistanceKPerW > 0 && "resistance must be positive");
+  // Fixed-point iteration with relaxation; the leakage exponential is
+  // gentle below runaway so this converges in a handful of steps.
+  double Tj = ReferenceTempC + 10.0;
+  const double Ceiling = 250.0; // Far beyond silicon limits: runaway flag.
+  for (int Iter = 0; Iter != 200; ++Iter) {
+    double Power = totalPowerW(Load, Tj);
+    double Next = ReferenceTempC + Power * ThermalResistanceKPerW;
+    Next = std::min(Next, Ceiling);
+    if (std::fabs(Next - Tj) < 1e-9)
+      return Next;
+    Tj = 0.5 * Tj + 0.5 * Next;
+  }
+  return Tj;
+}
+
+double FpgaPowerModel::solvePowerW(const WorkloadPoint &Load,
+                                   double ThermalResistanceKPerW,
+                                   double ReferenceTempC) const {
+  double Tj =
+      solveJunctionTempC(Load, ThermalResistanceKPerW, ReferenceTempC);
+  return totalPowerW(Load, Tj);
+}

@@ -1,0 +1,44 @@
+//===- fpga/Reliability.cpp - Temperature-driven reliability -----------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fpga/Reliability.h"
+
+#include "support/Units.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace rcs;
+using namespace rcs::fpga;
+
+double rcs::fpga::arrheniusAcceleration(double HotTempC, double RefTempC,
+                                        double ActivationEnergyEv) {
+  assert(ActivationEnergyEv > 0 && "activation energy must be positive");
+  double HotK = units::celsiusToKelvin(HotTempC);
+  double RefK = units::celsiusToKelvin(RefTempC);
+  return std::exp(ActivationEnergyEv / units::BoltzmannEvPerK *
+                  (1.0 / RefK - 1.0 / HotK));
+}
+
+double rcs::fpga::mttfHours(double JunctionTempC,
+                            const ReliabilityModel &Model) {
+  double Acceleration = arrheniusAcceleration(
+      JunctionTempC, Model.ReferenceJunctionTempC, Model.ActivationEnergyEv);
+  return Model.ReferenceMttfHours / Acceleration;
+}
+
+double rcs::fpga::failureRateFit(double JunctionTempC,
+                                 const ReliabilityModel &Model) {
+  return 1e9 / mttfHours(JunctionTempC, Model);
+}
+
+double rcs::fpga::expectedFailuresPerYear(int DeviceCount,
+                                          double JunctionTempC,
+                                          const ReliabilityModel &Model) {
+  assert(DeviceCount >= 0 && "negative device count");
+  const double HoursPerYear = 8766.0;
+  return DeviceCount * HoursPerYear / mttfHours(JunctionTempC, Model);
+}

@@ -1,0 +1,53 @@
+//===- fpga/Reliability.h - Temperature-driven reliability ------*- C++ -*-===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Arrhenius reliability model quantifying the paper's argument that
+/// junction temperatures above ~70 C "have a negative influence on
+/// reliability": wear-out mean-time-to-failure accelerates exponentially
+/// with junction temperature.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_FPGA_RELIABILITY_H
+#define RCS_FPGA_RELIABILITY_H
+
+namespace rcs {
+namespace fpga {
+
+/// Parameters of the Arrhenius wear-out model.
+struct ReliabilityModel {
+  /// Activation energy of the dominant wear-out mechanism, eV
+  /// (electromigration / BTI class, 0.7 eV is the common JEDEC choice).
+  double ActivationEnergyEv = 0.7;
+  /// Reference MTTF at the reference junction temperature, hours.
+  double ReferenceMttfHours = 2.0e6;
+  double ReferenceJunctionTempC = 55.0;
+};
+
+/// Arrhenius acceleration factor of \p HotTempC relative to \p RefTempC
+/// (> 1 means failures come sooner at the hot temperature).
+double arrheniusAcceleration(double HotTempC, double RefTempC,
+                             double ActivationEnergyEv = 0.7);
+
+/// Mean time to failure at \p JunctionTempC under \p Model, hours.
+double mttfHours(double JunctionTempC,
+                 const ReliabilityModel &Model = ReliabilityModel());
+
+/// Steady failure rate in FIT (failures per 1e9 device-hours).
+double failureRateFit(double JunctionTempC,
+                      const ReliabilityModel &Model = ReliabilityModel());
+
+/// Expected failures per year for \p DeviceCount devices all running at
+/// \p JunctionTempC.
+double expectedFailuresPerYear(int DeviceCount, double JunctionTempC,
+                               const ReliabilityModel &Model =
+                                   ReliabilityModel());
+
+} // namespace fpga
+} // namespace rcs
+
+#endif // RCS_FPGA_RELIABILITY_H

@@ -1,0 +1,75 @@
+//===- hydraulics/Balancing.cpp - Valve trim balancing ------------------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hydraulics/Balancing.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace rcs;
+using namespace rcs::hydraulics;
+
+Expected<TrimResult>
+rcs::hydraulics::trimBalancingValves(RackHydraulics &Rack,
+                                     const fluids::Fluid &F, double TempC,
+                                     TrimOptions Options) {
+  assert(!Rack.LoopEdges.empty() && "rack has no loops to balance");
+  TrimResult Result;
+  const size_t NumLoops = Rack.LoopEdges.size();
+  Result.ValveOpenings.assign(NumLoops, 1.0);
+
+  auto solveLoops = [&]() -> Expected<std::vector<double>> {
+    Expected<FlowSolution> Solution = Rack.Network.solve(F, TempC, 1e-3);
+    if (!Solution)
+      return Expected<std::vector<double>>(Solution.status());
+    std::vector<double> Flows;
+    Flows.reserve(NumLoops);
+    for (EdgeId E : Rack.LoopEdges)
+      Flows.push_back(Solution->EdgeFlowsM3PerS[E]);
+    return Flows;
+  };
+
+  Expected<std::vector<double>> Flows = solveLoops();
+  if (!Flows)
+    return Expected<TrimResult>(Flows.status());
+  Result.MeanFlowBeforeM3PerS = computeFlowBalance(*Flows).MeanFlowM3PerS;
+
+  for (int Iter = 0; Iter != Options.MaxIterations; ++Iter) {
+    FlowBalanceStats Stats = computeFlowBalance(*Flows);
+    Result.FinalImbalance = Stats.ImbalanceFraction;
+    Result.Iterations = Iter;
+    if (Stats.ImbalanceFraction <= Options.TargetImbalance) {
+      Result.Converged = true;
+      break;
+    }
+
+    // Proportional trim: throttle every loop toward the minimum flow.
+    double MinFlow = Stats.MinFlowM3PerS;
+    for (size_t I = 0; I != NumLoops; ++I) {
+      double Q = (*Flows)[I];
+      if (Q <= 0.0)
+        continue;
+      double Scale = std::pow(MinFlow / Q, Options.Relaxation);
+      Result.ValveOpenings[I] = std::clamp(
+          Result.ValveOpenings[I] * Scale, Options.MinOpening, 1.0);
+      auto *Valve = static_cast<BalancingValve *>(Rack.Network.elementAt(
+          Rack.LoopEdges[I], Rack.LoopValveElementIndex));
+      Valve->setOpening(Result.ValveOpenings[I]);
+    }
+
+    Flows = solveLoops();
+    if (!Flows)
+      return Expected<TrimResult>(Flows.status());
+  }
+
+  FlowBalanceStats Final = computeFlowBalance(*Flows);
+  Result.FinalImbalance = Final.ImbalanceFraction;
+  Result.MeanFlowAfterM3PerS = Final.MeanFlowM3PerS;
+  Result.Converged =
+      Result.Converged || Final.ImbalanceFraction <= Options.TargetImbalance;
+  return Result;
+}

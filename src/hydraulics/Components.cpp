@@ -1,0 +1,234 @@
+//===- hydraulics/Components.cpp - Flow elements ----------------------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hydraulics/Components.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace rcs;
+using namespace rcs::hydraulics;
+
+FlowElement::~FlowElement() = default;
+
+/// Churchill's friction-factor correlation: a single expression covering
+/// laminar, transitional and turbulent flow.
+static double churchillFrictionFactor(double Re, double RelativeRoughness) {
+  Re = std::max(Re, 1e-6);
+  double A = std::pow(
+      2.457 * std::log(1.0 / (std::pow(7.0 / Re, 0.9) +
+                              0.27 * RelativeRoughness)),
+      16.0);
+  double B = std::pow(37530.0 / Re, 16.0);
+  return 8.0 * std::pow(std::pow(8.0 / Re, 12.0) +
+                            1.0 / std::pow(A + B, 1.5),
+                        1.0 / 12.0);
+}
+
+//===----------------------------------------------------------------------===//
+// PipeSegment
+//===----------------------------------------------------------------------===//
+
+PipeSegment::PipeSegment(double LengthMIn, double DiameterMIn,
+                         double RoughnessMIn)
+    : LengthM(LengthMIn), DiameterM(DiameterMIn), RoughnessM(RoughnessMIn),
+      AreaM2(M_PI * DiameterMIn * DiameterMIn / 4.0) {
+  assert(LengthM > 0 && DiameterM > 0 && RoughnessM >= 0 &&
+         "invalid pipe geometry");
+}
+
+double PipeSegment::velocityMPerS(double FlowM3PerS) const {
+  return FlowM3PerS / AreaM2;
+}
+
+double PipeSegment::pressureDropPa(double FlowM3PerS, const fluids::Fluid &F,
+                                   double TempC) const {
+  double V = std::fabs(velocityMPerS(FlowM3PerS));
+  if (V < 1e-12)
+    return 0.0;
+  double Rho = F.densityKgPerM3(TempC);
+  double Re = V * DiameterM / F.kinematicViscosityM2PerS(TempC);
+  double Friction = churchillFrictionFactor(Re, RoughnessM / DiameterM);
+  double Drop = Friction * (LengthM / DiameterM) * 0.5 * Rho * V * V;
+  return FlowM3PerS >= 0 ? Drop : -Drop;
+}
+
+std::string PipeSegment::describe() const {
+  return formatString("pipe L=%.2fm D=%.0fmm", LengthM, DiameterM * 1e3);
+}
+
+//===----------------------------------------------------------------------===//
+// Fitting
+//===----------------------------------------------------------------------===//
+
+Fitting::Fitting(double LossCoefficientIn, double DiameterMIn)
+    : LossCoefficient(LossCoefficientIn), DiameterM(DiameterMIn),
+      AreaM2(M_PI * DiameterMIn * DiameterMIn / 4.0) {
+  assert(LossCoefficient >= 0 && DiameterM > 0 && "invalid fitting");
+}
+
+double Fitting::pressureDropPa(double FlowM3PerS, const fluids::Fluid &F,
+                               double TempC) const {
+  double V = FlowM3PerS / AreaM2;
+  double Rho = F.densityKgPerM3(TempC);
+  return LossCoefficient * 0.5 * Rho * V * std::fabs(V);
+}
+
+std::string Fitting::describe() const {
+  return formatString("fitting K=%.2f D=%.0fmm", LossCoefficient,
+                      DiameterM * 1e3);
+}
+
+//===----------------------------------------------------------------------===//
+// BalancingValve
+//===----------------------------------------------------------------------===//
+
+BalancingValve::BalancingValve(double OpenLossCoefficientIn,
+                               double DiameterMIn)
+    : OpenLossCoefficient(OpenLossCoefficientIn), DiameterM(DiameterMIn),
+      AreaM2(M_PI * DiameterMIn * DiameterMIn / 4.0) {
+  assert(OpenLossCoefficient > 0 && DiameterM > 0 && "invalid valve");
+}
+
+void BalancingValve::setOpening(double Fraction) {
+  assert(Fraction >= 0.0 && Fraction <= 1.0 && "opening out of range");
+  OpeningFraction = Fraction;
+}
+
+double BalancingValve::pressureDropPa(double FlowM3PerS,
+                                      const fluids::Fluid &F,
+                                      double TempC) const {
+  // Quadratic loss scaled by 1/opening^2; a shut valve keeps a finite but
+  // enormous resistance so the network matrix stays regular.
+  const double MinOpening = 1e-3;
+  double Effective = std::max(OpeningFraction, MinOpening);
+  double K = OpenLossCoefficient / (Effective * Effective);
+  double V = FlowM3PerS / AreaM2;
+  double Rho = F.densityKgPerM3(TempC);
+  return K * 0.5 * Rho * V * std::fabs(V);
+}
+
+std::string BalancingValve::describe() const {
+  return formatString("valve K=%.2f open=%.0f%%", OpenLossCoefficient,
+                      OpeningFraction * 100.0);
+}
+
+//===----------------------------------------------------------------------===//
+// HeatExchangerPressureSide
+//===----------------------------------------------------------------------===//
+
+HeatExchangerPressureSide::HeatExchangerPressureSide(double RatedFlowM3PerS,
+                                                     double RatedDropPa) {
+  assert(RatedFlowM3PerS > 0 && RatedDropPa > 0 && "invalid HX rating");
+  // Split the rated drop 90% quadratic / 10% linear so dP stays strictly
+  // monotone through zero flow.
+  QuadraticCoefficient =
+      0.9 * RatedDropPa / (RatedFlowM3PerS * RatedFlowM3PerS);
+  LinearCoefficient = 0.1 * RatedDropPa / RatedFlowM3PerS;
+}
+
+double HeatExchangerPressureSide::pressureDropPa(double FlowM3PerS,
+                                                 const fluids::Fluid &F,
+                                                 double TempC) const {
+  // Viscosity correction on the linear part (channels are narrow); the
+  // rating is taken at 40 C oil.
+  double ViscosityRatio =
+      F.dynamicViscosityPaS(TempC) / F.dynamicViscosityPaS(40.0);
+  return QuadraticCoefficient * FlowM3PerS * std::fabs(FlowM3PerS) +
+         LinearCoefficient * ViscosityRatio * FlowM3PerS;
+}
+
+std::string HeatExchangerPressureSide::describe() const {
+  return "plate heat exchanger (pressure side)";
+}
+
+//===----------------------------------------------------------------------===//
+// Pump
+//===----------------------------------------------------------------------===//
+
+Pump::Pump(std::string NameIn, LinearTable HeadCurveIn, double EfficiencyIn)
+    : Name(std::move(NameIn)), HeadCurve(std::move(HeadCurveIn)),
+      Efficiency(EfficiencyIn) {
+  assert(Efficiency > 0.05 && Efficiency <= 0.95 &&
+         "implausible pump efficiency");
+  assert(HeadCurve.size() >= 2 && "pump needs a head curve");
+#ifndef NDEBUG
+  // The network solver requires head strictly decreasing in flow. Sample
+  // cell midpoints so accumulated rounding can never step outside the
+  // table, where derivative() clamps to zero.
+  for (int I = 0; I != 16; ++I) {
+    double Q = HeadCurve.minX() + (I + 0.5) / 16.0 *
+                                      (HeadCurve.maxX() - HeadCurve.minX());
+    assert(HeadCurve.derivative(Q) < 0 &&
+           "pump head curve must strictly decrease");
+  }
+#endif
+}
+
+void Pump::setSpeedFraction(double Fraction) {
+  assert(Fraction >= 0.0 && Fraction <= 1.2 && "speed fraction out of range");
+  SpeedFraction = Fraction;
+}
+
+double Pump::headPa(double FlowM3PerS) const {
+  if (isStopped())
+    return 0.0;
+  // Affinity laws: Q ~ N, H ~ N^2.
+  double ScaledFlow = FlowM3PerS / SpeedFraction;
+  double Head = HeadCurve.evaluate(std::max(ScaledFlow, HeadCurve.minX()));
+  // Beyond runout, extrapolate the last slope so head keeps falling.
+  if (ScaledFlow > HeadCurve.maxX()) {
+    double Slope = HeadCurve.derivative(HeadCurve.maxX() - 1e-12);
+    Head = HeadCurve.evaluate(HeadCurve.maxX()) +
+           Slope * (ScaledFlow - HeadCurve.maxX());
+  }
+  return Head * SpeedFraction * SpeedFraction;
+}
+
+double Pump::electricalPowerW(double FlowM3PerS) const {
+  if (isStopped())
+    return 0.0;
+  double Hydraulic = std::max(FlowM3PerS, 0.0) * std::max(headPa(FlowM3PerS),
+                                                          0.0);
+  return Hydraulic / Efficiency;
+}
+
+double Pump::pressureDropPa(double FlowM3PerS, const fluids::Fluid &F,
+                            double TempC) const {
+  (void)F;
+  (void)TempC;
+  if (isStopped()) {
+    // A stopped pump resists flow like a tight orifice.
+    const double StoppedResistance = 5e10; // Pa/(m^3/s)^2
+    return StoppedResistance * FlowM3PerS * std::fabs(FlowM3PerS) +
+           1e6 * FlowM3PerS;
+  }
+  if (FlowM3PerS < 0) {
+    // Reverse flow through a running pump: steep resistive penalty around
+    // the shutoff head, kept strictly increasing in flow.
+    return -headPa(0.0) + 1e9 * FlowM3PerS * std::fabs(FlowM3PerS) +
+           1e6 * FlowM3PerS;
+  }
+  return -headPa(FlowM3PerS);
+}
+
+std::string Pump::describe() const { return "pump " + Name; }
+
+Pump Pump::makeOilCirculationPump(std::string Name, double RatedFlowM3PerS,
+                                  double RatedHeadPa) {
+  assert(RatedFlowM3PerS > 0 && RatedHeadPa > 0 && "invalid pump rating");
+  // Generic centrifugal shape: shutoff = 1.25x rated head, runout =
+  // 1.6x rated flow at 40% rated head, strictly decreasing in between.
+  LinearTable Curve{{0.0, 1.25 * RatedHeadPa},
+                    {0.5 * RatedFlowM3PerS, 1.18 * RatedHeadPa},
+                    {RatedFlowM3PerS, RatedHeadPa},
+                    {1.3 * RatedFlowM3PerS, 0.72 * RatedHeadPa},
+                    {1.6 * RatedFlowM3PerS, 0.40 * RatedHeadPa}};
+  return Pump(std::move(Name), std::move(Curve), /*Efficiency=*/0.55);
+}

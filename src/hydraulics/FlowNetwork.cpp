@@ -1,0 +1,226 @@
+//===- hydraulics/FlowNetwork.cpp - Nonlinear flow-network solver -----------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hydraulics/FlowNetwork.h"
+
+#include "support/Numerics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace rcs;
+using namespace rcs::hydraulics;
+
+namespace rcs {
+namespace hydraulics {
+
+struct FlowNetwork::Impl {
+  struct EdgeRecord {
+    std::string Name;
+    JunctionId From;
+    JunctionId To;
+    std::vector<std::unique_ptr<FlowElement>> Elements;
+  };
+
+  std::vector<std::string> Junctions;
+  std::vector<EdgeRecord> Edges;
+  JunctionId Reference = 0;
+
+  double edgeDrop(EdgeId E, double Flow, const fluids::Fluid &F,
+                  double TempC) const {
+    double Total = 0.0;
+    for (const auto &Element : Edges[E].Elements)
+      Total += Element->pressureDropPa(Flow, F, TempC);
+    return Total;
+  }
+
+  /// Inverts the edge's monotone dP(Q) relation: finds Q with
+  /// dP(Q) == TargetDrop.
+  double invertEdge(EdgeId E, double TargetDrop, const fluids::Fluid &F,
+                    double TempC, double FlowScale) const {
+    auto Fn = [&](double Q) { return edgeDrop(E, Q, F, TempC) - TargetDrop; };
+    // Expand the bracket until the root is enclosed; dP is strictly
+    // increasing so expansion terminates.
+    double Bracket = FlowScale;
+    for (int Attempt = 0; Attempt != 60; ++Attempt) {
+      if (Fn(-Bracket) <= 0.0 && Fn(Bracket) >= 0.0)
+        break;
+      Bracket *= 4.0;
+    }
+    RootFindOptions Options;
+    Options.AbsTolerance = 1e-14 * std::max(1.0, Bracket / FlowScale);
+    Expected<double> Root = findRootBrent(Fn, -Bracket, Bracket, Options);
+    // A monotone function bracketed above always yields a root; fall back
+    // to zero flow only on pathological element behavior.
+    return Root ? *Root : 0.0;
+  }
+};
+
+} // namespace hydraulics
+} // namespace rcs
+
+FlowNetwork::FlowNetwork() : PImpl(std::make_unique<Impl>()) {}
+FlowNetwork::~FlowNetwork() = default;
+FlowNetwork::FlowNetwork(FlowNetwork &&) = default;
+FlowNetwork &FlowNetwork::operator=(FlowNetwork &&) = default;
+
+JunctionId FlowNetwork::addJunction(std::string Name) {
+  PImpl->Junctions.push_back(std::move(Name));
+  return PImpl->Junctions.size() - 1;
+}
+
+void FlowNetwork::setReferenceJunction(JunctionId Junction) {
+  assert(Junction < PImpl->Junctions.size() && "junction out of range");
+  PImpl->Reference = Junction;
+}
+
+EdgeId FlowNetwork::addEdge(std::string Name, JunctionId From, JunctionId To,
+                            std::vector<std::unique_ptr<FlowElement>>
+                                Elements) {
+  assert(From < PImpl->Junctions.size() && To < PImpl->Junctions.size() &&
+         "junction out of range");
+  assert(From != To && "self-loop edges are not allowed");
+  assert(!Elements.empty() && "an edge needs at least one element");
+  Impl::EdgeRecord Record;
+  Record.Name = std::move(Name);
+  Record.From = From;
+  Record.To = To;
+  Record.Elements = std::move(Elements);
+  PImpl->Edges.push_back(std::move(Record));
+  return PImpl->Edges.size() - 1;
+}
+
+void FlowNetwork::appendElement(EdgeId Edge,
+                                std::unique_ptr<FlowElement> Element) {
+  assert(Edge < PImpl->Edges.size() && "edge out of range");
+  PImpl->Edges[Edge].Elements.push_back(std::move(Element));
+}
+
+FlowElement *FlowNetwork::elementAt(EdgeId Edge, size_t Index) {
+  assert(Edge < PImpl->Edges.size() && "edge out of range");
+  assert(Index < PImpl->Edges[Edge].Elements.size() &&
+         "element index out of range");
+  return PImpl->Edges[Edge].Elements[Index].get();
+}
+
+size_t FlowNetwork::numJunctions() const { return PImpl->Junctions.size(); }
+size_t FlowNetwork::numEdges() const { return PImpl->Edges.size(); }
+
+const std::string &FlowNetwork::junctionName(JunctionId J) const {
+  assert(J < PImpl->Junctions.size() && "junction out of range");
+  return PImpl->Junctions[J];
+}
+
+const std::string &FlowNetwork::edgeName(EdgeId E) const {
+  assert(E < PImpl->Edges.size() && "edge out of range");
+  return PImpl->Edges[E].Name;
+}
+
+JunctionId FlowNetwork::edgeFrom(EdgeId E) const {
+  assert(E < PImpl->Edges.size() && "edge out of range");
+  return PImpl->Edges[E].From;
+}
+
+JunctionId FlowNetwork::edgeTo(EdgeId E) const {
+  assert(E < PImpl->Edges.size() && "edge out of range");
+  return PImpl->Edges[E].To;
+}
+
+double FlowNetwork::edgePressureDropPa(EdgeId E, double FlowM3PerS,
+                                       const fluids::Fluid &F,
+                                       double TempC) const {
+  assert(E < PImpl->Edges.size() && "edge out of range");
+  return PImpl->edgeDrop(E, FlowM3PerS, F, TempC);
+}
+
+Expected<FlowSolution> FlowNetwork::solve(const fluids::Fluid &F,
+                                          double TempC,
+                                          double FlowScaleM3PerS) const {
+  assert(FlowScaleM3PerS > 0 && "flow scale must be positive");
+  const size_t NumJ = PImpl->Junctions.size();
+  const size_t NumE = PImpl->Edges.size();
+  if (NumJ == 0 || NumE == 0)
+    return Expected<FlowSolution>::error("empty hydraulic network");
+
+  // Unknowns: pressures at all junctions except the reference.
+  std::vector<size_t> UnknownIndex(NumJ, SIZE_MAX);
+  size_t NumUnknowns = 0;
+  for (size_t J = 0; J != NumJ; ++J)
+    if (J != PImpl->Reference)
+      UnknownIndex[J] = NumUnknowns++;
+
+  auto pressuresFrom = [&](const std::vector<double> &X) {
+    std::vector<double> P(NumJ, 0.0);
+    for (size_t J = 0; J != NumJ; ++J)
+      if (J != PImpl->Reference)
+        P[J] = X[UnknownIndex[J]];
+    return P;
+  };
+
+  auto edgeFlows = [&](const std::vector<double> &P) {
+    std::vector<double> Q(NumE, 0.0);
+    for (size_t E = 0; E != NumE; ++E) {
+      double Drop = P[PImpl->Edges[E].From] - P[PImpl->Edges[E].To];
+      Q[E] = PImpl->invertEdge(E, Drop, F, TempC, FlowScaleM3PerS);
+    }
+    return Q;
+  };
+
+  auto residual = [&](const std::vector<double> &X) {
+    std::vector<double> P = pressuresFrom(X);
+    std::vector<double> Q = edgeFlows(P);
+    std::vector<double> NetIn(NumJ, 0.0);
+    for (size_t E = 0; E != NumE; ++E) {
+      NetIn[PImpl->Edges[E].From] -= Q[E];
+      NetIn[PImpl->Edges[E].To] += Q[E];
+    }
+    std::vector<double> R(NumUnknowns, 0.0);
+    for (size_t J = 0; J != NumJ; ++J)
+      if (J != PImpl->Reference)
+        R[UnknownIndex[J]] = NetIn[J];
+    return R;
+  };
+
+  NewtonOptions Options;
+  Options.ResidualTolerance = std::max(1e-10, 1e-6 * FlowScaleM3PerS);
+  Options.MaxIterations = 200;
+  // Fixed absolute pressure perturbations: large enough to clear the
+  // edge-inversion noise floor, small enough that the secant matches the
+  // local derivative even at high junction pressures. The right scale
+  // depends on the stiffness of the network (viscous oil vs water), so a
+  // failed solve retries across a perturbation ladder.
+  Options.JacobianRelative = false;
+  NewtonResult Newton;
+  for (double Epsilon : {0.5, 5.0, 0.05, 50.0, 500.0}) {
+    Options.JacobianEpsilon = Epsilon;
+    Newton = solveNewtonSystem(residual,
+                               std::vector<double>(NumUnknowns, 0.0),
+                               Options);
+    if (Newton.Converged)
+      break;
+  }
+  if (!Newton.Converged)
+    return Expected<FlowSolution>::error(
+        "hydraulic solve did not converge (residual " +
+        std::to_string(Newton.ResidualNorm) + " m^3/s)");
+
+  FlowSolution Solution;
+  Solution.JunctionPressuresPa = pressuresFrom(Newton.Solution);
+  Solution.EdgeFlowsM3PerS = edgeFlows(Solution.JunctionPressuresPa);
+  Solution.NewtonIterations = Newton.Iterations;
+
+  std::vector<double> NetIn(NumJ, 0.0);
+  for (size_t E = 0; E != NumE; ++E) {
+    NetIn[PImpl->Edges[E].From] -= Solution.EdgeFlowsM3PerS[E];
+    NetIn[PImpl->Edges[E].To] += Solution.EdgeFlowsM3PerS[E];
+  }
+  for (size_t J = 0; J != NumJ; ++J)
+    if (J != PImpl->Reference)
+      Solution.MaxContinuityErrorM3PerS = std::max(
+          Solution.MaxContinuityErrorM3PerS, std::fabs(NetIn[J]));
+  return Solution;
+}

@@ -1,0 +1,89 @@
+//===- hydraulics/HeatExchanger.cpp - Plate heat exchanger ------------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hydraulics/HeatExchanger.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace rcs;
+using namespace rcs::hydraulics;
+
+PlateHeatExchanger::PlateHeatExchanger(std::string NameIn, double UaWPerKIn)
+    : Name(std::move(NameIn)), UaWPerK(UaWPerKIn) {
+  assert(UaWPerK > 0 && "heat exchanger UA must be positive");
+}
+
+void PlateHeatExchanger::setUaWPerK(double Value) {
+  assert(Value > 0 && "heat exchanger UA must be positive");
+  UaWPerK = Value;
+}
+
+double PlateHeatExchanger::capacityRateWPerK(const fluids::Fluid &F,
+                                             double FlowM3PerS,
+                                             double TempC) {
+  return std::max(FlowM3PerS, 0.0) * F.densityKgPerM3(TempC) *
+         F.specificHeatJPerKgK(TempC);
+}
+
+ExchangeResult PlateHeatExchanger::transfer(double HotInletTempC,
+                                            double HotCapacityWPerK,
+                                            double ColdInletTempC,
+                                            double ColdCapacityWPerK) const {
+  ExchangeResult Out;
+  Out.HotOutletTempC = HotInletTempC;
+  Out.ColdOutletTempC = ColdInletTempC;
+  if (HotCapacityWPerK <= 0.0 || ColdCapacityWPerK <= 0.0)
+    return Out;
+
+  double CMin = std::min(HotCapacityWPerK, ColdCapacityWPerK);
+  double CMax = std::max(HotCapacityWPerK, ColdCapacityWPerK);
+  double Cr = CMin / CMax;
+  double Ntu = UaWPerK / CMin;
+
+  double Effectiveness = 0.0;
+  if (std::fabs(1.0 - Cr) < 1e-9) {
+    // Balanced counterflow limit.
+    Effectiveness = Ntu / (1.0 + Ntu);
+  } else {
+    double E = std::exp(-Ntu * (1.0 - Cr));
+    Effectiveness = (1.0 - E) / (1.0 - Cr * E);
+  }
+
+  double Duty = Effectiveness * CMin * (HotInletTempC - ColdInletTempC);
+  Out.DutyW = Duty;
+  Out.Effectiveness = Effectiveness;
+  Out.Ntu = Ntu;
+  Out.HotOutletTempC = HotInletTempC - Duty / HotCapacityWPerK;
+  Out.ColdOutletTempC = ColdInletTempC + Duty / ColdCapacityWPerK;
+  return Out;
+}
+
+double PlateHeatExchanger::sizeUaForDuty(double DutyW, double HotInletTempC,
+                                         double HotCapacityWPerK,
+                                         double ColdInletTempC,
+                                         double ColdCapacityWPerK) {
+  assert(HotCapacityWPerK > 0 && ColdCapacityWPerK > 0 &&
+         "capacity rates must be positive");
+  assert(HotInletTempC > ColdInletTempC &&
+         "duty requires a positive approach");
+  double CMin = std::min(HotCapacityWPerK, ColdCapacityWPerK);
+  double CMax = std::max(HotCapacityWPerK, ColdCapacityWPerK);
+  double Cr = CMin / CMax;
+  double MaxDuty = CMin * (HotInletTempC - ColdInletTempC);
+  double Effectiveness = DutyW / MaxDuty;
+  const double Ceiling = 0.98;
+  if (Effectiveness >= Ceiling)
+    Effectiveness = Ceiling; // Asymptotic sizing cap.
+  double Ntu = 0.0;
+  if (std::fabs(1.0 - Cr) < 1e-9)
+    Ntu = Effectiveness / (1.0 - Effectiveness);
+  else
+    Ntu = std::log((1.0 - Effectiveness * Cr) / (1.0 - Effectiveness)) /
+          (1.0 - Cr);
+  return Ntu * CMin;
+}

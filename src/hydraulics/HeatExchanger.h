@@ -1,0 +1,76 @@
+//===- hydraulics/HeatExchanger.h - Plate heat exchanger --------*- C++ -*-===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thermal model of the plate heat exchanger the paper selects for the CM
+/// heat-exchange section ("the most suitable design of the heat exchanger
+/// is a plate-type one designed for cooling mineral oil in hydraulic
+/// systems of industrial equipment"). Uses the counterflow
+/// effectiveness-NTU method.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_HYDRAULICS_HEATEXCHANGER_H
+#define RCS_HYDRAULICS_HEATEXCHANGER_H
+
+#include "fluids/Fluid.h"
+
+#include <string>
+
+namespace rcs {
+namespace hydraulics {
+
+/// Result of a heat-exchanger transfer computation.
+struct ExchangeResult {
+  double HotOutletTempC = 0.0;
+  double ColdOutletTempC = 0.0;
+  double DutyW = 0.0;          ///< Heat moved hot -> cold.
+  double Effectiveness = 0.0;  ///< Achieved epsilon in [0, 1).
+  double Ntu = 0.0;
+};
+
+/// A counterflow plate heat exchanger characterized by its UA product.
+class PlateHeatExchanger {
+public:
+  /// \p UaWPerK is the overall conductance (overall U times total plate
+  /// area). Typical CM-scale oil/water plate packs: 1..5 kW/K.
+  PlateHeatExchanger(std::string Name, double UaWPerK);
+
+  const std::string &name() const { return Name; }
+  double uaWPerK() const { return UaWPerK; }
+
+  /// Scales UA (fouling, plate-count changes in design studies).
+  void setUaWPerK(double Value);
+
+  /// Computes outlet temperatures for given inlets and capacity rates.
+  ///
+  /// Capacity rates are m_dot * cp in W/K. Zero capacity on either side
+  /// short-circuits to zero duty (a stopped loop exchanges nothing).
+  ExchangeResult transfer(double HotInletTempC, double HotCapacityWPerK,
+                          double ColdInletTempC,
+                          double ColdCapacityWPerK) const;
+
+  /// Convenience: capacity rate of \p F at volume flow \p FlowM3PerS and
+  /// bulk temperature \p TempC.
+  static double capacityRateWPerK(const fluids::Fluid &F, double FlowM3PerS,
+                                  double TempC);
+
+  /// Sizes the UA needed to move \p DutyW between the given inlet
+  /// temperatures at the given capacity rates (design helper). Returns a
+  /// very large UA when the duty approaches the thermodynamic limit.
+  static double sizeUaForDuty(double DutyW, double HotInletTempC,
+                              double HotCapacityWPerK, double ColdInletTempC,
+                              double ColdCapacityWPerK);
+
+private:
+  std::string Name;
+  double UaWPerK;
+};
+
+} // namespace hydraulics
+} // namespace rcs
+
+#endif // RCS_HYDRAULICS_HEATEXCHANGER_H

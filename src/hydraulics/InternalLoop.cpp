@@ -1,0 +1,108 @@
+//===- hydraulics/InternalLoop.cpp - CM internal oil network -----------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hydraulics/InternalLoop.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace rcs;
+using namespace rcs::hydraulics;
+
+InternalLoop
+rcs::hydraulics::buildInternalLoop(const InternalLoopConfig &Config) {
+  assert(Config.NumBoards >= 1 && "module needs boards");
+  InternalLoop Loop;
+  FlowNetwork &Net = Loop.Network;
+  const int N = Config.NumBoards;
+  const bool Reverse = Config.Design == PlenumDesign::TaperedReverse;
+  const double PlenumDiameter = Reverse ? Config.LargePlenumDiameterM
+                                        : Config.SmallPlenumDiameterM;
+
+  JunctionId PumpSuction = Net.addJunction("pump-suction");
+  std::vector<JunctionId> Supply, Return;
+  for (int I = 0; I != N; ++I) {
+    Supply.push_back(Net.addJunction(formatString("supply-%d", I + 1)));
+    Return.push_back(Net.addJunction(formatString("return-%d", I + 1)));
+  }
+  Net.setReferenceJunction(PumpSuction);
+
+  // Pump + heat exchanger edge into the supply plenum head.
+  {
+    std::vector<std::unique_ptr<FlowElement>> Elements;
+    // Parallel identical pumps combine into one equivalent curve with the
+    // flow axis scaled by the count.
+    Elements.push_back(std::make_unique<Pump>(Pump::makeOilCirculationPump(
+        "CM-oil", Config.PumpRatedFlowM3PerS * Config.NumPumps,
+        Config.PumpRatedHeadPa)));
+    Elements.push_back(std::make_unique<HeatExchangerPressureSide>(
+        Config.HxRatedFlowM3PerS, Config.HxRatedDropPa));
+    Loop.PumpEdge =
+        Net.addEdge("pump+hx", PumpSuction, Supply[0], std::move(Elements));
+  }
+
+  // Supply plenum segments; each tap adds a tee loss.
+  for (int I = 0; I + 1 != N; ++I) {
+    std::vector<std::unique_ptr<FlowElement>> Elements;
+    Elements.push_back(std::make_unique<PipeSegment>(Config.SegmentLengthM,
+                                                     PlenumDiameter));
+    Elements.push_back(std::make_unique<Fitting>(0.2, PlenumDiameter));
+    Net.addEdge(formatString("supply-seg-%d", I + 1), Supply[I],
+                Supply[I + 1], std::move(Elements));
+  }
+
+  // Board channels.
+  for (int I = 0; I != N; ++I) {
+    std::vector<std::unique_ptr<FlowElement>> Elements;
+    Elements.push_back(std::make_unique<Fitting>(
+        Config.BoardChannelLossK, Config.BoardChannelDiameterM));
+    Elements.push_back(std::make_unique<PipeSegment>(
+        0.30, Config.BoardChannelDiameterM));
+    Loop.BoardEdges.push_back(Net.addEdge(formatString("board-%d", I + 1),
+                                          Supply[I], Return[I],
+                                          std::move(Elements)));
+  }
+
+  // Return plenum segments; the reverse design collects at the far end.
+  for (int I = 0; I + 1 != N; ++I) {
+    std::vector<std::unique_ptr<FlowElement>> Elements;
+    Elements.push_back(std::make_unique<PipeSegment>(Config.SegmentLengthM,
+                                                     PlenumDiameter));
+    Elements.push_back(std::make_unique<Fitting>(0.2, PlenumDiameter));
+    if (Reverse)
+      Net.addEdge(formatString("return-seg-%d", I + 1), Return[I],
+                  Return[I + 1], std::move(Elements));
+    else
+      Net.addEdge(formatString("return-seg-%d", I + 1), Return[I + 1],
+                  Return[I], std::move(Elements));
+  }
+
+  // Back to the pump suction.
+  {
+    std::vector<std::unique_ptr<FlowElement>> Elements;
+    Elements.push_back(
+        std::make_unique<PipeSegment>(0.25, PlenumDiameter));
+    Net.addEdge("return-run", Reverse ? Return.back() : Return.front(),
+                PumpSuction, std::move(Elements));
+  }
+  return Loop;
+}
+
+Expected<InternalFlowReport>
+rcs::hydraulics::solveInternalLoop(InternalLoop &Loop,
+                                   const fluids::Fluid &Oil, double TempC) {
+  Expected<FlowSolution> Solution = Loop.Network.solve(Oil, TempC, 2e-4);
+  if (!Solution)
+    return Expected<InternalFlowReport>::error(
+        "internal loop solve failed: " + Solution.message());
+  InternalFlowReport Report;
+  for (EdgeId E : Loop.BoardEdges)
+    Report.BoardFlowsM3PerS.push_back(Solution->EdgeFlowsM3PerS[E]);
+  Report.TotalFlowM3PerS = Solution->EdgeFlowsM3PerS[Loop.PumpEdge];
+  Report.Balance = computeFlowBalance(Report.BoardFlowsM3PerS);
+  return Report;
+}

@@ -1,0 +1,147 @@
+//===- hydraulics/Manifold.cpp - Rack manifold topologies -------------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hydraulics/Manifold.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace rcs;
+using namespace rcs::hydraulics;
+
+RackHydraulics
+rcs::hydraulics::buildRackPrimaryLoop(const RackHydraulicsConfig &Config) {
+  assert(Config.NumLoops >= 1 && "need at least one loop");
+  RackHydraulics Rack;
+  FlowNetwork &Net = Rack.Network;
+  const int N = Config.NumLoops;
+
+  // Junctions: supply tap points S[0..N-1], return tap points R[0..N-1],
+  // plus the pump suction node. The pump discharge connects to S[0].
+  JunctionId PumpSuction = Net.addJunction("pump-suction");
+  std::vector<JunctionId> Supply, Return;
+  Supply.reserve(N);
+  Return.reserve(N);
+  for (int I = 0; I != N; ++I) {
+    Supply.push_back(Net.addJunction(formatString("supply-%d", I + 1)));
+    Return.push_back(Net.addJunction(formatString("return-%d", I + 1)));
+  }
+  Net.setReferenceJunction(PumpSuction);
+
+  auto makePipe = [](double LengthM, double DiameterM) {
+    return std::make_unique<PipeSegment>(LengthM, DiameterM);
+  };
+
+  // Pump + chiller edge: suction -> S[0].
+  {
+    std::vector<std::unique_ptr<FlowElement>> Elements;
+    Elements.push_back(std::make_unique<Pump>(Pump::makeOilCirculationPump(
+        "rack-primary", Config.PumpRatedFlowM3PerS, Config.PumpRatedHeadPa)));
+    Rack.PumpElementIndex = 0;
+    Elements.push_back(std::make_unique<HeatExchangerPressureSide>(
+        Config.PumpRatedFlowM3PerS, Config.ChillerRatedDropPa));
+    Elements.push_back(makePipe(Config.ReturnPipeLengthM,
+                                Config.ManifoldDiameterM));
+    Rack.PumpEdge = Net.addEdge("pump+chiller", PumpSuction, Supply[0],
+                                std::move(Elements));
+  }
+
+  // Supply manifold segments S[i] -> S[i+1].
+  for (int I = 0; I + 1 != N; ++I) {
+    std::vector<std::unique_ptr<FlowElement>> Elements;
+    Elements.push_back(
+        makePipe(Config.ManifoldSegmentLengthM, Config.ManifoldDiameterM));
+    Net.addEdge(formatString("supply-seg-%d", I + 1), Supply[I],
+                Supply[I + 1], std::move(Elements));
+  }
+
+  // Circulation loops S[i] -> R[i]: branch pipe + HX side + valve + tees.
+  for (int I = 0; I != N; ++I) {
+    std::vector<std::unique_ptr<FlowElement>> Elements;
+    Elements.push_back(
+        makePipe(Config.LoopPipeLengthM, Config.LoopPipeDiameterM));
+    Elements.push_back(std::make_unique<HeatExchangerPressureSide>(
+        Config.HxRatedFlowM3PerS, Config.HxRatedDropPa));
+    Rack.LoopValveElementIndex = Elements.size();
+    Elements.push_back(std::make_unique<BalancingValve>(
+        Config.ValveOpenLossCoefficient, Config.LoopPipeDiameterM));
+    // Branch tee in and out of the manifolds.
+    Elements.push_back(
+        std::make_unique<Fitting>(1.8, Config.LoopPipeDiameterM));
+    Rack.LoopEdges.push_back(Net.addEdge(formatString("loop-%d", I + 1),
+                                         Supply[I], Return[I],
+                                         std::move(Elements)));
+  }
+
+  // Return manifold segments. Direction depends on the layout:
+  //  - DirectReturn: water flows back toward loop 1's end, R[i+1] -> R[i],
+  //    and the return pipe leaves from R[0] (same end as the supply).
+  //  - ReverseReturn (Fig. 5): water continues toward the far end,
+  //    R[i] -> R[i+1], and the return pipe leaves from R[N-1].
+  for (int I = 0; I + 1 != N; ++I) {
+    std::vector<std::unique_ptr<FlowElement>> Elements;
+    Elements.push_back(
+        makePipe(Config.ManifoldSegmentLengthM, Config.ManifoldDiameterM));
+    if (Config.Layout == ManifoldLayout::DirectReturn)
+      Net.addEdge(formatString("return-seg-%d", I + 1), Return[I + 1],
+                  Return[I], std::move(Elements));
+    else
+      Net.addEdge(formatString("return-seg-%d", I + 1), Return[I],
+                  Return[I + 1], std::move(Elements));
+  }
+
+  // Return pipe back to the pump suction.
+  {
+    std::vector<std::unique_ptr<FlowElement>> Elements;
+    Elements.push_back(
+        makePipe(Config.ReturnPipeLengthM, Config.ManifoldDiameterM));
+    JunctionId Outlet = Config.Layout == ManifoldLayout::DirectReturn
+                            ? Return.front()
+                            : Return.back();
+    Net.addEdge("return-pipe", Outlet, PumpSuction, std::move(Elements));
+  }
+  return Rack;
+}
+
+FlowBalanceStats
+rcs::hydraulics::computeFlowBalance(const std::vector<double> &LoopFlows) {
+  FlowBalanceStats Stats;
+  if (LoopFlows.empty())
+    return Stats;
+  double Sum = 0.0;
+  for (double Q : LoopFlows)
+    Sum += Q;
+  double RoughMean = Sum / static_cast<double>(LoopFlows.size());
+
+  // Ignore isolated loops (valved off for maintenance).
+  double ActiveSum = 0.0;
+  int ActiveCount = 0;
+  double MinFlow = 0.0, MaxFlow = 0.0;
+  bool First = true;
+  for (double Q : LoopFlows) {
+    if (Q < 0.01 * RoughMean)
+      continue;
+    ActiveSum += Q;
+    ++ActiveCount;
+    if (First) {
+      MinFlow = MaxFlow = Q;
+      First = false;
+    } else {
+      MinFlow = std::fmin(MinFlow, Q);
+      MaxFlow = std::fmax(MaxFlow, Q);
+    }
+  }
+  if (ActiveCount == 0)
+    return Stats;
+  Stats.MinFlowM3PerS = MinFlow;
+  Stats.MaxFlowM3PerS = MaxFlow;
+  Stats.MeanFlowM3PerS = ActiveSum / ActiveCount;
+  Stats.ImbalanceFraction =
+      (MaxFlow - MinFlow) / std::max(Stats.MeanFlowM3PerS, 1e-300);
+  return Stats;
+}

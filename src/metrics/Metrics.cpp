@@ -1,0 +1,56 @@
+//===- metrics/Metrics.cpp - Efficiency and density metrics --------------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "metrics/Metrics.h"
+
+#include <cassert>
+
+using namespace rcs;
+using namespace rcs::metrics;
+
+ModuleEfficiency rcs::metrics::computeModuleEfficiency(
+    const rcsystem::ComputationalModule &Module,
+    const rcsystem::ModuleThermalReport &Report, double ChillerCop) {
+  assert(ChillerCop > 0 && "COP must be positive");
+  ModuleEfficiency Out;
+  Out.Name = Module.config().Name;
+  Out.PeakGflops = Module.peakGflops();
+  Out.ItPowerW = Report.ItPowerW;
+  Out.TotalPowerW = Report.ItPowerW + Report.PsuLossW + Report.PumpPowerW +
+                    Report.FanPowerW;
+  Out.GflopsPerWatt =
+      Out.TotalPowerW > 0.0 ? Out.PeakGflops / Out.TotalPowerW : 0.0;
+  Out.GflopsPerU = Module.gflopsPerU();
+  Out.BoardsPerU = Module.boardsPerU();
+  Out.MaxJunctionTempC = Report.MaxJunctionTempC;
+
+  // Facility estimate: liquid-borne heat is removed at the chiller COP,
+  // air-borne heat at a CRAC-class COP of 2.5.
+  const double CracCop = 2.5;
+  double LiquidHeat = Report.HxDutyW;
+  double AirHeat = Report.TotalHeatW - LiquidHeat;
+  if (AirHeat < 0.0)
+    AirHeat = 0.0;
+  double CoolingPower = LiquidHeat / ChillerCop + AirHeat / CracCop;
+  double Facility = Out.TotalPowerW + CoolingPower;
+  Out.EstimatedPue = Report.ItPowerW > 0.0 ? Facility / Report.ItPowerW : 0.0;
+  return Out;
+}
+
+GenerationGain
+rcs::metrics::compareGenerations(const ModuleEfficiency &Previous,
+                                 const ModuleEfficiency &Next) {
+  GenerationGain Gain;
+  if (Previous.PeakGflops > 0.0)
+    Gain.PerformanceRatio = Next.PeakGflops / Previous.PeakGflops;
+  if (Previous.BoardsPerU > 0.0)
+    Gain.PackingDensityRatio = Next.BoardsPerU / Previous.BoardsPerU;
+  if (Previous.GflopsPerU > 0.0)
+    Gain.SpecificPerformanceRatio = Next.GflopsPerU / Previous.GflopsPerU;
+  if (Previous.GflopsPerWatt > 0.0)
+    Gain.EfficiencyRatio = Next.GflopsPerWatt / Previous.GflopsPerWatt;
+  return Gain;
+}

@@ -1,0 +1,65 @@
+//===- metrics/Metrics.h - Efficiency and density metrics -------*- C++ -*-===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The figures of merit the paper argues with: real performance, specific
+/// (per-volume) performance, energy efficiency, and power usage
+/// effectiveness. Used by the generation-comparison and rack experiments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_METRICS_METRICS_H
+#define RCS_METRICS_METRICS_H
+
+#include "system/Cooling.h"
+#include "system/Module.h"
+
+#include <string>
+
+namespace rcs {
+namespace metrics {
+
+/// Efficiency summary of one solved module.
+struct ModuleEfficiency {
+  std::string Name;
+  double PeakGflops = 0.0;
+  double ItPowerW = 0.0;
+  double TotalPowerW = 0.0;       ///< IT + PSU loss + pumps/fans.
+  double GflopsPerWatt = 0.0;     ///< Peak throughput per total watt.
+  double GflopsPerU = 0.0;        ///< Packing / specific performance.
+  double BoardsPerU = 0.0;
+  double MaxJunctionTempC = 0.0;
+  /// Facility-level PUE contribution assuming a chiller at the given COP
+  /// for liquid heat and CRAC-class efficiency for air heat.
+  double EstimatedPue = 0.0;
+};
+
+/// Computes efficiency metrics for a solved module.
+///
+/// \p ChillerCop is used to estimate facility cooling energy for the heat
+/// the module rejects to liquid; air heat is charged at a CRAC COP of 2.5.
+ModuleEfficiency
+computeModuleEfficiency(const rcsystem::ComputationalModule &Module,
+                        const rcsystem::ModuleThermalReport &Report,
+                        double ChillerCop = 6.0);
+
+/// Ratio helpers for generation comparisons (paper Section 3: SKAT is
+/// 8.7x Taygeta in performance and > 3x in packing density).
+struct GenerationGain {
+  double PerformanceRatio = 0.0;
+  double PackingDensityRatio = 0.0; ///< Boards per U.
+  double SpecificPerformanceRatio = 0.0; ///< GFLOPS per U.
+  double EfficiencyRatio = 0.0;     ///< GFLOPS/W.
+};
+
+/// Compares \p Next against \p Previous.
+GenerationGain compareGenerations(const ModuleEfficiency &Previous,
+                                  const ModuleEfficiency &Next);
+
+} // namespace metrics
+} // namespace rcs
+
+#endif // RCS_METRICS_METRICS_H

@@ -1,0 +1,74 @@
+//===- sim/MonteCarlo.h - Availability simulation ---------------*- C++ -*-===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Monte-Carlo availability model comparing the cooling technologies on
+/// the reliability axis the paper argues from: immersion runs junctions
+/// cold (long FPGA life) and has few moving/leaking parts; cold plates add
+/// pressure-tight connections and leak/dew-point risk; air runs junctions
+/// hot and needs many fans.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_SIM_MONTECARLO_H
+#define RCS_SIM_MONTECARLO_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rcs {
+namespace sim {
+
+/// One failure-prone component population inside a module.
+struct ComponentSpec {
+  std::string Name;
+  int Count = 1;
+  double MtbfHours = 1e5;
+  double RepairHours = 4.0;
+  /// True when a failure takes the whole module down until repaired
+  /// (vs hot-swappable redundant parts).
+  bool TakesDownModule = true;
+};
+
+/// Monte-Carlo configuration.
+struct AvailabilityConfig {
+  std::vector<ComponentSpec> Components;
+  double HorizonYears = 5.0;
+  int NumTrials = 400;
+  uint64_t Seed = 2018;
+};
+
+/// Aggregated availability results.
+struct AvailabilityReport {
+  double FailuresPerYear = 0.0;
+  double ModuleDowntimeHoursPerYear = 0.0;
+  double Availability = 1.0; ///< Fraction of time the module is up.
+  /// Mean failures/year per component population, parallel to
+  /// AvailabilityConfig::Components.
+  std::vector<double> PerComponentFailuresPerYear;
+};
+
+/// Runs the Monte-Carlo availability simulation.
+AvailabilityReport simulateAvailability(const AvailabilityConfig &Config);
+
+/// Component populations of one module per cooling technology, with FPGA
+/// wear-out set by the operating junction temperature \p JunctionTempC.
+std::vector<ComponentSpec> makeImmersionComponents(int NumFpgas,
+                                                   double JunctionTempC,
+                                                   int NumPumps,
+                                                   bool WashoutProneGrease);
+std::vector<ComponentSpec> makeColdPlateComponents(int NumFpgas,
+                                                   double JunctionTempC,
+                                                   int NumConnections);
+std::vector<ComponentSpec> makeAirComponents(int NumFpgas,
+                                             double JunctionTempC,
+                                             int NumFans);
+
+} // namespace sim
+} // namespace rcs
+
+#endif // RCS_SIM_MONTECARLO_H

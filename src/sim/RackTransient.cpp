@@ -1,0 +1,200 @@
+//===- sim/RackTransient.cpp - Rack-level transient simulation ----------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Per step: every module's chip and oil nodes advance one implicit-Euler
+/// step against the shared water temperature (treated as a boundary within
+/// the step), then the water inventory integrates the sum of module duties
+/// minus whatever the chiller extracts (gain-limited and capacity-capped).
+/// Operator splitting at this time scale (seconds against minutes-to-hours
+/// loop dynamics) is well inside the stability margin of the implicit
+/// inner step.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sim/RackTransient.h"
+
+#include "fluids/Fluid.h"
+#include "hydraulics/HeatExchanger.h"
+#include "thermal/HeatSink.h"
+#include "thermal/Interface.h"
+#include "thermal/Network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace rcs;
+using namespace rcs::sim;
+using namespace rcs::rcsystem;
+
+RackTransientSimulator::RackTransientSimulator(RackConfig RackIn,
+                                               double AmbientTempCIn,
+                                               RackTransientConfig ConfigIn)
+    : Rack(std::move(RackIn)), AmbientTempC(AmbientTempCIn),
+      Config(ConfigIn) {
+  assert(Rack.Module.Cooling == CoolingKind::Immersion &&
+         "the rack transient simulator models immersion modules");
+}
+
+void RackTransientSimulator::scheduleChillerCapacity(double TimeS,
+                                                     double Fraction) {
+  assert(Fraction >= 0.0 && Fraction <= 1.0 && "fraction out of range");
+  Events.push_back(
+      {TimeS, Event::Kind::ChillerCapacity, Fraction, fpga::WorkloadPoint{}});
+}
+
+void RackTransientSimulator::scheduleWorkload(double TimeS,
+                                              fpga::WorkloadPoint Point) {
+  Events.push_back({TimeS, Event::Kind::Workload, 0.0, Point});
+}
+
+Expected<std::vector<RackTraceSample>>
+RackTransientSimulator::run(double DurationS) {
+  assert(DurationS > 0 && "duration must be positive");
+  std::stable_sort(Events.begin(), Events.end(),
+                   [](const Event &A, const Event &B) {
+                     return A.TimeS < B.TimeS;
+                   });
+
+  const ModuleConfig &Module = Rack.Module;
+  Ccb Board(Module.Board);
+  const fpga::FpgaSpec &Spec = Board.fpgaSpec();
+  fpga::FpgaPowerModel PowerModel(Spec);
+  auto Oil = fluids::makeEngineeredDielectric();
+  auto Water = fluids::makeWater();
+  thermal::PinFinHeatSink Sink("sink", Module.Immersion.SinkGeometry);
+  double TimR = thermal::ThermalInterface::makeSkatInterface(
+                    Spec.PackageSizeM * Spec.PackageSizeM)
+                    .resistanceKPerW(Module.Immersion.TimExposureHours);
+
+  const int NumModules = Rack.NumModules;
+  const int FpgasPerModule = Module.NumCcbs * Board.computeFpgaCount();
+  double OilFlow =
+      Module.Immersion.NumPumps * Module.Immersion.PumpRatedFlowM3PerS;
+  double Velocity = OilFlow / Module.Immersion.BathFlowAreaM2;
+  double WaterFlowPerModule = Rack.Hydraulics.HxRatedFlowM3PerS;
+
+  double ChipCapacitance =
+      FpgasPerModule * Config.ChipCapacitancePerFpgaJPerK;
+  double OilCapacitance = Config.OilVolumePerModuleM3 *
+                          Oil->volumetricHeatCapacityJPerM3K(35.0);
+  double WaterCapacitance =
+      Config.WaterInventoryM3 *
+      Water->volumetricHeatCapacityJPerM3K(Rack.ChillerSupplyTempC + 2.0);
+
+  // Dynamic state.
+  fpga::WorkloadPoint Load = Module.Load;
+  double ChillerFraction = 1.0;
+  double WaterTemp = Rack.ChillerSupplyTempC;
+  std::vector<double> ChipTemp(NumModules, WaterTemp + 8.0);
+  std::vector<double> OilTemp(NumModules, WaterTemp + 4.0);
+  std::vector<bool> ShutDown(NumModules, false);
+
+  std::vector<RackTraceSample> Trace;
+  size_t NextEvent = 0;
+  double NextSampleTime = 0.0;
+
+  for (double Time = 0.0; Time <= DurationS; Time += Config.TimeStepS) {
+    while (NextEvent < Events.size() && Events[NextEvent].TimeS <= Time) {
+      const Event &E = Events[NextEvent];
+      if (E.Kind == Event::Kind::ChillerCapacity)
+        ChillerFraction = E.Value;
+      else
+        Load = E.Point;
+      ++NextEvent;
+    }
+
+    double TotalDuty = 0.0;
+    double TotalPower = 0.0;
+    double MaxJunction = -1e9;
+    int DownCount = 0;
+    for (int I = 0; I != NumModules; ++I) {
+      // A protected module has its supply rails cut: no dynamic power
+      // and no leakage either.
+      double ChipHeat = 0.0;
+      double MiscHeat = 0.0;
+      if (ShutDown[I]) {
+        ++DownCount;
+      } else {
+        ChipHeat =
+            FpgasPerModule * PowerModel.totalPowerW(Load, ChipTemp[I]);
+        MiscHeat = Module.NumCcbs * Module.Board.MiscPowerW;
+      }
+      TotalPower += ChipHeat + MiscHeat;
+
+      double SinkR = Sink.thermalResistanceKPerW(*Oil, OilTemp[I],
+                                                 Velocity, ChipTemp[I]);
+      double GChipOil =
+          FpgasPerModule / (Spec.ThetaJcKPerW + TimR + SinkR);
+
+      double COil = OilFlow * Oil->densityKgPerM3(OilTemp[I]) *
+                    Oil->specificHeatJPerKgK(OilTemp[I]);
+      double CWater = hydraulics::PlateHeatExchanger::capacityRateWPerK(
+          *Water, WaterFlowPerModule, WaterTemp);
+      double CMin = std::min(COil, CWater);
+      double CMax = std::max(COil, CWater);
+      double Cr = CMin / CMax;
+      double Ntu = Module.Immersion.HxUaWPerK / CMin;
+      double Eps = std::fabs(1.0 - Cr) < 1e-9
+                       ? Ntu / (1.0 + Ntu)
+                       : (1.0 - std::exp(-Ntu * (1.0 - Cr))) /
+                             (1.0 - Cr * std::exp(-Ntu * (1.0 - Cr)));
+      double GOilWater = Eps * CMin;
+      TotalDuty += GOilWater * (OilTemp[I] - WaterTemp);
+
+      thermal::ThermalNetwork Net;
+      thermal::NodeId Chips = Net.addNode("chips", ChipCapacitance);
+      thermal::NodeId Bath = Net.addNode("oil", OilCapacitance);
+      thermal::NodeId WaterNode = Net.addBoundaryNode("water", WaterTemp);
+      thermal::NodeId Room = Net.addBoundaryNode("room", AmbientTempC);
+      Net.addConductance(Chips, Bath, GChipOil);
+      Net.addConductance(Bath, WaterNode, GOilWater);
+      // Casing loss: a warm module leaks a little heat to the room.
+      Net.addConductance(Bath, Room, 6.0);
+      Net.addHeatSource(Chips, ChipHeat);
+      Net.addHeatSource(Bath, MiscHeat);
+      std::vector<double> State = {ChipTemp[I], OilTemp[I], WaterTemp,
+                                   AmbientTempC};
+      Status StepStatus = Net.stepTransient(State, Config.TimeStepS);
+      if (!StepStatus.isOk())
+        return Expected<std::vector<RackTraceSample>>(Status::error(
+            "rack transient step failed: " + StepStatus.message()));
+      ChipTemp[I] = State[Chips];
+      OilTemp[I] = State[Bath];
+      MaxJunction = std::max(MaxJunction, ChipTemp[I]);
+
+      if (Config.EnableProtection && !ShutDown[I] &&
+          ChipTemp[I] >= Config.ProtectionTripC)
+        ShutDown[I] = true;
+    }
+
+    // Water loop update: module duties in, chiller extraction out.
+    double ChillerRequest =
+        Config.ChillerGainWPerK *
+        std::max(WaterTemp - (Rack.ChillerSupplyTempC - 1.0), 0.0);
+    double ChillerDuty = std::min(ChillerRequest,
+                                  ChillerFraction * Rack.ChillerRatedDutyW);
+    WaterTemp +=
+        (TotalDuty - ChillerDuty) / WaterCapacitance * Config.TimeStepS;
+
+    if (Time >= NextSampleTime) {
+      NextSampleTime += Config.SampleIntervalS;
+      RackTraceSample Sample;
+      Sample.TimeS = Time;
+      Sample.WaterTempC = WaterTemp;
+      double SumOil = 0.0;
+      for (double T : OilTemp)
+        SumOil += T;
+      Sample.MeanOilTempC = SumOil / NumModules;
+      Sample.MaxJunctionTempC = MaxJunction;
+      Sample.ChillerDutyW = ChillerDuty;
+      Sample.TotalPowerW = TotalPower;
+      Sample.ModulesShutDown = DownCount;
+      Trace.push_back(Sample);
+    }
+  }
+  return Trace;
+}

@@ -1,0 +1,90 @@
+//===- sim/RackTransient.h - Rack-level transient simulation ----*- C++ -*-===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Time-domain simulation of a whole rack: every computational module's
+/// chip mass and oil bath, the shared chilled-water loop inventory, and a
+/// capacity-limited chiller regulating the water temperature. Extends the
+/// single-module TransientSimulator to the scenarios only a rack can
+/// show: a chiller outage heating the shared loop, staggered module
+/// protection trips, and recovery after repair.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_SIM_RACKTRANSIENT_H
+#define RCS_SIM_RACKTRANSIENT_H
+
+#include "support/Status.h"
+#include "system/Rack.h"
+
+#include <vector>
+
+namespace rcs {
+namespace sim {
+
+/// Tunables of the rack transient engine.
+struct RackTransientConfig {
+  double TimeStepS = 5.0;
+  double SampleIntervalS = 30.0;
+  /// Chilled-water loop inventory (pipes + manifolds + buffer tank).
+  double WaterInventoryM3 = 0.6;
+  /// Chiller regulation gain: heat extracted per kelvin the loop sits
+  /// above the setpoint, capped at the rated duty.
+  double ChillerGainWPerK = 8.0e4;
+  /// Oil inventory per module.
+  double OilVolumePerModuleM3 = 0.20;
+  double ChipCapacitancePerFpgaJPerK = 120.0;
+  /// Junction temperature at which a module's protection latches it off.
+  double ProtectionTripC = 85.0;
+  bool EnableProtection = true;
+};
+
+/// One recorded rack-level sample.
+struct RackTraceSample {
+  double TimeS = 0.0;
+  double WaterTempC = 0.0;
+  double MeanOilTempC = 0.0;
+  double MaxJunctionTempC = 0.0;
+  double ChillerDutyW = 0.0;
+  double TotalPowerW = 0.0;
+  int ModulesShutDown = 0;
+};
+
+/// Transient simulator for a rack of immersion modules.
+class RackTransientSimulator {
+public:
+  /// \p Rack must use immersion modules.
+  RackTransientSimulator(rcsystem::RackConfig Rack, double AmbientTempC,
+                         RackTransientConfig Config = RackTransientConfig());
+
+  /// Schedules a chiller capacity change at \p TimeS; \p Fraction of the
+  /// rated duty (0 = outage, 1 = healthy).
+  void scheduleChillerCapacity(double TimeS, double Fraction);
+
+  /// Schedules a rack-wide workload change at \p TimeS.
+  void scheduleWorkload(double TimeS, fpga::WorkloadPoint Point);
+
+  /// Runs the simulation and returns the rack trace.
+  Expected<std::vector<RackTraceSample>> run(double DurationS);
+
+private:
+  struct Event {
+    double TimeS;
+    enum class Kind { ChillerCapacity, Workload } Kind;
+    double Value = 0.0;
+    fpga::WorkloadPoint Point;
+  };
+
+  rcsystem::RackConfig Rack;
+  double AmbientTempC;
+  RackTransientConfig Config;
+  std::vector<Event> Events;
+};
+
+} // namespace sim
+} // namespace rcs
+
+#endif // RCS_SIM_RACKTRANSIENT_H

@@ -1,0 +1,255 @@
+//===- sim/Transient.cpp - Transient module simulator -------------------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Model structure: two lumped internal nodes (aggregate chip mass and the
+/// oil bath) and one boundary (chilled water inlet). The chip->oil
+/// conductance comes from the pin-fin sink model at the instantaneous flow;
+/// the oil->water conductance is the effectiveness-linearized heat
+/// exchanger (duty = eps * Cmin * (T_oil - T_water_in)). Pump speed scales
+/// flow by the affinity laws; a stopped pump leaves a small
+/// natural-convection trickle.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sim/Transient.h"
+
+#include "fluids/Fluid.h"
+#include "hydraulics/HeatExchanger.h"
+#include "thermal/HeatSink.h"
+#include "thermal/Interface.h"
+#include "thermal/Network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace rcs;
+using namespace rcs::sim;
+using namespace rcs::rcsystem;
+
+TransientSimulator::TransientSimulator(ModuleConfig ModuleIn,
+                                       ExternalConditions ConditionsIn,
+                                       TransientConfig ConfigIn)
+    : Module(std::move(ModuleIn)), Conditions(ConditionsIn),
+      Config(ConfigIn) {
+  assert(Module.Cooling == CoolingKind::Immersion &&
+         "the transient simulator models immersion modules");
+}
+
+void TransientSimulator::scheduleWorkload(double TimeS,
+                                          fpga::WorkloadPoint Point) {
+  Events.push_back({TimeS, Event::Kind::Workload, Point, 0.0});
+}
+
+void TransientSimulator::schedulePumpSpeed(double TimeS,
+                                           double SpeedFraction) {
+  assert(SpeedFraction >= 0.0 && SpeedFraction <= 1.2 &&
+         "pump speed out of range");
+  Events.push_back(
+      {TimeS, Event::Kind::PumpSpeed, fpga::WorkloadPoint{}, SpeedFraction});
+}
+
+void TransientSimulator::scheduleWaterInlet(double TimeS, double TempC) {
+  Events.push_back(
+      {TimeS, Event::Kind::WaterInlet, fpga::WorkloadPoint{}, TempC});
+}
+
+void TransientSimulator::scheduleWaterFlow(double TimeS,
+                                           double FlowM3PerS) {
+  assert(FlowM3PerS >= 0.0 && "negative water flow");
+  Events.push_back(
+      {TimeS, Event::Kind::WaterFlow, fpga::WorkloadPoint{}, FlowM3PerS});
+}
+
+Expected<std::vector<TraceSample>> TransientSimulator::run(double DurationS) {
+  assert(DurationS > 0 && "duration must be positive");
+  std::stable_sort(Events.begin(), Events.end(),
+                   [](const Event &A, const Event &B) {
+                     return A.TimeS < B.TimeS;
+                   });
+
+  // Static pieces of the model.
+  Ccb Board(Module.Board);
+  const fpga::FpgaSpec &Spec = Board.fpgaSpec();
+  fpga::FpgaPowerModel PowerModel(Spec);
+  auto Oil = Module.Immersion.CoolantKind ==
+                     ImmersionCoolingConfig::Coolant::MineralOilMd45
+                 ? fluids::makeMineralOilMd45()
+             : Module.Immersion.CoolantKind ==
+                     ImmersionCoolingConfig::Coolant::WhiteMineralOil
+                 ? fluids::makeWhiteMineralOil()
+                 : fluids::makeEngineeredDielectric();
+  auto Water = fluids::makeWater();
+  thermal::PinFinHeatSink Sink("sink", Module.Immersion.SinkGeometry);
+  thermal::ThermalInterface Tim =
+      Module.Immersion.Tim == ImmersionCoolingConfig::TimKind::SiliconeGrease
+          ? thermal::ThermalInterface::makeSiliconeGrease(
+                Spec.PackageSizeM * Spec.PackageSizeM)
+      : Module.Immersion.Tim == ImmersionCoolingConfig::TimKind::GraphitePad
+          ? thermal::ThermalInterface::makeGraphitePad(Spec.PackageSizeM *
+                                                       Spec.PackageSizeM)
+          : thermal::ThermalInterface::makeSkatInterface(
+                Spec.PackageSizeM * Spec.PackageSizeM);
+  double TimR = Tim.resistanceKPerW(Module.Immersion.TimExposureHours);
+
+  const int NumFpgas = Module.NumCcbs * Board.computeFpgaCount();
+  // Nominal flow from the steady solver's operating point equation: use
+  // the rated point as the anchor and scale by pump speed.
+  double NominalFlow =
+      Module.Immersion.NumPumps * Module.Immersion.PumpRatedFlowM3PerS;
+
+  // Dynamic state.
+  fpga::WorkloadPoint Load = Module.Load;
+  double PumpSpeed = 1.0;
+  double ClockScale = 1.0;
+  bool ShutDown = false;
+  double WaterInlet = Conditions.WaterInletTempC;
+  double WaterFlow = Conditions.WaterFlowM3PerS;
+
+  double ChipCapacitance = NumFpgas * Config.ChipCapacitancePerFpgaJPerK;
+  double OilCapacitance = Config.OilVolumeM3 *
+                          Oil->volumetricHeatCapacityJPerM3K(35.0);
+
+  double OilTemp = WaterInlet + 4.0;
+  double ChipTemp = OilTemp + 5.0;
+
+  ControlSystem Control;
+  MonitoringConfig MonitorConfig = Control.config();
+  MonitorConfig.DesignFlowM3PerS = NominalFlow;
+  ControlSystem Controller{MonitorConfig};
+
+  std::vector<TraceSample> Trace;
+  size_t NextEvent = 0;
+  double NextSampleTime = 0.0;
+  double NextControlTime = 0.0;
+  rcsystem::AlarmLevel LastAlarm = rcsystem::AlarmLevel::Normal;
+  rcsystem::ControlAction LastAction = rcsystem::ControlAction::None;
+
+  for (double Time = 0.0; Time <= DurationS; Time += Config.TimeStepS) {
+    // Fire due events.
+    while (NextEvent < Events.size() && Events[NextEvent].TimeS <= Time) {
+      const Event &E = Events[NextEvent];
+      switch (E.Kind) {
+      case Event::Kind::Workload:
+        Load = E.Point;
+        break;
+      case Event::Kind::PumpSpeed:
+        PumpSpeed = E.Value;
+        break;
+      case Event::Kind::WaterInlet:
+        WaterInlet = E.Value;
+        break;
+      case Event::Kind::WaterFlow:
+        WaterFlow = E.Value;
+        break;
+      }
+      ++NextEvent;
+    }
+
+    // Flow from pump speed; a stopped pump leaves ~3% natural circulation.
+    double Flow = std::max(PumpSpeed, 0.03) * NominalFlow;
+    double Velocity = Flow / Module.Immersion.BathFlowAreaM2;
+
+    // Effective workload after control actions.
+    fpga::WorkloadPoint Effective = Load;
+    Effective.ClockFraction *= ClockScale;
+    if (ShutDown) {
+      Effective.Utilization = 0.0;
+      Effective.ClockFraction = 0.0;
+    }
+
+    // Chip power at current junction temperature.
+    double PerFpga = PowerModel.totalPowerW(Effective, ChipTemp);
+    double ChipHeat = NumFpgas * PerFpga;
+    double MiscHeat = Module.NumCcbs * Module.Board.MiscPowerW *
+                      (ShutDown ? 0.1 : 1.0);
+
+    // Conductances at this instant.
+    double SinkR = Sink.thermalResistanceKPerW(*Oil, OilTemp, Velocity,
+                                               ChipTemp);
+    double PerFpgaR = Spec.ThetaJcKPerW + TimR + SinkR;
+    double GChipOil = NumFpgas / PerFpgaR;
+
+    double COil = Flow * Oil->densityKgPerM3(OilTemp) *
+                  Oil->specificHeatJPerKgK(OilTemp);
+    double CWater = hydraulics::PlateHeatExchanger::capacityRateWPerK(
+        *Water, WaterFlow, WaterInlet);
+    // With the facility loop down the bath only leaks a little heat to
+    // the room through the casing.
+    double GOilWater = 3.0; // W/K casing loss.
+    if (COil > 0.0 && CWater > 0.0) {
+      double CMin = std::min(COil, CWater);
+      double CMax = std::max(COil, CWater);
+      double Cr = CMin / CMax;
+      double Ntu = Module.Immersion.HxUaWPerK / CMin;
+      double Eps = std::fabs(1.0 - Cr) < 1e-9
+                       ? Ntu / (1.0 + Ntu)
+                       : (1.0 - std::exp(-Ntu * (1.0 - Cr))) /
+                             (1.0 - Cr * std::exp(-Ntu * (1.0 - Cr)));
+      GOilWater = Eps * CMin;
+    }
+
+    // One implicit step of the two-node network.
+    thermal::ThermalNetwork Net;
+    thermal::NodeId Chips = Net.addNode("chips", ChipCapacitance);
+    thermal::NodeId Bath = Net.addNode("oil", OilCapacitance);
+    thermal::NodeId WaterNode = Net.addBoundaryNode("water", WaterInlet);
+    Net.addConductance(Chips, Bath, GChipOil);
+    Net.addConductance(Bath, WaterNode, GOilWater);
+    Net.addHeatSource(Chips, ChipHeat);
+    Net.addHeatSource(Bath, MiscHeat);
+    std::vector<double> State = {ChipTemp, OilTemp, WaterInlet};
+    Status StepStatus = Net.stepTransient(State, Config.TimeStepS);
+    if (!StepStatus.isOk())
+      return Expected<std::vector<TraceSample>>(
+          Status::error("transient step failed: " + StepStatus.message()));
+    ChipTemp = State[Chips];
+    OilTemp = State[Bath];
+
+    // Control loop.
+    if (Time >= NextControlTime) {
+      NextControlTime += Config.ControlPeriodS;
+      MonitoringReport Monitor =
+          Controller.evaluateRaw(OilTemp, ChipTemp, Flow);
+      LastAlarm = Monitor.Worst;
+      LastAction = Monitor.Action;
+      if (Config.ApplyControlActions && !ShutDown) {
+        switch (Monitor.Action) {
+        case ControlAction::None:
+          break;
+        case ControlAction::RaisePumpSpeed:
+          if (PumpSpeed > 0.0)
+            PumpSpeed = std::min(PumpSpeed + 0.1, 1.2);
+          break;
+        case ControlAction::ReduceClock:
+          ClockScale = std::max(0.5, ClockScale - 0.1);
+          break;
+        case ControlAction::Shutdown:
+          ShutDown = true;
+          break;
+        }
+      }
+    }
+
+    // Record.
+    if (Time >= NextSampleTime) {
+      NextSampleTime += Config.SampleIntervalS;
+      TraceSample Sample;
+      Sample.TimeS = Time;
+      Sample.MaxJunctionTempC = ChipTemp;
+      Sample.OilTempC = OilTemp;
+      Sample.TotalPowerW = ChipHeat + MiscHeat;
+      Sample.OilFlowM3PerS = Flow;
+      Sample.PumpSpeedFraction = PumpSpeed;
+      Sample.ClockFraction = ClockScale;
+      Sample.Alarm = LastAlarm;
+      Sample.Action = LastAction;
+      Sample.ShutDown = ShutDown;
+      Trace.push_back(Sample);
+    }
+  }
+  return Trace;
+}

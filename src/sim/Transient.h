@@ -1,0 +1,99 @@
+//===- sim/Transient.h - Transient module simulator -------------*- C++ -*-===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Time-domain simulation of one immersion-cooled computational module:
+/// a lumped electro-thermal model (chip mass + oil bath + chilled-water
+/// boundary) driven by workload traces and fault events, supervised by the
+/// CM monitoring subsystem. This reproduces the paper's heat experiments
+/// ("experimental tests of the developed solutions") as simulations:
+/// warm-up transients, pump failures, water-supply excursions and the
+/// control system's reactions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_SIM_TRANSIENT_H
+#define RCS_SIM_TRANSIENT_H
+
+#include "support/Status.h"
+#include "system/Module.h"
+#include "system/Monitoring.h"
+
+#include <vector>
+
+namespace rcs {
+namespace sim {
+
+/// Tunables of the transient engine.
+struct TransientConfig {
+  double TimeStepS = 2.0;
+  double SampleIntervalS = 10.0;
+  /// Period of the monitoring subsystem's control loop.
+  double ControlPeriodS = 30.0;
+  /// Whether controller actions (pump speed, clock shedding, shutdown)
+  /// are applied or merely recorded.
+  bool ApplyControlActions = true;
+  /// Lumped heat capacities.
+  double ChipCapacitancePerFpgaJPerK = 120.0; ///< Package + sink mass.
+  double OilVolumeM3 = 0.20;                  ///< Bath inventory.
+};
+
+/// One recorded sample of the transient trace.
+struct TraceSample {
+  double TimeS = 0.0;
+  double MaxJunctionTempC = 0.0;
+  double OilTempC = 0.0;
+  double TotalPowerW = 0.0;
+  double OilFlowM3PerS = 0.0;
+  double PumpSpeedFraction = 1.0;
+  double ClockFraction = 1.0;
+  rcsystem::AlarmLevel Alarm = rcsystem::AlarmLevel::Normal;
+  rcsystem::ControlAction Action = rcsystem::ControlAction::None;
+  bool ShutDown = false;
+};
+
+/// Transient simulator for an immersion module.
+class TransientSimulator {
+public:
+  /// \p Module must use immersion cooling.
+  TransientSimulator(rcsystem::ModuleConfig Module,
+                     rcsystem::ExternalConditions Conditions,
+                     TransientConfig Config = TransientConfig());
+
+  /// Schedules a workload change at \p TimeS.
+  void scheduleWorkload(double TimeS, fpga::WorkloadPoint Point);
+
+  /// Schedules a pump speed change (0 = failure / stop) at \p TimeS.
+  void schedulePumpSpeed(double TimeS, double SpeedFraction);
+
+  /// Schedules a chilled-water inlet temperature change at \p TimeS.
+  void scheduleWaterInlet(double TimeS, double TempC);
+
+  /// Schedules a chilled-water flow change at \p TimeS (0 = interruption
+  /// of the facility loop; the oil bath then rides on its thermal mass).
+  void scheduleWaterFlow(double TimeS, double FlowM3PerS);
+
+  /// Runs the simulation for \p DurationS seconds and returns the trace.
+  Expected<std::vector<TraceSample>> run(double DurationS);
+
+private:
+  struct Event {
+    double TimeS;
+    enum class Kind { Workload, PumpSpeed, WaterInlet, WaterFlow } Kind;
+    fpga::WorkloadPoint Point;
+    double Value = 0.0;
+  };
+
+  rcsystem::ModuleConfig Module;
+  rcsystem::ExternalConditions Conditions;
+  TransientConfig Config;
+  std::vector<Event> Events;
+};
+
+} // namespace sim
+} // namespace rcs
+
+#endif // RCS_SIM_TRANSIENT_H

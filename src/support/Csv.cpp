@@ -1,0 +1,78 @@
+//===- support/Csv.cpp - CSV emission ---------------------------------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Csv.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace rcs;
+
+CsvWriter::CsvWriter(std::vector<std::string> ColumnsIn)
+    : Columns(std::move(ColumnsIn)) {
+  assert(!Columns.empty() && "CSV needs at least one column");
+}
+
+void CsvWriter::addRow(std::vector<std::string> Cells) {
+  assert(Cells.size() == Columns.size() && "CSV row width mismatch");
+  Rows.push_back(std::move(Cells));
+}
+
+void CsvWriter::addNumericRow(const std::vector<double> &Values) {
+  assert(Values.size() == Columns.size() && "CSV row width mismatch");
+  std::vector<std::string> Cells;
+  Cells.reserve(Values.size());
+  for (double V : Values)
+    Cells.push_back(formatString("%.9g", V));
+  Rows.push_back(std::move(Cells));
+}
+
+std::string CsvWriter::escapeCell(const std::string &Cell) {
+  bool NeedsQuoting = Cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!NeedsQuoting)
+    return Cell;
+  std::string Out = "\"";
+  for (char C : Cell) {
+    if (C == '"')
+      Out += '"';
+    Out += C;
+  }
+  Out += '"';
+  return Out;
+}
+
+std::string CsvWriter::render() const {
+  std::string Out;
+  for (size_t I = 0, E = Columns.size(); I != E; ++I) {
+    if (I != 0)
+      Out += ',';
+    Out += escapeCell(Columns[I]);
+  }
+  Out += '\n';
+  for (const auto &Row : Rows) {
+    for (size_t I = 0, E = Row.size(); I != E; ++I) {
+      if (I != 0)
+        Out += ',';
+      Out += escapeCell(Row[I]);
+    }
+    Out += '\n';
+  }
+  return Out;
+}
+
+Status CsvWriter::writeFile(const std::string &Path) const {
+  std::FILE *File = std::fopen(Path.c_str(), "w");
+  if (!File)
+    return Status::error("cannot open file for writing: " + Path);
+  std::string Body = render();
+  size_t Written = std::fwrite(Body.data(), 1, Body.size(), File);
+  std::fclose(File);
+  if (Written != Body.size())
+    return Status::error("short write to file: " + Path);
+  return Status::ok();
+}

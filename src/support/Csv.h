@@ -1,0 +1,52 @@
+//===- support/Csv.h - CSV emission -----------------------------*- C++ -*-===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal CSV writer (RFC 4180 quoting) used to export simulation traces
+/// for offline plotting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_SUPPORT_CSV_H
+#define RCS_SUPPORT_CSV_H
+
+#include "support/Status.h"
+
+#include <string>
+#include <vector>
+
+namespace rcs {
+
+/// Accumulates CSV rows in memory and renders or saves them.
+class CsvWriter {
+public:
+  /// Creates a writer with the given column names.
+  explicit CsvWriter(std::vector<std::string> Columns);
+
+  /// Appends a row of string cells (must match the column count).
+  void addRow(std::vector<std::string> Cells);
+
+  /// Appends a row of numeric cells (must match the column count).
+  void addNumericRow(const std::vector<double> &Values);
+
+  /// Renders the document to a string.
+  std::string render() const;
+
+  /// Writes the document to \p Path.
+  Status writeFile(const std::string &Path) const;
+
+  size_t numRows() const { return Rows.size(); }
+
+private:
+  static std::string escapeCell(const std::string &Cell);
+
+  std::vector<std::string> Columns;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace rcs
+
+#endif // RCS_SUPPORT_CSV_H

@@ -1,0 +1,90 @@
+//===- support/Interp.cpp - Piecewise-linear lookup tables -----------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Interp.h"
+
+#include <algorithm>
+
+using namespace rcs;
+
+LinearTable::LinearTable(
+    std::initializer_list<std::pair<double, double>> Samples) {
+  Xs.reserve(Samples.size());
+  Ys.reserve(Samples.size());
+  for (const auto &[X, Y] : Samples) {
+    assert((Xs.empty() || X > Xs.back()) &&
+           "LinearTable x values must strictly increase");
+    Xs.push_back(X);
+    Ys.push_back(Y);
+  }
+  assert(Xs.size() >= 2 && "LinearTable needs at least two samples");
+}
+
+LinearTable::LinearTable(std::vector<double> XsIn, std::vector<double> YsIn)
+    : Xs(std::move(XsIn)), Ys(std::move(YsIn)) {
+  assert(Xs.size() == Ys.size() && "LinearTable size mismatch");
+  assert(Xs.size() >= 2 && "LinearTable needs at least two samples");
+  for (size_t I = 1, E = Xs.size(); I != E; ++I)
+    assert(Xs[I] > Xs[I - 1] && "LinearTable x values must strictly increase");
+}
+
+size_t LinearTable::segmentFor(double X) const {
+  assert(Xs.size() >= 2 && "evaluating an empty LinearTable");
+  // Index of the segment [Xs[I], Xs[I+1]] containing (or nearest to) X.
+  auto It = std::upper_bound(Xs.begin(), Xs.end(), X);
+  if (It == Xs.begin())
+    return 0;
+  size_t Idx = static_cast<size_t>(It - Xs.begin()) - 1;
+  return std::min(Idx, Xs.size() - 2);
+}
+
+double LinearTable::evaluate(double X) const {
+  assert(!Xs.empty() && "evaluating an empty LinearTable");
+  if (!Extrapolate) {
+    if (X <= Xs.front())
+      return Ys.front();
+    if (X >= Xs.back())
+      return Ys.back();
+  }
+  size_t I = segmentFor(X);
+  double Slope = (Ys[I + 1] - Ys[I]) / (Xs[I + 1] - Xs[I]);
+  return Ys[I] + Slope * (X - Xs[I]);
+}
+
+double LinearTable::derivative(double X) const {
+  assert(!Xs.empty() && "differentiating an empty LinearTable");
+  if (!Extrapolate) {
+    if (X < Xs.front() || X > Xs.back())
+      return 0.0;
+  }
+  size_t I = segmentFor(X);
+  return (Ys[I + 1] - Ys[I]) / (Xs[I + 1] - Xs[I]);
+}
+
+double LinearTable::inverse(double Y) const {
+  assert(Xs.size() >= 2 && "inverting an empty LinearTable");
+  bool Increasing = Ys.back() > Ys.front();
+#ifndef NDEBUG
+  for (size_t I = 1, E = Ys.size(); I != E; ++I)
+    assert((Increasing ? Ys[I] > Ys[I - 1] : Ys[I] < Ys[I - 1]) &&
+           "LinearTable::inverse requires strictly monotonic y values");
+#endif
+  // Clamp to range.
+  double YLow = Increasing ? Ys.front() : Ys.back();
+  double YHigh = Increasing ? Ys.back() : Ys.front();
+  if (Y <= YLow)
+    return Increasing ? Xs.front() : Xs.back();
+  if (Y >= YHigh)
+    return Increasing ? Xs.back() : Xs.front();
+  for (size_t I = 1, E = Ys.size(); I != E; ++I) {
+    bool InSegment = Increasing ? (Y <= Ys[I]) : (Y >= Ys[I]);
+    if (!InSegment)
+      continue;
+    double Slope = (Xs[I] - Xs[I - 1]) / (Ys[I] - Ys[I - 1]);
+    return Xs[I - 1] + Slope * (Y - Ys[I - 1]);
+  }
+  return Xs.back();
+}

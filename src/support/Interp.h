@@ -1,0 +1,73 @@
+//===- support/Interp.h - Piecewise-linear lookup tables -------*- C++ -*-===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Piecewise-linear interpolation tables used for fluid properties, pump
+/// curves and fan curves. Values outside the table range are clamped to the
+/// end segments (linear extrapolation is optional).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_SUPPORT_INTERP_H
+#define RCS_SUPPORT_INTERP_H
+
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <utility>
+#include <vector>
+
+namespace rcs {
+
+/// A piecewise-linear function y(x) defined by sorted sample points.
+class LinearTable {
+public:
+  LinearTable() = default;
+
+  /// Builds a table from (x, y) samples; x values must strictly increase.
+  LinearTable(std::initializer_list<std::pair<double, double>> Samples);
+
+  /// Builds a table from parallel vectors; x values must strictly increase.
+  LinearTable(std::vector<double> Xs, std::vector<double> Ys);
+
+  /// Evaluates the table at \p X.
+  ///
+  /// Outside the sample range the value is clamped to the first or last
+  /// sample unless extrapolation was enabled with setExtrapolate.
+  double evaluate(double X) const;
+
+  /// Enables linear extrapolation beyond the end points.
+  void setExtrapolate(bool Enable) { Extrapolate = Enable; }
+
+  /// Returns the derivative dy/dx at \p X (piecewise constant).
+  double derivative(double X) const;
+
+  /// Returns the inverse x(y) assuming y values strictly increase or
+  /// strictly decrease. Asserts on non-monotonic tables.
+  double inverse(double Y) const;
+
+  size_t size() const { return Xs.size(); }
+  bool empty() const { return Xs.empty(); }
+  double minX() const {
+    assert(!Xs.empty());
+    return Xs.front();
+  }
+  double maxX() const {
+    assert(!Xs.empty());
+    return Xs.back();
+  }
+
+private:
+  size_t segmentFor(double X) const;
+
+  std::vector<double> Xs;
+  std::vector<double> Ys;
+  bool Extrapolate = false;
+};
+
+} // namespace rcs
+
+#endif // RCS_SUPPORT_INTERP_H

@@ -1,0 +1,127 @@
+//===- support/Numerics.h - Small numeric kernels --------------*- C++ -*-===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dense linear algebra and root finding used by the thermal and hydraulic
+/// solvers. Problem sizes in skatsim are small (tens to a few thousand
+/// unknowns), so dense LU with partial pivoting is sufficient and robust.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_SUPPORT_NUMERICS_H
+#define RCS_SUPPORT_NUMERICS_H
+
+#include "support/Status.h"
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace rcs {
+
+/// A dense row-major matrix of doubles.
+class Matrix {
+public:
+  Matrix() = default;
+
+  /// Creates a Rows x Cols matrix initialized to zero.
+  Matrix(size_t Rows, size_t Cols)
+      : NumRows(Rows), NumCols(Cols), Data(Rows * Cols, 0.0) {}
+
+  size_t rows() const { return NumRows; }
+  size_t cols() const { return NumCols; }
+
+  double &at(size_t Row, size_t Col) {
+    assert(Row < NumRows && Col < NumCols && "matrix index out of range");
+    return Data[Row * NumCols + Col];
+  }
+  double at(size_t Row, size_t Col) const {
+    assert(Row < NumRows && Col < NumCols && "matrix index out of range");
+    return Data[Row * NumCols + Col];
+  }
+
+  /// Creates an identity matrix of size N.
+  static Matrix identity(size_t N);
+
+  /// Matrix-vector product; \p X must have cols() entries.
+  std::vector<double> apply(const std::vector<double> &X) const;
+
+private:
+  size_t NumRows = 0;
+  size_t NumCols = 0;
+  std::vector<double> Data;
+};
+
+/// Solves A * X = B in place via LU with partial pivoting.
+///
+/// \returns an error when the matrix is singular to working precision.
+Expected<std::vector<double>> solveDense(Matrix A, std::vector<double> B);
+
+/// Solves a tridiagonal system with the Thomas algorithm.
+///
+/// \p Lower has N-1 entries (subdiagonal), \p Diag N entries, \p Upper N-1
+/// entries. \returns an error on a zero pivot.
+Expected<std::vector<double>>
+solveTridiagonal(std::vector<double> Lower, std::vector<double> Diag,
+                 std::vector<double> Upper, std::vector<double> Rhs);
+
+/// Options controlling scalar root searches.
+struct RootFindOptions {
+  double AbsTolerance = 1e-10;
+  int MaxIterations = 200;
+};
+
+/// Finds a root of \p F in [Low, High] with Brent's method.
+///
+/// Requires F(Low) and F(High) to have opposite signs.
+Expected<double> findRootBrent(const std::function<double(double)> &F,
+                               double Low, double High,
+                               RootFindOptions Options = RootFindOptions());
+
+/// Newton iteration with numeric derivative and bisection fallback bounds.
+///
+/// Falls back to Brent within [Low, High] when Newton leaves the bracket.
+Expected<double> findRootNewton(const std::function<double(double)> &F,
+                                double Initial, double Low, double High,
+                                RootFindOptions Options = RootFindOptions());
+
+/// Result of a damped multi-dimensional Newton solve.
+struct NewtonResult {
+  std::vector<double> Solution;
+  int Iterations = 0;
+  double ResidualNorm = 0.0;
+  bool Converged = false;
+};
+
+/// Options for solveNewtonSystem.
+struct NewtonOptions {
+  double ResidualTolerance = 1e-9;
+  double StepTolerance = 1e-12;
+  int MaxIterations = 100;
+  /// Perturbation for finite-difference Jacobians. Relative to each
+  /// unknown's magnitude by default; absolute when JacobianRelative is
+  /// false (useful when unknowns span orders of magnitude but the
+  /// residual's sensitivity does not scale with them).
+  double JacobianEpsilon = 1e-7;
+  bool JacobianRelative = true;
+  /// Maximum damping halvings per step.
+  int MaxBacktracks = 30;
+};
+
+/// Solves F(X) = 0 with damped Newton and a finite-difference Jacobian.
+NewtonResult solveNewtonSystem(
+    const std::function<std::vector<double>(const std::vector<double> &)> &F,
+    std::vector<double> Initial, NewtonOptions Options = NewtonOptions());
+
+/// Euclidean norm of \p X.
+double vectorNorm(const std::vector<double> &X);
+
+/// Maximum absolute entry of \p X; zero for empty vectors.
+double vectorMaxAbs(const std::vector<double> &X);
+
+} // namespace rcs
+
+#endif // RCS_SUPPORT_NUMERICS_H

@@ -1,0 +1,89 @@
+//===- support/Random.cpp - Deterministic random numbers ------------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace rcs;
+
+static uint64_t splitMix64(uint64_t &X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  uint64_t Z = X;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+static uint64_t rotl(uint64_t X, int K) { return (X << K) | (X >> (64 - K)); }
+
+RandomEngine::RandomEngine(uint64_t Seed) {
+  uint64_t S = Seed;
+  for (uint64_t &Word : State)
+    Word = splitMix64(S);
+}
+
+uint64_t RandomEngine::next() {
+  uint64_t Result = rotl(State[1] * 5, 7) * 9;
+  uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+double RandomEngine::uniform() {
+  // 53 top bits give a uniform double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double RandomEngine::uniform(double Low, double High) {
+  assert(Low <= High && "inverted uniform range");
+  return Low + (High - Low) * uniform();
+}
+
+uint64_t RandomEngine::uniformInt(uint64_t Bound) {
+  assert(Bound > 0 && "uniformInt bound must be positive");
+  // Rejection sampling to avoid modulo bias.
+  uint64_t Threshold = (0ULL - Bound) % Bound;
+  while (true) {
+    uint64_t Raw = next();
+    if (Raw >= Threshold)
+      return Raw % Bound;
+  }
+}
+
+double RandomEngine::normal(double Mean, double StdDev) {
+  if (HasSpareNormal) {
+    HasSpareNormal = false;
+    return Mean + StdDev * SpareNormal;
+  }
+  double U1 = 0.0;
+  do {
+    U1 = uniform();
+  } while (U1 <= 1e-300);
+  double U2 = uniform();
+  double Radius = std::sqrt(-2.0 * std::log(U1));
+  double Angle = 2.0 * M_PI * U2;
+  SpareNormal = Radius * std::sin(Angle);
+  HasSpareNormal = true;
+  return Mean + StdDev * Radius * std::cos(Angle);
+}
+
+double RandomEngine::exponential(double Lambda) {
+  assert(Lambda > 0 && "exponential rate must be positive");
+  double U = 0.0;
+  do {
+    U = uniform();
+  } while (U <= 1e-300);
+  return -std::log(U) / Lambda;
+}
+
+bool RandomEngine::bernoulli(double P) { return uniform() < P; }

@@ -1,0 +1,56 @@
+//===- support/Random.h - Deterministic random numbers ---------*- C++ -*-===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic, seedable PRNG (xoshiro256**) used by workload generators
+/// and fault injection so experiments are exactly reproducible across runs
+/// and platforms. Not suitable for cryptography.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_SUPPORT_RANDOM_H
+#define RCS_SUPPORT_RANDOM_H
+
+#include <cstdint>
+
+namespace rcs {
+
+/// xoshiro256** with splitmix64 seeding.
+class RandomEngine {
+public:
+  /// Seeds the engine; equal seeds give identical streams on any platform.
+  explicit RandomEngine(uint64_t Seed = 0x5ca75eedULL);
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next();
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double uniform();
+
+  /// Returns a double uniformly distributed in [Low, High).
+  double uniform(double Low, double High);
+
+  /// Returns an integer uniformly distributed in [0, Bound).
+  uint64_t uniformInt(uint64_t Bound);
+
+  /// Returns a sample from a normal distribution (Box-Muller).
+  double normal(double Mean, double StdDev);
+
+  /// Returns a sample from an exponential distribution with rate \p Lambda.
+  double exponential(double Lambda);
+
+  /// Returns true with probability \p P.
+  bool bernoulli(double P);
+
+private:
+  uint64_t State[4];
+  bool HasSpareNormal = false;
+  double SpareNormal = 0.0;
+};
+
+} // namespace rcs
+
+#endif // RCS_SUPPORT_RANDOM_H

@@ -1,0 +1,103 @@
+//===- support/Status.h - Error handling without exceptions ----*- C++ -*-===//
+//
+// Part of skatsim, an open reproduction of "High-Performance Reconfigurable
+// Computer Systems with Immersion Cooling". MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight Status / Expected<T> types used for recoverable errors.
+/// skatsim is built without exceptions; functions that can fail in ways the
+/// caller is expected to handle return Status or Expected<T>. Programming
+/// errors are asserted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_SUPPORT_STATUS_H
+#define RCS_SUPPORT_STATUS_H
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace rcs {
+
+/// Result of an operation that can fail with a human-readable message.
+class Status {
+public:
+  /// Creates a success value.
+  Status() = default;
+
+  /// Creates a failure carrying \p Message.
+  static Status error(std::string Message) {
+    Status S;
+    S.Failed = true;
+    S.Message = std::move(Message);
+    return S;
+  }
+
+  /// Creates a success value (explicit spelling for readability).
+  static Status ok() { return Status(); }
+
+  bool isOk() const { return !Failed; }
+  explicit operator bool() const { return isOk(); }
+
+  /// Returns the error message; empty for success values.
+  const std::string &message() const { return Message; }
+
+private:
+  bool Failed = false;
+  std::string Message;
+};
+
+/// Either a value of type T or an error message.
+///
+/// A minimal analog of llvm::Expected for an exception-free code base.
+/// Callers must check hasValue() (or operator bool) before dereferencing.
+template <typename T> class Expected {
+public:
+  /// Constructs a success value.
+  Expected(T Value) : Valid(true), Value(std::move(Value)) {}
+
+  /// Constructs a failure from an error status.
+  Expected(Status S) : Valid(false), Error(std::move(S)) {
+    assert(!Error.isOk() && "Expected constructed from a success Status");
+  }
+
+  /// Convenience failure constructor.
+  static Expected<T> error(std::string Message) {
+    return Expected<T>(Status::error(std::move(Message)));
+  }
+
+  bool hasValue() const { return Valid; }
+  explicit operator bool() const { return Valid; }
+
+  const T &operator*() const {
+    assert(Valid && "dereferencing an error Expected");
+    return Value;
+  }
+  T &operator*() {
+    assert(Valid && "dereferencing an error Expected");
+    return Value;
+  }
+  const T *operator->() const { return &operator*(); }
+  T *operator->() { return &operator*(); }
+
+  /// Returns the value, or \p Default when this holds an error.
+  T valueOr(T Default) const { return Valid ? Value : std::move(Default); }
+
+  /// Returns the error status; success values return an OK status.
+  const Status &status() const { return Error; }
+
+  /// Returns the error message (empty for success values).
+  const std::string &message() const { return Error.message(); }
+
+private:
+  bool Valid;
+  T Value{};
+  Status Error;
+};
+
+} // namespace rcs
+
+#endif // RCS_SUPPORT_STATUS_H

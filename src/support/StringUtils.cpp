@@ -1,0 +1,93 @@
+//===- support/StringUtils.cpp - String helpers ---------------------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cstdio>
+
+using namespace rcs;
+
+std::string rcs::formatStringV(const char *Fmt, va_list Args) {
+  va_list Copy;
+  va_copy(Copy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Copy);
+  va_end(Copy);
+  if (Needed <= 0)
+    return std::string();
+  std::string Out(static_cast<size_t>(Needed), '\0');
+  std::vsnprintf(Out.data(), Out.size() + 1, Fmt, Args);
+  return Out;
+}
+
+std::string rcs::formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  std::string Out = formatStringV(Fmt, Args);
+  va_end(Args);
+  return Out;
+}
+
+std::vector<std::string> rcs::splitString(const std::string &Text,
+                                          char Separator) {
+  std::vector<std::string> Parts;
+  size_t Start = 0;
+  while (true) {
+    size_t Pos = Text.find(Separator, Start);
+    if (Pos == std::string::npos) {
+      Parts.push_back(Text.substr(Start));
+      return Parts;
+    }
+    Parts.push_back(Text.substr(Start, Pos - Start));
+    Start = Pos + 1;
+  }
+}
+
+std::string rcs::trimString(const std::string &Text) {
+  size_t Begin = 0;
+  size_t End = Text.size();
+  while (Begin < End && std::isspace(static_cast<unsigned char>(Text[Begin])))
+    ++Begin;
+  while (End > Begin &&
+         std::isspace(static_cast<unsigned char>(Text[End - 1])))
+    --End;
+  return Text.substr(Begin, End - Begin);
+}
+
+std::string rcs::joinStrings(const std::vector<std::string> &Parts,
+                             const std::string &Separator) {
+  std::string Out;
+  for (size_t I = 0, E = Parts.size(); I != E; ++I) {
+    if (I != 0)
+      Out += Separator;
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+bool rcs::startsWith(const std::string &Text, const std::string &Prefix) {
+  return Text.size() >= Prefix.size() &&
+         Text.compare(0, Prefix.size(), Prefix) == 0;
+}
+
+std::string rcs::toLower(std::string Text) {
+  for (char &C : Text)
+    C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+  return Text;
+}
+
+std::string rcs::formatDouble(double Value, int Digits) {
+  std::string Out = formatString("%.*f", Digits, Value);
+  // Trim trailing zeros but keep at least one digit after the dot trimmed
+  // away entirely ("3.000" -> "3").
+  if (Out.find('.') != std::string::npos) {
+    size_t Last = Out.find_last_not_of('0');
+    if (Out[Last] == '.')
+      --Last;
+    Out.erase(Last + 1);
+  }
+  return Out;
+}

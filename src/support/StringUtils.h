@@ -1,0 +1,51 @@
+//===- support/StringUtils.h - String helpers ------------------*- C++ -*-===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// printf-style formatting into std::string plus small string helpers used
+/// throughout the library for diagnostics and report generation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_SUPPORT_STRINGUTILS_H
+#define RCS_SUPPORT_STRINGUTILS_H
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace rcs {
+
+/// Formats \p Fmt printf-style into a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// va_list flavor of formatString.
+std::string formatStringV(const char *Fmt, va_list Args);
+
+/// Splits \p Text on \p Separator; empty fields are preserved.
+std::vector<std::string> splitString(const std::string &Text, char Separator);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string trimString(const std::string &Text);
+
+/// Joins \p Parts with \p Separator between consecutive elements.
+std::string joinStrings(const std::vector<std::string> &Parts,
+                        const std::string &Separator);
+
+/// Returns true if \p Text starts with \p Prefix.
+bool startsWith(const std::string &Text, const std::string &Prefix);
+
+/// Lower-cases ASCII letters in \p Text.
+std::string toLower(std::string Text);
+
+/// Renders a double with \p Digits significant decimals, trimming a bare
+/// trailing dot ("3." becomes "3").
+std::string formatDouble(double Value, int Digits = 3);
+
+} // namespace rcs
+
+#endif // RCS_SUPPORT_STRINGUTILS_H

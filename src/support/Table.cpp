@@ -1,0 +1,58 @@
+//===- support/Table.cpp - Plain-text report tables ------------------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace rcs;
+
+Table::Table(std::vector<std::string> HeadersIn)
+    : Headers(std::move(HeadersIn)) {
+  assert(!Headers.empty() && "a table needs at least one column");
+}
+
+void Table::addRow(std::vector<std::string> Cells) {
+  assert(Cells.size() == Headers.size() &&
+         "row width must match the header count");
+  Rows.push_back(std::move(Cells));
+}
+
+void Table::addSeparator() { Rows.push_back({}); }
+
+std::string Table::render() const {
+  std::vector<size_t> Widths(Headers.size(), 0);
+  for (size_t Col = 0, E = Headers.size(); Col != E; ++Col)
+    Widths[Col] = Headers[Col].size();
+  for (const auto &Row : Rows) {
+    if (Row.empty())
+      continue;
+    for (size_t Col = 0, E = Row.size(); Col != E; ++Col)
+      Widths[Col] = std::max(Widths[Col], Row[Col].size());
+  }
+
+  auto renderLine = [&](const std::vector<std::string> &Cells) {
+    std::string Line = "|";
+    for (size_t Col = 0, E = Headers.size(); Col != E; ++Col) {
+      const std::string &Cell = Col < Cells.size() ? Cells[Col] : "";
+      Line += " " + Cell + std::string(Widths[Col] - Cell.size(), ' ') + " |";
+    }
+    return Line + "\n";
+  };
+  auto renderSeparator = [&]() {
+    std::string Line = "|";
+    for (size_t Col = 0, E = Headers.size(); Col != E; ++Col)
+      Line += std::string(Widths[Col] + 2, '-') + "|";
+    return Line + "\n";
+  };
+
+  std::string Out = renderLine(Headers);
+  Out += renderSeparator();
+  for (const auto &Row : Rows)
+    Out += Row.empty() ? renderSeparator() : renderLine(Row);
+  return Out;
+}

@@ -1,0 +1,45 @@
+//===- support/Table.h - Plain-text report tables --------------*- C++ -*-===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small column-aligned table renderer used by benches and examples to
+/// print paper-vs-measured rows.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_SUPPORT_TABLE_H
+#define RCS_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace rcs {
+
+/// Column-aligned plain-text table.
+class Table {
+public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> Headers);
+
+  /// Appends a row; the row must have exactly as many cells as headers.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Appends a horizontal separator row.
+  void addSeparator();
+
+  /// Renders the table with single-space-padded pipes.
+  std::string render() const;
+
+  size_t numRows() const { return Rows.size(); }
+
+private:
+  std::vector<std::string> Headers;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace rcs
+
+#endif // RCS_SUPPORT_TABLE_H

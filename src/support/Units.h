@@ -1,0 +1,85 @@
+//===- support/Units.h - Unit conversions and constants --------*- C++ -*-===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit conventions and conversion helpers.
+///
+/// skatsim uses SI units internally everywhere: temperatures in degrees
+/// Celsius for interfaces that mirror the paper (all thermal math is on
+/// temperature differences, so Celsius and Kelvin are interchangeable there),
+/// kelvin where absolute temperature matters (Arrhenius), pressure in Pa,
+/// volumetric flow in m^3/s, power in W, lengths in m.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_SUPPORT_UNITS_H
+#define RCS_SUPPORT_UNITS_H
+
+namespace rcs {
+namespace units {
+
+/// Absolute zero offset between Celsius and Kelvin.
+inline constexpr double KelvinOffset = 273.15;
+
+/// Converts degrees Celsius to kelvin.
+inline constexpr double celsiusToKelvin(double Celsius) {
+  return Celsius + KelvinOffset;
+}
+
+/// Converts kelvin to degrees Celsius.
+inline constexpr double kelvinToCelsius(double Kelvin) {
+  return Kelvin - KelvinOffset;
+}
+
+/// Converts liters per minute to m^3/s.
+inline constexpr double litersPerMinuteToM3PerS(double Lpm) {
+  return Lpm / 60000.0;
+}
+
+/// Converts m^3/s to liters per minute.
+inline constexpr double m3PerSToLitersPerMinute(double M3PerS) {
+  return M3PerS * 60000.0;
+}
+
+/// Converts m^3/s to m^3 per minute.
+inline constexpr double m3PerSToM3PerMinute(double M3PerS) {
+  return M3PerS * 60.0;
+}
+
+/// Converts millimeters to meters.
+inline constexpr double mmToM(double Mm) { return Mm * 1e-3; }
+
+/// Converts bar to pascal.
+inline constexpr double barToPa(double Bar) { return Bar * 1e5; }
+
+/// Converts pascal to bar.
+inline constexpr double paToBar(double Pa) { return Pa * 1e-5; }
+
+/// Converts kilowatts to watts.
+inline constexpr double kwToW(double Kw) { return Kw * 1e3; }
+
+/// Rack unit height in meters (EIA-310).
+inline constexpr double RackUnitM = 0.04445;
+
+/// Standard gravitational acceleration, m/s^2.
+inline constexpr double GravityMPerS2 = 9.80665;
+
+/// Universal Boltzmann constant in eV/K (used by Arrhenius models).
+inline constexpr double BoltzmannEvPerK = 8.617333262e-5;
+
+/// Giga multiplier.
+inline constexpr double Giga = 1e9;
+
+/// Tera multiplier.
+inline constexpr double Tera = 1e12;
+
+/// Peta multiplier.
+inline constexpr double Peta = 1e15;
+
+} // namespace units
+} // namespace rcs
+
+#endif // RCS_SUPPORT_UNITS_H

@@ -1,0 +1,65 @@
+//===- system/Board.cpp - Computational circuit board (CCB) -----------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "system/Board.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace rcs;
+using namespace rcs::rcsystem;
+
+Ccb::Ccb(CcbConfig ConfigIn)
+    : Config(ConfigIn), Spec(&fpga::getFpgaSpec(ConfigIn.Model)),
+      PowerModel(*Spec) {
+  assert(Config.NumComputeFpgas >= 1 && "a CCB needs compute FPGAs");
+  assert(Config.ControllerOverheadFraction >= 0.0 &&
+         Config.ControllerOverheadFraction < 0.5 &&
+         "controller overhead should be a few percent");
+}
+
+int Ccb::totalFpgaCount() const {
+  return Config.NumComputeFpgas + (Config.SeparateControllerFpga ? 1 : 0);
+}
+
+int Ccb::sitesAcross() const {
+  // Packages mount in two rows along the board; round up.
+  return (totalFpgaCount() + 1) / 2;
+}
+
+bool Ccb::fitsStandard19InchRack() const {
+  double SitePitch = Spec->PackageSizeM + Config.SiteMarginM;
+  return sitesAcross() * SitePitch <= Config.UsableSiteWidthM;
+}
+
+double Ccb::peakGflops() const {
+  double Boards = static_cast<double>(Config.NumComputeFpgas);
+  if (!Config.SeparateControllerFpga)
+    Boards -= Config.ControllerOverheadFraction;
+  return Boards * Spec->PeakGflops;
+}
+
+double Ccb::computeFpgaPowerW(const fpga::WorkloadPoint &Load,
+                              double JunctionTempC) const {
+  return PowerModel.totalPowerW(Load, JunctionTempC);
+}
+
+double Ccb::nonFpgaPowerW(const fpga::WorkloadPoint &Load,
+                          double JunctionTempC) const {
+  double Misc = Config.MiscPowerW;
+  if (Config.SeparateControllerFpga) {
+    // The controller FPGA runs cooler and far below full utilization.
+    Misc += Config.ControllerPowerFraction *
+            PowerModel.totalPowerW(Load, JunctionTempC - 10.0);
+  }
+  return Misc;
+}
+
+double Ccb::boardPowerW(const fpga::WorkloadPoint &Load,
+                        double JunctionTempC) const {
+  return Config.NumComputeFpgas * computeFpgaPowerW(Load, JunctionTempC) +
+         nonFpgaPowerW(Load, JunctionTempC);
+}

@@ -1,0 +1,102 @@
+//===- system/Board.h - Computational circuit board (CCB) ------*- C++ -*-===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The computational circuit board (CCB): the paper's boards carry eight
+/// high-power FPGAs at high packing density, plus (before SKAT+) a separate
+/// controller FPGA that provides access, programming and monitoring. The
+/// SKAT+ redesign removes the separate controller - its functions cost only
+/// a few percent of one modern FPGA - because the larger 45 mm UltraScale+
+/// packages otherwise no longer fit a standard 19" rack (paper Section 4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_SYSTEM_BOARD_H
+#define RCS_SYSTEM_BOARD_H
+
+#include "fpga/Device.h"
+#include "fpga/PowerModel.h"
+
+#include <string>
+
+namespace rcs {
+namespace rcsystem {
+
+/// Static configuration of one CCB.
+struct CcbConfig {
+  fpga::FpgaModel Model = fpga::FpgaModel::XCKU095;
+  /// Computational FPGAs on the board (the paper: eight).
+  int NumComputeFpgas = 8;
+  /// True when the board carries a dedicated controller FPGA (pre-SKAT+
+  /// designs); false when one compute FPGA doubles as the controller.
+  bool SeparateControllerFpga = true;
+  /// Fraction of one compute FPGA's resources the controller functions
+  /// occupy ("only some percent of the logic capacity").
+  double ControllerOverheadFraction = 0.04;
+  /// Controller FPGA power relative to a compute FPGA (it is a smaller,
+  /// mostly idle part).
+  double ControllerPowerFraction = 0.30;
+  /// Non-FPGA board power: VRM losses, memories, clocking, transceivers.
+  double MiscPowerW = 45.0;
+  /// Board envelope (vertical immersion orientation).
+  double BoardLengthM = 0.44;
+  double BoardWidthM = 0.30;
+  /// Usable width inside a standard 19" chassis for FPGA sites.
+  double UsableSiteWidthM = 0.285;
+  /// Keep-out margin around each package for sink clamping and routing.
+  double SiteMarginM = 0.0135;
+};
+
+/// A computational circuit board.
+class Ccb {
+public:
+  explicit Ccb(CcbConfig Config);
+
+  const CcbConfig &config() const { return Config; }
+  const fpga::FpgaSpec &fpgaSpec() const { return *Spec; }
+
+  /// Number of FPGA packages physically on the board.
+  int totalFpgaCount() const;
+
+  /// Number of FPGAs running computational kernels.
+  int computeFpgaCount() const { return Config.NumComputeFpgas; }
+
+  /// FPGA sites across the board width (two mounting rows).
+  int sitesAcross() const;
+
+  /// True when the board fits a standard 19" rack - the constraint that
+  /// drives the SKAT+ controller removal (paper Section 4).
+  bool fitsStandard19InchRack() const;
+
+  /// Peak throughput of the board, GFLOPS; accounts for controller
+  /// overhead stealing capacity on controller-less designs.
+  double peakGflops() const;
+
+  /// Board power when every compute FPGA runs \p Load at junction
+  /// temperature \p JunctionTempC (controller and misc power included).
+  double boardPowerW(const fpga::WorkloadPoint &Load,
+                     double JunctionTempC) const;
+
+  /// Power of one compute FPGA at the given point (helper for thermal
+  /// solvers that track per-device temperatures).
+  double computeFpgaPowerW(const fpga::WorkloadPoint &Load,
+                           double JunctionTempC) const;
+
+  /// Heat dissipated by the board minus its FPGAs (spread along the
+  /// board; treated as a distributed source by thermal solvers).
+  double nonFpgaPowerW(const fpga::WorkloadPoint &Load,
+                       double JunctionTempC) const;
+
+private:
+  CcbConfig Config;
+  const fpga::FpgaSpec *Spec;
+  fpga::FpgaPowerModel PowerModel;
+};
+
+} // namespace rcsystem
+} // namespace rcs
+
+#endif // RCS_SYSTEM_BOARD_H

@@ -1,0 +1,47 @@
+//===- system/Chiller.cpp - Industrial chiller model --------------------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "system/Chiller.h"
+
+#include "support/Units.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace rcs;
+using namespace rcs::rcsystem;
+
+Chiller::Chiller(std::string NameIn, double SupplyTempCIn, double RatedDutyWIn,
+                 double CarnotFractionIn)
+    : Name(std::move(NameIn)), SupplyTempC(SupplyTempCIn),
+      RatedDutyW(RatedDutyWIn), CarnotFraction(CarnotFractionIn) {
+  assert(RatedDutyW > 0 && "chiller rating must be positive");
+  assert(CarnotFraction > 0.1 && CarnotFraction < 0.8 &&
+         "implausible Carnot fraction");
+}
+
+double Chiller::cop(double AmbientTempC) const {
+  // Condensing temperature runs ~10 C above ambient; evaporator ~3 C
+  // below the supply setpoint.
+  double CondenserK = units::celsiusToKelvin(AmbientTempC + 10.0);
+  double EvaporatorK = units::celsiusToKelvin(SupplyTempC - 3.0);
+  double Lift = CondenserK - EvaporatorK;
+  // Free-cooling regime: tiny or negative lift is clamped to a high COP.
+  if (Lift < 2.0)
+    return 15.0;
+  double Carnot = EvaporatorK / Lift;
+  return std::min(CarnotFraction * Carnot, 15.0);
+}
+
+double Chiller::electricalPowerW(double DutyW, double AmbientTempC) const {
+  assert(DutyW >= 0 && "negative chiller duty");
+  return DutyW / cop(AmbientTempC);
+}
+
+Chiller Chiller::makeSkatRackChiller() {
+  // 12 CMs x ~9 kW plus pumps: rate at 130 kW, 18 C supply water.
+  return Chiller("SKAT rack chiller", 18.0, 130e3);
+}

@@ -1,0 +1,62 @@
+//===- system/Chiller.h - Industrial chiller model --------------*- C++ -*-===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The industrial water chiller that closes the paper's cooling chain
+/// ("a standard water cooling system based on industrial chillers must be
+/// used for cooling the liquid"). Modeled as a Carnot-fraction vapor
+/// compression machine: electrical draw = duty / COP with COP a fraction of
+/// the Carnot limit between the chilled-water and ambient temperatures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_SYSTEM_CHILLER_H
+#define RCS_SYSTEM_CHILLER_H
+
+#include <string>
+
+namespace rcs {
+namespace rcsystem {
+
+/// A chilled-water plant serving one or more racks.
+class Chiller {
+public:
+  /// \p SupplyTempC chilled water setpoint; \p RatedDutyW maximum heat it
+  /// can reject; \p CarnotFraction achieved fraction of the Carnot COP.
+  Chiller(std::string Name, double SupplyTempC, double RatedDutyW,
+          double CarnotFraction = 0.45);
+
+  const std::string &name() const { return Name; }
+  double supplyTempC() const { return SupplyTempC; }
+  double ratedDutyW() const { return RatedDutyW; }
+
+  /// Changes the chilled-water setpoint.
+  void setSupplyTempC(double TempC) { SupplyTempC = TempC; }
+
+  /// Coefficient of performance at outdoor temperature \p AmbientTempC.
+  double cop(double AmbientTempC) const;
+
+  /// Electrical power to reject \p DutyW at \p AmbientTempC, W.
+  double electricalPowerW(double DutyW, double AmbientTempC) const;
+
+  /// True when \p DutyW exceeds the rating (the plant cannot hold the
+  /// setpoint; callers should flag the condition).
+  bool isOverloaded(double DutyW) const { return DutyW > RatedDutyW; }
+
+  /// A plant sized for one SKAT rack (12 CMs at ~9 kW each plus margin).
+  static Chiller makeSkatRackChiller();
+
+private:
+  std::string Name;
+  double SupplyTempC;
+  double RatedDutyW;
+  double CarnotFraction;
+};
+
+} // namespace rcsystem
+} // namespace rcs
+
+#endif // RCS_SYSTEM_CHILLER_H

@@ -1,0 +1,64 @@
+//===- system/Economics.cpp - Cost of ownership model --------------------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "system/Economics.h"
+
+#include <cassert>
+
+using namespace rcs;
+using namespace rcs::rcsystem;
+
+CostReport rcs::rcsystem::computeCost(const CostInputs &Inputs,
+                                      double HorizonYears,
+                                      const CostModel &Model) {
+  assert(HorizonYears > 0 && "horizon must be positive");
+  CostReport Report;
+  Report.Label = Inputs.Label;
+
+  // --- Cooling-plant capital ------------------------------------------------
+  switch (Inputs.Kind) {
+  case CoolingKind::Immersion:
+    Report.CoolingCapexUsd =
+        Model.ImmersionTankUsd +
+        Model.CoolantUsdPerLiter * Model.CoolantVolumeLiters +
+        Model.OilPumpUsd + Model.PlateHxUsd;
+    break;
+  case CoolingKind::ColdPlate:
+    Report.CoolingCapexUsd =
+        Model.ColdPlateUsdPerChip * Inputs.NumFpgas +
+        Model.LiquidConnectorUsd * Inputs.NumConnectors + Model.CduUsd;
+    break;
+  case CoolingKind::ForcedAir:
+    Report.CoolingCapexUsd = Model.AirSinkUsdPerChip * Inputs.NumFpgas +
+                             Model.FanTrayUsd * Inputs.NumFanTrays;
+    break;
+  }
+
+  // --- Yearly operating costs ------------------------------------------------
+  const double HoursPerYear = 8766.0;
+  double EnergyKwhPerYear =
+      (Inputs.TotalPowerW + Inputs.FacilityCoolingPowerW) / 1000.0 *
+      HoursPerYear * Inputs.Availability;
+  Report.EnergyPerYearUsd = EnergyKwhPerYear * Model.ElectricityUsdPerKwh;
+
+  if (Inputs.Kind == CoolingKind::Immersion)
+    Report.CoolantPerYearUsd = Model.CoolantUsdPerLiter *
+                               Model.CoolantVolumeLiters *
+                               Model.CoolantReplacementFractionPerYear;
+
+  Report.MaintenancePerYearUsd =
+      Inputs.FailuresPerYear * Model.ServiceCallUsd;
+  Report.DowntimePerYearUsd =
+      Inputs.DowntimeHoursPerYear * Model.DowntimeUsdPerHour;
+
+  Report.OpexPerYearUsd = Report.EnergyPerYearUsd +
+                          Report.CoolantPerYearUsd +
+                          Report.MaintenancePerYearUsd +
+                          Report.DowntimePerYearUsd;
+  Report.TotalUsd =
+      Report.CoolingCapexUsd + HorizonYears * Report.OpexPerYearUsd;
+  return Report;
+}

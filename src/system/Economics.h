@@ -1,0 +1,91 @@
+//===- system/Economics.h - Cost of ownership model -------------*- C++ -*-===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A total-cost-of-ownership model for the cooling technologies the paper
+/// compares. Section 2 claims open-loop immersion brings "high reliability
+/// and low cost of the product" while the IMMERS-style proprietary loop
+/// suffers "high cost of the cooling liquid, produced by only one
+/// manufacturer"; this module turns those arguments into numbers: capital
+/// cost of the cooling plant, electricity, coolant replacement, and
+/// maintenance (fed by the Monte-Carlo availability model).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_SYSTEM_ECONOMICS_H
+#define RCS_SYSTEM_ECONOMICS_H
+
+#include "system/Cooling.h"
+
+#include <string>
+
+namespace rcs {
+namespace rcsystem {
+
+/// Unit prices; defaults are order-of-magnitude 2018 figures (USD).
+struct CostModel {
+  double ElectricityUsdPerKwh = 0.10;
+  /// Value of lost compute per module-hour of downtime.
+  double DowntimeUsdPerHour = 120.0;
+  double ServiceCallUsd = 400.0; ///< Per repair action.
+
+  // Cooling-plant capital (per module).
+  double ImmersionTankUsd = 6000.0;
+  double CoolantUsdPerLiter = 14.0; ///< Engineered dielectric.
+  double CoolantVolumeLiters = 220.0;
+  double OilPumpUsd = 1500.0;
+  double PlateHxUsd = 2200.0;
+  double ColdPlateUsdPerChip = 120.0;
+  double LiquidConnectorUsd = 25.0;
+  double CduUsd = 9000.0; ///< Coolant distribution unit (cold plate).
+  double AirSinkUsdPerChip = 18.0;
+  double FanTrayUsd = 350.0;
+
+  /// Coolant make-up per year (drag-out, filtration losses).
+  double CoolantReplacementFractionPerYear = 0.05;
+};
+
+/// One technology's cost breakdown for a module over a horizon.
+struct CostReport {
+  std::string Label;
+  double CoolingCapexUsd = 0.0;
+  double EnergyPerYearUsd = 0.0;
+  double CoolantPerYearUsd = 0.0;
+  double MaintenancePerYearUsd = 0.0;
+  double DowntimePerYearUsd = 0.0;
+  double OpexPerYearUsd = 0.0;
+  double TotalUsd = 0.0; ///< Capex + horizon * opex.
+};
+
+/// Inputs describing one solved cooling design.
+struct CostInputs {
+  std::string Label;
+  CoolingKind Kind = CoolingKind::Immersion;
+  int NumFpgas = 96;
+  /// Total electrical draw including PSU loss, pumps/fans (module level).
+  double TotalPowerW = 0.0;
+  /// Facility cooling electrical power attributable to this module
+  /// (chiller / CRAC share).
+  double FacilityCoolingPowerW = 0.0;
+  /// Availability results for this design (copy the fields from a
+  /// sim::AvailabilityReport or any other reliability source).
+  double FailuresPerYear = 0.0;
+  double DowntimeHoursPerYear = 0.0;
+  double Availability = 1.0;
+  /// Liquid connector count (cold plate only).
+  int NumConnectors = 0;
+  /// Fan tray count (air only).
+  int NumFanTrays = 0;
+};
+
+/// Computes the cost breakdown for one design over \p HorizonYears.
+CostReport computeCost(const CostInputs &Inputs, double HorizonYears,
+                       const CostModel &Model = CostModel());
+
+} // namespace rcsystem
+} // namespace rcs
+
+#endif // RCS_SYSTEM_ECONOMICS_H

@@ -1,0 +1,126 @@
+//===- system/Monitoring.cpp - Control and monitoring subsystem ----------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "system/Monitoring.h"
+
+#include <cassert>
+
+using namespace rcs;
+using namespace rcs::rcsystem;
+
+const char *rcs::rcsystem::alarmLevelName(AlarmLevel Level) {
+  switch (Level) {
+  case AlarmLevel::Normal:
+    return "normal";
+  case AlarmLevel::Warning:
+    return "warning";
+  case AlarmLevel::Critical:
+    return "critical";
+  }
+  assert(false && "unknown alarm level");
+  return "?";
+}
+
+const char *rcs::rcsystem::controlActionName(ControlAction Action) {
+  switch (Action) {
+  case ControlAction::None:
+    return "none";
+  case ControlAction::RaisePumpSpeed:
+    return "raise pump speed";
+  case ControlAction::ReduceClock:
+    return "reduce clock";
+  case ControlAction::Shutdown:
+    return "shutdown";
+  }
+  assert(false && "unknown control action");
+  return "?";
+}
+
+ThresholdSensor::ThresholdSensor(std::string NameIn, double WarnThresholdIn,
+                                 double CriticalThresholdIn, bool HighIsBadIn)
+    : Name(std::move(NameIn)), WarnThreshold(WarnThresholdIn),
+      CriticalThreshold(CriticalThresholdIn), HighIsBad(HighIsBadIn) {
+  if (HighIsBad)
+    assert(CriticalThreshold >= WarnThreshold &&
+           "critical must be beyond warning");
+  else
+    assert(CriticalThreshold <= WarnThreshold &&
+           "critical must be beyond warning");
+}
+
+AlarmLevel ThresholdSensor::classify(double Value) const {
+  if (HighIsBad) {
+    if (Value >= CriticalThreshold)
+      return AlarmLevel::Critical;
+    if (Value >= WarnThreshold)
+      return AlarmLevel::Warning;
+    return AlarmLevel::Normal;
+  }
+  if (Value <= CriticalThreshold)
+    return AlarmLevel::Critical;
+  if (Value <= WarnThreshold)
+    return AlarmLevel::Warning;
+  return AlarmLevel::Normal;
+}
+
+ControlSystem::ControlSystem(MonitoringConfig ConfigIn) : Config(ConfigIn) {}
+
+MonitoringReport
+ControlSystem::evaluate(const ModuleThermalReport &Module) const {
+  return evaluateRaw(Module.CoolantHotTempC, Module.MaxJunctionTempC,
+                     Module.CoolantFlowM3PerS);
+}
+
+MonitoringReport ControlSystem::evaluateRaw(double CoolantHotTempC,
+                                            double MaxJunctionTempC,
+                                            double CoolantFlowM3PerS) const {
+  MonitoringReport Report;
+
+  ThresholdSensor CoolantSensor("coolant temperature",
+                                Config.CoolantWarnTempC,
+                                Config.CoolantCriticalTempC);
+  ThresholdSensor JunctionSensor("FPGA junction temperature",
+                                 Config.JunctionWarnTempC,
+                                 Config.JunctionCriticalTempC);
+  ThresholdSensor FlowSensor(
+      "coolant flow", Config.FlowWarnFraction * Config.DesignFlowM3PerS,
+      Config.FlowCriticalFraction * Config.DesignFlowM3PerS,
+      /*HighIsBad=*/false);
+
+  auto record = [&Report](const ThresholdSensor &Sensor, double Value) {
+    SensorReading Reading;
+    Reading.Name = Sensor.name();
+    Reading.Value = Value;
+    Reading.Level = Sensor.classify(Value);
+    if (static_cast<int>(Reading.Level) > static_cast<int>(Report.Worst))
+      Report.Worst = Reading.Level;
+    Report.Readings.push_back(std::move(Reading));
+  };
+  record(CoolantSensor, CoolantHotTempC);
+  record(JunctionSensor, MaxJunctionTempC);
+  record(FlowSensor, CoolantFlowM3PerS);
+
+  // Action policy: critical anywhere -> shutdown; junction warning ->
+  // shed clocks; coolant or flow warning -> push the pump harder.
+  if (Report.Worst == AlarmLevel::Critical) {
+    Report.Action = ControlAction::Shutdown;
+    return Report;
+  }
+  if (Report.Worst == AlarmLevel::Normal) {
+    Report.Action = ControlAction::None;
+    return Report;
+  }
+  for (const SensorReading &Reading : Report.Readings) {
+    if (Reading.Level != AlarmLevel::Warning)
+      continue;
+    if (Reading.Name == "FPGA junction temperature") {
+      Report.Action = ControlAction::ReduceClock;
+      return Report;
+    }
+  }
+  Report.Action = ControlAction::RaisePumpSpeed;
+  return Report;
+}

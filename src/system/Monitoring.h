@@ -1,0 +1,113 @@
+//===- system/Monitoring.h - Control and monitoring subsystem ---*- C++ -*-===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The control subsystem the paper requires of the liquid cooling system:
+/// "sensors of level, flow, and temperature of the heat-transfer agent,
+/// and a temperature sensor for cooling components". Threshold sensors
+/// classify readings and the controller recommends actions (raise pump
+/// speed, throttle clocks, shut down).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_SYSTEM_MONITORING_H
+#define RCS_SYSTEM_MONITORING_H
+
+#include "system/Cooling.h"
+
+#include <string>
+#include <vector>
+
+namespace rcs {
+namespace rcsystem {
+
+/// Severity of a sensor reading.
+enum class AlarmLevel { Normal, Warning, Critical };
+
+/// Name of \p Level for reports.
+const char *alarmLevelName(AlarmLevel Level);
+
+/// A threshold classifier for one measured quantity.
+class ThresholdSensor {
+public:
+  /// When \p HighIsBad, readings above Warn/Critical trip; otherwise
+  /// readings below them trip (e.g. coolant flow or level).
+  ThresholdSensor(std::string Name, double WarnThreshold,
+                  double CriticalThreshold, bool HighIsBad = true);
+
+  const std::string &name() const { return Name; }
+
+  /// Classifies \p Value.
+  AlarmLevel classify(double Value) const;
+
+private:
+  std::string Name;
+  double WarnThreshold;
+  double CriticalThreshold;
+  bool HighIsBad;
+};
+
+/// One evaluated sensor in a monitoring sweep.
+struct SensorReading {
+  std::string Name;
+  double Value = 0.0;
+  AlarmLevel Level = AlarmLevel::Normal;
+};
+
+/// Controller-recommended action.
+enum class ControlAction {
+  None,
+  RaisePumpSpeed, ///< Coolant warm: push more flow.
+  ReduceClock,    ///< Junctions warm: shed dynamic power.
+  Shutdown        ///< Critical limit: protect the hardware.
+};
+
+/// Name of \p Action for reports.
+const char *controlActionName(ControlAction Action);
+
+/// Alarm thresholds of the CM monitoring subsystem.
+struct MonitoringConfig {
+  double CoolantWarnTempC = 35.0;
+  double CoolantCriticalTempC = 45.0;
+  double JunctionWarnTempC = 70.0;
+  double JunctionCriticalTempC = 85.0;
+  /// Minimum healthy coolant flow as a fraction of the design flow.
+  double FlowWarnFraction = 0.7;
+  double FlowCriticalFraction = 0.3;
+  double DesignFlowM3PerS = 2.0e-3;
+};
+
+/// Result of evaluating one module state.
+struct MonitoringReport {
+  std::vector<SensorReading> Readings;
+  AlarmLevel Worst = AlarmLevel::Normal;
+  ControlAction Action = ControlAction::None;
+};
+
+/// The CM control subsystem.
+class ControlSystem {
+public:
+  explicit ControlSystem(MonitoringConfig Config = MonitoringConfig());
+
+  const MonitoringConfig &config() const { return Config; }
+
+  /// Evaluates a steady-state (or transient snapshot) module report.
+  MonitoringReport evaluate(const ModuleThermalReport &Module) const;
+
+  /// Evaluates raw quantities (used by the transient simulator between
+  /// full report rebuilds).
+  MonitoringReport evaluateRaw(double CoolantHotTempC,
+                               double MaxJunctionTempC,
+                               double CoolantFlowM3PerS) const;
+
+private:
+  MonitoringConfig Config;
+};
+
+} // namespace rcsystem
+} // namespace rcs
+
+#endif // RCS_SYSTEM_MONITORING_H

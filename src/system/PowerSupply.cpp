@@ -1,0 +1,53 @@
+//===- system/PowerSupply.cpp - Immersion power supply -----------------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "system/PowerSupply.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace rcs;
+using namespace rcs::rcsystem;
+
+PowerSupplyUnit::PowerSupplyUnit(std::string NameIn, double RatedPowerWIn,
+                                 bool ImmersibleIn)
+    : Name(std::move(NameIn)), RatedPowerW(RatedPowerWIn),
+      Immersible(ImmersibleIn),
+      EfficiencyCurve({{0.0, 0.80},
+                       {0.10, 0.90},
+                       {0.25, 0.945},
+                       {0.50, 0.958},
+                       {0.75, 0.960},
+                       {1.00, 0.950}}) {
+  assert(RatedPowerW > 0 && "PSU rating must be positive");
+}
+
+double PowerSupplyUnit::efficiencyAt(double LoadW) const {
+  assert(LoadW >= 0 && "negative PSU load");
+  double Fraction = std::min(LoadW / RatedPowerW, 1.0);
+  return EfficiencyCurve.evaluate(Fraction);
+}
+
+double PowerSupplyUnit::lossW(double LoadW) const {
+  if (LoadW <= 0.0)
+    return 0.0;
+  double Efficiency = efficiencyAt(LoadW);
+  return LoadW * (1.0 - Efficiency) / Efficiency;
+}
+
+double PowerSupplyUnit::inputPowerW(double LoadW) const {
+  return LoadW + lossW(LoadW);
+}
+
+PowerSupplyUnit PowerSupplyUnit::makeSkatImmersionPsu() {
+  return PowerSupplyUnit("SKAT immersion DC/DC 380/12", 4000.0,
+                         /*Immersible=*/true);
+}
+
+PowerSupplyUnit PowerSupplyUnit::makeAirCooledPsu(double RatedPowerW) {
+  return PowerSupplyUnit("air-cooled PSU", RatedPowerW,
+                         /*Immersible=*/false);
+}

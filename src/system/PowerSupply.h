@@ -1,0 +1,61 @@
+//===- system/PowerSupply.h - Immersion power supply ------------*- C++ -*-===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The immersion power supply unit the authors designed: DC/DC 380 V to
+/// 12 V conversion at up to 4 kW, feeding four CCBs, fully submerged in the
+/// dielectric coolant (paper Section 3). Conversion losses are heat dumped
+/// into the coolant.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_SYSTEM_POWERSUPPLY_H
+#define RCS_SYSTEM_POWERSUPPLY_H
+
+#include "support/Interp.h"
+
+#include <string>
+
+namespace rcs {
+namespace rcsystem {
+
+/// A DC/DC power supply unit with a load-dependent efficiency curve.
+class PowerSupplyUnit {
+public:
+  /// \p RatedPowerW output rating; \p Immersible true for the oil-bath
+  /// design (its losses heat the coolant rather than the room air).
+  PowerSupplyUnit(std::string Name, double RatedPowerW, bool Immersible);
+
+  const std::string &name() const { return Name; }
+  double ratedPowerW() const { return RatedPowerW; }
+  bool isImmersible() const { return Immersible; }
+
+  /// Efficiency at \p LoadW output (clamped to the rating).
+  double efficiencyAt(double LoadW) const;
+
+  /// Conversion loss heat at \p LoadW output, W.
+  double lossW(double LoadW) const;
+
+  /// Input power drawn from the 380 V bus at \p LoadW output, W.
+  double inputPowerW(double LoadW) const;
+
+  /// The SKAT immersion PSU: 380/12 V, 4 kW, feeds four CCBs.
+  static PowerSupplyUnit makeSkatImmersionPsu();
+
+  /// A conventional air-cooled server PSU of the same rating (baseline).
+  static PowerSupplyUnit makeAirCooledPsu(double RatedPowerW);
+
+private:
+  std::string Name;
+  double RatedPowerW;
+  bool Immersible;
+  LinearTable EfficiencyCurve; ///< Efficiency vs load fraction.
+};
+
+} // namespace rcsystem
+} // namespace rcs
+
+#endif // RCS_SYSTEM_POWERSUPPLY_H

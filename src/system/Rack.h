@@ -1,0 +1,99 @@
+//===- system/Rack.h - Computer rack assembly -------------------*- C++ -*-===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A 47U computer rack of computational modules (paper Fig. 1-b): CMs
+/// stacked one over another, each connected to the supply and return
+/// manifolds of the primary chilled-water loop through the Fig. 5
+/// reverse-return layout, with an industrial chiller closing the loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_SYSTEM_RACK_H
+#define RCS_SYSTEM_RACK_H
+
+#include "hydraulics/Manifold.h"
+#include "system/Chiller.h"
+#include "system/Module.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rcs {
+namespace rcsystem {
+
+/// Static configuration of a rack.
+struct RackConfig {
+  std::string Name = "SKAT rack";
+  int HeightU = 47;
+  int NumModules = 12;
+  /// All modules share one configuration (homogeneous rack).
+  ModuleConfig Module;
+  /// Primary-loop manifold topology; NumLoops is overridden to
+  /// NumModules at build time.
+  hydraulics::RackHydraulicsConfig Hydraulics;
+  double ChillerSupplyTempC = 18.0;
+  double ChillerRatedDutyW = 130e3;
+};
+
+/// Full steady-state rack report.
+struct RackReport {
+  std::vector<ModuleThermalReport> Modules;
+  /// Primary water flow to each module's heat exchanger.
+  std::vector<double> LoopFlowsM3PerS;
+  hydraulics::FlowBalanceStats Balance;
+
+  double TotalItPowerW = 0.0;
+  double TotalHeatW = 0.0;       ///< Everything the chiller must reject.
+  double ChillerPowerW = 0.0;
+  double PrimaryPumpPowerW = 0.0;
+  double ModulePumpFanPowerW = 0.0;
+  double CoolingPowerW = 0.0;    ///< Chiller + pumps + fans.
+  /// Power usage effectiveness: total facility power over IT power.
+  double Pue = 0.0;
+
+  double MaxJunctionTempC = 0.0;
+  double PeakGflops = 0.0;
+  std::vector<std::string> Warnings;
+};
+
+/// A rack of computational modules with shared chilled-water plant.
+class Rack {
+public:
+  explicit Rack(RackConfig Config);
+
+  const RackConfig &config() const { return Config; }
+
+  /// Peak throughput of the whole rack, GFLOPS.
+  double peakGflops() const;
+
+  /// Peak throughput in PFLOPS (the paper: "> 1 PFlops in a single 47U
+  /// computer rack").
+  double peakPflops() const;
+
+  /// Modules that fit the rack height (sanity helper).
+  int maxModulesByHeight() const;
+
+  /// Solves the rack: primary flow distribution, then every module, then
+  /// the chiller balance.
+  ///
+  /// \p AmbientTempC is the outdoor temperature for the chiller COP and
+  /// the machine-room air temperature. \p IsolatedLoop optionally valves
+  /// off one module's loop (maintenance / failure experiment); that
+  /// module is reported shut down.
+  Expected<RackReport>
+  solveSteadyState(double AmbientTempC,
+                   std::optional<int> IsolatedLoop = std::nullopt) const;
+
+private:
+  RackConfig Config;
+};
+
+} // namespace rcsystem
+} // namespace rcs
+
+#endif // RCS_SYSTEM_RACK_H

@@ -1,0 +1,136 @@
+//===- thermal/Convection.cpp - Convection correlations --------------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "thermal/Convection.h"
+
+#include "support/Units.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace rcs;
+using namespace rcs::thermal;
+
+double rcs::thermal::reynolds(const fluids::Fluid &F, double TempC,
+                              double VelocityMPerS, double LengthM) {
+  assert(VelocityMPerS >= 0 && LengthM > 0 && "invalid Reynolds inputs");
+  return VelocityMPerS * LengthM / F.kinematicViscosityM2PerS(TempC);
+}
+
+FlowRegime rcs::thermal::classifyDuctFlow(double Re) {
+  if (Re < 2300.0)
+    return FlowRegime::Laminar;
+  if (Re < 4000.0)
+    return FlowRegime::Transitional;
+  return FlowRegime::Turbulent;
+}
+
+double rcs::thermal::flatPlateNusselt(double Re, double Pr) {
+  assert(Re >= 0 && Pr > 0 && "invalid flat plate inputs");
+  const double ReTransition = 5e5;
+  if (Re < ReTransition)
+    return 0.664 * std::sqrt(Re) * std::cbrt(Pr);
+  return (0.037 * std::pow(Re, 0.8) - 871.0) * std::cbrt(Pr);
+}
+
+double rcs::thermal::cylinderCrossflowNusselt(double Re, double Pr) {
+  assert(Re > 0 && Pr > 0 && "invalid cylinder inputs");
+  double Pe = Re * Pr;
+  assert(Pe > 0.2 && "Churchill-Bernstein is invalid for Re*Pr <= 0.2");
+  (void)Pe;
+  double Term = 0.62 * std::sqrt(Re) * std::cbrt(Pr) /
+                std::pow(1.0 + std::pow(0.4 / Pr, 2.0 / 3.0), 0.25);
+  double Correction =
+      std::pow(1.0 + std::pow(Re / 282000.0, 5.0 / 8.0), 4.0 / 5.0);
+  return 0.3 + Term * Correction;
+}
+
+double rcs::thermal::tubeBankNusselt(double Re, double Pr, double PrSurface,
+                                     int NumRowsDeep) {
+  assert(Re > 0 && Pr > 0 && PrSurface > 0 && "invalid tube bank inputs");
+  // Zukauskas staggered-bank constants by Reynolds range.
+  double C = 0.0, M = 0.0;
+  if (Re < 500.0) {
+    C = 1.04;
+    M = 0.4;
+  } else if (Re < 1000.0) {
+    C = 0.71;
+    M = 0.5;
+  } else if (Re < 2e5) {
+    C = 0.35;
+    M = 0.60;
+  } else {
+    C = 0.031;
+    M = 0.80;
+  }
+  double Nu = C * std::pow(Re, M) * std::pow(Pr, 0.36) *
+              std::pow(Pr / PrSurface, 0.25);
+  // Row-count correction: shallow banks transfer a little less heat.
+  static const double RowFactors[] = {0.64, 0.76, 0.84, 0.89, 0.92,
+                                      0.95, 0.97, 0.98, 0.99};
+  if (NumRowsDeep >= 1 && NumRowsDeep <= 9)
+    Nu *= RowFactors[NumRowsDeep - 1];
+  return Nu;
+}
+
+double rcs::thermal::ductNusselt(double Re, double Pr) {
+  assert(Re >= 0 && Pr > 0 && "invalid duct inputs");
+  const double NuLaminar = 3.66;
+  if (Re < 2300.0)
+    return NuLaminar;
+  // Gnielinski, valid 3000 < Re < 5e6; evaluated at the transition edge
+  // for blending.
+  auto gnielinski = [Pr](double ReT) {
+    double Friction = std::pow(0.790 * std::log(ReT) - 1.64, -2.0);
+    return (Friction / 8.0) * (ReT - 1000.0) * Pr /
+           (1.0 + 12.7 * std::sqrt(Friction / 8.0) *
+                      (std::pow(Pr, 2.0 / 3.0) - 1.0));
+  };
+  if (Re >= 4000.0)
+    return gnielinski(Re);
+  // Linear blend across the transitional band 2300..4000.
+  double T = (Re - 2300.0) / (4000.0 - 2300.0);
+  return NuLaminar + T * (gnielinski(4000.0) - NuLaminar);
+}
+
+double rcs::thermal::verticalPlateNaturalNusselt(double Rayleigh, double Pr) {
+  assert(Rayleigh >= 0 && Pr > 0 && "invalid natural convection inputs");
+  // Churchill-Chu, valid over the full Rayleigh range.
+  double Denominator =
+      std::pow(1.0 + std::pow(0.492 / Pr, 9.0 / 16.0), 8.0 / 27.0);
+  double Root = 0.825 + 0.387 * std::pow(Rayleigh, 1.0 / 6.0) / Denominator;
+  return Root * Root;
+}
+
+double rcs::thermal::rayleighVerticalPlate(const fluids::Fluid &F,
+                                           double SurfaceTempC,
+                                           double BulkTempC, double LengthM) {
+  double FilmTempC = 0.5 * (SurfaceTempC + BulkTempC);
+  double NuKin = F.kinematicViscosityM2PerS(FilmTempC);
+  double Alpha = F.thermalDiffusivityM2PerS(FilmTempC);
+  // Volumetric expansion: ideal-gas form for gases, density slope for
+  // liquids.
+  double Beta = 0.0;
+  if (F.kind() == fluids::FluidKind::Gas) {
+    Beta = 1.0 / units::celsiusToKelvin(FilmTempC);
+  } else {
+    double Rho = F.densityKgPerM3(FilmTempC);
+    double DRho =
+        (F.densityKgPerM3(FilmTempC + 1.0) - F.densityKgPerM3(FilmTempC - 1.0)) /
+        2.0;
+    Beta = std::max(1e-5, -DRho / Rho);
+  }
+  double DeltaT = std::fabs(SurfaceTempC - BulkTempC);
+  return units::GravityMPerS2 * Beta * DeltaT * LengthM * LengthM * LengthM /
+         (NuKin * Alpha);
+}
+
+double rcs::thermal::htcFromNusselt(const fluids::Fluid &F, double TempC,
+                                    double Nusselt, double LengthM) {
+  assert(LengthM > 0 && "characteristic length must be positive");
+  return Nusselt * F.thermalConductivityWPerMK(TempC) / LengthM;
+}

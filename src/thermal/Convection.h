@@ -1,0 +1,70 @@
+//===- thermal/Convection.h - Convection correlations -----------*- C++ -*-===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dimensionless-group helpers and Nusselt-number correlations used to turn
+/// fluid properties and flow conditions into film coefficients. References:
+/// Incropera & DeWitt, "Fundamentals of Heat and Mass Transfer"; Zukauskas,
+/// "Heat Transfer from Tubes in Crossflow" (used for the pin-fin banks the
+/// paper's heat sinks are built from).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_THERMAL_CONVECTION_H
+#define RCS_THERMAL_CONVECTION_H
+
+#include "fluids/Fluid.h"
+
+namespace rcs {
+namespace thermal {
+
+/// Flow regime classification by Reynolds number.
+enum class FlowRegime { Laminar, Transitional, Turbulent };
+
+/// Reynolds number for characteristic length \p LengthM.
+double reynolds(const fluids::Fluid &F, double TempC, double VelocityMPerS,
+                double LengthM);
+
+/// Classifies duct flow: laminar below 2300, turbulent above 4000.
+FlowRegime classifyDuctFlow(double Re);
+
+/// Average flat-plate Nusselt number (mixed laminar/turbulent boundary
+/// layer, transition at Re = 5e5).
+double flatPlateNusselt(double Re, double Pr);
+
+/// Churchill-Bernstein correlation for a cylinder in crossflow; valid for
+/// Re*Pr > 0.2.
+double cylinderCrossflowNusselt(double Re, double Pr);
+
+/// Zukauskas correlation for a staggered bank of cylinders in crossflow.
+///
+/// \p Re uses the maximum inter-pin velocity; \p PrSurface is the Prandtl
+/// number evaluated at the surface temperature (property-variation
+/// correction, significant for oils).
+double tubeBankNusselt(double Re, double Pr, double PrSurface,
+                       int NumRowsDeep);
+
+/// Fully developed duct flow: 3.66 laminar (constant wall T), Gnielinski
+/// for turbulent, linear blend in the transition region.
+double ductNusselt(double Re, double Pr);
+
+/// Churchill-Chu natural-convection correlation for a vertical plate;
+/// \p Rayleigh = Gr*Pr.
+double verticalPlateNaturalNusselt(double Rayleigh, double Pr);
+
+/// Rayleigh number for a vertical plate of height \p LengthM with surface
+/// temperature \p SurfaceTempC in fluid at \p BulkTempC.
+double rayleighVerticalPlate(const fluids::Fluid &F, double SurfaceTempC,
+                             double BulkTempC, double LengthM);
+
+/// Film coefficient h = Nu * k / L, W/(m^2*K).
+double htcFromNusselt(const fluids::Fluid &F, double TempC, double Nusselt,
+                      double LengthM);
+
+} // namespace thermal
+} // namespace rcs
+
+#endif // RCS_THERMAL_CONVECTION_H

@@ -1,0 +1,215 @@
+//===- thermal/HeatSink.cpp - Heat sink models ------------------------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "thermal/HeatSink.h"
+
+#include "thermal/Spreading.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace rcs;
+using namespace rcs::thermal;
+
+double rcs::thermal::sinkMaterialConductivity(SinkMaterial Material) {
+  switch (Material) {
+  case SinkMaterial::Aluminum:
+    return 205.0;
+  case SinkMaterial::Copper:
+    return 390.0;
+  }
+  assert(false && "unknown sink material");
+  return 0.0;
+}
+
+HeatSink::~HeatSink() = default;
+
+/// Straight-fin efficiency tanh(mL)/(mL).
+static double finEfficiency(double M, double LengthM) {
+  double Ml = M * LengthM;
+  if (Ml < 1e-9)
+    return 1.0;
+  return std::tanh(Ml) / Ml;
+}
+
+/// Base resistance: 1-D conduction through the plate plus the Lee et al.
+/// constriction term for the centered heat slug, with the Biot number
+/// taken from the fin-side convection.
+static double baseResistance(double SourceAreaM2, double ThicknessM,
+                             double AreaM2, double Conductivity,
+                             double ConvectionResistanceKPerW) {
+  SpreadingInputs Inputs;
+  Inputs.SourceAreaM2 = SourceAreaM2;
+  Inputs.PlateAreaM2 = AreaM2;
+  Inputs.PlateThicknessM = ThicknessM;
+  Inputs.PlateConductivityWPerMK = Conductivity;
+  Inputs.EffectiveHtcWPerM2K =
+      1.0 / (std::max(ConvectionResistanceKPerW, 1e-9) * AreaM2);
+  return spreadingResistanceKPerW(Inputs);
+}
+
+//===----------------------------------------------------------------------===//
+// PlateFinHeatSink
+//===----------------------------------------------------------------------===//
+
+PlateFinHeatSink::PlateFinHeatSink(std::string Name, PlateFinGeometry Geometry)
+    : HeatSink(std::move(Name)), Geom(Geometry) {
+  assert(Geom.FinCount >= 2 && "a plate-fin sink needs at least two fins");
+  assert(Geom.FinCount * Geom.FinThicknessM < Geom.BaseWidthM &&
+         "fins wider than the base");
+}
+
+double PlateFinHeatSink::footprintAreaM2() const {
+  return Geom.BaseLengthM * Geom.BaseWidthM;
+}
+
+double PlateFinHeatSink::heightM() const {
+  return Geom.BaseThicknessM + Geom.FinHeightM;
+}
+
+SinkEvaluation PlateFinHeatSink::evaluate(const fluids::Fluid &F,
+                                          double BulkTempC,
+                                          double ApproachVelocityMPerS,
+                                          double SurfaceTempC) const {
+  (void)SurfaceTempC; // Duct correlations need no surface correction here.
+  SinkEvaluation Out;
+  assert(ApproachVelocityMPerS > 0 && "plate-fin sink requires forced flow");
+
+  const int N = Geom.FinCount;
+  double GapM = (Geom.BaseWidthM - N * Geom.FinThicknessM) /
+                static_cast<double>(N - 1);
+  assert(GapM > 0 && "non-positive fin gap");
+
+  // Continuity: flow accelerates into the inter-fin channels.
+  double FreeFraction = (Geom.BaseWidthM - N * Geom.FinThicknessM) /
+                        Geom.BaseWidthM;
+  double ChannelVelocity = ApproachVelocityMPerS / FreeFraction;
+
+  // Rectangular channel, hydraulic diameter of a gap x fin-height duct.
+  double Dh = 2.0 * GapM * Geom.FinHeightM / (GapM + Geom.FinHeightM);
+  double Re = reynolds(F, BulkTempC, ChannelVelocity, Dh);
+  double Pr = F.prandtl(BulkTempC);
+  double Nu = ductNusselt(Re, Pr);
+  // Thermal entrance enhancement for short channels (Hausen): the Graetz
+  // number Gz = Re*Pr*Dh/L is large for these stubby channels, so the
+  // developing region dominates laminar transfer.
+  if (Re < 2300.0) {
+    double Gz = Re * Pr * Dh / Geom.BaseLengthM;
+    Nu = 3.66 + 0.0668 * Gz / (1.0 + 0.04 * std::pow(Gz, 2.0 / 3.0));
+  }
+  double H = htcFromNusselt(F, BulkTempC, Nu, Dh);
+
+  double Km = sinkMaterialConductivity(Geom.Material);
+  double MFin = std::sqrt(2.0 * H / (Km * Geom.FinThicknessM));
+  double Efficiency = finEfficiency(MFin, Geom.FinHeightM);
+
+  double FinArea = 2.0 * N * Geom.FinHeightM * Geom.BaseLengthM;
+  double BaseExposed = (Geom.BaseWidthM - N * Geom.FinThicknessM) *
+                       Geom.BaseLengthM;
+  double EffectiveArea = Efficiency * FinArea + BaseExposed;
+
+  Out.FilmCoefficientWPerM2K = H;
+  Out.EffectiveAreaM2 = EffectiveArea;
+  Out.ReynoldsNumber = Re;
+  Out.Regime = classifyDuctFlow(Re);
+  double ConvResistance = 1.0 / (H * EffectiveArea);
+  Out.ResistanceKPerW =
+      ConvResistance + baseResistance(Geom.HeatSourceAreaM2,
+                                      Geom.BaseThicknessM,
+                                      footprintAreaM2(), Km,
+                                      ConvResistance);
+
+  // Darcy-Weisbach along the channel plus inlet/outlet losses.
+  double Rho = F.densityKgPerM3(BulkTempC);
+  double DynamicHead = 0.5 * Rho * ChannelVelocity * ChannelVelocity;
+  double Friction = Re < 2300.0 ? 96.0 / std::max(Re, 1.0)
+                                : 0.316 / std::pow(Re, 0.25);
+  Out.PressureDropPa =
+      (Friction * Geom.BaseLengthM / Dh + 1.5) * DynamicHead;
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// PinFinHeatSink
+//===----------------------------------------------------------------------===//
+
+PinFinHeatSink::PinFinHeatSink(std::string Name, PinFinGeometry Geometry)
+    : HeatSink(std::move(Name)), Geom(Geometry) {
+  assert(Geom.PitchM > Geom.PinDiameterM && "pins overlap at this pitch");
+  assert(Geom.TurbulatorFactor >= 1.0 && Geom.TurbulatorFactor <= 2.0 &&
+         "implausible turbulator factor");
+}
+
+int PinFinHeatSink::pinCount() const {
+  int Columns = static_cast<int>(Geom.BaseWidthM / Geom.PitchM);
+  return rowsDeep() * Columns;
+}
+
+int PinFinHeatSink::rowsDeep() const {
+  return std::max(1, static_cast<int>(Geom.BaseLengthM / Geom.PitchM));
+}
+
+double PinFinHeatSink::footprintAreaM2() const {
+  return Geom.BaseLengthM * Geom.BaseWidthM;
+}
+
+double PinFinHeatSink::heightM() const {
+  return Geom.BaseThicknessM + Geom.PinHeightM;
+}
+
+SinkEvaluation PinFinHeatSink::evaluate(const fluids::Fluid &F,
+                                        double BulkTempC,
+                                        double ApproachVelocityMPerS,
+                                        double SurfaceTempC) const {
+  SinkEvaluation Out;
+  assert(ApproachVelocityMPerS > 0 && "pin-fin sink requires forced flow");
+
+  // Maximum velocity between pins (staggered bank continuity).
+  double VMax = ApproachVelocityMPerS * Geom.PitchM /
+                (Geom.PitchM - Geom.PinDiameterM);
+  double Re = reynolds(F, BulkTempC, VMax, Geom.PinDiameterM);
+  double Pr = F.prandtl(BulkTempC);
+  double PrSurface = F.prandtl(SurfaceTempC);
+  double Nu = tubeBankNusselt(Re, Pr, PrSurface, rowsDeep());
+  Nu *= Geom.TurbulatorFactor;
+  double H = htcFromNusselt(F, BulkTempC, Nu, Geom.PinDiameterM);
+
+  double Km = sinkMaterialConductivity(Geom.Material);
+  // Pin-fin parameter; corrected length accounts for tip convection.
+  double MPin = std::sqrt(4.0 * H / (Km * Geom.PinDiameterM));
+  double CorrectedHeight = Geom.PinHeightM + Geom.PinDiameterM / 4.0;
+  double Efficiency = finEfficiency(MPin, CorrectedHeight);
+
+  int Pins = pinCount();
+  double PinArea = Pins * M_PI * Geom.PinDiameterM * CorrectedHeight;
+  double BaseExposed =
+      footprintAreaM2() -
+      Pins * M_PI * Geom.PinDiameterM * Geom.PinDiameterM / 4.0;
+  double EffectiveArea = Efficiency * PinArea + std::max(BaseExposed, 0.0);
+
+  Out.FilmCoefficientWPerM2K = H;
+  Out.EffectiveAreaM2 = EffectiveArea;
+  Out.ReynoldsNumber = Re;
+  Out.Regime = Re < 1000.0 ? FlowRegime::Laminar : FlowRegime::Turbulent;
+  double ConvResistance = 1.0 / (H * EffectiveArea);
+  Out.ResistanceKPerW =
+      ConvResistance + baseResistance(Geom.HeatSourceAreaM2,
+                                      Geom.BaseThicknessM,
+                                      footprintAreaM2(), Km,
+                                      ConvResistance);
+
+  // Zukauskas bank pressure drop: rows * friction * chi * dynamic head.
+  double Rho = F.densityKgPerM3(BulkTempC);
+  double DynamicHead = 0.5 * Rho * VMax * VMax;
+  double PitchRatio = Geom.PitchM / Geom.PinDiameterM;
+  double Friction =
+      (0.25 + 0.118 / std::pow(PitchRatio - 1.0, 1.08)) *
+      std::pow(std::max(Re, 10.0), -0.16);
+  Out.PressureDropPa = rowsDeep() * Friction * DynamicHead *
+                       Geom.TurbulatorFactor;
+  return Out;
+}

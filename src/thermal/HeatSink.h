@@ -1,0 +1,163 @@
+//===- thermal/HeatSink.h - Heat sink models --------------------*- C++ -*-===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Heat-sink geometry models that turn fluid properties and an approach
+/// velocity into a base-to-fluid thermal resistance and a pressure drop.
+///
+/// Two families are modeled:
+///  - PlateFinHeatSink: the conventional air-cooling sink used by the
+///    Rigel-2 / Taygeta generations.
+///  - PinFinHeatSink: the low-height immersion sink with "original solder
+///    pins which create a local turbulent flow" the paper develops for the
+///    SKAT module (Section 2). The turbulator enhancement factor models the
+///    solder-pin surface disturbance relative to smooth machined pins.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_THERMAL_HEATSINK_H
+#define RCS_THERMAL_HEATSINK_H
+
+#include "fluids/Fluid.h"
+#include "thermal/Convection.h"
+
+#include <memory>
+#include <string>
+
+namespace rcs {
+namespace thermal {
+
+/// Bulk solid used for sink fins and base.
+enum class SinkMaterial { Aluminum, Copper };
+
+/// Thermal conductivity of \p Material in W/(m*K).
+double sinkMaterialConductivity(SinkMaterial Material);
+
+/// Detailed result of a heat-sink convection evaluation.
+struct SinkEvaluation {
+  double FilmCoefficientWPerM2K = 0.0; ///< Surface film coefficient h.
+  double EffectiveAreaM2 = 0.0;        ///< Fin-efficiency-weighted area.
+  double ResistanceKPerW = 0.0;        ///< Base-to-fluid total resistance.
+  double ReynoldsNumber = 0.0;         ///< At the characteristic length.
+  FlowRegime Regime = FlowRegime::Laminar;
+  double PressureDropPa = 0.0;         ///< Across the sink at this flow.
+};
+
+/// Abstract heat sink: geometry + material, evaluated against a fluid.
+class HeatSink {
+public:
+  virtual ~HeatSink();
+
+  const std::string &name() const { return Name; }
+
+  /// Evaluates film coefficient, resistance and pressure drop.
+  ///
+  /// \p BulkTempC is the coolant bulk temperature, \p ApproachVelocityMPerS
+  /// the velocity upstream of the sink, \p SurfaceTempC an estimate of the
+  /// sink surface temperature (used for property-variation corrections;
+  /// pass the bulk temperature when unknown).
+  virtual SinkEvaluation evaluate(const fluids::Fluid &F, double BulkTempC,
+                                  double ApproachVelocityMPerS,
+                                  double SurfaceTempC) const = 0;
+
+  /// Convenience: just the base-to-fluid resistance in K/W.
+  double thermalResistanceKPerW(const fluids::Fluid &F, double BulkTempC,
+                                double ApproachVelocityMPerS,
+                                double SurfaceTempC) const {
+    return evaluate(F, BulkTempC, ApproachVelocityMPerS, SurfaceTempC)
+        .ResistanceKPerW;
+  }
+
+  /// Footprint (base) area in m^2.
+  virtual double footprintAreaM2() const = 0;
+
+  /// Overall height above the package in m.
+  virtual double heightM() const = 0;
+
+protected:
+  explicit HeatSink(std::string Name) : Name(std::move(Name)) {}
+
+private:
+  std::string Name;
+};
+
+/// Geometry of a parallel-plate-fin sink with flow along the channels.
+struct PlateFinGeometry {
+  double BaseLengthM = 0.06;    ///< Along the flow.
+  double BaseWidthM = 0.05;     ///< Across the flow.
+  double BaseThicknessM = 0.005;
+  /// Footprint of the package lid feeding the base (lidded flip-chip
+  /// packages spread die heat into a ~37 mm copper lid before the sink);
+  /// sets the spreading resistance.
+  double HeatSourceAreaM2 = 1.4e-3;
+  double FinHeightM = 0.03;
+  double FinThicknessM = 0.0008;
+  int FinCount = 20;
+  SinkMaterial Material = SinkMaterial::Aluminum;
+};
+
+/// A conventional straight-fin sink (air-cooling generations).
+class PlateFinHeatSink : public HeatSink {
+public:
+  PlateFinHeatSink(std::string Name, PlateFinGeometry Geometry);
+
+  SinkEvaluation evaluate(const fluids::Fluid &F, double BulkTempC,
+                          double ApproachVelocityMPerS,
+                          double SurfaceTempC) const override;
+  double footprintAreaM2() const override;
+  double heightM() const override;
+
+  const PlateFinGeometry &geometry() const { return Geom; }
+
+private:
+  PlateFinGeometry Geom;
+};
+
+/// Geometry of a staggered pin-fin sink with crossflow through the bank.
+struct PinFinGeometry {
+  double BaseLengthM = 0.05;     ///< Along the flow.
+  double BaseWidthM = 0.05;      ///< Across the flow.
+  double BaseThicknessM = 0.004;
+  /// Footprint of the package lid feeding the base (lidded flip-chip
+  /// packages spread die heat into a ~37 mm copper lid before the sink);
+  /// sets the spreading resistance.
+  double HeatSourceAreaM2 = 1.4e-3;
+  double PinDiameterM = 0.0015;
+  double PinHeightM = 0.012;     ///< Low height per the paper's design.
+  double PitchM = 0.004;         ///< Center-to-center, square layout.
+  SinkMaterial Material = SinkMaterial::Copper;
+  /// Convection enhancement of the rough solder pins over smooth machined
+  /// pins (the paper's "original solder pins" create local turbulence).
+  double TurbulatorFactor = 1.25;
+};
+
+/// The paper's low-height immersion sink with solder-pin turbulators.
+class PinFinHeatSink : public HeatSink {
+public:
+  PinFinHeatSink(std::string Name, PinFinGeometry Geometry);
+
+  SinkEvaluation evaluate(const fluids::Fluid &F, double BulkTempC,
+                          double ApproachVelocityMPerS,
+                          double SurfaceTempC) const override;
+  double footprintAreaM2() const override;
+  double heightM() const override;
+
+  const PinFinGeometry &geometry() const { return Geom; }
+
+  /// Number of pins in the bank.
+  int pinCount() const;
+
+  /// Rows of pins encountered along the flow direction.
+  int rowsDeep() const;
+
+private:
+  PinFinGeometry Geom;
+};
+
+} // namespace thermal
+} // namespace rcs
+
+#endif // RCS_THERMAL_HEATSINK_H

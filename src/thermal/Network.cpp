@@ -1,0 +1,267 @@
+//===- thermal/Network.cpp - Thermal RC network solver ---------------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "thermal/Network.h"
+
+#include "support/Numerics.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace rcs;
+using namespace rcs::thermal;
+
+NodeId ThermalNetwork::addNode(std::string Name, double CapacitanceJPerK) {
+  assert(CapacitanceJPerK >= 0 && "negative thermal capacitance");
+  Node N;
+  N.Name = std::move(Name);
+  N.CapacitanceJPerK = CapacitanceJPerK;
+  Nodes.push_back(std::move(N));
+  return Nodes.size() - 1;
+}
+
+NodeId ThermalNetwork::addBoundaryNode(std::string Name, double TempC) {
+  Node N;
+  N.Name = std::move(Name);
+  N.Boundary = true;
+  N.TempC = TempC;
+  Nodes.push_back(std::move(N));
+  return Nodes.size() - 1;
+}
+
+void ThermalNetwork::addConductance(NodeId A, NodeId B, double GWPerK) {
+  assert(A < Nodes.size() && B < Nodes.size() && "node id out of range");
+  assert(A != B && "self-conductance is meaningless");
+  assert(GWPerK > 0 && "conductance must be positive");
+  // Accumulate into an existing edge when present to keep the edge list
+  // compact for repeatedly-built film coefficients.
+  for (Edge &E : Edges) {
+    if ((E.A == A && E.B == B) || (E.A == B && E.B == A)) {
+      E.GWPerK += GWPerK;
+      return;
+    }
+  }
+  Edges.push_back({A, B, GWPerK});
+}
+
+void ThermalNetwork::addResistance(NodeId A, NodeId B, double RKPerW) {
+  assert(RKPerW > 0 && "resistance must be positive");
+  addConductance(A, B, 1.0 / RKPerW);
+}
+
+void ThermalNetwork::addHeatSource(NodeId Node, double PowerW) {
+  assert(Node < Nodes.size() && "node id out of range");
+  Nodes[Node].SourceW += PowerW;
+}
+
+void ThermalNetwork::setHeatSource(NodeId Node, double PowerW) {
+  assert(Node < Nodes.size() && "node id out of range");
+  Nodes[Node].SourceW = PowerW;
+}
+
+void ThermalNetwork::setBoundaryTemp(NodeId Node, double TempC) {
+  assert(Node < Nodes.size() && Nodes[Node].Boundary &&
+         "setBoundaryTemp on a non-boundary node");
+  Nodes[Node].TempC = TempC;
+}
+
+void ThermalNetwork::setConductance(NodeId A, NodeId B, double GWPerK) {
+  assert(GWPerK > 0 && "conductance must be positive");
+  for (Edge &E : Edges) {
+    if ((E.A == A && E.B == B) || (E.A == B && E.B == A)) {
+      E.GWPerK = GWPerK;
+      return;
+    }
+  }
+  assert(false && "setConductance on a missing edge");
+}
+
+const std::string &ThermalNetwork::nodeName(NodeId Node) const {
+  assert(Node < Nodes.size() && "node id out of range");
+  return Nodes[Node].Name;
+}
+
+bool ThermalNetwork::isBoundary(NodeId Node) const {
+  assert(Node < Nodes.size() && "node id out of range");
+  return Nodes[Node].Boundary;
+}
+
+double ThermalNetwork::heatSourceW(NodeId Node) const {
+  assert(Node < Nodes.size() && "node id out of range");
+  return Nodes[Node].SourceW;
+}
+
+double ThermalNetwork::capacitanceJPerK(NodeId Node) const {
+  assert(Node < Nodes.size() && "node id out of range");
+  return Nodes[Node].CapacitanceJPerK;
+}
+
+double ThermalNetwork::totalSourcePowerW() const {
+  double Sum = 0.0;
+  for (const Node &N : Nodes)
+    Sum += N.SourceW;
+  return Sum;
+}
+
+Expected<std::vector<double>> ThermalNetwork::solveSteadyState() const {
+  // Index internal nodes into the reduced unknown vector.
+  std::vector<size_t> UnknownIndex(Nodes.size(), SIZE_MAX);
+  size_t NumUnknowns = 0;
+  for (size_t I = 0, E = Nodes.size(); I != E; ++I)
+    if (!Nodes[I].Boundary)
+      UnknownIndex[I] = NumUnknowns++;
+
+  std::vector<double> Temps(Nodes.size(), 0.0);
+  for (size_t I = 0, E = Nodes.size(); I != E; ++I)
+    if (Nodes[I].Boundary)
+      Temps[I] = Nodes[I].TempC;
+  if (NumUnknowns == 0)
+    return Temps;
+
+  Matrix A(NumUnknowns, NumUnknowns);
+  std::vector<double> B(NumUnknowns, 0.0);
+  for (size_t I = 0, E = Nodes.size(); I != E; ++I)
+    if (!Nodes[I].Boundary)
+      B[UnknownIndex[I]] = Nodes[I].SourceW;
+
+  for (const Edge &Ed : Edges) {
+    bool ABound = Nodes[Ed.A].Boundary;
+    bool BBound = Nodes[Ed.B].Boundary;
+    if (ABound && BBound)
+      continue;
+    if (!ABound) {
+      size_t IA = UnknownIndex[Ed.A];
+      A.at(IA, IA) += Ed.GWPerK;
+      if (BBound)
+        B[IA] += Ed.GWPerK * Nodes[Ed.B].TempC;
+      else
+        A.at(IA, UnknownIndex[Ed.B]) -= Ed.GWPerK;
+    }
+    if (!BBound) {
+      size_t IB = UnknownIndex[Ed.B];
+      A.at(IB, IB) += Ed.GWPerK;
+      if (ABound)
+        B[IB] += Ed.GWPerK * Nodes[Ed.A].TempC;
+      else
+        A.at(IB, UnknownIndex[Ed.A]) -= Ed.GWPerK;
+    }
+  }
+
+  Expected<std::vector<double>> Reduced = solveDense(std::move(A),
+                                                     std::move(B));
+  if (!Reduced)
+    return Expected<std::vector<double>>::error(
+        "thermal network is singular: an internal node has no path to any "
+        "boundary (" + Reduced.message() + ")");
+
+  for (size_t I = 0, E = Nodes.size(); I != E; ++I)
+    if (!Nodes[I].Boundary)
+      Temps[I] = (*Reduced)[UnknownIndex[I]];
+  return Temps;
+}
+
+Status ThermalNetwork::stepTransient(std::vector<double> &Temps,
+                                     double DtS) const {
+  assert(Temps.size() == Nodes.size() && "state size mismatch");
+  assert(DtS > 0 && "time step must be positive");
+
+  std::vector<size_t> UnknownIndex(Nodes.size(), SIZE_MAX);
+  size_t NumUnknowns = 0;
+  for (size_t I = 0, E = Nodes.size(); I != E; ++I) {
+    if (Nodes[I].Boundary)
+      continue;
+    if (Nodes[I].CapacitanceJPerK <= 0.0)
+      return Status::error("transient step requires positive capacitance on "
+                           "internal node '" + Nodes[I].Name + "'");
+    UnknownIndex[I] = NumUnknowns++;
+  }
+  if (NumUnknowns == 0) {
+    for (size_t I = 0, E = Nodes.size(); I != E; ++I)
+      if (Nodes[I].Boundary)
+        Temps[I] = Nodes[I].TempC;
+    return Status::ok();
+  }
+
+  // Implicit Euler: (C/dt + L) T^{n+1} = (C/dt) T^n + Q + G*T_boundary.
+  Matrix A(NumUnknowns, NumUnknowns);
+  std::vector<double> B(NumUnknowns, 0.0);
+  for (size_t I = 0, E = Nodes.size(); I != E; ++I) {
+    if (Nodes[I].Boundary)
+      continue;
+    size_t U = UnknownIndex[I];
+    double CoverDt = Nodes[I].CapacitanceJPerK / DtS;
+    A.at(U, U) += CoverDt;
+    B[U] += CoverDt * Temps[I] + Nodes[I].SourceW;
+  }
+  for (const Edge &Ed : Edges) {
+    bool ABound = Nodes[Ed.A].Boundary;
+    bool BBound = Nodes[Ed.B].Boundary;
+    if (ABound && BBound)
+      continue;
+    if (!ABound) {
+      size_t IA = UnknownIndex[Ed.A];
+      A.at(IA, IA) += Ed.GWPerK;
+      if (BBound)
+        B[IA] += Ed.GWPerK * Nodes[Ed.B].TempC;
+      else
+        A.at(IA, UnknownIndex[Ed.B]) -= Ed.GWPerK;
+    }
+    if (!BBound) {
+      size_t IB = UnknownIndex[Ed.B];
+      A.at(IB, IB) += Ed.GWPerK;
+      if (ABound)
+        B[IB] += Ed.GWPerK * Nodes[Ed.A].TempC;
+      else
+        A.at(IB, UnknownIndex[Ed.A]) -= Ed.GWPerK;
+    }
+  }
+
+  Expected<std::vector<double>> Next = solveDense(std::move(A), std::move(B));
+  if (!Next)
+    return Status::error("transient thermal step failed: " + Next.message());
+
+  for (size_t I = 0, E = Nodes.size(); I != E; ++I) {
+    if (Nodes[I].Boundary)
+      Temps[I] = Nodes[I].TempC;
+    else
+      Temps[I] = (*Next)[UnknownIndex[I]];
+  }
+  return Status::ok();
+}
+
+double
+ThermalNetwork::boundaryHeatFlowW(NodeId Node,
+                                  const std::vector<double> &Temps) const {
+  assert(Node < Nodes.size() && Nodes[Node].Boundary &&
+         "boundaryHeatFlowW on a non-boundary node");
+  assert(Temps.size() == Nodes.size() && "state size mismatch");
+  double Flow = 0.0;
+  for (const Edge &Ed : Edges) {
+    if (Ed.A == Node)
+      Flow += Ed.GWPerK * (Temps[Ed.B] - Temps[Node]);
+    else if (Ed.B == Node)
+      Flow += Ed.GWPerK * (Temps[Ed.A] - Temps[Node]);
+  }
+  return Flow;
+}
+
+double ThermalNetwork::steadyStateResidualW(
+    const std::vector<double> &Temps) const {
+  assert(Temps.size() == Nodes.size() && "state size mismatch");
+  std::vector<double> Residual(Nodes.size(), 0.0);
+  for (size_t I = 0, E = Nodes.size(); I != E; ++I)
+    Residual[I] = Nodes[I].SourceW;
+  for (const Edge &Ed : Edges) {
+    double Flow = Ed.GWPerK * (Temps[Ed.B] - Temps[Ed.A]);
+    Residual[Ed.A] += Flow;
+    Residual[Ed.B] -= Flow;
+  }
+  double Sum = 0.0;
+  for (size_t I = 0, E = Nodes.size(); I != E; ++I)
+    if (!Nodes[I].Boundary)
+      Sum += std::fabs(Residual[I]);
+  return Sum;
+}

@@ -1,0 +1,121 @@
+//===- thermal/Network.h - Thermal RC network solver ------------*- C++ -*-===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lumped thermal resistance/capacitance network.
+///
+/// Nodes carry temperatures (Celsius); edges carry conductances (W/K);
+/// nodes can have heat sources (W) and capacitances (J/K). Boundary nodes
+/// hold fixed temperatures (ambient air, chilled water). The network itself
+/// is linear: temperature-dependent conductances (convection films) are
+/// re-evaluated by the caller between solves, which is how the coupled
+/// engine in src/sim handles the nonlinearity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_THERMAL_NETWORK_H
+#define RCS_THERMAL_NETWORK_H
+
+#include "support/Status.h"
+
+#include <string>
+#include <vector>
+
+namespace rcs {
+namespace thermal {
+
+/// Index of a node inside a ThermalNetwork.
+using NodeId = size_t;
+
+/// A lumped-parameter thermal network with steady-state and transient
+/// solvers.
+class ThermalNetwork {
+public:
+  /// Adds an internal (unknown-temperature) node.
+  ///
+  /// \p CapacitanceJPerK may be zero for massless junction nodes in
+  /// steady-state-only networks; transient stepping requires a positive
+  /// capacitance on every internal node.
+  NodeId addNode(std::string Name, double CapacitanceJPerK = 0.0);
+
+  /// Adds a fixed-temperature boundary node (ambient, chilled water, ...).
+  NodeId addBoundaryNode(std::string Name, double TempC);
+
+  /// Adds a thermal conductance of \p GWPerK between two nodes.
+  /// Parallel conductances accumulate.
+  void addConductance(NodeId A, NodeId B, double GWPerK);
+
+  /// Adds a thermal resistance of \p RKPerW between two nodes.
+  void addResistance(NodeId A, NodeId B, double RKPerW);
+
+  /// Adds \p PowerW of heat injection at \p Node (accumulates).
+  void addHeatSource(NodeId Node, double PowerW);
+
+  /// Replaces the heat source at \p Node with \p PowerW.
+  void setHeatSource(NodeId Node, double PowerW);
+
+  /// Updates the fixed temperature of boundary node \p Node.
+  void setBoundaryTemp(NodeId Node, double TempC);
+
+  /// Replaces the accumulated conductance between \p A and \p B.
+  ///
+  /// Requires that a conductance between the two nodes already exists.
+  void setConductance(NodeId A, NodeId B, double GWPerK);
+
+  size_t numNodes() const { return Nodes.size(); }
+  const std::string &nodeName(NodeId Node) const;
+  bool isBoundary(NodeId Node) const;
+  double heatSourceW(NodeId Node) const;
+  double capacitanceJPerK(NodeId Node) const;
+
+  /// Total heat injected by sources, W.
+  double totalSourcePowerW() const;
+
+  /// Solves for steady-state temperatures of every node.
+  ///
+  /// \returns one temperature per node (boundary nodes return their fixed
+  /// temperature), or an error when internal nodes are thermally
+  /// disconnected from every boundary.
+  Expected<std::vector<double>> solveSteadyState() const;
+
+  /// Advances a transient state one implicit-Euler step of \p DtS seconds.
+  ///
+  /// \p Temps must hold one temperature per node and is updated in place;
+  /// boundary entries are reset to the boundary temperature. All internal
+  /// nodes need positive capacitance.
+  Status stepTransient(std::vector<double> &Temps, double DtS) const;
+
+  /// Net heat flow in W from the network into boundary node \p Node under
+  /// the temperatures \p Temps (positive = heat absorbed by the boundary).
+  double boundaryHeatFlowW(NodeId Node,
+                           const std::vector<double> &Temps) const;
+
+  /// Sum of residuals |sum_j G_ij (T_j - T_i) + Q_i| over internal nodes;
+  /// near zero for a converged steady state (energy conservation check).
+  double steadyStateResidualW(const std::vector<double> &Temps) const;
+
+private:
+  struct Node {
+    std::string Name;
+    bool Boundary = false;
+    double TempC = 0.0;          // Fixed temperature for boundary nodes.
+    double CapacitanceJPerK = 0; // Internal nodes only.
+    double SourceW = 0.0;
+  };
+  struct Edge {
+    NodeId A;
+    NodeId B;
+    double GWPerK;
+  };
+
+  std::vector<Node> Nodes;
+  std::vector<Edge> Edges;
+};
+
+} // namespace thermal
+} // namespace rcs
+
+#endif // RCS_THERMAL_NETWORK_H

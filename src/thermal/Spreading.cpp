@@ -1,0 +1,50 @@
+//===- thermal/Spreading.cpp - Spreading resistance ----------------------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "thermal/Spreading.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace rcs;
+using namespace rcs::thermal;
+
+double
+rcs::thermal::constrictionResistanceKPerW(const SpreadingInputs &Inputs) {
+  assert(Inputs.SourceAreaM2 > 0 && Inputs.PlateAreaM2 > 0 &&
+         Inputs.PlateThicknessM > 0 &&
+         Inputs.PlateConductivityWPerMK > 0 &&
+         Inputs.EffectiveHtcWPerM2K > 0 && "invalid spreading inputs");
+  // Equivalent radii.
+  double SourceR = std::sqrt(Inputs.SourceAreaM2 / M_PI);
+  double PlateR = std::sqrt(Inputs.PlateAreaM2 / M_PI);
+  double Epsilon = std::min(SourceR / PlateR, 1.0);
+  if (Epsilon >= 1.0)
+    return 0.0; // Full-coverage source: no constriction.
+
+  double Tau = Inputs.PlateThicknessM / PlateR;
+  double Biot = Inputs.EffectiveHtcWPerM2K * PlateR /
+                Inputs.PlateConductivityWPerMK;
+
+  // Lee et al. (1995): lambda = pi + 1/(sqrt(pi) eps);
+  // phi = (tanh(lambda tau) + lambda/Bi) / (1 + lambda/Bi tanh(lambda tau));
+  // psi_avg = (1 - eps)^1.5 phi / 2.
+  double Lambda = M_PI + 1.0 / (std::sqrt(M_PI) * Epsilon);
+  double TanhTerm = std::tanh(Lambda * Tau);
+  double Phi =
+      (TanhTerm + Lambda / Biot) / (1.0 + (Lambda / Biot) * TanhTerm);
+  double Psi = std::pow(1.0 - Epsilon, 1.5) * Phi / 2.0;
+
+  return Psi / (Inputs.PlateConductivityWPerMK * SourceR * std::sqrt(M_PI));
+}
+
+double
+rcs::thermal::spreadingResistanceKPerW(const SpreadingInputs &Inputs) {
+  double OneD = Inputs.PlateThicknessM /
+                (Inputs.PlateConductivityWPerMK * Inputs.PlateAreaM2);
+  return OneD + constrictionResistanceKPerW(Inputs);
+}

@@ -1,0 +1,47 @@
+//===- thermal/Spreading.h - Spreading resistance ---------------*- C++ -*-===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Constriction/spreading resistance of a centered heat source on a
+/// finite-thickness base plate, after Lee, Song, Au & Moran (1995): the
+/// dimensionless constriction resistance psi is evaluated from the source
+/// and plate radii, the plate thickness, and the Biot number of the sink's
+/// convective back side. Used by the heat-sink models to replace a fixed
+/// empirical multiplier: a 20 mm die on a 50 mm sink base genuinely costs
+/// more than the 1-D conduction term alone.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_THERMAL_SPREADING_H
+#define RCS_THERMAL_SPREADING_H
+
+namespace rcs {
+namespace thermal {
+
+/// Inputs for the spreading-resistance evaluation. Rectangular source and
+/// plate are mapped to equivalent-area circles, the standard engineering
+/// practice for this correlation.
+struct SpreadingInputs {
+  double SourceAreaM2 = 4e-4;    ///< Heated footprint (die or heat slug).
+  double PlateAreaM2 = 2.5e-3;   ///< Sink base footprint.
+  double PlateThicknessM = 4e-3;
+  double PlateConductivityWPerMK = 390.0;
+  /// Effective film coefficient on the fin side of the base (h_eff =
+  /// 1 / (R_fins * A_plate)), used for the Biot number.
+  double EffectiveHtcWPerM2K = 1500.0;
+};
+
+/// Total source-to-backside resistance of the base: 1-D conduction plus
+/// the spreading (constriction) term, K/W.
+double spreadingResistanceKPerW(const SpreadingInputs &Inputs);
+
+/// Just the constriction term (excess over 1-D conduction), K/W.
+double constrictionResistanceKPerW(const SpreadingInputs &Inputs);
+
+} // namespace thermal
+} // namespace rcs
+
+#endif // RCS_THERMAL_SPREADING_H

@@ -1,0 +1,129 @@
+//===- thermal/Stackup.cpp - Detailed CCB thermal stackup -------------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Solution strategy: coolant cells are marched in flow direction (exact
+/// upwind advection), chip stacks are solved as a thermal network against
+/// the current cell temperatures, and the two are iterated to a fixed
+/// point. This keeps the network symmetric while the advection stays
+/// directional.
+///
+//===----------------------------------------------------------------------===//
+
+#include "thermal/Stackup.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace rcs;
+using namespace rcs::thermal;
+
+Expected<BoardStackupResult>
+rcs::thermal::solveBoardStackup(const BoardStackupConfig &Config,
+                                const fluids::Fluid &F) {
+  std::vector<double> Powers(Config.NumFpgas, Config.ChipPowerW);
+  return solveBoardStackupWithPowers(Config, F, Powers);
+}
+
+Expected<BoardStackupResult> rcs::thermal::solveBoardStackupWithPowers(
+    const BoardStackupConfig &Config, const fluids::Fluid &F,
+    const std::vector<double> &ChipPowersW) {
+  const int N = Config.NumFpgas;
+  assert(N >= 1 && "board needs chips");
+  assert(static_cast<int>(ChipPowersW.size()) == N &&
+         "power vector size mismatch");
+  if (Config.BoardFlowM3PerS <= 0.0)
+    return Expected<BoardStackupResult>::error(
+        "board stackup requires positive coolant flow");
+
+  PinFinHeatSink Sink("stackup sink", Config.Sink);
+
+  // Chip-internal conductances (theta_jc split die->lid, TIM lid->base).
+  double GDieLid = 1.0 / std::max(Config.ThetaJcKPerW, 1e-6);
+  double GLidBase = 1.0 / std::max(Config.TimResistanceKPerW, 1e-6);
+
+  // Coolant march state: CellTemp[i] is the bulk temperature downstream
+  // of chip i; chips couple to the mean of their in/out temperatures.
+  std::vector<double> CellTemp(N, Config.InletTempC);
+  std::vector<double> LocalBulk(N, Config.InletTempC);
+
+  BoardStackupResult Result;
+  double CapacityWPerK = 0.0;
+  for (int Outer = 0; Outer != 60; ++Outer) {
+    double MeanBulk = 0.0;
+    for (double T : LocalBulk)
+      MeanBulk += T;
+    MeanBulk /= N;
+    CapacityWPerK = Config.BoardFlowM3PerS * F.densityKgPerM3(MeanBulk) *
+                    F.specificHeatJPerKgK(MeanBulk);
+
+    // --- Solve all chip stacks against the current bulk temperatures ----
+    ThermalNetwork Net;
+    std::vector<NodeId> Die(N), Lid(N), Base(N), Cell(N);
+    for (int I = 0; I != N; ++I) {
+      Die[I] = Net.addNode("die");
+      Lid[I] = Net.addNode("lid");
+      Base[I] = Net.addNode("base");
+      Cell[I] = Net.addBoundaryNode("cell", LocalBulk[I]);
+      Net.addConductance(Die[I], Lid[I], GDieLid);
+      Net.addConductance(Lid[I], Base[I], GLidBase);
+      double SinkR = Sink.thermalResistanceKPerW(
+          F, LocalBulk[I], Config.ApproachVelocityMPerS,
+          LocalBulk[I] + 20.0);
+      Net.addResistance(Base[I], Cell[I], SinkR);
+      Net.addHeatSource(Die[I], ChipPowersW[I]);
+      if (I > 0 && Config.LateralConductanceWPerK > 0.0)
+        Net.addConductance(Base[I], Base[I - 1],
+                           Config.LateralConductanceWPerK);
+    }
+    Expected<std::vector<double>> Temps = Net.solveSteadyState();
+    if (!Temps)
+      return Expected<BoardStackupResult>::error(
+          "stackup network solve failed: " + Temps.message());
+
+    // --- Heat delivered to each cell, then march the coolant ------------
+    std::vector<double> CellHeat(N, 0.0);
+    for (int I = 0; I != N; ++I)
+      CellHeat[I] = Net.boundaryHeatFlowW(Cell[I], *Temps);
+
+    double MaxShift = 0.0;
+    double Upstream = Config.InletTempC;
+    for (int I = 0; I != N; ++I) {
+      double NewCell = Upstream + CellHeat[I] / CapacityWPerK;
+      double NewBulk = 0.5 * (Upstream + NewCell);
+      MaxShift = std::max(MaxShift, std::fabs(NewBulk - LocalBulk[I]));
+      CellTemp[I] = NewCell;
+      LocalBulk[I] = NewBulk;
+      Upstream = NewCell;
+    }
+
+    // Record the stack temperatures from this (latest) network solve.
+    Result.DieTempC.assign(N, 0.0);
+    Result.LidTempC.assign(N, 0.0);
+    Result.SinkBaseTempC.assign(N, 0.0);
+    for (int I = 0; I != N; ++I) {
+      Result.DieTempC[I] = (*Temps)[Die[I]];
+      Result.LidTempC[I] = (*Temps)[Lid[I]];
+      Result.SinkBaseTempC[I] = (*Temps)[Base[I]];
+    }
+    if (MaxShift < 1e-7)
+      break;
+  }
+
+  Result.CoolantCellTempC = CellTemp;
+  Result.OutletTempC = CellTemp.back();
+  Result.MaxDieTempC =
+      *std::max_element(Result.DieTempC.begin(), Result.DieTempC.end());
+  Result.DieGradientC = Result.DieTempC.back() - Result.DieTempC.front();
+
+  double TotalPower = 0.0;
+  for (double P : ChipPowersW)
+    TotalPower += P;
+  double Advected =
+      CapacityWPerK * (Result.OutletTempC - Config.InletTempC);
+  Result.EnergyResidualW = Advected - TotalPower;
+  return Result;
+}

@@ -1,0 +1,82 @@
+//===- thermal/Stackup.h - Detailed CCB thermal stackup ---------*- C++ -*-===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A finer-grained thermal model of one immersed CCB than the lumped
+/// per-FPGA resistance chain used by the module solver: every FPGA gets a
+/// die / lid / sink-base node stack, the coolant is discretized into one
+/// cell per chip row with advective transport between cells, and the board
+/// substrate couples neighbouring stacks laterally. Used to validate the
+/// lumped model (tests) and to study intra-board gradients the paper's
+/// prototype thermography would show.
+///
+/// Advection is modeled as a directed conductance m_dot*cp from each cell
+/// to the next (upwind), which is exact for steady state when paired with
+/// a boundary inlet cell.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_THERMAL_STACKUP_H
+#define RCS_THERMAL_STACKUP_H
+
+#include "fluids/Fluid.h"
+#include "support/Status.h"
+#include "thermal/HeatSink.h"
+#include "thermal/Network.h"
+
+#include <vector>
+
+namespace rcs {
+namespace thermal {
+
+/// Configuration of the detailed board stackup.
+struct BoardStackupConfig {
+  int NumFpgas = 8;          ///< Chips along the coolant path (2 rows x 4
+                             ///< columns are unrolled into one path).
+  double ChipPowerW = 91.0;  ///< Uniform heat per chip (callers may vary
+                             ///< per chip through solveWithPowers).
+  double ThetaJcKPerW = 0.09;
+  double TimResistanceKPerW = 0.012;
+  PinFinGeometry Sink;       ///< Per-chip sink geometry.
+  /// Lateral conduction between adjacent sink bases through the board and
+  /// stiffener, W/K.
+  double LateralConductanceWPerK = 0.8;
+  /// Coolant inlet temperature and per-board volume flow.
+  double InletTempC = 27.0;
+  double BoardFlowM3PerS = 1.8e-4;
+  /// Free-stream approach velocity at the sinks.
+  double ApproachVelocityMPerS = 0.065;
+};
+
+/// Solved per-chip temperatures of a detailed stackup.
+struct BoardStackupResult {
+  std::vector<double> DieTempC;
+  std::vector<double> LidTempC;
+  std::vector<double> SinkBaseTempC;
+  std::vector<double> CoolantCellTempC; ///< Cell downstream of each chip.
+  double OutletTempC = 0.0;
+  double MaxDieTempC = 0.0;
+  /// First-to-last die temperature difference along the coolant path.
+  double DieGradientC = 0.0;
+  /// Energy audit: boundary heat flow minus injected power (W); near zero
+  /// when the solve is consistent.
+  double EnergyResidualW = 0.0;
+};
+
+/// Builds and solves the detailed stackup network for uniform chip power.
+Expected<BoardStackupResult>
+solveBoardStackup(const BoardStackupConfig &Config, const fluids::Fluid &F);
+
+/// Same, with an explicit per-chip power vector (size NumFpgas).
+Expected<BoardStackupResult>
+solveBoardStackupWithPowers(const BoardStackupConfig &Config,
+                            const fluids::Fluid &F,
+                            const std::vector<double> &ChipPowersW);
+
+} // namespace thermal
+} // namespace rcs
+
+#endif // RCS_THERMAL_STACKUP_H

@@ -1,0 +1,257 @@
+//===- workload/Kernels.cpp - Reference computational kernels -----------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Kernels.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace rcs;
+using namespace rcs::workload;
+
+//===----------------------------------------------------------------------===//
+// IsingKernel
+//===----------------------------------------------------------------------===//
+
+IsingKernel::IsingKernel(int LatticeSize, double BetaJIn, uint64_t Seed)
+    : L(LatticeSize), BetaJ(BetaJIn) {
+  assert(L >= 4 && "lattice too small");
+  // splitmix64 seeding of a xoshiro-style state (self-contained so the
+  // kernel has no library dependencies beyond the device database).
+  uint64_t X = Seed;
+  for (uint64_t &Word : RngState) {
+    X += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = X;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    Word = Z ^ (Z >> 31);
+  }
+  Spins.assign(static_cast<size_t>(L) * L, 0);
+  for (int8_t &S : Spins)
+    S = (nextRandom() & 1) ? 1 : -1;
+}
+
+uint64_t IsingKernel::nextRandom() {
+  auto Rotl = [](uint64_t V, int K) { return (V << K) | (V >> (64 - K)); };
+  uint64_t Result = Rotl(RngState[1] * 5, 7) * 9;
+  uint64_t T = RngState[1] << 17;
+  RngState[2] ^= RngState[0];
+  RngState[3] ^= RngState[1];
+  RngState[1] ^= RngState[2];
+  RngState[0] ^= RngState[3];
+  RngState[2] ^= T;
+  RngState[3] = Rotl(RngState[3], 45);
+  return Result;
+}
+
+int IsingKernel::spinAt(int Row, int Col) const {
+  int R = (Row + L) % L;
+  int C = (Col + L) % L;
+  return Spins[static_cast<size_t>(R) * L + C];
+}
+
+KernelRunResult IsingKernel::run(int Sweeps) {
+  assert(Sweeps >= 0 && "negative sweep count");
+  // Precompute the five possible Metropolis acceptance thresholds for
+  // dE in {-8J..+8J}; this mirrors the lookup tables FPGA spin engines
+  // use.
+  double Accept[5];
+  for (int I = 0; I != 5; ++I) {
+    int DeltaE = 4 * I - 8; // -8, -4, 0, 4, 8 in units of J.
+    Accept[I] = DeltaE <= 0 ? 1.0 : std::exp(-BetaJ * DeltaE);
+  }
+
+  for (int Sweep = 0; Sweep != Sweeps; ++Sweep) {
+    for (int Row = 0; Row != L; ++Row) {
+      for (int Col = 0; Col != L; ++Col) {
+        int S = spinAt(Row, Col);
+        int Neighbors = spinAt(Row - 1, Col) + spinAt(Row + 1, Col) +
+                        spinAt(Row, Col - 1) + spinAt(Row, Col + 1);
+        // dE = 2*J*S*Neighbors in {-8,-4,0,4,8}; map to index 0..4.
+        int DeltaIndex = (S * Neighbors + 4) / 2;
+        double U = static_cast<double>(nextRandom() >> 11) * 0x1.0p-53;
+        if (U < Accept[DeltaIndex])
+          Spins[static_cast<size_t>(Row) * L + Col] =
+              static_cast<int8_t>(-S);
+      }
+    }
+  }
+
+  KernelRunResult Result;
+  Result.OpCount = static_cast<double>(Sweeps) * L * L;
+  Result.Checksum = magnetizationPerSpin() + 3.0 * energyPerSpin();
+  return Result;
+}
+
+double IsingKernel::magnetizationPerSpin() const {
+  long Sum = 0;
+  for (int8_t S : Spins)
+    Sum += S;
+  return static_cast<double>(Sum) / (static_cast<double>(L) * L);
+}
+
+double IsingKernel::energyPerSpin() const {
+  long Sum = 0;
+  for (int Row = 0; Row != L; ++Row)
+    for (int Col = 0; Col != L; ++Col)
+      Sum -= spinAt(Row, Col) *
+             (spinAt(Row + 1, Col) + spinAt(Row, Col + 1));
+  return static_cast<double>(Sum) / (static_cast<double>(L) * L);
+}
+
+FpgaMapping IsingKernel::mapTo(const fpga::FpgaSpec &Spec) const {
+  FpgaMapping Mapping;
+  // One spin-update engine: ~350 logic cells, updates one spin per cycle.
+  const double CellsPerEngine = 350.0;
+  const double UsableFraction = 0.95; // Routing/controller reserve.
+  double Budget = Spec.LogicKCells * 1000.0 * UsableFraction;
+  int MaxEngines = static_cast<int>(Budget / CellsPerEngine);
+  // Each engine needs a slab of >= 16 spins to stay busy.
+  Mapping.PipelinesFitted = std::min(MaxEngines, L * L / 16);
+  Mapping.Utilization = std::min(
+      0.95, Mapping.PipelinesFitted * CellsPerEngine / Budget + 0.04);
+  Mapping.ClockFraction = 1.0;
+  // Each engine does ~8 integer ops per spin per cycle.
+  Mapping.SustainedGflops = Mapping.PipelinesFitted * 8.0 *
+                            Spec.NominalClockMHz * 1e6 / 1e9;
+  return Mapping;
+}
+
+//===----------------------------------------------------------------------===//
+// GemmKernel
+//===----------------------------------------------------------------------===//
+
+GemmKernel::GemmKernel(int NIn) : N(NIn) {
+  assert(N >= 1 && "empty matrix");
+  A.assign(static_cast<size_t>(N) * N, 0.0f);
+  B.assign(static_cast<size_t>(N) * N, 0.0f);
+  C.assign(static_cast<size_t>(N) * N, 0.0f);
+  for (int R = 0; R != N; ++R) {
+    for (int Col = 0; Col != N; ++Col) {
+      A[static_cast<size_t>(R) * N + Col] =
+          static_cast<float>((R + 2.0 * Col) / N);
+      B[static_cast<size_t>(R) * N + Col] =
+          static_cast<float>((R == Col) ? 1.0 : 0.5 / N);
+    }
+  }
+}
+
+KernelRunResult GemmKernel::run() {
+  for (int R = 0; R != N; ++R) {
+    for (int K = 0; K != N; ++K) {
+      float Aval = A[static_cast<size_t>(R) * N + K];
+      for (int Col = 0; Col != N; ++Col)
+        C[static_cast<size_t>(R) * N + Col] +=
+            Aval * B[static_cast<size_t>(K) * N + Col];
+    }
+  }
+  HasRun = true;
+  KernelRunResult Result;
+  Result.OpCount = 2.0 * N * static_cast<double>(N) * N;
+  double Sum = 0.0;
+  for (float V : C)
+    Sum += V;
+  Result.Checksum = Sum;
+  return Result;
+}
+
+double GemmKernel::elementAt(int Row, int Col) const {
+  assert(HasRun && "run() the kernel first");
+  assert(Row < N && Col < N && "index out of range");
+  return C[static_cast<size_t>(Row) * N + Col];
+}
+
+FpgaMapping GemmKernel::mapTo(const fpga::FpgaSpec &Spec) const {
+  FpgaMapping Mapping;
+  // A single-precision MAC costs ~3 DSP slices; the systolic array is
+  // DSP-bound.
+  const int DspPerMac = 3;
+  int MacUnits = Spec.DspSlices / DspPerMac;
+  // The array cannot usefully exceed N x ~N/4 for this problem size.
+  int UsefulMacs = std::max(1, N * std::max(N / 4, 1));
+  Mapping.PipelinesFitted = std::min(MacUnits, UsefulMacs);
+  double DspUtilization =
+      static_cast<double>(Mapping.PipelinesFitted * DspPerMac) /
+      Spec.DspSlices;
+  // Fabric utilization tracks the DSP fill plus buffering logic.
+  Mapping.Utilization = std::min(0.92, 0.15 + 0.75 * DspUtilization);
+  // Big arrays close timing a little below nominal.
+  Mapping.ClockFraction = DspUtilization > 0.8 ? 0.9 : 1.0;
+  Mapping.SustainedGflops = Mapping.PipelinesFitted * 2.0 *
+                            Spec.NominalClockMHz * Mapping.ClockFraction *
+                            1e6 / 1e9;
+  return Mapping;
+}
+
+//===----------------------------------------------------------------------===//
+// FirKernel
+//===----------------------------------------------------------------------===//
+
+FirKernel::FirKernel(int NumTapsIn, int NumSamplesIn)
+    : NumTaps(NumTapsIn), NumSamples(NumSamplesIn) {
+  assert(NumTaps >= 1 && NumSamples >= NumTaps && "bad FIR sizing");
+  Taps.resize(NumTaps);
+  for (int I = 0; I != NumTaps; ++I) {
+    // A simple windowed low-pass prototype.
+    double X = I - 0.5 * (NumTaps - 1);
+    double Sinc = X == 0.0 ? 1.0 : std::sin(0.2 * M_PI * X) /
+                                       (0.2 * M_PI * X);
+    double Window = 0.54 - 0.46 * std::cos(2.0 * M_PI * I / (NumTaps - 1));
+    Taps[I] = Sinc * Window;
+  }
+  // Normalize to unit DC gain so the passband is preserved.
+  double Sum = 0.0;
+  for (double T : Taps)
+    Sum += T;
+  for (double &T : Taps)
+    T /= Sum;
+  Input.resize(NumSamples);
+  for (int I = 0; I != NumSamples; ++I)
+    Input[I] = std::sin(0.05 * I) + 0.5 * std::sin(0.8 * I + 1.0);
+}
+
+KernelRunResult FirKernel::run() {
+  Output.assign(NumSamples, 0.0);
+  for (int I = NumTaps - 1; I < NumSamples; ++I) {
+    double Acc = 0.0;
+    for (int T = 0; T != NumTaps; ++T)
+      Acc += Taps[T] * Input[I - T];
+    Output[I] = Acc;
+  }
+  HasRun = true;
+  KernelRunResult Result;
+  Result.OpCount = 2.0 * NumTaps * (NumSamples - NumTaps + 1);
+  double Sum = 0.0;
+  for (double V : Output)
+    Sum += V;
+  Result.Checksum = Sum;
+  return Result;
+}
+
+double FirKernel::outputAt(int Index) const {
+  assert(HasRun && "run() the kernel first");
+  assert(Index >= 0 && Index < NumSamples && "index out of range");
+  return Output[Index];
+}
+
+FpgaMapping FirKernel::mapTo(const fpga::FpgaSpec &Spec) const {
+  FpgaMapping Mapping;
+  // One tap = one DSP slice; channels replicate until ~60% of the DSPs
+  // are used (I/O bandwidth limits streaming designs before compute).
+  int ChannelCost = NumTaps;
+  int MaxChannels =
+      std::max(1, static_cast<int>(0.6 * Spec.DspSlices) / ChannelCost);
+  Mapping.PipelinesFitted = MaxChannels;
+  double DspUtilization =
+      static_cast<double>(MaxChannels * ChannelCost) / Spec.DspSlices;
+  Mapping.Utilization = std::min(0.75, 0.10 + 0.8 * DspUtilization);
+  Mapping.ClockFraction = 0.9; // Streaming clocks run conservative.
+  Mapping.SustainedGflops = MaxChannels * 2.0 * NumTaps *
+                            Spec.NominalClockMHz * Mapping.ClockFraction *
+                            1e6 / 1e9;
+  return Mapping;
+}

@@ -1,0 +1,146 @@
+//===- workload/Kernels.h - Reference computational kernels -----*- C++ -*-===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executable reference kernels for the application classes the paper's
+/// introduction motivates RCS with: spin-glass / Ising Monte-Carlo (the
+/// JANUS line of FPGA machines), dense linear algebra, and streaming
+/// signal processing. Each kernel really runs (on the host CPU, for
+/// validation and op counting) and carries a resource-mapping model that
+/// estimates how the task occupies an FPGA: how many hardware pipelines
+/// fit the device's DSP/logic budget and what fabric utilization results.
+/// The mapping feeds the power model, closing the loop from "task" to
+/// "watts" to "temperature".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_WORKLOAD_KERNELS_H
+#define RCS_WORKLOAD_KERNELS_H
+
+#include "fpga/Device.h"
+#include "fpga/PowerModel.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace rcs {
+namespace workload {
+
+/// Result of running a reference kernel on the host.
+struct KernelRunResult {
+  double OpCount = 0.0;  ///< Useful operations performed.
+  double Checksum = 0.0; ///< Deterministic output digest (validation).
+};
+
+/// How a kernel occupies one FPGA.
+struct FpgaMapping {
+  int PipelinesFitted = 0;      ///< Parallel hardware pipelines placed.
+  double Utilization = 0.0;     ///< Fabric fraction in use (0..1).
+  double ClockFraction = 1.0;   ///< Achievable clock vs nominal.
+  double SustainedGflops = 0.0; ///< Estimated sustained throughput.
+
+  /// Converts to the power model's operating point.
+  fpga::WorkloadPoint toWorkloadPoint() const {
+    return {Utilization, ClockFraction};
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Ising / spin-glass Monte-Carlo (JANUS class)
+//===----------------------------------------------------------------------===//
+
+/// 2-D Ising model with Metropolis dynamics on an L x L periodic lattice.
+class IsingKernel {
+public:
+  /// \p LatticeSize L, \p BetaJ inverse temperature times coupling,
+  /// \p Seed for the deterministic RNG.
+  IsingKernel(int LatticeSize, double BetaJ, uint64_t Seed = 1);
+
+  /// Runs \p Sweeps full-lattice Metropolis sweeps.
+  KernelRunResult run(int Sweeps);
+
+  /// Mean magnetization per spin in [-1, 1] of the current state.
+  double magnetizationPerSpin() const;
+
+  /// Energy per spin in [-2, 2] (units of J) of the current state.
+  double energyPerSpin() const;
+
+  /// Resource mapping: one spin-update pipeline costs a few hundred LUTs
+  /// and no DSPs; the fabric fills with update engines until the logic
+  /// budget is spent (this is why spin-glass machines reach ~95%
+  /// utilization, the paper's upper workload bound).
+  FpgaMapping mapTo(const fpga::FpgaSpec &Spec) const;
+
+private:
+  int L;
+  double BetaJ;
+  std::vector<int8_t> Spins;
+  uint64_t RngState[4];
+
+  uint64_t nextRandom();
+  int spinAt(int Row, int Col) const;
+};
+
+//===----------------------------------------------------------------------===//
+// Dense linear algebra (GEMM)
+//===----------------------------------------------------------------------===//
+
+/// Single-precision dense matrix multiply C = A * B.
+class GemmKernel {
+public:
+  /// \p N matrix dimension; matrices are filled deterministically.
+  explicit GemmKernel(int N);
+
+  /// Runs the multiply; OpCount = 2 N^3.
+  KernelRunResult run();
+
+  /// Reference element C[r][c] for validation.
+  double elementAt(int Row, int Col) const;
+
+  /// Resource mapping: a systolic MAC array sized by the DSP budget;
+  /// utilization is DSP-bound, clock derates slightly with array size.
+  FpgaMapping mapTo(const fpga::FpgaSpec &Spec) const;
+
+private:
+  int N;
+  std::vector<float> A, B, C;
+  bool HasRun = false;
+};
+
+//===----------------------------------------------------------------------===//
+// Streaming FIR filter (signal processing)
+//===----------------------------------------------------------------------===//
+
+/// Direct-form FIR filter over a deterministic input signal.
+class FirKernel {
+public:
+  /// \p NumTaps filter length, \p NumSamples signal length.
+  FirKernel(int NumTaps, int NumSamples);
+
+  /// Runs the filter; OpCount = 2 * taps * samples.
+  KernelRunResult run();
+
+  /// Output sample for validation.
+  double outputAt(int Index) const;
+
+  /// Resource mapping: taps map 1:1 onto DSP slices; parallel channels
+  /// fill the remaining budget. Utilization is usually moderate - the
+  /// paper's streaming workloads are the gentle end of the range.
+  FpgaMapping mapTo(const fpga::FpgaSpec &Spec) const;
+
+private:
+  int NumTaps;
+  int NumSamples;
+  std::vector<double> Taps;
+  std::vector<double> Input;
+  std::vector<double> Output;
+  bool HasRun = false;
+};
+
+} // namespace workload
+} // namespace rcs
+
+#endif // RCS_WORKLOAD_KERNELS_H

@@ -1,0 +1,303 @@
+//===- workload/Scheduler.cpp - Thermal-aware rack scheduling ------------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Scheduler.h"
+
+#include "support/Random.h"
+#include "workload/Workload.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace rcs;
+using namespace rcs::workload;
+using namespace rcs::rcsystem;
+
+const char *rcs::workload::placementPolicyName(PlacementPolicy Policy) {
+  switch (Policy) {
+  case PlacementPolicy::FirstFit:
+    return "first fit";
+  case PlacementPolicy::CoolestFirst:
+    return "coolest first";
+  case PlacementPolicy::LoadSpread:
+    return "load spread";
+  }
+  assert(false && "unknown policy");
+  return "?";
+}
+
+namespace {
+
+/// Running jobs on one module.
+struct ModuleState {
+  int FreeFpgas = 0;
+  /// (job index, fpgas, point, end hour) of resident jobs.
+  struct Resident {
+    size_t JobIndex;
+    int Fpgas;
+    fpga::WorkloadPoint Point;
+    double EndHour;
+  };
+  std::vector<Resident> Residents;
+  double LastJunctionC = 0.0;
+
+  /// FPGA-weighted operating point of the module, idle fabric included.
+  fpga::WorkloadPoint blendedPoint(int TotalFpgas) const {
+    fpga::WorkloadPoint Idle{0.02, 0.5};
+    double Util = 0.0, Clock = 0.0;
+    int Busy = 0;
+    for (const Resident &R : Residents) {
+      Util += R.Point.Utilization * R.Fpgas;
+      Clock += R.Point.ClockFraction * R.Fpgas;
+      Busy += R.Fpgas;
+    }
+    int Free = TotalFpgas - Busy;
+    Util += Idle.Utilization * Free;
+    Clock += Idle.ClockFraction * Free;
+    return {Util / TotalFpgas, Clock / TotalFpgas};
+  }
+};
+
+} // namespace
+
+Expected<ScheduleResult>
+rcs::workload::scheduleOnRack(const RackConfig &Rack,
+                              const ExternalConditions &Conditions,
+                              std::vector<Job> Jobs,
+                              PlacementPolicy Policy, bool Backfill) {
+  ComputationalModule Module(Rack.Module);
+  const int FpgasPerModule = Module.computeFpgaCount();
+  const int NumModules = Rack.NumModules;
+  for (const Job &J : Jobs) {
+    if (J.NumFpgas > FpgasPerModule)
+      return Expected<ScheduleResult>::error(
+          "job '" + J.Name + "' needs more FPGAs than one module has");
+    if (J.NumFpgas <= 0 || J.DurationHours <= 0.0)
+      return Expected<ScheduleResult>::error("job '" + J.Name +
+                                             "' has invalid shape");
+  }
+  // FIFO by submit time (stable for equal submit times).
+  std::vector<size_t> Order(Jobs.size());
+  for (size_t I = 0; I != Jobs.size(); ++I)
+    Order[I] = I;
+  std::stable_sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+    return Jobs[A].SubmitHour < Jobs[B].SubmitHour;
+  });
+
+  std::vector<ModuleState> Modules(NumModules);
+  for (ModuleState &State : Modules)
+    State.FreeFpgas = FpgasPerModule;
+
+  ScheduleResult Result;
+  Result.Entries.resize(Jobs.size());
+
+  // Estimates each module's junction temperature for placement and
+  // energy bookkeeping.
+  auto solveModule = [&](ModuleState &State) -> Expected<double> {
+    Expected<ModuleThermalReport> Report = Module.solveSteadyState(
+        Conditions, State.blendedPoint(FpgasPerModule));
+    if (!Report)
+      return Expected<double>(Report.status());
+    State.LastJunctionC = Report->MaxJunctionTempC;
+    return Report->TotalHeatW;
+  };
+
+  std::vector<bool> PlacedFlags(Jobs.size(), false);
+  size_t NextToPlace = 0;
+  double Now = 0.0;
+  double BusyFpgaHours = 0.0;
+  std::vector<double> ModuleHeatW(NumModules, 0.0);
+  for (int I = 0; I != NumModules; ++I) {
+    Expected<double> Heat = solveModule(Modules[I]);
+    if (!Heat)
+      return Expected<ScheduleResult>(Heat.status());
+    ModuleHeatW[I] = *Heat;
+  }
+
+  int Guard = 0;
+  while (true) {
+    if (++Guard > 100000)
+      return Expected<ScheduleResult>::error(
+          "scheduler did not terminate (internal error)");
+    // Place everything that fits now.
+    auto pickModule = [&](const Job &J) {
+      int Best = -1;
+      for (int I = 0; I != NumModules; ++I) {
+        if (Modules[I].FreeFpgas < J.NumFpgas)
+          continue;
+        if (Best < 0) {
+          Best = I;
+          if (Policy == PlacementPolicy::FirstFit)
+            break;
+          continue;
+        }
+        if (Policy == PlacementPolicy::CoolestFirst &&
+            Modules[I].LastJunctionC < Modules[Best].LastJunctionC)
+          Best = I;
+        if (Policy == PlacementPolicy::LoadSpread &&
+            Modules[I].FreeFpgas > Modules[Best].FreeFpgas)
+          Best = I;
+      }
+      return Best;
+    };
+    auto placeJob = [&](size_t JobIdx, int Best) -> Status {
+      const Job &J = Jobs[JobIdx];
+      ModuleState &State = Modules[Best];
+      State.FreeFpgas -= J.NumFpgas;
+      State.Residents.push_back({JobIdx, J.NumFpgas, J.Point,
+                                 Now + J.DurationHours});
+      Expected<double> Heat = solveModule(State);
+      if (!Heat)
+        return Heat.status();
+      ModuleHeatW[Best] = *Heat;
+      ScheduleEntry &Entry = Result.Entries[JobIdx];
+      Entry.JobIndex = JobIdx;
+      Entry.ModuleIndex = Best;
+      Entry.StartHour = Now;
+      Entry.EndHour = Now + J.DurationHours;
+      PlacedFlags[JobIdx] = true;
+      return Status::ok();
+    };
+
+    bool Placed = true;
+    while (Placed && NextToPlace < Order.size()) {
+      while (NextToPlace < Order.size() && PlacedFlags[Order[NextToPlace]])
+        ++NextToPlace; // Skip jobs backfilled earlier.
+      if (NextToPlace == Order.size())
+        break;
+      const Job &J = Jobs[Order[NextToPlace]];
+      if (J.SubmitHour > Now + 1e-12)
+        break;
+      int Best = pickModule(J);
+      if (Best < 0) {
+        Placed = false; // Head of queue must wait (FIFO).
+        break;
+      }
+      Status PlacedStatus = placeJob(Order[NextToPlace], Best);
+      if (!PlacedStatus.isOk())
+        return Expected<ScheduleResult>(PlacedStatus);
+      ++NextToPlace;
+    }
+
+    // EASY-style backfill: with the head blocked, shorter already-
+    // submitted jobs behind it may start if they fit right now.
+    if (Backfill && !Placed && NextToPlace < Order.size()) {
+      double HeadDuration = Jobs[Order[NextToPlace]].DurationHours;
+      for (size_t K = NextToPlace + 1; K < Order.size(); ++K) {
+        size_t JobIdx = Order[K];
+        if (PlacedFlags[JobIdx])
+          continue;
+        const Job &J = Jobs[JobIdx];
+        if (J.SubmitHour > Now + 1e-12)
+          break; // Later submissions are not eligible yet.
+        if (J.DurationHours > HeadDuration)
+          continue; // Would risk delaying the head.
+        int Best = pickModule(J);
+        if (Best < 0)
+          continue;
+        Status PlacedStatus = placeJob(JobIdx, Best);
+        if (!PlacedStatus.isOk())
+          return Expected<ScheduleResult>(PlacedStatus);
+      }
+    }
+
+    // Next event: earliest completion, or the earliest future submission
+    // of any still-unplaced job (with backfill, jobs behind the blocked
+    // head become eligible as they arrive).
+    double NextTime = 1e300;
+    bool AnyUnplaced = false;
+    for (const ModuleState &State : Modules)
+      for (const ModuleState::Resident &R : State.Residents)
+        NextTime = std::min(NextTime, R.EndHour);
+    for (size_t K = NextToPlace; K < Order.size(); ++K) {
+      if (PlacedFlags[Order[K]])
+        continue;
+      AnyUnplaced = true;
+      if (Jobs[Order[K]].SubmitHour > Now + 1e-12) {
+        // Order is sorted by submit time: this is the earliest future one.
+        NextTime = std::min(NextTime, Jobs[Order[K]].SubmitHour);
+        break;
+      }
+      if (!Backfill)
+        break; // FIFO: only the head matters.
+    }
+    if (NextTime > 1e299) {
+      if (AnyUnplaced)
+        return Expected<ScheduleResult>::error(
+            "job queue blocked with an idle rack (internal error)");
+      break; // Nothing running, nothing queued: done.
+    }
+
+    // Account the interval [Now, NextTime).
+    double IntervalH = NextTime - Now;
+    if (IntervalH > 0.0) {
+      for (int I = 0; I != NumModules; ++I) {
+        Result.EnergyKwh += ModuleHeatW[I] / 1000.0 * IntervalH;
+        Result.PeakJunctionC =
+            std::max(Result.PeakJunctionC, Modules[I].LastJunctionC);
+        if (Modules[I].LastJunctionC > 70.0)
+          ++Result.ThermalViolations;
+        for (const ModuleState::Resident &R : Modules[I].Residents)
+          BusyFpgaHours += R.Fpgas * IntervalH;
+      }
+    }
+    Now = NextTime;
+
+    // Retire completed jobs.
+    for (int I = 0; I != NumModules; ++I) {
+      ModuleState &State = Modules[I];
+      bool Changed = false;
+      for (size_t R = 0; R != State.Residents.size();) {
+        if (State.Residents[R].EndHour <= Now + 1e-12) {
+          State.FreeFpgas += State.Residents[R].Fpgas;
+          State.Residents.erase(State.Residents.begin() + R);
+          Changed = true;
+        } else {
+          ++R;
+        }
+      }
+      if (Changed) {
+        Expected<double> Heat = solveModule(State);
+        if (!Heat)
+          return Expected<ScheduleResult>(Heat.status());
+        ModuleHeatW[I] = *Heat;
+      }
+    }
+  }
+
+  Result.MakespanHours = Now;
+  double AvailableFpgaHours =
+      Result.MakespanHours * NumModules * FpgasPerModule;
+  Result.MeanUtilization =
+      AvailableFpgaHours > 0.0 ? BusyFpgaHours / AvailableFpgaHours : 0.0;
+  return Result;
+}
+
+std::vector<Job> rcs::workload::makeStandardJobMix(int NumJobs,
+                                                   uint64_t Seed) {
+  assert(NumJobs > 0 && "need jobs");
+  RandomEngine Rng(Seed);
+  const ApplicationClass Classes[] = {
+      ApplicationClass::SpinGlassMonteCarlo,
+      ApplicationClass::MolecularDynamics,
+      ApplicationClass::DenseLinearAlgebra,
+      ApplicationClass::SignalProcessing};
+  std::vector<Job> Jobs;
+  Jobs.reserve(NumJobs);
+  for (int I = 0; I != NumJobs; ++I) {
+    ApplicationClass App = Classes[Rng.uniformInt(4)];
+    Job J;
+    J.Name = std::string(applicationClassName(App)) + " #" +
+             std::to_string(I + 1);
+    J.Point = nominalPoint(App);
+    J.NumFpgas = static_cast<int>(8 * (1 + Rng.uniformInt(6))); // 8..48.
+    J.DurationHours = 0.5 + Rng.uniform(0.0, 5.5);
+    J.SubmitHour = Rng.uniform(0.0, 4.0);
+    Jobs.push_back(std::move(J));
+  }
+  return Jobs;
+}

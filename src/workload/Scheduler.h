@@ -1,0 +1,95 @@
+//===- workload/Scheduler.h - Thermal-aware rack scheduling -----*- C++ -*-===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A job scheduler for a rack of reconfigurable modules: the paper's
+/// introduction frames RCS as special-purpose devices with
+/// "general-purpose use for solving tasks from various problem areas",
+/// which operationally means multiplexing a job mix over the FPGA field.
+/// The scheduler places jobs on modules under capacity constraints and,
+/// optionally, thermal awareness (prefer the coolest module), then
+/// replays the schedule against the electro-thermal solver to report
+/// makespan, energy and worst junction temperatures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_WORKLOAD_SCHEDULER_H
+#define RCS_WORKLOAD_SCHEDULER_H
+
+#include "fpga/PowerModel.h"
+#include "support/Status.h"
+#include "system/Rack.h"
+
+#include <string>
+#include <vector>
+
+namespace rcs {
+namespace workload {
+
+/// One job in the queue.
+struct Job {
+  std::string Name;
+  /// Per-FPGA operating point while the job runs.
+  fpga::WorkloadPoint Point{0.9, 1.0};
+  /// FPGAs the job occupies (must fit in one module).
+  int NumFpgas = 8;
+  double DurationHours = 1.0;
+  double SubmitHour = 0.0;
+};
+
+/// Placement policies.
+enum class PlacementPolicy {
+  FirstFit,     ///< Lowest-index module with room.
+  CoolestFirst, ///< Module with the lowest estimated junction temp.
+  LoadSpread    ///< Module with the most free FPGAs.
+};
+
+/// Name of \p Policy for reports.
+const char *placementPolicyName(PlacementPolicy Policy);
+
+/// One placed job in the resulting schedule.
+struct ScheduleEntry {
+  size_t JobIndex = 0;
+  int ModuleIndex = 0;
+  double StartHour = 0.0;
+  double EndHour = 0.0;
+};
+
+/// Replayed schedule metrics.
+struct ScheduleResult {
+  std::vector<ScheduleEntry> Entries;
+  double MakespanHours = 0.0;
+  double EnergyKwh = 0.0;       ///< Total module heat over the schedule.
+  double PeakJunctionC = 0.0;
+  double MeanUtilization = 0.0; ///< FPGA-hours used / FPGA-hours available
+                                ///< within the makespan.
+  /// Intervals during which some module exceeded the long-life band.
+  int ThermalViolations = 0;
+};
+
+/// Schedules \p Jobs on the rack's modules and replays the placement
+/// against the steady-state thermal solver interval by interval.
+///
+/// Jobs are queued FIFO; a job waits until some module has enough free
+/// FPGAs. With \p Backfill, jobs behind a blocked queue head may start
+/// early when they fit right now (classic EASY-style backfill without
+/// reservations; the head can be delayed by at most the backfilled job's
+/// runtime, bounded here by allowing only shorter-than-head jobs
+/// through). Jobs larger than one module are rejected with an error.
+Expected<ScheduleResult>
+scheduleOnRack(const rcsystem::RackConfig &Rack,
+               const rcsystem::ExternalConditions &Conditions,
+               std::vector<Job> Jobs, PlacementPolicy Policy,
+               bool Backfill = false);
+
+/// A deterministic synthetic job mix drawn from the paper's application
+/// classes (spin-glass, MD, linear algebra, DSP).
+std::vector<Job> makeStandardJobMix(int NumJobs, uint64_t Seed);
+
+} // namespace workload
+} // namespace rcs
+
+#endif // RCS_WORKLOAD_SCHEDULER_H

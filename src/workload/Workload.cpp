@@ -1,0 +1,114 @@
+//===- workload/Workload.cpp - RCS workload generators ------------------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Workload.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace rcs;
+using namespace rcs::workload;
+
+const char *rcs::workload::applicationClassName(ApplicationClass App) {
+  switch (App) {
+  case ApplicationClass::SpinGlassMonteCarlo:
+    return "spin-glass Monte-Carlo";
+  case ApplicationClass::MolecularDynamics:
+    return "molecular dynamics";
+  case ApplicationClass::DenseLinearAlgebra:
+    return "dense linear algebra";
+  case ApplicationClass::SignalProcessing:
+    return "signal processing";
+  case ApplicationClass::Idle:
+    return "idle";
+  }
+  assert(false && "unknown application class");
+  return "?";
+}
+
+fpga::WorkloadPoint rcs::workload::nominalPoint(ApplicationClass App) {
+  switch (App) {
+  case ApplicationClass::SpinGlassMonteCarlo:
+    return {0.95, 1.0}; // The paper's upper bound: 95% of the fabric.
+  case ApplicationClass::MolecularDynamics:
+    return {0.90, 1.0};
+  case ApplicationClass::DenseLinearAlgebra:
+    return {0.85, 1.0};
+  case ApplicationClass::SignalProcessing:
+    return {0.60, 0.9};
+  case ApplicationClass::Idle:
+    return {0.02, 0.5};
+  }
+  assert(false && "unknown application class");
+  return {0.0, 0.0};
+}
+
+std::vector<WorkloadSample>
+rcs::workload::generateTrace(const TraceConfig &Config) {
+  assert(Config.SampleIntervalS > 0 && Config.DurationS > 0 &&
+         "invalid trace timing");
+  RandomEngine Rng(Config.Seed);
+  fpga::WorkloadPoint Nominal = nominalPoint(Config.App);
+
+  std::vector<WorkloadSample> Trace;
+  size_t NumSamples =
+      static_cast<size_t>(Config.DurationS / Config.SampleIntervalS) + 1;
+  Trace.reserve(NumSamples);
+
+  int DipRemaining = 0;
+  for (size_t I = 0; I != NumSamples; ++I) {
+    WorkloadSample Sample;
+    Sample.TimeS = static_cast<double>(I) * Config.SampleIntervalS;
+    if (DipRemaining > 0) {
+      // Low-utilization phase: checkpoint / data exchange.
+      Sample.Point.Utilization = 0.15;
+      Sample.Point.ClockFraction = Nominal.ClockFraction;
+      --DipRemaining;
+    } else {
+      double Jitter = Rng.normal(0.0, Config.UtilizationJitter);
+      Sample.Point.Utilization =
+          std::clamp(Nominal.Utilization + Jitter, 0.0, 1.0);
+      Sample.Point.ClockFraction = Nominal.ClockFraction;
+      if (Rng.bernoulli(Config.PhaseDipProbability))
+        DipRemaining = 1 + static_cast<int>(Rng.exponential(
+                               1.0 / Config.MeanDipLengthSamples));
+    }
+    Trace.push_back(Sample);
+  }
+  return Trace;
+}
+
+std::vector<WorkloadSample>
+rcs::workload::generateDutyCycle(ApplicationClass App, double PeriodS,
+                                 double OnFraction,
+                                 double SampleIntervalS) {
+  assert(PeriodS > 0 && SampleIntervalS > 0 && "invalid duty cycle timing");
+  assert(OnFraction >= 0.0 && OnFraction <= 1.0 && "invalid duty fraction");
+  fpga::WorkloadPoint On = nominalPoint(App);
+  fpga::WorkloadPoint Off = nominalPoint(ApplicationClass::Idle);
+
+  std::vector<WorkloadSample> Trace;
+  size_t NumSamples = static_cast<size_t>(PeriodS / SampleIntervalS);
+  for (size_t I = 0; I != NumSamples; ++I) {
+    WorkloadSample Sample;
+    Sample.TimeS = static_cast<double>(I) * SampleIntervalS;
+    double Phase = static_cast<double>(I) / NumSamples;
+    Sample.Point = Phase < OnFraction ? On : Off;
+    Trace.push_back(Sample);
+  }
+  return Trace;
+}
+
+double
+rcs::workload::meanUtilization(const std::vector<WorkloadSample> &Trace) {
+  if (Trace.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (const WorkloadSample &Sample : Trace)
+    Sum += Sample.Point.Utilization;
+  return Sum / static_cast<double>(Trace.size());
+}

@@ -1,0 +1,81 @@
+//===- workload/Workload.h - RCS workload generators ------------*- C++ -*-===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Workload models for reconfigurable computer systems. The paper's
+/// introduction motivates RCS with computationally laborious tasks whose
+/// information graph is hardwired onto the FPGA field; classic examples
+/// from the references are spin-glass Monte-Carlo (JANUS), molecular
+/// dynamics (Anton) and dense linear algebra. Each application class maps
+/// to a utilization / clock-fraction profile over time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_WORKLOAD_WORKLOAD_H
+#define RCS_WORKLOAD_WORKLOAD_H
+
+#include "fpga/PowerModel.h"
+#include "support/Random.h"
+
+#include <string>
+#include <vector>
+
+namespace rcs {
+namespace workload {
+
+/// Application classes the paper's RCS machines run.
+enum class ApplicationClass {
+  SpinGlassMonteCarlo, ///< JANUS-style: near-full utilization, steady.
+  MolecularDynamics,   ///< Anton-style: high utilization, phase dips.
+  DenseLinearAlgebra,  ///< Solver bursts separated by I/O phases.
+  SignalProcessing,    ///< Streaming: moderate utilization, constant.
+  Idle                 ///< Configured but quiescent fabric.
+};
+
+/// Name of \p App for reports.
+const char *applicationClassName(ApplicationClass App);
+
+/// Representative steady operating point of \p App (the paper quotes
+/// production workloads using 85..95% of available hardware resource).
+fpga::WorkloadPoint nominalPoint(ApplicationClass App);
+
+/// One step of a time-varying workload trace.
+struct WorkloadSample {
+  double TimeS = 0.0;
+  fpga::WorkloadPoint Point;
+};
+
+/// Parameters of the trace generator.
+struct TraceConfig {
+  ApplicationClass App = ApplicationClass::SpinGlassMonteCarlo;
+  double DurationS = 3600.0;
+  double SampleIntervalS = 10.0;
+  /// Standard deviation of the per-sample utilization jitter.
+  double UtilizationJitter = 0.02;
+  /// Probability per sample of entering a low-utilization phase (I/O,
+  /// checkpoint) and its mean length in samples.
+  double PhaseDipProbability = 0.02;
+  double MeanDipLengthSamples = 6.0;
+  uint64_t Seed = 42;
+};
+
+/// Generates a deterministic utilization trace for the configuration.
+std::vector<WorkloadSample> generateTrace(const TraceConfig &Config);
+
+/// A repeating duty cycle: \p OnFraction of each period at the nominal
+/// point, the rest near idle. Returns one full period of samples.
+std::vector<WorkloadSample>
+generateDutyCycle(ApplicationClass App, double PeriodS, double OnFraction,
+                  double SampleIntervalS);
+
+/// Mean utilization of \p Trace (time-weighted, assuming uniform
+/// sampling).
+double meanUtilization(const std::vector<WorkloadSample> &Trace);
+
+} // namespace workload
+} // namespace rcs
+
+#endif // RCS_WORKLOAD_WORKLOAD_H

@@ -1,0 +1,158 @@
+//===- tests/configio_test.cpp - Config serialization tests -------------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ConfigIO.h"
+
+#include "core/Designs.h"
+
+#include <gtest/gtest.h>
+
+using namespace rcs;
+using namespace rcs::core;
+using namespace rcs::rcsystem;
+
+TEST(ConfigIoTest, EmptyTextGivesSkatDefaults) {
+  auto Config = parseModuleConfig("");
+  ASSERT_TRUE(Config.hasValue()) << Config.message();
+  EXPECT_EQ(Config->Name, "SKAT");
+  EXPECT_EQ(Config->NumCcbs, 12);
+}
+
+TEST(ConfigIoTest, BaseDesignSelection) {
+  auto Config = parseModuleConfig("[module]\nbase = taygeta\n");
+  ASSERT_TRUE(Config.hasValue());
+  EXPECT_EQ(Config->Name, "Taygeta");
+  EXPECT_EQ(Config->Cooling, CoolingKind::ForcedAir);
+}
+
+TEST(ConfigIoTest, OverridesApply) {
+  const char *Text = R"(
+    [module]
+    base = skat
+    name = My experiment
+    num_ccbs = 16
+
+    [board]
+    model = XCVU9P
+    separate_controller = false
+
+    [load]
+    utilization = 0.7
+
+    [immersion]
+    coolant = md45
+    pump_rated_flow_lpm = 150
+    tim = graphite
+    distribution = series
+  )";
+  auto Config = parseModuleConfig(Text);
+  ASSERT_TRUE(Config.hasValue()) << Config.message();
+  EXPECT_EQ(Config->Name, "My experiment");
+  EXPECT_EQ(Config->NumCcbs, 16);
+  EXPECT_EQ(Config->Board.Model, fpga::FpgaModel::XCVU9P);
+  EXPECT_FALSE(Config->Board.SeparateControllerFpga);
+  EXPECT_DOUBLE_EQ(Config->Load.Utilization, 0.7);
+  EXPECT_EQ(Config->Immersion.CoolantKind,
+            ImmersionCoolingConfig::Coolant::MineralOilMd45);
+  EXPECT_NEAR(Config->Immersion.PumpRatedFlowM3PerS, 150.0 / 60000.0,
+              1e-12);
+  EXPECT_EQ(Config->Immersion.Tim,
+            ImmersionCoolingConfig::TimKind::GraphitePad);
+  EXPECT_EQ(Config->Immersion.Distribution,
+            ImmersionCoolingConfig::OilDistribution::SeriesAlongBoards);
+}
+
+TEST(ConfigIoTest, CommentsAndWhitespaceIgnored) {
+  const char *Text = "# a comment\n"
+                     "[module]  ; trailing comment\n"
+                     "  num_ccbs   =  14  # another\n";
+  auto Config = parseModuleConfig(Text);
+  ASSERT_TRUE(Config.hasValue()) << Config.message();
+  EXPECT_EQ(Config->NumCcbs, 14);
+}
+
+TEST(ConfigIoTest, UnknownKeyIsError) {
+  auto Config = parseModuleConfig("[module]\nnum_ccb = 14\n");
+  ASSERT_FALSE(Config.hasValue());
+  EXPECT_NE(Config.message().find("unknown key"), std::string::npos);
+}
+
+TEST(ConfigIoTest, UnknownSectionIsError) {
+  auto Config = parseModuleConfig("[modul]\nnum_ccbs = 14\n");
+  ASSERT_FALSE(Config.hasValue());
+  EXPECT_NE(Config.message().find("unknown section"), std::string::npos);
+}
+
+TEST(ConfigIoTest, BadNumberIsError) {
+  auto Config = parseModuleConfig("[load]\nutilization = high\n");
+  ASSERT_FALSE(Config.hasValue());
+  EXPECT_NE(Config.message().find("not a number"), std::string::npos);
+}
+
+TEST(ConfigIoTest, BadEnumIsError) {
+  auto Config = parseModuleConfig("[immersion]\ncoolant = ketchup\n");
+  ASSERT_FALSE(Config.hasValue());
+}
+
+TEST(ConfigIoTest, MissingEqualsIsError) {
+  auto Config = parseModuleConfig("[module]\njust words\n");
+  ASSERT_FALSE(Config.hasValue());
+}
+
+TEST(ConfigIoTest, SerializeParseRoundTrip) {
+  ModuleConfig Original = makeSkatPlusModule();
+  Original.Name = "roundtrip";
+  Original.NumCcbs = 14;
+  Original.Load.Utilization = 0.83;
+  std::string Text = serializeModuleConfig(Original);
+  auto Parsed = parseModuleConfig(Text);
+  ASSERT_TRUE(Parsed.hasValue()) << Parsed.message();
+  EXPECT_EQ(Parsed->Name, Original.Name);
+  EXPECT_EQ(Parsed->NumCcbs, Original.NumCcbs);
+  EXPECT_EQ(Parsed->Cooling, Original.Cooling);
+  EXPECT_EQ(Parsed->Board.Model, Original.Board.Model);
+  EXPECT_EQ(Parsed->Board.SeparateControllerFpga,
+            Original.Board.SeparateControllerFpga);
+  EXPECT_NEAR(Parsed->Load.Utilization, Original.Load.Utilization, 1e-9);
+  EXPECT_NEAR(Parsed->Immersion.PumpRatedFlowM3PerS,
+              Original.Immersion.PumpRatedFlowM3PerS, 1e-9);
+  EXPECT_NEAR(Parsed->Immersion.HxUaWPerK, Original.Immersion.HxUaWPerK,
+              1e-9);
+  EXPECT_EQ(Parsed->Immersion.ImmersedPumps,
+            Original.Immersion.ImmersedPumps);
+}
+
+TEST(ConfigIoTest, RoundTripSolvesIdentically) {
+  ModuleConfig Original = makeSkatModule();
+  auto Parsed = parseModuleConfig(serializeModuleConfig(Original));
+  ASSERT_TRUE(Parsed.hasValue());
+  auto Conditions = makeNominalConditions();
+  auto A = ComputationalModule(Original).solveSteadyState(Conditions);
+  auto B = ComputationalModule(*Parsed).solveSteadyState(Conditions);
+  ASSERT_TRUE(A.hasValue());
+  ASSERT_TRUE(B.hasValue());
+  EXPECT_NEAR(A->MaxJunctionTempC, B->MaxJunctionTempC, 1e-6);
+  EXPECT_NEAR(A->TotalHeatW, B->TotalHeatW, 1e-3);
+}
+
+TEST(ConfigIoTest, FileRoundTrip) {
+  std::string Path = testing::TempDir() + "/skatsim_config_test.ini";
+  ModuleConfig Original = makeSkatModule();
+  Original.NumCcbs = 13;
+  std::string Text = serializeModuleConfig(Original);
+  std::FILE *File = std::fopen(Path.c_str(), "w");
+  ASSERT_NE(File, nullptr);
+  std::fwrite(Text.data(), 1, Text.size(), File);
+  std::fclose(File);
+  auto Loaded = loadModuleConfigFile(Path);
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.message();
+  EXPECT_EQ(Loaded->NumCcbs, 13);
+}
+
+TEST(ConfigIoTest, MissingFileIsError) {
+  auto Loaded = loadModuleConfigFile("/nonexistent/skatsim.ini");
+  ASSERT_FALSE(Loaded.hasValue());
+}

@@ -1,0 +1,104 @@
+//===- tests/economics_test.cpp - Cost model tests ---------------------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "system/Economics.h"
+
+#include "sim/MonteCarlo.h"
+
+#include <gtest/gtest.h>
+
+using namespace rcs;
+using namespace rcs::rcsystem;
+
+namespace {
+
+CostInputs immersionInputs() {
+  CostInputs Inputs;
+  Inputs.Label = "immersion";
+  Inputs.Kind = CoolingKind::Immersion;
+  Inputs.NumFpgas = 96;
+  Inputs.TotalPowerW = 9800.0;
+  Inputs.FacilityCoolingPowerW = 1600.0;
+  Inputs.FailuresPerYear = 0.5;
+  Inputs.DowntimeHoursPerYear = 2.5;
+  Inputs.Availability = 0.9997;
+  return Inputs;
+}
+
+} // namespace
+
+TEST(EconomicsTest, BreakdownSumsToOpex) {
+  CostReport Report = computeCost(immersionInputs(), 5.0);
+  EXPECT_NEAR(Report.OpexPerYearUsd,
+              Report.EnergyPerYearUsd + Report.CoolantPerYearUsd +
+                  Report.MaintenancePerYearUsd + Report.DowntimePerYearUsd,
+              1e-6);
+  EXPECT_NEAR(Report.TotalUsd,
+              Report.CoolingCapexUsd + 5.0 * Report.OpexPerYearUsd, 1e-6);
+}
+
+TEST(EconomicsTest, EnergyDominatesForDenseModules)
+{
+  // A 11.4 kW module at $0.10/kWh burns ~$10k/year; everything else is
+  // smaller for a healthy immersion design.
+  CostReport Report = computeCost(immersionInputs(), 5.0);
+  EXPECT_GT(Report.EnergyPerYearUsd, 8000.0);
+  EXPECT_GT(Report.EnergyPerYearUsd, Report.MaintenancePerYearUsd);
+  EXPECT_GT(Report.EnergyPerYearUsd, Report.CoolantPerYearUsd);
+}
+
+TEST(EconomicsTest, OnlyImmersionPaysForCoolant) {
+  CostInputs Air = immersionInputs();
+  Air.Kind = CoolingKind::ForcedAir;
+  Air.NumFanTrays = 12;
+  CostReport AirReport = computeCost(Air, 5.0);
+  EXPECT_DOUBLE_EQ(AirReport.CoolantPerYearUsd, 0.0);
+  CostReport ImmersionReport = computeCost(immersionInputs(), 5.0);
+  EXPECT_GT(ImmersionReport.CoolantPerYearUsd, 0.0);
+}
+
+TEST(EconomicsTest, ConnectorCountDrivesColdPlateCapex) {
+  CostInputs Few = immersionInputs();
+  Few.Kind = CoolingKind::ColdPlate;
+  Few.NumConnectors = 24;
+  CostInputs Many = Few;
+  Many.NumConnectors = 192;
+  EXPECT_GT(computeCost(Many, 5.0).CoolingCapexUsd,
+            computeCost(Few, 5.0).CoolingCapexUsd);
+}
+
+TEST(EconomicsTest, DowntimeHurts) {
+  CostInputs Reliable = immersionInputs();
+  CostInputs Flaky = immersionInputs();
+  Flaky.FailuresPerYear = 4.0;
+  Flaky.DowntimeHoursPerYear = 100.0;
+  Flaky.Availability = 0.989;
+  EXPECT_GT(computeCost(Flaky, 5.0).OpexPerYearUsd,
+            computeCost(Reliable, 5.0).OpexPerYearUsd + 5000.0);
+}
+
+TEST(EconomicsTest, IntegratesWithMonteCarlo) {
+  // End-to-end: availability results feed the cost model.
+  sim::AvailabilityConfig Config;
+  Config.Components = sim::makeImmersionComponents(96, 44.0, 1, false);
+  sim::AvailabilityReport Availability = sim::simulateAvailability(Config);
+
+  CostInputs Inputs = immersionInputs();
+  Inputs.FailuresPerYear = Availability.FailuresPerYear;
+  Inputs.DowntimeHoursPerYear = Availability.ModuleDowntimeHoursPerYear;
+  Inputs.Availability = Availability.Availability;
+  CostReport Report = computeCost(Inputs, 5.0);
+  EXPECT_GT(Report.TotalUsd, Report.CoolingCapexUsd);
+  EXPECT_GT(Report.MaintenancePerYearUsd, 0.0);
+}
+
+TEST(EconomicsTest, CustomPricesApply) {
+  CostModel Expensive;
+  Expensive.ElectricityUsdPerKwh = 0.30;
+  CostReport Cheap = computeCost(immersionInputs(), 5.0);
+  CostReport Dear = computeCost(immersionInputs(), 5.0, Expensive);
+  EXPECT_NEAR(Dear.EnergyPerYearUsd, 3.0 * Cheap.EnergyPerYearUsd, 1.0);
+}

@@ -1,0 +1,283 @@
+//===- tests/fluids_test.cpp - Unit tests for rcs_fluids --------------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fluids/Fluid.h"
+#include "fluids/FluidComparison.h"
+#include "fluids/SelectionCriteria.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+using namespace rcs;
+using namespace rcs::fluids;
+
+namespace {
+
+struct FluidCase {
+  const char *Label;
+  std::function<std::unique_ptr<Fluid>()> Make;
+};
+
+class AllFluidsTest : public testing::TestWithParam<FluidCase> {};
+
+} // namespace
+
+TEST_P(AllFluidsTest, PropertiesPositiveAcrossOperatingRange) {
+  auto F = GetParam().Make();
+  double Lo = F->minOperatingTempC();
+  double Hi = F->maxOperatingTempC();
+  for (int I = 0; I <= 20; ++I) {
+    double T = Lo + (Hi - Lo) * I / 20.0;
+    EXPECT_GT(F->densityKgPerM3(T), 0.0) << F->name() << " @" << T;
+    EXPECT_GT(F->specificHeatJPerKgK(T), 0.0) << F->name() << " @" << T;
+    EXPECT_GT(F->thermalConductivityWPerMK(T), 0.0) << F->name() << " @" << T;
+    EXPECT_GT(F->dynamicViscosityPaS(T), 0.0) << F->name() << " @" << T;
+    EXPECT_GT(F->prandtl(T), 0.0) << F->name() << " @" << T;
+  }
+}
+
+TEST_P(AllFluidsTest, DensityDecreasesWithTemperature) {
+  auto F = GetParam().Make();
+  double Lo = std::max(F->minOperatingTempC(), 5.0);
+  double Hi = F->maxOperatingTempC();
+  double Previous = F->densityKgPerM3(Lo);
+  for (int I = 1; I <= 10; ++I) {
+    double T = Lo + (Hi - Lo) * I / 10.0;
+    double Current = F->densityKgPerM3(T);
+    EXPECT_LE(Current, Previous + 1e-9) << F->name() << " @" << T;
+    Previous = Current;
+  }
+}
+
+TEST_P(AllFluidsTest, ViscosityDecreasesWithTemperatureForLiquids) {
+  auto F = GetParam().Make();
+  if (F->kind() == FluidKind::Gas)
+    GTEST_SKIP() << "gas viscosity increases with temperature";
+  double Lo = std::max(F->minOperatingTempC(), 5.0);
+  double Hi = F->maxOperatingTempC();
+  double Previous = F->dynamicViscosityPaS(Lo);
+  for (int I = 1; I <= 10; ++I) {
+    double T = Lo + (Hi - Lo) * I / 10.0;
+    double Current = F->dynamicViscosityPaS(T);
+    EXPECT_LE(Current, Previous + 1e-12) << F->name() << " @" << T;
+    Previous = Current;
+  }
+}
+
+TEST_P(AllFluidsTest, DerivedQuantitiesConsistent) {
+  auto F = GetParam().Make();
+  double T = 0.5 * (F->minOperatingTempC() + F->maxOperatingTempC());
+  EXPECT_NEAR(F->kinematicViscosityM2PerS(T),
+              F->dynamicViscosityPaS(T) / F->densityKgPerM3(T), 1e-15);
+  EXPECT_NEAR(F->volumetricHeatCapacityJPerM3K(T),
+              F->densityKgPerM3(T) * F->specificHeatJPerKgK(T), 1e-6);
+  EXPECT_NEAR(F->thermalDiffusivityM2PerS(T),
+              F->thermalConductivityWPerMK(T) /
+                  F->volumetricHeatCapacityJPerM3K(T),
+              1e-15);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fluids, AllFluidsTest,
+    testing::Values(FluidCase{"air", makeAir}, FluidCase{"water", makeWater},
+                    FluidCase{"glycol30",
+                              [] { return makeGlycolSolution(0.3); }},
+                    FluidCase{"md45", makeMineralOilMd45},
+                    FluidCase{"skat", makeEngineeredDielectric},
+                    FluidCase{"white_oil", makeWhiteMineralOil}),
+    [](const testing::TestParamInfo<FluidCase> &Info) {
+      return Info.param.Label;
+    });
+
+//===----------------------------------------------------------------------===//
+// Handbook anchor values
+//===----------------------------------------------------------------------===//
+
+TEST(FluidAnchorsTest, AirAt25C) {
+  auto Air = makeAir();
+  EXPECT_NEAR(Air->densityKgPerM3(25.0), 1.184, 0.01);
+  EXPECT_NEAR(Air->specificHeatJPerKgK(25.0), 1007.0, 2.0);
+  EXPECT_NEAR(Air->prandtl(25.0), 0.71, 0.03);
+  EXPECT_EQ(Air->kind(), FluidKind::Gas);
+  EXPECT_FALSE(Air->isDielectric());
+}
+
+TEST(FluidAnchorsTest, WaterAt20C) {
+  auto Water = makeWater();
+  EXPECT_NEAR(Water->densityKgPerM3(20.0), 998.2, 0.5);
+  EXPECT_NEAR(Water->specificHeatJPerKgK(20.0), 4182.0, 5.0);
+  EXPECT_NEAR(Water->prandtl(20.0), 7.0, 0.3);
+  EXPECT_FALSE(Water->isDielectric());
+}
+
+TEST(FluidAnchorsTest, MineralOilMd45ViscosityAnchors) {
+  auto Oil = makeMineralOilMd45();
+  // The name encodes ~4.5 cSt at 40 C.
+  EXPECT_NEAR(Oil->kinematicViscosityM2PerS(40.0) * 1e6, 4.5, 0.2);
+  EXPECT_TRUE(Oil->isDielectric());
+  ASSERT_TRUE(Oil->dielectricStrengthKvPerMm().has_value());
+  EXPECT_GT(*Oil->dielectricStrengthKvPerMm(), 10.0);
+  ASSERT_TRUE(Oil->flashPointC().has_value());
+  EXPECT_GT(*Oil->flashPointC(), Oil->maxOperatingTempC());
+}
+
+TEST(FluidAnchorsTest, OilPrandtlIsLarge) {
+  auto Oil = makeMineralOilMd45();
+  // Oils have Pr in the tens-to-hundreds.
+  EXPECT_GT(Oil->prandtl(30.0), 30.0);
+  EXPECT_LT(Oil->prandtl(30.0), 500.0);
+}
+
+TEST(FluidAnchorsTest, EngineeredDielectricBeatsStockOil) {
+  auto Skat = makeEngineeredDielectric();
+  auto Oil = makeMineralOilMd45();
+  double T = 30.0;
+  EXPECT_GT(Skat->specificHeatJPerKgK(T), Oil->specificHeatJPerKgK(T));
+  EXPECT_LT(Skat->kinematicViscosityM2PerS(T),
+            Oil->kinematicViscosityM2PerS(T));
+  EXPECT_GT(*Skat->dielectricStrengthKvPerMm(),
+            *Oil->dielectricStrengthKvPerMm());
+}
+
+TEST(FluidAnchorsTest, WhiteOilIsMoreViscousThanMd45) {
+  auto White = makeWhiteMineralOil();
+  auto Md45 = makeMineralOilMd45();
+  EXPECT_GT(White->kinematicViscosityM2PerS(30.0),
+            3.0 * Md45->kinematicViscosityM2PerS(30.0));
+}
+
+TEST(FluidAnchorsTest, GlycolFractionLowersFreezePoint) {
+  auto G20 = makeGlycolSolution(0.2);
+  auto G50 = makeGlycolSolution(0.5);
+  EXPECT_LT(G50->minOperatingTempC(), G20->minOperatingTempC());
+  EXPECT_LT(G50->specificHeatJPerKgK(20.0), G20->specificHeatJPerKgK(20.0));
+  EXPECT_GT(G50->dynamicViscosityPaS(20.0), G20->dynamicViscosityPaS(20.0));
+}
+
+//===----------------------------------------------------------------------===//
+// Paper Section 2 comparison claims (exercised in detail by bench E4)
+//===----------------------------------------------------------------------===//
+
+TEST(FluidComparisonTest, WaterVsAirHeatCapacityRatioInPaperBand) {
+  auto Water = makeWater();
+  auto Air = makeAir();
+  double Ratio = volumetricHeatCapacityRatio(*Water, *Air, 25.0);
+  // Paper: "from 1500 to 4000 times".
+  EXPECT_GT(Ratio, 1500.0);
+  EXPECT_LT(Ratio, 4000.0);
+}
+
+TEST(FluidComparisonTest, OilVsAirHeatCapacityRatioInPaperBand) {
+  auto Oil = makeMineralOilMd45();
+  auto Air = makeAir();
+  double Ratio = volumetricHeatCapacityRatio(*Oil, *Air, 25.0);
+  EXPECT_GT(Ratio, 1200.0);
+  EXPECT_LT(Ratio, 4000.0);
+}
+
+TEST(FluidComparisonTest, FpgaFlowBudgetMatchesPaper) {
+  // Paper: cooling one modern FPGA needs 1 m^3 of air or 250 ml of water
+  // per minute. At ~91 W per FPGA and a ~5 C coolant rise:
+  auto Water = makeWater();
+  auto Air = makeAir();
+  const double PowerW = 91.0;
+  const double DeltaT = 5.0;
+  double WaterFlow = requiredVolumeFlowM3PerS(*Water, PowerW, 25.0, DeltaT);
+  double AirFlow = requiredVolumeFlowM3PerS(*Air, PowerW, 25.0, DeltaT);
+  // Water: a quarter liter per minute, within 40%.
+  EXPECT_NEAR(WaterFlow * 60000.0, 0.25, 0.1);
+  // Air: about a cubic meter per minute, within 40%.
+  EXPECT_NEAR(AirFlow * 60.0, 1.0, 0.4);
+  // And the ratio itself is the heat-capacity ratio.
+  EXPECT_NEAR(AirFlow / WaterFlow,
+              volumetricHeatCapacityRatio(*Water, *Air, 27.5), 1.0);
+}
+
+TEST(FluidComparisonTest, LiquidHtcFarExceedsAir) {
+  auto Water = makeWater();
+  auto Oil = makeMineralOilMd45();
+  auto Air = makeAir();
+  // Same surface, same conventional velocity.
+  double Ratio = heatFlowIntensityRatio(*Water, *Air, 30.0, 0.5, 0.05);
+  EXPECT_GT(Ratio, 20.0);
+  EXPECT_LT(Ratio, 300.0);
+  double OilRatio = heatFlowIntensityRatio(*Oil, *Air, 30.0, 0.5, 0.05);
+  EXPECT_GT(OilRatio, 5.0);
+}
+
+TEST(FluidComparisonTest, HtcIncreasesWithVelocity) {
+  auto Oil = makeMineralOilMd45();
+  double H1 = flatPlateHtcWPerM2K(*Oil, 30.0, 0.2, 0.05);
+  double H2 = flatPlateHtcWPerM2K(*Oil, 30.0, 0.8, 0.05);
+  EXPECT_GT(H2, H1);
+}
+
+//===----------------------------------------------------------------------===//
+// Selection criteria (paper Section 2 requirements list)
+//===----------------------------------------------------------------------===//
+
+TEST(SelectionTest, ConductingLiquidsFailHardGate) {
+  auto Water = makeWater();
+  SelectionScore S = scoreCoolant(*Water, 30.0);
+  EXPECT_FALSE(S.PassesHardGates);
+  EXPECT_DOUBLE_EQ(S.Total, 0.0);
+}
+
+TEST(SelectionTest, DielectricsPassHardGate) {
+  auto Oil = makeMineralOilMd45();
+  SelectionScore S = scoreCoolant(*Oil, 30.0);
+  EXPECT_TRUE(S.PassesHardGates);
+  EXPECT_GT(S.Total, 0.0);
+  EXPECT_LE(S.Total, 1.0);
+}
+
+TEST(SelectionTest, EngineeredDielectricWinsRanking) {
+  auto Air = makeAir();
+  auto Water = makeWater();
+  auto White = makeWhiteMineralOil();
+  auto Md45 = makeMineralOilMd45();
+  auto Skat = makeEngineeredDielectric();
+  std::vector<const Fluid *> Candidates = {Air.get(), Water.get(),
+                                           White.get(), Md45.get(),
+                                           Skat.get()};
+  auto Ranking = rankCoolants(Candidates, 30.0);
+  ASSERT_EQ(Ranking.size(), 5u);
+  // The authors' agent wins; MD-4.5 beats generic white oil.
+  EXPECT_EQ(Ranking[0].FluidName, Skat->name());
+  EXPECT_EQ(Ranking[1].FluidName, Md45->name());
+  // Conducting fluids sink to the bottom with zero totals.
+  EXPECT_DOUBLE_EQ(Ranking[3].Total, 0.0);
+  EXPECT_DOUBLE_EQ(Ranking[4].Total, 0.0);
+}
+
+TEST(SelectionTest, ScoresAreNormalized) {
+  auto Md45 = makeMineralOilMd45();
+  SelectionScore S = scoreCoolant(*Md45, 30.0);
+  for (double Part :
+       {S.HeatTransferScore, S.ViscosityScore, S.DielectricScore,
+        S.FireSafetyScore, S.StabilityScore, S.CostScore}) {
+    EXPECT_GE(Part, 0.0);
+    EXPECT_LE(Part, 1.0);
+  }
+}
+
+TEST(SelectionTest, WeightsShiftRanking) {
+  auto White = makeWhiteMineralOil();
+  auto Skat = makeEngineeredDielectric();
+  // With cost dominating, the cheap white oil can win.
+  SelectionWeights CostObsessed;
+  CostObsessed.HeatTransfer = 0.05;
+  CostObsessed.Viscosity = 0.05;
+  CostObsessed.Dielectric = 0.05;
+  CostObsessed.FireSafety = 0.05;
+  CostObsessed.Stability = 0.05;
+  CostObsessed.Cost = 0.75;
+  auto Ranking =
+      rankCoolants({White.get(), Skat.get()}, 30.0, CostObsessed);
+  EXPECT_EQ(Ranking[0].FluidName, White->name());
+}

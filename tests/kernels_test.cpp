@@ -1,0 +1,177 @@
+//===- tests/kernels_test.cpp - Reference kernel tests -----------------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace rcs;
+using namespace rcs::workload;
+
+//===----------------------------------------------------------------------===//
+// Ising kernel
+//===----------------------------------------------------------------------===//
+
+TEST(IsingTest, Deterministic) {
+  IsingKernel A(32, 0.5, 7);
+  IsingKernel B(32, 0.5, 7);
+  auto RA = A.run(50);
+  auto RB = B.run(50);
+  EXPECT_DOUBLE_EQ(RA.Checksum, RB.Checksum);
+  EXPECT_DOUBLE_EQ(RA.OpCount, 50.0 * 32 * 32);
+}
+
+TEST(IsingTest, ObservablesInPhysicalRange) {
+  IsingKernel Kernel(32, 0.44, 3);
+  Kernel.run(200);
+  EXPECT_GE(Kernel.magnetizationPerSpin(), -1.0);
+  EXPECT_LE(Kernel.magnetizationPerSpin(), 1.0);
+  EXPECT_GE(Kernel.energyPerSpin(), -2.0);
+  EXPECT_LE(Kernel.energyPerSpin(), 2.0);
+}
+
+TEST(IsingTest, ColdSystemOrders) {
+  // Far below the critical temperature (betaJ = 0.44 crit for 2D), spins
+  // align: |m| -> 1.
+  IsingKernel Kernel(24, 1.0, 11);
+  Kernel.run(600);
+  EXPECT_GT(std::fabs(Kernel.magnetizationPerSpin()), 0.9);
+  EXPECT_LT(Kernel.energyPerSpin(), -1.7);
+}
+
+TEST(IsingTest, HotSystemDisorders) {
+  // Far above critical temperature, magnetization stays near zero.
+  IsingKernel Kernel(48, 0.1, 13);
+  Kernel.run(300);
+  EXPECT_LT(std::fabs(Kernel.magnetizationPerSpin()), 0.2);
+  EXPECT_GT(Kernel.energyPerSpin(), -0.8);
+}
+
+TEST(IsingTest, MappingNearlyFillsFabric) {
+  IsingKernel Kernel(1024, 0.44, 1);
+  FpgaMapping Mapping =
+      Kernel.mapTo(fpga::getFpgaSpec(fpga::FpgaModel::XCKU095));
+  // Spin machines are the paper's ~95% utilization bound.
+  EXPECT_GE(Mapping.Utilization, 0.85);
+  EXPECT_LE(Mapping.Utilization, 0.95);
+  EXPECT_GT(Mapping.PipelinesFitted, 100);
+  EXPECT_GT(Mapping.SustainedGflops, 100.0);
+}
+
+//===----------------------------------------------------------------------===//
+// GEMM kernel
+//===----------------------------------------------------------------------===//
+
+TEST(GemmTest, MatchesNaiveReference) {
+  const int N = 24;
+  GemmKernel Kernel(N);
+  Kernel.run();
+  // Recompute one row with an independent loop nest.
+  for (int Col = 0; Col != N; ++Col) {
+    double Ref = 0.0;
+    for (int K = 0; K != N; ++K) {
+      double Aval = (3 + 2.0 * K) / static_cast<double>(N);
+      double Bval = (K == Col) ? 1.0 : 0.5 / N;
+      Ref += static_cast<float>(Aval) * static_cast<float>(Bval);
+    }
+    EXPECT_NEAR(Kernel.elementAt(3, Col), Ref, 1e-4) << "col " << Col;
+  }
+}
+
+TEST(GemmTest, OpCount) {
+  GemmKernel Kernel(32);
+  auto Result = Kernel.run();
+  EXPECT_DOUBLE_EQ(Result.OpCount, 2.0 * 32 * 32 * 32);
+  EXPECT_TRUE(std::isfinite(Result.Checksum));
+}
+
+TEST(GemmTest, MappingIsDspBound) {
+  GemmKernel Kernel(512);
+  const auto &V7 = fpga::getFpgaSpec(fpga::FpgaModel::XC7VX485T);
+  const auto &Ku = fpga::getFpgaSpec(fpga::FpgaModel::XCKU095);
+  FpgaMapping OnV7 = Kernel.mapTo(V7);
+  FpgaMapping OnKu = Kernel.mapTo(Ku);
+  // Virtex-7 has far more DSPs than the KU095: more MACs fit.
+  EXPECT_GT(OnV7.PipelinesFitted, OnKu.PipelinesFitted);
+  EXPECT_GT(OnV7.SustainedGflops, 0.0);
+  EXPECT_LE(OnV7.Utilization, 0.92);
+}
+
+//===----------------------------------------------------------------------===//
+// FIR kernel
+//===----------------------------------------------------------------------===//
+
+TEST(FirTest, MatchesDirectConvolution) {
+  const int Taps = 15, Samples = 200;
+  FirKernel Kernel(Taps, Samples);
+  Kernel.run();
+  // Independent reference at a few output positions.
+  auto input = [](int I) {
+    return std::sin(0.05 * I) + 0.5 * std::sin(0.8 * I + 1.0);
+  };
+  auto rawTap = [](int I) {
+    double X = I - 0.5 * (Taps - 1);
+    double Sinc =
+        X == 0.0 ? 1.0 : std::sin(0.2 * M_PI * X) / (0.2 * M_PI * X);
+    double Window = 0.54 - 0.46 * std::cos(2.0 * M_PI * I / (Taps - 1));
+    return Sinc * Window;
+  };
+  double Norm = 0.0;
+  for (int T = 0; T != Taps; ++T)
+    Norm += rawTap(T);
+  for (int Out : {20, 77, 150}) {
+    double Ref = 0.0;
+    for (int T = 0; T != Taps; ++T)
+      Ref += rawTap(T) / Norm * input(Out - T);
+    EXPECT_NEAR(Kernel.outputAt(Out), Ref, 1e-12);
+  }
+}
+
+TEST(FirTest, LowPassAttenuatesHighBand) {
+  // The filtered signal should keep the slow component and shrink the
+  // fast one: output variance < input variance.
+  const int Taps = 31, Samples = 2000;
+  FirKernel Kernel(Taps, Samples);
+  Kernel.run();
+  double InVar = 0.0, OutVar = 0.0;
+  for (int I = Taps; I < Samples; ++I) {
+    double In = std::sin(0.05 * I) + 0.5 * std::sin(0.8 * I + 1.0);
+    InVar += In * In;
+    OutVar += Kernel.outputAt(I) * Kernel.outputAt(I);
+  }
+  EXPECT_LT(OutVar, InVar);
+}
+
+TEST(FirTest, MappingModerateUtilization) {
+  FirKernel Kernel(64, 10000);
+  FpgaMapping Mapping =
+      Kernel.mapTo(fpga::getFpgaSpec(fpga::FpgaModel::XCKU095));
+  EXPECT_GT(Mapping.Utilization, 0.2);
+  EXPECT_LE(Mapping.Utilization, 0.75);
+  EXPECT_GE(Mapping.PipelinesFitted, 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Kernel -> power model integration
+//===----------------------------------------------------------------------===//
+
+TEST(KernelIntegrationTest, MappingDrivesPowerModel) {
+  const auto &Spec = fpga::getFpgaSpec(fpga::FpgaModel::XCKU095);
+  fpga::FpgaPowerModel Power(Spec);
+
+  IsingKernel Spin(1024, 0.44, 1);
+  FirKernel Fir(64, 10000);
+  double SpinPower =
+      Power.solvePowerW(Spin.mapTo(Spec).toWorkloadPoint(), 0.18, 28.0);
+  double FirPower =
+      Power.solvePowerW(Fir.mapTo(Spec).toWorkloadPoint(), 0.18, 28.0);
+  // The near-full spin machine draws close to the paper's 91 W; the
+  // streaming filter draws meaningfully less.
+  EXPECT_GT(SpinPower, 85.0);
+  EXPECT_LT(FirPower, 0.9 * SpinPower);
+}

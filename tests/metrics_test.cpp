@@ -1,0 +1,86 @@
+//===- tests/metrics_test.cpp - Efficiency metric tests -----------------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "metrics/Metrics.h"
+
+#include "core/Designs.h"
+
+#include <gtest/gtest.h>
+
+using namespace rcs;
+using namespace rcs::metrics;
+using namespace rcs::rcsystem;
+
+namespace {
+
+ModuleEfficiency efficiencyOf(const ModuleConfig &Config) {
+  ComputationalModule Module(Config);
+  auto Report = Module.solveSteadyState(core::makeNominalConditions());
+  EXPECT_TRUE(Report.hasValue()) << Report.message();
+  return computeModuleEfficiency(Module, *Report);
+}
+
+} // namespace
+
+TEST(MetricsTest, FieldsAreInternallyConsistent) {
+  ComputationalModule Skat(core::makeSkatModule());
+  auto Report = Skat.solveSteadyState(core::makeNominalConditions());
+  ASSERT_TRUE(Report.hasValue());
+  ModuleEfficiency Eff = computeModuleEfficiency(Skat, *Report);
+  EXPECT_NEAR(Eff.PeakGflops, Skat.peakGflops(), 1e-6);
+  EXPECT_NEAR(Eff.TotalPowerW,
+              Report->ItPowerW + Report->PsuLossW + Report->PumpPowerW +
+                  Report->FanPowerW,
+              1e-6);
+  EXPECT_NEAR(Eff.GflopsPerWatt, Eff.PeakGflops / Eff.TotalPowerW, 1e-9);
+  EXPECT_NEAR(Eff.GflopsPerU, Eff.PeakGflops / 3.0, 1e-6);
+  EXPECT_NEAR(Eff.BoardsPerU, 4.0, 1e-9);
+}
+
+TEST(MetricsTest, PueAboveOneAndOrdered) {
+  ModuleEfficiency Air = efficiencyOf(core::makeUltraScaleAirModule());
+  ModuleEfficiency Immersion = efficiencyOf(core::makeSkatModule());
+  EXPECT_GT(Air.EstimatedPue, 1.0);
+  EXPECT_GT(Immersion.EstimatedPue, 1.0);
+  // Chiller-borne liquid heat is cheaper to remove than CRAC air heat.
+  EXPECT_LT(Immersion.EstimatedPue, Air.EstimatedPue);
+}
+
+TEST(MetricsTest, BetterChillerImprovesPue) {
+  ComputationalModule Skat(core::makeSkatModule());
+  auto Report = Skat.solveSteadyState(core::makeNominalConditions());
+  ASSERT_TRUE(Report.hasValue());
+  ModuleEfficiency Poor = computeModuleEfficiency(Skat, *Report, 3.0);
+  ModuleEfficiency Good = computeModuleEfficiency(Skat, *Report, 8.0);
+  EXPECT_LT(Good.EstimatedPue, Poor.EstimatedPue);
+}
+
+TEST(MetricsTest, GenerationComparisonRatios) {
+  ModuleEfficiency Old;
+  Old.PeakGflops = 1000.0;
+  Old.BoardsPerU = 1.0;
+  Old.GflopsPerU = 500.0;
+  Old.GflopsPerWatt = 2.0;
+  ModuleEfficiency New;
+  New.PeakGflops = 8700.0;
+  New.BoardsPerU = 3.0;
+  New.GflopsPerU = 4350.0;
+  New.GflopsPerWatt = 5.0;
+  GenerationGain Gain = compareGenerations(Old, New);
+  EXPECT_DOUBLE_EQ(Gain.PerformanceRatio, 8.7);
+  EXPECT_DOUBLE_EQ(Gain.PackingDensityRatio, 3.0);
+  EXPECT_DOUBLE_EQ(Gain.SpecificPerformanceRatio, 8.7);
+  EXPECT_DOUBLE_EQ(Gain.EfficiencyRatio, 2.5);
+}
+
+TEST(MetricsTest, ZeroBaselineGivesZeroRatios) {
+  ModuleEfficiency Zero;
+  ModuleEfficiency Some;
+  Some.PeakGflops = 100.0;
+  GenerationGain Gain = compareGenerations(Zero, Some);
+  EXPECT_DOUBLE_EQ(Gain.PerformanceRatio, 0.0);
+  EXPECT_DOUBLE_EQ(Gain.PackingDensityRatio, 0.0);
+}

@@ -1,0 +1,293 @@
+//===- tests/properties_test.cpp - Cross-cutting property tests --------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Property-style tests over randomized inputs and the whole design
+/// catalog: energy conservation, monotonicity, and solver invariants that
+/// must hold for any configuration, not just the calibrated ones.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Designs.h"
+#include "fluids/Fluid.h"
+#include "hydraulics/FlowNetwork.h"
+#include "support/Interp.h"
+#include "support/Numerics.h"
+#include "support/Random.h"
+#include "thermal/Network.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+using namespace rcs;
+
+//===----------------------------------------------------------------------===//
+// Whole-catalog module properties
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct DesignCase {
+  const char *Label;
+  rcsystem::ModuleConfig (*Make)();
+};
+
+class AllDesignsTest : public testing::TestWithParam<DesignCase> {};
+
+} // namespace
+
+TEST_P(AllDesignsTest, SolvesAndConservesEnergy) {
+  rcsystem::ComputationalModule Module(GetParam().Make());
+  auto Report = Module.solveSteadyState(core::makeNominalConditions());
+  ASSERT_TRUE(Report.hasValue()) << Report.message();
+  // Bookkeeping: total heat covers IT + PSU loss (pumps/fans may add).
+  EXPECT_GE(Report->TotalHeatW + 1e-6,
+            Report->ItPowerW + Report->PsuLossW);
+  EXPECT_NEAR(Report->ItPowerW, Report->FpgaHeatW + Report->MiscHeatW,
+              1e-6);
+  EXPECT_GE(Report->MaxJunctionTempC, Report->MeanJunctionTempC - 1e-9);
+  EXPECT_FALSE(Report->Fpgas.empty());
+  EXPECT_EQ(Report->Fpgas.size(),
+            static_cast<size_t>(Module.computeFpgaCount()));
+}
+
+TEST_P(AllDesignsTest, PowerAndHeatRiseWithUtilization) {
+  rcsystem::ComputationalModule Module(GetParam().Make());
+  auto Conditions = core::makeNominalConditions();
+  auto Low =
+      Module.solveSteadyState(Conditions, fpga::WorkloadPoint{0.4, 1.0});
+  auto High =
+      Module.solveSteadyState(Conditions, fpga::WorkloadPoint{0.95, 1.0});
+  ASSERT_TRUE(Low.hasValue());
+  ASSERT_TRUE(High.hasValue());
+  EXPECT_GT(High->ItPowerW, Low->ItPowerW);
+  EXPECT_GT(High->MaxJunctionTempC, Low->MaxJunctionTempC);
+}
+
+TEST_P(AllDesignsTest, IdleRunsCold) {
+  rcsystem::ComputationalModule Module(GetParam().Make());
+  auto Report = Module.solveSteadyState(core::makeNominalConditions(),
+                                        fpga::WorkloadPoint{0.02, 0.5});
+  ASSERT_TRUE(Report.hasValue());
+  EXPECT_LT(Report->MaxJunctionTempC, 55.0);
+  EXPECT_TRUE(Report->WithinAbsoluteLimit);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Catalog, AllDesignsTest,
+    testing::Values(DesignCase{"rigel2", core::makeRigel2Module},
+                    DesignCase{"taygeta", core::makeTaygetaModule},
+                    DesignCase{"ultrascale_air",
+                               core::makeUltraScaleAirModule},
+                    DesignCase{"skat", core::makeSkatModule},
+                    DesignCase{"skat_plus", core::makeSkatPlusModule},
+                    DesignCase{"skat_plus_naive",
+                               core::makeSkatPlusNaiveModule}),
+    [](const testing::TestParamInfo<DesignCase> &Info) {
+      return Info.param.Label;
+    });
+
+//===----------------------------------------------------------------------===//
+// Randomized thermal networks
+//===----------------------------------------------------------------------===//
+
+TEST(ThermalPropertyTest, RandomLaddersConserveEnergy) {
+  RandomEngine Rng(101);
+  for (int Trial = 0; Trial != 20; ++Trial) {
+    thermal::ThermalNetwork Net;
+    thermal::NodeId Boundary = Net.addBoundaryNode("sink", 20.0);
+    int Nodes = 3 + static_cast<int>(Rng.uniformInt(20));
+    double TotalPower = 0.0;
+    std::vector<thermal::NodeId> Internal;
+    for (int I = 0; I != Nodes; ++I) {
+      thermal::NodeId Node = Net.addNode("n");
+      // Connect to the boundary or to a random earlier node, always
+      // keeping the graph connected to the sink.
+      if (Internal.empty() || Rng.bernoulli(0.4))
+        Net.addConductance(Node, Boundary, Rng.uniform(0.5, 5.0));
+      else
+        Net.addConductance(
+            Node, Internal[Rng.uniformInt(Internal.size())],
+            Rng.uniform(0.5, 5.0));
+      double Power = Rng.uniform(1.0, 100.0);
+      Net.addHeatSource(Node, Power);
+      TotalPower += Power;
+      Internal.push_back(Node);
+    }
+    auto Temps = Net.solveSteadyState();
+    ASSERT_TRUE(Temps.hasValue()) << "trial " << Trial;
+    EXPECT_NEAR(Net.boundaryHeatFlowW(Boundary, *Temps), TotalPower,
+                1e-6 * TotalPower)
+        << "trial " << Trial;
+    EXPECT_LT(Net.steadyStateResidualW(*Temps), 1e-6 * TotalPower);
+    // Every internal node must sit above the sink (heat flows downhill).
+    for (thermal::NodeId Node : Internal)
+      EXPECT_GT((*Temps)[Node], 20.0);
+  }
+}
+
+TEST(ThermalPropertyTest, SuperpositionHolds) {
+  // Linear networks obey superposition: solution(Q1+Q2) =
+  // solution(Q1) + solution(Q2) - solution(0).
+  thermal::ThermalNetwork Net;
+  thermal::NodeId A = Net.addNode("a");
+  thermal::NodeId B = Net.addNode("b");
+  thermal::NodeId Sink = Net.addBoundaryNode("sink", 0.0);
+  Net.addConductance(A, B, 2.0);
+  Net.addConductance(B, Sink, 1.0);
+  Net.addConductance(A, Sink, 0.5);
+
+  auto solveWith = [&](double Qa, double Qb) {
+    Net.setHeatSource(A, Qa);
+    Net.setHeatSource(B, Qb);
+    auto Temps = Net.solveSteadyState();
+    EXPECT_TRUE(Temps.hasValue());
+    return *Temps;
+  };
+  auto T1 = solveWith(10.0, 0.0);
+  auto T2 = solveWith(0.0, 7.0);
+  auto T12 = solveWith(10.0, 7.0);
+  EXPECT_NEAR(T12[A], T1[A] + T2[A], 1e-9);
+  EXPECT_NEAR(T12[B], T1[B] + T2[B], 1e-9);
+}
+
+//===----------------------------------------------------------------------===//
+// Randomized hydraulic networks
+//===----------------------------------------------------------------------===//
+
+TEST(HydraulicPropertyTest, RandomParallelLaddersConserveMass) {
+  RandomEngine Rng(202);
+  auto Water = fluids::makeWater();
+  for (int Trial = 0; Trial != 8; ++Trial) {
+    hydraulics::FlowNetwork Net;
+    hydraulics::JunctionId A = Net.addJunction("a");
+    hydraulics::JunctionId B = Net.addJunction("b");
+    std::vector<std::unique_ptr<hydraulics::FlowElement>> PumpSide;
+    PumpSide.push_back(
+        std::make_unique<hydraulics::Pump>(
+            hydraulics::Pump::makeOilCirculationPump(
+                "p", 2e-3, Rng.uniform(3e4, 8e4))));
+    hydraulics::EdgeId PumpEdge =
+        Net.addEdge("pump", A, B, std::move(PumpSide));
+
+    int Branches = 2 + static_cast<int>(Rng.uniformInt(5));
+    std::vector<hydraulics::EdgeId> BranchEdges;
+    for (int I = 0; I != Branches; ++I) {
+      std::vector<std::unique_ptr<hydraulics::FlowElement>> Elements;
+      Elements.push_back(std::make_unique<hydraulics::Fitting>(
+          Rng.uniform(5.0, 60.0), 0.02));
+      Elements.push_back(std::make_unique<hydraulics::PipeSegment>(
+          Rng.uniform(0.5, 4.0), 0.02));
+      BranchEdges.push_back(
+          Net.addEdge("branch", B, A, std::move(Elements)));
+    }
+    auto Solution = Net.solve(*Water, 20.0, 1e-3);
+    ASSERT_TRUE(Solution.hasValue())
+        << "trial " << Trial << ": " << Solution.message();
+    double PumpFlow = Solution->EdgeFlowsM3PerS[PumpEdge];
+    double BranchSum = 0.0;
+    for (hydraulics::EdgeId E : BranchEdges) {
+      double Q = Solution->EdgeFlowsM3PerS[E];
+      EXPECT_GE(Q, -1e-12) << "backflow in a passive branch";
+      BranchSum += Q;
+    }
+    EXPECT_GT(PumpFlow, 0.0);
+    EXPECT_NEAR(BranchSum, PumpFlow, 1e-6 * PumpFlow);
+    EXPECT_LT(Solution->MaxContinuityErrorM3PerS, 1e-7);
+  }
+}
+
+TEST(HydraulicPropertyTest, SymmetricBranchesSplitEvenly) {
+  auto Water = fluids::makeWater();
+  hydraulics::FlowNetwork Net;
+  hydraulics::JunctionId A = Net.addJunction("a");
+  hydraulics::JunctionId B = Net.addJunction("b");
+  std::vector<std::unique_ptr<hydraulics::FlowElement>> PumpSide;
+  PumpSide.push_back(std::make_unique<hydraulics::Pump>(
+      hydraulics::Pump::makeOilCirculationPump("p", 3e-3, 5e4)));
+  Net.addEdge("pump", A, B, std::move(PumpSide));
+  std::vector<hydraulics::EdgeId> Branches;
+  for (int I = 0; I != 4; ++I) {
+    std::vector<std::unique_ptr<hydraulics::FlowElement>> Elements;
+    Elements.push_back(std::make_unique<hydraulics::Fitting>(20.0, 0.02));
+    Branches.push_back(Net.addEdge("b", B, A, std::move(Elements)));
+  }
+  auto Solution = Net.solve(*Water, 20.0, 1e-3);
+  ASSERT_TRUE(Solution.hasValue());
+  double First = Solution->EdgeFlowsM3PerS[Branches[0]];
+  for (hydraulics::EdgeId E : Branches)
+    EXPECT_NEAR(Solution->EdgeFlowsM3PerS[E], First, 1e-6 * First);
+}
+
+//===----------------------------------------------------------------------===//
+// Randomized numerics
+//===----------------------------------------------------------------------===//
+
+TEST(NumericsPropertyTest, MonotoneTableInverseRoundTrip) {
+  RandomEngine Rng(303);
+  for (int Trial = 0; Trial != 25; ++Trial) {
+    size_t Samples = 3 + Rng.uniformInt(12);
+    std::vector<double> Xs, Ys;
+    double X = Rng.uniform(-10.0, 10.0);
+    double Y = Rng.uniform(-5.0, 5.0);
+    for (size_t I = 0; I != Samples; ++I) {
+      Xs.push_back(X);
+      Ys.push_back(Y);
+      X += Rng.uniform(0.1, 3.0);
+      Y += Rng.uniform(0.1, 2.0); // Strictly increasing.
+    }
+    LinearTable Table(Xs, Ys);
+    for (int Probe = 0; Probe != 10; ++Probe) {
+      double P = Rng.uniform(Xs.front(), Xs.back());
+      EXPECT_NEAR(Table.inverse(Table.evaluate(P)), P, 1e-9);
+    }
+  }
+}
+
+TEST(NumericsPropertyTest, BrentFindsRootsOfRandomCubics) {
+  RandomEngine Rng(404);
+  for (int Trial = 0; Trial != 30; ++Trial) {
+    // f(x) = (x - r) * (x^2 + a) with a > 0 has exactly one real root r.
+    double Root = Rng.uniform(-5.0, 5.0);
+    double A = Rng.uniform(0.1, 4.0);
+    auto F = [Root, A](double X) {
+      return (X - Root) * (X * X + A);
+    };
+    auto Found = findRootBrent(F, -10.0, 10.0);
+    ASSERT_TRUE(Found.hasValue());
+    EXPECT_NEAR(*Found, Root, 1e-7);
+  }
+}
+
+TEST(NumericsPropertyTest, NewtonSystemSolvesRandomQuadratics) {
+  RandomEngine Rng(505);
+  for (int Trial = 0; Trial != 10; ++Trial) {
+    // F_i(x) = x_i^2 + sum_j c_ij x_j - b_i with small couplings has a
+    // solution near the origin; verify the residual vanishes.
+    const size_t N = 2 + Rng.uniformInt(4);
+    std::vector<double> B(N);
+    Matrix C(N, N);
+    for (size_t I = 0; I != N; ++I) {
+      B[I] = Rng.uniform(0.5, 3.0);
+      for (size_t J = 0; J != N; ++J)
+        C.at(I, J) = I == J ? 1.0 : Rng.uniform(-0.1, 0.1);
+    }
+    auto F = [&](const std::vector<double> &X) {
+      std::vector<double> R(N, 0.0);
+      for (size_t I = 0; I != N; ++I) {
+        R[I] = X[I] * X[I] - B[I];
+        for (size_t J = 0; J != N; ++J)
+          R[I] += C.at(I, J) * X[J] * 0.1;
+      }
+      return R;
+    };
+    NewtonResult Result =
+        solveNewtonSystem(F, std::vector<double>(N, 1.0));
+    ASSERT_TRUE(Result.Converged) << "trial " << Trial;
+    EXPECT_LT(vectorNorm(F(Result.Solution)), 1e-7);
+  }
+}

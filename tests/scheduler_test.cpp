@@ -1,0 +1,186 @@
+//===- tests/scheduler_test.cpp - Rack scheduler tests ------------------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Scheduler.h"
+
+#include "core/Designs.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace rcs;
+using namespace rcs::workload;
+
+namespace {
+
+rcsystem::RackConfig smallRack() {
+  rcsystem::RackConfig Rack = core::makeSkatRack();
+  Rack.NumModules = 3; // Keeps solver work small in unit tests.
+  return Rack;
+}
+
+} // namespace
+
+TEST(SchedulerTest, PlacesAllJobsAndComputesMakespan) {
+  std::vector<Job> Jobs = {
+      {"a", {0.9, 1.0}, 48, 2.0, 0.0},
+      {"b", {0.9, 1.0}, 48, 1.0, 0.0},
+      {"c", {0.6, 1.0}, 96, 3.0, 0.0},
+  };
+  auto Result = scheduleOnRack(smallRack(), core::makeNominalConditions(),
+                               Jobs, PlacementPolicy::FirstFit);
+  ASSERT_TRUE(Result.hasValue()) << Result.message();
+  ASSERT_EQ(Result->Entries.size(), 3u);
+  for (const ScheduleEntry &Entry : Result->Entries) {
+    EXPECT_GE(Entry.StartHour, 0.0);
+    EXPECT_GT(Entry.EndHour, Entry.StartHour);
+    EXPECT_GE(Entry.ModuleIndex, 0);
+    EXPECT_LT(Entry.ModuleIndex, 3);
+  }
+  // Everything fits concurrently: makespan is the longest job.
+  EXPECT_NEAR(Result->MakespanHours, 3.0, 1e-9);
+  EXPECT_GT(Result->EnergyKwh, 0.0);
+  EXPECT_GT(Result->PeakJunctionC, 30.0);
+  EXPECT_EQ(Result->ThermalViolations, 0);
+}
+
+TEST(SchedulerTest, QueuesWhenRackIsFull) {
+  // Four 96-FPGA jobs on a 3-module rack: one must wait.
+  std::vector<Job> Jobs(4, Job{"big", {0.9, 1.0}, 96, 1.0, 0.0});
+  auto Result = scheduleOnRack(smallRack(), core::makeNominalConditions(),
+                               Jobs, PlacementPolicy::FirstFit);
+  ASSERT_TRUE(Result.hasValue()) << Result.message();
+  EXPECT_NEAR(Result->MakespanHours, 2.0, 1e-9);
+  int SecondWave = 0;
+  for (const ScheduleEntry &Entry : Result->Entries)
+    SecondWave += Entry.StartHour > 0.5;
+  EXPECT_EQ(SecondWave, 1);
+}
+
+TEST(SchedulerTest, RejectsOversizedJob) {
+  std::vector<Job> Jobs = {{"monster", {0.9, 1.0}, 200, 1.0, 0.0}};
+  auto Result = scheduleOnRack(smallRack(), core::makeNominalConditions(),
+                               Jobs, PlacementPolicy::FirstFit);
+  EXPECT_FALSE(Result.hasValue());
+}
+
+TEST(SchedulerTest, FifoRespectsSubmitTimes) {
+  std::vector<Job> Jobs = {
+      {"late", {0.9, 1.0}, 8, 1.0, 2.0},
+      {"early", {0.9, 1.0}, 8, 1.0, 0.0},
+  };
+  auto Result = scheduleOnRack(smallRack(), core::makeNominalConditions(),
+                               Jobs, PlacementPolicy::FirstFit);
+  ASSERT_TRUE(Result.hasValue());
+  EXPECT_NEAR(Result->Entries[1].StartHour, 0.0, 1e-9); // "early".
+  EXPECT_NEAR(Result->Entries[0].StartHour, 2.0, 1e-9); // "late".
+}
+
+TEST(SchedulerTest, CoolestFirstSpreadsLoad) {
+  // Six half-module jobs: first-fit stacks two per module; coolest-first
+  // spreads them one per module before doubling up.
+  std::vector<Job> Jobs(6, Job{"half", {0.95, 1.0}, 48, 4.0, 0.0});
+  auto FirstFit = scheduleOnRack(smallRack(), core::makeNominalConditions(),
+                                 Jobs, PlacementPolicy::FirstFit);
+  auto Coolest =
+      scheduleOnRack(smallRack(), core::makeNominalConditions(), Jobs,
+                     PlacementPolicy::CoolestFirst);
+  ASSERT_TRUE(FirstFit.hasValue());
+  ASSERT_TRUE(Coolest.hasValue());
+  // First fit puts the first two jobs on module 0.
+  EXPECT_EQ(FirstFit->Entries[0].ModuleIndex, 0);
+  EXPECT_EQ(FirstFit->Entries[1].ModuleIndex, 0);
+  // Coolest-first uses three distinct modules for the first three jobs.
+  std::vector<int> FirstThree = {Coolest->Entries[0].ModuleIndex,
+                                 Coolest->Entries[1].ModuleIndex,
+                                 Coolest->Entries[2].ModuleIndex};
+  std::sort(FirstThree.begin(), FirstThree.end());
+  EXPECT_EQ(FirstThree, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SchedulerTest, UtilizationBounded) {
+  std::vector<Job> Jobs = makeStandardJobMix(12, 9);
+  auto Result = scheduleOnRack(smallRack(), core::makeNominalConditions(),
+                               Jobs, PlacementPolicy::LoadSpread);
+  ASSERT_TRUE(Result.hasValue()) << Result.message();
+  EXPECT_GT(Result->MeanUtilization, 0.0);
+  EXPECT_LE(Result->MeanUtilization, 1.0);
+  EXPECT_GT(Result->MakespanHours, 0.5);
+}
+
+TEST(SchedulerTest, StandardMixDeterministic) {
+  auto A = makeStandardJobMix(20, 123);
+  auto B = makeStandardJobMix(20, 123);
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I != A.size(); ++I) {
+    EXPECT_EQ(A[I].NumFpgas, B[I].NumFpgas);
+    EXPECT_DOUBLE_EQ(A[I].DurationHours, B[I].DurationHours);
+    EXPECT_DOUBLE_EQ(A[I].SubmitHour, B[I].SubmitHour);
+  }
+  for (const Job &J : A) {
+    EXPECT_GE(J.NumFpgas, 8);
+    EXPECT_LE(J.NumFpgas, 48);
+    EXPECT_GT(J.DurationHours, 0.0);
+  }
+}
+
+TEST(SchedulerTest, ImmersionKeepsMixInLongLifeBand) {
+  // Whatever the mix, the SKAT rack never leaves the 70 C band - the
+  // operational meaning of the paper's thermal margins.
+  std::vector<Job> Jobs = makeStandardJobMix(16, 77);
+  auto Result = scheduleOnRack(smallRack(), core::makeNominalConditions(),
+                               Jobs, PlacementPolicy::CoolestFirst);
+  ASSERT_TRUE(Result.hasValue());
+  EXPECT_EQ(Result->ThermalViolations, 0);
+  EXPECT_LT(Result->PeakJunctionC, 55.0);
+}
+
+TEST(SchedulerTest, BackfillShortensMakespan) {
+  // Head job needs a whole module while the rack is busy; two short
+  // half-module jobs behind it can run in the gap.
+  std::vector<Job> Jobs = {
+      {"wall-a", {0.9, 1.0}, 96, 2.0, 0.0},
+      {"wall-b", {0.9, 1.0}, 96, 2.0, 0.0},
+      {"wall-c", {0.9, 1.0}, 48, 2.0, 0.0},
+      {"head", {0.9, 1.0}, 96, 2.0, 0.1},  // Blocked until a wall ends.
+      {"short-1", {0.9, 1.0}, 48, 1.0, 0.2},
+      {"short-2", {0.9, 1.0}, 48, 1.0, 0.2},
+  };
+  auto Fifo = scheduleOnRack(smallRack(), core::makeNominalConditions(),
+                             Jobs, PlacementPolicy::FirstFit,
+                             /*Backfill=*/false);
+  auto Backfilled = scheduleOnRack(smallRack(),
+                                   core::makeNominalConditions(), Jobs,
+                                   PlacementPolicy::FirstFit,
+                                   /*Backfill=*/true);
+  ASSERT_TRUE(Fifo.hasValue()) << Fifo.message();
+  ASSERT_TRUE(Backfilled.hasValue()) << Backfilled.message();
+  // Without backfill, the shorts start only after the head clears.
+  double FifoShortStart = Fifo->Entries[4].StartHour;
+  double BackfillShortStart = Backfilled->Entries[4].StartHour;
+  EXPECT_LT(BackfillShortStart, FifoShortStart);
+  EXPECT_LE(Backfilled->MakespanHours, Fifo->MakespanHours);
+  // Backfill never delays the head (EASY guarantee).
+  EXPECT_LE(Backfilled->Entries[3].StartHour,
+            Fifo->Entries[3].StartHour + 1e-9);
+}
+
+TEST(SchedulerTest, BackfillSkipsLongerJobs) {
+  std::vector<Job> Jobs = {
+      {"wall-a", {0.9, 1.0}, 96, 2.0, 0.0},
+      {"wall-b", {0.9, 1.0}, 96, 2.0, 0.0},
+      {"wall-c", {0.9, 1.0}, 48, 2.0, 0.0},
+      {"head", {0.9, 1.0}, 96, 1.0, 0.1},
+      {"too-long", {0.9, 1.0}, 48, 5.0, 0.2}, // Longer than the head.
+  };
+  auto Result = scheduleOnRack(smallRack(), core::makeNominalConditions(),
+                               Jobs, PlacementPolicy::FirstFit,
+                               /*Backfill=*/true);
+  ASSERT_TRUE(Result.hasValue()) << Result.message();
+  // "too-long" must not have jumped the blocked head.
+  EXPECT_GE(Result->Entries[4].StartHour, Result->Entries[3].StartHour);
+}

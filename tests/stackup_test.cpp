@@ -1,0 +1,130 @@
+//===- tests/stackup_test.cpp - Detailed board stackup tests -----------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "thermal/Stackup.h"
+
+#include "fluids/Fluid.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace rcs;
+using namespace rcs::thermal;
+
+namespace {
+
+BoardStackupConfig skatBoard() {
+  BoardStackupConfig Config;
+  Config.NumFpgas = 8;
+  Config.ChipPowerW = 91.0;
+  Config.ThetaJcKPerW = 0.09;
+  Config.TimResistanceKPerW = 0.012;
+  Config.InletTempC = 27.0;
+  Config.BoardFlowM3PerS = 1.8e-4;
+  Config.ApproachVelocityMPerS = 0.065;
+  Config.Sink.BaseLengthM = 0.050;
+  Config.Sink.BaseWidthM = 0.050;
+  Config.Sink.PinHeightM = 0.010;
+  return Config;
+}
+
+} // namespace
+
+TEST(StackupTest, EnergyConservation) {
+  auto Oil = fluids::makeEngineeredDielectric();
+  auto Result = solveBoardStackup(skatBoard(), *Oil);
+  ASSERT_TRUE(Result.hasValue()) << Result.message();
+  // All chip heat is advected out by the coolant.
+  EXPECT_LT(std::fabs(Result->EnergyResidualW), 0.01 * 8 * 91.0);
+}
+
+TEST(StackupTest, TemperatureOrderingWithinStack) {
+  auto Oil = fluids::makeEngineeredDielectric();
+  auto Result = solveBoardStackup(skatBoard(), *Oil);
+  ASSERT_TRUE(Result.hasValue());
+  for (int I = 0; I != 8; ++I) {
+    EXPECT_GT(Result->DieTempC[I], Result->LidTempC[I]);
+    EXPECT_GT(Result->LidTempC[I], Result->SinkBaseTempC[I]);
+    EXPECT_GT(Result->SinkBaseTempC[I], Result->CoolantCellTempC[I] - 1.0);
+  }
+}
+
+TEST(StackupTest, DownstreamChipsRunWarmer) {
+  auto Oil = fluids::makeEngineeredDielectric();
+  auto Result = solveBoardStackup(skatBoard(), *Oil);
+  ASSERT_TRUE(Result.hasValue());
+  EXPECT_GT(Result->DieGradientC, 0.3);
+  EXPECT_GT(Result->OutletTempC, skatBoard().InletTempC + 1.0);
+  // Coolant cells increase monotonically along the path.
+  for (size_t I = 1; I != Result->CoolantCellTempC.size(); ++I)
+    EXPECT_GE(Result->CoolantCellTempC[I],
+              Result->CoolantCellTempC[I - 1]);
+}
+
+TEST(StackupTest, MatchesLumpedModelWithinTolerance) {
+  // The module solver predicts junctions around oil + P*(theta+tim+sink).
+  // The detailed stackup should land in the same neighbourhood.
+  auto Oil = fluids::makeEngineeredDielectric();
+  BoardStackupConfig Config = skatBoard();
+  auto Result = solveBoardStackup(Config, *Oil);
+  ASSERT_TRUE(Result.hasValue());
+  PinFinHeatSink Sink("ref", Config.Sink);
+  double MeanOil =
+      0.5 * (Config.InletTempC + Result->OutletTempC);
+  double R = Config.ThetaJcKPerW + Config.TimResistanceKPerW +
+             Sink.thermalResistanceKPerW(*Oil, MeanOil,
+                                         Config.ApproachVelocityMPerS,
+                                         MeanOil + 20.0);
+  double Lumped = MeanOil + Config.ChipPowerW * R;
+  double MeanDie = 0.0;
+  for (double T : Result->DieTempC)
+    MeanDie += T;
+  MeanDie /= Result->DieTempC.size();
+  EXPECT_NEAR(MeanDie, Lumped, 2.5);
+}
+
+TEST(StackupTest, MoreFlowFlattensGradient) {
+  auto Oil = fluids::makeEngineeredDielectric();
+  BoardStackupConfig Slow = skatBoard();
+  BoardStackupConfig Fast = skatBoard();
+  Fast.BoardFlowM3PerS *= 3.0;
+  auto SlowResult = solveBoardStackup(Slow, *Oil);
+  auto FastResult = solveBoardStackup(Fast, *Oil);
+  ASSERT_TRUE(SlowResult.hasValue());
+  ASSERT_TRUE(FastResult.hasValue());
+  EXPECT_LT(FastResult->DieGradientC, SlowResult->DieGradientC);
+  EXPECT_LT(FastResult->MaxDieTempC, SlowResult->MaxDieTempC);
+}
+
+TEST(StackupTest, LateralConductionEvensHotSpot) {
+  // One chip at double power: lateral board conduction shaves its peak.
+  auto Oil = fluids::makeEngineeredDielectric();
+  std::vector<double> Powers(8, 91.0);
+  Powers[3] = 182.0;
+
+  BoardStackupConfig Coupled = skatBoard();
+  Coupled.LateralConductanceWPerK = 2.0;
+  BoardStackupConfig Isolated = skatBoard();
+  Isolated.LateralConductanceWPerK = 1e-9;
+
+  auto CoupledResult = solveBoardStackupWithPowers(Coupled, *Oil, Powers);
+  auto IsolatedResult =
+      solveBoardStackupWithPowers(Isolated, *Oil, Powers);
+  ASSERT_TRUE(CoupledResult.hasValue());
+  ASSERT_TRUE(IsolatedResult.hasValue());
+  EXPECT_LT(CoupledResult->DieTempC[3], IsolatedResult->DieTempC[3]);
+  // Neighbours absorb some of it.
+  EXPECT_GT(CoupledResult->DieTempC[2], IsolatedResult->DieTempC[2]);
+}
+
+TEST(StackupTest, RejectsZeroFlow) {
+  auto Oil = fluids::makeEngineeredDielectric();
+  BoardStackupConfig Config = skatBoard();
+  Config.BoardFlowM3PerS = 0.0;
+  auto Result = solveBoardStackup(Config, *Oil);
+  EXPECT_FALSE(Result.hasValue());
+}

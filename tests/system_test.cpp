@@ -1,0 +1,419 @@
+//===- tests/system_test.cpp - Unit tests for rcs_system --------------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "system/Board.h"
+#include "system/Chiller.h"
+#include "system/Cooling.h"
+#include "system/Module.h"
+#include "system/Monitoring.h"
+#include "system/PowerSupply.h"
+#include "system/Rack.h"
+
+#include "core/Designs.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace rcs;
+using namespace rcs::rcsystem;
+
+//===----------------------------------------------------------------------===//
+// Ccb
+//===----------------------------------------------------------------------===//
+
+TEST(CcbTest, CountsWithSeparateController) {
+  CcbConfig Config;
+  Config.Model = fpga::FpgaModel::XCKU095;
+  Config.NumComputeFpgas = 8;
+  Config.SeparateControllerFpga = true;
+  Ccb Board(Config);
+  EXPECT_EQ(Board.computeFpgaCount(), 8);
+  EXPECT_EQ(Board.totalFpgaCount(), 9);
+  EXPECT_EQ(Board.sitesAcross(), 5);
+}
+
+TEST(CcbTest, CountsWithoutSeparateController) {
+  CcbConfig Config;
+  Config.Model = fpga::FpgaModel::XCVU9P;
+  Config.SeparateControllerFpga = false;
+  Ccb Board(Config);
+  EXPECT_EQ(Board.totalFpgaCount(), 8);
+  EXPECT_EQ(Board.sitesAcross(), 4);
+}
+
+TEST(CcbTest, RackFitReproducesSection4Constraint) {
+  // 42.5 mm UltraScale with a controller fits; 45 mm UltraScale+ with a
+  // controller does not; dropping the controller restores the fit.
+  CcbConfig Ku;
+  Ku.Model = fpga::FpgaModel::XCKU095;
+  Ku.SeparateControllerFpga = true;
+  EXPECT_TRUE(Ccb(Ku).fitsStandard19InchRack());
+
+  CcbConfig VuWith;
+  VuWith.Model = fpga::FpgaModel::XCVU9P;
+  VuWith.SeparateControllerFpga = true;
+  EXPECT_FALSE(Ccb(VuWith).fitsStandard19InchRack());
+
+  CcbConfig VuWithout = VuWith;
+  VuWithout.SeparateControllerFpga = false;
+  EXPECT_TRUE(Ccb(VuWithout).fitsStandard19InchRack());
+}
+
+TEST(CcbTest, ControllerOverheadReducesPeak) {
+  CcbConfig With;
+  With.Model = fpga::FpgaModel::XCVU9P;
+  With.SeparateControllerFpga = true;
+  CcbConfig Without = With;
+  Without.SeparateControllerFpga = false;
+  double Full = Ccb(With).peakGflops();
+  double Shared = Ccb(Without).peakGflops();
+  EXPECT_LT(Shared, Full);
+  // ... but only by "some percent" (paper Section 4).
+  EXPECT_GT(Shared, 0.99 * Full * (1.0 - 0.06));
+}
+
+TEST(CcbTest, BoardPowerComposition) {
+  CcbConfig Config;
+  Config.Model = fpga::FpgaModel::XCKU095;
+  Ccb Board(Config);
+  fpga::WorkloadPoint Load{0.9, 1.0};
+  double Chip = Board.computeFpgaPowerW(Load, 45.0);
+  double Total = Board.boardPowerW(Load, 45.0);
+  EXPECT_NEAR(Total, 8 * Chip + Board.nonFpgaPowerW(Load, 45.0), 1e-9);
+  EXPECT_GT(Board.nonFpgaPowerW(Load, 45.0), Config.MiscPowerW);
+}
+
+//===----------------------------------------------------------------------===//
+// Power supply
+//===----------------------------------------------------------------------===//
+
+TEST(PsuTest, EfficiencyCurvePeaksMidLoad) {
+  PowerSupplyUnit Psu = PowerSupplyUnit::makeSkatImmersionPsu();
+  EXPECT_LT(Psu.efficiencyAt(100.0), Psu.efficiencyAt(2500.0));
+  EXPECT_GT(Psu.efficiencyAt(3000.0), Psu.efficiencyAt(4000.0));
+  EXPECT_TRUE(Psu.isImmersible());
+  EXPECT_DOUBLE_EQ(Psu.ratedPowerW(), 4000.0);
+}
+
+TEST(PsuTest, LossAndInputConsistent) {
+  PowerSupplyUnit Psu = PowerSupplyUnit::makeSkatImmersionPsu();
+  double Load = 3000.0;
+  double Loss = Psu.lossW(Load);
+  EXPECT_GT(Loss, 0.0);
+  EXPECT_NEAR(Psu.inputPowerW(Load), Load + Loss, 1e-9);
+  EXPECT_NEAR(Load / Psu.inputPowerW(Load), Psu.efficiencyAt(Load), 1e-9);
+  EXPECT_DOUBLE_EQ(Psu.lossW(0.0), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Chiller
+//===----------------------------------------------------------------------===//
+
+TEST(ChillerTest, CopFallsWithAmbient) {
+  Chiller Plant = Chiller::makeSkatRackChiller();
+  EXPECT_GT(Plant.cop(15.0), Plant.cop(35.0));
+  EXPECT_GT(Plant.cop(35.0), 1.0);
+}
+
+TEST(ChillerTest, ElectricalPowerFromCop) {
+  Chiller Plant = Chiller::makeSkatRackChiller();
+  double Duty = 100e3;
+  EXPECT_NEAR(Plant.electricalPowerW(Duty, 25.0),
+              Duty / Plant.cop(25.0), 1e-6);
+  EXPECT_TRUE(Plant.isOverloaded(200e3));
+  EXPECT_FALSE(Plant.isOverloaded(50e3));
+}
+
+TEST(ChillerTest, WarmerSetpointImprovesCop) {
+  Chiller Cold("c", 10.0, 130e3);
+  Chiller Warm("w", 25.0, 130e3);
+  EXPECT_GT(Warm.cop(30.0), Cold.cop(30.0));
+}
+
+//===----------------------------------------------------------------------===//
+// Cooling solvers: physics invariants
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+ExternalConditions nominal() { return core::makeNominalConditions(); }
+
+} // namespace
+
+TEST(AirSolverTest, EnergyBalanceInAirStream) {
+  ComputationalModule Module(core::makeTaygetaModule());
+  auto Report = Module.solveSteadyState(nominal());
+  ASSERT_TRUE(Report.hasValue()) << Report.message();
+  // Air rise times capacity equals total heat (within property lookup
+  // tolerance).
+  auto Air = fluids::makeAir();
+  double RhoCp = Air->volumetricHeatCapacityJPerM3K(30.0);
+  double ExpectedRise =
+      Report->TotalHeatW / (RhoCp * Report->CoolantFlowM3PerS);
+  EXPECT_NEAR(Report->CoolantHotTempC - Report->CoolantColdTempC,
+              ExpectedRise, 0.05 * ExpectedRise);
+}
+
+TEST(AirSolverTest, BackRowRunsHotter) {
+  ComputationalModule Module(core::makeTaygetaModule());
+  auto Report = Module.solveSteadyState(nominal());
+  ASSERT_TRUE(Report.hasValue());
+  ASSERT_GE(Report->Fpgas.size(), 8u);
+  // Within one board, the last FPGA (back row) is hotter than the first.
+  EXPECT_GT(Report->Fpgas[7].JunctionTempC,
+            Report->Fpgas[0].JunctionTempC);
+}
+
+TEST(AirSolverTest, MoreAirflowCoolsChips) {
+  ModuleConfig Config = core::makeTaygetaModule();
+  ComputationalModule Base(Config);
+  auto BaseReport = Base.solveSteadyState(nominal());
+  ASSERT_TRUE(BaseReport.hasValue());
+  Config.Air.AirflowM3PerS *= 1.5;
+  ComputationalModule Boosted(Config);
+  auto BoostedReport = Boosted.solveSteadyState(nominal());
+  ASSERT_TRUE(BoostedReport.hasValue());
+  EXPECT_LT(BoostedReport->MaxJunctionTempC, BaseReport->MaxJunctionTempC);
+}
+
+TEST(AirSolverTest, RejectsZeroAirflow) {
+  ModuleConfig Config = core::makeTaygetaModule();
+  Config.Air.AirflowM3PerS = 0.0;
+  ComputationalModule Module(Config);
+  auto Report = Module.solveSteadyState(nominal());
+  EXPECT_FALSE(Report.hasValue());
+}
+
+TEST(ImmersionSolverTest, WaterSideEnergyBalance) {
+  ComputationalModule Module(core::makeSkatModule());
+  auto Report = Module.solveSteadyState(nominal());
+  ASSERT_TRUE(Report.hasValue()) << Report.message();
+  auto Water = fluids::makeWater();
+  double CWater =
+      nominal().WaterFlowM3PerS * Water->densityKgPerM3(22.0) *
+      Water->specificHeatJPerKgK(22.0);
+  double WaterGain =
+      CWater * (Report->WaterOutletTempC - nominal().WaterInletTempC);
+  // All module heat crosses the HX into the water.
+  EXPECT_NEAR(WaterGain, Report->TotalHeatW, 0.03 * Report->TotalHeatW);
+  EXPECT_NEAR(Report->HxDutyW, Report->TotalHeatW,
+              0.03 * Report->TotalHeatW);
+}
+
+TEST(ImmersionSolverTest, OilTemperaturesOrdered) {
+  ComputationalModule Module(core::makeSkatModule());
+  auto Report = Module.solveSteadyState(nominal());
+  ASSERT_TRUE(Report.hasValue());
+  EXPECT_GT(Report->CoolantHotTempC, Report->CoolantColdTempC);
+  EXPECT_GT(Report->CoolantColdTempC, nominal().WaterInletTempC);
+  EXPECT_GT(Report->MaxJunctionTempC, Report->CoolantHotTempC);
+}
+
+TEST(ImmersionSolverTest, SeriesDistributionBuildsGradient) {
+  // First-generation designs circulate boards in series and suffer
+  // "considerable thermal gradients" (paper Section 2).
+  ModuleConfig Parallel = core::makeSkatModule();
+  ModuleConfig Series = core::makeSkatModule();
+  Series.Immersion.Distribution =
+      ImmersionCoolingConfig::OilDistribution::SeriesAlongBoards;
+  auto ParallelReport =
+      ComputationalModule(Parallel).solveSteadyState(nominal());
+  auto SeriesReport =
+      ComputationalModule(Series).solveSteadyState(nominal());
+  ASSERT_TRUE(ParallelReport.hasValue());
+  ASSERT_TRUE(SeriesReport.hasValue());
+  auto spread = [](const ModuleThermalReport &R) {
+    double Lo = 1e9, Hi = -1e9;
+    for (double T : R.PerBoardCoolantTempC) {
+      Lo = std::min(Lo, T);
+      Hi = std::max(Hi, T);
+    }
+    return Hi - Lo;
+  };
+  EXPECT_LT(spread(*ParallelReport), 0.5);
+  EXPECT_GT(spread(*SeriesReport), 4.0 * spread(*ParallelReport));
+  EXPECT_GT(SeriesReport->MaxJunctionTempC,
+            ParallelReport->MaxJunctionTempC);
+}
+
+TEST(ImmersionSolverTest, TimWashoutRaisesJunctions) {
+  ModuleConfig Fresh = core::makeSkatModule();
+  Fresh.Immersion.Tim = ImmersionCoolingConfig::TimKind::SiliconeGrease;
+  ModuleConfig Aged = Fresh;
+  Aged.Immersion.TimExposureHours = 10000.0;
+  auto FreshReport = ComputationalModule(Fresh).solveSteadyState(nominal());
+  auto AgedReport = ComputationalModule(Aged).solveSteadyState(nominal());
+  ASSERT_TRUE(FreshReport.hasValue());
+  ASSERT_TRUE(AgedReport.hasValue());
+  EXPECT_GT(AgedReport->MaxJunctionTempC,
+            FreshReport->MaxJunctionTempC + 1.0);
+
+  // The SKAT wash-out-proof interface does not age.
+  ModuleConfig SkatAged = core::makeSkatModule();
+  SkatAged.Immersion.TimExposureHours = 10000.0;
+  auto SkatReport =
+      ComputationalModule(SkatAged).solveSteadyState(nominal());
+  auto SkatBase =
+      ComputationalModule(core::makeSkatModule()).solveSteadyState(nominal());
+  ASSERT_TRUE(SkatReport.hasValue());
+  ASSERT_TRUE(SkatBase.hasValue());
+  EXPECT_NEAR(SkatReport->MaxJunctionTempC, SkatBase->MaxJunctionTempC,
+              0.05);
+}
+
+TEST(ImmersionSolverTest, BetterCoolantRunsCooler) {
+  ModuleConfig White = core::makeSkatModule();
+  White.Immersion.CoolantKind =
+      ImmersionCoolingConfig::Coolant::WhiteMineralOil;
+  auto WhiteReport = ComputationalModule(White).solveSteadyState(nominal());
+  auto SkatReport =
+      ComputationalModule(core::makeSkatModule()).solveSteadyState(nominal());
+  ASSERT_TRUE(WhiteReport.hasValue());
+  ASSERT_TRUE(SkatReport.hasValue());
+  EXPECT_LT(SkatReport->MaxJunctionTempC, WhiteReport->MaxJunctionTempC);
+}
+
+TEST(ImmersionSolverTest, ColderWaterCoolsEverything) {
+  ComputationalModule Module(core::makeSkatModule());
+  ExternalConditions Warm = nominal();
+  Warm.WaterInletTempC = 24.0;
+  auto Cold = Module.solveSteadyState(nominal());
+  auto Warmer = Module.solveSteadyState(Warm);
+  ASSERT_TRUE(Cold.hasValue());
+  ASSERT_TRUE(Warmer.hasValue());
+  EXPECT_GT(Warmer->MaxJunctionTempC, Cold->MaxJunctionTempC + 3.0);
+}
+
+TEST(ColdPlateSolverTest, SolvesAndOrdersTemperatures) {
+  ModuleConfig Config = core::makeSkatModule();
+  Config.Cooling = CoolingKind::ColdPlate;
+  Config.ColdPlate.WaterFlowM3PerS = 1.2e-3;
+  ComputationalModule Module(Config);
+  auto Report = Module.solveSteadyState(nominal());
+  ASSERT_TRUE(Report.hasValue()) << Report.message();
+  EXPECT_GT(Report->MaxJunctionTempC, nominal().WaterInletTempC);
+  // Plates along a board: later chips see warmer water.
+  ASSERT_GE(Report->Fpgas.size(), 8u);
+  EXPECT_GT(Report->Fpgas[7].LocalCoolantTempC,
+            Report->Fpgas[0].LocalCoolantTempC);
+  EXPECT_GT(Report->WaterOutletTempC, nominal().WaterInletTempC);
+}
+
+TEST(ModuleTest, MetricsAndDispatch) {
+  ComputationalModule Skat(core::makeSkatModule());
+  EXPECT_EQ(Skat.computeFpgaCount(), 96);
+  EXPECT_NEAR(Skat.boardsPerU(), 4.0, 1e-9);
+  EXPECT_NEAR(Skat.peakGflops(), 96 * 870.0, 1.0);
+  EXPECT_NEAR(Skat.gflopsPerU(), 96 * 870.0 / 3.0, 1.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Monitoring
+//===----------------------------------------------------------------------===//
+
+TEST(MonitoringTest, ThresholdSensorDirections) {
+  ThresholdSensor Temp("t", 35.0, 45.0, /*HighIsBad=*/true);
+  EXPECT_EQ(Temp.classify(30.0), AlarmLevel::Normal);
+  EXPECT_EQ(Temp.classify(40.0), AlarmLevel::Warning);
+  EXPECT_EQ(Temp.classify(50.0), AlarmLevel::Critical);
+
+  ThresholdSensor Flow("f", 0.7, 0.3, /*HighIsBad=*/false);
+  EXPECT_EQ(Flow.classify(1.0), AlarmLevel::Normal);
+  EXPECT_EQ(Flow.classify(0.5), AlarmLevel::Warning);
+  EXPECT_EQ(Flow.classify(0.1), AlarmLevel::Critical);
+}
+
+TEST(MonitoringTest, HealthySkatModuleIsNormal) {
+  ComputationalModule Module(core::makeSkatModule());
+  auto Report = Module.solveSteadyState(nominal());
+  ASSERT_TRUE(Report.hasValue());
+  ControlSystem Control;
+  MonitoringReport Monitor = Control.evaluate(*Report);
+  EXPECT_EQ(Monitor.Worst, AlarmLevel::Normal);
+  EXPECT_EQ(Monitor.Action, ControlAction::None);
+  EXPECT_EQ(Monitor.Readings.size(), 3u);
+}
+
+TEST(MonitoringTest, ActionsEscalate) {
+  ControlSystem Control;
+  // Warm coolant only: push the pump.
+  EXPECT_EQ(Control.evaluateRaw(38.0, 55.0, 2.0e-3).Action,
+            ControlAction::RaisePumpSpeed);
+  // Warm junction: shed clocks.
+  EXPECT_EQ(Control.evaluateRaw(30.0, 75.0, 2.0e-3).Action,
+            ControlAction::ReduceClock);
+  // Critical anything: shutdown.
+  EXPECT_EQ(Control.evaluateRaw(50.0, 55.0, 2.0e-3).Action,
+            ControlAction::Shutdown);
+  EXPECT_EQ(Control.evaluateRaw(30.0, 90.0, 2.0e-3).Action,
+            ControlAction::Shutdown);
+  // Lost flow: critical.
+  EXPECT_EQ(Control.evaluateRaw(30.0, 55.0, 1.0e-4).Action,
+            ControlAction::Shutdown);
+}
+
+TEST(MonitoringTest, NamesAreStable) {
+  EXPECT_STREQ(alarmLevelName(AlarmLevel::Critical), "critical");
+  EXPECT_STREQ(controlActionName(ControlAction::RaisePumpSpeed),
+               "raise pump speed");
+}
+
+//===----------------------------------------------------------------------===//
+// Rack
+//===----------------------------------------------------------------------===//
+
+TEST(RackTest, SkatRackSolves) {
+  Rack TheRack(core::makeSkatRack());
+  auto Report = TheRack.solveSteadyState(25.0);
+  ASSERT_TRUE(Report.hasValue()) << Report.message();
+  EXPECT_EQ(Report->Modules.size(), 12u);
+  EXPECT_EQ(Report->LoopFlowsM3PerS.size(), 12u);
+  // Reverse-return manifolds keep module flows balanced.
+  EXPECT_LT(Report->Balance.ImbalanceFraction, 0.05);
+  EXPECT_GT(Report->TotalItPowerW, 100e3);
+  EXPECT_GT(Report->Pue, 1.0);
+  EXPECT_LT(Report->Pue, 1.5);
+}
+
+TEST(RackTest, ExceedsOnePetaflops) {
+  Rack TheRack(core::makeSkatRack());
+  // Paper Section 5: "not less than 12 new-generation CMs, with a total
+  // performance above 1 PFlops, in a single 47U computer rack".
+  EXPECT_GT(TheRack.peakPflops(), 1.0);
+  EXPECT_GE(TheRack.maxModulesByHeight(), 12);
+}
+
+TEST(RackTest, LoopIsolationKeepsOthersHealthy) {
+  Rack TheRack(core::makeSkatRack());
+  auto Report = TheRack.solveSteadyState(25.0, /*IsolatedLoop=*/3);
+  ASSERT_TRUE(Report.hasValue()) << Report.message();
+  // The isolated module reports down; the others stay within limits.
+  EXPECT_LT(Report->LoopFlowsM3PerS[3],
+            0.05 * Report->Balance.MeanFlowM3PerS);
+  for (size_t I = 0; I != Report->Modules.size(); ++I) {
+    if (I == 3)
+      continue;
+    EXPECT_LT(Report->Modules[I].MaxJunctionTempC, 55.0) << "module " << I;
+  }
+  EXPECT_LT(Report->Balance.ImbalanceFraction, 0.05);
+}
+
+TEST(RackTest, IsolationIndexValidated) {
+  Rack TheRack(core::makeSkatRack());
+  auto Report = TheRack.solveSteadyState(25.0, /*IsolatedLoop=*/99);
+  EXPECT_FALSE(Report.hasValue());
+}
+
+TEST(RackTest, HotAmbientRaisesChillerPower) {
+  Rack TheRack(core::makeSkatRack());
+  auto Cool = TheRack.solveSteadyState(20.0);
+  auto Hot = TheRack.solveSteadyState(38.0);
+  ASSERT_TRUE(Cool.hasValue());
+  ASSERT_TRUE(Hot.hasValue());
+  EXPECT_GT(Hot->ChillerPowerW, Cool->ChillerPowerW);
+  EXPECT_GT(Hot->Pue, Cool->Pue);
+}

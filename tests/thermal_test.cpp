@@ -1,0 +1,485 @@
+//===- tests/thermal_test.cpp - Unit tests for rcs_thermal ------------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "thermal/Convection.h"
+#include "thermal/HeatSink.h"
+#include "thermal/Interface.h"
+#include "thermal/Network.h"
+
+#include "fluids/Fluid.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace rcs;
+using namespace rcs::thermal;
+
+//===----------------------------------------------------------------------===//
+// ThermalNetwork: steady state
+//===----------------------------------------------------------------------===//
+
+TEST(ThermalNetworkTest, SeriesResistanceOhmsLaw) {
+  // Junction --R--> ambient with Q injected: dT = Q * R.
+  ThermalNetwork Net;
+  NodeId Junction = Net.addNode("junction");
+  NodeId Ambient = Net.addBoundaryNode("ambient", 25.0);
+  Net.addResistance(Junction, Ambient, 0.5);
+  Net.addHeatSource(Junction, 40.0);
+  auto Temps = Net.solveSteadyState();
+  ASSERT_TRUE(Temps.hasValue());
+  EXPECT_NEAR((*Temps)[Junction], 25.0 + 40.0 * 0.5, 1e-9);
+  EXPECT_NEAR((*Temps)[Ambient], 25.0, 1e-12);
+}
+
+TEST(ThermalNetworkTest, TwoStageSeriesChain) {
+  ThermalNetwork Net;
+  NodeId Die = Net.addNode("die");
+  NodeId Case = Net.addNode("case");
+  NodeId Ambient = Net.addBoundaryNode("ambient", 20.0);
+  Net.addResistance(Die, Case, 0.2);
+  Net.addResistance(Case, Ambient, 0.8);
+  Net.addHeatSource(Die, 50.0);
+  auto Temps = Net.solveSteadyState();
+  ASSERT_TRUE(Temps.hasValue());
+  EXPECT_NEAR((*Temps)[Case], 20.0 + 50.0 * 0.8, 1e-9);
+  EXPECT_NEAR((*Temps)[Die], 20.0 + 50.0 * 1.0, 1e-9);
+}
+
+TEST(ThermalNetworkTest, ParallelConductancesAccumulate) {
+  ThermalNetwork Net;
+  NodeId A = Net.addNode("a");
+  NodeId Amb = Net.addBoundaryNode("ambient", 0.0);
+  Net.addConductance(A, Amb, 2.0);
+  Net.addConductance(A, Amb, 3.0); // Accumulates to 5 W/K.
+  Net.addHeatSource(A, 10.0);
+  auto Temps = Net.solveSteadyState();
+  ASSERT_TRUE(Temps.hasValue());
+  EXPECT_NEAR((*Temps)[A], 2.0, 1e-9);
+}
+
+TEST(ThermalNetworkTest, SetConductanceReplaces) {
+  ThermalNetwork Net;
+  NodeId A = Net.addNode("a");
+  NodeId Amb = Net.addBoundaryNode("ambient", 0.0);
+  Net.addConductance(A, Amb, 2.0);
+  Net.setConductance(A, Amb, 4.0);
+  Net.addHeatSource(A, 8.0);
+  auto Temps = Net.solveSteadyState();
+  ASSERT_TRUE(Temps.hasValue());
+  EXPECT_NEAR((*Temps)[A], 2.0, 1e-9);
+}
+
+TEST(ThermalNetworkTest, EnergyConservationAtBoundary) {
+  ThermalNetwork Net;
+  NodeId N1 = Net.addNode("n1");
+  NodeId N2 = Net.addNode("n2");
+  NodeId Amb = Net.addBoundaryNode("ambient", 25.0);
+  Net.addResistance(N1, N2, 0.3);
+  Net.addResistance(N2, Amb, 0.7);
+  Net.addResistance(N1, Amb, 2.0); // A second path.
+  Net.addHeatSource(N1, 30.0);
+  Net.addHeatSource(N2, 12.0);
+  auto Temps = Net.solveSteadyState();
+  ASSERT_TRUE(Temps.hasValue());
+  // All injected heat leaves through the boundary.
+  EXPECT_NEAR(Net.boundaryHeatFlowW(Amb, *Temps), 42.0, 1e-8);
+  EXPECT_LT(Net.steadyStateResidualW(*Temps), 1e-8);
+}
+
+TEST(ThermalNetworkTest, DisconnectedNodeFails) {
+  ThermalNetwork Net;
+  Net.addNode("orphan");
+  Net.addBoundaryNode("ambient", 25.0);
+  auto Temps = Net.solveSteadyState();
+  EXPECT_FALSE(Temps.hasValue());
+  EXPECT_NE(Temps.message().find("singular"), std::string::npos);
+}
+
+TEST(ThermalNetworkTest, MultipleBoundariesSplitHeat) {
+  // One node between two boundaries at different temperatures.
+  ThermalNetwork Net;
+  NodeId Mid = Net.addNode("mid");
+  NodeId Cold = Net.addBoundaryNode("cold", 0.0);
+  NodeId Hot = Net.addBoundaryNode("hot", 100.0);
+  Net.addConductance(Mid, Cold, 1.0);
+  Net.addConductance(Mid, Hot, 1.0);
+  auto Temps = Net.solveSteadyState();
+  ASSERT_TRUE(Temps.hasValue());
+  EXPECT_NEAR((*Temps)[Mid], 50.0, 1e-9);
+  // Heat flows hot -> mid -> cold: boundary flows are equal and opposite.
+  EXPECT_NEAR(Net.boundaryHeatFlowW(Cold, *Temps),
+              -Net.boundaryHeatFlowW(Hot, *Temps), 1e-9);
+}
+
+TEST(ThermalNetworkTest, BoundaryOnlyNetworkSolves) {
+  ThermalNetwork Net;
+  NodeId A = Net.addBoundaryNode("a", 10.0);
+  NodeId B = Net.addBoundaryNode("b", 20.0);
+  Net.addConductance(A, B, 1.0);
+  auto Temps = Net.solveSteadyState();
+  ASSERT_TRUE(Temps.hasValue());
+  EXPECT_DOUBLE_EQ((*Temps)[A], 10.0);
+  EXPECT_DOUBLE_EQ((*Temps)[B], 20.0);
+}
+
+TEST(ThermalNetworkTest, TotalSourcePower) {
+  ThermalNetwork Net;
+  NodeId A = Net.addNode("a");
+  Net.addBoundaryNode("ambient", 0.0);
+  Net.addHeatSource(A, 5.0);
+  Net.addHeatSource(A, 7.0);
+  EXPECT_DOUBLE_EQ(Net.totalSourcePowerW(), 12.0);
+  Net.setHeatSource(A, 3.0);
+  EXPECT_DOUBLE_EQ(Net.totalSourcePowerW(), 3.0);
+}
+
+//===----------------------------------------------------------------------===//
+// ThermalNetwork: transient
+//===----------------------------------------------------------------------===//
+
+TEST(ThermalNetworkTest, TransientConvergesToSteadyState) {
+  ThermalNetwork Net;
+  NodeId Die = Net.addNode("die", /*CapacitanceJPerK=*/50.0);
+  NodeId Amb = Net.addBoundaryNode("ambient", 25.0);
+  Net.addResistance(Die, Amb, 0.5);
+  Net.addHeatSource(Die, 60.0);
+
+  std::vector<double> Temps = {25.0, 25.0};
+  for (int Step = 0; Step != 2000; ++Step)
+    ASSERT_TRUE(Net.stepTransient(Temps, 1.0).isOk());
+  auto Steady = Net.solveSteadyState();
+  ASSERT_TRUE(Steady.hasValue());
+  EXPECT_NEAR(Temps[Die], (*Steady)[Die], 0.05);
+}
+
+TEST(ThermalNetworkTest, TransientTimeConstant) {
+  // Single RC: T(t) = Tinf (1 - exp(-t/RC)); at t = RC, 63.2% of the step.
+  const double R = 0.5, C = 100.0, Q = 40.0;
+  ThermalNetwork Net;
+  NodeId Die = Net.addNode("die", C);
+  NodeId Amb = Net.addBoundaryNode("ambient", 0.0);
+  Net.addResistance(Die, Amb, R);
+  Net.addHeatSource(Die, Q);
+
+  std::vector<double> Temps = {0.0, 0.0};
+  double Tau = R * C; // 50 s.
+  const double Dt = 0.05;
+  int Steps = static_cast<int>(Tau / Dt);
+  for (int Step = 0; Step != Steps; ++Step)
+    ASSERT_TRUE(Net.stepTransient(Temps, Dt).isOk());
+  double Expected = Q * R * (1.0 - std::exp(-1.0));
+  EXPECT_NEAR(Temps[Die], Expected, 0.05);
+}
+
+TEST(ThermalNetworkTest, TransientRequiresCapacitance) {
+  ThermalNetwork Net;
+  NodeId Die = Net.addNode("die"); // Zero capacitance.
+  NodeId Amb = Net.addBoundaryNode("ambient", 25.0);
+  Net.addResistance(Die, Amb, 0.5);
+  std::vector<double> Temps = {25.0, 25.0};
+  Status S = Net.stepTransient(Temps, 1.0);
+  EXPECT_FALSE(S.isOk());
+  EXPECT_NE(S.message().find("capacitance"), std::string::npos);
+}
+
+TEST(ThermalNetworkTest, TransientTracksBoundaryChange) {
+  ThermalNetwork Net;
+  NodeId Die = Net.addNode("die", 10.0);
+  NodeId Amb = Net.addBoundaryNode("ambient", 25.0);
+  Net.addResistance(Die, Amb, 1.0);
+  std::vector<double> Temps = {25.0, 25.0};
+  Net.setBoundaryTemp(Amb, 40.0);
+  for (int Step = 0; Step != 600; ++Step)
+    ASSERT_TRUE(Net.stepTransient(Temps, 1.0).isOk());
+  EXPECT_NEAR(Temps[Die], 40.0, 0.01);
+  EXPECT_DOUBLE_EQ(Temps[Amb], 40.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Convection correlations
+//===----------------------------------------------------------------------===//
+
+TEST(ConvectionTest, ReynoldsMatchesDefinition) {
+  auto Water = fluids::makeWater();
+  double Re = reynolds(*Water, 20.0, 1.0, 0.01);
+  double Expected = 1.0 * 0.01 / Water->kinematicViscosityM2PerS(20.0);
+  EXPECT_NEAR(Re, Expected, 1e-6);
+  EXPECT_GT(Re, 5000.0); // Water at 1 m/s in a 10 mm duct is turbulent.
+}
+
+TEST(ConvectionTest, DuctFlowClassification) {
+  EXPECT_EQ(classifyDuctFlow(1000.0), FlowRegime::Laminar);
+  EXPECT_EQ(classifyDuctFlow(3000.0), FlowRegime::Transitional);
+  EXPECT_EQ(classifyDuctFlow(10000.0), FlowRegime::Turbulent);
+}
+
+TEST(ConvectionTest, FlatPlateLaminarAnchor) {
+  // Nu = 0.664 sqrt(Re) Pr^(1/3): Re = 1e4, Pr = 1 -> Nu = 66.4.
+  EXPECT_NEAR(flatPlateNusselt(1e4, 1.0), 66.4, 0.1);
+}
+
+TEST(ConvectionTest, FlatPlateContinuousAcrossTransition) {
+  double Below = flatPlateNusselt(4.99e5, 0.7);
+  double Above = flatPlateNusselt(5.01e5, 0.7);
+  // The mixed correlation dips at transition but stays within ~25%.
+  EXPECT_LT(std::fabs(Above - Below) / Below, 0.25);
+}
+
+TEST(ConvectionTest, DuctLaminarConstant) {
+  EXPECT_DOUBLE_EQ(ductNusselt(1000.0, 5.0), 3.66);
+}
+
+TEST(ConvectionTest, DuctTransitionBlendIsMonotone) {
+  double Previous = ductNusselt(2300.0, 5.0);
+  for (double Re = 2400.0; Re <= 4000.0; Re += 100.0) {
+    double Current = ductNusselt(Re, 5.0);
+    EXPECT_GE(Current, Previous - 1e-9);
+    Previous = Current;
+  }
+}
+
+TEST(ConvectionTest, GnielinskiAnchor) {
+  // Classic check: Re = 1e4, Pr = 0.7 gives Nu ~ 31 (Gnielinski).
+  double Nu = ductNusselt(1e4, 0.7);
+  EXPECT_NEAR(Nu, 31.0, 3.0);
+}
+
+TEST(ConvectionTest, CylinderCrossflowIncreasesWithRe) {
+  double Previous = 0.0;
+  for (double Re : {10.0, 100.0, 1000.0, 10000.0}) {
+    double Nu = cylinderCrossflowNusselt(Re, 100.0);
+    EXPECT_GT(Nu, Previous);
+    Previous = Nu;
+  }
+}
+
+TEST(ConvectionTest, TubeBankIncreasesWithReAndDepth) {
+  double Shallow = tubeBankNusselt(500.0, 100.0, 80.0, 2);
+  double Deep = tubeBankNusselt(500.0, 100.0, 80.0, 9);
+  EXPECT_GT(Deep, Shallow);
+  EXPECT_GT(tubeBankNusselt(2000.0, 100.0, 80.0, 9),
+            tubeBankNusselt(200.0, 100.0, 80.0, 9));
+}
+
+TEST(ConvectionTest, NaturalConvectionAnchor) {
+  // Churchill-Chu at Ra = 1e9, Pr = 0.7: Nu ~ 120 (vertical plate).
+  double Nu = verticalPlateNaturalNusselt(1e9, 0.7);
+  EXPECT_GT(Nu, 80.0);
+  EXPECT_LT(Nu, 200.0);
+}
+
+TEST(ConvectionTest, RayleighScalesWithCubeOfLength) {
+  auto Air = fluids::makeAir();
+  double Ra1 = rayleighVerticalPlate(*Air, 60.0, 25.0, 0.1);
+  double Ra2 = rayleighVerticalPlate(*Air, 60.0, 25.0, 0.2);
+  EXPECT_NEAR(Ra2 / Ra1, 8.0, 0.01);
+}
+
+TEST(ConvectionTest, HtcFromNusselt) {
+  auto Air = fluids::makeAir();
+  double H = htcFromNusselt(*Air, 25.0, 100.0, 0.05);
+  EXPECT_NEAR(H, 100.0 * Air->thermalConductivityWPerMK(25.0) / 0.05, 1e-9);
+}
+
+//===----------------------------------------------------------------------===//
+// Heat sinks
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+PlateFinGeometry typicalAirSink() {
+  PlateFinGeometry G;
+  G.BaseLengthM = 0.06;
+  G.BaseWidthM = 0.05;
+  G.BaseThicknessM = 0.005;
+  G.FinHeightM = 0.03;
+  G.FinThicknessM = 0.0008;
+  G.FinCount = 20;
+  return G;
+}
+
+PinFinGeometry skatOilSink() {
+  PinFinGeometry G; // Defaults model the SKAT low-height pin sink.
+  return G;
+}
+
+} // namespace
+
+TEST(HeatSinkTest, PlateFinResistanceDropsWithVelocity) {
+  auto Air = fluids::makeAir();
+  PlateFinHeatSink Sink("air-sink", typicalAirSink());
+  double RSlow = Sink.thermalResistanceKPerW(*Air, 30.0, 1.0, 55.0);
+  double RFast = Sink.thermalResistanceKPerW(*Air, 30.0, 4.0, 55.0);
+  EXPECT_LT(RFast, RSlow);
+  // Plausible magnitudes for a 60x50 mm sink in air.
+  EXPECT_GT(RSlow, 0.1);
+  EXPECT_LT(RSlow, 3.0);
+}
+
+TEST(HeatSinkTest, PlateFinPressureDropGrowsWithVelocity) {
+  auto Air = fluids::makeAir();
+  PlateFinHeatSink Sink("air-sink", typicalAirSink());
+  auto E1 = Sink.evaluate(*Air, 30.0, 1.0, 55.0);
+  auto E2 = Sink.evaluate(*Air, 30.0, 3.0, 55.0);
+  EXPECT_GT(E2.PressureDropPa, E1.PressureDropPa);
+  EXPECT_GT(E1.PressureDropPa, 0.0);
+}
+
+TEST(HeatSinkTest, PinFinInOilReachesImmersionResistance) {
+  // The SKAT design point: ~91 W per FPGA, coolant <= 30 C, junction <= 55
+  // C. With theta_jc + TIM ~ 0.1 K/W the sink-to-oil resistance must be
+  // ~0.15..0.35 K/W at the CM's internal flow (~0.1..0.3 m/s approach).
+  auto Oil = fluids::makeEngineeredDielectric();
+  PinFinHeatSink Sink("skat-sink", skatOilSink());
+  double R = Sink.thermalResistanceKPerW(*Oil, 30.0, 0.20, 50.0);
+  EXPECT_GT(R, 0.02);
+  EXPECT_LT(R, 0.40);
+}
+
+TEST(HeatSinkTest, TurbulatorPinsBeatSmoothPins) {
+  auto Oil = fluids::makeMineralOilMd45();
+  PinFinGeometry Smooth = skatOilSink();
+  Smooth.TurbulatorFactor = 1.0;
+  PinFinGeometry Turbulated = skatOilSink();
+  PinFinHeatSink SmoothSink("smooth", Smooth);
+  PinFinHeatSink TurbSink("turbulated", Turbulated);
+  double RSmooth = SmoothSink.thermalResistanceKPerW(*Oil, 30.0, 0.2, 50.0);
+  double RTurb = TurbSink.thermalResistanceKPerW(*Oil, 30.0, 0.2, 50.0);
+  EXPECT_LT(RTurb, RSmooth);
+}
+
+TEST(HeatSinkTest, PinFinGeometryAccessors) {
+  PinFinHeatSink Sink("skat-sink", skatOilSink());
+  EXPECT_GT(Sink.pinCount(), 50);
+  EXPECT_GE(Sink.rowsDeep(), 5);
+  EXPECT_NEAR(Sink.footprintAreaM2(), 0.05 * 0.05, 1e-9);
+  EXPECT_LT(Sink.heightM(), 0.02); // "Low-height" sink.
+}
+
+TEST(HeatSinkTest, OilBeatsAirOnTheSameSink) {
+  auto Oil = fluids::makeMineralOilMd45();
+  auto Air = fluids::makeAir();
+  PinFinHeatSink Sink("sink", skatOilSink());
+  double ROil = Sink.thermalResistanceKPerW(*Oil, 30.0, 0.2, 50.0);
+  // Give air 10x the velocity and it still loses badly.
+  double RAir = Sink.thermalResistanceKPerW(*Air, 30.0, 2.0, 50.0);
+  EXPECT_LT(ROil, RAir / 3.0);
+}
+
+TEST(HeatSinkTest, MaterialConductivities) {
+  EXPECT_GT(sinkMaterialConductivity(SinkMaterial::Copper),
+            sinkMaterialConductivity(SinkMaterial::Aluminum));
+}
+
+//===----------------------------------------------------------------------===//
+// Thermal interface materials
+//===----------------------------------------------------------------------===//
+
+TEST(InterfaceTest, FreshResistanceIsSmall) {
+  const double Area = 0.0425 * 0.0425; // UltraScale package.
+  auto Tim = ThermalInterface::makeSkatInterface(Area);
+  double R = Tim.freshResistanceKPerW();
+  EXPECT_GT(R, 0.001);
+  EXPECT_LT(R, 0.05);
+}
+
+TEST(InterfaceTest, GreaseWashesOutInOil) {
+  const double Area = 0.0425 * 0.0425;
+  auto Grease = ThermalInterface::makeSiliconeGrease(Area);
+  double Fresh = Grease.resistanceKPerW(0.0);
+  double After5Kh = Grease.resistanceKPerW(5000.0);
+  EXPECT_GT(After5Kh, 1.5 * Fresh);
+  EXPECT_TRUE(Grease.isDegraded(5000.0));
+  EXPECT_FALSE(Grease.isDegraded(100.0));
+}
+
+TEST(InterfaceTest, SkatInterfaceIsImmersionStable) {
+  const double Area = 0.0425 * 0.0425;
+  auto Tim = ThermalInterface::makeSkatInterface(Area);
+  EXPECT_NEAR(Tim.resistanceKPerW(20000.0), Tim.freshResistanceKPerW(),
+              1e-12);
+  EXPECT_FALSE(Tim.isDegraded(20000.0));
+}
+
+TEST(InterfaceTest, WashoutFloorsAtFivePercent) {
+  const double Area = 1e-3;
+  ThermalInterface Tim("fragile", 4.0, 1e-4, Area, 0.5);
+  // After enormous exposure the conductivity floors, resistance saturates.
+  double RLate = Tim.resistanceKPerW(1e6);
+  double RLater = Tim.resistanceKPerW(2e6);
+  EXPECT_NEAR(RLate, RLater, 1e-9);
+}
+
+TEST(InterfaceTest, GraphitePadTradeoff) {
+  const double Area = 0.0425 * 0.0425;
+  auto Pad = ThermalInterface::makeGraphitePad(Area);
+  auto Grease = ThermalInterface::makeSiliconeGrease(Area);
+  // Pad starts worse than fresh grease but never degrades.
+  EXPECT_GT(Pad.freshResistanceKPerW(), Grease.freshResistanceKPerW());
+  EXPECT_LT(Pad.resistanceKPerW(10000.0), Grease.resistanceKPerW(10000.0));
+}
+
+//===----------------------------------------------------------------------===//
+// Spreading resistance (Lee et al.)
+//===----------------------------------------------------------------------===//
+
+#include "thermal/Spreading.h"
+
+TEST(SpreadingTest, FullCoverageHasNoConstriction) {
+  SpreadingInputs Inputs;
+  Inputs.SourceAreaM2 = 2.5e-3;
+  Inputs.PlateAreaM2 = 2.5e-3;
+  EXPECT_DOUBLE_EQ(constrictionResistanceKPerW(Inputs), 0.0);
+  EXPECT_NEAR(spreadingResistanceKPerW(Inputs),
+              Inputs.PlateThicknessM /
+                  (Inputs.PlateConductivityWPerMK * Inputs.PlateAreaM2),
+              1e-12);
+}
+
+TEST(SpreadingTest, SmallerSourceConstrictsMore) {
+  SpreadingInputs Big;
+  Big.SourceAreaM2 = 1.4e-3;
+  SpreadingInputs Small = Big;
+  Small.SourceAreaM2 = 2.0e-4;
+  EXPECT_GT(constrictionResistanceKPerW(Small),
+            3.0 * constrictionResistanceKPerW(Big));
+}
+
+TEST(SpreadingTest, BetterConductorSpreadsCheaper) {
+  SpreadingInputs Copper;
+  Copper.PlateConductivityWPerMK = 390.0;
+  SpreadingInputs Aluminum = Copper;
+  Aluminum.PlateConductivityWPerMK = 205.0;
+  EXPECT_LT(constrictionResistanceKPerW(Copper),
+            constrictionResistanceKPerW(Aluminum));
+}
+
+TEST(SpreadingTest, MagnitudePlausibleForFpgaSink) {
+  // A 37 mm lid on a 50 mm copper base: constriction should be a few
+  // milli-K/W - real but small next to the convection term.
+  SpreadingInputs Inputs;
+  Inputs.SourceAreaM2 = 1.4e-3;
+  Inputs.PlateAreaM2 = 2.5e-3;
+  Inputs.PlateThicknessM = 4e-3;
+  Inputs.PlateConductivityWPerMK = 390.0;
+  Inputs.EffectiveHtcWPerM2K = 5000.0;
+  double Rc = constrictionResistanceKPerW(Inputs);
+  EXPECT_GT(Rc, 0.001);
+  EXPECT_LT(Rc, 0.03);
+}
+
+TEST(SpreadingTest, ThinPlateWithWeakCoolingConstrictsHarder) {
+  // With a low Biot number the heat cannot escape under the source and
+  // must spread; thin plates make that harder.
+  SpreadingInputs Thick;
+  Thick.SourceAreaM2 = 4.0e-4;
+  Thick.PlateThicknessM = 8e-3;
+  SpreadingInputs Thin = Thick;
+  Thin.PlateThicknessM = 1.5e-3;
+  EXPECT_GT(constrictionResistanceKPerW(Thin),
+            constrictionResistanceKPerW(Thick));
+}

@@ -1,0 +1,318 @@
+//===- tools/skatsim.cpp - Command-line driver --------------------------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line front end for the library:
+///
+///   skatsim list
+///   skatsim solve <design> [--ambient C] [--water C] [--water-lpm L]
+///                          [--util U] [--clock F]
+///   skatsim rack [--ambient C] [--isolate N] [--skat-plus]
+///   skatsim transient <design> [--hours H] [--pump-fail-h T] [--csv FILE]
+///   skatsim setpoint <design> [--limit C]
+///
+/// Designs: rigel2, taygeta, ultrascale-air, skat, skat-plus,
+/// skat-plus-naive.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/ConfigIO.h"
+#include "core/DesignSpace.h"
+#include "core/Designs.h"
+#include "sim/Transient.h"
+#include "support/Csv.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+#include "support/Units.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace rcs;
+using namespace rcs::rcsystem;
+
+namespace {
+
+/// Minimal --flag value parser: flags map to the string after them.
+class ArgList {
+public:
+  ArgList(int Argc, char **Argv, int Start) {
+    for (int I = Start; I < Argc; ++I) {
+      std::string Arg = Argv[I];
+      if (startsWith(Arg, "--")) {
+        std::string Value =
+            I + 1 < Argc && !startsWith(Argv[I + 1], "--") ? Argv[++I] : "";
+        Flags[Arg.substr(2)] = Value;
+      } else {
+        Positional.push_back(Arg);
+      }
+    }
+  }
+
+  double getDouble(const std::string &Name, double Default) const {
+    auto It = Flags.find(Name);
+    return It == Flags.end() ? Default : std::atof(It->second.c_str());
+  }
+  int getInt(const std::string &Name, int Default) const {
+    auto It = Flags.find(Name);
+    return It == Flags.end() ? Default : std::atoi(It->second.c_str());
+  }
+  std::string getString(const std::string &Name,
+                        const std::string &Default) const {
+    auto It = Flags.find(Name);
+    return It == Flags.end() ? Default : It->second;
+  }
+  bool has(const std::string &Name) const { return Flags.count(Name) != 0; }
+  const std::vector<std::string> &positional() const { return Positional; }
+
+private:
+  std::map<std::string, std::string> Flags;
+  std::vector<std::string> Positional;
+};
+
+Expected<ModuleConfig> designByName(const std::string &Name) {
+  std::string Key = toLower(Name);
+  if (Key == "rigel2")
+    return core::makeRigel2Module();
+  if (Key == "taygeta")
+    return core::makeTaygetaModule();
+  if (Key == "ultrascale-air")
+    return core::makeUltraScaleAirModule();
+  if (Key == "skat")
+    return core::makeSkatModule();
+  if (Key == "skat-plus")
+    return core::makeSkatPlusModule();
+  if (Key == "skat-plus-naive")
+    return core::makeSkatPlusNaiveModule();
+  return Expected<ModuleConfig>::error("unknown design '" + Name +
+                                       "'; run 'skatsim list'");
+}
+
+int cmdList() {
+  Table T({"design", "cooling", "FPGAs", "peak TFLOPS", "height"});
+  for (const char *Name :
+       {"rigel2", "taygeta", "ultrascale-air", "skat", "skat-plus",
+        "skat-plus-naive"}) {
+    Expected<ModuleConfig> Config = designByName(Name);
+    ComputationalModule Module(*Config);
+    T.addRow({Name, coolingKindName(Config->Cooling),
+              formatString("%d", Module.computeFpgaCount()),
+              formatString("%.1f", Module.peakGflops() / 1000.0),
+              formatString("%dU", Config->HeightU)});
+  }
+  std::printf("%s", T.render().c_str());
+  return 0;
+}
+
+int cmdSolve(const ArgList &Args) {
+  Expected<ModuleConfig> Config =
+      Args.has("config")
+          ? core::loadModuleConfigFile(Args.getString("config", ""))
+      : Args.positional().empty()
+          ? Expected<ModuleConfig>::error(
+                "usage: skatsim solve <design>|--config FILE [--flags]")
+          : designByName(Args.positional()[0]);
+  if (!Config) {
+    std::fprintf(stderr, "error: %s\n", Config.message().c_str());
+    return 2;
+  }
+  ExternalConditions Conditions = core::makeNominalConditions();
+  Conditions.AmbientAirTempC = Args.getDouble("ambient", 25.0);
+  Conditions.WaterInletTempC = Args.getDouble("water", 18.0);
+  Conditions.WaterFlowM3PerS = units::litersPerMinuteToM3PerS(
+      Args.getDouble("water-lpm", 18.0));
+  fpga::WorkloadPoint Load = Config->Load;
+  Load.Utilization = Args.getDouble("util", Load.Utilization);
+  Load.ClockFraction = Args.getDouble("clock", Load.ClockFraction);
+
+  ComputationalModule Module(*Config);
+  Expected<ModuleThermalReport> Report =
+      Module.solveSteadyState(Conditions, Load);
+  if (!Report) {
+    std::fprintf(stderr, "solve failed: %s\n", Report.message().c_str());
+    return 1;
+  }
+  std::printf("%s (%s)\n\n", Config->Name.c_str(),
+              coolingKindName(Config->Cooling));
+  Table T({"quantity", "value"});
+  T.addRow({"max junction", formatString("%.1f C",
+                                         Report->MaxJunctionTempC)});
+  T.addRow({"mean junction", formatString("%.1f C",
+                                          Report->MeanJunctionTempC)});
+  T.addRow({"coolant out / in",
+            formatString("%.1f / %.1f C", Report->CoolantHotTempC,
+                         Report->CoolantColdTempC)});
+  T.addRow({"IT power", formatString("%.0f W", Report->ItPowerW)});
+  T.addRow({"total heat", formatString("%.0f W", Report->TotalHeatW)});
+  T.addRow({"coolant flow",
+            formatString("%.1f l/min",
+                         units::m3PerSToLitersPerMinute(
+                             Report->CoolantFlowM3PerS))});
+  T.addRow({"per-FPGA power",
+            Report->Fpgas.empty()
+                ? "-"
+                : formatString("%.1f W", Report->Fpgas.front().PowerW)});
+  T.addRow({"in long-life band",
+            Report->WithinReliableLimit ? "yes" : "NO"});
+  std::printf("%s", T.render().c_str());
+  for (const std::string &Warning : Report->Warnings)
+    std::printf("warning: %s\n", Warning.c_str());
+  return 0;
+}
+
+int cmdRack(const ArgList &Args) {
+  RackConfig Config = Args.has("skat-plus") ? core::makeSkatPlusRack()
+                                            : core::makeSkatRack();
+  Rack TheRack(Config);
+  std::optional<int> Isolated;
+  if (Args.has("isolate"))
+    Isolated = Args.getInt("isolate", 0) - 1; // 1-based on the CLI.
+  Expected<RackReport> Report =
+      TheRack.solveSteadyState(Args.getDouble("ambient", 25.0), Isolated);
+  if (!Report) {
+    std::fprintf(stderr, "rack solve failed: %s\n",
+                 Report.message().c_str());
+    return 1;
+  }
+  std::printf("%s: %.3f PFLOPS, IT %.1f kW, PUE %.3f, max Tj %.1f C, "
+              "imbalance %.2f%%\n",
+              Config.Name.c_str(), TheRack.peakPflops(),
+              Report->TotalItPowerW / 1000.0, Report->Pue,
+              Report->MaxJunctionTempC,
+              Report->Balance.ImbalanceFraction * 100.0);
+  Table T({"module", "water (l/min)", "max Tj (C)", "state"});
+  for (size_t I = 0; I != Report->Modules.size(); ++I) {
+    bool Down = Report->Modules[I].TotalHeatW == 0.0;
+    T.addRow({formatString("CM %zu", I + 1),
+              formatString("%.1f", units::m3PerSToLitersPerMinute(
+                                       Report->LoopFlowsM3PerS[I])),
+              Down ? "-"
+                   : formatString("%.1f",
+                                  Report->Modules[I].MaxJunctionTempC),
+              Down ? "isolated" : "running"});
+  }
+  std::printf("%s", T.render().c_str());
+  for (const std::string &Warning : Report->Warnings)
+    std::printf("warning: %s\n", Warning.c_str());
+  return 0;
+}
+
+int cmdTransient(const ArgList &Args) {
+  if (Args.positional().empty()) {
+    std::fprintf(stderr, "usage: skatsim transient <design> [--flags]\n");
+    return 2;
+  }
+  Expected<ModuleConfig> Config = designByName(Args.positional()[0]);
+  if (!Config) {
+    std::fprintf(stderr, "error: %s\n", Config.message().c_str());
+    return 2;
+  }
+  if (Config->Cooling != CoolingKind::Immersion) {
+    std::fprintf(stderr,
+                 "error: the transient simulator models immersion designs\n");
+    return 2;
+  }
+  double Hours = Args.getDouble("hours", 4.0);
+  sim::TransientSimulator Simulator(*Config, core::makeNominalConditions());
+  if (Args.has("pump-fail-h"))
+    Simulator.schedulePumpSpeed(Args.getDouble("pump-fail-h", 1.0) * 3600.0,
+                                0.0);
+  Expected<std::vector<sim::TraceSample>> Trace =
+      Simulator.run(Hours * 3600.0);
+  if (!Trace) {
+    std::fprintf(stderr, "simulation failed: %s\n",
+                 Trace.message().c_str());
+    return 1;
+  }
+  std::string CsvPath = Args.getString("csv", "");
+  if (!CsvPath.empty()) {
+    CsvWriter Csv({"time_s", "junction_C", "oil_C", "power_W", "alarm"});
+    for (const sim::TraceSample &Sample : *Trace)
+      Csv.addRow({formatString("%.0f", Sample.TimeS),
+                  formatString("%.2f", Sample.MaxJunctionTempC),
+                  formatString("%.2f", Sample.OilTempC),
+                  formatString("%.0f", Sample.TotalPowerW),
+                  alarmLevelName(Sample.Alarm)});
+    Status Saved = Csv.writeFile(CsvPath);
+    if (!Saved.isOk()) {
+      std::fprintf(stderr, "csv: %s\n", Saved.message().c_str());
+      return 1;
+    }
+    std::printf("wrote %zu samples to %s\n", Trace->size(),
+                CsvPath.c_str());
+  }
+  const sim::TraceSample &Last = Trace->back();
+  std::printf("t=%.1fh junction %.1f C, oil %.1f C, power %.1f kW, "
+              "alarm %s%s\n",
+              Last.TimeS / 3600.0, Last.MaxJunctionTempC, Last.OilTempC,
+              Last.TotalPowerW / 1000.0, alarmLevelName(Last.Alarm),
+              Last.ShutDown ? " (shut down)" : "");
+  return 0;
+}
+
+int cmdSetpoint(const ArgList &Args) {
+  if (Args.positional().empty()) {
+    std::fprintf(stderr, "usage: skatsim setpoint <design> [--limit C]\n");
+    return 2;
+  }
+  Expected<ModuleConfig> Config = designByName(Args.positional()[0]);
+  if (!Config) {
+    std::fprintf(stderr, "error: %s\n", Config.message().c_str());
+    return 2;
+  }
+  double Limit = Args.getDouble("limit", 55.0);
+  Expected<double> Setpoint = core::maxWaterSetpointForJunctionLimit(
+      *Config, core::makeNominalConditions(), Limit);
+  if (!Setpoint) {
+    std::fprintf(stderr, "search failed: %s\n", Setpoint.message().c_str());
+    return 1;
+  }
+  std::printf("warmest chilled-water setpoint holding Tj <= %.1f C: "
+              "%.1f C\n",
+              Limit, *Setpoint);
+  return 0;
+}
+
+void printUsage() {
+  std::fprintf(
+      stderr,
+      "skatsim - immersion-cooled RCS simulator\n"
+      "usage:\n"
+      "  skatsim list\n"
+      "  skatsim solve <design>|--config FILE [--ambient C] [--water C]"
+      " [--water-lpm L] [--util U] [--clock F]\n"
+      "  skatsim rack [--ambient C] [--isolate N] [--skat-plus]\n"
+      "  skatsim transient <design> [--hours H] [--pump-fail-h T]"
+      " [--csv FILE]\n"
+      "  skatsim setpoint <design> [--limit C]\n");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2) {
+    printUsage();
+    return 2;
+  }
+  std::string Command = Argv[1];
+  ArgList Args(Argc, Argv, 2);
+  if (Command == "list")
+    return cmdList();
+  if (Command == "solve")
+    return cmdSolve(Args);
+  if (Command == "rack")
+    return cmdRack(Args);
+  if (Command == "transient")
+    return cmdTransient(Args);
+  if (Command == "setpoint")
+    return cmdSetpoint(Args);
+  printUsage();
+  return 2;
+}
