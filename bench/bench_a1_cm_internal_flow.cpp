@@ -19,6 +19,7 @@
 #include "hydraulics/InternalLoop.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
+#include "telemetry/Bench.h"
 #include "thermal/Stackup.h"
 
 #include <cmath>
@@ -28,6 +29,7 @@ using namespace rcs;
 using namespace rcs::hydraulics;
 
 int main() {
+  telemetry::BenchReport Bench("a1_cm_internal_flow");
   auto Oil = fluids::makeEngineeredDielectric();
 
   // --- Per-board flow distribution ----------------------------------------
@@ -90,5 +92,13 @@ int main() {
   std::printf("Shape check (SKAT plena balance boards; starved boards "
               "build gradients): %s\n",
               Ok ? "PASS" : "FAIL");
+  Bench.addMetric("skat_board_imbalance_fraction",
+                  SkatFlows->Balance.ImbalanceFraction);
+  Bench.addMetric("narrow_board_imbalance_fraction",
+                  NaiveFlows->Balance.ImbalanceFraction);
+  Bench.addMetric("wellfed_die_gradient_C", WellFed->DieGradientC);
+  Bench.addMetric("starved_die_gradient_C", StarvedResult->DieGradientC);
+  Bench.addMetric("energy_residual_W", WellFed->EnergyResidualW);
+  Bench.writeOrWarn(Ok);
   return Ok ? 0 : 1;
 }

@@ -18,6 +18,7 @@
 #include "support/StringUtils.h"
 #include "support/Table.h"
 #include "system/Economics.h"
+#include "telemetry/Bench.h"
 
 #include <cmath>
 #include <cstdio>
@@ -26,6 +27,7 @@ using namespace rcs;
 using namespace rcs::rcsystem;
 
 int main() {
+  telemetry::BenchReport Bench("a2_economics");
   const double HorizonYears = 5.0;
   ExternalConditions Conditions = core::makeNominalConditions();
 
@@ -115,5 +117,9 @@ int main() {
   bool Ok = Totals[2] < Totals[0] && Totals[2] < Totals[1];
   std::printf("Shape check (immersion lowest 5-year cost): %s\n",
               Ok ? "PASS" : "FAIL");
+  Bench.addMetric("air_total_usd", Totals[0]);
+  Bench.addMetric("coldplate_total_usd", Totals[1]);
+  Bench.addMetric("immersion_total_usd", Totals[2]);
+  Bench.writeOrWarn(Ok);
   return Ok ? 0 : 1;
 }

@@ -19,6 +19,7 @@
 #include "sim/Transient.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
+#include "telemetry/Bench.h"
 
 #include <cstdio>
 
@@ -49,6 +50,7 @@ double rideThroughMinutes(double OilVolumeM3, double LimitC) {
 } // namespace
 
 int main() {
+  telemetry::BenchReport Bench("a3_ride_through");
   std::printf("A3: ride-through after chilled-water loss (full 9.8 kW "
               "load kept running)\n\n");
 
@@ -96,5 +98,9 @@ int main() {
   std::printf("Shape check (minutes of ride-through, growing with oil "
               "inventory): %s\n",
               Ok ? "PASS" : "FAIL");
+  Bench.addMetric("ride_through_0p10m3_min", Minutes[0]);
+  Bench.addMetric("ride_through_0p20m3_min", Minutes[1]);
+  Bench.addMetric("ride_through_0p35m3_min", Minutes[2]);
+  Bench.writeOrWarn(Ok);
   return Ok ? 0 : 1;
 }

@@ -20,6 +20,7 @@
 #include "core/Uncertainty.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
+#include "telemetry/Bench.h"
 
 #include <cstdio>
 
@@ -27,6 +28,7 @@ using namespace rcs;
 using namespace rcs::core;
 
 int main() {
+  telemetry::BenchReport Bench("a4_tolerance");
   const int Samples = 400;
   ToleranceSpec Tolerances;
   rcsystem::ExternalConditions Conditions = makeNominalConditions();
@@ -82,5 +84,13 @@ int main() {
   std::printf("Shape check (SKAT robust, naive SKAT+ structurally out of "
               "envelope): %s\n",
               Ok ? "PASS" : "FAIL");
+  Bench.addMetric("skat_p95_tj_C", Results[0].P95MaxJunctionC);
+  Bench.addMetric("skat_over_junction_fraction",
+                  Results[0].FractionOverJunctionLimit);
+  Bench.addMetric("skatplus_over_junction_fraction",
+                  Results[1].FractionOverJunctionLimit);
+  Bench.addMetric("naive_over_coolant_fraction",
+                  Results[2].FractionOverCoolantLimit);
+  Bench.writeOrWarn(Ok);
   return Ok ? 0 : 1;
 }

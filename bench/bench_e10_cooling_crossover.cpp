@@ -18,6 +18,7 @@
 #include "sim/MonteCarlo.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
+#include "telemetry/Bench.h"
 
 #include <cstdio>
 
@@ -25,6 +26,7 @@ using namespace rcs;
 using namespace rcs::rcsystem;
 
 int main() {
+  telemetry::BenchReport Bench("e10_cooling_crossover");
   ExternalConditions Conditions = core::makeNominalConditions();
 
   // --- Crossover sweep: scale per-chip dynamic power ----------------------
@@ -108,5 +110,12 @@ int main() {
               "power range, immersion never does, immersion wins "
               "availability): %s\n",
               Ok ? "PASS" : "FAIL");
+  Bench.addMetric("air_crossover_W", AirCrossoverW);
+  Bench.addMetric("immersion_tj_at_130pct_clock_C", LastImmersionTj);
+  Bench.addMetric("air_downtime_h_per_year",
+                  AirAvail.ModuleDowntimeHoursPerYear);
+  Bench.addMetric("immersion_downtime_h_per_year",
+                  ImmersionAvail.ModuleDowntimeHoursPerYear);
+  Bench.writeOrWarn(Ok);
   return Ok ? 0 : 1;
 }

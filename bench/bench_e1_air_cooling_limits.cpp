@@ -16,6 +16,7 @@
 #include "core/Designs.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
+#include "telemetry/Bench.h"
 
 #include <cmath>
 #include <cstdio>
@@ -27,6 +28,7 @@ namespace {
 
 struct AnchorRow {
   const char *Label;
+  const char *Key;
   ModuleConfig Config;
   double PaperOverheatC;
   double PaperPowerW;
@@ -35,12 +37,15 @@ struct AnchorRow {
 } // namespace
 
 int main() {
+  telemetry::BenchReport Bench("e1_air_cooling_limits");
   ExternalConditions Conditions = core::makeNominalConditions();
   const double Ambient = Conditions.AmbientAirTempC;
 
   AnchorRow Rows[] = {
-      {"Rigel-2 (8x32 Virtex-6)", core::makeRigel2Module(), 33.1, 1255.0},
-      {"Taygeta (8x32 Virtex-7)", core::makeTaygetaModule(), 47.9, 1661.0},
+      {"Rigel-2 (8x32 Virtex-6)", "rigel2", core::makeRigel2Module(), 33.1,
+       1255.0},
+      {"Taygeta (8x32 Virtex-7)", "taygeta", core::makeTaygetaModule(),
+       47.9, 1661.0},
   };
 
   std::printf("E1/E2: air-cooled CM thermal limits (paper Section 1)\n");
@@ -69,11 +74,14 @@ int main() {
               Report->WithinReliableLimit ? "yes" : "NO"});
     Ok = Ok && std::fabs(Overheat - Row.PaperOverheatC) < 2.0 &&
          std::fabs(Power - Row.PaperPowerW) < 60.0;
+    Bench.addMetric(formatString("%s_overheat_C", Row.Key), Overheat);
+    Bench.addMetric(formatString("%s_power_W", Row.Key), Power);
   }
   std::printf("%s\n", T.render().c_str());
   std::printf("Shape check (overheat within 2 C, power within 60 W): %s\n",
               Ok ? "PASS" : "FAIL");
   std::printf("Conclusion reproduced: Taygeta exceeds the reliable band on "
               "air; a 25 C room is no longer enough.\n");
+  Bench.writeOrWarn(Ok);
   return Ok ? 0 : 1;
 }

@@ -16,6 +16,7 @@
 #include "fpga/PowerModel.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
+#include "telemetry/Bench.h"
 
 #include <cstdio>
 
@@ -23,6 +24,7 @@ using namespace rcs;
 using namespace rcs::rcsystem;
 
 int main() {
+  telemetry::BenchReport Bench("e3_family_scaling");
   ExternalConditions Conditions = core::makeNominalConditions();
 
   struct GenerationRow {
@@ -74,5 +76,9 @@ int main() {
   std::printf("Shape check (steps in the paper's bands, UltraScale-on-air "
               "in the 80..85 C range): %s\n",
               Ok ? "PASS" : "FAIL");
+  Bench.addMetric("virtex7_step_C", Steps[1]);
+  Bench.addMetric("ultrascale_step_C", Steps[2]);
+  Bench.addMetric("ultrascale_max_tj_C", Previous);
+  Bench.writeOrWarn(Ok);
   return Ok ? 0 : 1;
 }

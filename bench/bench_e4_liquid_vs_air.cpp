@@ -18,6 +18,7 @@
 #include "fluids/FluidComparison.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
+#include "telemetry/Bench.h"
 
 #include <cstdio>
 #include <memory>
@@ -27,6 +28,7 @@ using namespace rcs;
 using namespace rcs::fluids;
 
 int main() {
+  telemetry::BenchReport Bench("e4_liquid_vs_air");
   auto Air = makeAir();
   auto Water = makeWater();
   auto Glycol = makeGlycolSolution(0.3);
@@ -112,5 +114,11 @@ int main() {
   std::printf("Shape check (ratios and flow budgets in the paper's bands): "
               "%s\n",
               Ok ? "PASS" : "FAIL");
+  Bench.addMetric("capacity_ratio_min", MinRatio);
+  Bench.addMetric("capacity_ratio_max", MaxRatio);
+  Bench.addMetric("oil_heat_flow_ratio_at_0p5ms", RatioAtHalf);
+  Bench.addMetric("air_flow_m3_per_min", AirFlow * 60.0);
+  Bench.addMetric("water_flow_ml_per_min", WaterFlow * 6.0e7);
+  Bench.writeOrWarn(Ok);
   return Ok ? 0 : 1;
 }

@@ -18,6 +18,7 @@
 #include "core/Designs.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
+#include "telemetry/Bench.h"
 
 #include <cmath>
 #include <cstdio>
@@ -42,6 +43,7 @@ ModuleThermalReport mustSolve(const ModuleConfig &Config) {
 } // namespace
 
 int main() {
+  telemetry::BenchReport Bench("e5_skat_thermal");
   std::printf("E5: SKAT immersion CM operating point (paper Section 3)\n\n");
 
   ModuleThermalReport Skat = mustSolve(core::makeSkatModule());
@@ -120,5 +122,11 @@ int main() {
             std::fabs(Skat.FpgaHeatW - 8736.0) < 250.0;
   std::printf("Shape check (paper's measured envelope reproduced): %s\n",
               Ok ? "PASS" : "FAIL");
+  Bench.addMetric("per_fpga_power_W", Skat.Fpgas.front().PowerW);
+  Bench.addMetric("cm_fpga_heat_W", Skat.FpgaHeatW);
+  Bench.addMetric("coolant_hot_C", Skat.CoolantHotTempC);
+  Bench.addMetric("max_junction_C", Skat.MaxJunctionTempC);
+  Bench.addMetric("series_oil_gradient_C", Spread);
+  Bench.writeOrWarn(Ok);
   return Ok ? 0 : 1;
 }

@@ -16,6 +16,7 @@
 #include "metrics/Metrics.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
+#include "telemetry/Bench.h"
 
 #include <cmath>
 #include <cstdio>
@@ -24,6 +25,7 @@ using namespace rcs;
 using namespace rcs::rcsystem;
 
 int main() {
+  telemetry::BenchReport Bench("e6_generation_gains");
   ExternalConditions Conditions = core::makeNominalConditions();
 
   struct Entry {
@@ -80,5 +82,12 @@ int main() {
             std::fabs(PlusGain.PerformanceRatio - 3.0) < 0.1;
   std::printf("Shape check (8.7x performance, >3x packing, 3x SKAT+): %s\n",
               Ok ? "PASS" : "FAIL");
+  Bench.addMetric("skat_vs_taygeta_performance_ratio",
+                  Gain.PerformanceRatio);
+  Bench.addMetric("skat_vs_taygeta_packing_ratio",
+                  Gain.PackingDensityRatio);
+  Bench.addMetric("skatplus_vs_skat_performance_ratio",
+                  PlusGain.PerformanceRatio);
+  Bench.writeOrWarn(Ok);
   return Ok ? 0 : 1;
 }

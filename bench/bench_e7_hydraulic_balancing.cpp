@@ -19,6 +19,7 @@
 #include "hydraulics/Manifold.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
+#include "telemetry/Bench.h"
 
 #include <cmath>
 #include <cstdio>
@@ -45,6 +46,7 @@ std::vector<double> solveLoops(RackHydraulics &Rack) {
 } // namespace
 
 int main() {
+  telemetry::BenchReport Bench("e7_hydraulic_balancing");
   std::printf("E7: manifold hydraulic balancing (paper Fig. 5, "
               "Section 4)\n\n");
 
@@ -141,5 +143,14 @@ int main() {
   std::printf("Shape check (reverse-return self-balances, direct-return "
               "does not, failure redistributes evenly): %s\n",
               Ok ? "PASS" : "FAIL");
+  Bench.addMetric("direct_imbalance_fraction",
+                  DirectStats.ImbalanceFraction);
+  Bench.addMetric("reverse_imbalance_fraction",
+                  ReverseStats.ImbalanceFraction);
+  Bench.addMetric("post_failure_imbalance_fraction",
+                  AfterStats.ImbalanceFraction);
+  Bench.addMetric("twelve_loop_imbalance_fraction",
+                  TwelveStats.ImbalanceFraction);
+  Bench.writeOrWarn(Ok);
   return Ok ? 0 : 1;
 }

@@ -19,6 +19,7 @@
 #include "support/StringUtils.h"
 #include "support/Table.h"
 #include "system/Board.h"
+#include "telemetry/Bench.h"
 
 #include <cstdio>
 
@@ -42,6 +43,7 @@ ModuleThermalReport mustSolve(const ModuleConfig &Config) {
 } // namespace
 
 int main() {
+  telemetry::BenchReport Bench("e8_skatplus_projection");
   std::printf("E8: SKAT+ projection with UltraScale+ FPGAs (paper "
               "Section 4)\n\n");
 
@@ -101,5 +103,10 @@ int main() {
   std::printf("Shape check (fit constraint, naive envelope exit, modified "
               "margin, future reserve): %s\n",
               Ok ? "PASS" : "FAIL");
+  Bench.addMetric("naive_max_tj_C", Naive.MaxJunctionTempC);
+  Bench.addMetric("naive_coolant_hot_C", Naive.CoolantHotTempC);
+  Bench.addMetric("modified_max_tj_C", Modified.MaxJunctionTempC);
+  Bench.addMetric("future_max_tj_C", FutureReport.MaxJunctionTempC);
+  Bench.writeOrWarn(Ok);
   return Ok ? 0 : 1;
 }

@@ -15,6 +15,7 @@
 #include "core/Designs.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
+#include "telemetry/Bench.h"
 
 #include <cstdio>
 
@@ -22,6 +23,7 @@ using namespace rcs;
 using namespace rcs::rcsystem;
 
 int main() {
+  telemetry::BenchReport Bench("e9_rack_performance");
   std::printf("E9: 47U rack of SKAT modules (paper Section 5)\n\n");
 
   Rack SkatRack(core::makeSkatRack());
@@ -72,5 +74,11 @@ int main() {
   std::printf("Shape check (>= 12 CMs, > 1 PFlops, SKAT envelope, balanced "
               "loops): %s\n",
               Ok ? "PASS" : "FAIL");
+  Bench.addMetric("rack_peak_pflops", SkatRack.peakPflops());
+  Bench.addMetric("rack_max_tj_C", Report->MaxJunctionTempC);
+  Bench.addMetric("rack_pue", Report->Pue);
+  Bench.addMetric("loop_imbalance_fraction",
+                  Report->Balance.ImbalanceFraction);
+  Bench.writeOrWarn(Ok);
   return Ok ? 0 : 1;
 }

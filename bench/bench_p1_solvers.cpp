@@ -16,6 +16,8 @@
 #include "fluids/Fluid.h"
 #include "hydraulics/Manifold.h"
 #include "sim/Transient.h"
+#include "telemetry/Bench.h"
+#include "telemetry/Telemetry.h"
 #include "thermal/Network.h"
 
 #include <benchmark/benchmark.h>
@@ -113,4 +115,36 @@ static void BM_TransientSimMinute(benchmark::State &State) {
 }
 BENCHMARK(BM_TransientSimMinute);
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN(), plus a BENCH_p1_solvers.json summary carrying the
+// run's wall time and the telemetry counter snapshot (Newton iterations,
+// bracketing searches, thermal solves) accumulated across all benchmarks.
+int main(int Argc, char **Argv) {
+  telemetry::BenchReport Bench("p1_solvers");
+  benchmark::Initialize(&Argc, Argv);
+  if (benchmark::ReportUnrecognizedArguments(Argc, Argv))
+    return 1;
+  size_t NumRun = benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  telemetry::Registry &Telemetry = telemetry::Registry::global();
+  Bench.addMetric("benchmarks_run", static_cast<long long>(NumRun));
+  Bench.addMetric(
+      "newton_iterations",
+      static_cast<long long>(
+          Telemetry.counter("hydraulics.newton.iterations").value()));
+  Bench.addMetric(
+      "edge_inversion_searches",
+      static_cast<long long>(
+          Telemetry.counter("hydraulics.edge_inversion.searches").value()));
+  Bench.addMetric(
+      "thermal_steady_solves",
+      static_cast<long long>(
+          Telemetry.counter("thermal.network.steady_solves").value()));
+  Bench.addMetric(
+      "thermal_transient_steps",
+      static_cast<long long>(
+          Telemetry.counter("thermal.network.transient_steps").value()));
+  bool Ok = NumRun > 0;
+  Bench.writeOrWarn(Ok);
+  return Ok ? 0 : 1;
+}

@@ -6,6 +6,8 @@
 
 #include "hydraulics/Balancing.h"
 
+#include "telemetry/Telemetry.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -18,6 +20,14 @@ rcs::hydraulics::trimBalancingValves(RackHydraulics &Rack,
                                      const fluids::Fluid &F, double TempC,
                                      TrimOptions Options) {
   assert(!Rack.LoopEdges.empty() && "rack has no loops to balance");
+  telemetry::Registry &Telemetry = telemetry::Registry::global();
+  static telemetry::Counter &RunCount =
+      Telemetry.counter("hydraulics.balancing.runs");
+  static telemetry::Counter &TrimIterations =
+      Telemetry.counter("hydraulics.balancing.iterations");
+  telemetry::ScopedTimer Timer(Telemetry, "hydraulics.balancing.trim");
+  RunCount.add();
+
   TrimResult Result;
   const size_t NumLoops = Rack.LoopEdges.size();
   Result.ValveOpenings.assign(NumLoops, 1.0);
@@ -42,10 +52,17 @@ rcs::hydraulics::trimBalancingValves(RackHydraulics &Rack,
     FlowBalanceStats Stats = computeFlowBalance(*Flows);
     Result.FinalImbalance = Stats.ImbalanceFraction;
     Result.Iterations = Iter;
+    if (Telemetry.tracingEnabled())
+      Telemetry.emitEvent("hydraulics.balancing.iteration",
+                          {{"iteration", Iter},
+                           {"imbalance_fraction", Stats.ImbalanceFraction},
+                           {"min_flow_m3s", Stats.MinFlowM3PerS},
+                           {"mean_flow_m3s", Stats.MeanFlowM3PerS}});
     if (Stats.ImbalanceFraction <= Options.TargetImbalance) {
       Result.Converged = true;
       break;
     }
+    TrimIterations.add();
 
     // Proportional trim: throttle every loop toward the minimum flow.
     double MinFlow = Stats.MinFlowM3PerS;

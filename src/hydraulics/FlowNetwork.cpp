@@ -7,6 +7,7 @@
 #include "hydraulics/FlowNetwork.h"
 
 #include "support/Numerics.h"
+#include "telemetry/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
@@ -141,10 +142,28 @@ Expected<FlowSolution> FlowNetwork::solve(const fluids::Fluid &F,
                                           double TempC,
                                           double FlowScaleM3PerS) const {
   assert(FlowScaleM3PerS > 0 && "flow scale must be positive");
+  telemetry::Registry &Telemetry = telemetry::Registry::global();
+  static telemetry::Counter &SolveCount =
+      Telemetry.counter("hydraulics.flow.solves");
+  static telemetry::Counter &FailureCount =
+      Telemetry.counter("hydraulics.flow.failures");
+  static telemetry::Counter &IterationCount =
+      Telemetry.counter("hydraulics.newton.iterations");
+  static telemetry::Counter &InversionCount =
+      Telemetry.counter("hydraulics.edge_inversion.searches");
+  static telemetry::Counter &RetryCount =
+      Telemetry.counter("hydraulics.newton.jacobian_retries");
+  static telemetry::Histogram &IterationHistogram =
+      Telemetry.histogram("hydraulics.newton.iterations_per_solve");
+  telemetry::ScopedTimer Timer(Telemetry, "hydraulics.flow.solve");
+  SolveCount.add();
+
   const size_t NumJ = PImpl->Junctions.size();
   const size_t NumE = PImpl->Edges.size();
-  if (NumJ == 0 || NumE == 0)
+  if (NumJ == 0 || NumE == 0) {
+    FailureCount.add();
     return Expected<FlowSolution>::error("empty hydraulic network");
+  }
 
   // Unknowns: pressures at all junctions except the reference.
   std::vector<size_t> UnknownIndex(NumJ, SIZE_MAX);
@@ -161,12 +180,16 @@ Expected<FlowSolution> FlowNetwork::solve(const fluids::Fluid &F,
     return P;
   };
 
+  // Bracketing root searches performed, accumulated locally and folded
+  // into the counter once — the per-search cost must stay untouched.
+  uint64_t InversionSearches = 0;
   auto edgeFlows = [&](const std::vector<double> &P) {
     std::vector<double> Q(NumE, 0.0);
     for (size_t E = 0; E != NumE; ++E) {
       double Drop = P[PImpl->Edges[E].From] - P[PImpl->Edges[E].To];
       Q[E] = PImpl->invertEdge(E, Drop, F, TempC, FlowScaleM3PerS);
     }
+    InversionSearches += NumE;
     return Q;
   };
 
@@ -188,6 +211,20 @@ Expected<FlowSolution> FlowNetwork::solve(const fluids::Fluid &F,
   NewtonOptions Options;
   Options.ResidualTolerance = std::max(1e-10, 1e-6 * FlowScaleM3PerS);
   Options.MaxIterations = 200;
+  // Per-iterate diagnostics: the residual history rides on the solution
+  // for offline convergence analysis, and each iterate becomes a trace
+  // event when a sink is attached.
+  std::vector<double> History;
+  Options.Observer = [&](const NewtonIterate &It) {
+    History.push_back(It.MaxAbsResidual);
+    if (Telemetry.tracingEnabled())
+      Telemetry.emitEvent(
+          "hydraulics.newton.iteration",
+          {{"iteration", It.Iteration},
+           {"max_continuity_m3s", It.MaxAbsResidual},
+           {"residual_norm_m3s", It.ResidualNorm},
+           {"damping", It.Damping}});
+  };
   // Fixed absolute pressure perturbations: large enough to clear the
   // edge-inversion noise floor, small enough that the secant matches the
   // local derivative even at high junction pressures. The right scale
@@ -195,23 +232,35 @@ Expected<FlowSolution> FlowNetwork::solve(const fluids::Fluid &F,
   // failed solve retries across a perturbation ladder.
   Options.JacobianRelative = false;
   NewtonResult Newton;
+  bool FirstAttempt = true;
   for (double Epsilon : {0.5, 5.0, 0.05, 50.0, 500.0}) {
+    if (!FirstAttempt)
+      RetryCount.add();
+    FirstAttempt = false;
+    History.clear();
     Options.JacobianEpsilon = Epsilon;
     Newton = solveNewtonSystem(residual,
                                std::vector<double>(NumUnknowns, 0.0),
                                Options);
+    IterationCount.add(static_cast<uint64_t>(Newton.Iterations));
     if (Newton.Converged)
       break;
   }
-  if (!Newton.Converged)
+  IterationHistogram.record(Newton.Iterations);
+  if (!Newton.Converged) {
+    InversionCount.add(InversionSearches);
+    FailureCount.add();
     return Expected<FlowSolution>::error(
         "hydraulic solve did not converge (residual " +
         std::to_string(Newton.ResidualNorm) + " m^3/s)");
+  }
 
   FlowSolution Solution;
   Solution.JunctionPressuresPa = pressuresFrom(Newton.Solution);
   Solution.EdgeFlowsM3PerS = edgeFlows(Solution.JunctionPressuresPa);
   Solution.NewtonIterations = Newton.Iterations;
+  Solution.ResidualHistory = std::move(History);
+  InversionCount.add(InversionSearches);
 
   std::vector<double> NetIn(NumJ, 0.0);
   for (size_t E = 0; E != NumE; ++E) {

@@ -45,6 +45,12 @@ struct FlowSolution {
   /// Worst junction continuity violation, m^3/s.
   double MaxContinuityErrorM3PerS = 0.0;
   int NewtonIterations = 0;
+  /// Worst junction continuity error (m^3/s) at each accepted Newton
+  /// iterate of the attempt that converged; entry 0 is the initial guess.
+  /// The damped line search only accepts residual-descending steps, so
+  /// the history is monotonically non-increasing — a stalled solve is
+  /// diagnosable here without any trace sink attached.
+  std::vector<double> ResidualHistory;
 };
 
 /// A hydraulic network of junctions and element-chain edges.

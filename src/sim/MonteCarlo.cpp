@@ -9,6 +9,8 @@
 #include "fpga/Reliability.h"
 #include "support/Random.h"
 
+#include "telemetry/Telemetry.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -22,6 +24,13 @@ rcs::sim::simulateAvailability(const AvailabilityConfig &Config) {
   const double HoursPerYear = 8766.0;
   const double Horizon = Config.HorizonYears * HoursPerYear;
 
+  telemetry::Registry &Telemetry = telemetry::Registry::global();
+  static telemetry::Counter &TrialCount =
+      Telemetry.counter("sim.montecarlo.trials");
+  static telemetry::Counter &FailureCount =
+      Telemetry.counter("sim.montecarlo.failures");
+  telemetry::ScopedTimer Timer(Telemetry, "sim.montecarlo.run");
+
   RandomEngine Rng(Config.Seed);
   AvailabilityReport Report;
   Report.PerComponentFailuresPerYear.assign(Config.Components.size(), 0.0);
@@ -29,6 +38,10 @@ rcs::sim::simulateAvailability(const AvailabilityConfig &Config) {
   double TotalFailures = 0.0;
   double TotalDowntime = 0.0;
   for (int Trial = 0; Trial != Config.NumTrials; ++Trial) {
+    // Per-trial tallies stay local: the inner renewal loop is the hot
+    // path, so telemetry folds in once per trial.
+    uint64_t TrialFailures = 0;
+    double TrialDowntime = 0.0;
     for (size_t C = 0; C != Config.Components.size(); ++C) {
       const ComponentSpec &Component = Config.Components[C];
       double Rate = 1.0 / Component.MtbfHours; // Failures per hour.
@@ -37,13 +50,23 @@ rcs::sim::simulateAvailability(const AvailabilityConfig &Config) {
         double Clock = Rng.exponential(Rate);
         while (Clock < Horizon) {
           TotalFailures += 1.0;
+          ++TrialFailures;
           Report.PerComponentFailuresPerYear[C] += 1.0;
-          if (Component.TakesDownModule)
+          if (Component.TakesDownModule) {
             TotalDowntime += Component.RepairHours;
+            TrialDowntime += Component.RepairHours;
+          }
           Clock += Component.RepairHours + Rng.exponential(Rate);
         }
       }
     }
+    TrialCount.add();
+    FailureCount.add(TrialFailures);
+    if (Telemetry.tracingEnabled())
+      Telemetry.emitEvent("sim.montecarlo.trial",
+                          {{"trial", Trial},
+                           {"failures", static_cast<long long>(TrialFailures)},
+                           {"downtime_h", TrialDowntime}});
   }
 
   double TrialYears = Config.NumTrials * Config.HorizonYears;

@@ -22,6 +22,8 @@
 #include "thermal/Interface.h"
 #include "thermal/Network.h"
 
+#include "telemetry/Telemetry.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -54,6 +56,18 @@ void RackTransientSimulator::scheduleWorkload(double TimeS,
 Expected<std::vector<RackTraceSample>>
 RackTransientSimulator::run(double DurationS) {
   assert(DurationS > 0 && "duration must be positive");
+  telemetry::Registry &Telemetry = telemetry::Registry::global();
+  static telemetry::Counter &RunCount =
+      Telemetry.counter("sim.rack_transient.runs");
+  static telemetry::Counter &StepCount =
+      Telemetry.counter("sim.rack_transient.steps");
+  static telemetry::Counter &TripCount =
+      Telemetry.counter("sim.rack_transient.protection_trips");
+  static telemetry::Counter &DroppedEvents =
+      Telemetry.counter("sim.rack_transient.dropped_events");
+  telemetry::ScopedTimer Timer(Telemetry, "sim.rack_transient.run");
+  RunCount.add();
+
   std::stable_sort(Events.begin(), Events.end(),
                    [](const Event &A, const Event &B) {
                      return A.TimeS < B.TimeS;
@@ -167,8 +181,15 @@ RackTransientSimulator::run(double DurationS) {
       MaxJunction = std::max(MaxJunction, ChipTemp[I]);
 
       if (Config.EnableProtection && !ShutDown[I] &&
-          ChipTemp[I] >= Config.ProtectionTripC)
+          ChipTemp[I] >= Config.ProtectionTripC) {
         ShutDown[I] = true;
+        TripCount.add();
+        if (Telemetry.tracingEnabled())
+          Telemetry.emitEvent("sim.rack_transient.protection_trip",
+                              {{"t_s", Time},
+                               {"module", I},
+                               {"junction_C", ChipTemp[I]}});
+      }
     }
 
     // Water loop update: module duties in, chiller extraction out.
@@ -179,6 +200,16 @@ RackTransientSimulator::run(double DurationS) {
                                   ChillerFraction * Rack.ChillerRatedDutyW);
     WaterTemp +=
         (TotalDuty - ChillerDuty) / WaterCapacitance * Config.TimeStepS;
+
+    StepCount.add();
+    if (Telemetry.tracingEnabled())
+      Telemetry.emitEvent("sim.rack_transient.step",
+                          {{"t_s", Time},
+                           {"water_C", WaterTemp},
+                           {"max_junction_C", MaxJunction},
+                           {"power_W", TotalPower},
+                           {"chiller_W", ChillerDuty},
+                           {"modules_down", DownCount}});
 
     if (Time >= NextSampleTime) {
       NextSampleTime += Config.SampleIntervalS;
@@ -195,6 +226,17 @@ RackTransientSimulator::run(double DurationS) {
       Sample.ModulesShutDown = DownCount;
       Trace.push_back(Sample);
     }
+  }
+
+  if (NextEvent < Events.size()) {
+    uint64_t Dropped = Events.size() - NextEvent;
+    DroppedEvents.add(Dropped);
+    if (Telemetry.tracingEnabled())
+      Telemetry.emitEvent(
+          "sim.rack_transient.dropped_events",
+          {{"count", static_cast<long long>(Dropped)},
+           {"first_scheduled_t_s", Events[NextEvent].TimeS},
+           {"duration_s", DurationS}});
   }
   return Trace;
 }

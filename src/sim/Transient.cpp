@@ -22,6 +22,8 @@
 #include "thermal/Interface.h"
 #include "thermal/Network.h"
 
+#include "telemetry/Telemetry.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -66,6 +68,18 @@ void TransientSimulator::scheduleWaterFlow(double TimeS,
 
 Expected<std::vector<TraceSample>> TransientSimulator::run(double DurationS) {
   assert(DurationS > 0 && "duration must be positive");
+  telemetry::Registry &Telemetry = telemetry::Registry::global();
+  static telemetry::Counter &RunCount =
+      Telemetry.counter("sim.transient.runs");
+  static telemetry::Counter &StepCount =
+      Telemetry.counter("sim.transient.steps");
+  static telemetry::Counter &ActionCount =
+      Telemetry.counter("sim.transient.control_actions");
+  static telemetry::Counter &DroppedEvents =
+      Telemetry.counter("sim.transient.dropped_events");
+  telemetry::ScopedTimer Timer(Telemetry, "sim.transient.run");
+  RunCount.add();
+
   std::stable_sort(Events.begin(), Events.end(),
                    [](const Event &A, const Event &B) {
                      return A.TimeS < B.TimeS;
@@ -209,6 +223,17 @@ Expected<std::vector<TraceSample>> TransientSimulator::run(double DurationS) {
     ChipTemp = State[Chips];
     OilTemp = State[Bath];
 
+    StepCount.add();
+    if (Telemetry.tracingEnabled())
+      Telemetry.emitEvent("sim.transient.step",
+                          {{"t_s", Time},
+                           {"junction_C", ChipTemp},
+                           {"oil_C", OilTemp},
+                           {"power_W", ChipHeat + MiscHeat},
+                           {"flow_m3s", Flow},
+                           {"pump_speed", PumpSpeed},
+                           {"clock_fraction", ClockScale}});
+
     // Control loop.
     if (Time >= NextControlTime) {
       NextControlTime += Config.ControlPeriodS;
@@ -216,6 +241,14 @@ Expected<std::vector<TraceSample>> TransientSimulator::run(double DurationS) {
           Controller.evaluateRaw(OilTemp, ChipTemp, Flow);
       LastAlarm = Monitor.Worst;
       LastAction = Monitor.Action;
+      if (Monitor.Action != ControlAction::None)
+        ActionCount.add();
+      if (Telemetry.tracingEnabled())
+        Telemetry.emitEvent("sim.transient.control",
+                            {{"t_s", Time},
+                             {"alarm", alarmLevelName(Monitor.Worst)},
+                             {"action", controlActionName(Monitor.Action)},
+                             {"shut_down", ShutDown}});
       if (Config.ApplyControlActions && !ShutDown) {
         switch (Monitor.Action) {
         case ControlAction::None:
@@ -250,6 +283,19 @@ Expected<std::vector<TraceSample>> TransientSimulator::run(double DurationS) {
       Sample.ShutDown = ShutDown;
       Trace.push_back(Sample);
     }
+  }
+
+  // Events scheduled past the horizon never fired. Surface the miss as a
+  // warning counter (and a trace event) instead of dropping it silently.
+  if (NextEvent < Events.size()) {
+    uint64_t Dropped = Events.size() - NextEvent;
+    DroppedEvents.add(Dropped);
+    if (Telemetry.tracingEnabled())
+      Telemetry.emitEvent(
+          "sim.transient.dropped_events",
+          {{"count", static_cast<long long>(Dropped)},
+           {"first_scheduled_t_s", Events[NextEvent].TimeS},
+           {"duration_s", DurationS}});
   }
   return Trace;
 }

@@ -222,6 +222,8 @@ NewtonResult rcs::solveNewtonSystem(
   std::vector<double> Fx = F(X);
   assert(Fx.size() == N && "residual dimension must match unknowns");
   double Norm = vectorNorm(Fx);
+  if (Options.Observer)
+    Options.Observer({0, Norm, vectorMaxAbs(Fx), 0.0});
 
   for (int Iter = 0; Iter != Options.MaxIterations; ++Iter) {
     if (Norm < Options.ResidualTolerance) {
@@ -270,6 +272,9 @@ NewtonResult rcs::solveNewtonSystem(
     ++Result.Iterations;
     if (!Accepted)
       break;
+    if (Options.Observer)
+      Options.Observer({Result.Iterations, Norm, vectorMaxAbs(Fx),
+                        Lambda});
     if (Lambda * vectorMaxAbs(*Step) < Options.StepTolerance) {
       Result.Converged = Norm < 1e3 * Options.ResidualTolerance;
       break;

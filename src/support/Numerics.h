@@ -96,6 +96,19 @@ struct NewtonResult {
   bool Converged = false;
 };
 
+/// One reported iterate of solveNewtonSystem (see NewtonOptions::Observer).
+struct NewtonIterate {
+  /// 0 for the initial point, then 1.. for each accepted Newton step.
+  int Iteration = 0;
+  /// Euclidean norm of the residual at this iterate.
+  double ResidualNorm = 0.0;
+  /// Infinity norm of the residual at this iterate.
+  double MaxAbsResidual = 0.0;
+  /// Accepted line-search scale (1 = full Newton step; 0 at the initial
+  /// point, where no step has been taken).
+  double Damping = 0.0;
+};
+
 /// Options for solveNewtonSystem.
 struct NewtonOptions {
   double ResidualTolerance = 1e-9;
@@ -109,6 +122,10 @@ struct NewtonOptions {
   bool JacobianRelative = true;
   /// Maximum damping halvings per step.
   int MaxBacktracks = 30;
+  /// When set, called at the initial point and after every accepted
+  /// Newton step — the hook convergence diagnostics and telemetry hang
+  /// from. Must not mutate solver state.
+  std::function<void(const NewtonIterate &)> Observer;
 };
 
 /// Solves F(X) = 0 with damped Newton and a finite-difference Jacobian.

@@ -73,6 +73,12 @@ bool rcs::startsWith(const std::string &Text, const std::string &Prefix) {
          Text.compare(0, Prefix.size(), Prefix) == 0;
 }
 
+bool rcs::endsWith(const std::string &Text, const std::string &Suffix) {
+  return Text.size() >= Suffix.size() &&
+         Text.compare(Text.size() - Suffix.size(), Suffix.size(), Suffix) ==
+             0;
+}
+
 std::string rcs::toLower(std::string Text) {
   for (char &C : Text)
     C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));

@@ -39,6 +39,9 @@ std::string joinStrings(const std::vector<std::string> &Parts,
 /// Returns true if \p Text starts with \p Prefix.
 bool startsWith(const std::string &Text, const std::string &Prefix);
 
+/// Returns true if \p Text ends with \p Suffix.
+bool endsWith(const std::string &Text, const std::string &Suffix);
+
 /// Lower-cases ASCII letters in \p Text.
 std::string toLower(std::string Text);
 

@@ -1,0 +1,75 @@
+//===- telemetry/Bench.cpp - Machine-readable bench summaries -----------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/Bench.h"
+
+#include "telemetry/Json.h"
+#include "telemetry/Telemetry.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace rcs;
+using namespace rcs::telemetry;
+
+BenchReport::BenchReport(std::string Name)
+    : Name(std::move(Name)), Start(std::chrono::steady_clock::now()) {}
+
+void BenchReport::addMetric(std::string_view Key, double Value) {
+  Metrics.emplace_back(std::string(Key), jsonNumber(Value));
+}
+
+void BenchReport::addMetric(std::string_view Key, long long Value) {
+  Metrics.emplace_back(std::string(Key), std::to_string(Value));
+}
+
+void BenchReport::addMetric(std::string_view Key, bool Value) {
+  Metrics.emplace_back(std::string(Key), Value ? "true" : "false");
+}
+
+void BenchReport::addMetric(std::string_view Key, std::string_view Value) {
+  Metrics.emplace_back(std::string(Key), jsonQuote(Value));
+}
+
+std::string BenchReport::path() const {
+  const char *Dir = std::getenv("SKATSIM_BENCH_DIR");
+  std::string Prefix = Dir && *Dir ? std::string(Dir) + "/" : "";
+  return Prefix + "BENCH_" + Name + ".json";
+}
+
+Status BenchReport::write(bool Passed) const {
+  double WallS = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - Start)
+                     .count();
+  std::string Body = "{\n  \"bench\": " + jsonQuote(Name) +
+                     ",\n  \"passed\": " + (Passed ? "true" : "false") +
+                     ",\n  \"wall_time_s\": " + jsonNumber(WallS) +
+                     ",\n  \"metrics\": {";
+  bool First = true;
+  for (const auto &[Key, Rendered] : Metrics) {
+    Body += First ? "\n" : ",\n";
+    First = false;
+    Body += "    " + jsonQuote(Key) + ": " + Rendered;
+  }
+  Body += First ? "},\n" : "\n  },\n";
+  Body += "  \"telemetry\": " + Registry::global().metricsJson() + "}\n";
+
+  std::string Path = path();
+  std::FILE *Out = std::fopen(Path.c_str(), "w");
+  if (!Out)
+    return Status::error("cannot open bench report '" + Path + "'");
+  size_t Written = std::fwrite(Body.data(), 1, Body.size(), Out);
+  bool Ok = Written == Body.size() && std::fclose(Out) == 0;
+  if (!Ok)
+    return Status::error("short write to bench report '" + Path + "'");
+  return Status::ok();
+}
+
+void BenchReport::writeOrWarn(bool Passed) const {
+  Status S = write(Passed);
+  if (!S.isOk())
+    std::fprintf(stderr, "warning: %s\n", S.message().c_str());
+}

@@ -1,0 +1,69 @@
+//===- telemetry/Bench.h - Machine-readable bench summaries ----*- C++ -*-===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// BenchReport: every bench_* binary writes a BENCH_<name>.json summary
+/// (wall time, pass/fail, its key figures of merit, and a snapshot of the
+/// global telemetry metrics) alongside its human-readable stdout, so bench
+/// trajectories can be diffed across commits by tools instead of eyes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_TELEMETRY_BENCH_H
+#define RCS_TELEMETRY_BENCH_H
+
+#include "support/Status.h"
+
+#include <chrono>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rcs {
+namespace telemetry {
+
+/// Accumulates a bench run's figures of merit and writes them as JSON.
+///
+/// Construction starts the wall clock. write() renders
+///   {"bench": ..., "passed": ..., "wall_time_s": ...,
+///    "metrics": {...}, "telemetry": {...}}
+/// to BENCH_<name>.json in the working directory (override the directory
+/// with the SKATSIM_BENCH_DIR environment variable).
+class BenchReport {
+public:
+  explicit BenchReport(std::string Name);
+
+  /// Records one figure of merit; insertion order is preserved.
+  void addMetric(std::string_view Key, double Value);
+  void addMetric(std::string_view Key, long long Value);
+  void addMetric(std::string_view Key, int Value) {
+    addMetric(Key, static_cast<long long>(Value));
+  }
+  void addMetric(std::string_view Key, bool Value);
+  void addMetric(std::string_view Key, std::string_view Value);
+
+  /// Output path: <dir>/BENCH_<name>.json.
+  std::string path() const;
+
+  /// Stamps wall time and writes the summary file.
+  Status write(bool Passed) const;
+
+  /// Convenience: write() but failures only warn on stderr, so a bench's
+  /// exit code keeps reflecting its shape check alone.
+  void writeOrWarn(bool Passed) const;
+
+private:
+  std::string Name;
+  std::chrono::steady_clock::time_point Start;
+  /// Key and pre-rendered JSON value.
+  std::vector<std::pair<std::string, std::string>> Metrics;
+};
+
+} // namespace telemetry
+} // namespace rcs
+
+#endif // RCS_TELEMETRY_BENCH_H

@@ -1,0 +1,279 @@
+//===- telemetry/Json.cpp - Minimal JSON emission and validation -------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/Json.h"
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cmath>
+
+using namespace rcs;
+using namespace rcs::telemetry;
+
+std::string rcs::telemetry::jsonEscape(std::string_view Text) {
+  std::string Out;
+  Out.reserve(Text.size());
+  for (char C : Text) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        Out += formatString("\\u%04x", static_cast<unsigned>(C));
+      else
+        Out += C;
+    }
+  }
+  return Out;
+}
+
+std::string rcs::telemetry::jsonQuote(std::string_view Text) {
+  return "\"" + jsonEscape(Text) + "\"";
+}
+
+std::string rcs::telemetry::jsonNumber(double Value) {
+  if (!std::isfinite(Value))
+    return "null";
+  // %.17g round-trips doubles; trim to %.12g for readability, which is
+  // far beyond the physical precision of anything skatsim measures.
+  return formatString("%.12g", Value);
+}
+
+//===----------------------------------------------------------------------===//
+// Validation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Validating recursive-descent JSON parser over a string_view. Tracks a
+/// cursor; never materializes values.
+class JsonValidator {
+public:
+  explicit JsonValidator(std::string_view Text) : Text(Text) {}
+
+  Status validateDocument() {
+    skipWhitespace();
+    Status S = parseValue(0);
+    if (!S.isOk())
+      return S;
+    skipWhitespace();
+    if (Pos != Text.size())
+      return errorHere("trailing characters after JSON value");
+    return Status::ok();
+  }
+
+private:
+  static constexpr int MaxDepth = 64;
+
+  std::string_view Text;
+  size_t Pos = 0;
+
+  Status errorHere(const std::string &What) const {
+    return Status::error(What + " at offset " + std::to_string(Pos));
+  }
+
+  bool atEnd() const { return Pos >= Text.size(); }
+  char peek() const { return Text[Pos]; }
+
+  void skipWhitespace() {
+    while (!atEnd() && (Text[Pos] == ' ' || Text[Pos] == '\t' ||
+                        Text[Pos] == '\n' || Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    if (atEnd() || Text[Pos] != C)
+      return false;
+    ++Pos;
+    return true;
+  }
+
+  bool consumeLiteral(std::string_view Literal) {
+    if (Text.substr(Pos, Literal.size()) != Literal)
+      return false;
+    Pos += Literal.size();
+    return true;
+  }
+
+  Status parseValue(int Depth) {
+    if (Depth > MaxDepth)
+      return errorHere("JSON nesting too deep");
+    if (atEnd())
+      return errorHere("unexpected end of input");
+    char C = peek();
+    if (C == '{')
+      return parseObject(Depth);
+    if (C == '[')
+      return parseArray(Depth);
+    if (C == '"')
+      return parseString();
+    if (C == '-' || (C >= '0' && C <= '9'))
+      return parseNumber();
+    if (consumeLiteral("true") || consumeLiteral("false") ||
+        consumeLiteral("null"))
+      return Status::ok();
+    return errorHere("unexpected character");
+  }
+
+  Status parseObject(int Depth) {
+    consume('{');
+    skipWhitespace();
+    if (consume('}'))
+      return Status::ok();
+    while (true) {
+      skipWhitespace();
+      if (atEnd() || peek() != '"')
+        return errorHere("expected object key string");
+      Status Key = parseString();
+      if (!Key.isOk())
+        return Key;
+      skipWhitespace();
+      if (!consume(':'))
+        return errorHere("expected ':' after object key");
+      skipWhitespace();
+      Status Value = parseValue(Depth + 1);
+      if (!Value.isOk())
+        return Value;
+      skipWhitespace();
+      if (consume('}'))
+        return Status::ok();
+      if (!consume(','))
+        return errorHere("expected ',' or '}' in object");
+    }
+  }
+
+  Status parseArray(int Depth) {
+    consume('[');
+    skipWhitespace();
+    if (consume(']'))
+      return Status::ok();
+    while (true) {
+      skipWhitespace();
+      Status Value = parseValue(Depth + 1);
+      if (!Value.isOk())
+        return Value;
+      skipWhitespace();
+      if (consume(']'))
+        return Status::ok();
+      if (!consume(','))
+        return errorHere("expected ',' or ']' in array");
+    }
+  }
+
+  Status parseString() {
+    consume('"');
+    while (!atEnd()) {
+      char C = Text[Pos];
+      if (C == '"') {
+        ++Pos;
+        return Status::ok();
+      }
+      if (static_cast<unsigned char>(C) < 0x20)
+        return errorHere("unescaped control character in string");
+      if (C == '\\') {
+        ++Pos;
+        if (atEnd())
+          return errorHere("dangling escape at end of input");
+        char E = Text[Pos];
+        if (E == 'u') {
+          for (int I = 0; I != 4; ++I) {
+            ++Pos;
+            if (atEnd() || !std::isxdigit(static_cast<unsigned char>(
+                               Text[Pos])))
+              return errorHere("malformed \\u escape");
+          }
+        } else if (E != '"' && E != '\\' && E != '/' && E != 'b' &&
+                   E != 'f' && E != 'n' && E != 'r' && E != 't') {
+          return errorHere("invalid escape character");
+        }
+      }
+      ++Pos;
+    }
+    return errorHere("unterminated string");
+  }
+
+  Status parseNumber() {
+    consume('-');
+    if (atEnd() || peek() < '0' || peek() > '9')
+      return errorHere("malformed number");
+    if (!consume('0'))
+      while (!atEnd() && peek() >= '0' && peek() <= '9')
+        ++Pos;
+    if (consume('.')) {
+      if (atEnd() || peek() < '0' || peek() > '9')
+        return errorHere("malformed number fraction");
+      while (!atEnd() && peek() >= '0' && peek() <= '9')
+        ++Pos;
+    }
+    if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+      ++Pos;
+      if (!atEnd() && (peek() == '+' || peek() == '-'))
+        ++Pos;
+      if (atEnd() || peek() < '0' || peek() > '9')
+        return errorHere("malformed number exponent");
+      while (!atEnd() && peek() >= '0' && peek() <= '9')
+        ++Pos;
+    }
+    return Status::ok();
+  }
+};
+
+} // namespace
+
+Status rcs::telemetry::validateJson(std::string_view Text) {
+  return JsonValidator(Text).validateDocument();
+}
+
+Status rcs::telemetry::validateJsonLines(std::string_view Text,
+                                         size_t *NumLines) {
+  size_t Valid = 0;
+  size_t LineNo = 0;
+  size_t Start = 0;
+  while (Start <= Text.size()) {
+    size_t End = Text.find('\n', Start);
+    if (End == std::string_view::npos)
+      End = Text.size();
+    std::string_view Line = Text.substr(Start, End - Start);
+    ++LineNo;
+    bool Blank = true;
+    for (char C : Line)
+      if (C != ' ' && C != '\t' && C != '\r')
+        Blank = false;
+    if (!Blank) {
+      Status S = validateJson(Line);
+      if (!S.isOk())
+        return Status::error("line " + std::to_string(LineNo) + ": " +
+                             S.message());
+      ++Valid;
+    }
+    if (End == Text.size())
+      break;
+    Start = End + 1;
+  }
+  if (NumLines)
+    *NumLines = Valid;
+  return Status::ok();
+}

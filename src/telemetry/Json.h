@@ -1,0 +1,49 @@
+//===- telemetry/Json.h - Minimal JSON emission and validation -*- C++ -*-===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tiny JSON helpers shared by the telemetry sinks and the trace checker:
+/// string escaping, number rendering, and a validating (non-materializing)
+/// recursive-descent parser. skatsim emits and checks JSON; it never needs
+/// a DOM, so none is built.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_TELEMETRY_JSON_H
+#define RCS_TELEMETRY_JSON_H
+
+#include "support/Status.h"
+
+#include <string>
+#include <string_view>
+
+namespace rcs {
+namespace telemetry {
+
+/// Escapes \p Text for inclusion inside a JSON string literal (quotes not
+/// added): backslash, double quote, and control characters.
+std::string jsonEscape(std::string_view Text);
+
+/// Renders \p Text as a quoted, escaped JSON string literal.
+std::string jsonQuote(std::string_view Text);
+
+/// Renders a double as a JSON number. Non-finite values, which JSON cannot
+/// represent, render as null.
+std::string jsonNumber(double Value);
+
+/// Checks that \p Text is exactly one syntactically valid JSON value
+/// (surrounding whitespace allowed).
+Status validateJson(std::string_view Text);
+
+/// Checks JSON-Lines input: every non-empty line must be a valid JSON
+/// value. Returns the number of valid lines through \p NumLines when
+/// non-null.
+Status validateJsonLines(std::string_view Text, size_t *NumLines = nullptr);
+
+} // namespace telemetry
+} // namespace rcs
+
+#endif // RCS_TELEMETRY_JSON_H

@@ -1,0 +1,179 @@
+//===- telemetry/Sinks.cpp - JSONL and Chrome trace_event sinks ---------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// JSONL: one self-describing JSON object per line, grep/jq-friendly.
+/// Chrome: the trace_event JSON-array format, loadable in chrome://tracing
+/// and Perfetto; spans become 'X' (complete) events, instants 'i' events.
+///
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/Telemetry.h"
+
+#include "telemetry/Json.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace rcs;
+using namespace rcs::telemetry;
+
+namespace {
+
+/// Renders the shared {"key": value, ...} body of an event's fields.
+std::string renderFields(const EventField *Fields, size_t NumFields) {
+  std::string Out = "{";
+  for (size_t I = 0; I != NumFields; ++I) {
+    const EventField &F = Fields[I];
+    if (I != 0)
+      Out += ", ";
+    Out += jsonQuote(F.Key) + ": ";
+    switch (F.FieldKind) {
+    case EventField::Kind::Double:
+      Out += jsonNumber(F.DoubleValue);
+      break;
+    case EventField::Kind::Int:
+      Out += std::to_string(F.IntValue);
+      break;
+    case EventField::Kind::Bool:
+      Out += F.BoolValue ? "true" : "false";
+      break;
+    case EventField::Kind::String:
+      Out += jsonQuote(F.StringValue);
+      break;
+    }
+  }
+  Out += "}";
+  return Out;
+}
+
+/// Common FILE* ownership for both sinks.
+class FileSink : public EventSink {
+public:
+  explicit FileSink(std::FILE *Out) : Out(Out) {}
+  ~FileSink() override {
+    if (Out)
+      std::fclose(Out);
+  }
+
+  Status close() override {
+    if (!Out)
+      return Status::ok();
+    writeFooter();
+    bool Ok = std::fflush(Out) == 0 && !std::ferror(Out);
+    Ok = std::fclose(Out) == 0 && Ok;
+    Out = nullptr;
+    return Ok ? Status::ok()
+              : Status::error("error writing trace output");
+  }
+
+protected:
+  virtual void writeFooter() {}
+  std::FILE *Out;
+};
+
+class JsonlSink final : public FileSink {
+public:
+  using FileSink::FileSink;
+
+  void instant(double TimeS, std::string_view Name,
+               const EventField *Fields, size_t NumFields) override {
+    if (!Out)
+      return;
+    std::fprintf(Out, "{\"ts_s\": %s, \"kind\": \"event\", \"name\": %s",
+                 jsonNumber(TimeS).c_str(), jsonQuote(Name).c_str());
+    if (NumFields)
+      std::fprintf(Out, ", \"args\": %s",
+                   renderFields(Fields, NumFields).c_str());
+    std::fputs("}\n", Out);
+  }
+
+  void span(double StartS, double DurationS, int Depth,
+            std::string_view Label) override {
+    if (!Out)
+      return;
+    std::fprintf(Out,
+                 "{\"ts_s\": %s, \"kind\": \"span\", \"name\": %s, "
+                 "\"dur_s\": %s, \"depth\": %d}\n",
+                 jsonNumber(StartS).c_str(), jsonQuote(Label).c_str(),
+                 jsonNumber(DurationS).c_str(), Depth);
+  }
+};
+
+class ChromeTraceSink final : public FileSink {
+public:
+  explicit ChromeTraceSink(std::FILE *Out) : FileSink(Out) {
+    std::fputs("[", Out);
+  }
+
+  void instant(double TimeS, std::string_view Name,
+               const EventField *Fields, size_t NumFields) override {
+    if (!Out)
+      return;
+    separator();
+    std::fprintf(Out,
+                 "{\"name\": %s, \"cat\": \"skatsim\", \"ph\": \"i\", "
+                 "\"ts\": %s, \"pid\": 1, \"tid\": 1, \"s\": \"t\"",
+                 jsonQuote(Name).c_str(),
+                 jsonNumber(TimeS * 1e6).c_str());
+    if (NumFields)
+      std::fprintf(Out, ", \"args\": %s",
+                   renderFields(Fields, NumFields).c_str());
+    std::fputs("}", Out);
+  }
+
+  void span(double StartS, double DurationS, int Depth,
+            std::string_view Label) override {
+    if (!Out)
+      return;
+    separator();
+    // Depth is implied by ts/dur nesting within the single tid, but is
+    // still recorded for tools reading the raw JSON.
+    std::fprintf(Out,
+                 "{\"name\": %s, \"cat\": \"skatsim\", \"ph\": \"X\", "
+                 "\"ts\": %s, \"dur\": %s, \"pid\": 1, \"tid\": 1, "
+                 "\"args\": {\"depth\": %d}}",
+                 jsonQuote(Label).c_str(),
+                 jsonNumber(StartS * 1e6).c_str(),
+                 jsonNumber(DurationS * 1e6).c_str(), Depth);
+  }
+
+protected:
+  void writeFooter() override { std::fputs("\n]\n", Out); }
+
+private:
+  void separator() {
+    std::fputs(First ? "\n" : ",\n", Out);
+    First = false;
+  }
+  bool First = true;
+};
+
+Expected<std::FILE *> openForWrite(const std::string &Path) {
+  std::FILE *Out = std::fopen(Path.c_str(), "w");
+  if (!Out)
+    return Expected<std::FILE *>::error("cannot open trace file '" + Path +
+                                        "'");
+  return Out;
+}
+
+} // namespace
+
+Expected<std::unique_ptr<EventSink>>
+rcs::telemetry::makeJsonlSink(const std::string &Path) {
+  Expected<std::FILE *> Out = openForWrite(Path);
+  if (!Out)
+    return Expected<std::unique_ptr<EventSink>>(Out.status());
+  return std::unique_ptr<EventSink>(std::make_unique<JsonlSink>(*Out));
+}
+
+Expected<std::unique_ptr<EventSink>>
+rcs::telemetry::makeChromeTraceSink(const std::string &Path) {
+  Expected<std::FILE *> Out = openForWrite(Path);
+  if (!Out)
+    return Expected<std::unique_ptr<EventSink>>(Out.status());
+  return std::unique_ptr<EventSink>(
+      std::make_unique<ChromeTraceSink>(*Out));
+}

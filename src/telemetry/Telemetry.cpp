@@ -1,0 +1,289 @@
+//===- telemetry/Telemetry.cpp - Counters, timers, event tracing --------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/Telemetry.h"
+
+#include "telemetry/Json.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+using namespace rcs;
+using namespace rcs::telemetry;
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+int Histogram::bucketFor(double Sample) {
+  double Magnitude = std::fabs(Sample);
+  if (!(Magnitude > 1e-9)) // Also catches NaN.
+    return 0;
+  int Exponent = static_cast<int>(std::floor(std::log10(Magnitude)));
+  return std::clamp(Exponent + 9, 0, NumBuckets - 1);
+}
+
+double Histogram::bucketLowerBound(int Bucket) {
+  assert(Bucket >= 0 && Bucket < NumBuckets && "bucket out of range");
+  return std::pow(10.0, Bucket - 9);
+}
+
+void Histogram::record(double Sample) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Count == 0) {
+    Min = Sample;
+    Max = Sample;
+  } else {
+    Min = std::min(Min, Sample);
+    Max = std::max(Max, Sample);
+  }
+  ++Count;
+  Sum += Sample;
+  ++Buckets[bucketFor(Sample)];
+}
+
+uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Count;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Sum;
+}
+
+double Histogram::mean() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Count == 0 ? 0.0 : Sum / static_cast<double>(Count);
+}
+
+double Histogram::minValue() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Count == 0 ? 0.0 : Min;
+}
+
+double Histogram::maxValue() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Count == 0 ? 0.0 : Max;
+}
+
+uint64_t Histogram::bucketCount(int Bucket) const {
+  assert(Bucket >= 0 && Bucket < NumBuckets && "bucket out of range");
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Buckets[Bucket];
+}
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+Registry::Registry() : Epoch(std::chrono::steady_clock::now()) {}
+
+Registry::~Registry() {
+  // Best effort: a sink still attached at teardown is flushed; failures
+  // have nowhere to be reported.
+  (void)closeSink();
+}
+
+Registry &Registry::global() {
+  static Registry Instance;
+  return Instance;
+}
+
+Counter &Registry::counter(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Counters.find(Name);
+  if (It == Counters.end())
+    It = Counters
+             .emplace(std::piecewise_construct,
+                      std::forward_as_tuple(Name), std::forward_as_tuple())
+             .first;
+  return It->second;
+}
+
+Gauge &Registry::gauge(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Gauges.find(Name);
+  if (It == Gauges.end())
+    It = Gauges
+             .emplace(std::piecewise_construct,
+                      std::forward_as_tuple(Name), std::forward_as_tuple())
+             .first;
+  return It->second;
+}
+
+Histogram &Registry::histogram(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Histograms.find(Name);
+  if (It == Histograms.end())
+    It = Histograms
+             .emplace(std::piecewise_construct,
+                      std::forward_as_tuple(Name), std::forward_as_tuple())
+             .first;
+  return It->second;
+}
+
+SpanStats Registry::timerStats(std::string_view Label) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Spans.find(Label);
+  return It == Spans.end() ? SpanStats() : It->second;
+}
+
+double Registry::nowSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Epoch)
+      .count();
+}
+
+void Registry::setSink(std::unique_ptr<EventSink> NewSink) {
+  (void)closeSink();
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Sink = std::move(NewSink);
+  TracingOn.store(Sink != nullptr, std::memory_order_relaxed);
+}
+
+Status Registry::closeSink() {
+  std::unique_ptr<EventSink> Old;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Old = std::move(Sink);
+    TracingOn.store(false, std::memory_order_relaxed);
+  }
+  return Old ? Old->close() : Status::ok();
+}
+
+void Registry::emitEvent(std::string_view Name,
+                         std::initializer_list<EventField> Fields) {
+  if (!tracingEnabled())
+    return;
+  double TimeS = nowSeconds();
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Sink)
+    Sink->instant(TimeS, Name, Fields.begin(), Fields.size());
+}
+
+SpanStats &Registry::spanStatsSlot(std::string_view Label) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Spans.find(Label);
+  if (It == Spans.end())
+    It = Spans.emplace(std::string(Label), SpanStats()).first;
+  return It->second;
+}
+
+void Registry::recordSpan(SpanStats &Slot, double StartS, double DurationS,
+                          int Depth, std::string_view Label) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Slot.Count == 0) {
+    Slot.MinS = DurationS;
+    Slot.MaxS = DurationS;
+  } else {
+    Slot.MinS = std::min(Slot.MinS, DurationS);
+    Slot.MaxS = std::max(Slot.MaxS, DurationS);
+  }
+  ++Slot.Count;
+  Slot.TotalS += DurationS;
+  if (Sink)
+    Sink->span(StartS, DurationS, Depth, Label);
+}
+
+std::string Registry::metricsJson() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::string Out = "{\n  \"counters\": {";
+  bool First = true;
+  for (const auto &[Name, C] : Counters) {
+    Out += First ? "\n" : ",\n";
+    First = false;
+    Out += "    " + jsonQuote(Name) + ": " +
+           std::to_string(C.value());
+  }
+  Out += First ? "},\n" : "\n  },\n";
+
+  Out += "  \"gauges\": {";
+  First = true;
+  for (const auto &[Name, G] : Gauges) {
+    Out += First ? "\n" : ",\n";
+    First = false;
+    Out += "    " + jsonQuote(Name) + ": " + jsonNumber(G.value());
+  }
+  Out += First ? "},\n" : "\n  },\n";
+
+  Out += "  \"histograms\": {";
+  First = true;
+  for (const auto &[Name, H] : Histograms) {
+    Out += First ? "\n" : ",\n";
+    First = false;
+    std::lock_guard<std::mutex> HLock(H.Mutex);
+    Out += "    " + jsonQuote(Name) + ": {\"count\": " +
+           std::to_string(H.Count) + ", \"sum\": " + jsonNumber(H.Sum) +
+           ", \"min\": " + jsonNumber(H.Count ? H.Min : 0.0) +
+           ", \"max\": " + jsonNumber(H.Count ? H.Max : 0.0) +
+           ", \"mean\": " +
+           jsonNumber(H.Count ? H.Sum / static_cast<double>(H.Count)
+                              : 0.0) +
+           "}";
+  }
+  Out += First ? "},\n" : "\n  },\n";
+
+  Out += "  \"timers\": {";
+  First = true;
+  for (const auto &[Label, S] : Spans) {
+    Out += First ? "\n" : ",\n";
+    First = false;
+    Out += "    " + jsonQuote(Label) + ": {\"count\": " +
+           std::to_string(S.Count) + ", \"total_s\": " +
+           jsonNumber(S.TotalS) + ", \"min_s\": " + jsonNumber(S.MinS) +
+           ", \"max_s\": " + jsonNumber(S.MaxS) + "}";
+  }
+  Out += First ? "}\n}\n" : "\n  }\n}\n";
+  return Out;
+}
+
+Status Registry::writeMetricsFile(const std::string &Path) const {
+  std::string Body = metricsJson();
+  std::FILE *Out = std::fopen(Path.c_str(), "w");
+  if (!Out)
+    return Status::error("cannot open metrics file '" + Path + "'");
+  size_t Written = std::fwrite(Body.data(), 1, Body.size(), Out);
+  bool Ok = Written == Body.size() && std::fclose(Out) == 0;
+  if (!Ok)
+    return Status::error("short write to metrics file '" + Path + "'");
+  return Status::ok();
+}
+
+void Registry::resetMetrics() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (auto &[Name, C] : Counters)
+    C.Value.store(0, std::memory_order_relaxed);
+  for (auto &[Name, G] : Gauges)
+    G.Value.store(0.0, std::memory_order_relaxed);
+  for (auto &[Name, H] : Histograms) {
+    std::lock_guard<std::mutex> HLock(H.Mutex);
+    H.Count = 0;
+    H.Sum = H.Min = H.Max = 0.0;
+    std::fill(std::begin(H.Buckets), std::end(H.Buckets), 0);
+  }
+  for (auto &[Label, S] : Spans)
+    S = SpanStats();
+}
+
+//===----------------------------------------------------------------------===//
+// ScopedTimer
+//===----------------------------------------------------------------------===//
+
+namespace {
+thread_local int ActiveTimerDepth = 0;
+} // namespace
+
+ScopedTimer::ScopedTimer(Registry &Reg, std::string_view Label)
+    : Reg(Reg), Label(Label), Slot(Reg.spanStatsSlot(Label)),
+      StartS(Reg.nowSeconds()), Depth(ActiveTimerDepth++) {}
+
+ScopedTimer::~ScopedTimer() {
+  --ActiveTimerDepth;
+  Reg.recordSpan(Slot, StartS, Reg.nowSeconds() - StartS, Depth, Label);
+}

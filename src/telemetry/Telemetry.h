@@ -1,0 +1,283 @@
+//===- telemetry/Telemetry.h - Counters, timers, event tracing -*- C++ -*-===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Low-overhead instrumentation for the solvers and simulators: a
+/// process-wide Registry of named counters, gauges and histograms; RAII
+/// ScopedTimer spans that nest and aggregate wall time per label; and a
+/// pluggable structured event sink (JSONL or Chrome trace_event JSON).
+///
+/// Design constraints, matching the rest of skatsim:
+///  - exception-free: fallible operations return Status/Expected;
+///  - near-zero cost when no sink is attached: counter bumps are relaxed
+///    atomic adds, event emission is one predictable branch, and the hot
+///    paths allocate nothing (metric lookups are heterogeneous, so a
+///    string_view never materializes a std::string after first use);
+///  - references returned by Registry::counter()/gauge()/histogram() stay
+///    valid for the registry's lifetime (node-based storage, and
+///    resetMetrics() zeroes in place instead of erasing), so call sites
+///    may cache them in static locals.
+///
+/// Metric names follow `subsystem.noun.unit` (see docs/OBSERVABILITY.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_TELEMETRY_TELEMETRY_H
+#define RCS_TELEMETRY_TELEMETRY_H
+
+#include "support/Status.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace rcs {
+namespace telemetry {
+
+/// A monotonically increasing event count.
+class Counter {
+public:
+  Counter() = default;
+  Counter(const Counter &) = delete;
+  Counter &operator=(const Counter &) = delete;
+
+  void add(uint64_t Delta = 1) {
+    Value.fetch_add(Delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return Value.load(std::memory_order_relaxed); }
+
+private:
+  friend class Registry;
+  std::atomic<uint64_t> Value{0};
+};
+
+/// A last-value metric (set wins; no aggregation).
+class Gauge {
+public:
+  Gauge() = default;
+  Gauge(const Gauge &) = delete;
+  Gauge &operator=(const Gauge &) = delete;
+
+  void set(double V) { Value.store(V, std::memory_order_relaxed); }
+  double value() const { return Value.load(std::memory_order_relaxed); }
+
+private:
+  friend class Registry;
+  std::atomic<double> Value{0.0};
+};
+
+/// A sample distribution: count/sum/min/max plus decade magnitude buckets
+/// (coarse, but enough to see whether residuals cluster at 1e-12 or 1e-3).
+class Histogram {
+public:
+  /// Bucket B spans [10^(B-9), 10^(B-8)); samples at or below 1e-9 in
+  /// magnitude (including zero and negatives) clamp into bucket 0, samples
+  /// at or above 1e8 into the last bucket.
+  static constexpr int NumBuckets = 18;
+
+  Histogram() = default;
+  Histogram(const Histogram &) = delete;
+  Histogram &operator=(const Histogram &) = delete;
+
+  void record(double Sample);
+
+  uint64_t count() const;
+  double sum() const;
+  double mean() const; ///< Zero when empty.
+  double minValue() const; ///< Zero when empty.
+  double maxValue() const; ///< Zero when empty.
+  uint64_t bucketCount(int Bucket) const;
+
+  /// The bucket \p Sample falls into.
+  static int bucketFor(double Sample);
+  /// Inclusive lower magnitude bound of \p Bucket.
+  static double bucketLowerBound(int Bucket);
+
+private:
+  friend class Registry;
+  mutable std::mutex Mutex;
+  uint64_t Count = 0;
+  double Sum = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+  uint64_t Buckets[NumBuckets] = {};
+};
+
+/// Aggregated wall time of all ScopedTimer spans sharing one label.
+struct SpanStats {
+  uint64_t Count = 0;
+  double TotalS = 0.0;
+  double MinS = 0.0;
+  double MaxS = 0.0;
+};
+
+/// One key/value field of a structured event. Keys and string values are
+/// not copied; they must outlive the emitEvent call (string literals in
+/// practice).
+struct EventField {
+  enum class Kind { Double, Int, Bool, String };
+
+  std::string_view Key;
+  Kind FieldKind = Kind::Double;
+  double DoubleValue = 0.0;
+  long long IntValue = 0;
+  bool BoolValue = false;
+  std::string_view StringValue;
+
+  EventField(std::string_view Key, double Value)
+      : Key(Key), FieldKind(Kind::Double), DoubleValue(Value) {}
+  EventField(std::string_view Key, int Value)
+      : Key(Key), FieldKind(Kind::Int), IntValue(Value) {}
+  EventField(std::string_view Key, long long Value)
+      : Key(Key), FieldKind(Kind::Int), IntValue(Value) {}
+  EventField(std::string_view Key, unsigned long long Value)
+      : Key(Key), FieldKind(Kind::Int),
+        IntValue(static_cast<long long>(Value)) {}
+  EventField(std::string_view Key, bool Value)
+      : Key(Key), FieldKind(Kind::Bool), BoolValue(Value) {}
+  EventField(std::string_view Key, std::string_view Value)
+      : Key(Key), FieldKind(Kind::String), StringValue(Value) {}
+  EventField(std::string_view Key, const char *Value)
+      : Key(Key), FieldKind(Kind::String), StringValue(Value) {}
+};
+
+/// Destination for structured trace output. Implementations are invoked
+/// under the owning registry's lock and must not call back into it.
+class EventSink {
+public:
+  virtual ~EventSink() = default;
+
+  /// An instantaneous event at \p TimeS (seconds since trace start).
+  virtual void instant(double TimeS, std::string_view Name,
+                       const EventField *Fields, size_t NumFields) = 0;
+
+  /// A completed timed span [StartS, StartS + DurationS) at nesting depth
+  /// \p Depth (0 = outermost).
+  virtual void span(double StartS, double DurationS, int Depth,
+                    std::string_view Label) = 0;
+
+  /// Flushes and finalizes the output. Idempotent.
+  virtual Status close() = 0;
+};
+
+/// Opens a JSON-Lines sink writing one event object per line to \p Path.
+Expected<std::unique_ptr<EventSink>> makeJsonlSink(const std::string &Path);
+
+/// Opens a Chrome trace_event-format sink (a JSON array loadable in
+/// chrome://tracing and Perfetto) writing to \p Path.
+Expected<std::unique_ptr<EventSink>>
+makeChromeTraceSink(const std::string &Path);
+
+/// A named-metric registry plus the optional event sink. Thread-safe.
+///
+/// Use Registry::global() for the process-wide instance the library's
+/// instrumentation reports to; independent instances exist for tests.
+class Registry {
+public:
+  Registry();
+  ~Registry();
+  Registry(const Registry &) = delete;
+  Registry &operator=(const Registry &) = delete;
+
+  /// The process-wide registry.
+  static Registry &global();
+
+  /// Finds or creates the named metric. The returned reference stays
+  /// valid for the registry's lifetime.
+  Counter &counter(std::string_view Name);
+  Gauge &gauge(std::string_view Name);
+  Histogram &histogram(std::string_view Name);
+
+  /// Snapshot of one timer label's aggregate (zeroes when unknown).
+  SpanStats timerStats(std::string_view Label) const;
+
+  /// Seconds elapsed on the monotonic clock since this registry was
+  /// created; the timebase of every event timestamp.
+  double nowSeconds() const;
+
+  /// True when an event sink is attached. Instrumented code uses this to
+  /// skip building event fields entirely when tracing is off.
+  bool tracingEnabled() const {
+    return TracingOn.load(std::memory_order_relaxed);
+  }
+
+  /// Attaches \p NewSink (pass nullptr to detach). A previously attached
+  /// sink is closed first; its close status is discarded.
+  void setSink(std::unique_ptr<EventSink> NewSink);
+
+  /// Flushes and detaches the active sink. No-op without one.
+  Status closeSink();
+
+  /// Emits an instantaneous structured event; a cheap no-op when no sink
+  /// is attached.
+  void emitEvent(std::string_view Name,
+                 std::initializer_list<EventField> Fields);
+
+  /// Renders every metric (counters, gauges, histograms, timer
+  /// aggregates) as one JSON object.
+  std::string metricsJson() const;
+
+  /// Writes metricsJson() to \p Path.
+  Status writeMetricsFile(const std::string &Path) const;
+
+  /// Zeroes every metric in place. Cached references remain valid; the
+  /// event sink is untouched. Intended for tests and for the CLI between
+  /// subcommands.
+  void resetMetrics();
+
+private:
+  friend class ScopedTimer;
+
+  /// Finds or creates the span aggregate for \p Label.
+  SpanStats &spanStatsSlot(std::string_view Label);
+  /// Folds one finished span into its aggregate and forwards it to the
+  /// sink when tracing.
+  void recordSpan(SpanStats &Slot, double StartS, double DurationS,
+                  int Depth, std::string_view Label);
+
+  mutable std::mutex Mutex;
+  std::map<std::string, Counter, std::less<>> Counters;
+  std::map<std::string, Gauge, std::less<>> Gauges;
+  std::map<std::string, Histogram, std::less<>> Histograms;
+  std::map<std::string, SpanStats, std::less<>> Spans;
+  std::unique_ptr<EventSink> Sink;
+  std::atomic<bool> TracingOn{false};
+  std::chrono::steady_clock::time_point Epoch;
+};
+
+/// RAII wall-time span. Construction starts the clock; destruction folds
+/// the elapsed time into the registry's per-label aggregate and, when a
+/// sink is attached, emits a span event. Timers nest: each instance
+/// records its depth within the thread's currently open timers.
+///
+/// \p Label is not copied and must outlive the timer (string literals).
+class ScopedTimer {
+public:
+  explicit ScopedTimer(std::string_view Label)
+      : ScopedTimer(Registry::global(), Label) {}
+  ScopedTimer(Registry &Reg, std::string_view Label);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer &) = delete;
+  ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+private:
+  Registry &Reg;
+  std::string_view Label;
+  SpanStats &Slot;
+  double StartS;
+  int Depth;
+};
+
+} // namespace telemetry
+} // namespace rcs
+
+#endif // RCS_TELEMETRY_TELEMETRY_H

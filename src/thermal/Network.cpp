@@ -7,6 +7,7 @@
 #include "thermal/Network.h"
 
 #include "support/Numerics.h"
+#include "telemetry/Telemetry.h"
 
 #include <cassert>
 #include <cmath>
@@ -107,6 +108,10 @@ double ThermalNetwork::totalSourcePowerW() const {
 }
 
 Expected<std::vector<double>> ThermalNetwork::solveSteadyState() const {
+  static telemetry::Counter &SolveCount =
+      telemetry::Registry::global().counter("thermal.network.steady_solves");
+  telemetry::ScopedTimer Timer("thermal.network.steady_solve");
+  SolveCount.add();
   // Index internal nodes into the reduced unknown vector.
   std::vector<size_t> UnknownIndex(Nodes.size(), SIZE_MAX);
   size_t NumUnknowns = 0;
@@ -152,10 +157,14 @@ Expected<std::vector<double>> ThermalNetwork::solveSteadyState() const {
 
   Expected<std::vector<double>> Reduced = solveDense(std::move(A),
                                                      std::move(B));
-  if (!Reduced)
+  if (!Reduced) {
+    telemetry::Registry::global()
+        .counter("thermal.network.solve_failures")
+        .add();
     return Expected<std::vector<double>>::error(
         "thermal network is singular: an internal node has no path to any "
         "boundary (" + Reduced.message() + ")");
+  }
 
   for (size_t I = 0, E = Nodes.size(); I != E; ++I)
     if (!Nodes[I].Boundary)
@@ -167,6 +176,11 @@ Status ThermalNetwork::stepTransient(std::vector<double> &Temps,
                                      double DtS) const {
   assert(Temps.size() == Nodes.size() && "state size mismatch");
   assert(DtS > 0 && "time step must be positive");
+  // stepTransient sits in every simulator's inner loop: one relaxed
+  // atomic add, nothing else.
+  static telemetry::Counter &StepCount =
+      telemetry::Registry::global().counter("thermal.network.transient_steps");
+  StepCount.add();
 
   std::vector<size_t> UnknownIndex(Nodes.size(), SIZE_MAX);
   size_t NumUnknowns = 0;

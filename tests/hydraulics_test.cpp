@@ -175,6 +175,29 @@ TEST(FlowNetworkTest, SingleLoopOperatingPoint) {
   EXPECT_LT(Solution->MaxContinuityErrorM3PerS, 1e-8);
 }
 
+TEST(FlowNetworkTest, ResidualHistoryDecreasesMonotonically) {
+  // The converged attempt's per-iterate worst continuity error rides on
+  // the solution; damped Newton must never let it grow.
+  auto Water = fluids::makeWater();
+  RackHydraulicsConfig Config;
+  Config.Layout = ManifoldLayout::ReverseReturn;
+  RackHydraulics Rack = buildRackPrimaryLoop(Config);
+  auto Solution = Rack.Network.solve(*Water, 18.0, 1e-3);
+  ASSERT_TRUE(Solution.hasValue());
+
+  const std::vector<double> &History = Solution->ResidualHistory;
+  // Entry 0 is the initial guess, then one entry per accepted iterate.
+  ASSERT_EQ(History.size(),
+            static_cast<size_t>(Solution->NewtonIterations) + 1);
+  ASSERT_GE(History.size(), 2u);
+  EXPECT_GT(History.front(), 0.0);
+  for (size_t I = 1; I != History.size(); ++I)
+    EXPECT_LE(History[I], History[I - 1])
+        << "continuity error grew at iterate " << I;
+  // The last iterate must match the solve's convergence claim.
+  EXPECT_LT(History.back(), 1e-6);
+}
+
 TEST(FlowNetworkTest, ParallelBranchesSplitByResistance) {
   auto Water = fluids::makeWater();
   FlowNetwork Net;

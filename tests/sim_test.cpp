@@ -9,6 +9,7 @@
 #include "workload/Workload.h"
 
 #include "core/Designs.h"
+#include "telemetry/Telemetry.h"
 
 #include <gtest/gtest.h>
 
@@ -119,6 +120,29 @@ TEST(TransientTest, MonotoneWarmupFromCold) {
   // Oil only warms during the first half hour at full load.
   for (size_t I = 1; I < Trace->size(); ++I)
     EXPECT_GE((*Trace)[I].OilTempC, (*Trace)[I - 1].OilTempC - 0.01);
+}
+
+TEST(TransientTest, EventsPastDurationAreCountedAsDropped) {
+  // Events scheduled after the horizon never fire; that must be visible
+  // in telemetry rather than silently swallowed.
+  telemetry::Counter &Dropped =
+      telemetry::Registry::global().counter("sim.transient.dropped_events");
+  uint64_t Before = Dropped.value();
+
+  TransientSimulator Simulator = makeSkatSimulator();
+  Simulator.schedulePumpSpeed(900.0, 0.5);  // Fires.
+  Simulator.schedulePumpSpeed(7200.0, 0.0); // Past the horizon: dropped.
+  Simulator.scheduleWaterFlow(9000.0, 0.0); // Also dropped.
+  auto Trace = Simulator.run(1800.0);
+  ASSERT_TRUE(Trace.hasValue()) << Trace.message();
+  EXPECT_EQ(Dropped.value() - Before, 2u);
+
+  // A run whose events all fire adds nothing.
+  uint64_t Mid = Dropped.value();
+  TransientSimulator Clean = makeSkatSimulator();
+  Clean.schedulePumpSpeed(600.0, 0.8);
+  ASSERT_TRUE(Clean.run(1800.0).hasValue());
+  EXPECT_EQ(Dropped.value(), Mid);
 }
 
 TEST(TransientTest, PumpFailureTripsProtection) {

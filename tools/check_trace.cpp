@@ -1,0 +1,98 @@
+//===- tools/check_trace.cpp - Trace/metrics JSON validator -------------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Validates files emitted by the telemetry sinks:
+///
+///   check_trace <file>...
+///
+/// A file is accepted if it parses as one JSON document (Chrome traces,
+/// metrics snapshots) or as JSON Lines (the JSONL sink; every line leads
+/// with '{' but the stream as a whole is not one document). Empty files
+/// and empty traces fail: a trace that was requested but captured nothing
+/// is a wiring bug, not a pass.
+///
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/Json.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace rcs;
+
+namespace {
+
+Expected<std::string> readFile(const std::string &Path) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return Expected<std::string>::error("cannot open '" + Path + "'");
+  std::string Text;
+  char Buffer[4096];
+  size_t Got;
+  while ((Got = std::fread(Buffer, 1, sizeof(Buffer), File)) > 0)
+    Text.append(Buffer, Got);
+  bool Failed = std::ferror(File) != 0;
+  std::fclose(File);
+  if (Failed)
+    return Expected<std::string>::error("read error on '" + Path + "'");
+  return Text;
+}
+
+/// Validates one file; prints a per-file verdict line.
+bool checkFile(const std::string &Path) {
+  Expected<std::string> Text = readFile(Path);
+  if (!Text) {
+    std::fprintf(stderr, "check_trace: %s\n", Text.message().c_str());
+    return false;
+  }
+
+  size_t First = Text->find_first_not_of(" \t\r\n");
+  if (First == std::string::npos) {
+    std::fprintf(stderr, "check_trace: '%s' is empty\n", Path.c_str());
+    return false;
+  }
+
+  size_t NumRecords = 0;
+  bool WholeDocument = true;
+  Status Valid = telemetry::validateJson(*Text);
+  if (Valid.isOk()) {
+    NumRecords = 1;
+  } else {
+    Status LinesValid = telemetry::validateJsonLines(*Text, &NumRecords);
+    if (LinesValid.isOk()) {
+      Valid = Status::ok();
+      WholeDocument = false;
+    }
+  }
+  if (!Valid.isOk()) {
+    std::fprintf(stderr, "check_trace: '%s' invalid: %s\n", Path.c_str(),
+                 Valid.message().c_str());
+    return false;
+  }
+  if (NumRecords == 0) {
+    std::fprintf(stderr, "check_trace: '%s' holds no records\n",
+                 Path.c_str());
+    return false;
+  }
+  std::printf("check_trace: %s ok (%zu %s)\n", Path.c_str(), NumRecords,
+              WholeDocument ? "document" : "lines");
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2) {
+    std::fprintf(stderr, "usage: check_trace <file>...\n");
+    return 2;
+  }
+  bool AllOk = true;
+  for (int I = 1; I < Argc; ++I)
+    AllOk = checkFile(Argv[I]) && AllOk;
+  return AllOk ? 0 : 1;
+}

@@ -14,6 +14,11 @@
 ///   skatsim transient <design> [--hours H] [--pump-fail-h T] [--csv FILE]
 ///   skatsim setpoint <design> [--limit C]
 ///
+/// Every command additionally accepts `--trace FILE` (structured event
+/// trace; `.jsonl` selects JSON Lines, anything else Chrome trace_event
+/// JSON) and `--metrics FILE` (end-of-run counter/timer snapshot). See
+/// docs/OBSERVABILITY.md.
+///
 /// Designs: rigel2, taygeta, ultrascale-air, skat, skat-plus,
 /// skat-plus-naive.
 ///
@@ -27,12 +32,15 @@
 #include "support/StringUtils.h"
 #include "support/Table.h"
 #include "support/Units.h"
+#include "telemetry/Telemetry.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 using namespace rcs;
@@ -291,18 +299,14 @@ void printUsage() {
       "  skatsim rack [--ambient C] [--isolate N] [--skat-plus]\n"
       "  skatsim transient <design> [--hours H] [--pump-fail-h T]"
       " [--csv FILE]\n"
-      "  skatsim setpoint <design> [--limit C]\n");
+      "  skatsim setpoint <design> [--limit C]\n"
+      "every command also accepts:\n"
+      "  --trace FILE    structured event trace (.jsonl = JSON Lines,\n"
+      "                  otherwise Chrome trace_event JSON for Perfetto)\n"
+      "  --metrics FILE  counter/timer snapshot written at exit\n");
 }
 
-} // namespace
-
-int main(int Argc, char **Argv) {
-  if (Argc < 2) {
-    printUsage();
-    return 2;
-  }
-  std::string Command = Argv[1];
-  ArgList Args(Argc, Argv, 2);
+int runCommand(const std::string &Command, const ArgList &Args) {
   if (Command == "list")
     return cmdList();
   if (Command == "solve")
@@ -315,4 +319,56 @@ int main(int Argc, char **Argv) {
     return cmdSetpoint(Args);
   printUsage();
   return 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2) {
+    printUsage();
+    return 2;
+  }
+  std::string Command = Argv[1];
+  ArgList Args(Argc, Argv, 2);
+
+  telemetry::Registry &Telemetry = telemetry::Registry::global();
+  if (Args.has("trace") && Args.getString("trace", "").empty()) {
+    std::fprintf(stderr, "trace: --trace requires a file path\n");
+    return 2;
+  }
+  if (Args.has("metrics") && Args.getString("metrics", "").empty()) {
+    std::fprintf(stderr, "metrics: --metrics requires a file path\n");
+    return 2;
+  }
+  std::string TracePath = Args.getString("trace", "");
+  if (!TracePath.empty()) {
+    Expected<std::unique_ptr<telemetry::EventSink>> Sink =
+        endsWith(TracePath, ".jsonl")
+            ? telemetry::makeJsonlSink(TracePath)
+            : telemetry::makeChromeTraceSink(TracePath);
+    if (!Sink) {
+      std::fprintf(stderr, "trace: %s\n", Sink.message().c_str());
+      return 2;
+    }
+    Telemetry.setSink(std::move(*Sink));
+  }
+
+  int ExitCode = runCommand(Command, Args);
+
+  Status Closed = Telemetry.closeSink();
+  if (!Closed.isOk()) {
+    std::fprintf(stderr, "trace: %s\n", Closed.message().c_str());
+    if (ExitCode == 0)
+      ExitCode = 1;
+  }
+  std::string MetricsPath = Args.getString("metrics", "");
+  if (!MetricsPath.empty()) {
+    Status Written = Telemetry.writeMetricsFile(MetricsPath);
+    if (!Written.isOk()) {
+      std::fprintf(stderr, "metrics: %s\n", Written.message().c_str());
+      if (ExitCode == 0)
+        ExitCode = 1;
+    }
+  }
+  return ExitCode;
 }
