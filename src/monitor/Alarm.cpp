@@ -1,0 +1,225 @@
+//===- monitor/Alarm.cpp - Alarm state machines with hysteresis ---------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "monitor/Alarm.h"
+
+#include <cassert>
+#include <cctype>
+#include <cmath>
+#include <limits>
+
+using namespace rcs;
+using namespace rcs::monitor;
+using rcsystem::AlarmLevel;
+
+const char *rcs::monitor::alarmStateName(AlarmState State) {
+  switch (State) {
+  case AlarmState::Normal:
+    return "normal";
+  case AlarmState::Warning:
+    return "warning";
+  case AlarmState::Critical:
+    return "critical";
+  case AlarmState::CriticalAcked:
+    return "critical-acked";
+  case AlarmState::Latched:
+    return "latched";
+  }
+  assert(false && "unknown alarm state");
+  return "?";
+}
+
+AlarmLevel rcs::monitor::alarmStateLevel(AlarmState State) {
+  switch (State) {
+  case AlarmState::Normal:
+    return AlarmLevel::Normal;
+  case AlarmState::Warning:
+    return AlarmLevel::Warning;
+  case AlarmState::Critical:
+  case AlarmState::CriticalAcked:
+  case AlarmState::Latched:
+    return AlarmLevel::Critical;
+  }
+  assert(false && "unknown alarm state");
+  return AlarmLevel::Critical;
+}
+
+std::string rcs::monitor::metricSlug(std::string_view Name) {
+  std::string Slug;
+  Slug.reserve(Name.size());
+  for (char C : Name) {
+    unsigned char U = static_cast<unsigned char>(C);
+    if (std::isalnum(U) || C == '_' || C == '.')
+      Slug += static_cast<char>(std::tolower(U));
+    else
+      Slug += '_';
+  }
+  return Slug;
+}
+
+AlarmStateMachine::AlarmStateMachine(std::string NameIn, AlarmConfig ConfigIn,
+                                     telemetry::Registry *RegIn)
+    : Name(std::move(NameIn)), Config(ConfigIn),
+      Reg(RegIn ? RegIn : &telemetry::Registry::global()),
+      Raw(Name, Config.WarnThreshold, Config.CriticalThreshold,
+          Config.HighIsBad),
+      Held(Name,
+           Config.HighIsBad ? Config.WarnThreshold - Config.Hysteresis
+                            : Config.WarnThreshold + Config.Hysteresis,
+           Config.HighIsBad ? Config.CriticalThreshold - Config.Hysteresis
+                            : Config.CriticalThreshold + Config.Hysteresis,
+           Config.HighIsBad) {
+  assert(Config.Hysteresis >= 0.0 && "hysteresis must be non-negative");
+  assert(Config.DebounceSamples >= 1 && "debounce needs at least 1 sample");
+  TransitionCount = &Reg->counter("monitor.alarm.transitions");
+  LatchCount = &Reg->counter("monitor.alarm.latches");
+  DroppedTransitions = &Reg->counter("monitor.alarm.dropped_transitions");
+  ValueHistogram =
+      &Reg->histogram("monitor.alarm." + metricSlug(Name) + ".value");
+}
+
+AlarmLevel AlarmStateMachine::heldLevel(double Value) const {
+  return Held.classify(Value);
+}
+
+AlarmLevel AlarmStateMachine::activeLevel() const {
+  switch (State) {
+  case AlarmState::Normal:
+  case AlarmState::Latched: // Condition cleared; only the latch holds.
+    return AlarmLevel::Normal;
+  case AlarmState::Warning:
+    return AlarmLevel::Warning;
+  case AlarmState::Critical:
+  case AlarmState::CriticalAcked:
+    return AlarmLevel::Critical;
+  }
+  assert(false && "unknown alarm state");
+  return AlarmLevel::Normal;
+}
+
+void AlarmStateMachine::transitionTo(AlarmState Next, double TimeS,
+                                     double Value) {
+  if (Next == State)
+    return;
+  AlarmTransition Change;
+  Change.TimeS = TimeS;
+  Change.Sensor = Name;
+  Change.From = State;
+  Change.To = Next;
+  Change.Value = Value;
+  State = Next;
+
+  TransitionCount->add();
+  if (Next == AlarmState::Latched)
+    LatchCount->add();
+  if (Reg->tracingEnabled())
+    Reg->emitEvent("monitor.alarm.transition",
+                   {{"t_s", TimeS},
+                    {"sensor", std::string_view(Name)},
+                    {"from", alarmStateName(Change.From)},
+                    {"to", alarmStateName(Change.To)},
+                    {"value", Value}});
+  if (Transitions.size() < MaxLoggedTransitions)
+    Transitions.push_back(Change);
+  else
+    DroppedTransitions->add();
+  if (OnTransition)
+    OnTransition(Change);
+}
+
+AlarmState AlarmStateMachine::update(double TimeS, double Value) {
+  LastValue = Value;
+  ValueHistogram->record(Value);
+  AlarmLevel RawLevel = Raw.classify(Value);
+
+  // A latched alarm re-asserts the moment the condition truly returns —
+  // it is the same excursion resuming, not new chatter to debounce.
+  if (State == AlarmState::Latched) {
+    if (RawLevel == AlarmLevel::Critical)
+      transitionTo(AlarmState::Critical, TimeS, Value);
+    return State;
+  }
+
+  AlarmLevel Active = activeLevel();
+  if (static_cast<int>(RawLevel) > static_cast<int>(Active)) {
+    // Escalation candidate: count consecutive samples at this level.
+    if (PendingLevel == RawLevel) {
+      ++PendingCount;
+    } else {
+      PendingLevel = RawLevel;
+      PendingCount = 1;
+    }
+    if (PendingCount >= Config.DebounceSamples) {
+      PendingLevel = AlarmLevel::Normal;
+      PendingCount = 0;
+      transitionTo(RawLevel == AlarmLevel::Critical ? AlarmState::Critical
+                                                    : AlarmState::Warning,
+                   TimeS, Value);
+    }
+    return State;
+  }
+
+  // Not escalating: any pending excursion was a blip.
+  PendingLevel = AlarmLevel::Normal;
+  PendingCount = 0;
+
+  AlarmLevel HeldNow = heldLevel(Value);
+  if (static_cast<int>(HeldNow) >= static_cast<int>(Active))
+    return State; // Still inside the hysteresis band: hold.
+
+  switch (State) {
+  case AlarmState::Critical:
+    // Unacknowledged critical never clears silently.
+    transitionTo(Config.LatchCritical
+                     ? AlarmState::Latched
+                     : (HeldNow == AlarmLevel::Warning ? AlarmState::Warning
+                                                       : AlarmState::Normal),
+                 TimeS, Value);
+    break;
+  case AlarmState::CriticalAcked:
+    transitionTo(HeldNow == AlarmLevel::Warning ? AlarmState::Warning
+                                                : AlarmState::Normal,
+                 TimeS, Value);
+    break;
+  case AlarmState::Warning:
+    transitionTo(AlarmState::Normal, TimeS, Value);
+    break;
+  case AlarmState::Normal:
+  case AlarmState::Latched:
+    break;
+  }
+  return State;
+}
+
+bool AlarmStateMachine::acknowledge(double TimeS) {
+  telemetry::Counter &AckCount = Reg->counter("monitor.alarm.acks");
+  if (State == AlarmState::Critical) {
+    AckCount.add();
+    transitionTo(AlarmState::CriticalAcked, TimeS,
+                 std::numeric_limits<double>::quiet_NaN());
+    return true;
+  }
+  if (State == AlarmState::Latched) {
+    AckCount.add();
+    // The latch is released; drop to whatever the last reading supports
+    // (a reading still inside the critical hysteresis band displays
+    // Warning until it genuinely clears or re-asserts).
+    transitionTo(heldLevel(LastValue) == AlarmLevel::Normal
+                     ? AlarmState::Normal
+                     : AlarmState::Warning,
+                 TimeS, std::numeric_limits<double>::quiet_NaN());
+    return true;
+  }
+  return false;
+}
+
+void AlarmStateMachine::reset() {
+  State = AlarmState::Normal;
+  PendingLevel = AlarmLevel::Normal;
+  PendingCount = 0;
+  LastValue = 0.0;
+  Transitions.clear();
+}

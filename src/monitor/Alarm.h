@@ -1,0 +1,157 @@
+//===- monitor/Alarm.h - Alarm state machines with hysteresis ---*- C++ -*-===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SCADA-style alarm handling for the monitoring subsystem. The passive
+/// ThresholdSensor classifies one reading; an AlarmStateMachine turns a
+/// stream of readings into stable annunciator states:
+///
+///  - debounce: an excursion must persist for N consecutive samples
+///    before the alarm asserts (single-sample spikes do not chatter);
+///  - hysteresis: an asserted alarm only clears once the reading retreats
+///    a configurable band past its threshold (boundary noise does not
+///    toggle the alarm);
+///  - latching: a Critical alarm holds its indication even after the
+///    process returns to normal, until an operator acknowledges it —
+///    every protection trip stays visible until a human has seen it.
+///
+/// Every state change is appended to a bounded transition log and, when
+/// the owning registry is tracing, emitted as a `monitor.alarm.transition`
+/// event; see docs/OBSERVABILITY.md for the lifecycle diagram.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_MONITOR_ALARM_H
+#define RCS_MONITOR_ALARM_H
+
+#include "system/Monitoring.h"
+#include "telemetry/Telemetry.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace rcs {
+namespace monitor {
+
+/// Annunciator state of one alarm. `Latched` means the process condition
+/// has returned inside the hysteresis band but the critical indication is
+/// held awaiting acknowledgement (ISA-18.2 "returned-to-normal,
+/// unacknowledged"); `CriticalAcked` means the condition is still
+/// critical but an operator has seen it.
+enum class AlarmState {
+  Normal,
+  Warning,
+  Critical,
+  CriticalAcked,
+  Latched,
+};
+
+/// Name of \p State for reports and trace events.
+const char *alarmStateName(AlarmState State);
+
+/// The level an annunciator displays for \p State. Latched and
+/// acknowledged states still display Critical: the indication only drops
+/// once the alarm is both clear and acknowledged.
+rcsystem::AlarmLevel alarmStateLevel(AlarmState State);
+
+/// Lower-cases \p Name and maps every character outside [a-z0-9_.] to
+/// '_', for use inside metric names.
+std::string metricSlug(std::string_view Name);
+
+/// Tunables of one alarm state machine.
+struct AlarmConfig {
+  double WarnThreshold = 0.0;
+  double CriticalThreshold = 0.0;
+  /// Direction, matching ThresholdSensor.
+  bool HighIsBad = true;
+  /// How far past a threshold (toward safe) the reading must retreat
+  /// before that band clears, in the measured quantity's units.
+  double Hysteresis = 0.0;
+  /// Consecutive qualifying samples before an escalation asserts.
+  int DebounceSamples = 2;
+  /// Whether Critical holds its indication until acknowledged.
+  bool LatchCritical = true;
+};
+
+/// One recorded state change.
+struct AlarmTransition {
+  double TimeS = 0.0;
+  std::string Sensor;
+  AlarmState From = AlarmState::Normal;
+  AlarmState To = AlarmState::Normal;
+  /// The reading that caused the change (NaN for acknowledgements).
+  double Value = 0.0;
+};
+
+/// Debounced, hysteretic, latching alarm over one measured quantity.
+/// Not thread-safe; each machine belongs to one simulation loop.
+class AlarmStateMachine {
+public:
+  /// Transition logs stop growing past this many entries (the drop is
+  /// counted in `monitor.alarm.dropped_transitions`).
+  static constexpr size_t MaxLoggedTransitions = 1024;
+
+  /// \p Reg defaults to the process-wide registry.
+  AlarmStateMachine(std::string Name, AlarmConfig Config,
+                    telemetry::Registry *Reg = nullptr);
+
+  const std::string &name() const { return Name; }
+  const AlarmConfig &config() const { return Config; }
+  AlarmState state() const { return State; }
+  rcsystem::AlarmLevel level() const { return alarmStateLevel(State); }
+
+  /// Feeds one sample at \p TimeS; returns the (possibly new) state.
+  AlarmState update(double TimeS, double Value);
+
+  /// Operator acknowledgement. Critical becomes CriticalAcked; Latched
+  /// drops to whatever the last reading supports. Returns true when the
+  /// state changed.
+  bool acknowledge(double TimeS);
+
+  /// Returns to Normal with empty counters and log (a new run).
+  void reset();
+
+  const std::vector<AlarmTransition> &transitions() const {
+    return Transitions;
+  }
+
+  /// \p Callback is invoked on every transition, after it is logged.
+  void setTransitionCallback(
+      std::function<void(const AlarmTransition &)> Callback) {
+    OnTransition = std::move(Callback);
+  }
+
+private:
+  /// The level the current reading supports once hysteresis is applied:
+  /// an asserted band stays asserted until the reading crosses the
+  /// hysteresis-shifted threshold.
+  rcsystem::AlarmLevel heldLevel(double Value) const;
+  /// The level the machine is actively asserting (Latched asserts none).
+  rcsystem::AlarmLevel activeLevel() const;
+  void transitionTo(AlarmState Next, double TimeS, double Value);
+
+  std::string Name;
+  AlarmConfig Config;
+  telemetry::Registry *Reg;
+  rcsystem::ThresholdSensor Raw;  ///< Closed-boundary classification.
+  rcsystem::ThresholdSensor Held; ///< Hysteresis-shifted clearing bands.
+  AlarmState State = AlarmState::Normal;
+  rcsystem::AlarmLevel PendingLevel = rcsystem::AlarmLevel::Normal;
+  int PendingCount = 0;
+  double LastValue = 0.0;
+  std::vector<AlarmTransition> Transitions;
+  std::function<void(const AlarmTransition &)> OnTransition;
+  telemetry::Counter *TransitionCount = nullptr;
+  telemetry::Counter *LatchCount = nullptr;
+  telemetry::Counter *DroppedTransitions = nullptr;
+  telemetry::Histogram *ValueHistogram = nullptr;
+};
+
+} // namespace monitor
+} // namespace rcs
+
+#endif // RCS_MONITOR_ALARM_H

@@ -1,0 +1,92 @@
+//===- monitor/Exposition.h - Prometheus and JSONL metric export -*- C++ -*-===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns a telemetry Registry snapshot into formats external tooling
+/// scrapes: the Prometheus text exposition format (counters as
+/// `_total`, gauges verbatim, histograms and timers as summaries with
+/// p50/p95/p99 quantile samples), and compact one-object-per-line JSONL
+/// snapshots a long simulation can append periodically. Metric names are
+/// sanitized (`sim.transient.steps` -> `skatsim_sim_transient_steps`);
+/// see docs/OBSERVABILITY.md for the conventions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_MONITOR_EXPOSITION_H
+#define RCS_MONITOR_EXPOSITION_H
+
+#include "support/Status.h"
+#include "telemetry/Telemetry.h"
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace rcs {
+namespace monitor {
+
+/// Maps a dotted metric name onto the Prometheus grammar
+/// [a-zA-Z_:][a-zA-Z0-9_:]*: dots, spaces and other outsiders become
+/// '_', and a leading digit gains a '_' prefix.
+std::string prometheusName(std::string_view Name);
+
+/// Renders \p Snapshot in the Prometheus text exposition format, every
+/// metric prefixed with `<Prefix>_`.
+std::string renderPrometheus(const telemetry::MetricsSnapshot &Snapshot,
+                             std::string_view Prefix = "skatsim");
+
+/// Snapshots \p Reg and writes the Prometheus rendering to \p Path.
+Status writePrometheusFile(const telemetry::Registry &Reg,
+                           const std::string &Path,
+                           std::string_view Prefix = "skatsim");
+
+/// Renders \p Snapshot as one compact JSON object (single line), with
+/// `"t_s": TimeS` leading — the line format of periodic snapshot files.
+std::string renderSnapshotLine(const telemetry::MetricsSnapshot &Snapshot,
+                               double TimeS);
+
+/// Appends periodic registry snapshots to a JSONL file, keyed on
+/// simulation time so a paused wall clock does not starve the stream.
+class SnapshotWriter {
+public:
+  /// Opens \p Path for writing. \p PeriodS is simulation seconds between
+  /// samples; \p Reg defaults to the process-wide registry.
+  SnapshotWriter(std::string Path, double PeriodS,
+                 telemetry::Registry *Reg = nullptr);
+  ~SnapshotWriter();
+  SnapshotWriter(const SnapshotWriter &) = delete;
+  SnapshotWriter &operator=(const SnapshotWriter &) = delete;
+
+  /// True when the file opened; the failure is available as status().
+  bool isOpen() const { return Out != nullptr; }
+  const Status &status() const { return OpenStatus; }
+  size_t numSnapshots() const { return NumSnapshots; }
+
+  /// Writes a snapshot when \p SimTimeS has advanced a full period past
+  /// the previous one (the first call always writes).
+  Status maybeSample(double SimTimeS);
+
+  /// Writes a snapshot unconditionally.
+  Status sample(double SimTimeS);
+
+  /// Flushes and closes. Idempotent.
+  Status close();
+
+private:
+  std::string Path;
+  double PeriodS;
+  telemetry::Registry *Reg;
+  std::FILE *Out = nullptr;
+  Status OpenStatus;
+  double NextSampleTimeS = 0.0;
+  bool Started = false;
+  size_t NumSnapshots = 0;
+};
+
+} // namespace monitor
+} // namespace rcs
+
+#endif // RCS_MONITOR_EXPOSITION_H

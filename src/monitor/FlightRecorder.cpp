@@ -1,0 +1,154 @@
+//===- monitor/FlightRecorder.cpp - Ring-buffer black box ---------------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "monitor/FlightRecorder.h"
+
+#include "telemetry/Json.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace rcs;
+using namespace rcs::monitor;
+
+FlightRecorder::FlightRecorder(std::vector<std::string> ChannelsIn,
+                               FlightRecorderConfig ConfigIn,
+                               telemetry::Registry *RegIn)
+    : Channels(std::move(ChannelsIn)), Config(std::move(ConfigIn)),
+      Reg(RegIn ? RegIn : &telemetry::Registry::global()),
+      Stride(1 + Channels.size()) {
+  assert(Config.CapacityFrames > 0 && "recorder needs capacity");
+  assert(!Channels.empty() && "recorder needs at least one channel");
+  Ring.resize(Config.CapacityFrames * Stride);
+  FrameCount = &Reg->counter("monitor.flight.frames");
+  DumpCount = &Reg->counter("monitor.flight.dumps");
+  IgnoredTriggers = &Reg->counter("monitor.flight.ignored_triggers");
+}
+
+void FlightRecorder::record(double TimeS, const double *Values,
+                            size_t NumValues) {
+  assert(NumValues == Channels.size() &&
+         "one value per recorder channel");
+  double *Slot = &Ring[Head * Stride];
+  Slot[0] = TimeS;
+  for (size_t I = 0; I != NumValues; ++I)
+    Slot[1 + I] = Values[I];
+  Head = (Head + 1) % Config.CapacityFrames;
+  if (Size < Config.CapacityFrames)
+    ++Size;
+  ++TotalFrames;
+  FrameCount->add();
+
+  if (Triggered && !Dumped) {
+    ++PostFrames;
+    if (PostFrames >= Config.PostTriggerFrames)
+      DumpStatus = writeDump();
+  }
+}
+
+bool FlightRecorder::trigger(std::string_view Reason, double TimeS) {
+  if (Triggered) {
+    IgnoredTriggers->add();
+    return false;
+  }
+  Triggered = true;
+  TriggerReason = std::string(Reason);
+  TriggerTimeS = TimeS;
+  PostFrames = 0;
+  if (Reg->tracingEnabled())
+    Reg->emitEvent("monitor.flight.trigger",
+                   {{"t_s", TimeS},
+                    {"reason", std::string_view(TriggerReason)}});
+  if (Config.PostTriggerFrames == 0)
+    DumpStatus = writeDump();
+  return true;
+}
+
+Status FlightRecorder::finalize() {
+  if (Triggered && !Dumped)
+    DumpStatus = writeDump();
+  return DumpStatus;
+}
+
+std::vector<FlightRecorder::Frame> FlightRecorder::window() const {
+  std::vector<Frame> Frames;
+  Frames.reserve(Size);
+  size_t Oldest = Size < Config.CapacityFrames
+                      ? 0
+                      : Head; // Full ring: Head is the oldest frame.
+  for (size_t I = 0; I != Size; ++I) {
+    const double *Slot =
+        &Ring[((Oldest + I) % Config.CapacityFrames) * Stride];
+    Frame F;
+    F.TimeS = Slot[0];
+    F.Values.assign(Slot + 1, Slot + Stride);
+    Frames.push_back(std::move(F));
+  }
+  return Frames;
+}
+
+void FlightRecorder::reset() {
+  Head = 0;
+  Size = 0;
+  Triggered = false;
+  Dumped = false;
+  TriggerReason.clear();
+  TriggerTimeS = 0.0;
+  PostFrames = 0;
+  DumpStatus = Status::ok();
+}
+
+Status FlightRecorder::writeDump() {
+  Dumped = true; // One attempt per trigger, success or not.
+  if (Config.DumpPath.empty())
+    return Status::error("flight recorder triggered ('" + TriggerReason +
+                         "') but no dump path is configured");
+  std::FILE *Out = std::fopen(Config.DumpPath.c_str(), "w");
+  if (!Out)
+    return Status::error("cannot open flight recorder dump '" +
+                         Config.DumpPath + "'");
+
+  std::string Header =
+      "{\"kind\": \"flight_recorder_header\", \"reason\": " +
+      telemetry::jsonQuote(TriggerReason) +
+      ", \"trigger_t_s\": " + telemetry::jsonNumber(TriggerTimeS) +
+      ", \"frames\": " + std::to_string(Size) +
+      ", \"capacity\": " + std::to_string(Config.CapacityFrames) +
+      ", \"post_trigger_frames\": " + std::to_string(PostFrames) +
+      ", \"channels\": [";
+  for (size_t I = 0; I != Channels.size(); ++I) {
+    if (I != 0)
+      Header += ", ";
+    Header += telemetry::jsonQuote(Channels[I]);
+  }
+  Header += "]}\n";
+  std::fputs(Header.c_str(), Out);
+
+  for (const Frame &F : window()) {
+    std::string Line = "{\"kind\": \"frame\", \"t_s\": " +
+                       telemetry::jsonNumber(F.TimeS) + ", \"values\": [";
+    for (size_t I = 0; I != F.Values.size(); ++I) {
+      if (I != 0)
+        Line += ", ";
+      Line += telemetry::jsonNumber(F.Values[I]);
+    }
+    Line += "]}\n";
+    std::fputs(Line.c_str(), Out);
+  }
+
+  bool Ok = std::fflush(Out) == 0 && !std::ferror(Out);
+  Ok = std::fclose(Out) == 0 && Ok;
+  if (!Ok)
+    return Status::error("error writing flight recorder dump '" +
+                         Config.DumpPath + "'");
+  DumpCount->add();
+  if (Reg->tracingEnabled())
+    Reg->emitEvent("monitor.flight.dump",
+                   {{"t_s", TriggerTimeS},
+                    {"frames", static_cast<long long>(Size)},
+                    {"path", std::string_view(Config.DumpPath)}});
+  return Status::ok();
+}

@@ -1,0 +1,110 @@
+//===- monitor/FlightRecorder.h - Ring-buffer black box ---------*- C++ -*-===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-capacity ring buffer that continuously samples simulation
+/// state at low cost (one flat pre-allocated buffer, no per-frame
+/// allocation) and, when a protection trip or Critical alarm fires,
+/// dumps the pre-trip window plus a configurable post-trip tail to a
+/// JSONL artifact: a header object describing the channels and trigger,
+/// then one frame object per line. Every simulated failure gets a
+/// black-box record. See docs/OBSERVABILITY.md for the schema.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_MONITOR_FLIGHTRECORDER_H
+#define RCS_MONITOR_FLIGHTRECORDER_H
+
+#include "support/Status.h"
+#include "telemetry/Telemetry.h"
+
+#include <string>
+#include <vector>
+
+namespace rcs {
+namespace monitor {
+
+/// Tunables of the flight recorder.
+struct FlightRecorderConfig {
+  /// Frames held in the ring; older frames are overwritten.
+  size_t CapacityFrames = 600;
+  /// Frames recorded after a trigger before the dump is written.
+  size_t PostTriggerFrames = 30;
+  /// Where a dump is written; a trigger with no path set is an error
+  /// surfaced through finalize()/lastDumpStatus().
+  std::string DumpPath;
+};
+
+/// Continuous sampler with trigger-on-trip dumps.
+class FlightRecorder {
+public:
+  /// One decoded frame (introspection and tests; the ring itself is flat).
+  struct Frame {
+    double TimeS = 0.0;
+    std::vector<double> Values;
+  };
+
+  /// \p Channels names each value slot of a frame, in record() order.
+  /// \p Reg defaults to the process-wide registry.
+  FlightRecorder(std::vector<std::string> Channels,
+                 FlightRecorderConfig Config,
+                 telemetry::Registry *Reg = nullptr);
+
+  const std::vector<std::string> &channels() const { return Channels; }
+  size_t capacity() const { return Config.CapacityFrames; }
+  /// Frames currently held (<= capacity).
+  size_t framesHeld() const { return Size; }
+  /// Frames ever recorded.
+  uint64_t framesRecorded() const { return TotalFrames; }
+  bool triggered() const { return Triggered; }
+  bool dumped() const { return Dumped; }
+  /// Status of the last dump attempt (ok when none was attempted).
+  const Status &lastDumpStatus() const { return DumpStatus; }
+
+  /// Records one frame. \p NumValues must match the channel count.
+  void record(double TimeS, const double *Values, size_t NumValues);
+
+  /// Arms the dump: after PostTriggerFrames more samples the window is
+  /// written to DumpPath. Only the first trigger of a run is honoured;
+  /// returns false (and counts the ignore) for later ones.
+  bool trigger(std::string_view Reason, double TimeS);
+
+  /// Writes a pending dump even if the post-trigger tail is short (end
+  /// of simulation). Idempotent; ok when nothing is pending.
+  Status finalize();
+
+  /// Decodes the held window, oldest frame first.
+  std::vector<Frame> window() const;
+
+  /// Clears frames and trigger state for a fresh run.
+  void reset();
+
+private:
+  Status writeDump();
+
+  std::vector<std::string> Channels;
+  FlightRecorderConfig Config;
+  telemetry::Registry *Reg;
+  size_t Stride;             ///< Doubles per frame: 1 (time) + channels.
+  std::vector<double> Ring;  ///< CapacityFrames * Stride, flat.
+  size_t Head = 0;           ///< Next write slot (frame index).
+  size_t Size = 0;           ///< Frames held.
+  uint64_t TotalFrames = 0;
+  bool Triggered = false;
+  bool Dumped = false;
+  std::string TriggerReason;
+  double TriggerTimeS = 0.0;
+  size_t PostFrames = 0;
+  Status DumpStatus;
+  telemetry::Counter *FrameCount = nullptr;
+  telemetry::Counter *DumpCount = nullptr;
+  telemetry::Counter *IgnoredTriggers = nullptr;
+};
+
+} // namespace monitor
+} // namespace rcs
+
+#endif // RCS_MONITOR_FLIGHTRECORDER_H

@@ -1,0 +1,134 @@
+//===- monitor/Supervisor.cpp - Debounced alarm bank for the sims -------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "monitor/Supervisor.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace rcs;
+using namespace rcs::monitor;
+using rcsystem::AlarmLevel;
+using rcsystem::ControlAction;
+
+Supervisor::Supervisor(
+    std::vector<std::pair<std::string, AlarmConfig>> Sensors,
+    telemetry::Registry *Reg) {
+  Machines.reserve(Sensors.size());
+  for (auto &[Name, Config] : Sensors)
+    Machines.emplace_back(std::move(Name), Config, Reg);
+}
+
+SupervisoryReport Supervisor::update(double TimeS, const double *Values,
+                                     size_t NumValues) {
+  assert(NumValues == Machines.size() &&
+         "one value per supervised sensor");
+  SupervisoryReport Report;
+  Report.States.reserve(Machines.size());
+  for (size_t I = 0; I != NumValues; ++I) {
+    AlarmState State = Machines[I].update(TimeS, Values[I]);
+    Report.States.push_back(State);
+    AlarmLevel Level = alarmStateLevel(State);
+    if (static_cast<int>(Level) > static_cast<int>(Report.Worst))
+      Report.Worst = Level;
+  }
+  return Report;
+}
+
+bool Supervisor::acknowledgeAll(double TimeS) {
+  bool Changed = false;
+  for (AlarmStateMachine &Machine : Machines)
+    Changed = Machine.acknowledge(TimeS) || Changed;
+  return Changed;
+}
+
+void Supervisor::reset() {
+  for (AlarmStateMachine &Machine : Machines)
+    Machine.reset();
+}
+
+void Supervisor::setTransitionCallback(
+    std::function<void(const AlarmTransition &)> Callback) {
+  for (AlarmStateMachine &Machine : Machines)
+    Machine.setTransitionCallback(Callback);
+}
+
+std::vector<AlarmTransition> Supervisor::allTransitions() const {
+  std::vector<AlarmTransition> Merged;
+  for (const AlarmStateMachine &Machine : Machines)
+    Merged.insert(Merged.end(), Machine.transitions().begin(),
+                  Machine.transitions().end());
+  std::stable_sort(Merged.begin(), Merged.end(),
+                   [](const AlarmTransition &A, const AlarmTransition &B) {
+                     return A.TimeS < B.TimeS;
+                   });
+  return Merged;
+}
+
+Supervisor
+rcs::monitor::makeModuleSupervisor(const rcsystem::MonitoringConfig &Config,
+                                   const SupervisorTuning &Tuning,
+                                   telemetry::Registry *Reg) {
+  AlarmConfig Coolant;
+  Coolant.WarnThreshold = Config.CoolantWarnTempC;
+  Coolant.CriticalThreshold = Config.CoolantCriticalTempC;
+  Coolant.HighIsBad = true;
+  Coolant.Hysteresis = Tuning.TempHysteresisC;
+  Coolant.DebounceSamples = Tuning.DebounceSamples;
+  Coolant.LatchCritical = Tuning.LatchCritical;
+
+  AlarmConfig Junction = Coolant;
+  Junction.WarnThreshold = Config.JunctionWarnTempC;
+  Junction.CriticalThreshold = Config.JunctionCriticalTempC;
+
+  AlarmConfig Flow;
+  Flow.WarnThreshold = Config.FlowWarnFraction * Config.DesignFlowM3PerS;
+  Flow.CriticalThreshold =
+      Config.FlowCriticalFraction * Config.DesignFlowM3PerS;
+  Flow.HighIsBad = false;
+  Flow.Hysteresis =
+      Tuning.FlowHysteresisFraction * Config.DesignFlowM3PerS;
+  Flow.DebounceSamples = Tuning.DebounceSamples;
+  Flow.LatchCritical = Tuning.LatchCritical;
+
+  return Supervisor({{"coolant temperature", Coolant},
+                     {"FPGA junction temperature", Junction},
+                     {"coolant flow", Flow}},
+                    Reg);
+}
+
+ControlAction
+rcs::monitor::recommendModuleAction(const SupervisoryReport &Report) {
+  assert(Report.States.size() == 3 && "module supervisor has 3 sensors");
+  if (Report.Worst == AlarmLevel::Critical)
+    return ControlAction::Shutdown;
+  if (Report.Worst == AlarmLevel::Normal)
+    return ControlAction::None;
+  if (alarmStateLevel(Report.States[1]) == AlarmLevel::Warning)
+    return ControlAction::ReduceClock;
+  return ControlAction::RaisePumpSpeed;
+}
+
+Supervisor rcs::monitor::makeRackSupervisor(
+    double WaterWarnC, double WaterCriticalC, double JunctionWarnC,
+    double JunctionCriticalC, const SupervisorTuning &Tuning,
+    telemetry::Registry *Reg) {
+  AlarmConfig Water;
+  Water.WarnThreshold = WaterWarnC;
+  Water.CriticalThreshold = WaterCriticalC;
+  Water.HighIsBad = true;
+  Water.Hysteresis = Tuning.TempHysteresisC;
+  Water.DebounceSamples = Tuning.DebounceSamples;
+  Water.LatchCritical = Tuning.LatchCritical;
+
+  AlarmConfig Junction = Water;
+  Junction.WarnThreshold = JunctionWarnC;
+  Junction.CriticalThreshold = JunctionCriticalC;
+
+  return Supervisor({{"rack water temperature", Water},
+                     {"rack max junction temperature", Junction}},
+                    Reg);
+}

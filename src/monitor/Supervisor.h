@@ -1,0 +1,109 @@
+//===- monitor/Supervisor.h - Debounced alarm bank for the sims -*- C++ -*-===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Supervisor owns one AlarmStateMachine per monitored quantity and
+/// evaluates them as a sweep, the live counterpart of the stateless
+/// ControlSystem::evaluateRaw. The transient simulators feed it every
+/// control period; the controller then acts on debounced annunciator
+/// states instead of raw classifications, so a single noisy sample at a
+/// threshold boundary no longer toggles pump speed or clocks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_MONITOR_SUPERVISOR_H
+#define RCS_MONITOR_SUPERVISOR_H
+
+#include "monitor/Alarm.h"
+
+#include <utility>
+
+namespace rcs {
+namespace monitor {
+
+/// Debounce/hysteresis tuning shared by a supervisor's alarms.
+struct SupervisorTuning {
+  int DebounceSamples = 2;
+  /// Hysteresis on temperature alarms, in kelvin.
+  double TempHysteresisC = 2.0;
+  /// Hysteresis on the flow alarm, as a fraction of the design flow.
+  double FlowHysteresisFraction = 0.05;
+  bool LatchCritical = true;
+};
+
+/// One supervisory sweep's outcome.
+struct SupervisoryReport {
+  /// Worst displayed level across the bank (latched alarms included).
+  rcsystem::AlarmLevel Worst = rcsystem::AlarmLevel::Normal;
+  /// Per-sensor annunciator states, in the bank's sensor order.
+  std::vector<AlarmState> States;
+  bool anyLatched() const {
+    for (AlarmState S : States)
+      if (S == AlarmState::Latched)
+        return true;
+    return false;
+  }
+};
+
+/// A bank of alarm state machines evaluated together.
+class Supervisor {
+public:
+  /// \p Reg defaults to the process-wide registry.
+  explicit Supervisor(
+      std::vector<std::pair<std::string, AlarmConfig>> Sensors,
+      telemetry::Registry *Reg = nullptr);
+
+  size_t numSensors() const { return Machines.size(); }
+  AlarmStateMachine &sensor(size_t I) { return Machines[I]; }
+  const AlarmStateMachine &sensor(size_t I) const { return Machines[I]; }
+
+  /// Feeds one sweep: Values[I] is sensor I's reading at \p TimeS.
+  SupervisoryReport update(double TimeS, const double *Values,
+                           size_t NumValues);
+
+  /// Acknowledges every alarm; returns true if any state changed.
+  bool acknowledgeAll(double TimeS);
+
+  /// Resets every machine for a fresh run (transition logs cleared).
+  void reset();
+
+  /// Installs \p Callback on every machine (replacing earlier ones).
+  void setTransitionCallback(
+      std::function<void(const AlarmTransition &)> Callback);
+
+  /// Every machine's transitions merged into one time-ordered log.
+  std::vector<AlarmTransition> allTransitions() const;
+
+private:
+  std::vector<AlarmStateMachine> Machines;
+};
+
+/// The classic CM sensor bank over \p Config's thresholds, in the order
+/// the paper lists them: 0 = coolant temperature, 1 = FPGA junction
+/// temperature, 2 = coolant flow. recommendModuleAction assumes this
+/// layout.
+Supervisor makeModuleSupervisor(const rcsystem::MonitoringConfig &Config,
+                                const SupervisorTuning &Tuning,
+                                telemetry::Registry *Reg = nullptr);
+
+/// Maps a module supervisor's report to the controller policy of
+/// ControlSystem::evaluateRaw: critical anywhere (latched included) ->
+/// shutdown; junction warning -> shed clocks; coolant or flow warning ->
+/// push the pump harder.
+rcsystem::ControlAction
+recommendModuleAction(const SupervisoryReport &Report);
+
+/// Rack-level bank: 0 = chilled water temperature, 1 = max FPGA
+/// junction temperature.
+Supervisor makeRackSupervisor(double WaterWarnC, double WaterCriticalC,
+                              double JunctionWarnC, double JunctionCriticalC,
+                              const SupervisorTuning &Tuning,
+                              telemetry::Registry *Reg = nullptr);
+
+} // namespace monitor
+} // namespace rcs
+
+#endif // RCS_MONITOR_SUPERVISOR_H

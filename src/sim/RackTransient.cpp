@@ -36,9 +36,20 @@ RackTransientSimulator::RackTransientSimulator(RackConfig RackIn,
                                                double AmbientTempCIn,
                                                RackTransientConfig ConfigIn)
     : Rack(std::move(RackIn)), AmbientTempC(AmbientTempCIn),
-      Config(ConfigIn) {
+      Config(ConfigIn),
+      Super(monitor::makeRackSupervisor(
+          Config.WaterWarnTempC, Config.WaterCriticalTempC,
+          Config.JunctionWarnTempC, Config.ProtectionTripC,
+          Config.Supervision)) {
   assert(Rack.Module.Cooling == CoolingKind::Immersion &&
          "the rack transient simulator models immersion modules");
+}
+
+const std::vector<std::string> &RackTransientSimulator::flightChannels() {
+  static const std::vector<std::string> Channels = {
+      "water_C",  "mean_oil_C", "max_junction_C",
+      "power_W",  "chiller_W",  "modules_down"};
+  return Channels;
 }
 
 void RackTransientSimulator::scheduleChillerCapacity(double TimeS,
@@ -107,6 +118,7 @@ RackTransientSimulator::run(double DurationS) {
   std::vector<double> OilTemp(NumModules, WaterTemp + 4.0);
   std::vector<bool> ShutDown(NumModules, false);
 
+  Super.reset();
   std::vector<RackTraceSample> Trace;
   size_t NextEvent = 0;
   double NextSampleTime = 0.0;
@@ -184,6 +196,8 @@ RackTransientSimulator::run(double DurationS) {
           ChipTemp[I] >= Config.ProtectionTripC) {
         ShutDown[I] = true;
         TripCount.add();
+        if (FlightRec)
+          FlightRec->trigger("protection trip", Time);
         if (Telemetry.tracingEnabled())
           Telemetry.emitEvent("sim.rack_transient.protection_trip",
                               {{"t_s", Time},
@@ -191,6 +205,13 @@ RackTransientSimulator::run(double DurationS) {
                                {"junction_C", ChipTemp[I]}});
       }
     }
+
+    // Rack alarm bank: shared-loop water temperature and the hottest
+    // junction, debounced and hysteresis-qualified.
+    double Readings[2] = {WaterTemp, MaxJunction};
+    monitor::SupervisoryReport Report = Super.update(Time, Readings, 2);
+    if (FlightRec && Report.Worst == AlarmLevel::Critical)
+      FlightRec->trigger("critical alarm", Time);
 
     // Water loop update: module duties in, chiller extraction out.
     double ChillerRequest =
@@ -200,6 +221,18 @@ RackTransientSimulator::run(double DurationS) {
                                   ChillerFraction * Rack.ChillerRatedDutyW);
     WaterTemp +=
         (TotalDuty - ChillerDuty) / WaterCapacitance * Config.TimeStepS;
+
+    double SumOil = 0.0;
+    for (double T : OilTemp)
+      SumOil += T;
+    double MeanOil = SumOil / NumModules;
+
+    if (FlightRec) {
+      double Frame[6] = {WaterTemp,  MeanOil,
+                         MaxJunction, TotalPower,
+                         ChillerDuty, static_cast<double>(DownCount)};
+      FlightRec->record(Time, Frame, 6);
+    }
 
     StepCount.add();
     if (Telemetry.tracingEnabled())
@@ -216,17 +249,20 @@ RackTransientSimulator::run(double DurationS) {
       RackTraceSample Sample;
       Sample.TimeS = Time;
       Sample.WaterTempC = WaterTemp;
-      double SumOil = 0.0;
-      for (double T : OilTemp)
-        SumOil += T;
-      Sample.MeanOilTempC = SumOil / NumModules;
+      Sample.MeanOilTempC = MeanOil;
       Sample.MaxJunctionTempC = MaxJunction;
       Sample.ChillerDutyW = ChillerDuty;
       Sample.TotalPowerW = TotalPower;
       Sample.ModulesShutDown = DownCount;
+      Sample.Alarm = Report.Worst;
       Trace.push_back(Sample);
+      if (SampleCallback)
+        SampleCallback(Trace.back());
     }
   }
+
+  if (FlightRec)
+    (void)FlightRec->finalize();
 
   if (NextEvent < Events.size()) {
     uint64_t Dropped = Events.size() - NextEvent;

@@ -17,9 +17,12 @@
 #ifndef RCS_SIM_RACKTRANSIENT_H
 #define RCS_SIM_RACKTRANSIENT_H
 
+#include "monitor/FlightRecorder.h"
+#include "monitor/Supervisor.h"
 #include "support/Status.h"
 #include "system/Rack.h"
 
+#include <functional>
 #include <vector>
 
 namespace rcs {
@@ -40,6 +43,12 @@ struct RackTransientConfig {
   /// Junction temperature at which a module's protection latches it off.
   double ProtectionTripC = 85.0;
   bool EnableProtection = true;
+  /// Supervisory alarm thresholds on the shared loop and hottest module.
+  double WaterWarnTempC = 28.0;
+  double WaterCriticalTempC = 38.0;
+  double JunctionWarnTempC = 70.0;
+  /// Debounce/hysteresis tuning of the rack alarm bank.
+  monitor::SupervisorTuning Supervision;
 };
 
 /// One recorded rack-level sample.
@@ -51,6 +60,8 @@ struct RackTraceSample {
   double ChillerDutyW = 0.0;
   double TotalPowerW = 0.0;
   int ModulesShutDown = 0;
+  /// Worst debounced alarm across the rack alarm bank at sample time.
+  rcsystem::AlarmLevel Alarm = rcsystem::AlarmLevel::Normal;
 };
 
 /// Transient simulator for a rack of immersion modules.
@@ -70,6 +81,25 @@ public:
   /// Runs the simulation and returns the rack trace.
   Expected<std::vector<RackTraceSample>> run(double DurationS);
 
+  /// The rack-level alarm bank (shared-loop water, hottest junction).
+  monitor::Supervisor &supervisor() { return Super; }
+
+  /// Attaches a non-owning flight recorder; every step is recorded and
+  /// the first protection trip (or Critical alarm) triggers the dump.
+  /// Channel order matches flightChannels().
+  void attachFlightRecorder(monitor::FlightRecorder *Recorder) {
+    FlightRec = Recorder;
+  }
+
+  /// Invoked for each recorded rack trace sample during run().
+  void setSampleCallback(
+      std::function<void(const RackTraceSample &)> Callback) {
+    SampleCallback = std::move(Callback);
+  }
+
+  /// Channel names (and order) of flight-recorder frames.
+  static const std::vector<std::string> &flightChannels();
+
 private:
   struct Event {
     double TimeS;
@@ -82,6 +112,9 @@ private:
   double AmbientTempC;
   RackTransientConfig Config;
   std::vector<Event> Events;
+  monitor::Supervisor Super;
+  monitor::FlightRecorder *FlightRec = nullptr;
+  std::function<void(const RackTraceSample &)> SampleCallback;
 };
 
 } // namespace sim

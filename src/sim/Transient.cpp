@@ -32,13 +32,35 @@ using namespace rcs;
 using namespace rcs::sim;
 using namespace rcs::rcsystem;
 
+namespace {
+
+/// Module monitoring thresholds with the design flow anchored to the
+/// module's own rated pump bank, as the steady solver does.
+MonitoringConfig monitoringConfigFor(const ModuleConfig &Module) {
+  MonitoringConfig MonitorConfig;
+  MonitorConfig.DesignFlowM3PerS =
+      Module.Immersion.NumPumps * Module.Immersion.PumpRatedFlowM3PerS;
+  return MonitorConfig;
+}
+
+} // namespace
+
 TransientSimulator::TransientSimulator(ModuleConfig ModuleIn,
                                        ExternalConditions ConditionsIn,
                                        TransientConfig ConfigIn)
     : Module(std::move(ModuleIn)), Conditions(ConditionsIn),
-      Config(ConfigIn) {
+      Config(ConfigIn),
+      Super(monitor::makeModuleSupervisor(monitoringConfigFor(Module),
+                                          Config.Supervision)) {
   assert(Module.Cooling == CoolingKind::Immersion &&
          "the transient simulator models immersion modules");
+}
+
+const std::vector<std::string> &TransientSimulator::flightChannels() {
+  static const std::vector<std::string> Channels = {
+      "junction_C", "oil_C",      "power_W",
+      "flow_m3s",   "pump_speed", "clock_fraction"};
+  return Channels;
 }
 
 void TransientSimulator::scheduleWorkload(double TimeS,
@@ -130,11 +152,7 @@ Expected<std::vector<TraceSample>> TransientSimulator::run(double DurationS) {
   double OilTemp = WaterInlet + 4.0;
   double ChipTemp = OilTemp + 5.0;
 
-  ControlSystem Control;
-  MonitoringConfig MonitorConfig = Control.config();
-  MonitorConfig.DesignFlowM3PerS = NominalFlow;
-  ControlSystem Controller{MonitorConfig};
-
+  Super.reset();
   std::vector<TraceSample> Trace;
   size_t NextEvent = 0;
   double NextSampleTime = 0.0;
@@ -234,23 +252,33 @@ Expected<std::vector<TraceSample>> TransientSimulator::run(double DurationS) {
                            {"pump_speed", PumpSpeed},
                            {"clock_fraction", ClockScale}});
 
-    // Control loop.
+    if (FlightRec) {
+      double Frame[6] = {ChipTemp, OilTemp,   ChipHeat + MiscHeat,
+                         Flow,     PumpSpeed, ClockScale};
+      FlightRec->record(Time, Frame, 6);
+    }
+
+    // Control loop: the controller consumes the debounced, hysteresis-
+    // qualified alarm bank rather than raw threshold classifications.
     if (Time >= NextControlTime) {
       NextControlTime += Config.ControlPeriodS;
-      MonitoringReport Monitor =
-          Controller.evaluateRaw(OilTemp, ChipTemp, Flow);
-      LastAlarm = Monitor.Worst;
-      LastAction = Monitor.Action;
-      if (Monitor.Action != ControlAction::None)
+      double Readings[3] = {OilTemp, ChipTemp, Flow};
+      monitor::SupervisoryReport Report = Super.update(Time, Readings, 3);
+      ControlAction Action = monitor::recommendModuleAction(Report);
+      LastAlarm = Report.Worst;
+      LastAction = Action;
+      if (FlightRec && Report.Worst == AlarmLevel::Critical)
+        FlightRec->trigger("critical alarm", Time);
+      if (Action != ControlAction::None)
         ActionCount.add();
       if (Telemetry.tracingEnabled())
         Telemetry.emitEvent("sim.transient.control",
                             {{"t_s", Time},
-                             {"alarm", alarmLevelName(Monitor.Worst)},
-                             {"action", controlActionName(Monitor.Action)},
+                             {"alarm", alarmLevelName(Report.Worst)},
+                             {"action", controlActionName(Action)},
                              {"shut_down", ShutDown}});
       if (Config.ApplyControlActions && !ShutDown) {
-        switch (Monitor.Action) {
+        switch (Action) {
         case ControlAction::None:
           break;
         case ControlAction::RaisePumpSpeed:
@@ -282,8 +310,14 @@ Expected<std::vector<TraceSample>> TransientSimulator::run(double DurationS) {
       Sample.Action = LastAction;
       Sample.ShutDown = ShutDown;
       Trace.push_back(Sample);
+      if (SampleCallback)
+        SampleCallback(Trace.back());
     }
   }
+
+  // Flush a partial post-trigger tail if the run ended mid-window.
+  if (FlightRec)
+    (void)FlightRec->finalize();
 
   // Events scheduled past the horizon never fired. Surface the miss as a
   // warning counter (and a trace event) instead of dropping it silently.

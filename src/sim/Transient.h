@@ -18,10 +18,13 @@
 #ifndef RCS_SIM_TRANSIENT_H
 #define RCS_SIM_TRANSIENT_H
 
+#include "monitor/FlightRecorder.h"
+#include "monitor/Supervisor.h"
 #include "support/Status.h"
 #include "system/Module.h"
 #include "system/Monitoring.h"
 
+#include <functional>
 #include <vector>
 
 namespace rcs {
@@ -36,6 +39,9 @@ struct TransientConfig {
   /// Whether controller actions (pump speed, clock shedding, shutdown)
   /// are applied or merely recorded.
   bool ApplyControlActions = true;
+  /// Debounce/hysteresis tuning of the supervisory alarm bank the
+  /// controller consumes.
+  monitor::SupervisorTuning Supervision;
   /// Lumped heat capacities.
   double ChipCapacitancePerFpgaJPerK = 120.0; ///< Package + sink mass.
   double OilVolumeM3 = 0.20;                  ///< Bath inventory.
@@ -79,6 +85,26 @@ public:
   /// Runs the simulation for \p DurationS seconds and returns the trace.
   Expected<std::vector<TraceSample>> run(double DurationS);
 
+  /// The supervisory alarm bank the control loop consumes. Transition
+  /// callbacks installed here fire during run().
+  monitor::Supervisor &supervisor() { return Super; }
+
+  /// Attaches a non-owning flight recorder; every integration step is
+  /// recorded and a Critical alarm triggers the dump. Channel order
+  /// matches flightChannels().
+  void attachFlightRecorder(monitor::FlightRecorder *Recorder) {
+    FlightRec = Recorder;
+  }
+
+  /// Invoked for each recorded trace sample during run(); used by the
+  /// monitor CLI to stream periodic state without re-walking the trace.
+  void setSampleCallback(std::function<void(const TraceSample &)> Callback) {
+    SampleCallback = std::move(Callback);
+  }
+
+  /// Channel names (and order) of flight-recorder frames.
+  static const std::vector<std::string> &flightChannels();
+
 private:
   struct Event {
     double TimeS;
@@ -91,6 +117,9 @@ private:
   rcsystem::ExternalConditions Conditions;
   TransientConfig Config;
   std::vector<Event> Events;
+  monitor::Supervisor Super;
+  monitor::FlightRecorder *FlightRec = nullptr;
+  std::function<void(const TraceSample &)> SampleCallback;
 };
 
 } // namespace sim

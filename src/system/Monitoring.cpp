@@ -7,6 +7,7 @@
 #include "system/Monitoring.h"
 
 #include <cassert>
+#include <cmath>
 
 using namespace rcs;
 using namespace rcs::rcsystem;
@@ -52,6 +53,10 @@ ThresholdSensor::ThresholdSensor(std::string NameIn, double WarnThresholdIn,
 }
 
 AlarmLevel ThresholdSensor::classify(double Value) const {
+  // Fail safe: a reading that is not a number is a failed sensor, and a
+  // failed protection sensor must trip, not stay silent.
+  if (!std::isfinite(Value))
+    return AlarmLevel::Critical;
   if (HighIsBad) {
     if (Value >= CriticalThreshold)
       return AlarmLevel::Critical;

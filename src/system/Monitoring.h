@@ -31,16 +31,26 @@ enum class AlarmLevel { Normal, Warning, Critical };
 const char *alarmLevelName(AlarmLevel Level);
 
 /// A threshold classifier for one measured quantity.
+///
+/// Boundary convention: a reading exactly at a threshold is already IN
+/// the band that threshold guards, in both directions. A high-is-bad
+/// sensor with Warn = 35 classifies 35.0 as Warning; a low-is-bad flow
+/// sensor with Warn = 0.7 classifies 0.7 as Warning. The alarmed bands
+/// are closed at their thresholds — protection must err toward firing,
+/// never toward staying quiet on the exact limit the datasheet names.
+/// Non-finite readings (NaN/Inf from a failed sensor) classify as
+/// Critical: a sensor that cannot be read cannot prove the plant safe.
 class ThresholdSensor {
 public:
-  /// When \p HighIsBad, readings above Warn/Critical trip; otherwise
-  /// readings below them trip (e.g. coolant flow or level).
+  /// When \p HighIsBad, readings at or above Warn/Critical trip;
+  /// otherwise readings at or below them trip (e.g. coolant flow or
+  /// level).
   ThresholdSensor(std::string Name, double WarnThreshold,
                   double CriticalThreshold, bool HighIsBad = true);
 
   const std::string &name() const { return Name; }
 
-  /// Classifies \p Value.
+  /// Classifies \p Value under the closed-boundary convention above.
   AlarmLevel classify(double Value) const;
 
 private:

@@ -78,6 +78,43 @@ uint64_t Histogram::bucketCount(int Bucket) const {
   return Buckets[Bucket];
 }
 
+double Histogram::quantileLocked(double Q) const {
+  if (Count == 0)
+    return 0.0;
+  Q = std::clamp(Q, 0.0, 1.0);
+  double MaxMagnitude = std::max(std::fabs(Min), std::fabs(Max));
+
+  // Rank of the requested quantile among the recorded magnitudes, then
+  // the bucket holding it.
+  double Rank = Q * static_cast<double>(Count);
+  uint64_t Cumulative = 0;
+  for (int B = 0; B != NumBuckets; ++B) {
+    if (Buckets[B] == 0)
+      continue;
+    uint64_t Next = Cumulative + Buckets[B];
+    if (Rank <= static_cast<double>(Next) || B == NumBuckets - 1 ||
+        Next == Count) {
+      // Log-interpolate the position inside the decade; bucket 0 also
+      // holds zeros, so it interpolates linearly from zero instead.
+      double Within =
+          (Rank - static_cast<double>(Cumulative)) /
+          static_cast<double>(Buckets[B]);
+      Within = std::clamp(Within, 0.0, 1.0);
+      double Lower = bucketLowerBound(B);
+      double Estimate = B == 0 ? Within * Lower
+                               : Lower * std::pow(10.0, Within);
+      return std::min(Estimate, MaxMagnitude);
+    }
+    Cumulative = Next;
+  }
+  return MaxMagnitude;
+}
+
+double Histogram::quantile(double Q) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return quantileLocked(Q);
+}
+
 //===----------------------------------------------------------------------===//
 // Registry
 //===----------------------------------------------------------------------===//
@@ -191,6 +228,35 @@ void Registry::recordSpan(SpanStats &Slot, double StartS, double DurationS,
     Sink->span(StartS, DurationS, Depth, Label);
 }
 
+MetricsSnapshot Registry::snapshotMetrics() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  MetricsSnapshot Snapshot;
+  Snapshot.Counters.reserve(Counters.size());
+  for (const auto &[Name, C] : Counters)
+    Snapshot.Counters.emplace_back(Name, C.value());
+  Snapshot.Gauges.reserve(Gauges.size());
+  for (const auto &[Name, G] : Gauges)
+    Snapshot.Gauges.emplace_back(Name, G.value());
+  Snapshot.Histograms.reserve(Histograms.size());
+  for (const auto &[Name, H] : Histograms) {
+    std::lock_guard<std::mutex> HLock(H.Mutex);
+    HistogramSnapshot S;
+    S.Count = H.Count;
+    S.Sum = H.Sum;
+    S.Min = H.Count ? H.Min : 0.0;
+    S.Max = H.Count ? H.Max : 0.0;
+    S.Mean = H.Count ? H.Sum / static_cast<double>(H.Count) : 0.0;
+    S.P50 = H.quantileLocked(0.50);
+    S.P95 = H.quantileLocked(0.95);
+    S.P99 = H.quantileLocked(0.99);
+    Snapshot.Histograms.emplace_back(Name, S);
+  }
+  Snapshot.Timers.reserve(Spans.size());
+  for (const auto &[Label, S] : Spans)
+    Snapshot.Timers.emplace_back(Label, S);
+  return Snapshot;
+}
+
 std::string Registry::metricsJson() const {
   std::lock_guard<std::mutex> Lock(Mutex);
   std::string Out = "{\n  \"counters\": {";
@@ -225,7 +291,9 @@ std::string Registry::metricsJson() const {
            ", \"mean\": " +
            jsonNumber(H.Count ? H.Sum / static_cast<double>(H.Count)
                               : 0.0) +
-           "}";
+           ", \"p50\": " + jsonNumber(H.quantileLocked(0.50)) +
+           ", \"p95\": " + jsonNumber(H.quantileLocked(0.95)) +
+           ", \"p99\": " + jsonNumber(H.quantileLocked(0.99)) + "}";
   }
   Out += First ? "},\n" : "\n  },\n";
 

@@ -39,6 +39,8 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace rcs {
 namespace telemetry {
@@ -97,6 +99,17 @@ public:
   double maxValue() const; ///< Zero when empty.
   uint64_t bucketCount(int Bucket) const;
 
+  /// Estimated value at quantile \p Q (in [0, 1]) of the recorded
+  /// magnitude distribution: the bucket containing the rank is found and
+  /// the position within it log-interpolated, then clamped to the
+  /// observed magnitude range. Decade buckets make this coarse (within
+  /// a factor of ~2), which is enough to tell 1e-12 from 1e-3 residuals
+  /// or 40 C from 90 C junctions. Zero when empty.
+  double quantile(double Q) const;
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+
   /// The bucket \p Sample falls into.
   static int bucketFor(double Sample);
   /// Inclusive lower magnitude bound of \p Bucket.
@@ -104,6 +117,7 @@ public:
 
 private:
   friend class Registry;
+  double quantileLocked(double Q) const; ///< Mutex must be held.
   mutable std::mutex Mutex;
   uint64_t Count = 0;
   double Sum = 0.0;
@@ -118,6 +132,28 @@ struct SpanStats {
   double TotalS = 0.0;
   double MinS = 0.0;
   double MaxS = 0.0;
+};
+
+/// Point-in-time summary of one histogram, percentiles included.
+struct HistogramSnapshot {
+  uint64_t Count = 0;
+  double Sum = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+  double Mean = 0.0;
+  double P50 = 0.0;
+  double P95 = 0.0;
+  double P99 = 0.0;
+};
+
+/// A consistent copy of every metric in a registry, for exposition
+/// layers that render formats the registry itself does not know about
+/// (Prometheus text, periodic JSONL snapshots).
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> Counters;
+  std::vector<std::pair<std::string, double>> Gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> Histograms;
+  std::vector<std::pair<std::string, SpanStats>> Timers;
 };
 
 /// One key/value field of a structured event. Keys and string values are
@@ -221,6 +257,10 @@ public:
   /// is attached.
   void emitEvent(std::string_view Name,
                  std::initializer_list<EventField> Fields);
+
+  /// Copies every metric (counters, gauges, histogram summaries with
+  /// percentiles, timer aggregates) into one consistent snapshot.
+  MetricsSnapshot snapshotMetrics() const;
 
   /// Renders every metric (counters, gauges, histograms, timer
   /// aggregates) as one JSON object.

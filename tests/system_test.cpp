@@ -17,6 +17,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 using namespace rcs;
 using namespace rcs::rcsystem;
@@ -325,6 +326,35 @@ TEST(MonitoringTest, ThresholdSensorDirections) {
   EXPECT_EQ(Flow.classify(1.0), AlarmLevel::Normal);
   EXPECT_EQ(Flow.classify(0.5), AlarmLevel::Warning);
   EXPECT_EQ(Flow.classify(0.1), AlarmLevel::Critical);
+}
+
+TEST(MonitoringTest, ThresholdBoundariesAreClosed) {
+  // A reading exactly at a threshold is already in the band that
+  // threshold guards, in both directions.
+  ThresholdSensor Temp("t", 35.0, 45.0, /*HighIsBad=*/true);
+  EXPECT_EQ(Temp.classify(35.0), AlarmLevel::Warning);
+  EXPECT_EQ(Temp.classify(45.0), AlarmLevel::Critical);
+  EXPECT_EQ(Temp.classify(34.999), AlarmLevel::Normal);
+  EXPECT_EQ(Temp.classify(44.999), AlarmLevel::Warning);
+
+  ThresholdSensor Flow("f", 0.7, 0.3, /*HighIsBad=*/false);
+  EXPECT_EQ(Flow.classify(0.7), AlarmLevel::Warning);
+  EXPECT_EQ(Flow.classify(0.3), AlarmLevel::Critical);
+  EXPECT_EQ(Flow.classify(0.701), AlarmLevel::Normal);
+  EXPECT_EQ(Flow.classify(0.301), AlarmLevel::Warning);
+}
+
+TEST(MonitoringTest, NonFiniteReadingsClassifyCritical) {
+  // Fail safe: a NaN or infinite reading is a failed sensor, and a
+  // failed protection sensor must trip, not stay silent.
+  double NaN = std::numeric_limits<double>::quiet_NaN();
+  double Inf = std::numeric_limits<double>::infinity();
+  ThresholdSensor Temp("t", 35.0, 45.0, /*HighIsBad=*/true);
+  EXPECT_EQ(Temp.classify(NaN), AlarmLevel::Critical);
+  EXPECT_EQ(Temp.classify(Inf), AlarmLevel::Critical);
+  EXPECT_EQ(Temp.classify(-Inf), AlarmLevel::Critical);
+  ThresholdSensor Flow("f", 0.7, 0.3, /*HighIsBad=*/false);
+  EXPECT_EQ(Flow.classify(NaN), AlarmLevel::Critical);
 }
 
 TEST(MonitoringTest, HealthySkatModuleIsNormal) {

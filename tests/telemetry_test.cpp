@@ -104,6 +104,57 @@ TEST(HistogramTest, DecadeBuckets) {
   EXPECT_EQ(H.bucketCount(0), 0u);
 }
 
+TEST(HistogramTest, QuantilesAreOrderedAndBounded) {
+  Registry Reg;
+  Histogram &H = Reg.histogram("test.histogram.quantiles");
+  // Empty histogram: all quantiles are zero.
+  EXPECT_EQ(H.quantile(0.5), 0.0);
+  for (int I = 1; I <= 1000; ++I)
+    H.record(double(I)); // Spans buckets [1,10), [10,100), [100,1000].
+  double P50 = H.p50(), P95 = H.p95(), P99 = H.p99();
+  EXPECT_LE(P50, P95);
+  EXPECT_LE(P95, P99);
+  EXPECT_GE(P50, H.minValue());
+  EXPECT_LE(P99, H.maxValue());
+  // Decade buckets bound the estimate to the right order of magnitude:
+  // the true p50 is 500, inside [100, 1000).
+  EXPECT_GE(P50, 100.0);
+  EXPECT_LE(P50, 1000.0);
+  EXPECT_GE(P99, 100.0);
+}
+
+TEST(HistogramTest, QuantileOfUniformBucketIsInterpolated) {
+  Registry Reg;
+  Histogram &H = Reg.histogram("test.histogram.interp");
+  for (int I = 0; I != 100; ++I)
+    H.record(5.0); // One bucket: [1, 10).
+  double P50 = H.quantile(0.5);
+  EXPECT_GE(P50, 1.0);
+  EXPECT_LE(P50, 5.0) << "estimates clamp to the observed max";
+  EXPECT_DOUBLE_EQ(H.quantile(1.0), 5.0);
+}
+
+TEST(HistogramTest, SnapshotMetricsCarriesQuantiles) {
+  Registry Reg;
+  Reg.counter("test.snapshot.count").add(7);
+  Reg.gauge("test.snapshot.level").set(2.5);
+  Histogram &H = Reg.histogram("test.snapshot.samples");
+  for (int I = 1; I <= 100; ++I)
+    H.record(double(I));
+  MetricsSnapshot Snapshot = Reg.snapshotMetrics();
+  ASSERT_EQ(Snapshot.Counters.size(), 1u);
+  EXPECT_EQ(Snapshot.Counters[0].first, "test.snapshot.count");
+  EXPECT_EQ(Snapshot.Counters[0].second, 7u);
+  ASSERT_EQ(Snapshot.Gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(Snapshot.Gauges[0].second, 2.5);
+  ASSERT_EQ(Snapshot.Histograms.size(), 1u);
+  const HistogramSnapshot &HS = Snapshot.Histograms[0].second;
+  EXPECT_EQ(HS.Count, 100u);
+  EXPECT_LE(HS.P50, HS.P95);
+  EXPECT_LE(HS.P95, HS.P99);
+  EXPECT_LE(HS.P99, HS.Max);
+}
+
 TEST(RegistryTest, ResetZeroesInPlace) {
   Registry Reg;
   Counter &C = Reg.counter("test.reset.count");

@@ -5,21 +5,34 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Validates files emitted by the telemetry sinks:
+/// Validates observability artifacts the simulator emits:
 ///
 ///   check_trace <file>...
 ///
-/// A file is accepted if it parses as one JSON document (Chrome traces,
-/// metrics snapshots) or as JSON Lines (the JSONL sink; every line leads
-/// with '{' but the stream as a whole is not one document). Empty files
-/// and empty traces fail: a trace that was requested but captured nothing
-/// is a wiring bug, not a pass.
+/// The file kind is auto-detected:
+///
+///  - flight-recorder dumps (JSONL with a `flight_recorder_header` first
+///    line): header schema, one frame per remaining line, per-frame value
+///    counts matching the channel list, strictly monotonic frame times,
+///    and a trigger time bracketed by the dumped window;
+///  - metrics snapshot streams (JSONL lines with `t_s` and `counters`):
+///    valid lines with strictly increasing timestamps;
+///  - Prometheus text exposition (leading `# TYPE` comment): every line a
+///    well-formed comment or `name[{labels}] value` sample with names in
+///    the Prometheus grammar;
+///  - everything else: one JSON document (Chrome traces, metrics
+///    snapshots) or JSON Lines (the JSONL sink).
+///
+/// Empty files and empty traces fail: an artifact that was requested but
+/// captured nothing is a wiring bug, not a pass.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "telemetry/Json.h"
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -43,6 +56,219 @@ Expected<std::string> readFile(const std::string &Path) {
   return Text;
 }
 
+std::vector<std::string> splitLines(const std::string &Text) {
+  std::vector<std::string> Lines;
+  size_t Start = 0;
+  while (Start < Text.size()) {
+    size_t End = Text.find('\n', Start);
+    if (End == std::string::npos)
+      End = Text.size();
+    if (End > Start)
+      Lines.push_back(Text.substr(Start, End - Start));
+    Start = End + 1;
+  }
+  return Lines;
+}
+
+/// Extracts the number following `"Key": ` in \p Object. The emitters
+/// under test write exactly this spacing, so plain search suffices.
+bool findNumber(const std::string &Object, const std::string &Key,
+                double &Out) {
+  std::string Needle = "\"" + Key + "\": ";
+  size_t Pos = Object.find(Needle);
+  if (Pos == std::string::npos)
+    return false;
+  const char *Start = Object.c_str() + Pos + Needle.size();
+  char *End = nullptr;
+  Out = std::strtod(Start, &End);
+  return End != Start;
+}
+
+/// Counts the elements of the flat array following `"Key": [`.
+bool countArrayItems(const std::string &Object, const std::string &Key,
+                     size_t &Out) {
+  std::string Needle = "\"" + Key + "\": [";
+  size_t Open = Object.find(Needle);
+  if (Open == std::string::npos)
+    return false;
+  size_t Close = Object.find(']', Open);
+  if (Close == std::string::npos)
+    return false;
+  std::string Body =
+      Object.substr(Open + Needle.size(), Close - Open - Needle.size());
+  if (Body.find_first_not_of(" \t") == std::string::npos) {
+    Out = 0;
+    return true;
+  }
+  Out = 1;
+  for (char C : Body)
+    Out += C == ',';
+  return true;
+}
+
+/// Flight-recorder dump: header line, then `frames` frame lines with
+/// monotonic times and channel-count values; the trigger time must lie
+/// inside the dumped window.
+Status validateFlightDump(const std::vector<std::string> &Lines) {
+  const std::string &Header = Lines[0];
+  Status HeaderJson = telemetry::validateJson(Header);
+  if (!HeaderJson.isOk())
+    return Status::error("header is not valid JSON: " +
+                         HeaderJson.message());
+  double TriggerTime = 0.0, DeclaredFrames = 0.0;
+  size_t NumChannels = 0;
+  if (!findNumber(Header, "trigger_t_s", TriggerTime))
+    return Status::error("header lacks trigger_t_s");
+  if (!findNumber(Header, "frames", DeclaredFrames))
+    return Status::error("header lacks frames");
+  if (Header.find("\"reason\": ") == std::string::npos)
+    return Status::error("header lacks reason");
+  if (!countArrayItems(Header, "channels", NumChannels) ||
+      NumChannels == 0)
+    return Status::error("header lacks a channel list");
+
+  if (Lines.size() - 1 != static_cast<size_t>(DeclaredFrames))
+    return Status::error(
+        "header declares " +
+        std::to_string(static_cast<size_t>(DeclaredFrames)) +
+        " frames but the dump holds " + std::to_string(Lines.size() - 1));
+
+  double PrevTime = 0.0;
+  for (size_t I = 1; I != Lines.size(); ++I) {
+    const std::string &Line = Lines[I];
+    std::string Where = "frame line " + std::to_string(I + 1);
+    Status LineJson = telemetry::validateJson(Line);
+    if (!LineJson.isOk())
+      return Status::error(Where + " is not valid JSON: " +
+                           LineJson.message());
+    if (Line.find("\"kind\": \"frame\"") == std::string::npos)
+      return Status::error(Where + " is not a frame object");
+    double Time = 0.0;
+    size_t NumValues = 0;
+    if (!findNumber(Line, "t_s", Time))
+      return Status::error(Where + " lacks t_s");
+    if (!countArrayItems(Line, "values", NumValues))
+      return Status::error(Where + " lacks values");
+    if (NumValues != NumChannels)
+      return Status::error(Where + " holds " + std::to_string(NumValues) +
+                           " values for " + std::to_string(NumChannels) +
+                           " channels");
+    if (I > 1 && Time <= PrevTime)
+      return Status::error(Where + " time " + std::to_string(Time) +
+                           " does not advance past " +
+                           std::to_string(PrevTime));
+    PrevTime = Time;
+  }
+
+  double FirstTime = 0.0;
+  (void)findNumber(Lines[1], "t_s", FirstTime);
+  if (TriggerTime < FirstTime || TriggerTime > PrevTime)
+    return Status::error("trigger time " + std::to_string(TriggerTime) +
+                         " lies outside the dumped window [" +
+                         std::to_string(FirstTime) + ", " +
+                         std::to_string(PrevTime) + "]");
+  return Status::ok();
+}
+
+/// Periodic metrics snapshots: JSONL with strictly increasing `t_s`.
+Status validateSnapshots(const std::vector<std::string> &Lines) {
+  double PrevTime = 0.0;
+  for (size_t I = 0; I != Lines.size(); ++I) {
+    const std::string &Line = Lines[I];
+    std::string Where = "snapshot line " + std::to_string(I + 1);
+    Status LineJson = telemetry::validateJson(Line);
+    if (!LineJson.isOk())
+      return Status::error(Where + " is not valid JSON: " +
+                           LineJson.message());
+    double Time = 0.0;
+    if (!findNumber(Line, "t_s", Time))
+      return Status::error(Where + " lacks t_s");
+    if (Line.find("\"counters\": {") == std::string::npos ||
+        Line.find("\"histograms\": {") == std::string::npos)
+      return Status::error(Where + " lacks counters/histograms");
+    if (I > 0 && Time <= PrevTime)
+      return Status::error(Where + " time " + std::to_string(Time) +
+                           " does not advance past " +
+                           std::to_string(PrevTime));
+    PrevTime = Time;
+  }
+  return Status::ok();
+}
+
+bool validPrometheusName(const std::string &Name) {
+  if (Name.empty())
+    return false;
+  for (size_t I = 0; I != Name.size(); ++I) {
+    char C = Name[I];
+    bool Ok = std::isalpha(static_cast<unsigned char>(C)) || C == '_' ||
+              C == ':' ||
+              (I > 0 && std::isdigit(static_cast<unsigned char>(C)));
+    if (!Ok)
+      return false;
+  }
+  return true;
+}
+
+bool validPrometheusValue(const std::string &Token) {
+  if (Token == "NaN" || Token == "+Inf" || Token == "-Inf")
+    return true;
+  if (Token.empty())
+    return false;
+  char *End = nullptr;
+  (void)std::strtod(Token.c_str(), &End);
+  return End == Token.c_str() + Token.size();
+}
+
+/// Prometheus text exposition: `# TYPE`/`# HELP` comments and
+/// `name[{labels}] value` samples. \p NumSamples counts sample lines.
+Status validatePrometheus(const std::vector<std::string> &Lines,
+                          size_t &NumSamples) {
+  NumSamples = 0;
+  for (size_t I = 0; I != Lines.size(); ++I) {
+    const std::string &Line = Lines[I];
+    std::string Where = "line " + std::to_string(I + 1);
+    if (Line[0] == '#') {
+      // "# TYPE <name> <kind>" or "# HELP <name> <text>".
+      if (Line.rfind("# TYPE ", 0) == 0) {
+        std::string Rest = Line.substr(7);
+        size_t Space = Rest.find(' ');
+        if (Space == std::string::npos ||
+            !validPrometheusName(Rest.substr(0, Space)))
+          return Status::error(Where + ": malformed TYPE comment");
+        std::string Kind = Rest.substr(Space + 1);
+        if (Kind != "counter" && Kind != "gauge" && Kind != "summary" &&
+            Kind != "histogram" && Kind != "untyped")
+          return Status::error(Where + ": unknown metric type '" + Kind +
+                               "'");
+      } else if (Line.rfind("# HELP ", 0) != 0) {
+        return Status::error(Where + ": unrecognised comment");
+      }
+      continue;
+    }
+    size_t NameEnd = Line.find_first_of("{ ");
+    if (NameEnd == std::string::npos)
+      return Status::error(Where + ": sample without a value");
+    if (!validPrometheusName(Line.substr(0, NameEnd)))
+      return Status::error(Where + ": invalid metric name '" +
+                           Line.substr(0, NameEnd) + "'");
+    size_t ValueStart = NameEnd;
+    if (Line[NameEnd] == '{') {
+      size_t Close = Line.find('}', NameEnd);
+      if (Close == std::string::npos)
+        return Status::error(Where + ": unterminated label set");
+      ValueStart = Close + 1;
+    }
+    if (ValueStart >= Line.size() || Line[ValueStart] != ' ')
+      return Status::error(Where + ": no space before the value");
+    if (!validPrometheusValue(Line.substr(ValueStart + 1)))
+      return Status::error(Where + ": invalid sample value");
+    ++NumSamples;
+  }
+  if (NumSamples == 0)
+    return Status::error("no samples");
+  return Status::ok();
+}
+
 /// Validates one file; prints a per-file verdict line.
 bool checkFile(const std::string &Path) {
   Expected<std::string> Text = readFile(Path);
@@ -55,6 +281,53 @@ bool checkFile(const std::string &Path) {
   if (First == std::string::npos) {
     std::fprintf(stderr, "check_trace: '%s' is empty\n", Path.c_str());
     return false;
+  }
+
+  std::vector<std::string> Lines = splitLines(*Text);
+
+  // Flight-recorder dump: self-identifying header line.
+  if (!Lines.empty() &&
+      Lines[0].find("\"kind\": \"flight_recorder_header\"") !=
+          std::string::npos) {
+    Status Valid = validateFlightDump(Lines);
+    if (!Valid.isOk()) {
+      std::fprintf(stderr, "check_trace: '%s' invalid flight dump: %s\n",
+                   Path.c_str(), Valid.message().c_str());
+      return false;
+    }
+    std::printf("check_trace: %s ok (flight dump, %zu frames)\n",
+                Path.c_str(), Lines.size() - 1);
+    return true;
+  }
+
+  // Prometheus text exposition: leads with a TYPE comment.
+  if ((*Text)[First] == '#') {
+    size_t NumSamples = 0;
+    Status Valid = validatePrometheus(Lines, NumSamples);
+    if (!Valid.isOk()) {
+      std::fprintf(stderr,
+                   "check_trace: '%s' invalid prometheus text: %s\n",
+                   Path.c_str(), Valid.message().c_str());
+      return false;
+    }
+    std::printf("check_trace: %s ok (prometheus, %zu samples)\n",
+                Path.c_str(), NumSamples);
+    return true;
+  }
+
+  // Periodic metrics snapshots: every line opens with a timestamp.
+  if (!Lines.empty() && Lines[0].rfind("{\"t_s\": ", 0) == 0 &&
+      Lines[0].find("\"counters\": {") != std::string::npos) {
+    Status Valid = validateSnapshots(Lines);
+    if (!Valid.isOk()) {
+      std::fprintf(stderr,
+                   "check_trace: '%s' invalid snapshot stream: %s\n",
+                   Path.c_str(), Valid.message().c_str());
+      return false;
+    }
+    std::printf("check_trace: %s ok (snapshots, %zu lines)\n",
+                Path.c_str(), Lines.size());
+    return true;
   }
 
   size_t NumRecords = 0;

@@ -27,6 +27,9 @@
 #include "core/ConfigIO.h"
 #include "core/DesignSpace.h"
 #include "core/Designs.h"
+#include "monitor/Exposition.h"
+#include "monitor/FlightRecorder.h"
+#include "sim/RackTransient.h"
 #include "sim/Transient.h"
 #include "support/Csv.h"
 #include "support/StringUtils.h"
@@ -265,6 +268,175 @@ int cmdTransient(const ArgList &Args) {
   return 0;
 }
 
+/// Shared tail of `skatsim monitor`: reports the flight recorder and
+/// writes the Prometheus snapshot. Returns the process exit code.
+int finishMonitor(const ArgList &Args, monitor::FlightRecorder *Recorder,
+                  monitor::SnapshotWriter *Snapshots,
+                  size_t NumTransitions) {
+  std::printf("%zu alarm transitions\n", NumTransitions);
+  if (Recorder) {
+    if (Recorder->triggered()) {
+      const Status &DumpStatus = Recorder->lastDumpStatus();
+      if (!DumpStatus.isOk()) {
+        std::fprintf(stderr, "flight recorder: %s\n",
+                     DumpStatus.message().c_str());
+        return 1;
+      }
+      std::printf("flight recorder: dumped %zu frames to %s\n",
+                  Recorder->framesHeld(),
+                  Args.getString("flight", "").c_str());
+    } else {
+      std::printf("flight recorder: armed, never triggered (%zu frames "
+                  "seen)\n",
+                  Recorder->framesRecorded());
+    }
+  }
+  if (Snapshots) {
+    Status Closed = Snapshots->close();
+    if (!Closed.isOk()) {
+      std::fprintf(stderr, "snapshots: %s\n", Closed.message().c_str());
+      return 1;
+    }
+    std::printf("wrote %zu metric snapshots to %s\n",
+                Snapshots->numSnapshots(),
+                Args.getString("snapshots", "").c_str());
+  }
+  std::string PromPath = Args.getString("prom", "");
+  if (!PromPath.empty()) {
+    Status Written = monitor::writePrometheusFile(
+        telemetry::Registry::global(), PromPath);
+    if (!Written.isOk()) {
+      std::fprintf(stderr, "prom: %s\n", Written.message().c_str());
+      return 1;
+    }
+    std::printf("wrote prometheus metrics to %s\n", PromPath.c_str());
+  }
+  return 0;
+}
+
+int cmdMonitor(const ArgList &Args) {
+  bool RackMode = Args.has("rack");
+  if (!RackMode && Args.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: skatsim monitor <design>|--rack [--flags]\n");
+    return 2;
+  }
+  double Hours = Args.getDouble("hours", 2.0);
+  double DurationS = Hours * 3600.0;
+
+  std::unique_ptr<monitor::SnapshotWriter> Snapshots;
+  if (Args.has("snapshots")) {
+    Snapshots = std::make_unique<monitor::SnapshotWriter>(
+        Args.getString("snapshots", ""),
+        Args.getDouble("snapshot-period", 600.0));
+    if (!Snapshots->isOpen()) {
+      std::fprintf(stderr, "snapshots: %s\n",
+                   Snapshots->status().message().c_str());
+      return 2;
+    }
+  }
+  monitor::FlightRecorderConfig FlightConfig;
+  FlightConfig.DumpPath = Args.getString("flight", "");
+  FlightConfig.CapacityFrames =
+      static_cast<size_t>(Args.getInt("flight-frames", 600));
+  FlightConfig.PostTriggerFrames =
+      static_cast<size_t>(Args.getInt("flight-tail", 30));
+
+  auto PrintTransition = [](const monitor::AlarmTransition &T) {
+    std::printf("alarm t=%.0fs %s: %s -> %s (value=%.4g)\n", T.TimeS,
+                T.Sensor.c_str(), monitor::alarmStateName(T.From),
+                monitor::alarmStateName(T.To), T.Value);
+  };
+
+  if (RackMode) {
+    RackConfig Config = Args.has("skat-plus") ? core::makeSkatPlusRack()
+                                              : core::makeSkatRack();
+    sim::RackTransientSimulator Simulator(Config,
+                                          Args.getDouble("ambient", 25.0));
+    if (Args.has("chiller-fail-h"))
+      Simulator.scheduleChillerCapacity(
+          Args.getDouble("chiller-fail-h", 0.5) * 3600.0, 0.0);
+    if (Args.has("chiller-repair-h"))
+      Simulator.scheduleChillerCapacity(
+          Args.getDouble("chiller-repair-h", 1.0) * 3600.0, 1.0);
+    std::unique_ptr<monitor::FlightRecorder> Recorder;
+    if (!FlightConfig.DumpPath.empty()) {
+      Recorder = std::make_unique<monitor::FlightRecorder>(
+          sim::RackTransientSimulator::flightChannels(), FlightConfig);
+      Simulator.attachFlightRecorder(Recorder.get());
+    }
+    Simulator.supervisor().setTransitionCallback(PrintTransition);
+    if (Snapshots)
+      Simulator.setSampleCallback([&](const sim::RackTraceSample &S) {
+        (void)Snapshots->maybeSample(S.TimeS);
+      });
+    Expected<std::vector<sim::RackTraceSample>> Trace =
+        Simulator.run(DurationS);
+    if (!Trace) {
+      std::fprintf(stderr, "simulation failed: %s\n",
+                   Trace.message().c_str());
+      return 1;
+    }
+    if (Args.has("ack"))
+      Simulator.supervisor().acknowledgeAll(DurationS);
+    const sim::RackTraceSample &Last = Trace->back();
+    std::printf("t=%.1fh water %.1f C, max junction %.1f C, %d modules "
+                "down, alarm %s\n",
+                Last.TimeS / 3600.0, Last.WaterTempC,
+                Last.MaxJunctionTempC, Last.ModulesShutDown,
+                alarmLevelName(Last.Alarm));
+    return finishMonitor(Args, Recorder.get(), Snapshots.get(),
+                         Simulator.supervisor().allTransitions().size());
+  }
+
+  Expected<ModuleConfig> Config = designByName(Args.positional()[0]);
+  if (!Config) {
+    std::fprintf(stderr, "error: %s\n", Config.message().c_str());
+    return 2;
+  }
+  if (Config->Cooling != CoolingKind::Immersion) {
+    std::fprintf(stderr,
+                 "error: the monitor runs on immersion designs\n");
+    return 2;
+  }
+  sim::TransientSimulator Simulator(*Config, core::makeNominalConditions());
+  if (Args.has("pump-fail-h"))
+    Simulator.schedulePumpSpeed(
+        Args.getDouble("pump-fail-h", 1.0) * 3600.0, 0.0);
+  if (Args.has("pump-repair-h"))
+    Simulator.schedulePumpSpeed(
+        Args.getDouble("pump-repair-h", 1.0) * 3600.0, 1.0);
+  if (Args.has("water-fail-h"))
+    Simulator.scheduleWaterFlow(
+        Args.getDouble("water-fail-h", 1.0) * 3600.0, 0.0);
+  std::unique_ptr<monitor::FlightRecorder> Recorder;
+  if (!FlightConfig.DumpPath.empty()) {
+    Recorder = std::make_unique<monitor::FlightRecorder>(
+        sim::TransientSimulator::flightChannels(), FlightConfig);
+    Simulator.attachFlightRecorder(Recorder.get());
+  }
+  Simulator.supervisor().setTransitionCallback(PrintTransition);
+  if (Snapshots)
+    Simulator.setSampleCallback([&](const sim::TraceSample &S) {
+      (void)Snapshots->maybeSample(S.TimeS);
+    });
+  Expected<std::vector<sim::TraceSample>> Trace = Simulator.run(DurationS);
+  if (!Trace) {
+    std::fprintf(stderr, "simulation failed: %s\n",
+                 Trace.message().c_str());
+    return 1;
+  }
+  if (Args.has("ack"))
+    Simulator.supervisor().acknowledgeAll(DurationS);
+  const sim::TraceSample &Last = Trace->back();
+  std::printf("t=%.1fh junction %.1f C, oil %.1f C, alarm %s%s\n",
+              Last.TimeS / 3600.0, Last.MaxJunctionTempC, Last.OilTempC,
+              alarmLevelName(Last.Alarm),
+              Last.ShutDown ? " (shut down)" : "");
+  return finishMonitor(Args, Recorder.get(), Snapshots.get(),
+                       Simulator.supervisor().allTransitions().size());
+}
+
 int cmdSetpoint(const ArgList &Args) {
   if (Args.positional().empty()) {
     std::fprintf(stderr, "usage: skatsim setpoint <design> [--limit C]\n");
@@ -299,6 +471,14 @@ void printUsage() {
       "  skatsim rack [--ambient C] [--isolate N] [--skat-plus]\n"
       "  skatsim transient <design> [--hours H] [--pump-fail-h T]"
       " [--csv FILE]\n"
+      "  skatsim monitor <design>|--rack [--hours H] [--pump-fail-h T]\n"
+      "                  [--pump-repair-h T] [--water-fail-h T]"
+      " [--chiller-fail-h T]\n"
+      "                  [--chiller-repair-h T]\n"
+      "                  [--flight FILE] [--flight-frames N]"
+      " [--flight-tail N]\n"
+      "                  [--prom FILE] [--snapshots FILE]"
+      " [--snapshot-period S] [--ack]\n"
       "  skatsim setpoint <design> [--limit C]\n"
       "every command also accepts:\n"
       "  --trace FILE    structured event trace (.jsonl = JSON Lines,\n"
@@ -315,6 +495,8 @@ int runCommand(const std::string &Command, const ArgList &Args) {
     return cmdRack(Args);
   if (Command == "transient")
     return cmdTransient(Args);
+  if (Command == "monitor")
+    return cmdMonitor(Args);
   if (Command == "setpoint")
     return cmdSetpoint(Args);
   printUsage();
