@@ -60,9 +60,9 @@ int main() {
               formatString("%.1f", Result.WorstMaxJunctionC),
               formatString("%.1f", Result.P95CoolantHotC),
               formatString("%.1f%%",
-                           Result.FractionOverJunctionLimit * 100.0),
+                           Result.OverJunctionLimitFraction * 100.0),
               formatString("%.1f%%",
-                           Result.FractionOverCoolantLimit * 100.0)});
+                           Result.OverCoolantLimitFraction * 100.0)});
   }
   std::printf("%s\n", T.render().c_str());
   std::printf("Junction margin is robust for SKAT and modified SKAT+ (0%% "
@@ -74,23 +74,23 @@ int main() {
               "essentially the whole space and over the junction line in "
               "a fifth of it - why Section 4 redesigns the cooling.\n\n");
 
-  bool Ok = Results[0].FractionOverJunctionLimit == 0.0 &&
-            Results[0].FractionOverCoolantLimit < 0.35 &&
+  bool Ok = Results[0].OverJunctionLimitFraction == 0.0 &&
+            Results[0].OverCoolantLimitFraction < 0.35 &&
             Results[0].NumFailedSolves == 0 &&
-            Results[1].FractionOverJunctionLimit == 0.0 &&
-            Results[2].FractionOverCoolantLimit > 0.9 &&
-            Results[2].FractionOverJunctionLimit >
-                Results[0].FractionOverJunctionLimit;
+            Results[1].OverJunctionLimitFraction == 0.0 &&
+            Results[2].OverCoolantLimitFraction > 0.9 &&
+            Results[2].OverJunctionLimitFraction >
+                Results[0].OverJunctionLimitFraction;
   std::printf("Shape check (SKAT robust, naive SKAT+ structurally out of "
               "envelope): %s\n",
               Ok ? "PASS" : "FAIL");
   Bench.addMetric("skat_p95_tj_C", Results[0].P95MaxJunctionC);
   Bench.addMetric("skat_over_junction_fraction",
-                  Results[0].FractionOverJunctionLimit);
+                  Results[0].OverJunctionLimitFraction);
   Bench.addMetric("skatplus_over_junction_fraction",
-                  Results[1].FractionOverJunctionLimit);
+                  Results[1].OverJunctionLimitFraction);
   Bench.addMetric("naive_over_coolant_fraction",
-                  Results[2].FractionOverCoolantLimit);
+                  Results[2].OverCoolantLimitFraction);
   Bench.writeOrWarn(Ok);
   return Ok ? 0 : 1;
 }

@@ -89,15 +89,15 @@ int main() {
 
   // --- Flow budget per FPGA ------------------------------------------------
   const double FpgaPowerW = 91.0;
-  const double DeltaTC = 5.0;
+  const double TempRiseC = 5.0;
   double WaterFlow =
-      requiredVolumeFlowM3PerS(*Water, FpgaPowerW, TempC, DeltaTC);
+      requiredVolumeFlowM3PerS(*Water, FpgaPowerW, TempC, TempRiseC);
   double AirFlow = requiredVolumeFlowM3PerS(*Air, FpgaPowerW, TempC,
-                                            DeltaTC);
+                                            TempRiseC);
   double OilFlow = requiredVolumeFlowM3PerS(*Md45, FpgaPowerW, TempC,
-                                            DeltaTC);
+                                            TempRiseC);
   std::printf("Coolant flow to absorb one 91 W FPGA at dT = %.0f C:\n",
-              DeltaTC);
+              TempRiseC);
   Table Flow({"fluid", "flow per minute", "paper says"});
   Flow.addRow({"air", formatString("%.2f m^3", AirFlow * 60.0),
                "1 m^3"});

@@ -112,7 +112,7 @@ UncertaintyResult rcs::core::analyzeModuleTolerances(
   Result.P95MaxJunctionC = percentile(Junctions, 0.95);
   Result.WorstMaxJunctionC =
       *std::max_element(Junctions.begin(), Junctions.end());
-  Result.FractionOverJunctionLimit = OverJunction / N;
+  Result.OverJunctionLimitFraction = OverJunction / N;
 
   double CoolantSum = 0.0;
   int OverCoolant = 0;
@@ -124,6 +124,6 @@ UncertaintyResult rcs::core::analyzeModuleTolerances(
   Result.P95CoolantHotC = percentile(Coolants, 0.95);
   Result.WorstCoolantHotC =
       *std::max_element(Coolants.begin(), Coolants.end());
-  Result.FractionOverCoolantLimit = OverCoolant / N;
+  Result.OverCoolantLimitFraction = OverCoolant / N;
   return Result;
 }

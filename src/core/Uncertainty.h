@@ -54,8 +54,8 @@ struct UncertaintyResult {
   double WorstCoolantHotC = 0.0;
 
   /// Fraction of samples violating the given limits.
-  double FractionOverJunctionLimit = 0.0;
-  double FractionOverCoolantLimit = 0.0;
+  double OverJunctionLimitFraction = 0.0;
+  double OverCoolantLimitFraction = 0.0;
 };
 
 /// Runs the tolerance Monte-Carlo on an immersion module.

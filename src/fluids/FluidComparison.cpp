@@ -21,11 +21,11 @@ double rcs::fluids::volumetricHeatCapacityRatio(const Fluid &Liquid,
 
 double rcs::fluids::requiredVolumeFlowM3PerS(const Fluid &Coolant,
                                              double PowerW, double InletTempC,
-                                             double DeltaTC) {
-  assert(PowerW >= 0 && DeltaTC > 0 && "invalid flow sizing inputs");
-  double MeanTempC = InletTempC + 0.5 * DeltaTC;
+                                             double TempRiseC) {
+  assert(PowerW >= 0 && TempRiseC > 0 && "invalid flow sizing inputs");
+  double MeanTempC = InletTempC + 0.5 * TempRiseC;
   double RhoCp = Coolant.volumetricHeatCapacityJPerM3K(MeanTempC);
-  return PowerW / (RhoCp * DeltaTC);
+  return PowerW / (RhoCp * TempRiseC);
 }
 
 double rcs::fluids::flatPlateHtcWPerM2K(const Fluid &F, double TempC,

@@ -26,9 +26,9 @@ double volumetricHeatCapacityRatio(const Fluid &Liquid, const Fluid &Gas,
                                    double TempC);
 
 /// Volume flow in m^3/s needed to absorb \p PowerW with a bulk temperature
-/// rise of \p DeltaTC in \p Coolant entering at \p InletTempC.
+/// rise of \p TempRiseC in \p Coolant entering at \p InletTempC.
 double requiredVolumeFlowM3PerS(const Fluid &Coolant, double PowerW,
-                                double InletTempC, double DeltaTC);
+                                double InletTempC, double TempRiseC);
 
 /// Forced-convection heat-transfer coefficient over a flat plate of length
 /// \p PlateLengthM at free-stream velocity \p VelocityMPerS, W/(m^2*K).

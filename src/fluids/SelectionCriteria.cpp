@@ -62,12 +62,12 @@ SelectionScore rcs::fluids::scoreCoolant(const Fluid &Candidate, double TempC,
   // Cost: $20/l poor .. $2/l good.
   Score.CostScore = normalizeLinear(Candidate.costPerLiterUsd(), 20.0, 2.0);
 
-  Score.Total = Weights.HeatTransfer * Score.HeatTransferScore +
-                Weights.Viscosity * Score.ViscosityScore +
-                Weights.Dielectric * Score.DielectricScore +
-                Weights.FireSafety * Score.FireSafetyScore +
-                Weights.Stability * Score.StabilityScore +
-                Weights.Cost * Score.CostScore;
+  Score.Total = Weights.HeatTransferWeight * Score.HeatTransferScore +
+                Weights.ViscosityWeight * Score.ViscosityScore +
+                Weights.DielectricWeight * Score.DielectricScore +
+                Weights.FireSafetyWeight * Score.FireSafetyScore +
+                Weights.StabilityWeight * Score.StabilityScore +
+                Weights.CostWeight * Score.CostScore;
   return Score;
 }
 

@@ -30,13 +30,13 @@ namespace fluids {
 /// the emphasis of Section 2 (dielectric behaviour and heat transfer are
 /// hard requirements, cost matters but less).
 struct SelectionWeights {
-  double HeatTransfer = 0.30; ///< rho*cp and conductivity.
-  double Viscosity = 0.20;    ///< Pumping cost and convection quality.
-  double Dielectric = 0.25;   ///< Breakdown strength (hard gate for
+  double HeatTransferWeight = 0.30; ///< rho*cp and conductivity.
+  double ViscosityWeight = 0.20;    ///< Pumping cost and convection quality.
+  double DielectricWeight = 0.25;   ///< Breakdown strength (hard gate for
                               ///< immersion).
-  double FireSafety = 0.10;   ///< Flash-point margin over max operating T.
-  double Stability = 0.05;    ///< Operating-range width as a proxy.
-  double Cost = 0.10;         ///< Price per liter.
+  double FireSafetyWeight = 0.10;   ///< Flash-point margin over max operating T.
+  double StabilityWeight = 0.05;    ///< Operating-range width as a proxy.
+  double CostWeight = 0.10;         ///< Price per liter.
 };
 
 /// Per-criterion normalized scores in [0, 1] plus the weighted total.

@@ -14,7 +14,7 @@
 using namespace rcs;
 using namespace rcs::fpga;
 
-double rcs::fpga::arrheniusAcceleration(double HotTempC, double RefTempC,
+double rcs::fpga::arrheniusAccelerationFactor(double HotTempC, double RefTempC,
                                         double ActivationEnergyEv) {
   assert(ActivationEnergyEv > 0 && "activation energy must be positive");
   double HotK = units::celsiusToKelvin(HotTempC);
@@ -25,7 +25,7 @@ double rcs::fpga::arrheniusAcceleration(double HotTempC, double RefTempC,
 
 double rcs::fpga::mttfHours(double JunctionTempC,
                             const ReliabilityModel &Model) {
-  double Acceleration = arrheniusAcceleration(
+  double Acceleration = arrheniusAccelerationFactor(
       JunctionTempC, Model.ReferenceJunctionTempC, Model.ActivationEnergyEv);
   return Model.ReferenceMttfHours / Acceleration;
 }

@@ -30,7 +30,7 @@ struct ReliabilityModel {
 
 /// Arrhenius acceleration factor of \p HotTempC relative to \p RefTempC
 /// (> 1 means failures come sooner at the hot temperature).
-double arrheniusAcceleration(double HotTempC, double RefTempC,
+double arrheniusAccelerationFactor(double HotTempC, double RefTempC,
                              double ActivationEnergyEv = 0.7);
 
 /// Mean time to failure at \p JunctionTempC under \p Model, hours.

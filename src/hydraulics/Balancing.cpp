@@ -50,7 +50,7 @@ rcs::hydraulics::trimBalancingValves(RackHydraulics &Rack,
 
   for (int Iter = 0; Iter != Options.MaxIterations; ++Iter) {
     FlowBalanceStats Stats = computeFlowBalance(*Flows);
-    Result.FinalImbalance = Stats.ImbalanceFraction;
+    Result.FinalImbalanceFraction = Stats.ImbalanceFraction;
     Result.Iterations = Iter;
     if (Telemetry.tracingEnabled())
       Telemetry.emitEvent("hydraulics.balancing.iteration",
@@ -58,7 +58,7 @@ rcs::hydraulics::trimBalancingValves(RackHydraulics &Rack,
                            {"imbalance_fraction", Stats.ImbalanceFraction},
                            {"min_flow_m3s", Stats.MinFlowM3PerS},
                            {"mean_flow_m3s", Stats.MeanFlowM3PerS}});
-    if (Stats.ImbalanceFraction <= Options.TargetImbalance) {
+    if (Stats.ImbalanceFraction <= Options.TargetImbalanceFraction) {
       Result.Converged = true;
       break;
     }
@@ -72,7 +72,7 @@ rcs::hydraulics::trimBalancingValves(RackHydraulics &Rack,
         continue;
       double Scale = std::pow(MinFlow / Q, Options.Relaxation);
       Result.ValveOpenings[I] = std::clamp(
-          Result.ValveOpenings[I] * Scale, Options.MinOpening, 1.0);
+          Result.ValveOpenings[I] * Scale, Options.MinOpeningFraction, 1.0);
       auto *Valve = static_cast<BalancingValve *>(Rack.Network.elementAt(
           Rack.LoopEdges[I], Rack.LoopValveElementIndex));
       Valve->setOpening(Result.ValveOpenings[I]);
@@ -84,9 +84,9 @@ rcs::hydraulics::trimBalancingValves(RackHydraulics &Rack,
   }
 
   FlowBalanceStats Final = computeFlowBalance(*Flows);
-  Result.FinalImbalance = Final.ImbalanceFraction;
+  Result.FinalImbalanceFraction = Final.ImbalanceFraction;
   Result.MeanFlowAfterM3PerS = Final.MeanFlowM3PerS;
   Result.Converged =
-      Result.Converged || Final.ImbalanceFraction <= Options.TargetImbalance;
+      Result.Converged || Final.ImbalanceFraction <= Options.TargetImbalanceFraction;
   return Result;
 }

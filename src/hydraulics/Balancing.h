@@ -27,20 +27,20 @@ namespace hydraulics {
 /// Options of the trim procedure.
 struct TrimOptions {
   /// Stop when (max-min)/mean falls below this.
-  double TargetImbalance = 0.02;
+  double TargetImbalanceFraction = 0.02;
   int MaxIterations = 30;
   /// Fraction of the computed correction applied per iteration
   /// (under-relaxation keeps the procedure stable).
   double Relaxation = 0.7;
   /// Valves may not close beyond this opening (authority limit).
-  double MinOpening = 0.15;
+  double MinOpeningFraction = 0.15;
 };
 
 /// Outcome of a trim run.
 struct TrimResult {
   bool Converged = false;
   int Iterations = 0;
-  double FinalImbalance = 0.0;
+  double FinalImbalanceFraction = 0.0;
   /// Final opening of each loop's balancing valve.
   std::vector<double> ValveOpenings;
   /// Mean loop flow before and after (throttling costs total flow).

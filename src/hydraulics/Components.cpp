@@ -106,8 +106,8 @@ double BalancingValve::pressureDropPa(double FlowM3PerS,
                                       double TempC) const {
   // Quadratic loss scaled by 1/opening^2; a shut valve keeps a finite but
   // enormous resistance so the network matrix stays regular.
-  const double MinOpening = 1e-3;
-  double Effective = std::max(OpeningFraction, MinOpening);
+  const double MinOpeningFraction = 1e-3;
+  double Effective = std::max(OpeningFraction, MinOpeningFraction);
   double K = OpenLossCoefficient / (Effective * Effective);
   double V = FlowM3PerS / AreaM2;
   double Rho = F.densityKgPerM3(TempC);

@@ -63,7 +63,7 @@ ExchangeResult PlateHeatExchanger::transfer(double HotInletTempC,
   return Out;
 }
 
-double PlateHeatExchanger::sizeUaForDuty(double DutyW, double HotInletTempC,
+double PlateHeatExchanger::sizeUaForDutyWPerK(double DutyW, double HotInletTempC,
                                          double HotCapacityWPerK,
                                          double ColdInletTempC,
                                          double ColdCapacityWPerK) {

@@ -61,7 +61,7 @@ public:
   /// Sizes the UA needed to move \p DutyW between the given inlet
   /// temperatures at the given capacity rates (design helper). Returns a
   /// very large UA when the duty approaches the thermodynamic limit.
-  static double sizeUaForDuty(double DutyW, double HotInletTempC,
+  static double sizeUaForDutyWPerK(double DutyW, double HotInletTempC,
                               double HotCapacityWPerK, double ColdInletTempC,
                               double ColdCapacityWPerK);
 

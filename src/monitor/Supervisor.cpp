@@ -76,7 +76,7 @@ rcs::monitor::makeModuleSupervisor(const rcsystem::MonitoringConfig &Config,
   Coolant.WarnThreshold = Config.CoolantWarnTempC;
   Coolant.CriticalThreshold = Config.CoolantCriticalTempC;
   Coolant.HighIsBad = true;
-  Coolant.Hysteresis = Tuning.TempHysteresisC;
+  Coolant.Hysteresis = Tuning.TempHysteresisK;
   Coolant.DebounceSamples = Tuning.DebounceSamples;
   Coolant.LatchCritical = Tuning.LatchCritical;
 
@@ -120,7 +120,7 @@ Supervisor rcs::monitor::makeRackSupervisor(
   Water.WarnThreshold = WaterWarnC;
   Water.CriticalThreshold = WaterCriticalC;
   Water.HighIsBad = true;
-  Water.Hysteresis = Tuning.TempHysteresisC;
+  Water.Hysteresis = Tuning.TempHysteresisK;
   Water.DebounceSamples = Tuning.DebounceSamples;
   Water.LatchCritical = Tuning.LatchCritical;
 

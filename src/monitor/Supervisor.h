@@ -28,7 +28,7 @@ namespace monitor {
 struct SupervisorTuning {
   int DebounceSamples = 2;
   /// Hysteresis on temperature alarms, in kelvin.
-  double TempHysteresisC = 2.0;
+  double TempHysteresisK = 2.0;
   /// Hysteresis on the flow alarm, as a fraction of the design flow.
   double FlowHysteresisFraction = 0.05;
   bool LatchCritical = true;

@@ -61,6 +61,8 @@ Expected<std::vector<double>> rcs::solveDense(Matrix A,
     double Diag = A.at(Col, Col);
     for (size_t Row = Col + 1; Row != N; ++Row) {
       double Factor = A.at(Row, Col) / Diag;
+      // skatlint:ignore(float-equality) -- exact zero skips work only; any
+      // nonzero factor, however small, must still eliminate.
       if (Factor == 0.0)
         continue;
       A.at(Row, Col) = 0.0;
@@ -113,8 +115,11 @@ Expected<double> rcs::findRootBrent(const std::function<double(double)> &F,
                                     RootFindOptions Options) {
   double A = Low, B = High;
   double Fa = F(A), Fb = F(B);
+  // skatlint:ignore(float-equality) -- an exact root at a bracket end is
+  // the documented early-out; approximate zeros go through the iteration.
   if (Fa == 0.0)
     return A;
+  // skatlint:ignore(float-equality) -- see above
   if (Fb == 0.0)
     return B;
   if (Fa * Fb > 0.0)
@@ -133,6 +138,8 @@ Expected<double> rcs::findRootBrent(const std::function<double(double)> &F,
     }
     double Tol = 2.0 * 1e-16 * std::fabs(B) + 0.5 * Options.AbsTolerance;
     double Mid = 0.5 * (C - B);
+    // skatlint:ignore(float-equality) -- Brent terminates on an exact zero
+    // residual; the tolerance test on Mid handles the approximate case.
     if (std::fabs(Mid) <= Tol || Fb == 0.0)
       return B;
     if (std::fabs(E) >= Tol && std::fabs(Fa) > std::fabs(Fb)) {

@@ -133,6 +133,23 @@ NewtonResult solveNewtonSystem(
     const std::function<std::vector<double>(const std::vector<double> &)> &F,
     std::vector<double> Initial, NewtonOptions Options = NewtonOptions());
 
+/// Tolerant floating-point equality: |A - B| <= AbsTol + RelTol*max(|A|,|B|).
+///
+/// This is the sanctioned way to compare physics values; `==` on computed
+/// doubles is flagged by tools/skatlint (rule float-equality).
+inline bool approxEqual(double A, double B, double RelTol = 1e-9,
+                        double AbsTol = 1e-12) {
+  double DiffAbs = A > B ? A - B : B - A;
+  double LargerAbs = (A < 0 ? -A : A) > (B < 0 ? -B : B) ? (A < 0 ? -A : A)
+                                                         : (B < 0 ? -B : B);
+  return DiffAbs <= AbsTol + RelTol * LargerAbs;
+}
+
+/// True when \p X is within \p AbsTol of zero.
+inline bool nearZero(double X, double AbsTol = 1e-12) {
+  return (X < 0 ? -X : X) <= AbsTol;
+}
+
 /// Euclidean norm of \p X.
 double vectorNorm(const std::vector<double> &X);
 

@@ -1,0 +1,375 @@
+//===- support/Quantity.h - Compile-time dimensional analysis --*- C++ -*-===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Zero-overhead dimensional analysis for the physical quantities skatsim
+/// computes with. A Quantity<Dim> wraps exactly one double and carries its
+/// dimension (integer exponents of length, mass, time and temperature) in
+/// the type, so adding a pressure to a temperature or passing a flow where
+/// a power is expected fails to compile instead of corrupting a plot three
+/// models downstream.
+///
+/// Design rules:
+///
+///  - `+`/`-`/comparisons require identical dimensions; `*`/`/` combine
+///    exponents; `.value()` is the only escape hatch back to double, and
+///    construction from double is explicit, so units never appear or
+///    vanish silently.
+///  - Absolute temperatures are affine points, not vectors: `Celsius` and
+///    `Kelvin` are distinct point types that cannot be added to each other
+///    or to themselves (20 C + 30 C is meaningless), while differences
+///    yield a `TempDelta` that participates in normal quantity algebra
+///    (W/K * K = W). Conversions between the two scales go through
+///    `toKelvin`/`toCelsius` only.
+///  - Everything is constexpr and trivially copyable: a Quantity compiles
+///    to the same code as the double it wraps (see the static_assert
+///    self-tests at the bottom and tests/quantity_test.cpp).
+///
+/// The naming convention for raw `double` interfaces (the `TempC` /
+/// `FlowM3PerS` suffixes) is enforced separately by tools/skatlint; this
+/// header is the stronger, compile-time end of the same policy. See
+/// docs/STATIC_ANALYSIS.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_SUPPORT_QUANTITY_H
+#define RCS_SUPPORT_QUANTITY_H
+
+#include <type_traits>
+
+namespace rcs {
+namespace units {
+
+/// A dimension as integer exponents over the four base dimensions skatsim
+/// uses: length (m), mass (kg), time (s), temperature (K).
+template <int LengthExp, int MassExp, int TimeExp, int TempExp>
+struct Dimension {
+  static constexpr int Length = LengthExp;
+  static constexpr int Mass = MassExp;
+  static constexpr int Time = TimeExp;
+  static constexpr int Temp = TempExp;
+};
+
+/// Product and quotient dimensions (exponents add / subtract).
+template <typename A, typename B>
+using DimProduct = Dimension<A::Length + B::Length, A::Mass + B::Mass,
+                             A::Time + B::Time, A::Temp + B::Temp>;
+template <typename A, typename B>
+using DimQuotient = Dimension<A::Length - B::Length, A::Mass - B::Mass,
+                              A::Time - B::Time, A::Temp - B::Temp>;
+
+/// A value of dimension \p Dim in coherent SI units.
+///
+/// The wrapper is intentionally minimal: explicit construction, explicit
+/// value(), dimension-checked arithmetic, and nothing else. No implicit
+/// conversions in either direction.
+template <typename Dim> class Quantity {
+public:
+  using Dimensions = Dim;
+
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double V) : Val(V) {}
+
+  /// The underlying SI magnitude. The only way back to a raw double.
+  constexpr double value() const { return Val; }
+
+  constexpr Quantity operator-() const { return Quantity(-Val); }
+
+  constexpr Quantity &operator+=(Quantity Other) {
+    Val += Other.Val;
+    return *this;
+  }
+  constexpr Quantity &operator-=(Quantity Other) {
+    Val -= Other.Val;
+    return *this;
+  }
+  constexpr Quantity &operator*=(double Scale) {
+    Val *= Scale;
+    return *this;
+  }
+  constexpr Quantity &operator/=(double Scale) {
+    Val /= Scale;
+    return *this;
+  }
+
+  friend constexpr Quantity operator+(Quantity A, Quantity B) {
+    return Quantity(A.Val + B.Val);
+  }
+  friend constexpr Quantity operator-(Quantity A, Quantity B) {
+    return Quantity(A.Val - B.Val);
+  }
+  friend constexpr Quantity operator*(Quantity A, double Scale) {
+    return Quantity(A.Val * Scale);
+  }
+  friend constexpr Quantity operator*(double Scale, Quantity A) {
+    return Quantity(Scale * A.Val);
+  }
+  friend constexpr Quantity operator/(Quantity A, double Scale) {
+    return Quantity(A.Val / Scale);
+  }
+
+  friend constexpr bool operator==(Quantity A, Quantity B) {
+    return A.Val == B.Val; // skatlint:ignore(float-equality) -- same-type
+                           // exact compare is deliberate; tolerance policy
+                           // belongs to callers (rcs::approxEqual).
+  }
+  friend constexpr bool operator!=(Quantity A, Quantity B) {
+    return !(A == B);
+  }
+  friend constexpr bool operator<(Quantity A, Quantity B) {
+    return A.Val < B.Val;
+  }
+  friend constexpr bool operator>(Quantity A, Quantity B) { return B < A; }
+  friend constexpr bool operator<=(Quantity A, Quantity B) {
+    return !(B < A);
+  }
+  friend constexpr bool operator>=(Quantity A, Quantity B) {
+    return !(A < B);
+  }
+
+private:
+  double Val = 0.0;
+};
+
+/// Dimension-combining multiplication and division.
+template <typename DA, typename DB>
+constexpr Quantity<DimProduct<DA, DB>> operator*(Quantity<DA> A,
+                                                 Quantity<DB> B) {
+  return Quantity<DimProduct<DA, DB>>(A.value() * B.value());
+}
+template <typename DA, typename DB>
+constexpr Quantity<DimQuotient<DA, DB>> operator/(Quantity<DA> A,
+                                                  Quantity<DB> B) {
+  return Quantity<DimQuotient<DA, DB>>(A.value() / B.value());
+}
+template <typename DB>
+constexpr Quantity<DimQuotient<Dimension<0, 0, 0, 0>, DB>>
+operator/(double A, Quantity<DB> B) {
+  return Quantity<DimQuotient<Dimension<0, 0, 0, 0>, DB>>(A / B.value());
+}
+
+// Quantity typedefs for the units that actually appear in skatsim's
+// models. Exponent order: <length, mass, time, temperature>.
+using Scalar = Quantity<Dimension<0, 0, 0, 0>>;      ///< Dimensionless.
+using Meters = Quantity<Dimension<1, 0, 0, 0>>;      ///< Length.
+using M2 = Quantity<Dimension<2, 0, 0, 0>>;          ///< Area.
+using M3 = Quantity<Dimension<3, 0, 0, 0>>;          ///< Volume.
+using Kilograms = Quantity<Dimension<0, 1, 0, 0>>;   ///< Mass.
+using Seconds = Quantity<Dimension<0, 0, 1, 0>>;     ///< Time.
+using TempDelta = Quantity<Dimension<0, 0, 0, 1>>;   ///< Temperature
+                                                     ///< difference, K.
+using MPerS = Quantity<Dimension<1, 0, -1, 0>>;      ///< Velocity.
+using M2PerS = Quantity<Dimension<2, 0, -1, 0>>;     ///< Kinematic
+                                                     ///< viscosity,
+                                                     ///< diffusivity.
+using M3PerS = Quantity<Dimension<3, 0, -1, 0>>;     ///< Volumetric flow.
+using KgPerM3 = Quantity<Dimension<-3, 1, 0, 0>>;    ///< Density.
+using KgPerS = Quantity<Dimension<0, 1, -1, 0>>;     ///< Mass flow.
+using Newtons = Quantity<Dimension<1, 1, -2, 0>>;    ///< Force.
+using Pascal = Quantity<Dimension<-1, 1, -2, 0>>;    ///< Pressure.
+using PascalSeconds =
+    Quantity<Dimension<-1, 1, -1, 0>>;               ///< Dynamic viscosity.
+using Joules = Quantity<Dimension<2, 1, -2, 0>>;     ///< Energy.
+using Watts = Quantity<Dimension<2, 1, -3, 0>>;      ///< Power.
+using WattsPerKelvin =
+    Quantity<Dimension<2, 1, -3, -1>>;               ///< Conductance, UA.
+using KelvinPerWatt =
+    Quantity<Dimension<-2, -1, 3, 1>>;               ///< Thermal resistance.
+using JoulesPerKelvin =
+    Quantity<Dimension<2, 1, -2, -1>>;               ///< Heat capacitance.
+using JoulesPerKgKelvin =
+    Quantity<Dimension<2, 0, -2, -1>>;               ///< Specific heat cp.
+using WattsPerMeterKelvin =
+    Quantity<Dimension<1, 1, -3, -1>>;               ///< Conductivity k.
+using WattsPerM2Kelvin =
+    Quantity<Dimension<0, 1, -3, -1>>;               ///< Film coefficient h.
+using JoulesPerM3Kelvin =
+    Quantity<Dimension<-1, 1, -2, -1>>;              ///< Volumetric rho*cp.
+
+/// An absolute temperature on the Celsius scale. An affine point: points
+/// cannot be added, only differenced (yielding a TempDelta) or shifted by
+/// a delta. Use toKelvin() to cross scales.
+class Celsius {
+public:
+  constexpr Celsius() = default;
+  constexpr explicit Celsius(double DegC) : Val(DegC) {}
+
+  /// Magnitude in degrees Celsius.
+  constexpr double value() const { return Val; }
+
+  friend constexpr TempDelta operator-(Celsius A, Celsius B) {
+    return TempDelta(A.Val - B.Val);
+  }
+  friend constexpr Celsius operator+(Celsius A, TempDelta D) {
+    return Celsius(A.Val + D.value());
+  }
+  friend constexpr Celsius operator+(TempDelta D, Celsius A) {
+    return A + D;
+  }
+  friend constexpr Celsius operator-(Celsius A, TempDelta D) {
+    return Celsius(A.Val - D.value());
+  }
+  constexpr Celsius &operator+=(TempDelta D) {
+    Val += D.value();
+    return *this;
+  }
+  constexpr Celsius &operator-=(TempDelta D) {
+    Val -= D.value();
+    return *this;
+  }
+
+  friend constexpr bool operator==(Celsius A, Celsius B) {
+    return A.Val == B.Val; // skatlint:ignore(float-equality) -- see
+                           // Quantity::operator==.
+  }
+  friend constexpr bool operator!=(Celsius A, Celsius B) { return !(A == B); }
+  friend constexpr bool operator<(Celsius A, Celsius B) {
+    return A.Val < B.Val;
+  }
+  friend constexpr bool operator>(Celsius A, Celsius B) { return B < A; }
+  friend constexpr bool operator<=(Celsius A, Celsius B) { return !(B < A); }
+  friend constexpr bool operator>=(Celsius A, Celsius B) { return !(A < B); }
+
+private:
+  double Val = 0.0;
+};
+
+/// An absolute thermodynamic temperature in kelvin. Same affine rules as
+/// Celsius; additionally multipliable into quantity algebra where absolute
+/// temperature is physically meant (Arrhenius, ideal gas), via kelvins().
+class Kelvin {
+public:
+  constexpr Kelvin() = default;
+  constexpr explicit Kelvin(double K) : Val(K) {}
+
+  /// Magnitude in kelvin.
+  constexpr double value() const { return Val; }
+
+  /// The absolute temperature as a vector quantity measured from 0 K,
+  /// for laws that genuinely multiply/divide by absolute temperature.
+  constexpr TempDelta kelvins() const { return TempDelta(Val); }
+
+  friend constexpr TempDelta operator-(Kelvin A, Kelvin B) {
+    return TempDelta(A.Val - B.Val);
+  }
+  friend constexpr Kelvin operator+(Kelvin A, TempDelta D) {
+    return Kelvin(A.Val + D.value());
+  }
+  friend constexpr Kelvin operator+(TempDelta D, Kelvin A) { return A + D; }
+  friend constexpr Kelvin operator-(Kelvin A, TempDelta D) {
+    return Kelvin(A.Val - D.value());
+  }
+  constexpr Kelvin &operator+=(TempDelta D) {
+    Val += D.value();
+    return *this;
+  }
+  constexpr Kelvin &operator-=(TempDelta D) {
+    Val -= D.value();
+    return *this;
+  }
+
+  friend constexpr bool operator==(Kelvin A, Kelvin B) {
+    return A.Val == B.Val; // skatlint:ignore(float-equality) -- see
+                           // Quantity::operator==.
+  }
+  friend constexpr bool operator!=(Kelvin A, Kelvin B) { return !(A == B); }
+  friend constexpr bool operator<(Kelvin A, Kelvin B) {
+    return A.Val < B.Val;
+  }
+  friend constexpr bool operator>(Kelvin A, Kelvin B) { return B < A; }
+  friend constexpr bool operator<=(Kelvin A, Kelvin B) { return !(B < A); }
+  friend constexpr bool operator>=(Kelvin A, Kelvin B) { return !(A < B); }
+
+private:
+  double Val = 0.0;
+};
+
+namespace literals {
+constexpr Celsius operator""_degC(long double V) {
+  return Celsius(static_cast<double>(V));
+}
+constexpr Celsius operator""_degC(unsigned long long V) {
+  return Celsius(static_cast<double>(V));
+}
+constexpr Kelvin operator""_K(long double V) {
+  return Kelvin(static_cast<double>(V));
+}
+constexpr Kelvin operator""_K(unsigned long long V) {
+  return Kelvin(static_cast<double>(V));
+}
+constexpr TempDelta operator""_dK(long double V) {
+  return TempDelta(static_cast<double>(V));
+}
+constexpr TempDelta operator""_dK(unsigned long long V) {
+  return TempDelta(static_cast<double>(V));
+}
+constexpr Watts operator""_W(long double V) {
+  return Watts(static_cast<double>(V));
+}
+constexpr Watts operator""_W(unsigned long long V) {
+  return Watts(static_cast<double>(V));
+}
+constexpr Pascal operator""_Pa(long double V) {
+  return Pascal(static_cast<double>(V));
+}
+constexpr Pascal operator""_Pa(unsigned long long V) {
+  return Pascal(static_cast<double>(V));
+}
+} // namespace literals
+
+//===----------------------------------------------------------------------===//
+// static_assert self-tests: the dimension algebra itself, checked at every
+// compile of every TU that includes this header. Misuse (Celsius + Pascal,
+// Celsius + Celsius, Kelvin where Celsius is expected) is demonstrated
+// non-compilable in tests/quantity_misuse.cpp via negative-compile CTest
+// targets.
+//===----------------------------------------------------------------------===//
+
+static_assert(std::is_trivially_copyable_v<Watts> &&
+                  sizeof(Watts) == sizeof(double) &&
+                  sizeof(Celsius) == sizeof(double),
+              "Quantity must stay a zero-overhead double wrapper");
+static_assert(std::is_same_v<decltype(Watts(10.0) / TempDelta(5.0)),
+                             WattsPerKelvin>,
+              "W / K must be a conductance");
+static_assert(std::is_same_v<decltype(WattsPerKelvin(2.0) * TempDelta(3.0)),
+                             Watts>,
+              "G * dT must be a power");
+static_assert(std::is_same_v<decltype(Watts(6.0) * Seconds(2.0)), Joules>,
+              "P * t must be an energy");
+static_assert(std::is_same_v<decltype(KgPerM3(800.0) * M3PerS(0.01)),
+                             KgPerS>,
+              "rho * Q must be a mass flow");
+static_assert(
+    std::is_same_v<decltype(KgPerM3(800.0) * JoulesPerKgKelvin(2000.0)),
+                   JoulesPerM3Kelvin>,
+    "rho * cp must be a volumetric heat capacity");
+static_assert(std::is_same_v<decltype(PascalSeconds(1e-3) / KgPerM3(1000.0)),
+                             M2PerS>,
+              "mu / rho must be a kinematic viscosity");
+static_assert(std::is_same_v<decltype(1.0 / WattsPerKelvin(4.0)),
+                             KelvinPerWatt>,
+              "1 / G must be a resistance");
+static_assert(std::is_same_v<decltype(Pascal(100.0) * M3PerS(0.02)), Watts>,
+              "dP * Q must be a hydraulic power");
+// skatlint:ignore(float-equality) -- exact constexpr arithmetic on
+// representable values; a tolerance would hide a real algebra bug.
+static_assert((WattsPerKelvin(2.0) * TempDelta(3.0)).value() == 6.0,
+              "quantity arithmetic must act on the wrapped magnitudes");
+// skatlint:ignore(float-equality) -- exact constexpr arithmetic
+static_assert((Celsius(60.0) - Celsius(40.0)).value() == 20.0,
+              "Celsius points must difference into a delta");
+// skatlint:ignore(float-equality) -- exact constexpr arithmetic
+static_assert((Celsius(40.0) + TempDelta(5.0)).value() == 45.0,
+              "Celsius + delta must shift the point");
+static_assert(std::is_same_v<decltype(Celsius(60.0) - Celsius(40.0)),
+                             TempDelta>,
+              "point - point must be a delta, not a point");
+
+} // namespace units
+} // namespace rcs
+
+#endif // RCS_SUPPORT_QUANTITY_H

@@ -63,7 +63,7 @@ uint64_t RandomEngine::uniformInt(uint64_t Bound) {
 double RandomEngine::normal(double Mean, double StdDev) {
   if (HasSpareNormal) {
     HasSpareNormal = false;
-    return Mean + StdDev * SpareNormal;
+    return Mean + StdDev * SpareNormalSample;
   }
   double U1 = 0.0;
   do {
@@ -72,7 +72,7 @@ double RandomEngine::normal(double Mean, double StdDev) {
   double U2 = uniform();
   double Radius = std::sqrt(-2.0 * std::log(U1));
   double Angle = 2.0 * M_PI * U2;
-  SpareNormal = Radius * std::sin(Angle);
+  SpareNormalSample = Radius * std::sin(Angle);
   HasSpareNormal = true;
   return Mean + StdDev * Radius * std::cos(Angle);
 }

@@ -48,7 +48,7 @@ public:
 private:
   uint64_t State[4];
   bool HasSpareNormal = false;
-  double SpareNormal = 0.0;
+  double SpareNormalSample = 0.0;
 };
 
 } // namespace rcs

@@ -18,20 +18,37 @@
 #ifndef RCS_SUPPORT_UNITS_H
 #define RCS_SUPPORT_UNITS_H
 
+#include "support/Quantity.h"
+
 namespace rcs {
 namespace units {
 
 /// Absolute zero offset between Celsius and Kelvin.
+// skatlint:ignore(unit-suffix) -- offset between two temperature scales
 inline constexpr double KelvinOffset = 273.15;
 
 /// Converts degrees Celsius to kelvin.
-inline constexpr double celsiusToKelvin(double Celsius) {
-  return Celsius + KelvinOffset;
+inline constexpr double celsiusToKelvin(double TempC) {
+  return TempC + KelvinOffset;
 }
 
 /// Converts kelvin to degrees Celsius.
-inline constexpr double kelvinToCelsius(double Kelvin) {
-  return Kelvin - KelvinOffset;
+inline constexpr double kelvinToCelsius(double TempK) {
+  return TempK - KelvinOffset;
+}
+
+/// Typed scale crossings: the only sanctioned bridge between the Celsius
+/// and Kelvin affine point types (see support/Quantity.h).
+inline constexpr Kelvin toKelvin(Celsius T) {
+  return Kelvin(celsiusToKelvin(T.value()));
+}
+inline constexpr Celsius toCelsius(Kelvin T) {
+  return Celsius(kelvinToCelsius(T.value()));
+}
+
+/// Typed flow construction from the liters-per-minute datasheets quote.
+inline constexpr M3PerS flowFromLitersPerMinute(double Lpm) {
+  return M3PerS(Lpm / 60000.0);
 }
 
 /// Converts liters per minute to m^3/s.

@@ -106,7 +106,7 @@ double rcs::thermal::verticalPlateNaturalNusselt(double Rayleigh, double Pr) {
   return Root * Root;
 }
 
-double rcs::thermal::rayleighVerticalPlate(const fluids::Fluid &F,
+double rcs::thermal::verticalPlateRayleigh(const fluids::Fluid &F,
                                            double SurfaceTempC,
                                            double BulkTempC, double LengthM) {
   double FilmTempC = 0.5 * (SurfaceTempC + BulkTempC);

@@ -57,7 +57,7 @@ double verticalPlateNaturalNusselt(double Rayleigh, double Pr);
 
 /// Rayleigh number for a vertical plate of height \p LengthM with surface
 /// temperature \p SurfaceTempC in fluid at \p BulkTempC.
-double rayleighVerticalPlate(const fluids::Fluid &F, double SurfaceTempC,
+double verticalPlateRayleigh(const fluids::Fluid &F, double SurfaceTempC,
                              double BulkTempC, double LengthM);
 
 /// Film coefficient h = Nu * k / L, W/(m^2*K).

@@ -15,7 +15,7 @@
 using namespace rcs;
 using namespace rcs::thermal;
 
-double rcs::thermal::sinkMaterialConductivity(SinkMaterial Material) {
+double rcs::thermal::sinkMaterialConductivityWPerMK(SinkMaterial Material) {
   switch (Material) {
   case SinkMaterial::Aluminum:
     return 205.0;
@@ -103,7 +103,7 @@ SinkEvaluation PlateFinHeatSink::evaluate(const fluids::Fluid &F,
   }
   double H = htcFromNusselt(F, BulkTempC, Nu, Dh);
 
-  double Km = sinkMaterialConductivity(Geom.Material);
+  double Km = sinkMaterialConductivityWPerMK(Geom.Material);
   double MFin = std::sqrt(2.0 * H / (Km * Geom.FinThicknessM));
   double Efficiency = finEfficiency(MFin, Geom.FinHeightM);
 
@@ -178,7 +178,7 @@ SinkEvaluation PinFinHeatSink::evaluate(const fluids::Fluid &F,
   Nu *= Geom.TurbulatorFactor;
   double H = htcFromNusselt(F, BulkTempC, Nu, Geom.PinDiameterM);
 
-  double Km = sinkMaterialConductivity(Geom.Material);
+  double Km = sinkMaterialConductivityWPerMK(Geom.Material);
   // Pin-fin parameter; corrected length accounts for tip convection.
   double MPin = std::sqrt(4.0 * H / (Km * Geom.PinDiameterM));
   double CorrectedHeight = Geom.PinHeightM + Geom.PinDiameterM / 4.0;

@@ -34,7 +34,7 @@ namespace thermal {
 enum class SinkMaterial { Aluminum, Copper };
 
 /// Thermal conductivity of \p Material in W/(m*K).
-double sinkMaterialConductivity(SinkMaterial Material);
+double sinkMaterialConductivityWPerMK(SinkMaterial Material);
 
 /// Detailed result of a heat-sink convection evaluation.
 struct SinkEvaluation {

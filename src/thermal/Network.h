@@ -19,6 +19,7 @@
 #ifndef RCS_THERMAL_NETWORK_H
 #define RCS_THERMAL_NETWORK_H
 
+#include "support/Quantity.h"
 #include "support/Status.h"
 
 #include <string>
@@ -64,6 +65,37 @@ public:
   ///
   /// Requires that a conductance between the two nodes already exists.
   void setConductance(NodeId A, NodeId B, double GWPerK);
+
+  /// \name Dimension-checked builders
+  /// Typed mirrors of the setters above (see support/Quantity.h). A
+  /// conductance cannot be passed where a capacitance or power belongs,
+  /// and boundary temperatures are Celsius points, not bare numbers.
+  /// @{
+  NodeId addNode(std::string Name, units::JoulesPerKelvin Capacitance) {
+    return addNode(std::move(Name), Capacitance.value());
+  }
+  NodeId addBoundaryNode(std::string Name, units::Celsius Temp) {
+    return addBoundaryNode(std::move(Name), Temp.value());
+  }
+  void addConductance(NodeId A, NodeId B, units::WattsPerKelvin G) {
+    addConductance(A, B, G.value());
+  }
+  void addResistance(NodeId A, NodeId B, units::KelvinPerWatt R) {
+    addResistance(A, B, R.value());
+  }
+  void addHeatSource(NodeId Node, units::Watts Power) {
+    addHeatSource(Node, Power.value());
+  }
+  void setHeatSource(NodeId Node, units::Watts Power) {
+    setHeatSource(Node, Power.value());
+  }
+  void setBoundaryTemp(NodeId Node, units::Celsius Temp) {
+    setBoundaryTemp(Node, Temp.value());
+  }
+  void setConductance(NodeId A, NodeId B, units::WattsPerKelvin G) {
+    setConductance(A, B, G.value());
+  }
+  /// @}
 
   size_t numNodes() const { return Nodes.size(); }
   const std::string &nodeName(NodeId Node) const;

@@ -198,6 +198,8 @@ FirKernel::FirKernel(int NumTapsIn, int NumSamplesIn)
   for (int I = 0; I != NumTaps; ++I) {
     // A simple windowed low-pass prototype.
     double X = I - 0.5 * (NumTaps - 1);
+    // skatlint:ignore(float-equality) -- removable singularity of sinc at
+    // exactly zero; X is an integer-derived grid point, not a computation.
     double Sinc = X == 0.0 ? 1.0 : std::sin(0.2 * M_PI * X) /
                                        (0.2 * M_PI * X);
     double Window = 0.54 - 0.46 * std::cos(2.0 * M_PI * I / (NumTaps - 1));

@@ -277,7 +277,7 @@ TEST(UncertaintyTest, SkatJunctionMarginRobust) {
   ToleranceSpec Tolerances;
   auto Result = analyzeModuleTolerances(
       makeSkatModule(), makeNominalConditions(), Tolerances, 200, 2018);
-  EXPECT_DOUBLE_EQ(Result.FractionOverJunctionLimit, 0.0);
+  EXPECT_DOUBLE_EQ(Result.OverJunctionLimitFraction, 0.0);
   EXPECT_LT(Result.WorstMaxJunctionC, 55.0);
 }
 

@@ -271,12 +271,12 @@ TEST(SelectionTest, WeightsShiftRanking) {
   auto Skat = makeEngineeredDielectric();
   // With cost dominating, the cheap white oil can win.
   SelectionWeights CostObsessed;
-  CostObsessed.HeatTransfer = 0.05;
-  CostObsessed.Viscosity = 0.05;
-  CostObsessed.Dielectric = 0.05;
-  CostObsessed.FireSafety = 0.05;
-  CostObsessed.Stability = 0.05;
-  CostObsessed.Cost = 0.75;
+  CostObsessed.HeatTransferWeight = 0.05;
+  CostObsessed.ViscosityWeight = 0.05;
+  CostObsessed.DielectricWeight = 0.05;
+  CostObsessed.FireSafetyWeight = 0.05;
+  CostObsessed.StabilityWeight = 0.05;
+  CostObsessed.CostWeight = 0.75;
   auto Ranking =
       rankCoolants({White.get(), Skat.get()}, 30.0, CostObsessed);
   EXPECT_EQ(Ranking[0].FluidName, White->name());

@@ -163,19 +163,19 @@ TEST(PowerModelTest, IdleFabricDrawsLittle) {
 //===----------------------------------------------------------------------===//
 
 TEST(ReliabilityTest, AccelerationIsOneAtReference) {
-  EXPECT_NEAR(arrheniusAcceleration(55.0, 55.0), 1.0, 1e-12);
+  EXPECT_NEAR(arrheniusAccelerationFactor(55.0, 55.0), 1.0, 1e-12);
 }
 
 TEST(ReliabilityTest, AccelerationGrowsWithTemperature) {
-  double A65 = arrheniusAcceleration(65.0, 55.0);
-  double A85 = arrheniusAcceleration(85.0, 55.0);
+  double A65 = arrheniusAccelerationFactor(65.0, 55.0);
+  double A85 = arrheniusAccelerationFactor(85.0, 55.0);
   EXPECT_GT(A65, 1.5);
   EXPECT_GT(A85, A65 * A65 * 0.5); // Strongly super-linear.
 }
 
 TEST(ReliabilityTest, RoughlyDoublesPerTenDegrees) {
   // At Ea = 0.7 eV around 60 C, a 10 C rise roughly doubles the rate.
-  double Factor = arrheniusAcceleration(70.0, 60.0);
+  double Factor = arrheniusAccelerationFactor(70.0, 60.0);
   EXPECT_GT(Factor, 1.7);
   EXPECT_LT(Factor, 2.6);
 }
@@ -185,7 +185,7 @@ TEST(ReliabilityTest, MttfInverseOfAcceleration) {
   double MttfRef = mttfHours(Model.ReferenceJunctionTempC, Model);
   EXPECT_NEAR(MttfRef, Model.ReferenceMttfHours, 1e-6);
   double MttfHot = mttfHours(75.0, Model);
-  EXPECT_NEAR(MttfHot * arrheniusAcceleration(75.0, 55.0),
+  EXPECT_NEAR(MttfHot * arrheniusAccelerationFactor(75.0, 55.0),
               Model.ReferenceMttfHours, 1.0);
 }
 

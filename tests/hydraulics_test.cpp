@@ -312,7 +312,7 @@ TEST(HeatExchangerTest, CapacityRateHelper) {
 TEST(HeatExchangerTest, SizeUaRoundTrip) {
   double HotC = 1500.0, ColdC = 3000.0;
   double Duty = 20000.0;
-  double Ua = PlateHeatExchanger::sizeUaForDuty(Duty, 45.0, HotC, 15.0,
+  double Ua = PlateHeatExchanger::sizeUaForDutyWPerK(Duty, 45.0, HotC, 15.0,
                                                 ColdC);
   PlateHeatExchanger Hx("sized", Ua);
   auto R = Hx.transfer(45.0, HotC, 15.0, ColdC);
@@ -445,7 +445,7 @@ TEST(BalancingTest, TrimsDirectReturnToTarget) {
   auto Result = trimBalancingValves(Rack, *Water, 18.0);
   ASSERT_TRUE(Result.hasValue()) << Result.message();
   EXPECT_TRUE(Result->Converged);
-  EXPECT_LE(Result->FinalImbalance, 0.02 + 1e-9);
+  EXPECT_LE(Result->FinalImbalanceFraction, 0.02 + 1e-9);
   EXPECT_GT(Result->Iterations, 0);
   // Balancing by throttling costs total flow.
   EXPECT_LT(Result->MeanFlowAfterM3PerS, Result->MeanFlowBeforeM3PerS);

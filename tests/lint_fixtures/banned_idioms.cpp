@@ -1,0 +1,27 @@
+//===- tests/lint_fixtures/banned_idioms.cpp ------------------------------===//
+//
+// skatlint test fixture: exactly two banned-idiom violations (rand, atof)
+// plus a member call spelled `rand` that must NOT fire. Never compiled;
+// only fed to tools/skatlint by CTest.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdlib>
+
+namespace fixture {
+
+class Sampler; // has a member spelled rand(); deliberately undefined
+
+int fixtureSeed() {
+  return rand(); // violation: use rcs::Rng
+}
+
+double fixtureParse(const char *Arg) {
+  return atof(Arg); // violation: use std::strtod
+}
+
+int fixtureMemberCall(Sampler *S) {
+  return S->rand(); // ok: member access, not ::rand
+}
+
+} // namespace fixture

@@ -1,0 +1,28 @@
+//===- tests/lint_fixtures/clean.h ------------------------------*- C++ -*-===//
+//
+// skatlint test fixture: fully conforming header. Expected result: zero
+// findings, zero suppressions, exit code 0.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_TESTS_LINT_FIXTURES_CLEAN_H
+#define RCS_TESTS_LINT_FIXTURES_CLEAN_H
+
+#include "support/Quantity.h"
+
+namespace fixture {
+
+/// Typed duty calculation: dimensions checked at compile time.
+inline rcs::units::Watts heatDuty(rcs::units::WattsPerKelvin Ua,
+                                  rcs::units::TempDelta Lmtd) {
+  return Ua * Lmtd;
+}
+
+/// Raw-double boundary API: every name carries its unit.
+inline double pumpPowerW(double FlowM3PerS, double PressureRisePa) {
+  return FlowM3PerS * PressureRisePa;
+}
+
+} // namespace fixture
+
+#endif // RCS_TESTS_LINT_FIXTURES_CLEAN_H

@@ -1,0 +1,23 @@
+//===- tests/lint_fixtures/float_equality.cpp -----------------------------===//
+//
+// skatlint test fixture: exactly two float-equality violations plus an
+// integer comparison that must NOT fire. Never compiled; only fed to
+// tools/skatlint by CTest.
+//
+//===----------------------------------------------------------------------===//
+
+namespace fixture {
+
+bool fixtureIsZero(double X) {
+  return X == 0.0; // violation: use rcs::nearZero
+}
+
+bool fixtureIsSet(double Y) {
+  return Y != 1.5; // violation: use rcs::approxEqual
+}
+
+bool fixtureIntExact(int N) {
+  return N == 0; // ok: integer literal
+}
+
+} // namespace fixture

@@ -1,0 +1,21 @@
+//===- tests/lint_fixtures/range_guard_violations.cpp ---------------------===//
+//
+// skatlint test fixture: exactly one range-guard violation (an unguarded
+// Nusselt correlation) next to a guarded one that must NOT fire. Never
+// compiled; only fed to tools/skatlint by CTest.
+//
+//===----------------------------------------------------------------------===//
+
+namespace fixture {
+
+// violation: correlation body extrapolates silently
+double laminarNusselt(double Re) { return 3.66 + 0.001 * Re; }
+
+// ok: branches on its validity range
+double turbulentNusselt(double Re) {
+  if (Re < 2300.0)
+    return 3.66;
+  return 0.023 * Re;
+}
+
+} // namespace fixture

@@ -1,0 +1,29 @@
+//===- tests/lint_fixtures/roundtrip_violations.cpp -----------------------===//
+//
+// skatlint test fixture: exactly two conversion-roundtrip violations, one
+// with namespace-qualified inner calls and one unqualified. Never compiled;
+// only fed to tools/skatlint by CTest.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Units.h"
+
+namespace fixture {
+
+double roundTripTempK(double TempK) {
+  // violation: celsiusToKelvin composed with its inverse
+  return rcs::units::celsiusToKelvin(rcs::units::kelvinToCelsius(TempK));
+}
+
+double roundTripPa(double PressurePa) {
+  using namespace rcs::units;
+  // violation: barToPa composed with its inverse
+  return barToPa(paToBar(PressurePa));
+}
+
+double sensibleChain(double TempK) {
+  // ok: a conversion of a conversion-free expression
+  return rcs::units::kelvinToCelsius(TempK + 1.0);
+}
+
+} // namespace fixture

@@ -1,0 +1,32 @@
+//===- tests/lint_fixtures/suppressed.h -------------------------*- C++ -*-===//
+//
+// skatlint test fixture: one violation per suppression style (line-above,
+// same-line, comment-run), every one silenced by a skatlint:ignore tag.
+// Expected result: zero findings, three suppressions. Never compiled; only
+// fed to tools/skatlint by CTest.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_TESTS_LINT_FIXTURES_SUPPRESSED_H
+#define RCS_TESTS_LINT_FIXTURES_SUPPRESSED_H
+
+#include <cstdlib>
+
+namespace fixture {
+
+// skatlint:ignore(unit-suffix) -- fixture: deliberately bare double
+inline constexpr double Setpoint = 42.0;
+
+inline double knobValue(const char *Arg) {
+  return atof(Arg); // skatlint:ignore(banned-idiom) -- fixture
+}
+
+inline bool matchesSentinel(double X) {
+  // skatlint:ignore(float-equality) -- fixture: exact sentinel, assigned
+  // (not computed), so bitwise comparison is intended here
+  return X == 42.0;
+}
+
+} // namespace fixture
+
+#endif // RCS_TESTS_LINT_FIXTURES_SUPPRESSED_H

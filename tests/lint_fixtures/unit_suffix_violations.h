@@ -1,0 +1,26 @@
+//===- tests/lint_fixtures/unit_suffix_violations.h -------------*- C++ -*-===//
+//
+// skatlint test fixture: exactly three unit-suffix violations (FlowRate,
+// Power, temperature), interleaved with conforming declarations that must
+// NOT fire. Never compiled; only fed to tools/skatlint by CTest.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_TESTS_LINT_FIXTURES_UNIT_SUFFIX_VIOLATIONS_H
+#define RCS_TESTS_LINT_FIXTURES_UNIT_SUFFIX_VIOLATIONS_H
+
+namespace fixture {
+
+struct PumpState {
+  double FlowRate = 0.0; // violation: bare double field, unit unknown
+  double TempC = 20.0;   // ok: C suffix
+  double Ratio = 1.0;    // ok: sanctioned dimensionless word
+
+  void setPower(double Power); // violation: bare double parameter
+  double temperature() const;  // violation: bare double-returning function
+  double flowM3PerS() const;   // ok: M3PerS composite suffix
+};
+
+} // namespace fixture
+
+#endif // RCS_TESTS_LINT_FIXTURES_UNIT_SUFFIX_VIOLATIONS_H

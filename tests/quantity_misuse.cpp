@@ -1,0 +1,83 @@
+//===- tests/quantity_misuse.cpp - Negative-compile cases -----------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Each QM_* macro below guards one dimensional-safety violation. CTest
+// builds this file once per macro via EXCLUDE_FROM_ALL object targets whose
+// build is expected to FAIL (WILL_FAIL tests in tests/CMakeLists.txt); the
+// macro-free file is compiled into quantity_test as the positive control,
+// proving the scaffolding itself is well-formed.
+//
+// Keep every violation inside its own function so a future compiler can't
+// eliminate it as unused before type checking; expressions are returned or
+// assigned to force full semantic analysis.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Quantity.h"
+#include "support/Units.h"
+
+namespace rcs {
+namespace quantity_misuse {
+
+// Positive control: the same shapes with correct dimensions must compile.
+inline double wellFormedControl() {
+  units::Celsius Inlet(40.0);
+  units::Celsius Outlet = Inlet + units::TempDelta(12.0);
+  units::Watts Duty =
+      units::WattsPerKelvin(800.0) * (Outlet - Inlet);
+  units::Kelvin Junction = units::toKelvin(Outlet);
+  return Duty.value() + Junction.value();
+}
+
+inline double takesCelsius(units::Celsius T) { return T.value(); }
+
+#ifdef QM_ADD_CELSIUS_PASCAL
+// A temperature point plus a pressure has no meaning in any unit system.
+inline double addCelsiusPascal() {
+  return (units::Celsius(20.0) + units::Pascal(101325.0)).value();
+}
+#endif
+
+#ifdef QM_ADD_CELSIUS_CELSIUS
+// Absolute temperatures are affine points: 20 C + 30 C is not 50 C.
+inline double addCelsiusCelsius() {
+  return (units::Celsius(20.0) + units::Celsius(30.0)).value();
+}
+#endif
+
+#ifdef QM_KELVIN_WHERE_CELSIUS
+// Passing a Kelvin point to a Celsius parameter must not convert silently;
+// the only bridge is units::toCelsius.
+inline double kelvinWhereCelsius() {
+  return takesCelsius(units::Kelvin(300.0));
+}
+#endif
+
+#ifdef QM_ADD_WATTS_JOULES
+// Power and energy differ by a time dimension.
+inline double addWattsJoules() {
+  return (units::Watts(10.0) + units::Joules(10.0)).value();
+}
+#endif
+
+#ifdef QM_IMPLICIT_FROM_DOUBLE
+// Raw doubles must be wrapped explicitly at the boundary.
+inline units::Watts implicitFromDouble() {
+  units::Watts P = 40.0;
+  return P;
+}
+#endif
+
+#ifdef QM_IMPLICIT_TO_DOUBLE
+// Leaving the typed world requires the explicit .value() escape hatch.
+inline double implicitToDouble() {
+  double Raw = units::Watts(40.0);
+  return Raw;
+}
+#endif
+
+} // namespace quantity_misuse
+} // namespace rcs

@@ -274,8 +274,8 @@ TEST(ConvectionTest, NaturalConvectionAnchor) {
 
 TEST(ConvectionTest, RayleighScalesWithCubeOfLength) {
   auto Air = fluids::makeAir();
-  double Ra1 = rayleighVerticalPlate(*Air, 60.0, 25.0, 0.1);
-  double Ra2 = rayleighVerticalPlate(*Air, 60.0, 25.0, 0.2);
+  double Ra1 = verticalPlateRayleigh(*Air, 60.0, 25.0, 0.1);
+  double Ra2 = verticalPlateRayleigh(*Air, 60.0, 25.0, 0.2);
   EXPECT_NEAR(Ra2 / Ra1, 8.0, 0.01);
 }
 
@@ -371,8 +371,8 @@ TEST(HeatSinkTest, OilBeatsAirOnTheSameSink) {
 }
 
 TEST(HeatSinkTest, MaterialConductivities) {
-  EXPECT_GT(sinkMaterialConductivity(SinkMaterial::Copper),
-            sinkMaterialConductivity(SinkMaterial::Aluminum));
+  EXPECT_GT(sinkMaterialConductivityWPerMK(SinkMaterial::Copper),
+            sinkMaterialConductivityWPerMK(SinkMaterial::Aluminum));
 }
 
 //===----------------------------------------------------------------------===//

@@ -32,6 +32,7 @@
 #include "sim/RackTransient.h"
 #include "sim/Transient.h"
 #include "support/Csv.h"
+#include "support/Numerics.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
 #include "support/Units.h"
@@ -69,7 +70,11 @@ public:
 
   double getDouble(const std::string &Name, double Default) const {
     auto It = Flags.find(Name);
-    return It == Flags.end() ? Default : std::atof(It->second.c_str());
+    if (It == Flags.end())
+      return Default;
+    char *End = nullptr;
+    double Value = std::strtod(It->second.c_str(), &End);
+    return End == It->second.c_str() ? Default : Value;
   }
   int getInt(const std::string &Name, int Default) const {
     auto It = Flags.find(Name);
@@ -200,7 +205,7 @@ int cmdRack(const ArgList &Args) {
               Report->Balance.ImbalanceFraction * 100.0);
   Table T({"module", "water (l/min)", "max Tj (C)", "state"});
   for (size_t I = 0; I != Report->Modules.size(); ++I) {
-    bool Down = Report->Modules[I].TotalHeatW == 0.0;
+    bool Down = nearZero(Report->Modules[I].TotalHeatW);
     T.addRow({formatString("CM %zu", I + 1),
               formatString("%.1f", units::m3PerSToLitersPerMinute(
                                        Report->LoopFlowsM3PerS[I])),
