@@ -1,0 +1,70 @@
+//===- faults/Engine.h - Closed-loop reliability engine ---------*- C++ -*-===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs one fault scenario closed-loop: the injector degrades the plant
+/// and corrupts sensors, the supervisory monitor debounces alarms, and a
+/// staged degradation policy responds — shed clock on Critical, migrate
+/// load off a failing module, and only shut down after the alarm persists
+/// — producing an availability/throughput trace and a merged fault-event
+/// timeline (injections, alarms, actions, trips) for the JSONL trace.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_FAULTS_ENGINE_H
+#define RCS_FAULTS_ENGINE_H
+
+#include "faults/Injector.h"
+#include "faults/Scenario.h"
+#include "support/Status.h"
+#include "system/Monitoring.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rcs {
+namespace faults {
+
+/// What one scenario run produced.
+struct ScenarioOutcome {
+  std::string Name;
+  double DurationS = 0.0;
+  /// Fraction of module-time spent up (not shut down or tripped).
+  double AvailabilityFraction = 1.0;
+  /// Work executed relative to the fault-free schedule (clock x
+  /// utilization scaling, zero while down), averaged over the run.
+  double ThroughputRetainedFraction = 1.0;
+  double MaxJunctionC = 0.0;
+  double FinalJunctionC = 0.0;
+  /// Time of the first Critical alarm transition; < 0 = never.
+  double TimeToFirstCriticalS = -1.0;
+  int FaultsInjected = 0;
+  int FaultsCleared = 0;
+  /// Distinct control-action events (edges, not repeated periods).
+  int ActionsTaken = 0;
+  int ModulesShutDown = 0;
+  /// The run ended in a safe degraded steady state: junction below the
+  /// protection trip and no longer climbing over the final tenth of the
+  /// run.
+  bool SafeDegradedEnd = true;
+  rcsystem::AlarmLevel FinalAlarm = rcsystem::AlarmLevel::Normal;
+  /// Merged chronological event timeline.
+  std::vector<FaultEvent> Events;
+  /// Sampled worst junction temperatures (for sweep histograms).
+  std::vector<double> JunctionSampleC;
+};
+
+/// Runs \p S once. \p HazardStream selects the RNG stream family for
+/// hazard sampling (0 for a single run; a sweep passes the replicate
+/// index so replicates draw independent schedules reproducibly).
+Expected<ScenarioOutcome> runScenario(const Scenario &S,
+                                      uint64_t HazardStream = 0);
+
+} // namespace faults
+} // namespace rcs
+
+#endif // RCS_FAULTS_ENGINE_H

@@ -1,0 +1,213 @@
+//===- faults/FaultModel.cpp - Parameterized fault models -----------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "faults/FaultModel.h"
+
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace rcs;
+using namespace rcs::faults;
+
+const char *rcs::faults::faultKindName(FaultKind Kind) {
+  switch (Kind) {
+  case FaultKind::PumpDegradation:
+    return "pump_degradation";
+  case FaultKind::PumpFailure:
+    return "pump_failure";
+  case FaultKind::HxFouling:
+    return "hx_fouling";
+  case FaultKind::ValveBlockage:
+    return "valve_blockage";
+  case FaultKind::CoolantLoss:
+    return "coolant_loss";
+  case FaultKind::ChillerDerate:
+    return "chiller_derate";
+  case FaultKind::PsuEfficiencyDroop:
+    return "psu_efficiency_droop";
+  case FaultKind::SensorDrift:
+    return "sensor_drift";
+  case FaultKind::SensorStuck:
+    return "sensor_stuck";
+  case FaultKind::SensorDropout:
+    return "sensor_dropout";
+  case FaultKind::SensorSpike:
+    return "sensor_spike";
+  }
+  return "unknown";
+}
+
+Expected<FaultKind> rcs::faults::faultKindByName(std::string_view Name) {
+  static const FaultKind Kinds[] = {
+      FaultKind::PumpDegradation, FaultKind::PumpFailure,
+      FaultKind::HxFouling,       FaultKind::ValveBlockage,
+      FaultKind::CoolantLoss,     FaultKind::ChillerDerate,
+      FaultKind::PsuEfficiencyDroop, FaultKind::SensorDrift,
+      FaultKind::SensorStuck,     FaultKind::SensorDropout,
+      FaultKind::SensorSpike};
+  for (FaultKind Kind : Kinds)
+    if (Name == faultKindName(Kind))
+      return Kind;
+  return Expected<FaultKind>::error("unknown fault kind '" +
+                                    std::string(Name) + "'");
+}
+
+bool rcs::faults::isSensorFault(FaultKind Kind) {
+  switch (Kind) {
+  case FaultKind::SensorDrift:
+  case FaultKind::SensorStuck:
+  case FaultKind::SensorDropout:
+  case FaultKind::SensorSpike:
+    return true;
+  default:
+    return false;
+  }
+}
+
+double rcs::faults::severityAt(const FaultSpec &Spec, double TimeS) {
+  if (TimeS < Spec.StartTimeS)
+    return 0.0;
+  if (Spec.DurationS > 0.0 && TimeS >= Spec.StartTimeS + Spec.DurationS)
+    return 0.0;
+  double Severity = std::clamp(Spec.SeverityFraction, 0.0, 1.0);
+  // All-or-nothing kinds behave as severity 1 while active.
+  if (Spec.Kind == FaultKind::PumpFailure ||
+      Spec.Kind == FaultKind::SensorDropout)
+    Severity = 1.0;
+  if (Spec.RampS > 0.0) {
+    double Ramp = (TimeS - Spec.StartTimeS) / Spec.RampS;
+    Severity *= std::clamp(Ramp, 0.0, 1.0);
+  }
+  return Severity;
+}
+
+void rcs::faults::applyPlantFault(const FaultSpec &Spec,
+                                  double SeverityFraction,
+                                  sim::PlantEffects &Effects) {
+  if (SeverityFraction <= 0.0 || isSensorFault(Spec.Kind))
+    return;
+  switch (Spec.Kind) {
+  case FaultKind::PumpDegradation:
+  case FaultKind::PumpFailure:
+    Effects.PumpSpeedFactor *= 1.0 - SeverityFraction;
+    break;
+  case FaultKind::HxFouling:
+    Effects.HxUaFactor *= std::max(1.0 - SeverityFraction, 0.02);
+    break;
+  case FaultKind::ValveBlockage:
+    Effects.FlowRestrictionFactor *= std::max(1.0 - SeverityFraction, 0.02);
+    break;
+  case FaultKind::CoolantLoss:
+    Effects.CoolantInventoryFactor *= std::max(1.0 - SeverityFraction, 0.05);
+    break;
+  case FaultKind::ChillerDerate:
+    // A single module sees a derated chiller as a warmer, weaker HX
+    // boundary; approximate with lost UA.
+    Effects.HxUaFactor *= std::max(1.0 - 0.5 * SeverityFraction, 0.05);
+    break;
+  case FaultKind::PsuEfficiencyDroop:
+    Effects.ExtraHeatW += SeverityFraction * Spec.ExtraHeatW;
+    break;
+  default:
+    break;
+  }
+}
+
+void rcs::faults::applyRackPlantFault(const FaultSpec &Spec,
+                                      double SeverityFraction,
+                                      sim::RackPlantEffects &Effects) {
+  if (SeverityFraction <= 0.0 || isSensorFault(Spec.Kind))
+    return;
+  if (Spec.Kind == FaultKind::ChillerDerate) {
+    Effects.ChillerCapacityFactor *= 1.0 - SeverityFraction;
+    return;
+  }
+  size_t NumModules = Effects.ModulePumpFactor.size();
+  assert(NumModules == Effects.ModuleUaFactor.size() &&
+         NumModules == Effects.ModuleExtraHeatW.size() &&
+         "rack effect vectors must be pre-sized");
+  if (NumModules == 0)
+    return;
+  size_t Module = static_cast<size_t>(
+      std::clamp(Spec.Target, 0, static_cast<int>(NumModules) - 1));
+  switch (Spec.Kind) {
+  case FaultKind::PumpDegradation:
+  case FaultKind::PumpFailure:
+    Effects.ModulePumpFactor[Module] *= 1.0 - SeverityFraction;
+    break;
+  case FaultKind::ValveBlockage:
+    // Rack flow is pump-speed driven; a blocked branch is lost delivery.
+    Effects.ModulePumpFactor[Module] *=
+        std::max(1.0 - SeverityFraction, 0.02);
+    break;
+  case FaultKind::HxFouling:
+  case FaultKind::CoolantLoss:
+    // The rack model keeps no per-module inventory; coolant loss shows
+    // up as the bath no longer covering the exchanger (lost UA).
+    Effects.ModuleUaFactor[Module] *= std::max(1.0 - SeverityFraction, 0.02);
+    break;
+  case FaultKind::PsuEfficiencyDroop:
+    Effects.ModuleExtraHeatW[Module] += SeverityFraction * Spec.ExtraHeatW;
+    break;
+  default:
+    break;
+  }
+}
+
+double rcs::faults::psuDroopExtraHeatW(double LoadW, double EfficiencyFraction,
+                                       double DroopFraction) {
+  assert(LoadW >= 0.0 && EfficiencyFraction > 0.0 &&
+         EfficiencyFraction <= 1.0 && "invalid PSU operating point");
+  double Drooped =
+      std::max(EfficiencyFraction * (1.0 - DroopFraction), 1e-3);
+  double HealthyLoss = LoadW * (1.0 - EfficiencyFraction) / EfficiencyFraction;
+  double DroopedLoss = LoadW * (1.0 - Drooped) / Drooped;
+  return std::max(DroopedLoss - HealthyLoss, 0.0);
+}
+
+std::vector<FaultSpec>
+rcs::faults::sampleFaultSchedule(const std::vector<HazardSpec> &Hazards,
+                                 double HorizonS, uint64_t Seed,
+                                 uint64_t StreamId) {
+  std::vector<FaultSpec> Schedule;
+  for (size_t H = 0; H != Hazards.size(); ++H) {
+    const HazardSpec &Hazard = Hazards[H];
+    assert(Hazard.MttfHours > 0.0 && Hazard.WeibullShapeFactor > 0.0 &&
+           "invalid hazard");
+    RandomEngine Rng(Seed, StreamId * 65536 + H);
+    // Weibull mean = scale * Gamma(1 + 1/shape); invert for the scale.
+    double Scale =
+        Hazard.MttfHours / std::tgamma(1.0 + 1.0 / Hazard.WeibullShapeFactor);
+    double ClockHours = 0.0;
+    int Occurrence = 0;
+    while (true) {
+      ClockHours += Rng.weibullSample(Hazard.WeibullShapeFactor, Scale);
+      if (ClockHours * 3600.0 >= HorizonS)
+        break;
+      FaultSpec Spec;
+      Spec.Kind = Hazard.Kind;
+      Spec.Id = Hazard.Id + "#" + std::to_string(Occurrence++);
+      Spec.Target = Hazard.Target;
+      Spec.StartTimeS = ClockHours * 3600.0;
+      Spec.DurationS = Hazard.RepairHours * 3600.0;
+      Spec.SeverityFraction = Hazard.SeverityFraction;
+      Spec.RampS = Hazard.RampS;
+      Spec.ExtraHeatW = Hazard.ExtraHeatW;
+      Schedule.push_back(std::move(Spec));
+      if (Hazard.RepairHours <= 0.0)
+        break; // Permanent fault: the process does not renew.
+      ClockHours += Hazard.RepairHours;
+    }
+  }
+  std::stable_sort(Schedule.begin(), Schedule.end(),
+                   [](const FaultSpec &A, const FaultSpec &B) {
+                     return A.StartTimeS < B.StartTimeS;
+                   });
+  return Schedule;
+}

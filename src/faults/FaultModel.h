@@ -1,0 +1,146 @@
+//===- faults/FaultModel.h - Parameterized fault models ---------*- C++ -*-===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parameterized fault models for the reliability engine: plant-side
+/// degradations (pump wear, heat-exchanger fouling, valve blockage,
+/// coolant loss, chiller derating, PSU efficiency droop) and sensor-side
+/// corruptions (drift, stuck-at, dropout, spike) injected between the
+/// plant and the supervisory monitor. Faults are either scheduled
+/// deterministically (FaultSpec) or drawn from Weibull/exponential hazards
+/// (HazardSpec) on seeded per-fault RNG streams, mirroring the renewal
+/// processes of sim/MonteCarlo.h but acting on the transient plant instead
+/// of a lumped availability counter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_FAULTS_FAULTMODEL_H
+#define RCS_FAULTS_FAULTMODEL_H
+
+#include "sim/RackTransient.h"
+#include "sim/Transient.h"
+#include "support/Status.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rcs {
+namespace faults {
+
+/// The fault models the engine knows how to inject.
+enum class FaultKind {
+  PumpDegradation,   ///< Impeller wear: delivered pump speed drops.
+  PumpFailure,       ///< Pump seizes: delivered speed goes to zero.
+  HxFouling,         ///< Heat-exchanger UA decays (oil-side fouling).
+  ValveBlockage,     ///< Manifold/balancing-valve partial blockage.
+  CoolantLoss,       ///< Oil inventory loss (leak, evaporation).
+  ChillerDerate,     ///< Chiller capacity below rated (rack level).
+  PsuEfficiencyDroop,///< PSU conversion losses rise, heating the bath.
+  SensorDrift,       ///< Multiplicative reading drift.
+  SensorStuck,       ///< Reading freezes at its value when the fault hit.
+  SensorDropout,     ///< Reading becomes NaN (fail-safe: Critical).
+  SensorSpike        ///< Periodic spurious high excursions.
+};
+
+/// Stable lowercase identifier of \p Kind ("pump_degradation", ...), used
+/// in scenario JSON and fault-event traces.
+const char *faultKindName(FaultKind Kind);
+
+/// Parses a scenario identifier back into a kind.
+Expected<FaultKind> faultKindByName(std::string_view Name);
+
+/// True for the kinds that corrupt sensor readings rather than the plant.
+bool isSensorFault(FaultKind Kind);
+
+/// One scheduled fault instance.
+///
+/// SeverityFraction is in [0, 1] and scales the kind's effect: a pump at
+/// severity 0.6 delivers 40 % of commanded speed, a fouled HX at 0.6
+/// keeps 40 % of its clean UA, a drifting sensor at 0.6 reads 1.6x the
+/// truth. PumpFailure and SensorDropout are all-or-nothing and ignore it.
+struct FaultSpec {
+  FaultKind Kind = FaultKind::PumpDegradation;
+  /// Unique label for the event log ("pump0", "fouling-hx2", ...).
+  std::string Id;
+  /// Module index (rack-level plant faults) or sensor index (sensor
+  /// faults; module bank: 0 = coolant, 1 = junction, 2 = flow; rack
+  /// bank: 0 = water, 1 = hottest junction). Ignored by module-level
+  /// plant faults.
+  int Target = 0;
+  double StartTimeS = 0.0;
+  /// 0 = permanent (lasts to the horizon); otherwise cleared (repaired)
+  /// after this long.
+  double DurationS = 0.0;
+  double SeverityFraction = 1.0;
+  /// Severity ramps linearly from zero over this window (0 = step).
+  double RampS = 0.0;
+  /// SensorSpike repetition period; 0 spikes every control period.
+  double PeriodS = 0.0;
+  /// PsuEfficiencyDroop only: parasitic heat at severity 1, W. The
+  /// default matches one SKAT immersion PSU dropping about five
+  /// efficiency points at rated load (see psuDroopExtraHeatW).
+  double ExtraHeatW = 400.0;
+};
+
+/// Effective severity of \p Spec at \p TimeS: zero outside the active
+/// window, ramped linearly over RampS after onset.
+double severityAt(const FaultSpec &Spec, double TimeS);
+
+/// Folds an active plant fault into the single-module plant state,
+/// composing multiplicatively with whatever is already there. Sensor
+/// kinds are ignored (they act on readings, not the plant).
+void applyPlantFault(const FaultSpec &Spec, double SeverityFraction,
+                     sim::PlantEffects &Effects);
+
+/// Folds an active plant fault into the rack plant state. Vectors in
+/// \p Effects must already be sized to the module count. Module-local
+/// kinds use Spec.Target as the module index; CoolantLoss at rack level
+/// is modeled as lost heat-exchanger effectiveness (the rack model has
+/// no per-module inventory state).
+void applyRackPlantFault(const FaultSpec &Spec, double SeverityFraction,
+                         sim::RackPlantEffects &Effects);
+
+/// Extra conversion-loss heat when a PSU's efficiency droops by
+/// \p DroopFraction of itself at output load \p LoadW, given the healthy
+/// efficiency \p EfficiencyFraction at that load. Used to calibrate
+/// FaultSpec::ExtraHeatW from the rcsystem::PowerSupplyUnit curves.
+double psuDroopExtraHeatW(double LoadW, double EfficiencyFraction,
+                          double DroopFraction);
+
+/// A stochastic fault source: failure times are Weibull-distributed
+/// (shape 1 = exponential/memoryless) with the given mean, and each
+/// failure is repaired after RepairHours, renewing the process.
+struct HazardSpec {
+  FaultKind Kind = FaultKind::PumpFailure;
+  std::string Id;
+  int Target = 0;
+  /// Mean time to failure (the Weibull scale is derived from this).
+  double MttfHours = 45000.0;
+  /// Weibull shape: < 1 infant mortality, 1 memoryless, > 1 wear-out.
+  double WeibullShapeFactor = 1.0;
+  /// Repair (fault clear) time; 0 = never repaired.
+  double RepairHours = 8.0;
+  double SeverityFraction = 1.0;
+  double RampS = 0.0;
+  double ExtraHeatW = 400.0;
+};
+
+/// Samples the deterministic fault schedule implied by \p Hazards over
+/// [0, HorizonS). Hazard \p H draws from RandomEngine(Seed,
+/// StreamId * 65536 + H): per-fault streams, so adding a hazard never
+/// perturbs the draws of the others, and a sweep replicate passes its
+/// replicate index as \p StreamId for independent-but-reproducible
+/// schedules at any thread count.
+std::vector<FaultSpec> sampleFaultSchedule(const std::vector<HazardSpec> &Hazards,
+                                           double HorizonS, uint64_t Seed,
+                                           uint64_t StreamId);
+
+} // namespace faults
+} // namespace rcs
+
+#endif // RCS_FAULTS_FAULTMODEL_H

@@ -1,0 +1,109 @@
+//===- faults/Injector.cpp - Fault injection layer ------------------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "faults/Injector.h"
+
+#include <cmath>
+#include <limits>
+
+using namespace rcs;
+using namespace rcs::faults;
+
+FaultInjector::FaultInjector(std::vector<FaultSpec> Schedule)
+    : Schedule(std::move(Schedule)) {
+  States.resize(this->Schedule.size());
+  for (size_t F = 0; F != this->Schedule.size(); ++F)
+    States[F].NextSpikeTimeS = this->Schedule[F].StartTimeS;
+}
+
+void FaultInjector::updateLifecycle(double TimeS) {
+  for (size_t F = 0; F != Schedule.size(); ++F) {
+    const FaultSpec &Spec = Schedule[F];
+    FaultState &State = States[F];
+    bool Active = severityAt(Spec, TimeS) > 0.0 ||
+                  (TimeS >= Spec.StartTimeS && Spec.RampS > 0.0 &&
+                   (Spec.DurationS <= 0.0 ||
+                    TimeS < Spec.StartTimeS + Spec.DurationS));
+    if (Active && !State.Announced) {
+      State.Announced = true;
+      ++InjectedCount;
+      if (EventCallback)
+        EventCallback({TimeS, "inject", Spec.Id, faultKindName(Spec.Kind),
+                       Spec.Target, Spec.SeverityFraction});
+    }
+    if (State.Announced && !State.Cleared && Spec.DurationS > 0.0 &&
+        TimeS >= Spec.StartTimeS + Spec.DurationS) {
+      State.Cleared = true;
+      State.HaveStuck = false; // A repaired sensor reads true again.
+      ++ClearedCount;
+      if (EventCallback)
+        EventCallback({TimeS, "clear", Spec.Id, faultKindName(Spec.Kind),
+                       Spec.Target, 0.0});
+    }
+  }
+}
+
+void FaultInjector::plantEffectsAt(double TimeS, sim::PlantEffects &Effects) {
+  updateLifecycle(TimeS);
+  for (const FaultSpec &Spec : Schedule)
+    applyPlantFault(Spec, severityAt(Spec, TimeS), Effects);
+}
+
+void FaultInjector::rackPlantEffectsAt(double TimeS, size_t NumModules,
+                                       sim::RackPlantEffects &Effects) {
+  updateLifecycle(TimeS);
+  if (Effects.ModulePumpFactor.empty())
+    Effects.ModulePumpFactor.assign(NumModules, 1.0);
+  if (Effects.ModuleUaFactor.empty())
+    Effects.ModuleUaFactor.assign(NumModules, 1.0);
+  if (Effects.ModuleExtraHeatW.empty())
+    Effects.ModuleExtraHeatW.assign(NumModules, 0.0);
+  for (const FaultSpec &Spec : Schedule)
+    applyRackPlantFault(Spec, severityAt(Spec, TimeS), Effects);
+}
+
+void FaultInjector::transformReadings(double TimeS, double *Values,
+                                      size_t NumValues) {
+  updateLifecycle(TimeS);
+  for (size_t F = 0; F != Schedule.size(); ++F) {
+    const FaultSpec &Spec = Schedule[F];
+    if (!isSensorFault(Spec.Kind))
+      continue;
+    double Severity = severityAt(Spec, TimeS);
+    if (Severity <= 0.0)
+      continue;
+    if (Spec.Target < 0 || static_cast<size_t>(Spec.Target) >= NumValues)
+      continue;
+    double &Reading = Values[Spec.Target];
+    FaultState &State = States[F];
+    switch (Spec.Kind) {
+    case FaultKind::SensorDrift:
+      // Multiplicative drift: severity 0.1 reads 10 % high.
+      Reading *= 1.0 + Severity;
+      break;
+    case FaultKind::SensorStuck:
+      if (!State.HaveStuck) {
+        State.HaveStuck = true;
+        State.StuckValue = Reading;
+      }
+      Reading = State.StuckValue;
+      break;
+    case FaultKind::SensorDropout:
+      Reading = std::numeric_limits<double>::quiet_NaN();
+      break;
+    case FaultKind::SensorSpike:
+      // Deterministic pulse train: one corrupted poll per period.
+      if (TimeS >= State.NextSpikeTimeS) {
+        Reading *= 1.0 + 2.0 * Severity;
+        State.NextSpikeTimeS =
+            Spec.PeriodS > 0.0 ? State.NextSpikeTimeS + Spec.PeriodS : TimeS;
+      }
+      break;
+    default:
+      break;
+    }
+  }
+}

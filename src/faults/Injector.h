@@ -1,0 +1,99 @@
+//===- faults/Injector.h - Fault injection layer ----------------*- C++ -*-===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The injection layer between a fault schedule and the transient
+/// simulators: it turns scheduled FaultSpecs into per-step plant effects
+/// (via setPlantModifier) and per-control-period sensor corruptions (via
+/// setSensorTransform), and emits an inject/clear event stream the
+/// reliability engine merges with alarm and control-action events into
+/// the fault-event trace.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_FAULTS_INJECTOR_H
+#define RCS_FAULTS_INJECTOR_H
+
+#include "faults/FaultModel.h"
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace rcs {
+namespace faults {
+
+/// One entry of the fault-event stream: fault lifecycle edges, alarm
+/// transitions, control actions and protection trips, in one timeline.
+struct FaultEvent {
+  double TimeS = 0.0;
+  /// "inject", "clear", "alarm", "action", "trip" or "migrate".
+  std::string Event;
+  /// Fault id (inject/clear), sensor name (alarm), action name (action).
+  std::string Fault;
+  /// Fault model name for inject/clear, free-form detail otherwise.
+  std::string Detail;
+  int Target = 0;
+  double SeverityFraction = 0.0;
+};
+
+/// Applies a fault schedule to a running simulation.
+///
+/// The injector is stateful but deterministic: lifecycle edges (inject /
+/// clear) are emitted exactly once each, the first time a poll crosses
+/// them, and stuck-at sensors latch the first corrupted reading they see.
+/// Wire plantEffectsAt (or rackPlantEffectsAt) into the simulator's plant
+/// modifier and transformReadings into its sensor transform.
+class FaultInjector {
+public:
+  explicit FaultInjector(std::vector<FaultSpec> Schedule);
+
+  /// Observer for lifecycle edges; called during simulation.
+  void setEventCallback(std::function<void(const FaultEvent &)> Callback) {
+    EventCallback = std::move(Callback);
+  }
+
+  /// Folds the faults active at \p TimeS into single-module effects.
+  void plantEffectsAt(double TimeS, sim::PlantEffects &Effects);
+
+  /// Folds the faults active at \p TimeS into rack effects, sizing the
+  /// per-module vectors to \p NumModules when empty.
+  void rackPlantEffectsAt(double TimeS, size_t NumModules,
+                          sim::RackPlantEffects &Effects);
+
+  /// Applies active sensor faults to the readings the supervisor is
+  /// about to see. Out-of-range targets are ignored.
+  void transformReadings(double TimeS, double *Values, size_t NumValues);
+
+  const std::vector<FaultSpec> &schedule() const { return Schedule; }
+
+  int injectedCount() const { return InjectedCount; }
+  int clearedCount() const { return ClearedCount; }
+
+private:
+  /// Emits pending inject/clear edges up to \p TimeS.
+  void updateLifecycle(double TimeS);
+
+  struct FaultState {
+    bool Announced = false;
+    bool Cleared = false;
+    bool HaveStuck = false;
+    double StuckValue = 0.0;
+    double NextSpikeTimeS = 0.0;
+  };
+
+  std::vector<FaultSpec> Schedule;
+  std::vector<FaultState> States;
+  std::function<void(const FaultEvent &)> EventCallback;
+  int InjectedCount = 0;
+  int ClearedCount = 0;
+};
+
+} // namespace faults
+} // namespace rcs
+
+#endif // RCS_FAULTS_INJECTOR_H

@@ -1,0 +1,317 @@
+//===- faults/Scenario.cpp - Fault scenario files -------------------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "faults/Scenario.h"
+
+#include "telemetry/Json.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+using namespace rcs;
+using namespace rcs::faults;
+using telemetry::JsonValue;
+
+namespace {
+
+Status expectObject(const JsonValue &Value, const std::string &What) {
+  if (!Value.isObject())
+    return Status::error("scenario: " + What + " must be an object");
+  return Status::ok();
+}
+
+Expected<double> asNumber(const JsonValue &Value, const std::string &Key) {
+  if (!Value.isNumber())
+    return Expected<double>::error("scenario: '" + Key +
+                                   "' must be a number");
+  return Value.NumberValue;
+}
+
+Expected<std::string> asString(const JsonValue &Value,
+                               const std::string &Key) {
+  if (!Value.isString())
+    return Expected<std::string>::error("scenario: '" + Key +
+                                        "' must be a string");
+  return Value.StringValue;
+}
+
+Expected<bool> asBool(const JsonValue &Value, const std::string &Key) {
+  if (!Value.isBool())
+    return Expected<bool>::error("scenario: '" + Key +
+                                 "' must be a boolean");
+  return Value.BoolValue;
+}
+
+Status parsePolicy(const JsonValue &Node, DegradationPolicyConfig &Policy) {
+  if (Status S = expectObject(Node, "'policy'"); !S)
+    return S;
+  for (const auto &[Key, Value] : Node.Members) {
+    if (Key == "enabled") {
+      auto V = asBool(Value, Key);
+      if (!V)
+        return V.status();
+      Policy.Enabled = *V;
+    } else if (Key == "clock_floor") {
+      auto V = asNumber(Value, Key);
+      if (!V)
+        return V.status();
+      Policy.ClockFloorFraction = *V;
+    } else if (Key == "shed_step") {
+      auto V = asNumber(Value, Key);
+      if (!V)
+        return V.status();
+      Policy.ShedStepFraction = *V;
+    } else if (Key == "critical_periods_to_shutdown") {
+      auto V = asNumber(Value, Key);
+      if (!V)
+        return V.status();
+      Policy.CriticalPeriodsToShutdown = static_cast<int>(*V);
+    } else if (Key == "migrate_load") {
+      auto V = asBool(Value, Key);
+      if (!V)
+        return V.status();
+      Policy.MigrateLoad = *V;
+    } else if (Key == "utilization_bound") {
+      auto V = asNumber(Value, Key);
+      if (!V)
+        return V.status();
+      Policy.UtilizationBound = *V;
+    } else {
+      return Status::error("scenario: unknown policy key '" + Key + "'");
+    }
+  }
+  if (Policy.CriticalPeriodsToShutdown < 1)
+    return Status::error(
+        "scenario: critical_periods_to_shutdown must be >= 1");
+  return Status::ok();
+}
+
+Status parseFault(const JsonValue &Node, FaultSpec &Spec) {
+  if (Status S = expectObject(Node, "each fault"); !S)
+    return S;
+  bool HaveKind = false;
+  for (const auto &[Key, Value] : Node.Members) {
+    if (Key == "kind") {
+      auto Name = asString(Value, Key);
+      if (!Name)
+        return Name.status();
+      auto Kind = faultKindByName(*Name);
+      if (!Kind)
+        return Kind.status();
+      Spec.Kind = *Kind;
+      HaveKind = true;
+    } else if (Key == "id") {
+      auto V = asString(Value, Key);
+      if (!V)
+        return V.status();
+      Spec.Id = *V;
+    } else if (Key == "target") {
+      auto V = asNumber(Value, Key);
+      if (!V)
+        return V.status();
+      Spec.Target = static_cast<int>(*V);
+    } else if (Key == "at_h") {
+      auto V = asNumber(Value, Key);
+      if (!V)
+        return V.status();
+      Spec.StartTimeS = *V * 3600.0;
+    } else if (Key == "duration_h") {
+      auto V = asNumber(Value, Key);
+      if (!V)
+        return V.status();
+      Spec.DurationS = *V * 3600.0;
+    } else if (Key == "severity") {
+      auto V = asNumber(Value, Key);
+      if (!V)
+        return V.status();
+      Spec.SeverityFraction = *V;
+    } else if (Key == "ramp_s") {
+      auto V = asNumber(Value, Key);
+      if (!V)
+        return V.status();
+      Spec.RampS = *V;
+    } else if (Key == "period_s") {
+      auto V = asNumber(Value, Key);
+      if (!V)
+        return V.status();
+      Spec.PeriodS = *V;
+    } else if (Key == "extra_heat_w") {
+      auto V = asNumber(Value, Key);
+      if (!V)
+        return V.status();
+      Spec.ExtraHeatW = *V;
+    } else {
+      return Status::error("scenario: unknown fault key '" + Key + "'");
+    }
+  }
+  if (!HaveKind)
+    return Status::error("scenario: fault is missing 'kind'");
+  if (Spec.SeverityFraction < 0.0 || Spec.SeverityFraction > 1.0)
+    return Status::error("scenario: fault '" + Spec.Id +
+                         "' severity must be in [0, 1]");
+  if (Spec.Id.empty())
+    Spec.Id = faultKindName(Spec.Kind);
+  return Status::ok();
+}
+
+Status parseHazard(const JsonValue &Node, HazardSpec &Spec) {
+  if (Status S = expectObject(Node, "each hazard"); !S)
+    return S;
+  bool HaveKind = false;
+  for (const auto &[Key, Value] : Node.Members) {
+    if (Key == "kind") {
+      auto Name = asString(Value, Key);
+      if (!Name)
+        return Name.status();
+      auto Kind = faultKindByName(*Name);
+      if (!Kind)
+        return Kind.status();
+      Spec.Kind = *Kind;
+      HaveKind = true;
+    } else if (Key == "id") {
+      auto V = asString(Value, Key);
+      if (!V)
+        return V.status();
+      Spec.Id = *V;
+    } else if (Key == "target") {
+      auto V = asNumber(Value, Key);
+      if (!V)
+        return V.status();
+      Spec.Target = static_cast<int>(*V);
+    } else if (Key == "mttf_h") {
+      auto V = asNumber(Value, Key);
+      if (!V)
+        return V.status();
+      Spec.MttfHours = *V;
+    } else if (Key == "weibull_shape") {
+      auto V = asNumber(Value, Key);
+      if (!V)
+        return V.status();
+      Spec.WeibullShapeFactor = *V;
+    } else if (Key == "repair_h") {
+      auto V = asNumber(Value, Key);
+      if (!V)
+        return V.status();
+      Spec.RepairHours = *V;
+    } else if (Key == "severity") {
+      auto V = asNumber(Value, Key);
+      if (!V)
+        return V.status();
+      Spec.SeverityFraction = *V;
+    } else if (Key == "ramp_s") {
+      auto V = asNumber(Value, Key);
+      if (!V)
+        return V.status();
+      Spec.RampS = *V;
+    } else if (Key == "extra_heat_w") {
+      auto V = asNumber(Value, Key);
+      if (!V)
+        return V.status();
+      Spec.ExtraHeatW = *V;
+    } else {
+      return Status::error("scenario: unknown hazard key '" + Key + "'");
+    }
+  }
+  if (!HaveKind)
+    return Status::error("scenario: hazard is missing 'kind'");
+  if (Spec.MttfHours <= 0.0 || Spec.WeibullShapeFactor <= 0.0)
+    return Status::error("scenario: hazard '" + Spec.Id +
+                         "' needs mttf_h > 0 and weibull_shape > 0");
+  if (Spec.Id.empty())
+    Spec.Id = faultKindName(Spec.Kind);
+  return Status::ok();
+}
+
+} // namespace
+
+Expected<Scenario> rcs::faults::parseScenario(const std::string &JsonText) {
+  auto Root = telemetry::parseJson(JsonText);
+  if (!Root)
+    return Expected<Scenario>::error("scenario: " + Root.message());
+  if (Status S = expectObject(*Root, "the top level"); !S)
+    return Expected<Scenario>(S);
+
+  Scenario Result;
+  for (const auto &[Key, Value] : Root->Members) {
+    if (Key == "name") {
+      auto V = asString(Value, Key);
+      if (!V)
+        return Expected<Scenario>(V.status());
+      Result.Name = *V;
+    } else if (Key == "level") {
+      auto V = asString(Value, Key);
+      if (!V)
+        return Expected<Scenario>(V.status());
+      if (*V == "module")
+        Result.RackLevel = false;
+      else if (*V == "rack")
+        Result.RackLevel = true;
+      else
+        return Expected<Scenario>::error(
+            "scenario: level must be 'module' or 'rack', got '" + *V + "'");
+    } else if (Key == "design") {
+      auto V = asString(Value, Key);
+      if (!V)
+        return Expected<Scenario>(V.status());
+      Result.Design = *V;
+    } else if (Key == "module_config") {
+      auto V = asString(Value, Key);
+      if (!V)
+        return Expected<Scenario>(V.status());
+      Result.ModuleConfigPath = *V;
+    } else if (Key == "duration_h") {
+      auto V = asNumber(Value, Key);
+      if (!V)
+        return Expected<Scenario>(V.status());
+      Result.DurationS = *V * 3600.0;
+    } else if (Key == "seed") {
+      auto V = asNumber(Value, Key);
+      if (!V)
+        return Expected<Scenario>(V.status());
+      Result.Seed = static_cast<uint64_t>(*V);
+    } else if (Key == "policy") {
+      if (Status S = parsePolicy(Value, Result.Policy); !S)
+        return Expected<Scenario>(S);
+    } else if (Key == "faults") {
+      if (!Value.isArray())
+        return Expected<Scenario>::error(
+            "scenario: 'faults' must be an array");
+      for (const JsonValue &Node : Value.Items) {
+        FaultSpec Spec;
+        if (Status S = parseFault(Node, Spec); !S)
+          return Expected<Scenario>(S);
+        Result.Faults.push_back(std::move(Spec));
+      }
+    } else if (Key == "hazards") {
+      if (!Value.isArray())
+        return Expected<Scenario>::error(
+            "scenario: 'hazards' must be an array");
+      for (const JsonValue &Node : Value.Items) {
+        HazardSpec Spec;
+        if (Status S = parseHazard(Node, Spec); !S)
+          return Expected<Scenario>(S);
+        Result.Hazards.push_back(std::move(Spec));
+      }
+    } else {
+      return Expected<Scenario>::error("scenario: unknown key '" + Key +
+                                       "'");
+    }
+  }
+  if (Result.DurationS <= 0.0)
+    return Expected<Scenario>::error("scenario: duration_h must be > 0");
+  return Result;
+}
+
+Expected<Scenario> rcs::faults::loadScenarioFile(const std::string &Path) {
+  std::ifstream Stream(Path);
+  if (!Stream)
+    return Expected<Scenario>::error("cannot open scenario file '" + Path +
+                                     "'");
+  std::ostringstream Buffer;
+  Buffer << Stream.rdbuf();
+  return parseScenario(Buffer.str());
+}

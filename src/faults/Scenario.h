@@ -1,0 +1,78 @@
+//===- faults/Scenario.h - Fault scenario files -----------------*- C++ -*-===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// JSON scenario files for the reliability engine: what to simulate
+/// (module or rack, which design, for how long), the deterministic fault
+/// schedule, the stochastic hazards, and the degradation policy the
+/// closed-loop controller runs. Parsing is strict — unknown keys are
+/// errors, matching core::ConfigIO's philosophy that a typo should fail
+/// loudly rather than silently simulate the wrong campaign.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_FAULTS_SCENARIO_H
+#define RCS_FAULTS_SCENARIO_H
+
+#include "faults/FaultModel.h"
+#include "support/Status.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rcs {
+namespace faults {
+
+/// How the closed-loop controller degrades service under Critical alarms
+/// instead of tripping immediately: shed clock first, migrate load away
+/// from a failing module, and only then stage a shutdown.
+struct DegradationPolicyConfig {
+  /// False = keep the simulators' built-in protection-only behavior.
+  bool Enabled = true;
+  /// Lowest clock scale the rack policy will shed to.
+  double ClockFloorFraction = 0.5;
+  /// Clock scale removed per Critical control period (rack level).
+  double ShedStepFraction = 0.1;
+  /// Critical control periods tolerated before a staged shutdown.
+  int CriticalPeriodsToShutdown = 4;
+  /// Migrate a shut-down or tripped module's utilization to survivors.
+  bool MigrateLoad = true;
+  /// Per-module utilization headroom migration may fill to.
+  double UtilizationBound = 1.0;
+};
+
+/// One reliability campaign: plant + schedule + policy.
+struct Scenario {
+  std::string Name = "scenario";
+  /// False = one module (sim::TransientSimulator), true = whole rack
+  /// (sim::RackTransientSimulator).
+  bool RackLevel = false;
+  /// Design name: "skat", "skat-plus" (module level also accepts
+  /// "skat-plus-naive"). Air-cooled designs cannot run the immersion
+  /// transient plant and are rejected by the engine.
+  std::string Design = "skat";
+  /// Optional INI module config (core::ConfigIO) overriding Design.
+  std::string ModuleConfigPath;
+  double DurationS = 4.0 * 3600.0;
+  uint64_t Seed = 2026;
+  DegradationPolicyConfig Policy;
+  std::vector<FaultSpec> Faults;
+  std::vector<HazardSpec> Hazards;
+};
+
+/// Parses a scenario from JSON text. Times in the file are in hours
+/// ("at_h", "duration_h", ...) to match the CLI conventions; severities
+/// are fractions in [0, 1].
+Expected<Scenario> parseScenario(const std::string &JsonText);
+
+/// Reads and parses a scenario file.
+Expected<Scenario> loadScenarioFile(const std::string &Path);
+
+} // namespace faults
+} // namespace rcs
+
+#endif // RCS_FAULTS_SCENARIO_H

@@ -1,0 +1,114 @@
+//===- faults/Sweep.cpp - Parallel reliability sweeps ---------------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "faults/Sweep.h"
+
+#include "support/Parallel.h"
+#include "telemetry/Telemetry.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace rcs;
+using namespace rcs::faults;
+
+Expected<SweepReport> rcs::faults::runSweep(const Scenario &S,
+                                            const SweepConfig &Config) {
+  if (Config.NumReplicates < 1)
+    return Expected<SweepReport>::error("sweep: need at least 1 replicate");
+
+  // Fail fast on scenarios that cannot run at all (bad design, missing
+  // module config) before spinning up the pool.
+  if (auto Probe = runScenario(S, 0); !Probe)
+    return Expected<SweepReport>(Probe.status());
+
+  telemetry::Registry &Telemetry = telemetry::Registry::global();
+  telemetry::ScopedTimer Timer(Telemetry, "faults.sweep.run");
+
+  // One slot per replicate, filled on stream (Seed, replicate); the
+  // reduction below walks slots in replicate order, so the report is
+  // bit-identical at any thread count.
+  struct Slot {
+    bool Ok = false;
+    ScenarioOutcome Outcome;
+  };
+  std::vector<Slot> Slots(static_cast<size_t>(Config.NumReplicates));
+  parallelFor(Config.NumThreads,
+              static_cast<size_t>(Config.NumReplicates),
+              [&](size_t Replicate) {
+                auto Out = runScenario(S, Replicate);
+                if (Out) {
+                  Slots[Replicate].Ok = true;
+                  Slots[Replicate].Outcome = std::move(*Out);
+                }
+              });
+
+  SweepReport Report;
+  Report.NumReplicates = Config.NumReplicates;
+  Report.Seed = S.Seed;
+  Report.JunctionHistogramCounts.assign(SweepReport::NumHistogramBins, 0);
+
+  double AvailabilitySum = 0.0, ThroughputSum = 0.0, JunctionSum = 0.0;
+  double OperatingHours = 0.0;
+  int Criticals = 0, Succeeded = 0;
+  const double HorizonHours = S.DurationS / 3600.0;
+  for (size_t R = 0; R != Slots.size(); ++R) {
+    const Slot &Entry = Slots[R];
+    if (!Entry.Ok) {
+      ++Report.FailedReplicates;
+      continue;
+    }
+    const ScenarioOutcome &Out = Entry.Outcome;
+    ++Succeeded;
+    ReplicateSummary Summary;
+    Summary.Replicate = static_cast<int>(R);
+    Summary.AvailabilityFraction = Out.AvailabilityFraction;
+    Summary.ThroughputRetainedFraction = Out.ThroughputRetainedFraction;
+    Summary.MaxJunctionC = Out.MaxJunctionC;
+    Summary.TimeToFirstCriticalS = Out.TimeToFirstCriticalS;
+    Summary.FaultsInjected = Out.FaultsInjected;
+    Summary.ModulesShutDown = Out.ModulesShutDown;
+    Summary.SafeDegradedEnd = Out.SafeDegradedEnd;
+    Report.Replicates.push_back(Summary);
+
+    AvailabilitySum += Out.AvailabilityFraction;
+    ThroughputSum += Out.ThroughputRetainedFraction;
+    JunctionSum += Out.MaxJunctionC;
+    Report.MinAvailabilityFraction =
+        std::min(Report.MinAvailabilityFraction, Out.AvailabilityFraction);
+    Report.PeakJunctionC = std::max(Report.PeakJunctionC, Out.MaxJunctionC);
+    if (Out.TimeToFirstCriticalS >= 0.0) {
+      ++Criticals;
+      OperatingHours += Out.TimeToFirstCriticalS / 3600.0;
+    } else {
+      OperatingHours += HorizonHours;
+    }
+    for (double Sample : Out.JunctionSampleC) {
+      double Offset =
+          (Sample - SweepReport::HistogramMinC) / SweepReport::HistogramBinWidthC;
+      int Bin = std::clamp(static_cast<int>(std::floor(Offset)), 0,
+                           SweepReport::NumHistogramBins - 1);
+      ++Report.JunctionHistogramCounts[static_cast<size_t>(Bin)];
+    }
+  }
+  if (Succeeded != 0) {
+    Report.MeanAvailabilityFraction = AvailabilitySum / Succeeded;
+    Report.MeanThroughputRetainedFraction = ThroughputSum / Succeeded;
+    Report.MeanMaxJunctionC = JunctionSum / Succeeded;
+    Report.CriticalFraction = static_cast<double>(Criticals) / Succeeded;
+  }
+  if (Criticals > 0)
+    Report.MttfEstimateHours = OperatingHours / Criticals;
+
+  Telemetry.counter("faults.sweep.replicates")
+      .add(static_cast<uint64_t>(Succeeded));
+  Telemetry.counter("faults.sweep.criticals")
+      .add(static_cast<uint64_t>(Criticals));
+  for (const ReplicateSummary &Summary : Report.Replicates)
+    Telemetry.histogram("faults.sweep.max_junction_C")
+        .record(Summary.MaxJunctionC);
+  return Report;
+}

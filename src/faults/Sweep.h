@@ -1,0 +1,84 @@
+//===- faults/Sweep.h - Parallel reliability sweeps -------------*- C++ -*-===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Monte-Carlo reliability sweeps over a fault scenario: N replicates,
+/// each drawing its hazard schedule from RandomEngine(Seed, replicate),
+/// run on a thread pool with per-replicate result slots and a sequential
+/// replicate-ordered reduction — the same determinism scheme as
+/// sim/MonteCarlo.h, so the report is bit-identical for a given seed at
+/// any thread count. Reports MTTF, availability, throughput retained and
+/// a thermal-excursion histogram.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_FAULTS_SWEEP_H
+#define RCS_FAULTS_SWEEP_H
+
+#include "faults/Engine.h"
+#include "faults/Scenario.h"
+#include "support/Status.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace rcs {
+namespace faults {
+
+/// Sweep tunables.
+struct SweepConfig {
+  int NumReplicates = 16;
+  /// Worker threads; 1 = serial, <= 0 = all hardware threads. The
+  /// report does not depend on this.
+  int NumThreads = 1;
+};
+
+/// Per-replicate figures kept in the report (events are dropped).
+struct ReplicateSummary {
+  int Replicate = 0;
+  double AvailabilityFraction = 1.0;
+  double ThroughputRetainedFraction = 1.0;
+  double MaxJunctionC = 0.0;
+  /// < 0 = the replicate never went Critical.
+  double TimeToFirstCriticalS = -1.0;
+  int FaultsInjected = 0;
+  int ModulesShutDown = 0;
+  bool SafeDegradedEnd = true;
+};
+
+/// Aggregated sweep results.
+struct SweepReport {
+  int NumReplicates = 0;
+  uint64_t Seed = 0;
+  std::vector<ReplicateSummary> Replicates;
+  double MeanAvailabilityFraction = 1.0;
+  double MinAvailabilityFraction = 1.0;
+  double MeanThroughputRetainedFraction = 1.0;
+  double MeanMaxJunctionC = 0.0;
+  double PeakJunctionC = 0.0;
+  /// Fraction of replicates that saw a Critical alarm.
+  double CriticalFraction = 0.0;
+  /// Horizon-censored MTTF estimate: total time-to-first-Critical
+  /// (censored replicates contribute the full horizon) divided by the
+  /// number of failures; < 0 when no replicate failed.
+  double MttfEstimateHours = -1.0;
+  /// Thermal-excursion histogram over all sampled worst-junction
+  /// temperatures, fixed bins [HistogramMinC + i * HistogramBinWidthC).
+  std::vector<uint64_t> JunctionHistogramCounts;
+  static constexpr double HistogramMinC = 20.0;
+  static constexpr double HistogramBinWidthC = 5.0;
+  static constexpr int NumHistogramBins = 24;
+  int FailedReplicates = 0; ///< Replicates that errored out entirely.
+};
+
+/// Runs the sweep. Replicate R samples hazards on stream (scenario seed,
+/// R), so adding replicates extends — never reshuffles — the campaign.
+Expected<SweepReport> runSweep(const Scenario &S, const SweepConfig &Config);
+
+} // namespace faults
+} // namespace rcs
+
+#endif // RCS_FAULTS_SWEEP_H

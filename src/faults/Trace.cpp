@@ -1,0 +1,85 @@
+//===- faults/Trace.cpp - Fault-event JSONL traces ------------------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "faults/Trace.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace rcs;
+using namespace rcs::faults;
+
+namespace {
+
+void appendEscaped(std::ostream &Out, const std::string &Text) {
+  for (char C : Text) {
+    switch (C) {
+    case '"':
+      Out << "\\\"";
+      break;
+    case '\\':
+      Out << "\\\\";
+      break;
+    case '\n':
+      Out << "\\n";
+      break;
+    case '\t':
+      Out << "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        Out << ' ';
+      else
+        Out << C;
+    }
+  }
+}
+
+void appendEventLine(std::ostream &Out, const FaultEvent &Event) {
+  Out << "{\"kind\": \"fault_event\", \"t_s\": " << Event.TimeS
+      << ", \"event\": \"";
+  appendEscaped(Out, Event.Event);
+  Out << "\", \"fault\": \"";
+  appendEscaped(Out, Event.Fault);
+  // Injection edges carry the model name under "fault_kind" ("kind" is
+  // taken by the line discriminator); other events carry free-form
+  // detail.
+  bool Lifecycle = Event.Event == "inject" || Event.Event == "clear";
+  Out << "\", \"" << (Lifecycle ? "fault_kind" : "detail") << "\": \"";
+  appendEscaped(Out, Event.Detail);
+  Out << "\", \"target\": " << Event.Target
+      << ", \"severity\": " << Event.SeverityFraction << "}\n";
+}
+
+} // namespace
+
+std::string rcs::faults::faultEventTraceToString(const ScenarioOutcome &Outcome,
+                                                 uint64_t Seed) {
+  std::ostringstream Out;
+  Out.precision(12);
+  Out << "{\"kind\": \"fault_trace_header\", \"version\": 1, "
+         "\"scenario\": \"";
+  appendEscaped(Out, Outcome.Name);
+  Out << "\", \"seed\": " << Seed
+      << ", \"duration_s\": " << Outcome.DurationS
+      << ", \"events\": " << Outcome.Events.size() << "}\n";
+  for (const FaultEvent &Event : Outcome.Events)
+    appendEventLine(Out, Event);
+  return Out.str();
+}
+
+Status rcs::faults::writeFaultEventTrace(const std::string &Path,
+                                         const ScenarioOutcome &Outcome,
+                                         uint64_t Seed) {
+  std::ofstream Stream(Path, std::ios::trunc);
+  if (!Stream)
+    return Status::error("cannot open fault trace file '" + Path + "'");
+  Stream << faultEventTraceToString(Outcome, Seed);
+  Stream.flush();
+  if (!Stream)
+    return Status::error("failed writing fault trace '" + Path + "'");
+  return Status::ok();
+}

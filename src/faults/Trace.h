@@ -1,0 +1,41 @@
+//===- faults/Trace.h - Fault-event JSONL traces ----------------*- C++ -*-===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializes a scenario's merged event timeline as JSON Lines, the same
+/// transport the telemetry tracer uses: a "fault_trace_header" line with
+/// run identity, then one "fault_event" line per injection, repair, alarm
+/// transition, control action, migration and protection trip. check_trace
+/// validates the schema, so fault campaigns round-trip through the same
+/// tooling as telemetry traces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_FAULTS_TRACE_H
+#define RCS_FAULTS_TRACE_H
+
+#include "faults/Engine.h"
+#include "support/Status.h"
+
+#include <cstdint>
+#include <string>
+
+namespace rcs {
+namespace faults {
+
+/// Renders the trace as a JSONL string (header line + one event line
+/// each, every line newline-terminated).
+std::string faultEventTraceToString(const ScenarioOutcome &Outcome,
+                                    uint64_t Seed);
+
+/// Writes the trace to \p Path.
+Status writeFaultEventTrace(const std::string &Path,
+                            const ScenarioOutcome &Outcome, uint64_t Seed);
+
+} // namespace faults
+} // namespace rcs
+
+#endif // RCS_FAULTS_TRACE_H

@@ -19,6 +19,7 @@
 
 #include "fluids/Fluid.h"
 #include "support/Interp.h"
+#include "support/Quantity.h"
 
 #include <memory>
 #include <string>
@@ -39,6 +40,14 @@ public:
   virtual double pressureDropPa(double FlowM3PerS, const fluids::Fluid &F,
                                 double TempC) const = 0;
 
+  /// Dimension-checked mirror of pressureDropPa (see support/Quantity.h).
+  /// New code should prefer this form; the double overload remains the
+  /// escape hatch for solver-internal code.
+  units::Pascal pressureDrop(units::M3PerS Flow, const fluids::Fluid &F,
+                             units::Celsius T) const {
+    return units::Pascal(pressureDropPa(Flow.value(), F, T.value()));
+  }
+
   /// Human-readable element description.
   virtual std::string describe() const = 0;
 };
@@ -50,15 +59,27 @@ public:
   /// \p RoughnessM defaults to drawn tubing (1.5 um).
   PipeSegment(double LengthM, double DiameterM, double RoughnessM = 1.5e-6);
 
+  /// Dimension-checked constructor.
+  PipeSegment(units::Meters Length, units::Meters Diameter,
+              units::Meters Roughness = units::Meters(1.5e-6))
+      : PipeSegment(Length.value(), Diameter.value(), Roughness.value()) {}
+
   double pressureDropPa(double FlowM3PerS, const fluids::Fluid &F,
                         double TempC) const override;
   std::string describe() const override;
 
   double lengthM() const { return LengthM; }
   double diameterM() const { return DiameterM; }
+  units::Meters length() const { return units::Meters(LengthM); }
+  units::Meters diameter() const { return units::Meters(DiameterM); }
 
   /// Mean velocity at \p FlowM3PerS.
   double velocityMPerS(double FlowM3PerS) const;
+
+  /// Dimension-checked mirror of velocityMPerS.
+  units::MPerS velocity(units::M3PerS Flow) const {
+    return units::MPerS(velocityMPerS(Flow.value()));
+  }
 
 private:
   double LengthM;
@@ -72,6 +93,10 @@ private:
 class Fitting : public FlowElement {
 public:
   Fitting(double LossCoefficient, double DiameterM);
+
+  /// Dimension-checked constructor (K is dimensionless).
+  Fitting(double LossCoefficient, units::Meters Diameter)
+      : Fitting(LossCoefficient, Diameter.value()) {}
 
   double pressureDropPa(double FlowM3PerS, const fluids::Fluid &F,
                         double TempC) const override;
@@ -91,6 +116,10 @@ private:
 class BalancingValve : public FlowElement {
 public:
   BalancingValve(double OpenLossCoefficient, double DiameterM);
+
+  /// Dimension-checked constructor (K is dimensionless).
+  BalancingValve(double OpenLossCoefficient, units::Meters Diameter)
+      : BalancingValve(OpenLossCoefficient, Diameter.value()) {}
 
   /// Sets the opening fraction in [0, 1].
   void setOpening(double Fraction);
@@ -114,6 +143,10 @@ class HeatExchangerPressureSide : public FlowElement {
 public:
   /// Rated \p RatedDropPa at \p RatedFlowM3PerS (from a datasheet).
   HeatExchangerPressureSide(double RatedFlowM3PerS, double RatedDropPa);
+
+  /// Dimension-checked constructor.
+  HeatExchangerPressureSide(units::M3PerS RatedFlow, units::Pascal RatedDrop)
+      : HeatExchangerPressureSide(RatedFlow.value(), RatedDrop.value()) {}
 
   double pressureDropPa(double FlowM3PerS, const fluids::Fluid &F,
                         double TempC) const override;
@@ -150,6 +183,14 @@ public:
   /// Electrical power drawn while pumping \p FlowM3PerS, W.
   double electricalPowerW(double FlowM3PerS) const;
 
+  /// Dimension-checked mirrors of headPa / electricalPowerW.
+  units::Pascal head(units::M3PerS Flow) const {
+    return units::Pascal(headPa(Flow.value()));
+  }
+  units::Watts electricalPower(units::M3PerS Flow) const {
+    return units::Watts(electricalPowerW(Flow.value()));
+  }
+
   double pressureDropPa(double FlowM3PerS, const fluids::Fluid &F,
                         double TempC) const override;
   std::string describe() const override;
@@ -161,6 +202,13 @@ public:
   static Pump makeOilCirculationPump(std::string Name,
                                      double RatedFlowM3PerS,
                                      double RatedHeadPa);
+
+  /// Dimension-checked factory.
+  static Pump makeOilCirculationPump(std::string Name, units::M3PerS RatedFlow,
+                                     units::Pascal RatedHead) {
+    return makeOilCirculationPump(std::move(Name), RatedFlow.value(),
+                                  RatedHead.value());
+  }
 
 private:
   std::string Name;

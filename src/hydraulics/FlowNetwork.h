@@ -21,6 +21,7 @@
 #define RCS_HYDRAULICS_FLOWNETWORK_H
 
 #include "hydraulics/Components.h"
+#include "support/Quantity.h"
 #include "support/Status.h"
 
 #include <memory>
@@ -51,6 +52,17 @@ struct FlowSolution {
   /// the history is monotonically non-increasing — a stalled solve is
   /// diagnosable here without any trace sink attached.
   std::vector<double> ResidualHistory;
+
+  /// Dimension-checked accessors (see support/Quantity.h).
+  units::M3PerS edgeFlow(EdgeId E) const {
+    return units::M3PerS(EdgeFlowsM3PerS[E]);
+  }
+  units::Pascal junctionPressure(JunctionId J) const {
+    return units::Pascal(JunctionPressuresPa[J]);
+  }
+  units::M3PerS maxContinuityError() const {
+    return units::M3PerS(MaxContinuityErrorM3PerS);
+  }
 };
 
 /// A hydraulic network of junctions and element-chain edges.
@@ -97,6 +109,13 @@ public:
   double edgePressureDropPa(EdgeId E, double FlowM3PerS,
                             const fluids::Fluid &F, double TempC) const;
 
+  /// Dimension-checked mirror of edgePressureDropPa.
+  units::Pascal edgePressureDrop(EdgeId E, units::M3PerS Flow,
+                                 const fluids::Fluid &F,
+                                 units::Celsius T) const {
+    return units::Pascal(edgePressureDropPa(E, Flow.value(), F, T.value()));
+  }
+
   /// Solves for steady flows with \p F at bulk temperature \p TempC.
   ///
   /// \p FlowScaleM3PerS sets the expected magnitude of edge flows and is
@@ -104,6 +123,13 @@ public:
   /// speed, not the solution.
   Expected<FlowSolution> solve(const fluids::Fluid &F, double TempC,
                                double FlowScaleM3PerS = 1e-2) const;
+
+  /// Dimension-checked mirror of solve.
+  Expected<FlowSolution> solve(const fluids::Fluid &F, units::Celsius T,
+                               units::M3PerS FlowScale =
+                                   units::M3PerS(1e-2)) const {
+    return solve(F, T.value(), FlowScale.value());
+  }
 
 private:
   struct Impl;

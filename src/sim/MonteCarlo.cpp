@@ -7,6 +7,7 @@
 #include "sim/MonteCarlo.h"
 
 #include "fpga/Reliability.h"
+#include "support/Parallel.h"
 #include "support/Random.h"
 
 #include "telemetry/Telemetry.h"
@@ -31,42 +32,60 @@ rcs::sim::simulateAvailability(const AvailabilityConfig &Config) {
       Telemetry.counter("sim.montecarlo.failures");
   telemetry::ScopedTimer Timer(Telemetry, "sim.montecarlo.run");
 
-  RandomEngine Rng(Config.Seed);
   AvailabilityReport Report;
   Report.PerComponentFailuresPerYear.assign(Config.Components.size(), 0.0);
 
+  // Each trial draws from its own (Seed, Trial) stream and writes into its
+  // own slot; the reduction below walks slots in trial order. Both facts
+  // together make the report bit-identical at any thread count.
+  struct TrialResult {
+    uint64_t Failures = 0;
+    double DowntimeHours = 0.0;
+    std::vector<double> PerComponentFailures;
+  };
+  std::vector<TrialResult> Results(
+      static_cast<size_t>(Config.NumTrials));
+
+  parallelFor(
+      Config.NumThreads, static_cast<size_t>(Config.NumTrials),
+      [&](size_t Trial) {
+        RandomEngine Rng(Config.Seed, Trial);
+        TrialResult &Result = Results[Trial];
+        Result.PerComponentFailures.assign(Config.Components.size(), 0.0);
+        for (size_t C = 0; C != Config.Components.size(); ++C) {
+          const ComponentSpec &Component = Config.Components[C];
+          double Rate = 1.0 / Component.MtbfHours; // Failures per hour.
+          for (int Instance = 0; Instance != Component.Count; ++Instance) {
+            // Renewal process: failure, repair, back to service.
+            double Clock = Rng.exponential(Rate);
+            while (Clock < Horizon) {
+              ++Result.Failures;
+              Result.PerComponentFailures[C] += 1.0;
+              if (Component.TakesDownModule)
+                Result.DowntimeHours += Component.RepairHours;
+              Clock += Component.RepairHours + Rng.exponential(Rate);
+            }
+          }
+        }
+        // Telemetry counters are thread-safe; the trace event carries the
+        // trial id so interleaved emission stays attributable.
+        TrialCount.add();
+        FailureCount.add(Result.Failures);
+        if (Telemetry.tracingEnabled())
+          Telemetry.emitEvent(
+              "sim.montecarlo.trial",
+              {{"trial", static_cast<long long>(Trial)},
+               {"failures", static_cast<long long>(Result.Failures)},
+               {"downtime_h", Result.DowntimeHours}});
+      });
+
   double TotalFailures = 0.0;
   double TotalDowntime = 0.0;
-  for (int Trial = 0; Trial != Config.NumTrials; ++Trial) {
-    // Per-trial tallies stay local: the inner renewal loop is the hot
-    // path, so telemetry folds in once per trial.
-    uint64_t TrialFailures = 0;
-    double TrialDowntime = 0.0;
-    for (size_t C = 0; C != Config.Components.size(); ++C) {
-      const ComponentSpec &Component = Config.Components[C];
-      double Rate = 1.0 / Component.MtbfHours; // Failures per hour.
-      for (int Instance = 0; Instance != Component.Count; ++Instance) {
-        // Renewal process: failure, repair, back to service.
-        double Clock = Rng.exponential(Rate);
-        while (Clock < Horizon) {
-          TotalFailures += 1.0;
-          ++TrialFailures;
-          Report.PerComponentFailuresPerYear[C] += 1.0;
-          if (Component.TakesDownModule) {
-            TotalDowntime += Component.RepairHours;
-            TrialDowntime += Component.RepairHours;
-          }
-          Clock += Component.RepairHours + Rng.exponential(Rate);
-        }
-      }
-    }
-    TrialCount.add();
-    FailureCount.add(TrialFailures);
-    if (Telemetry.tracingEnabled())
-      Telemetry.emitEvent("sim.montecarlo.trial",
-                          {{"trial", Trial},
-                           {"failures", static_cast<long long>(TrialFailures)},
-                           {"downtime_h", TrialDowntime}});
+  for (const TrialResult &Result : Results) {
+    TotalFailures += static_cast<double>(Result.Failures);
+    TotalDowntime += Result.DowntimeHours;
+    for (size_t C = 0; C != Result.PerComponentFailures.size(); ++C)
+      Report.PerComponentFailuresPerYear[C] += Result.PerComponentFailures[C];
   }
 
   double TrialYears = Config.NumTrials * Config.HorizonYears;

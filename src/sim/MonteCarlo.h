@@ -35,11 +35,20 @@ struct ComponentSpec {
 };
 
 /// Monte-Carlo configuration.
+///
+/// Each trial draws from its own RNG stream (Seed, trial index), so the
+/// report is bit-identical for a given seed regardless of NumThreads or
+/// how the scheduler interleaves trials; reduction order is fixed by trial
+/// index. The faults sweep runner (faults/Sweep.h) reuses the same
+/// seed+stream scheme.
 struct AvailabilityConfig {
   std::vector<ComponentSpec> Components;
   double HorizonYears = 5.0;
   int NumTrials = 400;
   uint64_t Seed = 2018;
+  /// Worker threads for the trial loop; 1 = serial, <= 0 = all hardware
+  /// threads. Results do not depend on this.
+  int NumThreads = 1;
 };
 
 /// Aggregated availability results.

@@ -99,7 +99,6 @@ RackTransientSimulator::run(double DurationS) {
   const int FpgasPerModule = Module.NumCcbs * Board.computeFpgaCount();
   double OilFlow =
       Module.Immersion.NumPumps * Module.Immersion.PumpRatedFlowM3PerS;
-  double Velocity = OilFlow / Module.Immersion.BathFlowAreaM2;
   double WaterFlowPerModule = Rack.Hydraulics.HxRatedFlowM3PerS;
 
   double ChipCapacitance =
@@ -117,11 +116,25 @@ RackTransientSimulator::run(double DurationS) {
   std::vector<double> ChipTemp(NumModules, WaterTemp + 8.0);
   std::vector<double> OilTemp(NumModules, WaterTemp + 4.0);
   std::vector<bool> ShutDown(NumModules, false);
+  // Applied external-policy commands (identity without a policy).
+  RackControlCommands Commands;
+  Commands.ClockScale.assign(NumModules, 1.0);
+  Commands.UtilizationScale.assign(NumModules, 1.0);
+  Commands.ForceShutdown.assign(NumModules, false);
+
+  // Per-module factor lookup tolerating empty/short effect vectors.
+  auto FactorAt = [](const std::vector<double> &Factors, int I) {
+    return static_cast<size_t>(I) < Factors.size() ? Factors[I] : 1.0;
+  };
+  auto HeatAt = [](const std::vector<double> &HeatW, int I) {
+    return static_cast<size_t>(I) < HeatW.size() ? HeatW[I] : 0.0;
+  };
 
   Super.reset();
   std::vector<RackTraceSample> Trace;
   size_t NextEvent = 0;
   double NextSampleTime = 0.0;
+  double NextControlTime = 0.0;
 
   for (double Time = 0.0; Time <= DurationS; Time += Config.TimeStepS) {
     while (NextEvent < Events.size() && Events[NextEvent].TimeS <= Time) {
@@ -133,9 +146,15 @@ RackTransientSimulator::run(double DurationS) {
       ++NextEvent;
     }
 
+    // Plant degradation for this step (healthy defaults without a hook).
+    RackPlantEffects Effects;
+    if (PlantModifier)
+      PlantModifier(Time, Effects);
+
     double TotalDuty = 0.0;
     double TotalPower = 0.0;
     double MaxJunction = -1e9;
+    double ThroughputSum = 0.0;
     int DownCount = 0;
     for (int I = 0; I != NumModules; ++I) {
       // A protected module has its supply rails cut: no dynamic power
@@ -145,25 +164,47 @@ RackTransientSimulator::run(double DurationS) {
       if (ShutDown[I]) {
         ++DownCount;
       } else {
+        // Scheduled workload scaled by the applied policy commands.
+        // Utilization beyond a module's capacity is lost, not queued.
+        fpga::WorkloadPoint Effective = Load;
+        double ClockScale =
+            std::clamp(Commands.ClockScale[I], 0.0, 1.2);
+        double UtilScale = std::max(Commands.UtilizationScale[I], 0.0);
+        Effective.ClockFraction = Load.ClockFraction * ClockScale;
+        Effective.Utilization =
+            std::min(Load.Utilization * UtilScale, 1.0);
+        double AppliedUtilScale =
+            Load.Utilization > 1e-12
+                ? Effective.Utilization / Load.Utilization
+                : UtilScale;
+        ThroughputSum += ClockScale * AppliedUtilScale;
         ChipHeat =
-            FpgasPerModule * PowerModel.totalPowerW(Load, ChipTemp[I]);
+            FpgasPerModule * PowerModel.totalPowerW(Effective, ChipTemp[I]);
         MiscHeat = Module.NumCcbs * Module.Board.MiscPowerW;
       }
+      MiscHeat += HeatAt(Effects.ModuleExtraHeatW, I);
       TotalPower += ChipHeat + MiscHeat;
 
+      // Degraded oil circulation: impeller wear scales the delivered
+      // flow, floored at the 3% natural-circulation trickle.
+      double ModuleFlow =
+          std::max(FactorAt(Effects.ModulePumpFactor, I), 0.03) * OilFlow;
+      double ModuleVelocity = ModuleFlow / Module.Immersion.BathFlowAreaM2;
+
       double SinkR = Sink.thermalResistanceKPerW(*Oil, OilTemp[I],
-                                                 Velocity, ChipTemp[I]);
+                                                 ModuleVelocity, ChipTemp[I]);
       double GChipOil =
           FpgasPerModule / (Spec.ThetaJcKPerW + TimR + SinkR);
 
-      double COil = OilFlow * Oil->densityKgPerM3(OilTemp[I]) *
+      double COil = ModuleFlow * Oil->densityKgPerM3(OilTemp[I]) *
                     Oil->specificHeatJPerKgK(OilTemp[I]);
       double CWater = hydraulics::PlateHeatExchanger::capacityRateWPerK(
           *Water, WaterFlowPerModule, WaterTemp);
       double CMin = std::min(COil, CWater);
       double CMax = std::max(COil, CWater);
       double Cr = CMin / CMax;
-      double Ntu = Module.Immersion.HxUaWPerK / CMin;
+      double Ntu = Module.Immersion.HxUaWPerK *
+                   FactorAt(Effects.ModuleUaFactor, I) / CMin;
       double Eps = std::fabs(1.0 - Cr) < 1e-9
                        ? Ntu / (1.0 + Ntu)
                        : (1.0 - std::exp(-Ntu * (1.0 - Cr))) /
@@ -207,18 +248,48 @@ RackTransientSimulator::run(double DurationS) {
     }
 
     // Rack alarm bank: shared-loop water temperature and the hottest
-    // junction, debounced and hysteresis-qualified.
+    // junction, debounced and hysteresis-qualified. Sensor faults distort
+    // what the supervisor sees, never the plant itself.
     double Readings[2] = {WaterTemp, MaxJunction};
+    if (SensorTransform)
+      SensorTransform(Time, Readings, 2);
     monitor::SupervisoryReport Report = Super.update(Time, Readings, 2);
     if (FlightRec && Report.Worst == AlarmLevel::Critical)
       FlightRec->trigger("critical alarm", Time);
 
-    // Water loop update: module duties in, chiller extraction out.
+    // External degradation policy: clock shedding, load migration and
+    // staged shutdown, applied from the next step on.
+    if (ControlPolicy && Time >= NextControlTime) {
+      NextControlTime += Config.ControlPeriodS;
+      RackControlState PolicyState;
+      PolicyState.TimeS = Time;
+      PolicyState.Report = Report;
+      PolicyState.JunctionTempC = &ChipTemp;
+      PolicyState.OilTempC = &OilTemp;
+      PolicyState.ModuleDown = &ShutDown;
+      ControlPolicy(PolicyState, Commands);
+      Commands.ClockScale.resize(NumModules, 1.0);
+      Commands.UtilizationScale.resize(NumModules, 1.0);
+      Commands.ForceShutdown.resize(NumModules, false);
+      for (int I = 0; I != NumModules; ++I) {
+        if (Commands.ForceShutdown[I] && !ShutDown[I]) {
+          ShutDown[I] = true;
+          if (Telemetry.tracingEnabled())
+            Telemetry.emitEvent("sim.rack_transient.commanded_shutdown",
+                                {{"t_s", Time}, {"module", I}});
+        }
+      }
+    }
+
+    // Water loop update: module duties in, chiller extraction out. A
+    // derating fault composes with scheduled capacity events.
     double ChillerRequest =
         Config.ChillerGainWPerK *
         std::max(WaterTemp - (Rack.ChillerSupplyTempC - 1.0), 0.0);
-    double ChillerDuty = std::min(ChillerRequest,
-                                  ChillerFraction * Rack.ChillerRatedDutyW);
+    double ChillerDuty =
+        std::min(ChillerRequest, ChillerFraction *
+                                     Effects.ChillerCapacityFactor *
+                                     Rack.ChillerRatedDutyW);
     WaterTemp +=
         (TotalDuty - ChillerDuty) / WaterCapacitance * Config.TimeStepS;
 
@@ -254,6 +325,7 @@ RackTransientSimulator::run(double DurationS) {
       Sample.ChillerDutyW = ChillerDuty;
       Sample.TotalPowerW = TotalPower;
       Sample.ModulesShutDown = DownCount;
+      Sample.ThroughputFraction = ThroughputSum / NumModules;
       Sample.Alarm = Report.Worst;
       Trace.push_back(Sample);
       if (SampleCallback)

@@ -19,6 +19,7 @@
 
 #include "monitor/FlightRecorder.h"
 #include "monitor/Supervisor.h"
+#include "sim/Transient.h"
 #include "support/Status.h"
 #include "system/Rack.h"
 
@@ -27,6 +28,53 @@
 
 namespace rcs {
 namespace sim {
+
+/// Per-module plant degradation plus rack-shared chiller derating for one
+/// integration step. Vectors may be left empty (healthy) or sized to the
+/// module count; the faults engine rewrites them through
+/// setPlantModifier.
+struct RackPlantEffects {
+  /// Chiller capacity relative to rated, composed with scheduled
+  /// chiller-capacity events (derating fault x outage event).
+  double ChillerCapacityFactor = 1.0;
+  /// Per-module delivered oil-pump speed factor (empty = all healthy).
+  std::vector<double> ModulePumpFactor;
+  /// Per-module heat-exchanger UA factor relative to clean.
+  std::vector<double> ModuleUaFactor;
+  /// Per-module extra parasitic heat into the bath (PSU droop), W.
+  std::vector<double> ModuleExtraHeatW;
+};
+
+/// Rewrites \p Effects for the step at \p TimeS; called once per step.
+using RackPlantModifierFn =
+    std::function<void(double TimeS, RackPlantEffects &Effects)>;
+
+/// Rack state handed to an external control policy each control period.
+/// Pointer members refer to simulator-owned state valid for the call only.
+struct RackControlState {
+  double TimeS = 0.0;
+  /// Debounced rack alarm bank report (water temp, hottest junction).
+  monitor::SupervisoryReport Report;
+  const std::vector<double> *JunctionTempC = nullptr;
+  const std::vector<double> *OilTempC = nullptr;
+  const std::vector<bool> *ModuleDown = nullptr;
+};
+
+/// Per-module commands an external policy returns. Scales are relative to
+/// the scheduled rack workload: clock scale is clamped to [0, 1.2],
+/// utilization scale is clamped so effective utilization never exceeds 1
+/// (migrated work beyond a module's capacity is lost, not queued).
+/// ForceShutdown latches a module off exactly like a protection trip.
+struct RackControlCommands {
+  std::vector<double> ClockScale;
+  std::vector<double> UtilizationScale;
+  std::vector<bool> ForceShutdown;
+};
+
+/// Inspects \p State and appends/overwrites \p Commands (sized to the
+/// module count, initialized to the currently applied commands).
+using RackControlPolicyFn = std::function<void(const RackControlState &State,
+                                               RackControlCommands &Commands)>;
 
 /// Tunables of the rack transient engine.
 struct RackTransientConfig {
@@ -49,6 +97,8 @@ struct RackTransientConfig {
   double JunctionWarnTempC = 70.0;
   /// Debounce/hysteresis tuning of the rack alarm bank.
   monitor::SupervisorTuning Supervision;
+  /// Period of the external control policy loop (setControlPolicy).
+  double ControlPeriodS = 60.0;
 };
 
 /// One recorded rack-level sample.
@@ -60,6 +110,10 @@ struct RackTraceSample {
   double ChillerDutyW = 0.0;
   double TotalPowerW = 0.0;
   int ModulesShutDown = 0;
+  /// Work actually executed relative to the scheduled rack workload:
+  /// mean over modules of clock x utilization scaling, zero for modules
+  /// that are down. 1.0 = full throughput retained.
+  double ThroughputFraction = 1.0;
   /// Worst debounced alarm across the rack alarm bank at sample time.
   rcsystem::AlarmLevel Alarm = rcsystem::AlarmLevel::Normal;
 };
@@ -97,6 +151,26 @@ public:
     SampleCallback = std::move(Callback);
   }
 
+  /// Installs a per-step plant-degradation hook (see RackPlantEffects).
+  void setPlantModifier(RackPlantModifierFn Modifier) {
+    PlantModifier = std::move(Modifier);
+  }
+
+  /// Installs a sensor-fault transform applied to the rack alarm bank's
+  /// readings (0 = water temp C, 1 = hottest junction C) before the
+  /// supervisor sees them; the plant always integrates true state.
+  void setSensorTransform(SensorTransformFn Transform) {
+    SensorTransform = std::move(Transform);
+  }
+
+  /// Installs an external control policy invoked every
+  /// Config.ControlPeriodS with the debounced report and per-module
+  /// temperatures; its commands (clock scale, utilization scale, forced
+  /// shutdown) take effect the following step.
+  void setControlPolicy(RackControlPolicyFn Policy) {
+    ControlPolicy = std::move(Policy);
+  }
+
   /// Channel names (and order) of flight-recorder frames.
   static const std::vector<std::string> &flightChannels();
 
@@ -115,6 +189,9 @@ private:
   monitor::Supervisor Super;
   monitor::FlightRecorder *FlightRec = nullptr;
   std::function<void(const RackTraceSample &)> SampleCallback;
+  RackPlantModifierFn PlantModifier;
+  SensorTransformFn SensorTransform;
+  RackControlPolicyFn ControlPolicy;
 };
 
 } // namespace sim

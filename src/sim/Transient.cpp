@@ -146,8 +146,8 @@ Expected<std::vector<TraceSample>> TransientSimulator::run(double DurationS) {
   double WaterFlow = Conditions.WaterFlowM3PerS;
 
   double ChipCapacitance = NumFpgas * Config.ChipCapacitancePerFpgaJPerK;
-  double OilCapacitance = Config.OilVolumeM3 *
-                          Oil->volumetricHeatCapacityJPerM3K(35.0);
+  double FullOilCapacitance = Config.OilVolumeM3 *
+                              Oil->volumetricHeatCapacityJPerM3K(35.0);
 
   double OilTemp = WaterInlet + 4.0;
   double ChipTemp = OilTemp + 5.0;
@@ -181,8 +181,17 @@ Expected<std::vector<TraceSample>> TransientSimulator::run(double DurationS) {
       ++NextEvent;
     }
 
+    // Plant degradation for this step (healthy defaults without a hook).
+    PlantEffects Effects;
+    if (PlantModifier)
+      PlantModifier(Time, Effects);
+
     // Flow from pump speed; a stopped pump leaves ~3% natural circulation.
-    double Flow = std::max(PumpSpeed, 0.03) * NominalFlow;
+    // Impeller wear scales the delivered speed, blockage throttles the
+    // resulting loop flow (natural circulation included: a blocked loop is
+    // blocked for buoyant flow too).
+    double Flow = std::max(PumpSpeed * Effects.PumpSpeedFactor, 0.03) *
+                  NominalFlow * Effects.FlowRestrictionFactor;
     double Velocity = Flow / Module.Immersion.BathFlowAreaM2;
 
     // Effective workload after control actions.
@@ -197,7 +206,8 @@ Expected<std::vector<TraceSample>> TransientSimulator::run(double DurationS) {
     double PerFpga = PowerModel.totalPowerW(Effective, ChipTemp);
     double ChipHeat = NumFpgas * PerFpga;
     double MiscHeat = Module.NumCcbs * Module.Board.MiscPowerW *
-                      (ShutDown ? 0.1 : 1.0);
+                          (ShutDown ? 0.1 : 1.0) +
+                      Effects.ExtraHeatW;
 
     // Conductances at this instant.
     double SinkR = Sink.thermalResistanceKPerW(*Oil, OilTemp, Velocity,
@@ -216,7 +226,7 @@ Expected<std::vector<TraceSample>> TransientSimulator::run(double DurationS) {
       double CMin = std::min(COil, CWater);
       double CMax = std::max(COil, CWater);
       double Cr = CMin / CMax;
-      double Ntu = Module.Immersion.HxUaWPerK / CMin;
+      double Ntu = Module.Immersion.HxUaWPerK * Effects.HxUaFactor / CMin;
       double Eps = std::fabs(1.0 - Cr) < 1e-9
                        ? Ntu / (1.0 + Ntu)
                        : (1.0 - std::exp(-Ntu * (1.0 - Cr))) /
@@ -224,7 +234,11 @@ Expected<std::vector<TraceSample>> TransientSimulator::run(double DurationS) {
       GOilWater = Eps * CMin;
     }
 
-    // One implicit step of the two-node network.
+    // One implicit step of the two-node network. Coolant loss shows up as
+    // reduced bath thermal mass (faster excursions), floored so the node
+    // stays well-conditioned.
+    double OilCapacitance =
+        FullOilCapacitance * std::max(Effects.CoolantInventoryFactor, 0.05);
     thermal::ThermalNetwork Net;
     thermal::NodeId Chips = Net.addNode("chips", ChipCapacitance);
     thermal::NodeId Bath = Net.addNode("oil", OilCapacitance);
@@ -263,8 +277,12 @@ Expected<std::vector<TraceSample>> TransientSimulator::run(double DurationS) {
     if (Time >= NextControlTime) {
       NextControlTime += Config.ControlPeriodS;
       double Readings[3] = {OilTemp, ChipTemp, Flow};
+      if (SensorTransform)
+        SensorTransform(Time, Readings, 3);
       monitor::SupervisoryReport Report = Super.update(Time, Readings, 3);
-      ControlAction Action = monitor::recommendModuleAction(Report);
+      ControlAction Action = ControlPolicy
+                                 ? ControlPolicy(Time, Report)
+                                 : monitor::recommendModuleAction(Report);
       LastAlarm = Report.Worst;
       LastAction = Action;
       if (FlightRec && Report.Worst == AlarmLevel::Critical)

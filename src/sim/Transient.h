@@ -47,6 +47,40 @@ struct TransientConfig {
   double OilVolumeM3 = 0.20;                  ///< Bath inventory.
 };
 
+/// Multiplicative plant-degradation state applied for one integration step.
+///
+/// The faults engine rewrites these through setPlantModifier; the defaults
+/// are the healthy plant. Factors compose multiplicatively with whatever
+/// the controller commands (a degraded pump at commanded speed 1.1 still
+/// delivers only 1.1 * PumpSpeedFactor of rated speed).
+struct PlantEffects {
+  /// Delivered pump speed per commanded speed (impeller wear; 0 = seized).
+  double PumpSpeedFactor = 1.0;
+  /// Loop flow per delivered pump speed (manifold/valve blockage).
+  double FlowRestrictionFactor = 1.0;
+  /// Heat-exchanger UA relative to clean (fouling).
+  double HxUaFactor = 1.0;
+  /// Oil bath inventory relative to full (coolant loss).
+  double CoolantInventoryFactor = 1.0;
+  /// Additional parasitic heat into the bath (PSU efficiency droop), W.
+  double ExtraHeatW = 0.0;
+};
+
+/// Rewrites \p Effects for the step at \p TimeS; called once per step.
+using PlantModifierFn = std::function<void(double TimeS, PlantEffects &Effects)>;
+
+/// Transforms the raw sensor readings the supervisor will see (drift,
+/// stuck-at, dropout, spike). Called on each control period with the
+/// physically true values; mutate in place. NaN readings classify Critical
+/// downstream (fail-safe), so dropout is modeled as NaN.
+using SensorTransformFn =
+    std::function<void(double TimeS, double *Values, size_t NumValues)>;
+
+/// Replaces the built-in alarm-to-action policy: receives the debounced
+/// supervisory report and returns the action to apply this control period.
+using ControlPolicyFn = std::function<rcsystem::ControlAction(
+    double TimeS, const monitor::SupervisoryReport &Report)>;
+
 /// One recorded sample of the transient trace.
 struct TraceSample {
   double TimeS = 0.0;
@@ -102,6 +136,25 @@ public:
     SampleCallback = std::move(Callback);
   }
 
+  /// Installs a per-step plant-degradation hook (see PlantEffects).
+  void setPlantModifier(PlantModifierFn Modifier) {
+    PlantModifier = std::move(Modifier);
+  }
+
+  /// Installs a sensor-fault transform applied to the readings the
+  /// supervisor consumes; the plant always integrates true state.
+  void setSensorTransform(SensorTransformFn Transform) {
+    SensorTransform = std::move(Transform);
+  }
+
+  /// Replaces recommendModuleAction as the alarm-to-action policy. The
+  /// returned action is applied with the built-in actuator model (pump
+  /// +0.1 steps to 1.2, clock -0.1 steps to the 0.5 floor, latching
+  /// shutdown) when Config.ApplyControlActions is set.
+  void setControlPolicy(ControlPolicyFn Policy) {
+    ControlPolicy = std::move(Policy);
+  }
+
   /// Channel names (and order) of flight-recorder frames.
   static const std::vector<std::string> &flightChannels();
 
@@ -120,6 +173,9 @@ private:
   monitor::Supervisor Super;
   monitor::FlightRecorder *FlightRec = nullptr;
   std::function<void(const TraceSample &)> SampleCallback;
+  PlantModifierFn PlantModifier;
+  SensorTransformFn SensorTransform;
+  ControlPolicyFn ControlPolicy;
 };
 
 } // namespace sim

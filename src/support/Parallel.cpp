@@ -1,0 +1,56 @@
+//===- support/Parallel.cpp - Deterministic parallel loops ----------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Parallel.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace rcs;
+
+void rcs::parallelFor(int NumThreads, size_t NumItems,
+                      const std::function<void(size_t Item)> &Fn) {
+  if (NumItems == 0)
+    return;
+  int Workers = clampThreadCount(NumThreads);
+  if (static_cast<size_t>(Workers) > NumItems)
+    Workers = static_cast<int>(NumItems);
+  if (Workers <= 1) {
+    for (size_t Item = 0; Item != NumItems; ++Item)
+      Fn(Item);
+    return;
+  }
+
+  std::atomic<size_t> NextItem{0};
+  auto Body = [&] {
+    while (true) {
+      size_t Item = NextItem.fetch_add(1, std::memory_order_relaxed);
+      if (Item >= NumItems)
+        return;
+      Fn(Item);
+    }
+  };
+
+  std::vector<std::thread> Pool;
+  Pool.reserve(static_cast<size_t>(Workers) - 1);
+  for (int I = 1; I < Workers; ++I)
+    Pool.emplace_back(Body);
+  Body();
+  for (std::thread &Worker : Pool)
+    Worker.join();
+}
+
+int rcs::clampThreadCount(int Requested) {
+  unsigned Hardware = std::thread::hardware_concurrency();
+  if (Hardware == 0)
+    Hardware = 1;
+  if (Requested <= 0)
+    return static_cast<int>(Hardware);
+  if (static_cast<unsigned>(Requested) > Hardware)
+    return static_cast<int>(Hardware);
+  return Requested;
+}

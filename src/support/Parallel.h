@@ -1,0 +1,39 @@
+//===- support/Parallel.h - Deterministic parallel loops -------*- C++ -*-===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fork-join helper for embarrassingly parallel loops (Monte Carlo
+/// replicates, reliability sweeps). Work items are claimed from a shared
+/// atomic counter, so callers must make each item independent and write its
+/// result into a pre-sized slot indexed by the item number; any reduction is
+/// then performed sequentially by the caller, which keeps results bit-exact
+/// regardless of thread count or scheduling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_SUPPORT_PARALLEL_H
+#define RCS_SUPPORT_PARALLEL_H
+
+#include <cstddef>
+#include <functional>
+
+namespace rcs {
+
+/// Runs Fn(Item) for every Item in [0, NumItems) on up to \p NumThreads
+/// workers (the calling thread participates). NumThreads <= 1 runs the loop
+/// inline on the calling thread. Fn must not throw: skatsim is built
+/// exception-free, so worker bodies report failures through their output
+/// slots instead.
+void parallelFor(int NumThreads, size_t NumItems,
+                 const std::function<void(size_t Item)> &Fn);
+
+/// Clamps a requested worker count to [1, hardware concurrency]. Zero or
+/// negative requests mean "use all hardware threads".
+int clampThreadCount(int Requested);
+
+} // namespace rcs
+
+#endif // RCS_SUPPORT_PARALLEL_H

@@ -27,6 +27,16 @@ RandomEngine::RandomEngine(uint64_t Seed) {
     Word = splitMix64(S);
 }
 
+RandomEngine::RandomEngine(uint64_t Seed, uint64_t StreamId) {
+  // Mix the stream id into the splitmix state with an odd multiplier so
+  // consecutive stream ids land far apart in splitmix's sequence, then add a
+  // constant so (Seed, 0) differs from the single-seed constructor.
+  uint64_t S = Seed ^ (StreamId * 0x9e3779b97f4a7c15ULL + 0x6a09e667f3bcc909ULL);
+  S = splitMix64(S) ^ Seed;
+  for (uint64_t &Word : State)
+    Word = splitMix64(S);
+}
+
 uint64_t RandomEngine::next() {
   uint64_t Result = rotl(State[1] * 5, 7) * 9;
   uint64_t T = State[1] << 17;
@@ -84,6 +94,16 @@ double RandomEngine::exponential(double Lambda) {
     U = uniform();
   } while (U <= 1e-300);
   return -std::log(U) / Lambda;
+}
+
+double RandomEngine::weibullSample(double ShapeFactor, double Scale) {
+  assert(ShapeFactor > 0 && "weibull shape must be positive");
+  assert(Scale > 0 && "weibull scale must be positive");
+  double U = 0.0;
+  do {
+    U = uniform();
+  } while (U <= 1e-300);
+  return Scale * std::pow(-std::log(U), 1.0 / ShapeFactor);
 }
 
 bool RandomEngine::bernoulli(double P) { return uniform() < P; }

@@ -24,6 +24,15 @@ public:
   /// Seeds the engine; equal seeds give identical streams on any platform.
   explicit RandomEngine(uint64_t Seed = 0x5ca75eedULL);
 
+  /// Seeds an independent sub-stream of \p Seed identified by \p StreamId.
+  /// Stream 0 is NOT the same sequence as RandomEngine(Seed): the stream
+  /// family is deliberately disjoint from the single-seed constructor so
+  /// adding streams to existing code never silently reuses old sequences.
+  /// Equal (Seed, StreamId) pairs give identical sequences on any platform
+  /// and any thread count; distinct stream ids give statistically
+  /// independent sequences.
+  RandomEngine(uint64_t Seed, uint64_t StreamId);
+
   /// Returns the next raw 64-bit value.
   uint64_t next();
 
@@ -41,6 +50,13 @@ public:
 
   /// Returns a sample from an exponential distribution with rate \p Lambda.
   double exponential(double Lambda);
+
+  /// Returns a sample from a Weibull distribution with shape
+  /// \p ShapeFactor and scale \p Scale (inverse-CDF method). Shape 1
+  /// reduces to an exponential with mean Scale; shape > 1 models wear-out
+  /// hazards (pump bearings, impeller erosion), shape < 1 infant
+  /// mortality.
+  double weibullSample(double ShapeFactor, double Scale);
 
   /// Returns true with probability \p P.
   bool bernoulli(double P);

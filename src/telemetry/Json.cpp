@@ -10,6 +10,7 @@
 
 #include <cctype>
 #include <cmath>
+#include <cstdlib>
 
 using namespace rcs;
 using namespace rcs::telemetry;
@@ -245,6 +246,283 @@ private:
 
 Status rcs::telemetry::validateJson(std::string_view Text) {
   return JsonValidator(Text).validateDocument();
+}
+
+//===----------------------------------------------------------------------===//
+// Materializing DOM parser
+//===----------------------------------------------------------------------===//
+
+const JsonValue *JsonValue::find(std::string_view Key) const {
+  if (ValueKind != Kind::Object)
+    return nullptr;
+  for (const auto &[Name, Value] : Members)
+    if (Name == Key)
+      return &Value;
+  return nullptr;
+}
+
+namespace {
+
+/// Materializing recursive-descent parser. Kept separate from JsonValidator
+/// so the high-volume validation path never pays for allocation.
+class JsonDomParser {
+public:
+  explicit JsonDomParser(std::string_view Text) : Text(Text) {}
+
+  Expected<JsonValue> parseDocument() {
+    skipWhitespace();
+    Expected<JsonValue> Value = parseValue(0);
+    if (!Value)
+      return Value;
+    skipWhitespace();
+    if (Pos != Text.size())
+      return errorHere("trailing characters after JSON value");
+    return Value;
+  }
+
+private:
+  static constexpr int MaxDepth = 64;
+
+  std::string_view Text;
+  size_t Pos = 0;
+
+  Expected<JsonValue> errorHere(const std::string &What) const {
+    return Expected<JsonValue>::error(What + " at offset " +
+                                      std::to_string(Pos));
+  }
+
+  bool atEnd() const { return Pos >= Text.size(); }
+  char peek() const { return Text[Pos]; }
+
+  void skipWhitespace() {
+    while (!atEnd() && (Text[Pos] == ' ' || Text[Pos] == '\t' ||
+                        Text[Pos] == '\n' || Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    if (atEnd() || Text[Pos] != C)
+      return false;
+    ++Pos;
+    return true;
+  }
+
+  bool consumeLiteral(std::string_view Literal) {
+    if (Text.substr(Pos, Literal.size()) != Literal)
+      return false;
+    Pos += Literal.size();
+    return true;
+  }
+
+  Expected<JsonValue> parseValue(int Depth) {
+    if (Depth > MaxDepth)
+      return errorHere("JSON nesting too deep");
+    if (atEnd())
+      return errorHere("unexpected end of input");
+    char C = peek();
+    if (C == '{')
+      return parseObject(Depth);
+    if (C == '[')
+      return parseArray(Depth);
+    if (C == '"') {
+      JsonValue V;
+      V.ValueKind = JsonValue::Kind::String;
+      Status S = parseString(V.StringValue);
+      if (!S.isOk())
+        return Expected<JsonValue>(S);
+      return V;
+    }
+    if (C == '-' || (C >= '0' && C <= '9'))
+      return parseNumber();
+    JsonValue V;
+    if (consumeLiteral("true")) {
+      V.ValueKind = JsonValue::Kind::Bool;
+      V.BoolValue = true;
+      return V;
+    }
+    if (consumeLiteral("false")) {
+      V.ValueKind = JsonValue::Kind::Bool;
+      return V;
+    }
+    if (consumeLiteral("null"))
+      return V;
+    return errorHere("unexpected character");
+  }
+
+  Expected<JsonValue> parseObject(int Depth) {
+    consume('{');
+    JsonValue Obj;
+    Obj.ValueKind = JsonValue::Kind::Object;
+    skipWhitespace();
+    if (consume('}'))
+      return Obj;
+    while (true) {
+      skipWhitespace();
+      if (atEnd() || peek() != '"')
+        return errorHere("expected object key string");
+      std::string Key;
+      Status KeyStatus = parseString(Key);
+      if (!KeyStatus.isOk())
+        return Expected<JsonValue>(KeyStatus);
+      skipWhitespace();
+      if (!consume(':'))
+        return errorHere("expected ':' after object key");
+      skipWhitespace();
+      Expected<JsonValue> Value = parseValue(Depth + 1);
+      if (!Value)
+        return Value;
+      Obj.Members.emplace_back(std::move(Key), std::move(*Value));
+      skipWhitespace();
+      if (consume('}'))
+        return Obj;
+      if (!consume(','))
+        return errorHere("expected ',' or '}' in object");
+    }
+  }
+
+  Expected<JsonValue> parseArray(int Depth) {
+    consume('[');
+    JsonValue Arr;
+    Arr.ValueKind = JsonValue::Kind::Array;
+    skipWhitespace();
+    if (consume(']'))
+      return Arr;
+    while (true) {
+      skipWhitespace();
+      Expected<JsonValue> Value = parseValue(Depth + 1);
+      if (!Value)
+        return Value;
+      Arr.Items.push_back(std::move(*Value));
+      skipWhitespace();
+      if (consume(']'))
+        return Arr;
+      if (!consume(','))
+        return errorHere("expected ',' or ']' in array");
+    }
+  }
+
+  /// Appends \p Code as UTF-8 to \p Out. Lone surrogates are encoded as-is;
+  /// scenario files are ASCII in practice.
+  static void appendUtf8(std::string &Out, unsigned Code) {
+    if (Code < 0x80) {
+      Out += static_cast<char>(Code);
+    } else if (Code < 0x800) {
+      Out += static_cast<char>(0xc0 | (Code >> 6));
+      Out += static_cast<char>(0x80 | (Code & 0x3f));
+    } else {
+      Out += static_cast<char>(0xe0 | (Code >> 12));
+      Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3f));
+      Out += static_cast<char>(0x80 | (Code & 0x3f));
+    }
+  }
+
+  Status parseString(std::string &Out) {
+    consume('"');
+    while (!atEnd()) {
+      char C = Text[Pos];
+      if (C == '"') {
+        ++Pos;
+        return Status::ok();
+      }
+      if (static_cast<unsigned char>(C) < 0x20)
+        return Status::error("unescaped control character in string at offset " +
+                             std::to_string(Pos));
+      if (C == '\\') {
+        ++Pos;
+        if (atEnd())
+          return Status::error("dangling escape at end of input");
+        char E = Text[Pos];
+        switch (E) {
+        case '"':
+          Out += '"';
+          break;
+        case '\\':
+          Out += '\\';
+          break;
+        case '/':
+          Out += '/';
+          break;
+        case 'b':
+          Out += '\b';
+          break;
+        case 'f':
+          Out += '\f';
+          break;
+        case 'n':
+          Out += '\n';
+          break;
+        case 'r':
+          Out += '\r';
+          break;
+        case 't':
+          Out += '\t';
+          break;
+        case 'u': {
+          unsigned Code = 0;
+          for (int I = 0; I != 4; ++I) {
+            ++Pos;
+            if (atEnd() ||
+                !std::isxdigit(static_cast<unsigned char>(Text[Pos])))
+              return Status::error("malformed \\u escape at offset " +
+                                   std::to_string(Pos));
+            char H = Text[Pos];
+            unsigned Digit = (H >= '0' && H <= '9') ? unsigned(H - '0')
+                             : (H >= 'a' && H <= 'f')
+                                 ? unsigned(H - 'a' + 10)
+                                 : unsigned(H - 'A' + 10);
+            Code = Code * 16 + Digit;
+          }
+          appendUtf8(Out, Code);
+          break;
+        }
+        default:
+          return Status::error("invalid escape character at offset " +
+                               std::to_string(Pos));
+        }
+        ++Pos;
+        continue;
+      }
+      Out += C;
+      ++Pos;
+    }
+    return Status::error("unterminated string");
+  }
+
+  Expected<JsonValue> parseNumber() {
+    size_t Start = Pos;
+    consume('-');
+    if (atEnd() || peek() < '0' || peek() > '9')
+      return errorHere("malformed number");
+    if (!consume('0'))
+      while (!atEnd() && peek() >= '0' && peek() <= '9')
+        ++Pos;
+    if (consume('.')) {
+      if (atEnd() || peek() < '0' || peek() > '9')
+        return errorHere("malformed number fraction");
+      while (!atEnd() && peek() >= '0' && peek() <= '9')
+        ++Pos;
+    }
+    if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+      ++Pos;
+      if (!atEnd() && (peek() == '+' || peek() == '-'))
+        ++Pos;
+      if (atEnd() || peek() < '0' || peek() > '9')
+        return errorHere("malformed number exponent");
+      while (!atEnd() && peek() >= '0' && peek() <= '9')
+        ++Pos;
+    }
+    JsonValue V;
+    V.ValueKind = JsonValue::Kind::Number;
+    std::string Literal(Text.substr(Start, Pos - Start));
+    V.NumberValue = std::strtod(Literal.c_str(), nullptr);
+    return V;
+  }
+};
+
+} // namespace
+
+Expected<JsonValue> rcs::telemetry::parseJson(std::string_view Text) {
+  return JsonDomParser(Text).parseDocument();
 }
 
 Status rcs::telemetry::validateJsonLines(std::string_view Text,

@@ -5,10 +5,11 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Tiny JSON helpers shared by the telemetry sinks and the trace checker:
-/// string escaping, number rendering, and a validating (non-materializing)
-/// recursive-descent parser. skatsim emits and checks JSON; it never needs
-/// a DOM, so none is built.
+/// Tiny JSON helpers shared by the telemetry sinks, the trace checker, and
+/// the fault-scenario loader: string escaping, number rendering, a
+/// validating (non-materializing) recursive-descent parser for high-volume
+/// trace checking, and a small materializing DOM (JsonValue) for the few
+/// places that read JSON documents (fault scenario files).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -19,6 +20,8 @@
 
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace rcs {
 namespace telemetry {
@@ -42,6 +45,35 @@ Status validateJson(std::string_view Text);
 /// value. Returns the number of valid lines through \p NumLines when
 /// non-null.
 Status validateJsonLines(std::string_view Text, size_t *NumLines = nullptr);
+
+/// A materialized JSON value. Small and copyable; intended for reading
+/// configuration-sized documents (fault scenarios), not telemetry volumes.
+/// Object member order is preserved; duplicate keys keep the first match on
+/// lookup.
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind ValueKind = Kind::Null;
+  bool BoolValue = false;
+  double NumberValue = 0.0;
+  std::string StringValue;
+  std::vector<JsonValue> Items;
+  std::vector<std::pair<std::string, JsonValue>> Members;
+
+  bool isNull() const { return ValueKind == Kind::Null; }
+  bool isBool() const { return ValueKind == Kind::Bool; }
+  bool isNumber() const { return ValueKind == Kind::Number; }
+  bool isString() const { return ValueKind == Kind::String; }
+  bool isArray() const { return ValueKind == Kind::Array; }
+  bool isObject() const { return ValueKind == Kind::Object; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue *find(std::string_view Key) const;
+};
+
+/// Parses exactly one JSON document (surrounding whitespace allowed) into a
+/// DOM. Shares the validator's grammar, limits, and error wording.
+Expected<JsonValue> parseJson(std::string_view Text);
 
 } // namespace telemetry
 } // namespace rcs

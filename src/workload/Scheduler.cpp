@@ -301,3 +301,53 @@ std::vector<Job> rcs::workload::makeStandardJobMix(int NumJobs,
   }
   return Jobs;
 }
+
+MigrationPlan rcs::workload::planMigration(
+    const std::vector<double> &ModuleUtilization,
+    const std::vector<bool> &Available,
+    const std::vector<double> &ModuleTempC, size_t FromModule,
+    double UtilizationBound, PlacementPolicy Policy) {
+  assert(ModuleUtilization.size() == Available.size() &&
+         ModuleUtilization.size() == ModuleTempC.size() &&
+         "parallel vectors must agree");
+  assert(FromModule < ModuleUtilization.size() && "source out of range");
+
+  MigrationPlan Plan;
+  Plan.AddedUtilization.assign(ModuleUtilization.size(), 0.0);
+  double Remaining = std::max(ModuleUtilization[FromModule], 0.0);
+  if (Remaining <= 0.0)
+    return Plan;
+
+  // Candidate targets in policy order; every comparison ties-breaks by
+  // index so the plan is deterministic.
+  std::vector<size_t> Candidates;
+  for (size_t I = 0; I != ModuleUtilization.size(); ++I)
+    if (I != FromModule && Available[I])
+      Candidates.push_back(I);
+  std::stable_sort(Candidates.begin(), Candidates.end(),
+                   [&](size_t A, size_t B) {
+                     switch (Policy) {
+                     case PlacementPolicy::FirstFit:
+                       return A < B;
+                     case PlacementPolicy::CoolestFirst:
+                       return ModuleTempC[A] < ModuleTempC[B];
+                     case PlacementPolicy::LoadSpread:
+                       return ModuleUtilization[A] < ModuleUtilization[B];
+                     }
+                     return A < B;
+                   });
+
+  for (size_t Target : Candidates) {
+    if (Remaining <= 0.0)
+      break;
+    double Headroom = UtilizationBound - ModuleUtilization[Target];
+    if (Headroom <= 0.0)
+      continue;
+    double Moved = std::min(Remaining, Headroom);
+    Plan.AddedUtilization[Target] = Moved;
+    Plan.Targets.push_back(static_cast<int>(Target));
+    Remaining -= Moved;
+  }
+  Plan.UnplacedUtilization = std::max(Remaining, 0.0);
+  return Plan;
+}

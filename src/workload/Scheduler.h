@@ -89,6 +89,30 @@ scheduleOnRack(const rcsystem::RackConfig &Rack,
 /// classes (spin-glass, MD, linear algebra, DSP).
 std::vector<Job> makeStandardJobMix(int NumJobs, uint64_t Seed);
 
+/// Where a failed or overheating module's running work should go.
+struct MigrationPlan {
+  /// Utilization added to each module, parallel to the input vectors
+  /// (zero for the source module and unavailable modules).
+  std::vector<double> AddedUtilization;
+  /// Utilization that found no headroom and is lost until repair.
+  double UnplacedUtilization = 0.0;
+  /// Modules that received work, in fill order (for event logs).
+  std::vector<int> Targets;
+};
+
+/// Plans migrating the running utilization of module \p FromModule onto
+/// the remaining available modules, used by the faults engine when the
+/// monitor latches a module off (graceful degradation: migrate, don't
+/// drop). Targets are filled greedily to \p UtilizationBound in an order
+/// set by \p Policy: FirstFit by index, CoolestFirst by ascending
+/// \p ModuleTempC, LoadSpread by ascending current utilization; all ties
+/// break by index, so the plan is deterministic.
+MigrationPlan planMigration(const std::vector<double> &ModuleUtilization,
+                            const std::vector<bool> &Available,
+                            const std::vector<double> &ModuleTempC,
+                            size_t FromModule, double UtilizationBound,
+                            PlacementPolicy Policy);
+
 } // namespace workload
 } // namespace rcs
 

@@ -1,0 +1,584 @@
+//===- tests/faults_test.cpp - Fault-injection engine tests ---------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "faults/Engine.h"
+#include "faults/FaultModel.h"
+#include "faults/Injector.h"
+#include "faults/Scenario.h"
+#include "faults/Sweep.h"
+#include "faults/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+using namespace rcs;
+using namespace rcs::faults;
+
+//===----------------------------------------------------------------------===//
+// Fault models
+//===----------------------------------------------------------------------===//
+
+TEST(FaultModelTest, KindNamesRoundTrip) {
+  for (FaultKind Kind :
+       {FaultKind::PumpDegradation, FaultKind::PumpFailure,
+        FaultKind::HxFouling, FaultKind::ValveBlockage,
+        FaultKind::CoolantLoss, FaultKind::ChillerDerate,
+        FaultKind::PsuEfficiencyDroop, FaultKind::SensorDrift,
+        FaultKind::SensorStuck, FaultKind::SensorDropout,
+        FaultKind::SensorSpike}) {
+    auto Parsed = faultKindByName(faultKindName(Kind));
+    ASSERT_TRUE(Parsed.hasValue()) << faultKindName(Kind);
+    EXPECT_EQ(*Parsed, Kind);
+  }
+  EXPECT_FALSE(faultKindByName("melted_everything").hasValue());
+}
+
+TEST(FaultModelTest, SeverityWindowAndRamp) {
+  FaultSpec Spec;
+  Spec.StartTimeS = 100.0;
+  Spec.DurationS = 200.0;
+  Spec.SeverityFraction = 0.8;
+  Spec.RampS = 50.0;
+  EXPECT_DOUBLE_EQ(severityAt(Spec, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(severityAt(Spec, 99.9), 0.0);
+  EXPECT_DOUBLE_EQ(severityAt(Spec, 125.0), 0.4); // Half-way up the ramp.
+  EXPECT_DOUBLE_EQ(severityAt(Spec, 150.0), 0.8);
+  EXPECT_DOUBLE_EQ(severityAt(Spec, 299.9), 0.8);
+  EXPECT_DOUBLE_EQ(severityAt(Spec, 300.0), 0.0); // Repaired.
+}
+
+TEST(FaultModelTest, AllOrNothingKindsIgnoreSeverity) {
+  FaultSpec Spec;
+  Spec.Kind = FaultKind::PumpFailure;
+  Spec.SeverityFraction = 0.1;
+  EXPECT_DOUBLE_EQ(severityAt(Spec, 10.0), 1.0);
+}
+
+TEST(FaultModelTest, PlantFaultsComposeMultiplicatively) {
+  sim::PlantEffects Effects;
+  FaultSpec Pump;
+  Pump.Kind = FaultKind::PumpDegradation;
+  applyPlantFault(Pump, 0.5, Effects);
+  applyPlantFault(Pump, 0.5, Effects);
+  EXPECT_DOUBLE_EQ(Effects.PumpSpeedFactor, 0.25);
+
+  FaultSpec Psu;
+  Psu.Kind = FaultKind::PsuEfficiencyDroop;
+  Psu.ExtraHeatW = 500.0;
+  applyPlantFault(Psu, 0.4, Effects);
+  EXPECT_DOUBLE_EQ(Effects.ExtraHeatW, 200.0);
+
+  // Sensor kinds never touch the plant.
+  FaultSpec Drift;
+  Drift.Kind = FaultKind::SensorDrift;
+  sim::PlantEffects Clean;
+  applyPlantFault(Drift, 1.0, Clean);
+  EXPECT_DOUBLE_EQ(Clean.PumpSpeedFactor, 1.0);
+  EXPECT_DOUBLE_EQ(Clean.HxUaFactor, 1.0);
+}
+
+TEST(FaultModelTest, RackFaultsTargetTheirModule) {
+  sim::RackPlantEffects Effects;
+  Effects.ModulePumpFactor.assign(4, 1.0);
+  Effects.ModuleUaFactor.assign(4, 1.0);
+  Effects.ModuleExtraHeatW.assign(4, 0.0);
+  FaultSpec Fouling;
+  Fouling.Kind = FaultKind::HxFouling;
+  Fouling.Target = 2;
+  applyRackPlantFault(Fouling, 0.6, Effects);
+  EXPECT_DOUBLE_EQ(Effects.ModuleUaFactor[2], 0.4);
+  EXPECT_DOUBLE_EQ(Effects.ModuleUaFactor[0], 1.0);
+
+  FaultSpec Derate;
+  Derate.Kind = FaultKind::ChillerDerate;
+  applyRackPlantFault(Derate, 0.3, Effects);
+  EXPECT_DOUBLE_EQ(Effects.ChillerCapacityFactor, 0.7);
+}
+
+TEST(FaultModelTest, PsuDroopHeatIsPositiveAndMonotonic) {
+  double Small = psuDroopExtraHeatW(4000.0, 0.94, 0.02);
+  double Large = psuDroopExtraHeatW(4000.0, 0.94, 0.08);
+  EXPECT_GT(Small, 0.0);
+  EXPECT_GT(Large, Small);
+  EXPECT_DOUBLE_EQ(psuDroopExtraHeatW(4000.0, 0.94, 0.0), 0.0);
+}
+
+TEST(FaultModelTest, HazardScheduleIsDeterministicPerStream) {
+  std::vector<HazardSpec> Hazards(1);
+  Hazards[0].Kind = FaultKind::PumpFailure;
+  Hazards[0].Id = "pump";
+  Hazards[0].MttfHours = 2.0;
+  Hazards[0].RepairHours = 0.5;
+  const double Horizon = 24.0 * 3600.0;
+
+  auto A = sampleFaultSchedule(Hazards, Horizon, 42, 3);
+  auto B = sampleFaultSchedule(Hazards, Horizon, 42, 3);
+  ASSERT_EQ(A.size(), B.size());
+  ASSERT_FALSE(A.empty());
+  for (size_t I = 0; I != A.size(); ++I) {
+    EXPECT_DOUBLE_EQ(A[I].StartTimeS, B[I].StartTimeS);
+    EXPECT_EQ(A[I].Id, B[I].Id);
+  }
+  EXPECT_TRUE(std::is_sorted(A.begin(), A.end(),
+                             [](const FaultSpec &X, const FaultSpec &Y) {
+                               return X.StartTimeS < Y.StartTimeS;
+                             }));
+  // Renewal: the next failure starts after the previous repair window.
+  for (size_t I = 1; I != A.size(); ++I)
+    EXPECT_GE(A[I].StartTimeS, A[I - 1].StartTimeS + A[I - 1].DurationS);
+
+  // A different stream draws a different schedule.
+  auto C = sampleFaultSchedule(Hazards, Horizon, 42, 4);
+  bool Different = A.size() != C.size();
+  for (size_t I = 0; !Different && I != A.size(); ++I)
+    Different = A[I].StartTimeS != C[I].StartTimeS;
+  EXPECT_TRUE(Different);
+}
+
+//===----------------------------------------------------------------------===//
+// Injector
+//===----------------------------------------------------------------------===//
+
+TEST(InjectorTest, EmitsInjectAndClearExactlyOnce) {
+  FaultSpec Spec;
+  Spec.Kind = FaultKind::HxFouling;
+  Spec.Id = "hx";
+  Spec.StartTimeS = 10.0;
+  Spec.DurationS = 20.0;
+  Spec.SeverityFraction = 0.5;
+  FaultInjector Injector({Spec});
+  std::vector<FaultEvent> Events;
+  Injector.setEventCallback(
+      [&Events](const FaultEvent &Event) { Events.push_back(Event); });
+
+  sim::PlantEffects Effects;
+  for (double Time : {0.0, 5.0, 10.0, 15.0, 20.0, 29.0, 30.0, 35.0}) {
+    Effects = sim::PlantEffects();
+    Injector.plantEffectsAt(Time, Effects);
+  }
+  ASSERT_EQ(Events.size(), 2u);
+  EXPECT_EQ(Events[0].Event, "inject");
+  EXPECT_EQ(Events[0].Fault, "hx");
+  EXPECT_EQ(Events[0].Detail, "hx_fouling");
+  EXPECT_DOUBLE_EQ(Events[0].TimeS, 10.0);
+  EXPECT_EQ(Events[1].Event, "clear");
+  EXPECT_DOUBLE_EQ(Events[1].TimeS, 30.0);
+  EXPECT_EQ(Injector.injectedCount(), 1);
+  EXPECT_EQ(Injector.clearedCount(), 1);
+  // After repair the plant is healthy again.
+  EXPECT_DOUBLE_EQ(Effects.HxUaFactor, 1.0);
+}
+
+TEST(InjectorTest, SensorStuckLatchesFirstReading) {
+  FaultSpec Spec;
+  Spec.Kind = FaultKind::SensorStuck;
+  Spec.Id = "tj";
+  Spec.Target = 1;
+  Spec.StartTimeS = 100.0;
+  FaultInjector Injector({Spec});
+
+  double Readings[3] = {30.0, 55.0, 0.01};
+  Injector.transformReadings(50.0, Readings, 3);
+  EXPECT_DOUBLE_EQ(Readings[1], 55.0); // Not active yet.
+
+  Readings[1] = 61.0;
+  Injector.transformReadings(120.0, Readings, 3);
+  EXPECT_DOUBLE_EQ(Readings[1], 61.0); // Latches the first corrupted poll.
+
+  Readings[1] = 75.0;
+  Injector.transformReadings(200.0, Readings, 3);
+  EXPECT_DOUBLE_EQ(Readings[1], 61.0); // Stuck at the latched value.
+  EXPECT_DOUBLE_EQ(Readings[0], 30.0); // Other sensors untouched.
+}
+
+TEST(InjectorTest, SensorDropoutReadsNaNAndDriftScales) {
+  FaultSpec Dropout;
+  Dropout.Kind = FaultKind::SensorDropout;
+  Dropout.Id = "flow";
+  Dropout.Target = 2;
+  FaultSpec Drift;
+  Drift.Kind = FaultKind::SensorDrift;
+  Drift.Id = "oil";
+  Drift.Target = 0;
+  Drift.SeverityFraction = 0.2;
+  FaultInjector Injector({Dropout, Drift});
+
+  double Readings[3] = {40.0, 60.0, 0.01};
+  Injector.transformReadings(1.0, Readings, 3);
+  EXPECT_TRUE(std::isnan(Readings[2]));
+  EXPECT_DOUBLE_EQ(Readings[0], 48.0);
+
+  // Out-of-range targets are ignored rather than corrupting memory.
+  FaultSpec Bad;
+  Bad.Kind = FaultKind::SensorDrift;
+  Bad.Id = "bogus";
+  Bad.Target = 7;
+  FaultInjector BadInjector({Bad});
+  double Two[2] = {1.0, 2.0};
+  BadInjector.transformReadings(1.0, Two, 2);
+  EXPECT_DOUBLE_EQ(Two[0], 1.0);
+  EXPECT_DOUBLE_EQ(Two[1], 2.0);
+}
+
+TEST(InjectorTest, SpikePulsesOncePerPeriod) {
+  FaultSpec Spec;
+  Spec.Kind = FaultKind::SensorSpike;
+  Spec.Id = "tj";
+  Spec.Target = 0;
+  Spec.StartTimeS = 0.0;
+  Spec.SeverityFraction = 0.5;
+  Spec.PeriodS = 100.0;
+  FaultInjector Injector({Spec});
+
+  int Spiked = 0;
+  for (double Time = 0.0; Time < 400.0; Time += 25.0) {
+    double Reading[1] = {50.0};
+    Injector.transformReadings(Time, Reading, 1);
+    if (Reading[0] != 50.0) {
+      ++Spiked;
+      EXPECT_DOUBLE_EQ(Reading[0], 100.0); // 1 + 2 * severity.
+    }
+  }
+  EXPECT_EQ(Spiked, 4); // t = 0, 100, 200, 300.
+}
+
+//===----------------------------------------------------------------------===//
+// Scenario parsing
+//===----------------------------------------------------------------------===//
+
+TEST(ScenarioTest, ParsesFullDocument) {
+  auto Parsed = parseScenario(R"({
+    "name": "campaign",
+    "level": "rack",
+    "design": "skat-plus",
+    "duration_h": 6.5,
+    "seed": 99,
+    "policy": {
+      "enabled": true,
+      "clock_floor": 0.6,
+      "shed_step": 0.05,
+      "critical_periods_to_shutdown": 3,
+      "migrate_load": false,
+      "utilization_bound": 0.9
+    },
+    "faults": [
+      {"kind": "hx_fouling", "id": "hx1", "target": 1, "at_h": 1.0,
+       "duration_h": 2.0, "severity": 0.7, "ramp_s": 600}
+    ],
+    "hazards": [
+      {"kind": "pump_failure", "id": "pump", "target": 2, "mttf_h": 500,
+       "weibull_shape": 1.5, "repair_h": 4, "severity": 1.0}
+    ]
+  })");
+  ASSERT_TRUE(Parsed.hasValue()) << Parsed.message();
+  EXPECT_EQ(Parsed->Name, "campaign");
+  EXPECT_TRUE(Parsed->RackLevel);
+  EXPECT_EQ(Parsed->Design, "skat-plus");
+  EXPECT_DOUBLE_EQ(Parsed->DurationS, 6.5 * 3600.0);
+  EXPECT_EQ(Parsed->Seed, 99u);
+  EXPECT_DOUBLE_EQ(Parsed->Policy.ClockFloorFraction, 0.6);
+  EXPECT_EQ(Parsed->Policy.CriticalPeriodsToShutdown, 3);
+  EXPECT_FALSE(Parsed->Policy.MigrateLoad);
+  ASSERT_EQ(Parsed->Faults.size(), 1u);
+  EXPECT_EQ(Parsed->Faults[0].Kind, FaultKind::HxFouling);
+  EXPECT_DOUBLE_EQ(Parsed->Faults[0].StartTimeS, 3600.0);
+  EXPECT_DOUBLE_EQ(Parsed->Faults[0].DurationS, 7200.0);
+  ASSERT_EQ(Parsed->Hazards.size(), 1u);
+  EXPECT_DOUBLE_EQ(Parsed->Hazards[0].WeibullShapeFactor, 1.5);
+}
+
+TEST(ScenarioTest, RejectsUnknownAndInvalidFields) {
+  EXPECT_FALSE(parseScenario(R"({"bogus": 1})").hasValue());
+  EXPECT_FALSE(parseScenario(R"({"level": "cluster"})").hasValue());
+  EXPECT_FALSE(
+      parseScenario(R"({"faults": [{"id": "x"}]})").hasValue());
+  EXPECT_FALSE(
+      parseScenario(R"({"faults": [{"kind": "warp_core_breach"}]})")
+          .hasValue());
+  EXPECT_FALSE(
+      parseScenario(
+          R"({"faults": [{"kind": "hx_fouling", "severity": 1.5}]})")
+          .hasValue());
+  EXPECT_FALSE(
+      parseScenario(R"({"policy": {"shed_rate": 1}})").hasValue());
+  EXPECT_FALSE(parseScenario(R"({"duration_h": 0})").hasValue());
+  EXPECT_FALSE(parseScenario("not json").hasValue());
+}
+
+TEST(ScenarioTest, DefaultsAreSane) {
+  auto Parsed = parseScenario(R"({"name": "minimal"})");
+  ASSERT_TRUE(Parsed.hasValue()) << Parsed.message();
+  EXPECT_FALSE(Parsed->RackLevel);
+  EXPECT_EQ(Parsed->Design, "skat");
+  EXPECT_TRUE(Parsed->Policy.Enabled);
+  EXPECT_TRUE(Parsed->Faults.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Closed-loop engine
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Index of the first event matching \p Verb (and \p Fault when set);
+/// npos when absent.
+size_t findEvent(const std::vector<FaultEvent> &Events,
+                 const std::string &Verb, const std::string &Fault = "",
+                 const std::string &DetailPart = "") {
+  for (size_t I = 0; I != Events.size(); ++I) {
+    if (Events[I].Event != Verb)
+      continue;
+    if (!Fault.empty() && Events[I].Fault != Fault)
+      continue;
+    if (!DetailPart.empty() &&
+        Events[I].Detail.find(DetailPart) == std::string::npos)
+      continue;
+    return I;
+  }
+  return std::string::npos;
+}
+
+} // namespace
+
+TEST(EngineTest, PumpFaultTriggersStagedDegradationSequence) {
+  // The acceptance scenario: pump degrades at t = 1 h, the flow alarm
+  // debounces to Critical, the policy sheds clock, and the module rides
+  // out the rest of the run in a safe degraded state (the shutdown stage
+  // is configured far away).
+  Scenario S;
+  S.Name = "e2e-pump";
+  S.DurationS = 3.0 * 3600.0;
+  S.Policy.CriticalPeriodsToShutdown = 1000;
+  FaultSpec Pump;
+  Pump.Kind = FaultKind::PumpDegradation;
+  Pump.Id = "pump0";
+  Pump.StartTimeS = 3600.0;
+  Pump.SeverityFraction = 0.8;
+  Pump.RampS = 300.0;
+  S.Faults.push_back(Pump);
+
+  auto Out = runScenario(S);
+  ASSERT_TRUE(Out.hasValue()) << Out.message();
+
+  // The full cause-effect chain, in order, from the emitted events.
+  size_t Inject = findEvent(Out->Events, "inject", "pump0");
+  size_t Critical = findEvent(Out->Events, "alarm", "", "->critical");
+  size_t Shed = findEvent(Out->Events, "action", "reduce clock");
+  ASSERT_NE(Inject, std::string::npos);
+  ASSERT_NE(Critical, std::string::npos);
+  ASSERT_NE(Shed, std::string::npos);
+  EXPECT_LT(Inject, Critical);
+  EXPECT_LT(Critical, Shed);
+  EXPECT_LE(Out->Events[Inject].TimeS, Out->Events[Critical].TimeS);
+  EXPECT_LE(Out->Events[Critical].TimeS, Out->Events[Shed].TimeS);
+
+  // Degraded but alive: clock shed cost throughput, no shutdown, and the
+  // run ended thermally safe.
+  EXPECT_EQ(Out->ModulesShutDown, 0);
+  EXPECT_GT(Out->AvailabilityFraction, 0.999);
+  EXPECT_LT(Out->ThroughputRetainedFraction, 0.999);
+  EXPECT_TRUE(Out->SafeDegradedEnd);
+  EXPECT_GE(Out->TimeToFirstCriticalS, 3600.0);
+  EXPECT_EQ(Out->FaultsInjected, 1);
+  // Events are chronological.
+  for (size_t I = 1; I != Out->Events.size(); ++I)
+    EXPECT_LE(Out->Events[I - 1].TimeS, Out->Events[I].TimeS);
+}
+
+TEST(EngineTest, StagedShutdownFiresAfterConfiguredPeriods) {
+  Scenario S;
+  S.Name = "e2e-shutdown";
+  S.DurationS = 2.0 * 3600.0;
+  S.Policy.CriticalPeriodsToShutdown = 3;
+  FaultSpec Pump;
+  Pump.Kind = FaultKind::PumpFailure;
+  Pump.Id = "pump0";
+  Pump.StartTimeS = 1800.0;
+  S.Faults.push_back(Pump);
+
+  auto Out = runScenario(S);
+  ASSERT_TRUE(Out.hasValue()) << Out.message();
+  size_t Shed = findEvent(Out->Events, "action", "reduce clock");
+  size_t Shutdown = findEvent(Out->Events, "action", "shutdown");
+  size_t Trip = findEvent(Out->Events, "trip");
+  ASSERT_NE(Shed, std::string::npos);
+  ASSERT_NE(Shutdown, std::string::npos);
+  ASSERT_NE(Trip, std::string::npos);
+  EXPECT_LT(Shed, Shutdown);
+  EXPECT_EQ(Out->ModulesShutDown, 1);
+  EXPECT_LT(Out->AvailabilityFraction, 1.0);
+}
+
+TEST(EngineTest, HealthyScenarioStaysClean) {
+  Scenario S;
+  S.Name = "healthy";
+  S.DurationS = 3600.0;
+  auto Out = runScenario(S);
+  ASSERT_TRUE(Out.hasValue()) << Out.message();
+  EXPECT_EQ(Out->FaultsInjected, 0);
+  EXPECT_DOUBLE_EQ(Out->AvailabilityFraction, 1.0);
+  EXPECT_GT(Out->ThroughputRetainedFraction, 0.999);
+  EXPECT_LT(Out->TimeToFirstCriticalS, 0.0);
+  EXPECT_TRUE(Out->SafeDegradedEnd);
+}
+
+TEST(EngineTest, RejectsAirCooledDesigns) {
+  Scenario S;
+  S.Design = "rigel2";
+  EXPECT_FALSE(runScenario(S).hasValue());
+  S.RackLevel = true;
+  EXPECT_FALSE(runScenario(S).hasValue());
+}
+
+TEST(EngineTest, RackChillerDerateShedsAndMigrates) {
+  Scenario S;
+  S.Name = "rack-derate";
+  S.RackLevel = true;
+  S.DurationS = 4.0 * 3600.0;
+  S.Policy.CriticalPeriodsToShutdown = 2;
+  FaultSpec Derate;
+  Derate.Kind = FaultKind::ChillerDerate;
+  Derate.Id = "chiller";
+  Derate.StartTimeS = 1800.0;
+  Derate.SeverityFraction = 0.75;
+  S.Faults.push_back(Derate);
+
+  auto Out = runScenario(S);
+  ASSERT_TRUE(Out.hasValue()) << Out.message();
+  EXPECT_EQ(Out->FaultsInjected, 1);
+  // A predominantly derated chiller must cost something: either clock
+  // shed or staged shutdowns with migration.
+  EXPECT_LT(Out->ThroughputRetainedFraction, 0.999);
+  EXPECT_GT(Out->ActionsTaken, 0);
+  size_t Shed = findEvent(Out->Events, "action", "reduce_clock");
+  size_t Shutdown = findEvent(Out->Events, "action", "shutdown");
+  EXPECT_TRUE(Shed != std::string::npos || Shutdown != std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Trace
+//===----------------------------------------------------------------------===//
+
+TEST(TraceTest, HeaderDeclaresEventsAndLifecycleLinesCarryKind) {
+  Scenario S;
+  S.Name = "trace-test";
+  S.DurationS = 2.0 * 3600.0;
+  FaultSpec Fouling;
+  Fouling.Kind = FaultKind::HxFouling;
+  Fouling.Id = "hx";
+  Fouling.StartTimeS = 600.0;
+  Fouling.DurationS = 1200.0;
+  Fouling.SeverityFraction = 0.4;
+  S.Faults.push_back(Fouling);
+
+  auto Out = runScenario(S);
+  ASSERT_TRUE(Out.hasValue()) << Out.message();
+  std::string Text = faultEventTraceToString(*Out, S.Seed);
+
+  size_t NumLines = 0;
+  for (char C : Text)
+    NumLines += C == '\n';
+  EXPECT_EQ(NumLines, Out->Events.size() + 1);
+  EXPECT_NE(Text.find("\"kind\": \"fault_trace_header\""),
+            std::string::npos);
+  EXPECT_NE(Text.find("\"scenario\": \"trace-test\""), std::string::npos);
+  EXPECT_NE(Text.find("\"events\": " + std::to_string(Out->Events.size())),
+            std::string::npos);
+  EXPECT_NE(Text.find("\"event\": \"inject\""), std::string::npos);
+  EXPECT_NE(Text.find("\"fault_kind\": \"hx_fouling\""), std::string::npos);
+  EXPECT_NE(Text.find("\"event\": \"clear\""), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Sweep
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Scenario makeSweepScenario() {
+  Scenario S;
+  S.Name = "sweep-test";
+  S.DurationS = 0.75 * 3600.0;
+  S.Seed = 11;
+  S.Policy.CriticalPeriodsToShutdown = 2;
+  HazardSpec Hazard;
+  Hazard.Kind = FaultKind::PumpFailure;
+  Hazard.Id = "pump";
+  Hazard.MttfHours = 0.8;
+  Hazard.RepairHours = 0.25;
+  S.Hazards.push_back(Hazard);
+  return S;
+}
+
+} // namespace
+
+TEST(SweepTest, ReportIsBitIdenticalAcrossThreadCounts) {
+  Scenario S = makeSweepScenario();
+  SweepConfig Serial;
+  Serial.NumReplicates = 6;
+  Serial.NumThreads = 1;
+  SweepConfig Threaded = Serial;
+  Threaded.NumThreads = 4;
+
+  auto A = runSweep(S, Serial);
+  auto B = runSweep(S, Threaded);
+  ASSERT_TRUE(A.hasValue()) << A.message();
+  ASSERT_TRUE(B.hasValue()) << B.message();
+
+  // Bit-identical statistics, not just close: same streams, same slots,
+  // same reduction order.
+  EXPECT_EQ(A->MeanAvailabilityFraction, B->MeanAvailabilityFraction);
+  EXPECT_EQ(A->MeanThroughputRetainedFraction,
+            B->MeanThroughputRetainedFraction);
+  EXPECT_EQ(A->MeanMaxJunctionC, B->MeanMaxJunctionC);
+  EXPECT_EQ(A->CriticalFraction, B->CriticalFraction);
+  EXPECT_EQ(A->MttfEstimateHours, B->MttfEstimateHours);
+  EXPECT_EQ(A->JunctionHistogramCounts, B->JunctionHistogramCounts);
+  ASSERT_EQ(A->Replicates.size(), B->Replicates.size());
+  for (size_t R = 0; R != A->Replicates.size(); ++R) {
+    EXPECT_EQ(A->Replicates[R].AvailabilityFraction,
+              B->Replicates[R].AvailabilityFraction);
+    EXPECT_EQ(A->Replicates[R].TimeToFirstCriticalS,
+              B->Replicates[R].TimeToFirstCriticalS);
+    EXPECT_EQ(A->Replicates[R].MaxJunctionC, B->Replicates[R].MaxJunctionC);
+  }
+}
+
+TEST(SweepTest, ReplicatesDifferUnderStochasticHazards) {
+  Scenario S = makeSweepScenario();
+  SweepConfig Config;
+  Config.NumReplicates = 6;
+  Config.NumThreads = 2;
+  auto Report = runSweep(S, Config);
+  ASSERT_TRUE(Report.hasValue()) << Report.message();
+  ASSERT_EQ(Report->Replicates.size(), 6u);
+  EXPECT_EQ(Report->FailedReplicates, 0);
+  bool AnyDifference = false;
+  for (size_t R = 1; R != Report->Replicates.size(); ++R)
+    AnyDifference = AnyDifference ||
+                    Report->Replicates[R].TimeToFirstCriticalS !=
+                        Report->Replicates[0].TimeToFirstCriticalS ||
+                    Report->Replicates[R].FaultsInjected !=
+                        Report->Replicates[0].FaultsInjected;
+  EXPECT_TRUE(AnyDifference);
+  // Histogram totals match the binned samples of all replicates.
+  uint64_t Binned = 0;
+  for (uint64_t N : Report->JunctionHistogramCounts)
+    Binned += N;
+  EXPECT_GT(Binned, 0u);
+}
+
+TEST(SweepTest, RejectsInvalidConfigurations) {
+  Scenario S = makeSweepScenario();
+  SweepConfig Config;
+  Config.NumReplicates = 0;
+  EXPECT_FALSE(runSweep(S, Config).hasValue());
+  S.Design = "taygeta"; // Air-cooled: the probe run must fail fast.
+  Config.NumReplicates = 2;
+  EXPECT_FALSE(runSweep(S, Config).hasValue());
+}

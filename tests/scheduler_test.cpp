@@ -184,3 +184,61 @@ TEST(SchedulerTest, BackfillSkipsLongerJobs) {
   // "too-long" must not have jumped the blocked head.
   EXPECT_GE(Result->Entries[4].StartHour, Result->Entries[3].StartHour);
 }
+
+//===----------------------------------------------------------------------===//
+// Migration planning (the faults engine's graceful-degradation hook)
+//===----------------------------------------------------------------------===//
+
+TEST(MigrationTest, CoolestFirstFillsColdModulesFirst) {
+  std::vector<double> Utilization = {0.9, 0.2, 0.3, 0.1};
+  std::vector<bool> Available = {false, true, true, true};
+  std::vector<double> TempC = {80.0, 60.0, 40.0, 50.0};
+  MigrationPlan Plan = planMigration(Utilization, Available, TempC, 0, 1.0,
+                                     PlacementPolicy::CoolestFirst);
+  // Module 2 is coolest (0.7 headroom), module 3 next (takes the rest).
+  ASSERT_EQ(Plan.Targets.size(), 2u);
+  EXPECT_EQ(Plan.Targets[0], 2);
+  EXPECT_EQ(Plan.Targets[1], 3);
+  EXPECT_DOUBLE_EQ(Plan.AddedUtilization[2], 0.7);
+  EXPECT_DOUBLE_EQ(Plan.AddedUtilization[3], 0.2);
+  EXPECT_DOUBLE_EQ(Plan.AddedUtilization[0], 0.0);
+  EXPECT_DOUBLE_EQ(Plan.UnplacedUtilization, 0.0);
+}
+
+TEST(MigrationTest, OverflowIsReportedUnplaced) {
+  std::vector<double> Utilization = {0.8, 0.45, 0.4};
+  std::vector<bool> Available = {false, true, true};
+  std::vector<double> TempC = {70.0, 50.0, 50.0};
+  MigrationPlan Plan = planMigration(Utilization, Available, TempC, 0, 0.5,
+                                     PlacementPolicy::FirstFit);
+  double Moved = 0.0;
+  for (double Added : Plan.AddedUtilization)
+    Moved += Added;
+  EXPECT_DOUBLE_EQ(Moved + Plan.UnplacedUtilization, 0.8);
+  EXPECT_DOUBLE_EQ(Plan.AddedUtilization[1], 0.05);
+  EXPECT_DOUBLE_EQ(Plan.AddedUtilization[2], 0.1);
+  EXPECT_DOUBLE_EQ(Plan.UnplacedUtilization, 0.65);
+}
+
+TEST(MigrationTest, UnavailableModulesReceiveNothing) {
+  std::vector<double> Utilization = {0.5, 0.0, 0.0};
+  std::vector<bool> Available = {false, false, true};
+  std::vector<double> TempC = {60.0, 30.0, 90.0};
+  MigrationPlan Plan = planMigration(Utilization, Available, TempC, 0, 1.0,
+                                     PlacementPolicy::CoolestFirst);
+  // Module 1 is coolest but down; everything lands on module 2.
+  EXPECT_DOUBLE_EQ(Plan.AddedUtilization[1], 0.0);
+  EXPECT_DOUBLE_EQ(Plan.AddedUtilization[2], 0.5);
+  ASSERT_EQ(Plan.Targets.size(), 1u);
+  EXPECT_EQ(Plan.Targets[0], 2);
+}
+
+TEST(MigrationTest, IdleSourceYieldsEmptyPlan) {
+  std::vector<double> Utilization = {0.0, 0.2};
+  std::vector<bool> Available = {false, true};
+  std::vector<double> TempC = {50.0, 50.0};
+  MigrationPlan Plan = planMigration(Utilization, Available, TempC, 0, 1.0,
+                                     PlacementPolicy::LoadSpread);
+  EXPECT_TRUE(Plan.Targets.empty());
+  EXPECT_DOUBLE_EQ(Plan.UnplacedUtilization, 0.0);
+}

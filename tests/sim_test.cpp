@@ -409,3 +409,24 @@ TEST(RackTransientTest, TenMinuteOutageIsRideThrough) {
     Peak = std::max(Peak, Sample.MaxJunctionTempC);
   EXPECT_LT(Peak, 70.0);
 }
+
+TEST(MonteCarloTest, ReportIndependentOfThreadCount) {
+  // Per-trial RNG streams plus index-ordered reduction: the report must be
+  // bit-identical at any worker count, not merely statistically close.
+  AvailabilityConfig Serial;
+  Serial.Components = makeColdPlateComponents(96, 55.0, 24);
+  Serial.NumTrials = 64;
+  Serial.NumThreads = 1;
+  AvailabilityConfig Threaded = Serial;
+  Threaded.NumThreads = 4;
+  auto A = simulateAvailability(Serial);
+  auto B = simulateAvailability(Threaded);
+  EXPECT_EQ(A.FailuresPerYear, B.FailuresPerYear);
+  EXPECT_EQ(A.ModuleDowntimeHoursPerYear, B.ModuleDowntimeHoursPerYear);
+  EXPECT_EQ(A.Availability, B.Availability);
+  ASSERT_EQ(A.PerComponentFailuresPerYear.size(),
+            B.PerComponentFailuresPerYear.size());
+  for (size_t I = 0; I != A.PerComponentFailuresPerYear.size(); ++I)
+    EXPECT_EQ(A.PerComponentFailuresPerYear[I],
+              B.PerComponentFailuresPerYear[I]);
+}

@@ -7,6 +7,7 @@
 #include "support/Csv.h"
 #include "support/Interp.h"
 #include "support/Numerics.h"
+#include "support/Parallel.h"
 #include "support/Random.h"
 #include "support/Status.h"
 #include "support/StringUtils.h"
@@ -16,6 +17,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
 
 using namespace rcs;
 
@@ -459,4 +463,86 @@ TEST(CsvTest, WritesFile) {
   size_t N = std::fread(Buf, 1, sizeof(Buf) - 1, F);
   std::fclose(F);
   EXPECT_EQ(std::string(Buf, N), "v\n1.25\n");
+}
+
+//===----------------------------------------------------------------------===//
+// RandomEngine streams (the seed+stream scheme sweeps rely on)
+//===----------------------------------------------------------------------===//
+
+TEST(RandomStreamTest, EqualSeedStreamPairsAgree) {
+  RandomEngine A(99, 3), B(99, 3);
+  for (int I = 0; I != 64; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RandomStreamTest, StreamsAreDisjointFromEachOtherAndTheBase) {
+  RandomEngine Stream3(99, 3), Stream4(99, 4), Base(99), Stream0(99, 0);
+  bool DiffersFromSibling = false;
+  bool DiffersFromBase = false;
+  bool Stream0DiffersFromBase = false;
+  RandomEngine Probe(99, 3);
+  RandomEngine BaseProbe(99);
+  for (int I = 0; I != 64; ++I) {
+    uint64_t V = Probe.next();
+    DiffersFromSibling = DiffersFromSibling || V != Stream4.next();
+    DiffersFromBase = DiffersFromBase || V != Base.next();
+    Stream0DiffersFromBase =
+        Stream0DiffersFromBase || Stream0.next() != BaseProbe.next();
+  }
+  EXPECT_TRUE(DiffersFromSibling);
+  EXPECT_TRUE(DiffersFromBase);
+  // Stream 0 is deliberately NOT the single-seed sequence.
+  EXPECT_TRUE(Stream0DiffersFromBase);
+}
+
+TEST(RandomStreamTest, WeibullShapeOneIsExponential) {
+  // Shape 1 reduces to an exponential with mean == scale.
+  RandomEngine R(31);
+  const int NumSamples = 20000;
+  double Sum = 0.0;
+  for (int I = 0; I != NumSamples; ++I) {
+    double Sample = R.weibullSample(1.0, 5.0);
+    ASSERT_GE(Sample, 0.0);
+    Sum += Sample;
+  }
+  EXPECT_NEAR(Sum / NumSamples, 5.0, 0.15);
+}
+
+TEST(RandomStreamTest, WeibullWearOutConcentratesNearScale) {
+  // Large shape: the distribution tightens around the scale parameter.
+  RandomEngine R(37);
+  const int NumSamples = 5000;
+  int Near = 0;
+  for (int I = 0; I != NumSamples; ++I) {
+    double Sample = R.weibullSample(8.0, 10.0);
+    Near += Sample > 7.0 && Sample < 13.0;
+  }
+  EXPECT_GT(Near, NumSamples * 9 / 10);
+}
+
+//===----------------------------------------------------------------------===//
+// parallelFor
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelForTest, VisitsEveryItemExactlyOnce) {
+  std::vector<size_t> Slot(257, static_cast<size_t>(-1));
+  parallelFor(4, Slot.size(), [&Slot](size_t Item) { Slot[Item] = Item * Item; });
+  for (size_t I = 0; I != Slot.size(); ++I)
+    EXPECT_EQ(Slot[I], I * I);
+}
+
+TEST(ParallelForTest, SerialAndEmptyLoopsWork) {
+  int Calls = 0;
+  parallelFor(1, 5, [&Calls](size_t) { ++Calls; });
+  EXPECT_EQ(Calls, 5);
+  parallelFor(8, 0, [&Calls](size_t) { ++Calls; });
+  EXPECT_EQ(Calls, 5);
+}
+
+TEST(ParallelForTest, ClampThreadCountBounds) {
+  EXPECT_EQ(clampThreadCount(1), 1);
+  EXPECT_GE(clampThreadCount(0), 1);  // 0 = all hardware threads.
+  EXPECT_GE(clampThreadCount(-4), 1); // Negative likewise.
+  EXPECT_LE(clampThreadCount(1 << 20),
+            static_cast<int>(std::thread::hardware_concurrency()));
 }

@@ -447,3 +447,69 @@ TEST(RackTest, HotAmbientRaisesChillerPower) {
   EXPECT_GT(Hot->ChillerPowerW, Cool->ChillerPowerW);
   EXPECT_GT(Hot->Pue, Cool->Pue);
 }
+
+//===----------------------------------------------------------------------===//
+// Off-nominal chiller and PSU edges (the regimes fault scenarios visit)
+//===----------------------------------------------------------------------===//
+
+TEST(ChillerTest, FreeCoolingClampsCop) {
+  Chiller Plant = Chiller::makeSkatRackChiller();
+  // Ambient far below the 18 C supply setpoint: negative lift clamps to
+  // the free-cooling COP instead of going Carnot-infinite.
+  EXPECT_DOUBLE_EQ(Plant.cop(-20.0), 15.0);
+  EXPECT_LE(Plant.cop(5.0), 15.0);
+  EXPECT_GT(Plant.electricalPowerW(100e3, -20.0), 0.0);
+}
+
+TEST(ChillerTest, CopDegradesMonotonicallyIntoHeatWave) {
+  Chiller Plant = Chiller::makeSkatRackChiller();
+  double Prev = 1e9;
+  for (double AmbientC : {15.0, 25.0, 35.0, 45.0, 55.0}) {
+    double Cop = Plant.cop(AmbientC);
+    EXPECT_GT(Cop, 0.0) << AmbientC;
+    EXPECT_LE(Cop, Prev) << AmbientC;
+    Prev = Cop;
+  }
+  // A heat wave costs real electrical power at fixed duty.
+  EXPECT_GT(Plant.electricalPowerW(100e3, 45.0),
+            1.2 * Plant.electricalPowerW(100e3, 25.0));
+}
+
+TEST(ChillerTest, OverloadFlagsExactlyAboveRating) {
+  Chiller Plant("edge", 18.0, 100e3);
+  EXPECT_FALSE(Plant.isOverloaded(0.0));
+  EXPECT_FALSE(Plant.isOverloaded(100e3));
+  EXPECT_TRUE(Plant.isOverloaded(100e3 + 1.0));
+}
+
+TEST(ChillerTest, ColderSetpointCostsCop) {
+  Chiller Plant = Chiller::makeSkatRackChiller();
+  double Nominal = Plant.cop(35.0);
+  Plant.setSupplyTempC(8.0);
+  EXPECT_LT(Plant.cop(35.0), Nominal);
+  EXPECT_DOUBLE_EQ(Plant.supplyTempC(), 8.0);
+}
+
+TEST(PowerSupplyTest, ZeroLoadDrawsNothing) {
+  PowerSupplyUnit Psu = PowerSupplyUnit::makeSkatImmersionPsu();
+  EXPECT_DOUBLE_EQ(Psu.lossW(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(Psu.inputPowerW(0.0), 0.0);
+  EXPECT_GT(Psu.efficiencyAt(0.0), 0.0); // Curve endpoint, not a div-by-0.
+}
+
+TEST(PowerSupplyTest, OverRatedLoadClampsEfficiencyNotLoss) {
+  PowerSupplyUnit Psu = PowerSupplyUnit::makeSkatImmersionPsu();
+  // Efficiency saturates at the rating...
+  EXPECT_DOUBLE_EQ(Psu.efficiencyAt(5000.0), Psu.efficiencyAt(4000.0));
+  // ...but losses keep scaling with the actual load.
+  EXPECT_GT(Psu.lossW(5000.0), Psu.lossW(4000.0));
+  EXPECT_GT(Psu.inputPowerW(5000.0), 5000.0);
+}
+
+TEST(PowerSupplyTest, LightLoadRegimeIsLeastEfficient) {
+  // The faults engine's PSU-droop heat model leans on the curve being
+  // worst at light load; pin that shape down.
+  PowerSupplyUnit Psu = PowerSupplyUnit::makeSkatImmersionPsu();
+  EXPECT_LT(Psu.efficiencyAt(50.0), Psu.efficiencyAt(1000.0));
+  EXPECT_LT(Psu.efficiencyAt(1000.0), Psu.efficiencyAt(3000.0));
+}

@@ -15,6 +15,9 @@
 ///    line): header schema, one frame per remaining line, per-frame value
 ///    counts matching the channel list, strictly monotonic frame times,
 ///    and a trigger time bracketed by the dumped window;
+///  - fault-event traces (JSONL with a `fault_trace_header` first line,
+///    see faults/Trace.h): header identity/count checks, chronological
+///    event lines with known verbs, and model names on inject/clear;
 ///  - metrics snapshot streams (JSONL lines with `t_s` and `counters`):
 ///    valid lines with strictly increasing timestamps;
 ///  - Prometheus text exposition (leading `# TYPE` comment): every line a
@@ -170,6 +173,95 @@ Status validateFlightDump(const std::vector<std::string> &Lines) {
   return Status::ok();
 }
 
+/// Extracts the string following `"Key": "` in \p Object (up to the next
+/// unescaped quote).
+bool findString(const std::string &Object, const std::string &Key,
+                std::string &Out) {
+  std::string Needle = "\"" + Key + "\": \"";
+  size_t Pos = Object.find(Needle);
+  if (Pos == std::string::npos)
+    return false;
+  size_t Start = Pos + Needle.size();
+  size_t End = Start;
+  while (End < Object.size() &&
+         (Object[End] != '"' || Object[End - 1] == '\\'))
+    ++End;
+  if (End >= Object.size())
+    return false;
+  Out = Object.substr(Start, End - Start);
+  return true;
+}
+
+/// Fault-event trace (faults/Trace.h): a `fault_trace_header` line whose
+/// event count matches, then chronologically non-decreasing `fault_event`
+/// lines with a known event verb inside the declared duration;
+/// inject/clear lines must name their fault model.
+Status validateFaultTrace(const std::vector<std::string> &Lines) {
+  const std::string &Header = Lines[0];
+  Status HeaderJson = telemetry::validateJson(Header);
+  if (!HeaderJson.isOk())
+    return Status::error("header is not valid JSON: " +
+                         HeaderJson.message());
+  double Version = 0.0, DurationS = 0.0, DeclaredEvents = 0.0,
+         Seed = 0.0;
+  std::string ScenarioName;
+  if (!findNumber(Header, "version", Version) || Version != 1.0)
+    return Status::error("header lacks version 1");
+  if (!findString(Header, "scenario", ScenarioName))
+    return Status::error("header lacks scenario");
+  if (!findNumber(Header, "seed", Seed))
+    return Status::error("header lacks seed");
+  if (!findNumber(Header, "duration_s", DurationS) || DurationS <= 0.0)
+    return Status::error("header lacks a positive duration_s");
+  if (!findNumber(Header, "events", DeclaredEvents))
+    return Status::error("header lacks events");
+  if (Lines.size() - 1 != static_cast<size_t>(DeclaredEvents))
+    return Status::error(
+        "header declares " +
+        std::to_string(static_cast<size_t>(DeclaredEvents)) +
+        " events but the trace holds " + std::to_string(Lines.size() - 1));
+
+  double PrevTime = 0.0;
+  for (size_t I = 1; I != Lines.size(); ++I) {
+    const std::string &Line = Lines[I];
+    std::string Where = "event line " + std::to_string(I + 1);
+    Status LineJson = telemetry::validateJson(Line);
+    if (!LineJson.isOk())
+      return Status::error(Where + " is not valid JSON: " +
+                           LineJson.message());
+    if (Line.find("\"kind\": \"fault_event\"") == std::string::npos)
+      return Status::error(Where + " is not a fault_event object");
+    double Time = 0.0;
+    if (!findNumber(Line, "t_s", Time))
+      return Status::error(Where + " lacks t_s");
+    if (Time < 0.0 || Time > DurationS)
+      return Status::error(Where + " time " + std::to_string(Time) +
+                           " lies outside [0, " +
+                           std::to_string(DurationS) + "]");
+    if (I > 1 && Time < PrevTime)
+      return Status::error(Where + " time " + std::to_string(Time) +
+                           " runs backwards past " +
+                           std::to_string(PrevTime));
+    PrevTime = Time;
+    std::string Verb, Fault;
+    if (!findString(Line, "event", Verb))
+      return Status::error(Where + " lacks event");
+    if (Verb != "inject" && Verb != "clear" && Verb != "alarm" &&
+        Verb != "action" && Verb != "trip" && Verb != "migrate")
+      return Status::error(Where + " has unknown event verb '" + Verb +
+                           "'");
+    if (!findString(Line, "fault", Fault) || Fault.empty())
+      return Status::error(Where + " lacks a fault/subject name");
+    if (Verb == "inject" || Verb == "clear") {
+      std::string Model;
+      if (!findString(Line, "fault_kind", Model) || Model.empty())
+        return Status::error(Where + " (" + Verb +
+                             ") lacks fault_kind");
+    }
+  }
+  return Status::ok();
+}
+
 /// Periodic metrics snapshots: JSONL with strictly increasing `t_s`.
 Status validateSnapshots(const std::vector<std::string> &Lines) {
   double PrevTime = 0.0;
@@ -296,6 +388,21 @@ bool checkFile(const std::string &Path) {
       return false;
     }
     std::printf("check_trace: %s ok (flight dump, %zu frames)\n",
+                Path.c_str(), Lines.size() - 1);
+    return true;
+  }
+
+  // Fault-event trace: self-identifying header line.
+  if (!Lines.empty() &&
+      Lines[0].find("\"kind\": \"fault_trace_header\"") !=
+          std::string::npos) {
+    Status Valid = validateFaultTrace(Lines);
+    if (!Valid.isOk()) {
+      std::fprintf(stderr, "check_trace: '%s' invalid fault trace: %s\n",
+                   Path.c_str(), Valid.message().c_str());
+      return false;
+    }
+    std::printf("check_trace: %s ok (fault trace, %zu events)\n",
                 Path.c_str(), Lines.size() - 1);
     return true;
   }

@@ -27,6 +27,10 @@
 #include "core/ConfigIO.h"
 #include "core/DesignSpace.h"
 #include "core/Designs.h"
+#include "faults/Engine.h"
+#include "faults/Scenario.h"
+#include "faults/Sweep.h"
+#include "faults/Trace.h"
 #include "monitor/Exposition.h"
 #include "monitor/FlightRecorder.h"
 #include "sim/RackTransient.h"
@@ -36,6 +40,7 @@
 #include "support/StringUtils.h"
 #include "support/Table.h"
 #include "support/Units.h"
+#include "telemetry/Bench.h"
 #include "telemetry/Telemetry.h"
 
 #include <cstdio>
@@ -465,6 +470,163 @@ int cmdSetpoint(const ArgList &Args) {
   return 0;
 }
 
+Expected<faults::Scenario> loadFaultsScenario(const ArgList &Args) {
+  if (Args.positional().size() < 2)
+    return Expected<faults::Scenario>::error(
+        "usage: skatsim faults run|sweep <scenario.json>");
+  auto Scenario = faults::loadScenarioFile(Args.positional()[1]);
+  if (!Scenario)
+    return Scenario;
+  if (Args.has("seed"))
+    Scenario->Seed = static_cast<uint64_t>(Args.getInt("seed", 0));
+  if (Args.has("hours"))
+    Scenario->DurationS = Args.getDouble("hours", 4.0) * 3600.0;
+  return Scenario;
+}
+
+int cmdFaultsRun(const ArgList &Args) {
+  auto Scenario = loadFaultsScenario(Args);
+  if (!Scenario) {
+    std::fprintf(stderr, "error: %s\n", Scenario.message().c_str());
+    return 2;
+  }
+  uint64_t Replicate = static_cast<uint64_t>(Args.getInt("replicate", 0));
+  Expected<faults::ScenarioOutcome> Outcome =
+      faults::runScenario(*Scenario, Replicate);
+  if (!Outcome) {
+    std::fprintf(stderr, "error: %s\n", Outcome.message().c_str());
+    return 1;
+  }
+  std::printf("scenario %s (%s, %.1f h, seed %llu)\n",
+              Outcome->Name.c_str(),
+              Scenario->RackLevel ? "rack" : "module",
+              Outcome->DurationS / 3600.0,
+              static_cast<unsigned long long>(Scenario->Seed));
+  std::printf("  availability          %.4f\n", Outcome->AvailabilityFraction);
+  std::printf("  throughput retained   %.4f\n",
+              Outcome->ThroughputRetainedFraction);
+  std::printf("  max junction          %.1f C (final %.1f C)\n",
+              Outcome->MaxJunctionC, Outcome->FinalJunctionC);
+  if (Outcome->TimeToFirstCriticalS >= 0.0)
+    std::printf("  first Critical alarm  %.1f min\n",
+                Outcome->TimeToFirstCriticalS / 60.0);
+  else
+    std::printf("  first Critical alarm  never\n");
+  std::printf("  faults injected/cleared  %d/%d; actions %d; modules "
+              "down %d\n",
+              Outcome->FaultsInjected, Outcome->FaultsCleared,
+              Outcome->ActionsTaken, Outcome->ModulesShutDown);
+  std::printf("  safe degraded end     %s\n",
+              Outcome->SafeDegradedEnd ? "yes" : "NO");
+  std::printf("event timeline (%zu events):\n", Outcome->Events.size());
+  for (const faults::FaultEvent &Event : Outcome->Events)
+    std::printf("  %9.1f s  %-8s %-20s %s\n", Event.TimeS,
+                Event.Event.c_str(), Event.Fault.c_str(),
+                Event.Detail.c_str());
+  std::string EventsPath = Args.getString("events", "");
+  if (!EventsPath.empty()) {
+    Status Written =
+        faults::writeFaultEventTrace(EventsPath, *Outcome, Scenario->Seed);
+    if (!Written.isOk()) {
+      std::fprintf(stderr, "events: %s\n", Written.message().c_str());
+      return 1;
+    }
+    std::printf("fault-event trace written to %s\n", EventsPath.c_str());
+  }
+  return Outcome->SafeDegradedEnd ? 0 : 1;
+}
+
+int cmdFaultsSweep(const ArgList &Args) {
+  auto Scenario = loadFaultsScenario(Args);
+  if (!Scenario) {
+    std::fprintf(stderr, "error: %s\n", Scenario.message().c_str());
+    return 2;
+  }
+  faults::SweepConfig Config;
+  Config.NumReplicates = Args.getInt("replicates", 16);
+  Config.NumThreads = Args.getInt("threads", 1);
+  Expected<faults::SweepReport> Report = faults::runSweep(*Scenario, Config);
+  if (!Report) {
+    std::fprintf(stderr, "error: %s\n", Report.message().c_str());
+    return 1;
+  }
+  std::printf("reliability sweep: %s, %d replicates, seed %llu, %d "
+              "thread(s)\n",
+              Scenario->Name.c_str(), Report->NumReplicates,
+              static_cast<unsigned long long>(Report->Seed),
+              Config.NumThreads);
+  std::printf("  availability      mean %.4f  min %.4f\n",
+              Report->MeanAvailabilityFraction,
+              Report->MinAvailabilityFraction);
+  std::printf("  throughput        mean %.4f\n",
+              Report->MeanThroughputRetainedFraction);
+  std::printf("  max junction      mean %.1f C  peak %.1f C\n",
+              Report->MeanMaxJunctionC, Report->PeakJunctionC);
+  std::printf("  went Critical     %.0f%% of replicates\n",
+              Report->CriticalFraction * 100.0);
+  if (Report->MttfEstimateHours >= 0.0)
+    std::printf("  MTTF estimate     %.1f h (horizon-censored)\n",
+                Report->MttfEstimateHours);
+  else
+    std::printf("  MTTF estimate     beyond horizon (no Criticals)\n");
+  if (Report->FailedReplicates != 0)
+    std::printf("  FAILED replicates %d\n", Report->FailedReplicates);
+  uint64_t BinnedSamples = 0;
+  for (uint64_t N : Report->JunctionHistogramCounts)
+    BinnedSamples += N;
+  std::printf("thermal excursions (worst junction, %llu samples binned):\n",
+              static_cast<unsigned long long>(BinnedSamples));
+  for (int Bin = 0; Bin != faults::SweepReport::NumHistogramBins; ++Bin) {
+    uint64_t N = Report->JunctionHistogramCounts[static_cast<size_t>(Bin)];
+    if (N == 0)
+      continue;
+    double Low = faults::SweepReport::HistogramMinC +
+                 Bin * faults::SweepReport::HistogramBinWidthC;
+    std::printf("  [%5.1f, %5.1f) C  %llu\n", Low,
+                Low + faults::SweepReport::HistogramBinWidthC,
+                static_cast<unsigned long long>(N));
+  }
+  if (!Args.has("no-bench")) {
+    telemetry::BenchReport Bench("faults_sweep");
+    Bench.addMetric("scenario", Scenario->Name);
+    Bench.addMetric("replicates", Report->NumReplicates);
+    Bench.addMetric("threads", Config.NumThreads);
+    Bench.addMetric("seed", static_cast<long long>(Report->Seed));
+    Bench.addMetric("mean_availability", Report->MeanAvailabilityFraction);
+    Bench.addMetric("min_availability", Report->MinAvailabilityFraction);
+    Bench.addMetric("mean_throughput_retained",
+                    Report->MeanThroughputRetainedFraction);
+    Bench.addMetric("mean_max_junction_C", Report->MeanMaxJunctionC);
+    Bench.addMetric("peak_junction_C", Report->PeakJunctionC);
+    Bench.addMetric("critical_fraction", Report->CriticalFraction);
+    Bench.addMetric("mttf_estimate_h", Report->MttfEstimateHours);
+    Bench.addMetric("failed_replicates", Report->FailedReplicates);
+    Bench.writeOrWarn(Report->FailedReplicates == 0);
+    std::printf("bench summary written to %s\n", Bench.path().c_str());
+  }
+  return Report->FailedReplicates == 0 ? 0 : 1;
+}
+
+int cmdFaults(const ArgList &Args) {
+  if (Args.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: skatsim faults run <scenario.json> [--events FILE]"
+                 " [--replicate N]\n"
+                 "       skatsim faults sweep <scenario.json>"
+                 " [--replicates N] [--threads N] [--no-bench]\n"
+                 "both accept [--seed N] [--hours H] overrides\n");
+    return 2;
+  }
+  const std::string &Sub = Args.positional()[0];
+  if (Sub == "run")
+    return cmdFaultsRun(Args);
+  if (Sub == "sweep")
+    return cmdFaultsSweep(Args);
+  std::fprintf(stderr, "faults: unknown subcommand '%s' (run|sweep)\n",
+               Sub.c_str());
+  return 2;
+}
+
 void printUsage() {
   std::fprintf(
       stderr,
@@ -485,6 +647,11 @@ void printUsage() {
       "                  [--prom FILE] [--snapshots FILE]"
       " [--snapshot-period S] [--ack]\n"
       "  skatsim setpoint <design> [--limit C]\n"
+      "  skatsim faults run <scenario.json> [--events FILE]"
+      " [--replicate N]\n"
+      "  skatsim faults sweep <scenario.json> [--replicates N]"
+      " [--threads N]\n"
+      "                 [--no-bench]  (both: [--seed N] [--hours H])\n"
       "every command also accepts:\n"
       "  --trace FILE    structured event trace (.jsonl = JSON Lines,\n"
       "                  otherwise Chrome trace_event JSON for Perfetto)\n"
@@ -504,6 +671,8 @@ int runCommand(const std::string &Command, const ArgList &Args) {
     return cmdMonitor(Args);
   if (Command == "setpoint")
     return cmdSetpoint(Args);
+  if (Command == "faults")
+    return cmdFaults(Args);
   printUsage();
   return 2;
 }
