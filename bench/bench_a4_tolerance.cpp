@@ -18,6 +18,7 @@
 
 #include "core/Designs.h"
 #include "core/Uncertainty.h"
+#include "support/Numerics.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
 #include "telemetry/Bench.h"
@@ -74,10 +75,10 @@ int main() {
               "essentially the whole space and over the junction line in "
               "a fifth of it - why Section 4 redesigns the cooling.\n\n");
 
-  bool Ok = Results[0].OverJunctionLimitFraction == 0.0 &&
+  bool Ok = nearZero(Results[0].OverJunctionLimitFraction) &&
             Results[0].OverCoolantLimitFraction < 0.35 &&
             Results[0].NumFailedSolves == 0 &&
-            Results[1].OverJunctionLimitFraction == 0.0 &&
+            nearZero(Results[1].OverJunctionLimitFraction) &&
             Results[2].OverCoolantLimitFraction > 0.9 &&
             Results[2].OverJunctionLimitFraction >
                 Results[0].OverJunctionLimitFraction;

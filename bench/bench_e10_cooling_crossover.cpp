@@ -16,6 +16,7 @@
 
 #include "core/Designs.h"
 #include "sim/MonteCarlo.h"
+#include "support/Numerics.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
 #include "telemetry/Bench.h"
@@ -57,7 +58,7 @@ int main() {
     double ChipPower = ImmersionReport->Fpgas.front().PowerW;
     bool AirOk = AirReport->MaxJunctionTempC <= 70.0;
     bool ImmersionOk = ImmersionReport->MaxJunctionTempC <= 70.0;
-    if (!AirOk && AirCrossoverW == 0.0)
+    if (!AirOk && nearZero(AirCrossoverW))
       AirCrossoverW = ChipPower;
     LastImmersionTj = ImmersionReport->MaxJunctionTempC;
     Sweep.addRow({formatString("%.0f", ChipPower),

@@ -16,6 +16,7 @@
 
 #include "fluids/Fluid.h"
 #include "fluids/FluidComparison.h"
+#include "support/Numerics.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
 #include "telemetry/Bench.h"
@@ -78,7 +79,7 @@ int main() {
         heatFlowIntensityRatio(*Md45, *Air, 30.0, Velocity, 0.05);
     double SkatRatio =
         heatFlowIntensityRatio(*Skat, *Air, 30.0, Velocity, 0.05);
-    if (Velocity == 0.5)
+    if (approxEqual(Velocity, 0.5))
       RatioAtHalf = OilRatio;
     Htc.addRow({formatString("%.1f", Velocity),
                 formatString("%.0f", WaterRatio),

@@ -22,6 +22,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
 using namespace rcs;
 
 /// Builds a ladder thermal network with \p Rungs chip->sink->coolant
@@ -62,12 +67,30 @@ static void BM_ThermalTransientStep(benchmark::State &State) {
 }
 BENCHMARK(BM_ThermalTransientStep)->Arg(8)->Arg(96);
 
-static void BM_HydraulicRackSolve(benchmark::State &State) {
+// Ablation: the seed path (rebuild + dense refactor every step) for
+// comparison against the cached-factorization default above.
+static void BM_ThermalTransientStepNoCache(benchmark::State &State) {
+  thermal::ThermalNetwork Net =
+      makeLadderNetwork(static_cast<int>(State.range(0)));
+  Net.setFactorCaching(false);
+  std::vector<double> Temps(Net.numNodes(), 30.0);
+  for (auto _ : State) {
+    Status S = Net.stepTransient(Temps, 1.0);
+    benchmark::DoNotOptimize(S);
+  }
+}
+BENCHMARK(BM_ThermalTransientStepNoCache)->Arg(8)->Arg(96);
+
+static hydraulics::RackHydraulics makeBenchRack(int NumLoops) {
   hydraulics::RackHydraulicsConfig Config;
-  Config.NumLoops = static_cast<int>(State.range(0));
+  Config.NumLoops = NumLoops;
   Config.Layout = hydraulics::ManifoldLayout::ReverseReturn;
+  return hydraulics::buildRackPrimaryLoop(Config);
+}
+
+static void BM_HydraulicRackSolve(benchmark::State &State) {
   hydraulics::RackHydraulics Rack =
-      hydraulics::buildRackPrimaryLoop(Config);
+      makeBenchRack(static_cast<int>(State.range(0)));
   auto Water = fluids::makeWater();
   for (auto _ : State) {
     auto Solution = Rack.Network.solve(*Water, 18.0, 1e-3);
@@ -75,6 +98,37 @@ static void BM_HydraulicRackSolve(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_HydraulicRackSolve)->Arg(6)->Arg(12)->Arg(24);
+
+// Ablation: the seed Newton path — finite-difference Jacobian, cold
+// start from zero pressures every solve.
+static void BM_HydraulicRackSolveFdCold(benchmark::State &State) {
+  hydraulics::RackHydraulics Rack =
+      makeBenchRack(static_cast<int>(State.range(0)));
+  auto Water = fluids::makeWater();
+  hydraulics::FlowSolveOptions Options;
+  Options.Jacobian = hydraulics::FlowSolveOptions::JacobianKind::FiniteDifference;
+  for (auto _ : State) {
+    auto Solution = Rack.Network.solve(*Water, 18.0, 1e-3, Options);
+    benchmark::DoNotOptimize(Solution);
+  }
+}
+BENCHMARK(BM_HydraulicRackSolveFdCold)->Arg(6)->Arg(12)->Arg(24);
+
+// Repeated-solve leg: analytic Jacobian plus warm start from the prior
+// solution, the pattern of the balancing trim loop.
+static void BM_HydraulicRackSolveWarm(benchmark::State &State) {
+  hydraulics::RackHydraulics Rack =
+      makeBenchRack(static_cast<int>(State.range(0)));
+  auto Water = fluids::makeWater();
+  hydraulics::FlowSolveOptions Options;
+  for (auto _ : State) {
+    auto Solution = Rack.Network.solve(*Water, 18.0, 1e-3, Options);
+    benchmark::DoNotOptimize(Solution);
+    if (Solution)
+      Options.WarmStartPressuresPa = Solution->JunctionPressuresPa;
+  }
+}
+BENCHMARK(BM_HydraulicRackSolveWarm)->Arg(6)->Arg(12)->Arg(24);
 
 static void BM_ImmersionModuleSolve(benchmark::State &State) {
   rcsystem::ComputationalModule Module(core::makeSkatModule());
@@ -115,8 +169,79 @@ static void BM_TransientSimMinute(benchmark::State &State) {
 }
 BENCHMARK(BM_TransientSimMinute);
 
+//===----------------------------------------------------------------------===//
+// Ablation speedup measurements
+//
+// The regression gate (tools/bench_compare) checks machine-independent
+// ratios, not absolute times: each leg times the fast path against the
+// seed path doing identical work, best-of-3, and reports old/new.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Repetition scale from SKATSIM_BENCH_REPS (default 1.0; CI smoke runs
+/// set a fraction to keep the job fast).
+double benchRepScale() {
+  const char *Env = std::getenv("SKATSIM_BENCH_REPS");
+  if (!Env || !*Env)
+    return 1.0;
+  char *End = nullptr;
+  double Scale = std::strtod(Env, &End);
+  return End != Env && Scale > 0.0 ? Scale : 1.0;
+}
+
+/// Best-of-\p Rounds wall time of \p Body in seconds.
+template <typename Fn> double bestWallTimeS(int Rounds, Fn &&Body) {
+  double Best = 1e300;
+  for (int Round = 0; Round != Rounds; ++Round) {
+    auto Start = std::chrono::steady_clock::now();
+    Body();
+    std::chrono::duration<double> Elapsed =
+        std::chrono::steady_clock::now() - Start;
+    Best = std::min(Best, Elapsed.count());
+  }
+  return Best;
+}
+
+/// Seconds for \p Steps transient ladder steps with/without factor reuse.
+/// 256 rungs = 512 unknowns: rack-scale, where the O(n^3) refactor the
+/// cache avoids dominates the O(n^2) backsolve it must still run.
+double timeTransientLadderS(bool Caching, int Steps) {
+  thermal::ThermalNetwork Net = makeLadderNetwork(256);
+  Net.setFactorCaching(Caching);
+  std::vector<double> Temps(Net.numNodes(), 30.0);
+  (void)Net.stepTransient(Temps, 1.0); // Prime the cache outside the clock.
+  return bestWallTimeS(3, [&] {
+    for (int I = 0; I != Steps; ++I)
+      (void)Net.stepTransient(Temps, 1.0);
+  });
+}
+
+/// Seconds for \p Solves rack Newton solves: seed path (FD Jacobian, cold
+/// start) vs overhaul path (analytic Jacobian, warm start).
+double timeRackNewtonS(bool Overhaul, int Solves) {
+  hydraulics::RackHydraulics Rack = makeBenchRack(12);
+  auto Water = fluids::makeWater();
+  hydraulics::FlowSolveOptions Options;
+  if (!Overhaul)
+    Options.Jacobian =
+        hydraulics::FlowSolveOptions::JacobianKind::FiniteDifference;
+  return bestWallTimeS(3, [&] {
+    hydraulics::FlowSolveOptions Run = Options;
+    for (int I = 0; I != Solves; ++I) {
+      auto Solution = Rack.Network.solve(*Water, 18.0, 1e-3, Run);
+      benchmark::DoNotOptimize(Solution);
+      if (Overhaul && Solution)
+        Run.WarmStartPressuresPa = Solution->JunctionPressuresPa;
+    }
+  });
+}
+
+} // namespace
+
 // BENCHMARK_MAIN(), plus a BENCH_p1_solvers.json summary carrying the
-// run's wall time and the telemetry counter snapshot (Newton iterations,
+// run's wall time, the ablation speedup ratios the regression gate
+// consumes, and the telemetry counter snapshot (Newton iterations,
 // bracketing searches, thermal solves) accumulated across all benchmarks.
 int main(int Argc, char **Argv) {
   telemetry::BenchReport Bench("p1_solvers");
@@ -126,8 +251,26 @@ int main(int Argc, char **Argv) {
   size_t NumRun = benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
+  double RepScale = benchRepScale();
+  int TransientSteps = std::max(10, static_cast<int>(200 * RepScale));
+  int NewtonSolves = std::max(4, static_cast<int>(40 * RepScale));
+  double TransientSeedS = timeTransientLadderS(false, TransientSteps);
+  double TransientCachedS = timeTransientLadderS(true, TransientSteps);
+  double NewtonSeedS = timeRackNewtonS(false, NewtonSolves);
+  double NewtonOverhaulS = timeRackNewtonS(true, NewtonSolves);
+  double TransientSpeedup = TransientSeedS / TransientCachedS;
+  double NewtonSpeedup = NewtonSeedS / NewtonOverhaulS;
+  printf("ablation: transient factor reuse %.2fx, hydraulic newton %.2fx\n",
+         TransientSpeedup, NewtonSpeedup);
+
   telemetry::Registry &Telemetry = telemetry::Registry::global();
   Bench.addMetric("benchmarks_run", static_cast<long long>(NumRun));
+  Bench.addMetric("transient_ladder_seed_s", TransientSeedS);
+  Bench.addMetric("transient_ladder_cached_s", TransientCachedS);
+  Bench.addMetric("speedup_transient_factor_reuse", TransientSpeedup);
+  Bench.addMetric("hydraulic_newton_seed_s", NewtonSeedS);
+  Bench.addMetric("hydraulic_newton_overhaul_s", NewtonOverhaulS);
+  Bench.addMetric("speedup_hydraulic_newton", NewtonSpeedup);
   Bench.addMetric(
       "newton_iterations",
       static_cast<long long>(
@@ -144,7 +287,11 @@ int main(int Argc, char **Argv) {
       "thermal_transient_steps",
       static_cast<long long>(
           Telemetry.counter("thermal.network.transient_steps").value()));
-  bool Ok = NumRun > 0;
+  // Shape check only: the ablation legs ran and produced nonzero times.
+  // (NumRun may be zero under --benchmark_filter, e.g. the CI smoke run;
+  // performance thresholds are tools/bench_compare's job, not ours.)
+  bool Ok = TransientSeedS > 0.0 && TransientCachedS > 0.0 &&
+            NewtonSeedS > 0.0 && NewtonOverhaulS > 0.0;
   Bench.writeOrWarn(Ok);
   return Ok ? 0 : 1;
 }

@@ -13,12 +13,33 @@
 
 #include "fluids/Fluid.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 
 using namespace rcs;
 using namespace rcs::fluids;
 
 Fluid::~Fluid() = default;
+
+void Fluid::enablePropertyCache(double StepC) {
+  assert(StepC > 0.0 && "property cache step must be positive");
+  // Each table keeps its own native range so clamping behaves exactly like
+  // the uncached accessor. The cell count rounds up, shrinking the actual
+  // step to at most StepC.
+  auto resample = [StepC](const LinearTable &Table) {
+    double Range = Table.maxX() - Table.minX();
+    size_t NumCells = std::max<size_t>(
+        1, static_cast<size_t>(std::ceil(Range / StepC)));
+    return UniformTable(Table, Table.minX(), Table.maxX(), NumCells);
+  };
+  auto NewCache = std::make_unique<PropertyCache>();
+  NewCache->Density = resample(Density);
+  NewCache->SpecificHeat = resample(SpecificHeat);
+  NewCache->Conductivity = resample(Conductivity);
+  NewCache->Viscosity = resample(Viscosity);
+  Cache = std::move(NewCache);
+}
 
 Fluid::Fluid(std::string NameIn, FluidKind KindIn, LinearTable DensityIn,
              LinearTable SpecificHeatIn, LinearTable ConductivityIn,

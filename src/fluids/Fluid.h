@@ -55,22 +55,40 @@ public:
   bool isDielectric() const { return Kind == FluidKind::DielectricLiquid; }
 
   /// Density in kg/m^3 at \p TempC.
-  double densityKgPerM3(double TempC) const { return Density.evaluate(TempC); }
+  double densityKgPerM3(double TempC) const {
+    return Cache ? Cache->Density.evaluate(TempC) : Density.evaluate(TempC);
+  }
 
   /// Isobaric specific heat in J/(kg*K) at \p TempC.
   double specificHeatJPerKgK(double TempC) const {
-    return SpecificHeat.evaluate(TempC);
+    return Cache ? Cache->SpecificHeat.evaluate(TempC)
+                 : SpecificHeat.evaluate(TempC);
   }
 
   /// Thermal conductivity in W/(m*K) at \p TempC.
   double thermalConductivityWPerMK(double TempC) const {
-    return Conductivity.evaluate(TempC);
+    return Cache ? Cache->Conductivity.evaluate(TempC)
+                 : Conductivity.evaluate(TempC);
   }
 
   /// Dynamic viscosity in Pa*s at \p TempC.
   double dynamicViscosityPaS(double TempC) const {
-    return Viscosity.evaluate(TempC);
+    return Cache ? Cache->Viscosity.evaluate(TempC) : Viscosity.evaluate(TempC);
   }
+
+  /// \name Property-table cache
+  /// Opt-in resampling of the four property tables onto uniform
+  /// temperature grids so accessors become O(1) index lookups instead of
+  /// binary searches — useful when a solver evaluates properties millions
+  /// of times per run. With the default 0.25 C step every knot of the
+  /// built-in fluids lands exactly on the grid, so cached values agree
+  /// with the exact tables up to floating-point rounding (~1e-15
+  /// relative); clamping outside the table range is identical.
+  /// @{
+  void enablePropertyCache(double StepC = 0.25);
+  void disablePropertyCache() { Cache.reset(); }
+  bool propertyCacheEnabled() const { return Cache != nullptr; }
+  /// @}
 
   /// Kinematic viscosity in m^2/s at \p TempC.
   double kinematicViscosityM2PerS(double TempC) const {
@@ -161,12 +179,20 @@ protected:
   void setCostPerLiter(double Usd) { CostPerLiterUsd = Usd; }
 
 private:
+  struct PropertyCache {
+    UniformTable Density;
+    UniformTable SpecificHeat;
+    UniformTable Conductivity;
+    UniformTable Viscosity;
+  };
+
   std::string Name;
   FluidKind Kind;
   LinearTable Density;
   LinearTable SpecificHeat;
   LinearTable Conductivity;
   LinearTable Viscosity;
+  std::unique_ptr<PropertyCache> Cache;
   double MinTempC;
   double MaxTempC;
   std::optional<double> DielectricStrengthKvPerMm;

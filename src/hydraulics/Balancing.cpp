@@ -32,10 +32,15 @@ rcs::hydraulics::trimBalancingValves(RackHydraulics &Rack,
   const size_t NumLoops = Rack.LoopEdges.size();
   Result.ValveOpenings.assign(NumLoops, 1.0);
 
+  // Each trim iteration re-solves a slightly throttled network, so the
+  // previous junction pressures are an excellent Newton starting point.
+  FlowSolveOptions SolveOptions;
   auto solveLoops = [&]() -> Expected<std::vector<double>> {
-    Expected<FlowSolution> Solution = Rack.Network.solve(F, TempC, 1e-3);
+    Expected<FlowSolution> Solution =
+        Rack.Network.solve(F, TempC, 1e-3, SolveOptions);
     if (!Solution)
       return Expected<std::vector<double>>(Solution.status());
+    SolveOptions.WarmStartPressuresPa = Solution->JunctionPressuresPa;
     std::vector<double> Flows;
     Flows.reserve(NumLoops);
     for (EdgeId E : Rack.LoopEdges)

@@ -17,6 +17,18 @@ using namespace rcs::hydraulics;
 
 FlowElement::~FlowElement() = default;
 
+double FlowElement::pressureDropSlopePaPerM3S(double FlowM3PerS,
+                                              const fluids::Fluid &F,
+                                              double TempC) const {
+  // Central-difference fallback so out-of-tree elements keep working with
+  // the analytic-Jacobian solver; bundled elements override this with
+  // exact derivatives.
+  double H = 1e-7 * std::max(1e-6, std::fabs(FlowM3PerS));
+  return (pressureDropPa(FlowM3PerS + H, F, TempC) -
+          pressureDropPa(FlowM3PerS - H, F, TempC)) /
+         (2.0 * H);
+}
+
 /// Churchill's friction-factor correlation: a single expression covering
 /// laminar, transitional and turbulent flow.
 static double churchillFrictionFactor(double Re, double RelativeRoughness) {
@@ -29,6 +41,34 @@ static double churchillFrictionFactor(double Re, double RelativeRoughness) {
   return 8.0 * std::pow(std::pow(8.0 / Re, 12.0) +
                             1.0 / std::pow(A + B, 1.5),
                         1.0 / 12.0);
+}
+
+/// Churchill friction factor together with its Reynolds-number derivative,
+/// obtained by chain-ruling every term of the correlation (the analytic
+/// pipe Jacobian needs both).
+static void churchillFrictionFactorSlope(double Re, double RelativeRoughness,
+                                         double &Friction, double &DfDRe) {
+  Re = std::max(Re, 1e-6);
+  double G = std::pow(7.0 / Re, 0.9) + 0.27 * RelativeRoughness;
+  double L = std::log(1.0 / G);
+  double A = std::pow(2.457 * L, 16.0);
+  double B = std::pow(37530.0 / Re, 16.0);
+  double T1 = std::pow(8.0 / Re, 12.0);
+  double T2 = 1.0 / std::pow(A + B, 1.5);
+  double S = T1 + T2;
+  Friction = 8.0 * std::pow(S, 1.0 / 12.0);
+
+  // g' = -0.9 (7/Re)^0.9 / Re; L = -ln g so L' = -g'/g.
+  double DgDRe = -0.9 * std::pow(7.0 / Re, 0.9) / Re;
+  double DlDRe = -DgDRe / G;
+  // A = (2.457 L)^16 so A' = 16 A L'/L. L > 0 whenever g < 1, which holds
+  // for every physical relative roughness; guard anyway so a pathological
+  // table cannot divide by zero.
+  double DaDRe = std::fabs(L) > 1e-300 ? 16.0 * A / L * DlDRe : 0.0;
+  double DbDRe = -16.0 * B / Re;
+  double Dt1DRe = -12.0 * T1 / Re;
+  double Dt2DRe = -1.5 * T2 / (A + B) * (DaDRe + DbDRe);
+  DfDRe = Friction / (12.0 * S) * (Dt1DRe + Dt2DRe);
 }
 
 //===----------------------------------------------------------------------===//
@@ -59,6 +99,31 @@ double PipeSegment::pressureDropPa(double FlowM3PerS, const fluids::Fluid &F,
   return FlowM3PerS >= 0 ? Drop : -Drop;
 }
 
+double PipeSegment::pressureDropSlopePaPerM3S(double FlowM3PerS,
+                                              const fluids::Fluid &F,
+                                              double TempC) const {
+  double Q = std::fabs(FlowM3PerS);
+  double V = Q / AreaM2;
+  double Rho = F.densityKgPerM3(TempC);
+  double Nu = F.kinematicViscosityM2PerS(TempC);
+  if (V < 1e-12) {
+    // pressureDropPa clips to zero below this velocity; report the
+    // laminar (Hagen-Poiseuille) slope 128 mu L / (pi D^4) so Newton
+    // still sees the physical resistance scale at rest.
+    double Mu = Rho * Nu;
+    return 128.0 * Mu * LengthM /
+           (M_PI * DiameterM * DiameterM * DiameterM * DiameterM);
+  }
+  double Re = V * DiameterM / Nu;
+  double Friction = 0.0, DfDRe = 0.0;
+  churchillFrictionFactorSlope(Re, RoughnessM / DiameterM, Friction, DfDRe);
+  // dP = C f(Re) Q^2 with C = (L/D) rho / (2 A^2) and Re proportional to
+  // Q, so d(dP)/dQ = C Q (2 f + Re f'). dP is odd in Q, so the slope is
+  // even and |Q| suffices.
+  double C = (LengthM / DiameterM) * 0.5 * Rho / (AreaM2 * AreaM2);
+  return C * Q * (2.0 * Friction + Re * DfDRe);
+}
+
 std::string PipeSegment::describe() const {
   return formatString("pipe L=%.2fm D=%.0fmm", LengthM, DiameterM * 1e3);
 }
@@ -78,6 +143,14 @@ double Fitting::pressureDropPa(double FlowM3PerS, const fluids::Fluid &F,
   double V = FlowM3PerS / AreaM2;
   double Rho = F.densityKgPerM3(TempC);
   return LossCoefficient * 0.5 * Rho * V * std::fabs(V);
+}
+
+double Fitting::pressureDropSlopePaPerM3S(double FlowM3PerS,
+                                          const fluids::Fluid &F,
+                                          double TempC) const {
+  // dP = K rho Q |Q| / (2 A^2), so d(dP)/dQ = K rho |Q| / A^2.
+  double Rho = F.densityKgPerM3(TempC);
+  return LossCoefficient * Rho * std::fabs(FlowM3PerS) / (AreaM2 * AreaM2);
 }
 
 std::string Fitting::describe() const {
@@ -114,6 +187,16 @@ double BalancingValve::pressureDropPa(double FlowM3PerS,
   return K * 0.5 * Rho * V * std::fabs(V);
 }
 
+double BalancingValve::pressureDropSlopePaPerM3S(double FlowM3PerS,
+                                                 const fluids::Fluid &F,
+                                                 double TempC) const {
+  const double MinOpeningFraction = 1e-3;
+  double Effective = std::max(OpeningFraction, MinOpeningFraction);
+  double K = OpenLossCoefficient / (Effective * Effective);
+  double Rho = F.densityKgPerM3(TempC);
+  return K * Rho * std::fabs(FlowM3PerS) / (AreaM2 * AreaM2);
+}
+
 std::string BalancingValve::describe() const {
   return formatString("valve K=%.2f open=%.0f%%", OpenLossCoefficient,
                       OpeningFraction * 100.0);
@@ -142,6 +225,14 @@ double HeatExchangerPressureSide::pressureDropPa(double FlowM3PerS,
       F.dynamicViscosityPaS(TempC) / F.dynamicViscosityPaS(40.0);
   return QuadraticCoefficient * FlowM3PerS * std::fabs(FlowM3PerS) +
          LinearCoefficient * ViscosityRatio * FlowM3PerS;
+}
+
+double HeatExchangerPressureSide::pressureDropSlopePaPerM3S(
+    double FlowM3PerS, const fluids::Fluid &F, double TempC) const {
+  double ViscosityRatio =
+      F.dynamicViscosityPaS(TempC) / F.dynamicViscosityPaS(40.0);
+  return 2.0 * QuadraticCoefficient * std::fabs(FlowM3PerS) +
+         LinearCoefficient * ViscosityRatio;
 }
 
 std::string HeatExchangerPressureSide::describe() const {
@@ -216,6 +307,28 @@ double Pump::pressureDropPa(double FlowM3PerS, const fluids::Fluid &F,
            1e6 * FlowM3PerS;
   }
   return -headPa(FlowM3PerS);
+}
+
+double Pump::pressureDropSlopePaPerM3S(double FlowM3PerS,
+                                       const fluids::Fluid &F,
+                                       double TempC) const {
+  (void)F;
+  (void)TempC;
+  if (isStopped()) {
+    const double StoppedResistance = 5e10; // Pa/(m^3/s)^2, as above.
+    return 2.0 * StoppedResistance * std::fabs(FlowM3PerS) + 1e6;
+  }
+  if (FlowM3PerS < 0)
+    return 2.0 * 1e9 * std::fabs(FlowM3PerS) + 1e6;
+  // Forward: drop = -head, and by the affinity laws head(Q) =
+  // H(Q/s) * s^2, so d(head)/dQ = H'(Q/s) * s (table slope beyond runout
+  // extrapolates the last segment, matching headPa).
+  double ScaledFlow = FlowM3PerS / SpeedFraction;
+  double CurveSlope =
+      ScaledFlow > HeadCurve.maxX()
+          ? HeadCurve.derivative(HeadCurve.maxX() - 1e-12)
+          : HeadCurve.derivative(std::max(ScaledFlow, HeadCurve.minX()));
+  return -CurveSlope * SpeedFraction;
 }
 
 std::string Pump::describe() const { return "pump " + Name; }

@@ -48,6 +48,17 @@ public:
     return units::Pascal(pressureDropPa(Flow.value(), F, T.value()));
   }
 
+  /// d(pressureDropPa)/d(flow) at \p FlowM3PerS, in Pa/(m^3/s).
+  ///
+  /// Nonnegative by the monotonicity contract (strictly positive away
+  /// from flat spots). The network solver sums these per edge to build
+  /// its analytic Newton Jacobian. The base implementation falls back to
+  /// a central difference of pressureDropPa for out-of-tree elements;
+  /// every bundled element overrides it with the exact derivative.
+  virtual double pressureDropSlopePaPerM3S(double FlowM3PerS,
+                                           const fluids::Fluid &F,
+                                           double TempC) const;
+
   /// Human-readable element description.
   virtual std::string describe() const = 0;
 };
@@ -66,6 +77,8 @@ public:
 
   double pressureDropPa(double FlowM3PerS, const fluids::Fluid &F,
                         double TempC) const override;
+  double pressureDropSlopePaPerM3S(double FlowM3PerS, const fluids::Fluid &F,
+                                   double TempC) const override;
   std::string describe() const override;
 
   double lengthM() const { return LengthM; }
@@ -100,6 +113,8 @@ public:
 
   double pressureDropPa(double FlowM3PerS, const fluids::Fluid &F,
                         double TempC) const override;
+  double pressureDropSlopePaPerM3S(double FlowM3PerS, const fluids::Fluid &F,
+                                   double TempC) const override;
   std::string describe() const override;
 
 private:
@@ -127,6 +142,8 @@ public:
 
   double pressureDropPa(double FlowM3PerS, const fluids::Fluid &F,
                         double TempC) const override;
+  double pressureDropSlopePaPerM3S(double FlowM3PerS, const fluids::Fluid &F,
+                                   double TempC) const override;
   std::string describe() const override;
 
 private:
@@ -150,6 +167,8 @@ public:
 
   double pressureDropPa(double FlowM3PerS, const fluids::Fluid &F,
                         double TempC) const override;
+  double pressureDropSlopePaPerM3S(double FlowM3PerS, const fluids::Fluid &F,
+                                   double TempC) const override;
   std::string describe() const override;
 
 private:
@@ -193,6 +212,8 @@ public:
 
   double pressureDropPa(double FlowM3PerS, const fluids::Fluid &F,
                         double TempC) const override;
+  double pressureDropSlopePaPerM3S(double FlowM3PerS, const fluids::Fluid &F,
+                                   double TempC) const override;
   std::string describe() const override;
 
   const std::string &name() const { return Name; }

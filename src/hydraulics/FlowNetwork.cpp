@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 using namespace rcs;
 using namespace rcs::hydraulics;
@@ -141,6 +142,13 @@ double FlowNetwork::edgePressureDropPa(EdgeId E, double FlowM3PerS,
 Expected<FlowSolution> FlowNetwork::solve(const fluids::Fluid &F,
                                           double TempC,
                                           double FlowScaleM3PerS) const {
+  return solve(F, TempC, FlowScaleM3PerS, FlowSolveOptions());
+}
+
+Expected<FlowSolution>
+FlowNetwork::solve(const fluids::Fluid &F, double TempC,
+                   double FlowScaleM3PerS,
+                   const FlowSolveOptions &SolveOptions) const {
   assert(FlowScaleM3PerS > 0 && "flow scale must be positive");
   telemetry::Registry &Telemetry = telemetry::Registry::global();
   static telemetry::Counter &SolveCount =
@@ -153,6 +161,12 @@ Expected<FlowSolution> FlowNetwork::solve(const fluids::Fluid &F,
       Telemetry.counter("hydraulics.edge_inversion.searches");
   static telemetry::Counter &RetryCount =
       Telemetry.counter("hydraulics.newton.jacobian_retries");
+  static telemetry::Counter &WarmStartCount =
+      Telemetry.counter("hydraulics.newton.warm_starts");
+  static telemetry::Counter &AnalyticCount =
+      Telemetry.counter("hydraulics.newton.analytic_solves");
+  static telemetry::Counter &AnalyticFallbackCount =
+      Telemetry.counter("hydraulics.newton.analytic_fallbacks");
   static telemetry::Histogram &IterationHistogram =
       Telemetry.histogram("hydraulics.newton.iterations_per_solve");
   telemetry::ScopedTimer Timer(Telemetry, "hydraulics.flow.solve");
@@ -193,6 +207,12 @@ Expected<FlowSolution> FlowNetwork::solve(const fluids::Fluid &F,
     return Q;
   };
 
+  // Edge flows of the most recent residual evaluation; solveNewtonSystem
+  // guarantees it invokes the Jacobian callback at that same iterate, so
+  // the analytic assembly below can linearize around these flows without
+  // re-running the edge inversions.
+  std::vector<double> LastFlows(NumE, 0.0);
+
   auto residual = [&](const std::vector<double> &X) {
     std::vector<double> P = pressuresFrom(X);
     std::vector<double> Q = edgeFlows(P);
@@ -201,11 +221,45 @@ Expected<FlowSolution> FlowNetwork::solve(const fluids::Fluid &F,
       NetIn[PImpl->Edges[E].From] -= Q[E];
       NetIn[PImpl->Edges[E].To] += Q[E];
     }
+    LastFlows = std::move(Q);
     std::vector<double> R(NumUnknowns, 0.0);
     for (size_t J = 0; J != NumJ; ++J)
       if (J != PImpl->Reference)
         R[UnknownIndex[J]] = NetIn[J];
     return R;
+  };
+
+  // Analytic continuity Jacobian. Each edge contributes the weighted
+  // Laplacian stencil of dQ/d(dP) = 1 / (sum of element slopes at the
+  // current flow): flow leaves From and enters To, and the drop is
+  // P_From - P_To.
+  auto analyticJacobian = [&](const std::vector<double> &X,
+                              const std::vector<double> &Fx) {
+    (void)X;
+    (void)Fx;
+    Matrix J(NumUnknowns, NumUnknowns);
+    for (size_t E = 0; E != NumE; ++E) {
+      const auto &Edge = PImpl->Edges[E];
+      double Slope = 0.0;
+      for (const auto &Element : Edge.Elements)
+        Slope += Element->pressureDropSlopePaPerM3S(LastFlows[E], F, TempC);
+      // Positive by the monotonicity contract; floored so a flat spot
+      // (all-quadratic edge at exactly zero flow) cannot divide by zero.
+      double W = 1.0 / std::max(Slope, 1e-30);
+      size_t IFrom = UnknownIndex[Edge.From];
+      size_t ITo = UnknownIndex[Edge.To];
+      if (IFrom != SIZE_MAX) {
+        J.at(IFrom, IFrom) -= W;
+        if (ITo != SIZE_MAX)
+          J.at(IFrom, ITo) += W;
+      }
+      if (ITo != SIZE_MAX) {
+        J.at(ITo, ITo) -= W;
+        if (IFrom != SIZE_MAX)
+          J.at(ITo, IFrom) += W;
+      }
+    }
+    return J;
   };
 
   NewtonOptions Options;
@@ -225,26 +279,64 @@ Expected<FlowSolution> FlowNetwork::solve(const fluids::Fluid &F,
            {"residual_norm_m3s", It.ResidualNorm},
            {"damping", It.Damping}});
   };
-  // Fixed absolute pressure perturbations: large enough to clear the
-  // edge-inversion noise floor, small enough that the secant matches the
-  // local derivative even at high junction pressures. The right scale
-  // depends on the stiffness of the network (viscous oil vs water), so a
-  // failed solve retries across a perturbation ladder.
-  Options.JacobianRelative = false;
+  // Initial iterate: caller-provided junction pressures when present
+  // (re-zeroed to the reference gauge), zeros otherwise.
+  std::vector<double> Initial(NumUnknowns, 0.0);
+  if (SolveOptions.WarmStartPressuresPa.size() == NumJ) {
+    double Gauge = SolveOptions.WarmStartPressuresPa[PImpl->Reference];
+    for (size_t J = 0; J != NumJ; ++J)
+      if (J != PImpl->Reference)
+        Initial[UnknownIndex[J]] =
+            SolveOptions.WarmStartPressuresPa[J] - Gauge;
+    WarmStartCount.add();
+  }
+
   NewtonResult Newton;
-  bool FirstAttempt = true;
-  for (double Epsilon : {0.5, 5.0, 0.05, 50.0, 500.0}) {
-    if (!FirstAttempt)
-      RetryCount.add();
-    FirstAttempt = false;
+  Newton.Converged = false;
+  // Best iterate seen across attempts: Newton's line search only accepts
+  // residual-descending steps, so a failed attempt's final point is still
+  // its best one and seeds the next attempt instead of restarting cold.
+  std::vector<double> BestIterate = Initial;
+  double BestNorm = std::numeric_limits<double>::infinity();
+
+  if (SolveOptions.Jacobian == FlowSolveOptions::JacobianKind::Analytic) {
+    AnalyticCount.add();
     History.clear();
-    Options.JacobianEpsilon = Epsilon;
-    Newton = solveNewtonSystem(residual,
-                               std::vector<double>(NumUnknowns, 0.0),
-                               Options);
+    Options.Jacobian = analyticJacobian;
+    Newton = solveNewtonSystem(residual, Initial, Options);
     IterationCount.add(static_cast<uint64_t>(Newton.Iterations));
-    if (Newton.Converged)
-      break;
+    if (!Newton.Converged && Newton.ResidualNorm < BestNorm) {
+      BestNorm = Newton.ResidualNorm;
+      BestIterate = Newton.Solution;
+    }
+  }
+
+  if (!Newton.Converged) {
+    if (SolveOptions.Jacobian == FlowSolveOptions::JacobianKind::Analytic)
+      AnalyticFallbackCount.add();
+    // Fixed absolute pressure perturbations: large enough to clear the
+    // edge-inversion noise floor, small enough that the secant matches
+    // the local derivative even at high junction pressures. The right
+    // scale depends on the stiffness of the network (viscous oil vs
+    // water), so a failed solve retries across a perturbation ladder.
+    Options.Jacobian = nullptr;
+    Options.JacobianRelative = false;
+    bool FirstAttempt = true;
+    for (double Epsilon : {0.5, 5.0, 0.05, 50.0, 500.0}) {
+      if (!FirstAttempt)
+        RetryCount.add();
+      FirstAttempt = false;
+      History.clear();
+      Options.JacobianEpsilon = Epsilon;
+      Newton = solveNewtonSystem(residual, BestIterate, Options);
+      IterationCount.add(static_cast<uint64_t>(Newton.Iterations));
+      if (Newton.Converged)
+        break;
+      if (Newton.ResidualNorm < BestNorm) {
+        BestNorm = Newton.ResidualNorm;
+        BestIterate = Newton.Solution;
+      }
+    }
   }
   IterationHistogram.record(Newton.Iterations);
   if (!Newton.Converged) {

@@ -65,6 +65,27 @@ struct FlowSolution {
   }
 };
 
+/// Options controlling the hot path of FlowNetwork::solve.
+struct FlowSolveOptions {
+  /// How the Newton Jacobian is built. Analytic assembles the exact
+  /// sparse continuity Jacobian from per-edge pressure-drop slopes
+  /// (FlowElement::pressureDropSlopePaPerM3S) — one cheap assembly per
+  /// iteration instead of one edge-inversion sweep per unknown.
+  /// FiniteDifference is the seed probing path, kept for ablation
+  /// benchmarks; the analytic path automatically falls back to it when
+  /// the iteration stalls, so robustness is unchanged.
+  enum class JacobianKind { Analytic, FiniteDifference };
+  JacobianKind Jacobian = JacobianKind::Analytic;
+
+  /// Junction pressures used to warm-start Newton (one entry per
+  /// junction, Pa, typically FlowSolution::JunctionPressuresPa from a
+  /// previous nearby solve; the reference junction's entry re-zeroes the
+  /// gauge). Empty = cold start from zeros. A warm start from the wrong
+  /// basin only costs iterations, never correctness: the converged
+  /// solution of this network is unique by monotonicity.
+  std::vector<double> WarmStartPressuresPa;
+};
+
 /// A hydraulic network of junctions and element-chain edges.
 ///
 /// The network does not own fluid state: solve() takes the working fluid
@@ -123,6 +144,13 @@ public:
   /// speed, not the solution.
   Expected<FlowSolution> solve(const fluids::Fluid &F, double TempC,
                                double FlowScaleM3PerS = 1e-2) const;
+
+  /// Overload taking explicit hot-path options (Jacobian construction,
+  /// warm-start pressures). The default-options form above uses the
+  /// analytic Jacobian with a cold start.
+  Expected<FlowSolution> solve(const fluids::Fluid &F, double TempC,
+                               double FlowScaleM3PerS,
+                               const FlowSolveOptions &SolveOptions) const;
 
   /// Dimension-checked mirror of solve.
   Expected<FlowSolution> solve(const fluids::Fluid &F, units::Celsius T,

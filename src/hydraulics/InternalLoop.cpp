@@ -95,10 +95,14 @@ rcs::hydraulics::buildInternalLoop(const InternalLoopConfig &Config) {
 Expected<InternalFlowReport>
 rcs::hydraulics::solveInternalLoop(InternalLoop &Loop,
                                    const fluids::Fluid &Oil, double TempC) {
-  Expected<FlowSolution> Solution = Loop.Network.solve(Oil, TempC, 2e-4);
+  FlowSolveOptions SolveOptions;
+  SolveOptions.WarmStartPressuresPa = Loop.LastJunctionPressuresPa;
+  Expected<FlowSolution> Solution =
+      Loop.Network.solve(Oil, TempC, 2e-4, SolveOptions);
   if (!Solution)
     return Expected<InternalFlowReport>::error(
         "internal loop solve failed: " + Solution.message());
+  Loop.LastJunctionPressuresPa = Solution->JunctionPressuresPa;
   InternalFlowReport Report;
   for (EdgeId E : Loop.BoardEdges)
     Report.BoardFlowsM3PerS.push_back(Solution->EdgeFlowsM3PerS[E]);

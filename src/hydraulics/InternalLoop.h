@@ -69,6 +69,10 @@ struct InternalLoop {
   FlowNetwork Network;
   EdgeId PumpEdge = 0;
   std::vector<EdgeId> BoardEdges;
+  /// Junction pressures of the most recent successful solve; used to
+  /// warm-start the next one (callers re-solve the same loop as the oil
+  /// temperature drifts). Empty until solveInternalLoop succeeds once.
+  std::vector<double> LastJunctionPressuresPa;
 };
 
 /// Builds the internal circulation network.

@@ -122,6 +122,28 @@ RackTransientSimulator::run(double DurationS) {
   Commands.UtilizationScale.assign(NumModules, 1.0);
   Commands.ForceShutdown.assign(NumModules, false);
 
+  if (Config.UseFluidPropertyCache) {
+    Oil->enablePropertyCache();
+    Water->enablePropertyCache();
+  }
+
+  // One persistent network serves every module: all modules share the same
+  // four-node structure and capacitances, so only conductances, heat
+  // sources and boundary temperatures are rewritten per module-step. The
+  // solver's symbolic phase (unknown indexing, pivot order) is computed
+  // once for the whole run.
+  thermal::ThermalNetwork Net;
+  thermal::NodeId Chips = Net.addNode("chips", ChipCapacitance);
+  thermal::NodeId Bath = Net.addNode("oil", OilCapacitance);
+  thermal::NodeId WaterNode = Net.addBoundaryNode("water", WaterTemp);
+  thermal::NodeId Room = Net.addBoundaryNode("room", AmbientTempC);
+  Net.addConductance(Chips, Bath, 1.0);
+  Net.addConductance(Bath, WaterNode, 1.0);
+  // Casing loss: a warm module leaks a little heat to the room.
+  Net.addConductance(Bath, Room, 6.0);
+  Net.addHeatSource(Chips, 0.0);
+  Net.addHeatSource(Bath, 0.0);
+
   // Per-module factor lookup tolerating empty/short effect vectors.
   auto FactorAt = [](const std::vector<double> &Factors, int I) {
     return static_cast<size_t>(I) < Factors.size() ? Factors[I] : 1.0;
@@ -212,17 +234,11 @@ RackTransientSimulator::run(double DurationS) {
       double GOilWater = Eps * CMin;
       TotalDuty += GOilWater * (OilTemp[I] - WaterTemp);
 
-      thermal::ThermalNetwork Net;
-      thermal::NodeId Chips = Net.addNode("chips", ChipCapacitance);
-      thermal::NodeId Bath = Net.addNode("oil", OilCapacitance);
-      thermal::NodeId WaterNode = Net.addBoundaryNode("water", WaterTemp);
-      thermal::NodeId Room = Net.addBoundaryNode("room", AmbientTempC);
-      Net.addConductance(Chips, Bath, GChipOil);
-      Net.addConductance(Bath, WaterNode, GOilWater);
-      // Casing loss: a warm module leaks a little heat to the room.
-      Net.addConductance(Bath, Room, 6.0);
-      Net.addHeatSource(Chips, ChipHeat);
-      Net.addHeatSource(Bath, MiscHeat);
+      Net.setConductance(Chips, Bath, GChipOil);
+      Net.setConductance(Bath, WaterNode, GOilWater);
+      Net.setHeatSource(Chips, ChipHeat);
+      Net.setHeatSource(Bath, MiscHeat);
+      Net.setBoundaryTemp(WaterNode, WaterTemp);
       std::vector<double> State = {ChipTemp[I], OilTemp[I], WaterTemp,
                                    AmbientTempC};
       Status StepStatus = Net.stepTransient(State, Config.TimeStepS);

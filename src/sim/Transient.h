@@ -45,6 +45,10 @@ struct TransientConfig {
   /// Lumped heat capacities.
   double ChipCapacitancePerFpgaJPerK = 120.0; ///< Package + sink mass.
   double OilVolumeM3 = 0.20;                  ///< Bath inventory.
+  /// Resample fluid property tables onto uniform grids for O(1) lookups
+  /// (see fluids::Fluid::enablePropertyCache). Off for an exact-table
+  /// ablation run; cached values agree to ~1e-15 relative.
+  bool UseFluidPropertyCache = true;
 };
 
 /// Multiplicative plant-degradation state applied for one integration step.

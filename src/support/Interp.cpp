@@ -64,6 +64,20 @@ double LinearTable::derivative(double X) const {
   return (Ys[I + 1] - Ys[I]) / (Xs[I + 1] - Xs[I]);
 }
 
+UniformTable::UniformTable(const LinearTable &Source, double MinXIn,
+                           double MaxXIn, size_t NumCells)
+    : MinX(MinXIn), MaxX(MaxXIn) {
+  assert(MaxX > MinX && NumCells >= 1 && "invalid uniform grid");
+  double Step = (MaxX - MinX) / static_cast<double>(NumCells);
+  InvStep = 1.0 / Step;
+  Ys.resize(NumCells + 1);
+  for (size_t I = 0; I <= NumCells; ++I) {
+    // Pin the last sample to MaxX so clamping matches the source table.
+    double X = I == NumCells ? MaxX : MinX + static_cast<double>(I) * Step;
+    Ys[I] = Source.evaluate(X);
+  }
+}
+
 double LinearTable::inverse(double Y) const {
   assert(Xs.size() >= 2 && "inverting an empty LinearTable");
   bool Increasing = Ys.back() > Ys.front();

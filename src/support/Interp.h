@@ -68,6 +68,53 @@ private:
   bool Extrapolate = false;
 };
 
+/// A uniform-grid resampling of a LinearTable: evaluation is O(1) index
+/// arithmetic instead of a binary search, which matters for property
+/// lookups inside solver inner loops.
+///
+/// The resampling is monotone by construction — linear interpolation
+/// between samples of a piecewise-linear function cannot overshoot its
+/// range — and exact (up to rounding) wherever the source knots land on
+/// the grid. Evaluation clamps to [minX, maxX] exactly like a
+/// non-extrapolating LinearTable.
+class UniformTable {
+public:
+  UniformTable() = default;
+
+  /// Resamples \p Source on NumCells+1 evenly spaced points spanning
+  /// [MinX, MaxX].
+  UniformTable(const LinearTable &Source, double MinX, double MaxX,
+               size_t NumCells);
+
+  /// Evaluates the table at \p X, clamped to the grid range.
+  double evaluate(double X) const {
+    assert(!Ys.empty() && "evaluating an empty UniformTable");
+    if (X <= MinX)
+      return Ys.front();
+    if (X >= MaxX)
+      return Ys.back();
+    double GridIndex = (X - MinX) * InvStep;
+    size_t Cell = static_cast<size_t>(GridIndex);
+    // Rounding in GridIndex can land exactly on the last sample.
+    if (Cell >= Ys.size() - 1)
+      Cell = Ys.size() - 2;
+    double CellFraction = GridIndex - static_cast<double>(Cell);
+    return Ys[Cell] + CellFraction * (Ys[Cell + 1] - Ys[Cell]);
+  }
+
+  bool empty() const { return Ys.empty(); }
+  size_t size() const { return Ys.size(); }
+  double minX() const { return MinX; }
+  double maxX() const { return MaxX; }
+
+private:
+  double MinX = 0.0;
+  double MaxX = 0.0;
+  // skatlint:ignore(unit-suffix) -- reciprocal grid step, 1/x-units
+  double InvStep = 0.0;
+  std::vector<double> Ys;
+};
+
 } // namespace rcs
 
 #endif // RCS_SUPPORT_INTERP_H

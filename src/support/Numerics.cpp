@@ -83,6 +83,89 @@ Expected<std::vector<double>> rcs::solveDense(Matrix A,
   return X;
 }
 
+Status LuFactorization::factor(Matrix A) {
+  assert(A.rows() == A.cols() && "LuFactorization needs a square matrix");
+  const size_t N = A.rows();
+  Valid = false;
+  PivotRow.assign(N, 0);
+
+  // Identical elimination sequence to solveDense, with two bookkeeping
+  // differences: the pivot row per column is recorded, and the multiplier
+  // is stored below the diagonal instead of being zeroed.
+  for (size_t Col = 0; Col != N; ++Col) {
+    size_t Pivot = Col;
+    double Best = std::fabs(A.at(Col, Col));
+    for (size_t Row = Col + 1; Row != N; ++Row) {
+      double Candidate = std::fabs(A.at(Row, Col));
+      if (Candidate > Best) {
+        Best = Candidate;
+        Pivot = Row;
+      }
+    }
+    if (Best < 1e-300)
+      return Status::error("singular matrix in solveDense");
+    PivotRow[Col] = Pivot;
+    if (Pivot != Col)
+      for (size_t K = 0; K != N; ++K)
+        std::swap(A.at(Col, K), A.at(Pivot, K));
+    double Diag = A.at(Col, Col);
+    for (size_t Row = Col + 1; Row != N; ++Row) {
+      double Factor = A.at(Row, Col) / Diag;
+      A.at(Row, Col) = Factor;
+      // skatlint:ignore(float-equality) -- exact zero skips work only,
+      // mirroring solveDense; any nonzero factor must still eliminate.
+      if (Factor == 0.0)
+        continue;
+      for (size_t K = Col + 1; K != N; ++K)
+        A.at(Row, K) -= Factor * A.at(Col, K);
+    }
+  }
+  // Pack the multipliers column-major so solve()'s forward pass reads
+  // them with unit stride instead of striding down the row-major matrix.
+  LowerPacked.clear();
+  LowerPacked.reserve(N * (N - 1) / 2);
+  for (size_t Col = 0; Col != N; ++Col)
+    for (size_t Row = Col + 1; Row != N; ++Row)
+      LowerPacked.push_back(A.at(Row, Col));
+  Lu = std::move(A);
+  Valid = true;
+  return Status::ok();
+}
+
+std::vector<double> LuFactorization::solve(std::vector<double> B) const {
+  assert(Valid && "solve() on an invalid LuFactorization");
+  const size_t N = Lu.rows();
+  assert(B.size() == N && "dimension mismatch in LuFactorization::solve");
+
+  // Forward pass: replay the row swaps and eliminations in the exact
+  // order solveDense applied them to its right-hand side, so each B entry
+  // sees the same sequence of operations (bit-identical results).
+  const double *Packed = LowerPacked.data();
+  for (size_t Col = 0; Col != N; ++Col) {
+    if (PivotRow[Col] != Col)
+      std::swap(B[Col], B[PivotRow[Col]]);
+    double Bc = B[Col];
+    for (size_t Row = Col + 1; Row != N; ++Row) {
+      double Factor = *Packed++;
+      // skatlint:ignore(float-equality) -- replays solveDense's exact-zero
+      // skip so the operation sequence matches bit for bit.
+      if (Factor == 0.0)
+        continue;
+      B[Row] -= Factor * Bc;
+    }
+  }
+
+  std::vector<double> X(N, 0.0);
+  for (size_t RowPlus1 = N; RowPlus1 != 0; --RowPlus1) {
+    size_t Row = RowPlus1 - 1;
+    double Sum = B[Row];
+    for (size_t K = Row + 1; K != N; ++K)
+      Sum -= Lu.at(Row, K) * X[K];
+    X[Row] = Sum / Lu.at(Row, Row);
+  }
+  return X;
+}
+
 Expected<std::vector<double>>
 rcs::solveTridiagonal(std::vector<double> Lower, std::vector<double> Diag,
                       std::vector<double> Upper, std::vector<double> Rhs) {
@@ -237,19 +320,29 @@ NewtonResult rcs::solveNewtonSystem(
       Result.Converged = true;
       break;
     }
-    // Finite-difference Jacobian, column by column.
-    Matrix Jacobian(N, N);
-    for (size_t Col = 0; Col != N; ++Col) {
-      double Save = X[Col];
-      double H = Options.JacobianRelative
-                     ? Options.JacobianEpsilon * std::max(1.0,
-                                                          std::fabs(Save))
-                     : Options.JacobianEpsilon;
-      X[Col] = Save + H;
-      std::vector<double> FPerturbed = F(X);
-      X[Col] = Save;
-      for (size_t Row = 0; Row != N; ++Row)
-        Jacobian.at(Row, Col) = (FPerturbed[Row] - Fx[Row]) / H;
+    Matrix Jacobian;
+    if (Options.Jacobian) {
+      // Analytic Jacobian. The most recent F evaluation was at this X
+      // (the initial evaluation, or the accepted line-search candidate),
+      // so the callback may reuse state cached during it.
+      Jacobian = Options.Jacobian(X, Fx);
+      assert(Jacobian.rows() == N && Jacobian.cols() == N &&
+             "analytic Jacobian dimension mismatch");
+    } else {
+      // Finite-difference Jacobian, column by column.
+      Jacobian = Matrix(N, N);
+      for (size_t Col = 0; Col != N; ++Col) {
+        double Save = X[Col];
+        double H = Options.JacobianRelative
+                       ? Options.JacobianEpsilon * std::max(1.0,
+                                                            std::fabs(Save))
+                       : Options.JacobianEpsilon;
+        X[Col] = Save + H;
+        std::vector<double> FPerturbed = F(X);
+        X[Col] = Save;
+        for (size_t Row = 0; Row != N; ++Row)
+          Jacobian.at(Row, Col) = (FPerturbed[Row] - Fx[Row]) / H;
+      }
     }
     std::vector<double> NegF(N);
     for (size_t I = 0; I != N; ++I)

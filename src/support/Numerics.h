@@ -60,6 +60,53 @@ private:
 /// \returns an error when the matrix is singular to working precision.
 Expected<std::vector<double>> solveDense(Matrix A, std::vector<double> B);
 
+/// A reusable LU factorization with partial pivoting.
+///
+/// factor() runs the same elimination as solveDense but records the
+/// multipliers and pivot rows; solve() replays them against a right-hand
+/// side in the identical order (same row swaps, same exact-zero skips,
+/// same operand grouping). A factor()+solve() pair therefore produces a
+/// solution that is bit-identical to solveDense(A, B) for the same
+/// inputs, which is what lets the thermal solver cache factorizations
+/// across transient steps without perturbing results.
+class LuFactorization {
+public:
+  LuFactorization() = default;
+
+  /// Factors \p A (consumed). Returns an error when singular to working
+  /// precision; the factorization is invalid afterwards.
+  Status factor(Matrix A);
+
+  /// True after a successful factor().
+  bool valid() const { return Valid; }
+
+  /// Number of rows/columns of the factored matrix (0 when invalid).
+  size_t size() const { return Valid ? Lu.rows() : 0; }
+
+  /// Solves A * X = B using the stored factors. Requires valid().
+  std::vector<double> solve(std::vector<double> B) const;
+
+  /// Drops the stored factors.
+  void reset() {
+    Valid = false;
+    Lu = Matrix();
+    LowerPacked.clear();
+    PivotRow.clear();
+  }
+
+private:
+  /// Packed factors: multipliers below the diagonal, U on and above it.
+  Matrix Lu;
+  /// The below-diagonal multipliers again, packed column-major in
+  /// elimination order: the forward pass streams them sequentially
+  /// instead of striding down the row-major Lu (which costs a cache miss
+  /// per multiplier at solver sizes).
+  std::vector<double> LowerPacked;
+  /// Pivot row chosen while eliminating each column.
+  std::vector<size_t> PivotRow;
+  bool Valid = false;
+};
+
 /// Solves a tridiagonal system with the Thomas algorithm.
 ///
 /// \p Lower has N-1 entries (subdiagonal), \p Diag N entries, \p Upper N-1
@@ -126,9 +173,19 @@ struct NewtonOptions {
   /// Newton step — the hook convergence diagnostics and telemetry hang
   /// from. Must not mutate solver state.
   std::function<void(const NewtonIterate &)> Observer;
+  /// When set, used instead of finite differences. Called with the
+  /// current iterate X and the residual F(X) at that iterate; must return
+  /// an N x N matrix of dF_i/dX_j. The solver guarantees that the most
+  /// recent residual evaluation was at exactly this X, so callers may
+  /// reuse state cached during that evaluation.
+  std::function<Matrix(const std::vector<double> &X,
+                       const std::vector<double> &Fx)>
+      Jacobian;
 };
 
-/// Solves F(X) = 0 with damped Newton and a finite-difference Jacobian.
+/// Solves F(X) = 0 with damped Newton. The Jacobian comes from
+/// NewtonOptions::Jacobian when set, otherwise from column-by-column
+/// finite differences of \p F.
 NewtonResult solveNewtonSystem(
     const std::function<std::vector<double>(const std::vector<double> &)> &F,
     std::vector<double> Initial, NewtonOptions Options = NewtonOptions());

@@ -21,6 +21,7 @@ NodeId ThermalNetwork::addNode(std::string Name, double CapacitanceJPerK) {
   N.Name = std::move(Name);
   N.CapacitanceJPerK = CapacitanceJPerK;
   Nodes.push_back(std::move(N));
+  invalidateSymbolic();
   return Nodes.size() - 1;
 }
 
@@ -30,6 +31,7 @@ NodeId ThermalNetwork::addBoundaryNode(std::string Name, double TempC) {
   N.Boundary = true;
   N.TempC = TempC;
   Nodes.push_back(std::move(N));
+  invalidateSymbolic();
   return Nodes.size() - 1;
 }
 
@@ -37,6 +39,7 @@ void ThermalNetwork::addConductance(NodeId A, NodeId B, double GWPerK) {
   assert(A < Nodes.size() && B < Nodes.size() && "node id out of range");
   assert(A != B && "self-conductance is meaningless");
   assert(GWPerK > 0 && "conductance must be positive");
+  invalidateNumeric();
   // Accumulate into an existing edge when present to keep the edge list
   // compact for repeatedly-built film coefficients.
   for (Edge &E : Edges) {
@@ -71,6 +74,7 @@ void ThermalNetwork::setBoundaryTemp(NodeId Node, double TempC) {
 
 void ThermalNetwork::setConductance(NodeId A, NodeId B, double GWPerK) {
   assert(GWPerK > 0 && "conductance must be positive");
+  invalidateNumeric();
   for (Edge &E : Edges) {
     if ((E.A == A && E.B == B) || (E.A == B && E.B == A)) {
       E.GWPerK = GWPerK;
@@ -78,6 +82,25 @@ void ThermalNetwork::setConductance(NodeId A, NodeId B, double GWPerK) {
     }
   }
   assert(false && "setConductance on a missing edge");
+}
+
+void ThermalNetwork::setCapacitance(NodeId Node, double CapacitanceJPerK) {
+  assert(Node < Nodes.size() && "node id out of range");
+  assert(!Nodes[Node].Boundary && "setCapacitance on a boundary node");
+  assert(CapacitanceJPerK >= 0 && "negative thermal capacitance");
+  Nodes[Node].CapacitanceJPerK = CapacitanceJPerK;
+  // Capacitance enters only the implicit-Euler matrix; the steady-state
+  // factor stays valid.
+  Cache.TransientValid = false;
+}
+
+void ThermalNetwork::setFactorCaching(bool Enabled) {
+  CachingEnabled = Enabled;
+  if (!Enabled) {
+    Cache.SteadyFactor.reset();
+    Cache.TransientFactor.reset();
+    invalidateNumeric();
+  }
 }
 
 const std::string &ThermalNetwork::nodeName(NodeId Node) const {
@@ -107,68 +130,149 @@ double ThermalNetwork::totalSourcePowerW() const {
   return Sum;
 }
 
-Expected<std::vector<double>> ThermalNetwork::solveSteadyState() const {
-  static telemetry::Counter &SolveCount =
-      telemetry::Registry::global().counter("thermal.network.steady_solves");
-  telemetry::ScopedTimer Timer("thermal.network.steady_solve");
-  SolveCount.add();
-  // Index internal nodes into the reduced unknown vector.
-  std::vector<size_t> UnknownIndex(Nodes.size(), SIZE_MAX);
-  size_t NumUnknowns = 0;
+void ThermalNetwork::ensureSymbolic() const {
+  if (Cache.SymbolicValid)
+    return;
+  // Symbolic phase: index internal nodes into the reduced unknown vector.
+  // Recomputed only when nodes are inserted; both numeric factors are
+  // stale once the indexing changes.
+  Cache.UnknownIndex.assign(Nodes.size(), SIZE_MAX);
+  Cache.NumUnknowns = 0;
   for (size_t I = 0, E = Nodes.size(); I != E; ++I)
     if (!Nodes[I].Boundary)
-      UnknownIndex[I] = NumUnknowns++;
+      Cache.UnknownIndex[I] = Cache.NumUnknowns++;
+  Cache.SymbolicValid = true;
+  Cache.SteadyValid = false;
+  Cache.TransientValid = false;
+}
 
-  std::vector<double> Temps(Nodes.size(), 0.0);
-  for (size_t I = 0, E = Nodes.size(); I != E; ++I)
-    if (Nodes[I].Boundary)
-      Temps[I] = Nodes[I].TempC;
-  if (NumUnknowns == 0)
-    return Temps;
-
-  Matrix A(NumUnknowns, NumUnknowns);
-  std::vector<double> B(NumUnknowns, 0.0);
-  for (size_t I = 0, E = Nodes.size(); I != E; ++I)
-    if (!Nodes[I].Boundary)
-      B[UnknownIndex[I]] = Nodes[I].SourceW;
-
+Matrix ThermalNetwork::assembleSteadyMatrix() const {
+  Matrix A(Cache.NumUnknowns, Cache.NumUnknowns);
   for (const Edge &Ed : Edges) {
     bool ABound = Nodes[Ed.A].Boundary;
     bool BBound = Nodes[Ed.B].Boundary;
     if (ABound && BBound)
       continue;
     if (!ABound) {
-      size_t IA = UnknownIndex[Ed.A];
+      size_t IA = Cache.UnknownIndex[Ed.A];
       A.at(IA, IA) += Ed.GWPerK;
-      if (BBound)
-        B[IA] += Ed.GWPerK * Nodes[Ed.B].TempC;
-      else
-        A.at(IA, UnknownIndex[Ed.B]) -= Ed.GWPerK;
+      if (!BBound)
+        A.at(IA, Cache.UnknownIndex[Ed.B]) -= Ed.GWPerK;
     }
     if (!BBound) {
-      size_t IB = UnknownIndex[Ed.B];
+      size_t IB = Cache.UnknownIndex[Ed.B];
       A.at(IB, IB) += Ed.GWPerK;
-      if (ABound)
-        B[IB] += Ed.GWPerK * Nodes[Ed.A].TempC;
-      else
-        A.at(IB, UnknownIndex[Ed.A]) -= Ed.GWPerK;
+      if (!ABound)
+        A.at(IB, Cache.UnknownIndex[Ed.A]) -= Ed.GWPerK;
     }
   }
+  return A;
+}
 
-  Expected<std::vector<double>> Reduced = solveDense(std::move(A),
-                                                     std::move(B));
-  if (!Reduced) {
-    telemetry::Registry::global()
-        .counter("thermal.network.solve_failures")
-        .add();
-    return Expected<std::vector<double>>::error(
-        "thermal network is singular: an internal node has no path to any "
-        "boundary (" + Reduced.message() + ")");
+Matrix ThermalNetwork::assembleTransientMatrix(double DtS) const {
+  Matrix A(Cache.NumUnknowns, Cache.NumUnknowns);
+  for (size_t I = 0, E = Nodes.size(); I != E; ++I) {
+    if (Nodes[I].Boundary)
+      continue;
+    size_t U = Cache.UnknownIndex[I];
+    A.at(U, U) += Nodes[I].CapacitanceJPerK / DtS;
+  }
+  for (const Edge &Ed : Edges) {
+    bool ABound = Nodes[Ed.A].Boundary;
+    bool BBound = Nodes[Ed.B].Boundary;
+    if (ABound && BBound)
+      continue;
+    if (!ABound) {
+      size_t IA = Cache.UnknownIndex[Ed.A];
+      A.at(IA, IA) += Ed.GWPerK;
+      if (!BBound)
+        A.at(IA, Cache.UnknownIndex[Ed.B]) -= Ed.GWPerK;
+    }
+    if (!BBound) {
+      size_t IB = Cache.UnknownIndex[Ed.B];
+      A.at(IB, IB) += Ed.GWPerK;
+      if (!ABound)
+        A.at(IB, Cache.UnknownIndex[Ed.A]) -= Ed.GWPerK;
+    }
+  }
+  return A;
+}
+
+Expected<std::vector<double>> ThermalNetwork::solveSteadyState() const {
+  static telemetry::Counter &SolveCount =
+      telemetry::Registry::global().counter("thermal.network.steady_solves");
+  static telemetry::Counter &FactorCount =
+      telemetry::Registry::global().counter("thermal.network.factorizations");
+  static telemetry::Counter &ReuseCount =
+      telemetry::Registry::global().counter("thermal.network.factor_reuses");
+  telemetry::ScopedTimer Timer("thermal.network.steady_solve");
+  SolveCount.add();
+  ensureSymbolic();
+
+  std::vector<double> Temps(Nodes.size(), 0.0);
+  for (size_t I = 0, E = Nodes.size(); I != E; ++I)
+    if (Nodes[I].Boundary)
+      Temps[I] = Nodes[I].TempC;
+  if (Cache.NumUnknowns == 0)
+    return Temps;
+
+  // Numeric phase, right-hand side: sources and boundary couplings change
+  // between solves without invalidating the factorization, so B is
+  // assembled fresh every call (same accumulation order as the seed
+  // single-pass assembly, which keeps results bit-identical).
+  std::vector<double> B(Cache.NumUnknowns, 0.0);
+  for (size_t I = 0, E = Nodes.size(); I != E; ++I)
+    if (!Nodes[I].Boundary)
+      B[Cache.UnknownIndex[I]] = Nodes[I].SourceW;
+  for (const Edge &Ed : Edges) {
+    bool ABound = Nodes[Ed.A].Boundary;
+    bool BBound = Nodes[Ed.B].Boundary;
+    if (ABound && BBound)
+      continue;
+    if (!ABound && BBound)
+      B[Cache.UnknownIndex[Ed.A]] += Ed.GWPerK * Nodes[Ed.B].TempC;
+    if (!BBound && ABound)
+      B[Cache.UnknownIndex[Ed.B]] += Ed.GWPerK * Nodes[Ed.A].TempC;
+  }
+
+  std::vector<double> Reduced;
+  if (CachingEnabled) {
+    // Numeric phase, matrix: refactor only when a mutator dirtied the
+    // conductances since the factorization was built.
+    if (!Cache.SteadyValid) {
+      Status Factored = Cache.SteadyFactor.factor(assembleSteadyMatrix());
+      if (!Factored) {
+        telemetry::Registry::global()
+            .counter("thermal.network.solve_failures")
+            .add();
+        return Expected<std::vector<double>>::error(
+            "thermal network is singular: an internal node has no path to "
+            "any boundary (" + Factored.message() + ")");
+      }
+      Cache.SteadyValid = true;
+      FactorCount.add();
+    } else {
+      ReuseCount.add();
+    }
+    Reduced = Cache.SteadyFactor.solve(std::move(B));
+  } else {
+    // Ablation path: rebuild and refactor every call (seed behavior).
+    Expected<std::vector<double>> Solved =
+        solveDense(assembleSteadyMatrix(), std::move(B));
+    if (!Solved) {
+      telemetry::Registry::global()
+          .counter("thermal.network.solve_failures")
+          .add();
+      return Expected<std::vector<double>>::error(
+          "thermal network is singular: an internal node has no path to any "
+          "boundary (" + Solved.message() + ")");
+    }
+    Reduced = std::move(*Solved);
   }
 
   for (size_t I = 0, E = Nodes.size(); I != E; ++I)
     if (!Nodes[I].Boundary)
-      Temps[I] = (*Reduced)[UnknownIndex[I]];
+      Temps[I] = Reduced[Cache.UnknownIndex[I]];
   return Temps;
 }
 
@@ -180,19 +284,21 @@ Status ThermalNetwork::stepTransient(std::vector<double> &Temps,
   // atomic add, nothing else.
   static telemetry::Counter &StepCount =
       telemetry::Registry::global().counter("thermal.network.transient_steps");
+  static telemetry::Counter &FactorCount =
+      telemetry::Registry::global().counter("thermal.network.factorizations");
+  static telemetry::Counter &ReuseCount =
+      telemetry::Registry::global().counter("thermal.network.factor_reuses");
   StepCount.add();
 
-  std::vector<size_t> UnknownIndex(Nodes.size(), SIZE_MAX);
-  size_t NumUnknowns = 0;
+  ensureSymbolic();
   for (size_t I = 0, E = Nodes.size(); I != E; ++I) {
     if (Nodes[I].Boundary)
       continue;
     if (Nodes[I].CapacitanceJPerK <= 0.0)
       return Status::error("transient step requires positive capacitance on "
                            "internal node '" + Nodes[I].Name + "'");
-    UnknownIndex[I] = NumUnknowns++;
   }
-  if (NumUnknowns == 0) {
+  if (Cache.NumUnknowns == 0) {
     for (size_t I = 0, E = Nodes.size(); I != E; ++I)
       if (Nodes[I].Boundary)
         Temps[I] = Nodes[I].TempC;
@@ -200,48 +306,60 @@ Status ThermalNetwork::stepTransient(std::vector<double> &Temps,
   }
 
   // Implicit Euler: (C/dt + L) T^{n+1} = (C/dt) T^n + Q + G*T_boundary.
-  Matrix A(NumUnknowns, NumUnknowns);
-  std::vector<double> B(NumUnknowns, 0.0);
+  // The matrix depends only on capacitances, conductances, and dt; the
+  // right-hand side carries the state and is assembled fresh each step in
+  // the seed accumulation order (bit-identical results).
+  std::vector<double> B(Cache.NumUnknowns, 0.0);
   for (size_t I = 0, E = Nodes.size(); I != E; ++I) {
     if (Nodes[I].Boundary)
       continue;
-    size_t U = UnknownIndex[I];
     double CoverDt = Nodes[I].CapacitanceJPerK / DtS;
-    A.at(U, U) += CoverDt;
-    B[U] += CoverDt * Temps[I] + Nodes[I].SourceW;
+    B[Cache.UnknownIndex[I]] += CoverDt * Temps[I] + Nodes[I].SourceW;
   }
   for (const Edge &Ed : Edges) {
     bool ABound = Nodes[Ed.A].Boundary;
     bool BBound = Nodes[Ed.B].Boundary;
     if (ABound && BBound)
       continue;
-    if (!ABound) {
-      size_t IA = UnknownIndex[Ed.A];
-      A.at(IA, IA) += Ed.GWPerK;
-      if (BBound)
-        B[IA] += Ed.GWPerK * Nodes[Ed.B].TempC;
-      else
-        A.at(IA, UnknownIndex[Ed.B]) -= Ed.GWPerK;
-    }
-    if (!BBound) {
-      size_t IB = UnknownIndex[Ed.B];
-      A.at(IB, IB) += Ed.GWPerK;
-      if (ABound)
-        B[IB] += Ed.GWPerK * Nodes[Ed.A].TempC;
-      else
-        A.at(IB, UnknownIndex[Ed.A]) -= Ed.GWPerK;
-    }
+    if (!ABound && BBound)
+      B[Cache.UnknownIndex[Ed.A]] += Ed.GWPerK * Nodes[Ed.B].TempC;
+    if (!BBound && ABound)
+      B[Cache.UnknownIndex[Ed.B]] += Ed.GWPerK * Nodes[Ed.A].TempC;
   }
 
-  Expected<std::vector<double>> Next = solveDense(std::move(A), std::move(B));
-  if (!Next)
-    return Status::error("transient thermal step failed: " + Next.message());
+  std::vector<double> Next;
+  if (CachingEnabled) {
+    // skatlint:ignore(float-equality) -- dt is a cache key here, not a
+    // physics comparison: any bitwise change must trigger a refactor.
+    bool SameDt = DtS == Cache.TransientDtS;
+    if (!Cache.TransientValid || !SameDt) {
+      Status Factored =
+          Cache.TransientFactor.factor(assembleTransientMatrix(DtS));
+      if (!Factored)
+        return Status::error("transient thermal step failed: " +
+                             Factored.message());
+      Cache.TransientValid = true;
+      Cache.TransientDtS = DtS;
+      FactorCount.add();
+    } else {
+      ReuseCount.add();
+    }
+    Next = Cache.TransientFactor.solve(std::move(B));
+  } else {
+    // Ablation path: rebuild and refactor every step (seed behavior).
+    Expected<std::vector<double>> Solved =
+        solveDense(assembleTransientMatrix(DtS), std::move(B));
+    if (!Solved)
+      return Status::error("transient thermal step failed: " +
+                           Solved.message());
+    Next = std::move(*Solved);
+  }
 
   for (size_t I = 0, E = Nodes.size(); I != E; ++I) {
     if (Nodes[I].Boundary)
       Temps[I] = Nodes[I].TempC;
     else
-      Temps[I] = (*Next)[UnknownIndex[I]];
+      Temps[I] = Next[Cache.UnknownIndex[I]];
   }
   return Status::ok();
 }

@@ -19,6 +19,7 @@
 #ifndef RCS_THERMAL_NETWORK_H
 #define RCS_THERMAL_NETWORK_H
 
+#include "support/Numerics.h"
 #include "support/Quantity.h"
 #include "support/Status.h"
 
@@ -66,6 +67,22 @@ public:
   /// Requires that a conductance between the two nodes already exists.
   void setConductance(NodeId A, NodeId B, double GWPerK);
 
+  /// Replaces the thermal capacitance of internal node \p Node.
+  ///
+  /// Lets transient simulators model inventory changes (coolant loss,
+  /// drained loops) without rebuilding the network each step.
+  void setCapacitance(NodeId Node, double CapacitanceJPerK);
+
+  /// Enables or disables factorization caching (on by default).
+  ///
+  /// With caching off, every solve rebuilds and refactors the dense
+  /// system — the seed behavior, kept for benchmark ablations. Results
+  /// are bit-identical either way; only the work done differs.
+  void setFactorCaching(bool Enabled);
+
+  /// True when factorization caching is enabled.
+  bool factorCachingEnabled() const { return CachingEnabled; }
+
   /// \name Dimension-checked builders
   /// Typed mirrors of the setters above (see support/Quantity.h). A
   /// conductance cannot be passed where a capacitance or power belongs,
@@ -94,6 +111,9 @@ public:
   }
   void setConductance(NodeId A, NodeId B, units::WattsPerKelvin G) {
     setConductance(A, B, G.value());
+  }
+  void setCapacitance(NodeId Node, units::JoulesPerKelvin Capacitance) {
+    setCapacitance(Node, Capacitance.value());
   }
   /// @}
 
@@ -145,6 +165,43 @@ private:
 
   std::vector<Node> Nodes;
   std::vector<Edge> Edges;
+
+  /// Split-phase solver cache (docs/PERFORMANCE.md). The symbolic phase
+  /// (unknown indexing) is invalidated by node insertion; the numeric
+  /// phase (LU factors) by conductance mutation — plus capacitance
+  /// mutation and time-step changes for the transient factor. Heat-source
+  /// and boundary-temperature updates only touch the right-hand side and
+  /// keep both factors valid. Mutable because solves are logically const
+  /// but warm the cache: a network must not be solved from multiple
+  /// threads concurrently (sweeps already hold one network per
+  /// replicate).
+  struct SolverCache {
+    std::vector<size_t> UnknownIndex;
+    size_t NumUnknowns = 0;
+    bool SymbolicValid = false;
+    LuFactorization SteadyFactor;
+    bool SteadyValid = false;
+    LuFactorization TransientFactor;
+    bool TransientValid = false;
+    double TransientDtS = -1.0; // Time step the transient factor was built for.
+  };
+  mutable SolverCache Cache;
+  bool CachingEnabled = true;
+
+  void invalidateSymbolic() {
+    Cache.SymbolicValid = false;
+    invalidateNumeric();
+  }
+  void invalidateNumeric() {
+    Cache.SteadyValid = false;
+    Cache.TransientValid = false;
+  }
+  /// Rebuilds the unknown indexing when stale.
+  void ensureSymbolic() const;
+  /// Assembles the reduced steady-state matrix (Laplacian over unknowns).
+  Matrix assembleSteadyMatrix() const;
+  /// Assembles the implicit-Euler matrix C/dt + L for \p DtS.
+  Matrix assembleTransientMatrix(double DtS) const;
 };
 
 } // namespace thermal

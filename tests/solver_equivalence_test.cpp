@@ -1,0 +1,417 @@
+//===- tests/solver_equivalence_test.cpp - Fast-path vs seed-path checks -----===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The solver overhaul (cached LU factorizations, analytic hydraulic
+/// Jacobians, warm starts, resampled property tables) must not change
+/// results: the cached thermal paths are bit-identical to the dense seed
+/// path by construction, and the hydraulic/property fast paths agree to
+/// well inside solver tolerance. These tests pin those contracts on the
+/// topologies the simulators actually use.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fluids/Fluid.h"
+#include "hydraulics/InternalLoop.h"
+#include "hydraulics/Manifold.h"
+#include "support/Interp.h"
+#include "support/Numerics.h"
+#include "thermal/Network.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+using namespace rcs;
+using namespace rcs::hydraulics;
+using namespace rcs::thermal;
+
+//===----------------------------------------------------------------------===//
+// LU factorization vs solveDense
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Deterministic well-conditioned test matrix (diagonally dominant with
+/// varied off-diagonal structure).
+Matrix makeTestMatrix(size_t N) {
+  Matrix A(N, N);
+  for (size_t I = 0; I != N; ++I) {
+    double RowSum = 0.0;
+    for (size_t J = 0; J != N; ++J) {
+      if (I == J)
+        continue;
+      double V = std::sin(0.7 * static_cast<double>(I * N + J) + 0.3);
+      A.at(I, J) = V;
+      RowSum += std::fabs(V);
+    }
+    A.at(I, I) = RowSum + 1.0 + static_cast<double>(I);
+  }
+  return A;
+}
+
+std::vector<double> makeTestRhs(size_t N, double Phase) {
+  std::vector<double> B(N);
+  for (size_t I = 0; I != N; ++I)
+    B[I] = std::cos(1.3 * static_cast<double>(I) + Phase);
+  return B;
+}
+
+} // namespace
+
+TEST(LuFactorizationTest, MatchesSolveDenseBitForBit) {
+  for (size_t N : {1u, 2u, 5u, 17u, 40u}) {
+    Matrix A = makeTestMatrix(N);
+    LuFactorization Lu;
+    ASSERT_TRUE(Lu.factor(A).isOk());
+    EXPECT_TRUE(Lu.valid());
+    EXPECT_EQ(Lu.size(), N);
+    for (double Phase : {0.0, 1.1, 2.9}) {
+      std::vector<double> B = makeTestRhs(N, Phase);
+      Expected<std::vector<double>> Dense = solveDense(A, B);
+      ASSERT_TRUE(Dense);
+      std::vector<double> Cached = Lu.solve(B);
+      ASSERT_EQ(Cached.size(), Dense->size());
+      for (size_t I = 0; I != N; ++I)
+        EXPECT_EQ(Cached[I], (*Dense)[I])
+            << "N=" << N << " Phase=" << Phase << " entry " << I;
+    }
+  }
+}
+
+TEST(LuFactorizationTest, SingularMatrixReportsSameErrorAsSolveDense) {
+  Matrix A(3, 3);
+  A.at(0, 0) = 1.0;
+  A.at(1, 0) = 2.0; // Rows 1 and 2 are multiples of row 0.
+  A.at(2, 0) = 3.0;
+  LuFactorization Lu;
+  Status FactorStatus = Lu.factor(A);
+  ASSERT_FALSE(FactorStatus.isOk());
+  EXPECT_FALSE(Lu.valid());
+  Expected<std::vector<double>> Dense = solveDense(A, {1.0, 2.0, 3.0});
+  ASSERT_FALSE(Dense);
+  EXPECT_EQ(FactorStatus.message(), Dense.message());
+}
+
+TEST(NewtonSystemTest, AnalyticJacobianFindsTheSameRoot) {
+  // F(x, y) = (x^2 + y - 3, x + y^2 - 5): smooth, one root near (1.2, 1.6).
+  auto Residual = [](const std::vector<double> &X) {
+    return std::vector<double>{X[0] * X[0] + X[1] - 3.0,
+                               X[0] + X[1] * X[1] - 5.0};
+  };
+  NewtonOptions FdOptions;
+  NewtonResult Fd = solveNewtonSystem(Residual, {1.0, 1.0}, FdOptions);
+  ASSERT_TRUE(Fd.Converged);
+
+  NewtonOptions AnalyticOptions;
+  AnalyticOptions.Jacobian = [](const std::vector<double> &X,
+                                const std::vector<double> &) {
+    Matrix J(2, 2);
+    J.at(0, 0) = 2.0 * X[0];
+    J.at(0, 1) = 1.0;
+    J.at(1, 0) = 1.0;
+    J.at(1, 1) = 2.0 * X[1];
+    return J;
+  };
+  NewtonResult Analytic =
+      solveNewtonSystem(Residual, {1.0, 1.0}, AnalyticOptions);
+  ASSERT_TRUE(Analytic.Converged);
+  EXPECT_NEAR(Analytic.Solution[0], Fd.Solution[0], 1e-8);
+  EXPECT_NEAR(Analytic.Solution[1], Fd.Solution[1], 1e-8);
+  EXPECT_LE(Analytic.Iterations, Fd.Iterations + 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Thermal network: cached factorization vs the seed dense path
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct LadderHandles {
+  std::vector<NodeId> Internal;
+  NodeId Boundary = 0;
+};
+
+/// An N-node RC ladder chained to one boundary: the topology of the
+/// BM_ThermalTransientStep benchmark and the stacked-die models.
+LadderHandles buildLadder(ThermalNetwork &Net, int N) {
+  LadderHandles H;
+  H.Boundary = Net.addBoundaryNode("sink", 20.0);
+  NodeId Prev = H.Boundary;
+  for (int I = 0; I != N; ++I) {
+    NodeId Node =
+        Net.addNode("n" + std::to_string(I), 50.0 + 3.0 * I);
+    Net.addConductance(Prev, Node, 2.0 + 0.1 * I);
+    Net.addHeatSource(Node, 5.0 + 0.5 * I);
+    H.Internal.push_back(Node);
+    Prev = Node;
+  }
+  return H;
+}
+
+} // namespace
+
+TEST(ThermalEquivalenceTest, SteadyStateCachedMatchesUncachedExactly) {
+  ThermalNetwork Cached, Uncached;
+  buildLadder(Cached, 24);
+  buildLadder(Uncached, 24);
+  Uncached.setFactorCaching(false);
+
+  for (int Round = 0; Round != 3; ++Round) {
+    Expected<std::vector<double>> A = Cached.solveSteadyState();
+    Expected<std::vector<double>> B = Uncached.solveSteadyState();
+    ASSERT_TRUE(A);
+    ASSERT_TRUE(B);
+    ASSERT_EQ(A->size(), B->size());
+    for (size_t I = 0; I != A->size(); ++I)
+      EXPECT_EQ((*A)[I], (*B)[I]) << "round " << Round << " node " << I;
+  }
+}
+
+TEST(ThermalEquivalenceTest, RhsOnlyMutationsReuseTheFactorExactly) {
+  ThermalNetwork Cached, Uncached;
+  LadderHandles HC = buildLadder(Cached, 16);
+  LadderHandles HU = buildLadder(Uncached, 16);
+  Uncached.setFactorCaching(false);
+
+  // Prime the cache, then mutate only sources and boundary temperature:
+  // the factorization must survive and still match the dense path.
+  ASSERT_TRUE(Cached.solveSteadyState());
+  for (int Round = 0; Round != 3; ++Round) {
+    double Power = 12.0 + 2.0 * Round;
+    Cached.setHeatSource(HC.Internal[3], Power);
+    Uncached.setHeatSource(HU.Internal[3], Power);
+    Cached.setBoundaryTemp(HC.Boundary, 18.0 + Round);
+    Uncached.setBoundaryTemp(HU.Boundary, 18.0 + Round);
+    Expected<std::vector<double>> A = Cached.solveSteadyState();
+    Expected<std::vector<double>> B = Uncached.solveSteadyState();
+    ASSERT_TRUE(A);
+    ASSERT_TRUE(B);
+    for (size_t I = 0; I != A->size(); ++I)
+      EXPECT_EQ((*A)[I], (*B)[I]) << "round " << Round << " node " << I;
+  }
+}
+
+TEST(ThermalEquivalenceTest, TransientTrajectoriesMatchThroughMutations) {
+  ThermalNetwork Cached, Uncached;
+  LadderHandles HC = buildLadder(Cached, 12);
+  LadderHandles HU = buildLadder(Uncached, 12);
+  Uncached.setFactorCaching(false);
+
+  std::vector<double> StateA(Cached.numNodes(), 22.0);
+  std::vector<double> StateB = StateA;
+  const double DtS = 2.0;
+  for (int Step = 0; Step != 50; ++Step) {
+    // Mid-run numeric mutations: conductance at step 20, capacitance at
+    // step 35 — the cached path must refactor and stay exact.
+    if (Step == 20) {
+      Cached.setConductance(HC.Internal[2], HC.Internal[3], 7.5);
+      Uncached.setConductance(HU.Internal[2], HU.Internal[3], 7.5);
+    }
+    if (Step == 35) {
+      Cached.setCapacitance(HC.Internal[5], 90.0);
+      Uncached.setCapacitance(HU.Internal[5], 90.0);
+    }
+    // RHS-only mutations every step.
+    Cached.setHeatSource(HC.Internal[0], 5.0 + 0.1 * Step);
+    Uncached.setHeatSource(HU.Internal[0], 5.0 + 0.1 * Step);
+    ASSERT_TRUE(Cached.stepTransient(StateA, DtS).isOk());
+    ASSERT_TRUE(Uncached.stepTransient(StateB, DtS).isOk());
+    for (size_t I = 0; I != StateA.size(); ++I)
+      EXPECT_EQ(StateA[I], StateB[I]) << "step " << Step << " node " << I;
+  }
+}
+
+TEST(ThermalEquivalenceTest, ChangingTimeStepRefactorsExactly) {
+  ThermalNetwork Cached, Uncached;
+  buildLadder(Cached, 8);
+  buildLadder(Uncached, 8);
+  Uncached.setFactorCaching(false);
+
+  std::vector<double> StateA(Cached.numNodes(), 25.0);
+  std::vector<double> StateB = StateA;
+  for (double DtS : {1.0, 1.0, 4.0, 1.0, 0.5}) {
+    ASSERT_TRUE(Cached.stepTransient(StateA, DtS).isOk());
+    ASSERT_TRUE(Uncached.stepTransient(StateB, DtS).isOk());
+    for (size_t I = 0; I != StateA.size(); ++I)
+      EXPECT_EQ(StateA[I], StateB[I]);
+  }
+}
+
+TEST(ThermalEquivalenceTest, SingularNetworkStillReportsTheSeedError) {
+  // An internal node with no path to any boundary must fail identically
+  // on the cached and uncached paths.
+  for (bool Caching : {true, false}) {
+    ThermalNetwork Net;
+    Net.setFactorCaching(Caching);
+    Net.addBoundaryNode("sink", 20.0);
+    Net.addNode("orphan", 10.0);
+    Expected<std::vector<double>> Result = Net.solveSteadyState();
+    ASSERT_FALSE(Result);
+    EXPECT_NE(Result.message().find("thermal network is singular"),
+              std::string::npos);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Hydraulic network: analytic Jacobian and warm starts vs the FD seed path
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+FlowSolveOptions analyticOptions() {
+  FlowSolveOptions Options;
+  Options.Jacobian = FlowSolveOptions::JacobianKind::Analytic;
+  return Options;
+}
+
+FlowSolveOptions fdOptions() {
+  FlowSolveOptions Options;
+  Options.Jacobian = FlowSolveOptions::JacobianKind::FiniteDifference;
+  return Options;
+}
+
+} // namespace
+
+TEST(HydraulicEquivalenceTest, AnalyticMatchesFiniteDifferenceOnRackLoops) {
+  auto Water = fluids::makeWater();
+  for (ManifoldLayout Layout :
+       {ManifoldLayout::DirectReturn, ManifoldLayout::ReverseReturn}) {
+    RackHydraulicsConfig Config;
+    Config.Layout = Layout;
+    RackHydraulics Rack = buildRackPrimaryLoop(Config);
+    Expected<FlowSolution> Analytic =
+        Rack.Network.solve(*Water, 16.0, 1e-3, analyticOptions());
+    Expected<FlowSolution> Fd =
+        Rack.Network.solve(*Water, 16.0, 1e-3, fdOptions());
+    ASSERT_TRUE(Analytic);
+    ASSERT_TRUE(Fd);
+    ASSERT_EQ(Analytic->EdgeFlowsM3PerS.size(), Fd->EdgeFlowsM3PerS.size());
+    // Both solves satisfy the same continuity tolerance; flows of ~1e-3
+    // m^3/s must agree far inside it.
+    for (size_t E = 0; E != Fd->EdgeFlowsM3PerS.size(); ++E)
+      EXPECT_NEAR(Analytic->EdgeFlowsM3PerS[E], Fd->EdgeFlowsM3PerS[E], 1e-7)
+          << "layout " << static_cast<int>(Layout) << " edge " << E;
+  }
+}
+
+TEST(HydraulicEquivalenceTest, AnalyticMatchesFiniteDifferenceOnInternalLoop) {
+  auto Oil = fluids::makeEngineeredDielectric();
+  for (PlenumDesign Design :
+       {PlenumDesign::UniformNarrow, PlenumDesign::TaperedReverse}) {
+    InternalLoopConfig Config;
+    Config.Design = Design;
+    InternalLoop Loop = buildInternalLoop(Config);
+    Expected<FlowSolution> Analytic =
+        Loop.Network.solve(*Oil, 35.0, 2e-4, analyticOptions());
+    Expected<FlowSolution> Fd =
+        Loop.Network.solve(*Oil, 35.0, 2e-4, fdOptions());
+    ASSERT_TRUE(Analytic);
+    ASSERT_TRUE(Fd);
+    for (size_t E = 0; E != Fd->EdgeFlowsM3PerS.size(); ++E)
+      EXPECT_NEAR(Analytic->EdgeFlowsM3PerS[E], Fd->EdgeFlowsM3PerS[E], 1e-8)
+          << "design " << static_cast<int>(Design) << " edge " << E;
+  }
+}
+
+TEST(HydraulicEquivalenceTest, WarmStartReachesTheSameSolutionInFewerSteps) {
+  auto Water = fluids::makeWater();
+  RackHydraulics Rack = buildRackPrimaryLoop(RackHydraulicsConfig());
+  Expected<FlowSolution> Cold =
+      Rack.Network.solve(*Water, 16.0, 1e-3, FlowSolveOptions());
+  ASSERT_TRUE(Cold);
+
+  FlowSolveOptions Warm;
+  Warm.WarmStartPressuresPa = Cold->JunctionPressuresPa;
+  Expected<FlowSolution> Warmed = Rack.Network.solve(*Water, 16.0, 1e-3, Warm);
+  ASSERT_TRUE(Warmed);
+  EXPECT_LE(Warmed->NewtonIterations, Cold->NewtonIterations);
+  for (size_t E = 0; E != Cold->EdgeFlowsM3PerS.size(); ++E)
+    EXPECT_NEAR(Warmed->EdgeFlowsM3PerS[E], Cold->EdgeFlowsM3PerS[E], 1e-8);
+}
+
+TEST(HydraulicEquivalenceTest, WrongSizedWarmStartIsIgnored) {
+  auto Water = fluids::makeWater();
+  RackHydraulics Rack = buildRackPrimaryLoop(RackHydraulicsConfig());
+  FlowSolveOptions Stale;
+  Stale.WarmStartPressuresPa = {1.0, 2.0, 3.0}; // Wrong junction count.
+  Expected<FlowSolution> Solution =
+      Rack.Network.solve(*Water, 16.0, 1e-3, Stale);
+  ASSERT_TRUE(Solution);
+  Expected<FlowSolution> Reference =
+      Rack.Network.solve(*Water, 16.0, 1e-3, FlowSolveOptions());
+  ASSERT_TRUE(Reference);
+  for (size_t E = 0; E != Reference->EdgeFlowsM3PerS.size(); ++E)
+    EXPECT_EQ(Solution->EdgeFlowsM3PerS[E], Reference->EdgeFlowsM3PerS[E]);
+}
+
+//===----------------------------------------------------------------------===//
+// Fluid property cache vs the exact tables
+//===----------------------------------------------------------------------===//
+
+TEST(PropertyCacheTest, UniformTableMatchesSourceOnAndOffGrid) {
+  LinearTable Source{{0.0, 1.0}, {20.0, 3.0}, {60.0, 2.0}, {100.0, 5.0}};
+  UniformTable Resampled(Source, 0.0, 100.0, 400); // 0.25-wide cells.
+  EXPECT_EQ(Resampled.size(), 401u);
+  // On-grid points (including every knot) are exact.
+  for (double X = 0.0; X <= 100.0; X += 0.25)
+    EXPECT_DOUBLE_EQ(Resampled.evaluate(X), Source.evaluate(X)) << X;
+  // Off-grid points interpolate inside the same linear segment.
+  for (double X : {0.1, 19.99, 20.01, 37.7, 59.3, 99.9})
+    EXPECT_NEAR(Resampled.evaluate(X), Source.evaluate(X), 1e-12) << X;
+  // Clamping matches the non-extrapolating source exactly.
+  EXPECT_EQ(Resampled.evaluate(-40.0), Source.evaluate(-40.0));
+  EXPECT_EQ(Resampled.evaluate(400.0), Source.evaluate(400.0));
+}
+
+TEST(PropertyCacheTest, CachedFluidPropertiesMatchExactTables) {
+  std::vector<std::unique_ptr<fluids::Fluid>> Fluids;
+  Fluids.push_back(fluids::makeAir());
+  Fluids.push_back(fluids::makeWater());
+  Fluids.push_back(fluids::makeGlycolSolution(0.3));
+  Fluids.push_back(fluids::makeMineralOilMd45());
+  Fluids.push_back(fluids::makeEngineeredDielectric());
+  Fluids.push_back(fluids::makeWhiteMineralOil());
+  for (const auto &F : Fluids) {
+    auto Reference = [&](double TempC, int Property) {
+      switch (Property) {
+      case 0:
+        return F->densityKgPerM3(TempC);
+      case 1:
+        return F->specificHeatJPerKgK(TempC);
+      case 2:
+        return F->thermalConductivityWPerMK(TempC);
+      default:
+        return F->dynamicViscosityPaS(TempC);
+      }
+    };
+    // Record exact values, then flip the cache on and compare across the
+    // operating range plus out-of-range clamps.
+    std::vector<double> Temps;
+    for (double T = F->minOperatingTempC() - 10.0;
+         T <= F->maxOperatingTempC() + 10.0; T += 0.7)
+      Temps.push_back(T);
+    std::vector<std::vector<double>> Exact(4);
+    for (int P = 0; P != 4; ++P)
+      for (double T : Temps)
+        Exact[P].push_back(Reference(T, P));
+
+    ASSERT_FALSE(F->propertyCacheEnabled());
+    F->enablePropertyCache();
+    ASSERT_TRUE(F->propertyCacheEnabled());
+    for (int P = 0; P != 4; ++P)
+      for (size_t I = 0; I != Temps.size(); ++I) {
+        double Cached = Reference(Temps[I], P);
+        EXPECT_TRUE(approxEqual(Cached, Exact[P][I], 1e-12, 1e-300))
+            << F->name() << " property " << P << " at " << Temps[I]
+            << " C: cached " << Cached << " exact " << Exact[P][I];
+      }
+    F->disablePropertyCache();
+    ASSERT_FALSE(F->propertyCacheEnabled());
+    for (size_t I = 0; I != Temps.size(); ++I)
+      EXPECT_EQ(Reference(Temps[I], 0), Exact[0][I]);
+  }
+}

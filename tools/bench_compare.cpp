@@ -1,0 +1,177 @@
+//===- tools/bench_compare.cpp - Bench regression gate -------------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compares a BENCH_*.json summary (telemetry/Bench.h) against a
+/// checked-in baseline and fails when a performance ratio regressed.
+///
+///   bench_compare <baseline.json> <current.json> [--tolerance FRAC]
+///
+/// Only ratio metrics gate — every `metrics` key starting with
+/// `speedup_`. Ratios divide out the host's absolute speed (both legs of
+/// an ablation run on the same machine, same load), so they are the only
+/// figures that transfer from the baseline-recording machine to whatever
+/// runner CI lands on. Absolute times and telemetry counters are printed
+/// for context but never gate.
+///
+/// A gated metric passes while
+///
+///   current >= baseline * (1 - tolerance)
+///
+/// with `--tolerance` defaulting to 0.30: wide enough to absorb runner
+/// noise and CPU-generation differences, tight enough that losing a
+/// cached-factorization or warm-start path (which costs 2x-100x, not
+/// 30%) still trips the gate. Improvements always pass; refresh the
+/// baseline (docs/PERFORMANCE.md, "Refreshing the baseline") to ratchet
+/// them in.
+///
+/// Also requires the current run's `passed` flag to be true, so a bench
+/// whose own shape check failed cannot slip through on stale numbers.
+///
+/// Exit code: 0 all gates pass, 1 regression or failed bench, 2
+/// usage/IO/parse error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/Json.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace rcs;
+
+namespace {
+
+/// Reads a whole file; empty optional-style pair on failure.
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  Out = Buffer.str();
+  return true;
+}
+
+/// Loads and parses one bench summary; exits with code 2 on failure.
+telemetry::JsonValue loadSummary(const std::string &Path) {
+  std::string Text;
+  if (!readFile(Path, Text)) {
+    std::fprintf(stderr, "bench_compare: cannot read '%s'\n", Path.c_str());
+    std::exit(2);
+  }
+  auto Parsed = telemetry::parseJson(Text);
+  if (!Parsed) {
+    std::fprintf(stderr, "bench_compare: %s: %s\n", Path.c_str(),
+                 Parsed.message().c_str());
+    std::exit(2);
+  }
+  if (!Parsed->isObject() || !Parsed->find("metrics")) {
+    std::fprintf(stderr,
+                 "bench_compare: %s: not a bench summary (no 'metrics')\n",
+                 Path.c_str());
+    std::exit(2);
+  }
+  return std::move(*Parsed);
+}
+
+bool isSpeedupKey(const std::string &Key) {
+  return Key.rfind("speedup_", 0) == 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  double Tolerance = 0.30;
+  std::string BaselinePath, CurrentPath;
+  for (int I = 1; I != Argc; ++I) {
+    if (std::strcmp(Argv[I], "--tolerance") == 0) {
+      if (I + 1 == Argc) {
+        std::fprintf(stderr, "bench_compare: --tolerance needs a value\n");
+        return 2;
+      }
+      char *End = nullptr;
+      Tolerance = std::strtod(Argv[++I], &End);
+      if (End == Argv[I] || *End || Tolerance < 0.0 || Tolerance >= 1.0) {
+        std::fprintf(stderr,
+                     "bench_compare: --tolerance must be in [0, 1)\n");
+        return 2;
+      }
+    } else if (BaselinePath.empty()) {
+      BaselinePath = Argv[I];
+    } else if (CurrentPath.empty()) {
+      CurrentPath = Argv[I];
+    } else {
+      std::fprintf(stderr, "bench_compare: unexpected argument '%s'\n",
+                   Argv[I]);
+      return 2;
+    }
+  }
+  if (CurrentPath.empty()) {
+    std::fprintf(stderr, "usage: bench_compare <baseline.json> "
+                         "<current.json> [--tolerance FRAC]\n");
+    return 2;
+  }
+
+  telemetry::JsonValue Baseline = loadSummary(BaselinePath);
+  telemetry::JsonValue Current = loadSummary(CurrentPath);
+  const telemetry::JsonValue &BaseMetrics = *Baseline.find("metrics");
+  const telemetry::JsonValue *CurMetrics = Current.find("metrics");
+
+  int Failures = 0;
+  int Gated = 0;
+
+  const telemetry::JsonValue *Passed = Current.find("passed");
+  if (!Passed || !Passed->isBool() || !Passed->BoolValue) {
+    std::printf("FAIL  %s: bench's own shape check did not pass\n",
+                CurrentPath.c_str());
+    ++Failures;
+  }
+
+  for (const auto &[Key, BaseValue] : BaseMetrics.Members) {
+    if (!isSpeedupKey(Key) || !BaseValue.isNumber())
+      continue;
+    ++Gated;
+    const telemetry::JsonValue *CurValue = CurMetrics->find(Key);
+    if (!CurValue || !CurValue->isNumber()) {
+      std::printf("FAIL  %-34s missing from current run\n", Key.c_str());
+      ++Failures;
+      continue;
+    }
+    double Floor = BaseValue.NumberValue * (1.0 - Tolerance);
+    bool Ok = CurValue->NumberValue >= Floor;
+    std::printf("%s  %-34s baseline %8.2fx  current %8.2fx  floor %8.2fx\n",
+                Ok ? "ok  " : "FAIL", Key.c_str(), BaseValue.NumberValue,
+                CurValue->NumberValue, Floor);
+    if (!Ok)
+      ++Failures;
+  }
+
+  // Context only: non-ratio numeric metrics, never gated (absolute times
+  // and counter totals do not transfer across machines or rep scales).
+  for (const auto &[Key, BaseValue] : BaseMetrics.Members) {
+    if (isSpeedupKey(Key) || !BaseValue.isNumber())
+      continue;
+    const telemetry::JsonValue *CurValue = CurMetrics->find(Key);
+    if (CurValue && CurValue->isNumber())
+      std::printf("info  %-34s baseline %12.6g   current %12.6g\n",
+                  Key.c_str(), BaseValue.NumberValue, CurValue->NumberValue);
+  }
+
+  if (Gated == 0) {
+    std::fprintf(stderr,
+                 "bench_compare: baseline '%s' has no speedup_* metrics\n",
+                 BaselinePath.c_str());
+    return 2;
+  }
+  std::printf("bench_compare: %d gated metric(s), %d failure(s), "
+              "tolerance %.0f%%\n",
+              Gated, Failures, Tolerance * 100.0);
+  return Failures == 0 ? 0 : 1;
+}

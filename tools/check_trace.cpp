@@ -31,6 +31,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "support/Numerics.h"
 #include "telemetry/Json.h"
 
 #include <cctype>
@@ -205,7 +206,7 @@ Status validateFaultTrace(const std::vector<std::string> &Lines) {
   double Version = 0.0, DurationS = 0.0, DeclaredEvents = 0.0,
          Seed = 0.0;
   std::string ScenarioName;
-  if (!findNumber(Header, "version", Version) || Version != 1.0)
+  if (!findNumber(Header, "version", Version) || !approxEqual(Version, 1.0))
     return Status::error("header lacks version 1");
   if (!findString(Header, "scenario", ScenarioName))
     return Status::error("header lacks scenario");

@@ -308,6 +308,9 @@ const char *const ExactAllowedNames[] = {
     "Nusselt", "Rayleigh",  "Ntu",         "Lambda",   "Checksum",
     "Damping", "Relaxation", "P50",        "P95",      "P99",    "Giga",
     "Tera",    "Peta",      "BetaJ",       "Scale",
+    // Member/parameter spellings of the interpolation-table range
+    // accessors sanctioned below (tables are value-domain generic).
+    "MinX",    "MaxX",
     // double-returning accessor/function names (camelBack): generic math
     // helpers and named dimensionless groups.
     "value",   "prandtl",   "opening",     "quantile", "mean",   "total",
