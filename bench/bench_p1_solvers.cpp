@@ -217,6 +217,16 @@ double timeTransientLadderS(bool Caching, int Steps) {
   });
 }
 
+/// Swallows every record: installing it times the span machinery plus
+/// sink dispatch while excluding file I/O, the honest cost of `--trace`.
+struct DiscardSink final : telemetry::EventSink {
+  uint64_t NumSpans = 0;
+  void instant(double, std::string_view, const telemetry::EventField *,
+               size_t) override {}
+  void span(const telemetry::SpanRecord &) override { ++NumSpans; }
+  Status close() override { return Status::ok(); }
+};
+
 /// Seconds for \p Solves rack Newton solves: seed path (FD Jacobian, cold
 /// start) vs overhaul path (analytic Jacobian, warm start).
 double timeRackNewtonS(bool Overhaul, int Solves) {
@@ -264,6 +274,18 @@ int main(int Argc, char **Argv) {
          TransientSpeedup, NewtonSpeedup);
 
   telemetry::Registry &Telemetry = telemetry::Registry::global();
+  // Span-tracing overhead: the identical cached transient leg with a
+  // record-discarding sink installed, so every solver span goes through
+  // the full SpanRecord path. The ratio (no sink / sink) reads like a
+  // speedup: 1.0 = tracing is free, and bench_compare gates it the same
+  // way, so a hot-path span regression trips CI.
+  Telemetry.setSink(std::make_unique<DiscardSink>());
+  double TransientTracedS = timeTransientLadderS(true, TransientSteps);
+  (void)Telemetry.closeSink();
+  double TracingOverhead = TransientCachedS / TransientTracedS;
+  printf("ablation: span tracing overhead ratio %.2fx (no sink / discard "
+         "sink)\n",
+         TracingOverhead);
   Bench.addMetric("benchmarks_run", static_cast<long long>(NumRun));
   Bench.addMetric("transient_ladder_seed_s", TransientSeedS);
   Bench.addMetric("transient_ladder_cached_s", TransientCachedS);
@@ -271,6 +293,8 @@ int main(int Argc, char **Argv) {
   Bench.addMetric("hydraulic_newton_seed_s", NewtonSeedS);
   Bench.addMetric("hydraulic_newton_overhaul_s", NewtonOverhaulS);
   Bench.addMetric("speedup_hydraulic_newton", NewtonSpeedup);
+  Bench.addMetric("transient_ladder_traced_s", TransientTracedS);
+  Bench.addMetric("overhead_span_tracing", TracingOverhead);
   Bench.addMetric(
       "newton_iterations",
       static_cast<long long>(
@@ -291,7 +315,8 @@ int main(int Argc, char **Argv) {
   // (NumRun may be zero under --benchmark_filter, e.g. the CI smoke run;
   // performance thresholds are tools/bench_compare's job, not ours.)
   bool Ok = TransientSeedS > 0.0 && TransientCachedS > 0.0 &&
-            NewtonSeedS > 0.0 && NewtonOverhaulS > 0.0;
+            NewtonSeedS > 0.0 && NewtonOverhaulS > 0.0 &&
+            TransientTracedS > 0.0;
   Bench.writeOrWarn(Ok);
   return Ok ? 0 : 1;
 }

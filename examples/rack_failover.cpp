@@ -14,6 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Designs.h"
+#include "support/Numerics.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
 
@@ -28,7 +29,7 @@ static void printRack(const char *Label, const RackReport &Report) {
            "state"});
   for (size_t I = 0; I != Report.Modules.size(); ++I) {
     const ModuleThermalReport &M = Report.Modules[I];
-    bool Down = M.TotalHeatW == 0.0;
+    bool Down = nearZero(M.TotalHeatW);
     T.addRow({formatString("CM %zu", I + 1),
               formatString("%.1f", Report.LoopFlowsM3PerS[I] * 60000.0),
               Down ? "-" : formatString("%.1f", M.MaxJunctionTempC),

@@ -7,10 +7,12 @@
 #include "faults/Sweep.h"
 
 #include "support/Parallel.h"
+#include "telemetry/Span.h"
 #include "telemetry/Telemetry.h"
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 
 using namespace rcs;
 using namespace rcs::faults;
@@ -26,7 +28,60 @@ Expected<SweepReport> rcs::faults::runSweep(const Scenario &S,
     return Expected<SweepReport>(Probe.status());
 
   telemetry::Registry &Telemetry = telemetry::Registry::global();
-  telemetry::ScopedTimer Timer(Telemetry, "faults.sweep.run");
+  telemetry::Span SweepSpan(Telemetry, "faults.sweep.run");
+  SweepSpan.attr("replicates", static_cast<long long>(Config.NumReplicates));
+  SweepSpan.attr("threads", static_cast<long long>(Config.NumThreads));
+  const telemetry::SpanContext SweepCtx = SweepSpan.context();
+
+  // Side-channel progress tallies. These feed OnProgress and live
+  // gauges only — the report below reduces over the Slot vector in
+  // replicate order and never reads them, so enabling progress cannot
+  // change the report.
+  struct ProgressState {
+    std::mutex Mutex;
+    double StartS = 0.0;
+    double LastEmitS = 0.0;
+    int Completed = 0;
+    int Criticals = 0;
+    double AvailabilitySum = 0.0;
+  };
+  ProgressState Progress;
+  Progress.StartS = Telemetry.nowSeconds();
+  Progress.LastEmitS = Progress.StartS;
+  auto NoteReplicateDone = [&](const ScenarioOutcome *Out, bool Final) {
+    SweepProgress Snapshot;
+    {
+      std::lock_guard<std::mutex> Lock(Progress.Mutex);
+      if (Out) {
+        ++Progress.Completed;
+        Progress.AvailabilitySum += Out->AvailabilityFraction;
+        if (Out->TimeToFirstCriticalS >= 0.0)
+          ++Progress.Criticals;
+      }
+      const double NowS = Telemetry.nowSeconds();
+      if (!Final && NowS - Progress.LastEmitS < Config.ProgressPeriodS)
+        return;
+      Progress.LastEmitS = NowS;
+      Snapshot.Completed = Progress.Completed;
+      Snapshot.Total = Config.NumReplicates;
+      Snapshot.ElapsedS = NowS - Progress.StartS;
+      if (Progress.Completed > 0) {
+        Snapshot.EtaS = Snapshot.ElapsedS / Progress.Completed *
+                        (Config.NumReplicates - Progress.Completed);
+        Snapshot.MeanAvailabilityFraction =
+            Progress.AvailabilitySum / Progress.Completed;
+      }
+      Snapshot.Criticals = Progress.Criticals;
+      Telemetry.gauge("faults.sweep.progress.replicates_done")
+          .set(Snapshot.Completed);
+      Telemetry.gauge("faults.sweep.progress.eta_s").set(Snapshot.EtaS);
+      Telemetry.gauge("faults.sweep.progress.availability_estimate")
+          .set(Snapshot.MeanAvailabilityFraction);
+      // Invoke under the lock so callbacks observe monotone Completed.
+      if (Config.OnProgress)
+        Config.OnProgress(Snapshot);
+    }
+  };
 
   // One slot per replicate, filled on stream (Seed, replicate); the
   // reduction below walks slots in replicate order, so the report is
@@ -39,12 +94,25 @@ Expected<SweepReport> rcs::faults::runSweep(const Scenario &S,
   parallelFor(Config.NumThreads,
               static_cast<size_t>(Config.NumReplicates),
               [&](size_t Replicate) {
+                // Parent the replicate span to the sweep root even when
+                // this closure runs on a pool thread.
+                telemetry::ScopedSpanParent Adopt(SweepCtx);
+                telemetry::Span ReplicateSpan(Telemetry,
+                                              "faults.sweep.replicate");
+                ReplicateSpan.attr("replicate",
+                                   static_cast<long long>(Replicate));
                 auto Out = runScenario(S, Replicate);
+                ReplicateSpan.attr("ok", static_cast<bool>(Out));
                 if (Out) {
+                  ReplicateSpan.attr("max_junction_C", Out->MaxJunctionC);
                   Slots[Replicate].Ok = true;
                   Slots[Replicate].Outcome = std::move(*Out);
                 }
+                NoteReplicateDone(
+                    Slots[Replicate].Ok ? &Slots[Replicate].Outcome : nullptr,
+                    /*Final=*/false);
               });
+  NoteReplicateDone(nullptr, /*Final=*/true);
 
   SweepReport Report;
   Report.NumReplicates = Config.NumReplicates;

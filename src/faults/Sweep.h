@@ -23,10 +23,30 @@
 #include "support/Status.h"
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 namespace rcs {
 namespace faults {
+
+/// Live progress of a running sweep, handed to SweepConfig::OnProgress.
+/// Computed entirely from a side channel (atomic completion tallies),
+/// never from the replicate slots the report reduces over, so enabling
+/// progress cannot perturb the bit-identical report guarantee.
+struct SweepProgress {
+  int Completed = 0;
+  int Total = 0;
+  double ElapsedS = 0.0;
+  /// Remaining-time estimate from the mean completed-replicate rate;
+  /// < 0 until at least one replicate has finished.
+  double EtaS = -1.0;
+  /// Running mean availability over completed replicates (order of
+  /// completion, so this is an estimate — the report's mean is the
+  /// deterministic one).
+  double MeanAvailabilityFraction = 1.0;
+  /// Completed replicates that saw a Critical alarm so far.
+  int Criticals = 0;
+};
 
 /// Sweep tunables.
 struct SweepConfig {
@@ -34,6 +54,12 @@ struct SweepConfig {
   /// Worker threads; 1 = serial, <= 0 = all hardware threads. The
   /// report does not depend on this.
   int NumThreads = 1;
+  /// Invoked (serialized, from worker threads) at most once per
+  /// ProgressPeriodS as replicates complete, plus once at the end.
+  /// Side-channel only: the report is bit-identical with or without it.
+  std::function<void(const SweepProgress &)> OnProgress;
+  /// Minimum seconds between OnProgress invocations.
+  double ProgressPeriodS = 1.0;
 };
 
 /// Per-replicate figures kept in the report (events are dropped).

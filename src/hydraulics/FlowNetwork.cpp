@@ -7,6 +7,7 @@
 #include "hydraulics/FlowNetwork.h"
 
 #include "support/Numerics.h"
+#include "telemetry/Span.h"
 #include "telemetry/Telemetry.h"
 
 #include <algorithm>
@@ -169,7 +170,7 @@ FlowNetwork::solve(const fluids::Fluid &F, double TempC,
       Telemetry.counter("hydraulics.newton.analytic_fallbacks");
   static telemetry::Histogram &IterationHistogram =
       Telemetry.histogram("hydraulics.newton.iterations_per_solve");
-  telemetry::ScopedTimer Timer(Telemetry, "hydraulics.flow.solve");
+  telemetry::Span SolveSpan(Telemetry, "hydraulics.flow.solve");
   SolveCount.add();
 
   const size_t NumJ = PImpl->Junctions.size();
@@ -178,6 +179,7 @@ FlowNetwork::solve(const fluids::Fluid &F, double TempC,
     FailureCount.add();
     return Expected<FlowSolution>::error("empty hydraulic network");
   }
+  SolveSpan.attr("unknowns", static_cast<long long>(NumJ - 1));
 
   // Unknowns: pressures at all junctions except the reference.
   std::vector<size_t> UnknownIndex(NumJ, SIZE_MAX);
@@ -214,6 +216,7 @@ FlowNetwork::solve(const fluids::Fluid &F, double TempC,
   std::vector<double> LastFlows(NumE, 0.0);
 
   auto residual = [&](const std::vector<double> &X) {
+    telemetry::Span ResidualSpan(Telemetry, "hydraulics.newton.residual");
     std::vector<double> P = pressuresFrom(X);
     std::vector<double> Q = edgeFlows(P);
     std::vector<double> NetIn(NumJ, 0.0);
@@ -237,6 +240,7 @@ FlowNetwork::solve(const fluids::Fluid &F, double TempC,
                               const std::vector<double> &Fx) {
     (void)X;
     (void)Fx;
+    telemetry::Span JacobianSpan(Telemetry, "hydraulics.jacobian.assembly");
     Matrix J(NumUnknowns, NumUnknowns);
     for (size_t E = 0; E != NumE; ++E) {
       const auto &Edge = PImpl->Edges[E];
@@ -290,6 +294,10 @@ FlowNetwork::solve(const fluids::Fluid &F, double TempC,
             SolveOptions.WarmStartPressuresPa[J] - Gauge;
     WarmStartCount.add();
   }
+  SolveSpan.attr("warm_start",
+                 SolveOptions.WarmStartPressuresPa.size() == NumJ);
+  SolveSpan.attr("analytic", SolveOptions.Jacobian ==
+                                 FlowSolveOptions::JacobianKind::Analytic);
 
   NewtonResult Newton;
   Newton.Converged = false;
@@ -311,6 +319,7 @@ FlowNetwork::solve(const fluids::Fluid &F, double TempC,
     }
   }
 
+  SolveSpan.attr("fallback_fd", !Newton.Converged);
   if (!Newton.Converged) {
     if (SolveOptions.Jacobian == FlowSolveOptions::JacobianKind::Analytic)
       AnalyticFallbackCount.add();
@@ -339,6 +348,8 @@ FlowNetwork::solve(const fluids::Fluid &F, double TempC,
     }
   }
   IterationHistogram.record(Newton.Iterations);
+  SolveSpan.attr("iterations", Newton.Iterations);
+  SolveSpan.attr("converged", Newton.Converged);
   if (!Newton.Converged) {
     InversionCount.add(InversionSearches);
     FailureCount.add();

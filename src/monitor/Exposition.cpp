@@ -59,6 +59,27 @@ void renderSummary(std::string &Out, const std::string &Base,
 
 } // namespace
 
+void rcs::monitor::updateSolverGauges(telemetry::Registry &Reg) {
+  auto Ratio = [](uint64_t Num, uint64_t Den) {
+    return Den ? static_cast<double>(Num) / static_cast<double>(Den) : 0.0;
+  };
+  uint64_t Reuses = Reg.counter("thermal.network.factor_reuses").value();
+  uint64_t Factorizations =
+      Reg.counter("thermal.network.factorizations").value();
+  Reg.gauge("thermal.factor_cache.hit_rate")
+      .set(Ratio(Reuses, Reuses + Factorizations));
+
+  uint64_t Solves = Reg.counter("hydraulics.flow.solves").value();
+  Reg.gauge("hydraulics.newton.mean_iterations")
+      .set(Ratio(Reg.counter("hydraulics.newton.iterations").value(), Solves));
+  Reg.gauge("hydraulics.newton.fallback_rate")
+      .set(Ratio(Reg.counter("hydraulics.newton.analytic_fallbacks").value(),
+                 Solves));
+  Reg.gauge("hydraulics.newton.warm_start_rate")
+      .set(Ratio(Reg.counter("hydraulics.newton.warm_starts").value(),
+                 Solves));
+}
+
 std::string
 rcs::monitor::renderPrometheus(const MetricsSnapshot &Snapshot,
                                std::string_view Prefix) {
@@ -178,6 +199,7 @@ Status SnapshotWriter::sample(double SimTimeS) {
     return OpenStatus.isOk()
                ? Status::error("snapshot file already closed")
                : OpenStatus;
+  updateSolverGauges(*Reg);
   std::string Line =
       renderSnapshotLine(Reg->snapshotMetrics(), SimTimeS) + "\n";
   if (std::fwrite(Line.data(), 1, Line.size(), Out) != Line.size())

@@ -33,6 +33,16 @@ namespace monitor {
 /// '_', and a leading digit gains a '_' prefix.
 std::string prometheusName(std::string_view Name);
 
+/// Refreshes the derived solver-introspection gauges from the raw
+/// solver counters: `thermal.factor_cache.hit_rate` (symbolic/numeric
+/// factor reuses over all factor requests), `hydraulics.newton.
+/// mean_iterations` (iterations per converged solve),
+/// `hydraulics.newton.fallback_rate` (analytic-Jacobian solves that
+/// fell back to finite differences) and `hydraulics.newton.
+/// warm_start_rate`. Cheap; call right before snapshotting.
+/// SnapshotWriter::sample does this automatically.
+void updateSolverGauges(telemetry::Registry &Reg);
+
 /// Renders \p Snapshot in the Prometheus text exposition format, every
 /// metric prefixed with `<Prefix>_`.
 std::string renderPrometheus(const telemetry::MetricsSnapshot &Snapshot,

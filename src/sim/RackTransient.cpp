@@ -22,6 +22,7 @@
 #include "thermal/Interface.h"
 #include "thermal/Network.h"
 
+#include "telemetry/Span.h"
 #include "telemetry/Telemetry.h"
 
 #include <algorithm>
@@ -76,7 +77,10 @@ RackTransientSimulator::run(double DurationS) {
       Telemetry.counter("sim.rack_transient.protection_trips");
   static telemetry::Counter &DroppedEvents =
       Telemetry.counter("sim.rack_transient.dropped_events");
-  telemetry::ScopedTimer Timer(Telemetry, "sim.rack_transient.run");
+  telemetry::Span RunSpan(Telemetry, "sim.rack_transient.run");
+  RunSpan.attr("duration_s", DurationS);
+  RunSpan.attr("dt_s", Config.TimeStepS);
+  RunSpan.attr("modules", Rack.NumModules);
   RunCount.add();
 
   std::stable_sort(Events.begin(), Events.end(),
@@ -159,6 +163,9 @@ RackTransientSimulator::run(double DurationS) {
   double NextControlTime = 0.0;
 
   for (double Time = 0.0; Time <= DurationS; Time += Config.TimeStepS) {
+    // One causal span per step; the per-module physics span and each
+    // module's thermal step nest under it.
+    telemetry::Span StepSpan(Telemetry, "sim.rack_transient.step");
     while (NextEvent < Events.size() && Events[NextEvent].TimeS <= Time) {
       const Event &E = Events[NextEvent];
       if (E.Kind == Event::Kind::ChillerCapacity)
@@ -213,25 +220,32 @@ RackTransientSimulator::run(double DurationS) {
           std::max(FactorAt(Effects.ModulePumpFactor, I), 0.03) * OilFlow;
       double ModuleVelocity = ModuleFlow / Module.Immersion.BathFlowAreaM2;
 
-      double SinkR = Sink.thermalResistanceKPerW(*Oil, OilTemp[I],
-                                                 ModuleVelocity, ChipTemp[I]);
-      double GChipOil =
-          FpgasPerModule / (Spec.ThetaJcKPerW + TimR + SinkR);
+      // Per-module conductance evaluation: property lookups dominate, so
+      // a dedicated span separates them from the thermal step below.
+      double GChipOil = 0.0;
+      double GOilWater = 0.0;
+      {
+        telemetry::Span PropertySpan(Telemetry,
+                                     "sim.rack_transient.properties");
+        double SinkR = Sink.thermalResistanceKPerW(
+            *Oil, OilTemp[I], ModuleVelocity, ChipTemp[I]);
+        GChipOil = FpgasPerModule / (Spec.ThetaJcKPerW + TimR + SinkR);
 
-      double COil = ModuleFlow * Oil->densityKgPerM3(OilTemp[I]) *
-                    Oil->specificHeatJPerKgK(OilTemp[I]);
-      double CWater = hydraulics::PlateHeatExchanger::capacityRateWPerK(
-          *Water, WaterFlowPerModule, WaterTemp);
-      double CMin = std::min(COil, CWater);
-      double CMax = std::max(COil, CWater);
-      double Cr = CMin / CMax;
-      double Ntu = Module.Immersion.HxUaWPerK *
-                   FactorAt(Effects.ModuleUaFactor, I) / CMin;
-      double Eps = std::fabs(1.0 - Cr) < 1e-9
-                       ? Ntu / (1.0 + Ntu)
-                       : (1.0 - std::exp(-Ntu * (1.0 - Cr))) /
-                             (1.0 - Cr * std::exp(-Ntu * (1.0 - Cr)));
-      double GOilWater = Eps * CMin;
+        double COil = ModuleFlow * Oil->densityKgPerM3(OilTemp[I]) *
+                      Oil->specificHeatJPerKgK(OilTemp[I]);
+        double CWater = hydraulics::PlateHeatExchanger::capacityRateWPerK(
+            *Water, WaterFlowPerModule, WaterTemp);
+        double CMin = std::min(COil, CWater);
+        double CMax = std::max(COil, CWater);
+        double Cr = CMin / CMax;
+        double Ntu = Module.Immersion.HxUaWPerK *
+                     FactorAt(Effects.ModuleUaFactor, I) / CMin;
+        double Eps = std::fabs(1.0 - Cr) < 1e-9
+                         ? Ntu / (1.0 + Ntu)
+                         : (1.0 - std::exp(-Ntu * (1.0 - Cr))) /
+                               (1.0 - Cr * std::exp(-Ntu * (1.0 - Cr)));
+        GOilWater = Eps * CMin;
+      }
       TotalDuty += GOilWater * (OilTemp[I] - WaterTemp);
 
       Net.setConductance(Chips, Bath, GChipOil);

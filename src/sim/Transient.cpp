@@ -22,6 +22,7 @@
 #include "thermal/Interface.h"
 #include "thermal/Network.h"
 
+#include "telemetry/Span.h"
 #include "telemetry/Telemetry.h"
 
 #include <algorithm>
@@ -99,7 +100,9 @@ Expected<std::vector<TraceSample>> TransientSimulator::run(double DurationS) {
       Telemetry.counter("sim.transient.control_actions");
   static telemetry::Counter &DroppedEvents =
       Telemetry.counter("sim.transient.dropped_events");
-  telemetry::ScopedTimer Timer(Telemetry, "sim.transient.run");
+  telemetry::Span RunSpan(Telemetry, "sim.transient.run");
+  RunSpan.attr("duration_s", DurationS);
+  RunSpan.attr("dt_s", Config.TimeStepS);
   RunCount.add();
 
   std::stable_sort(Events.begin(), Events.end(),
@@ -183,6 +186,9 @@ Expected<std::vector<TraceSample>> TransientSimulator::run(double DurationS) {
   rcsystem::ControlAction LastAction = rcsystem::ControlAction::None;
 
   for (double Time = 0.0; Time <= DurationS; Time += Config.TimeStepS) {
+    // One causal span per step: the thermal step and property spans below
+    // nest under it, so a profile attributes the whole loop body.
+    telemetry::Span StepSpan(Telemetry, "sim.transient.step");
     // Fire due events.
     while (NextEvent < Events.size() && Events[NextEvent].TimeS <= Time) {
       const Event &E = Events[NextEvent];
@@ -224,36 +230,41 @@ Expected<std::vector<TraceSample>> TransientSimulator::run(double DurationS) {
       Effective.ClockFraction = 0.0;
     }
 
-    // Chip power at current junction temperature.
-    double PerFpga = PowerModel.totalPowerW(Effective, ChipTemp);
-    double ChipHeat = NumFpgas * PerFpga;
-    double MiscHeat = Module.NumCcbs * Module.Board.MiscPowerW *
-                          (ShutDown ? 0.1 : 1.0) +
-                      Effects.ExtraHeatW;
+    // Chip power and conductances at this instant; one span covers the
+    // property-lookup-dominated section so profiles separate it from the
+    // linear solve.
+    double ChipHeat = 0.0;
+    double MiscHeat = 0.0;
+    double GChipOil = 0.0;
+    double GOilWater = 3.0; // W/K casing loss with the facility loop down.
+    {
+      telemetry::Span PropertySpan(Telemetry, "sim.transient.properties");
+      double PerFpga = PowerModel.totalPowerW(Effective, ChipTemp);
+      ChipHeat = NumFpgas * PerFpga;
+      MiscHeat = Module.NumCcbs * Module.Board.MiscPowerW *
+                     (ShutDown ? 0.1 : 1.0) +
+                 Effects.ExtraHeatW;
 
-    // Conductances at this instant.
-    double SinkR = Sink.thermalResistanceKPerW(*Oil, OilTemp, Velocity,
-                                               ChipTemp);
-    double PerFpgaR = Spec.ThetaJcKPerW + TimR + SinkR;
-    double GChipOil = NumFpgas / PerFpgaR;
+      double SinkR = Sink.thermalResistanceKPerW(*Oil, OilTemp, Velocity,
+                                                 ChipTemp);
+      double PerFpgaR = Spec.ThetaJcKPerW + TimR + SinkR;
+      GChipOil = NumFpgas / PerFpgaR;
 
-    double COil = Flow * Oil->densityKgPerM3(OilTemp) *
-                  Oil->specificHeatJPerKgK(OilTemp);
-    double CWater = hydraulics::PlateHeatExchanger::capacityRateWPerK(
-        *Water, WaterFlow, WaterInlet);
-    // With the facility loop down the bath only leaks a little heat to
-    // the room through the casing.
-    double GOilWater = 3.0; // W/K casing loss.
-    if (COil > 0.0 && CWater > 0.0) {
-      double CMin = std::min(COil, CWater);
-      double CMax = std::max(COil, CWater);
-      double Cr = CMin / CMax;
-      double Ntu = Module.Immersion.HxUaWPerK * Effects.HxUaFactor / CMin;
-      double Eps = std::fabs(1.0 - Cr) < 1e-9
-                       ? Ntu / (1.0 + Ntu)
-                       : (1.0 - std::exp(-Ntu * (1.0 - Cr))) /
-                             (1.0 - Cr * std::exp(-Ntu * (1.0 - Cr)));
-      GOilWater = Eps * CMin;
+      double COil = Flow * Oil->densityKgPerM3(OilTemp) *
+                    Oil->specificHeatJPerKgK(OilTemp);
+      double CWater = hydraulics::PlateHeatExchanger::capacityRateWPerK(
+          *Water, WaterFlow, WaterInlet);
+      if (COil > 0.0 && CWater > 0.0) {
+        double CMin = std::min(COil, CWater);
+        double CMax = std::max(COil, CWater);
+        double Cr = CMin / CMax;
+        double Ntu = Module.Immersion.HxUaWPerK * Effects.HxUaFactor / CMin;
+        double Eps = std::fabs(1.0 - Cr) < 1e-9
+                         ? Ntu / (1.0 + Ntu)
+                         : (1.0 - std::exp(-Ntu * (1.0 - Cr))) /
+                               (1.0 - Cr * std::exp(-Ntu * (1.0 - Cr)));
+        GOilWater = Eps * CMin;
+      }
     }
 
     // One implicit step of the two-node network. Coolant loss shows up as
@@ -295,6 +306,7 @@ Expected<std::vector<TraceSample>> TransientSimulator::run(double DurationS) {
     // Control loop: the controller consumes the debounced, hysteresis-
     // qualified alarm bank rather than raw threshold classifications.
     if (Time >= NextControlTime) {
+      telemetry::Span ControlSpan(Telemetry, "sim.transient.control");
       NextControlTime += Config.ControlPeriodS;
       double Readings[3] = {OilTemp, ChipTemp, Flow};
       if (SensorTransform)

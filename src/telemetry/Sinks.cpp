@@ -1,4 +1,4 @@
-//===- telemetry/Sinks.cpp - JSONL and Chrome trace_event sinks ---------------===//
+//===- telemetry/Sinks.cpp - JSONL, Chrome and OTLP-style sinks ---------------===//
 //
 // Part of skatsim. MIT license.
 //
@@ -6,7 +6,11 @@
 ///
 /// JSONL: one self-describing JSON object per line, grep/jq-friendly.
 /// Chrome: the trace_event JSON-array format, loadable in chrome://tracing
-/// and Perfetto; spans become 'X' (complete) events, instants 'i' events.
+/// and Perfetto; spans become 'X' (complete) events on their real thread
+/// track with trace/span/parent ids and attributes in args, cross-thread
+/// parent/child edges become 's'/'f' flow arrows, instants 'i' events.
+/// OTLP-style: JSON-Lines with a self-identifying header line and hex
+/// trace/span ids, the shape check_trace validates.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -14,6 +18,7 @@
 
 #include "telemetry/Json.h"
 
+#include <cinttypes>
 #include <cstdio>
 #include <string>
 
@@ -47,6 +52,16 @@ std::string renderFields(const EventField *Fields, size_t NumFields) {
   }
   Out += "}";
   return Out;
+}
+
+/// OTLP renders ids as lowercase hex: 16 digits for span ids, 32 for
+/// trace ids (the spec's 8- and 16-byte ids). Zero renders as "".
+std::string hexId(uint64_t Id, int Digits) {
+  if (Id == 0)
+    return "";
+  char Buffer[40];
+  std::snprintf(Buffer, sizeof(Buffer), "%0*" PRIx64, Digits, Id);
+  return Buffer;
 }
 
 /// Common FILE* ownership for both sinks.
@@ -90,15 +105,23 @@ public:
     std::fputs("}\n", Out);
   }
 
-  void span(double StartS, double DurationS, int Depth,
-            std::string_view Label) override {
+  void span(const SpanRecord &Rec) override {
     if (!Out)
       return;
     std::fprintf(Out,
                  "{\"ts_s\": %s, \"kind\": \"span\", \"name\": %s, "
-                 "\"dur_s\": %s, \"depth\": %d}\n",
-                 jsonNumber(StartS).c_str(), jsonQuote(Label).c_str(),
-                 jsonNumber(DurationS).c_str(), Depth);
+                 "\"dur_s\": %s, \"depth\": %d, \"trace_id\": %" PRIu64
+                 ", \"span_id\": %" PRIu64 ", \"parent_id\": %" PRIu64
+                 ", \"thread\": %u",
+                 jsonNumber(Rec.StartS).c_str(),
+                 jsonQuote(Rec.Name).c_str(),
+                 jsonNumber(Rec.DurationS).c_str(), Rec.Context.Depth,
+                 Rec.Context.TraceId, Rec.Context.SpanId,
+                 Rec.Context.ParentId, Rec.Context.ThreadId);
+    if (Rec.NumAttrs)
+      std::fprintf(Out, ", \"args\": %s",
+                   renderFields(Rec.Attrs, Rec.NumAttrs).c_str());
+    std::fputs("}\n", Out);
   }
 };
 
@@ -124,20 +147,63 @@ public:
     std::fputs("}", Out);
   }
 
-  void span(double StartS, double DurationS, int Depth,
-            std::string_view Label) override {
+  void span(const SpanRecord &Rec) override {
     if (!Out)
       return;
     separator();
-    // Depth is implied by ts/dur nesting within the single tid, but is
-    // still recorded for tools reading the raw JSON.
     std::fprintf(Out,
                  "{\"name\": %s, \"cat\": \"skatsim\", \"ph\": \"X\", "
-                 "\"ts\": %s, \"dur\": %s, \"pid\": 1, \"tid\": 1, "
-                 "\"args\": {\"depth\": %d}}",
-                 jsonQuote(Label).c_str(),
-                 jsonNumber(StartS * 1e6).c_str(),
-                 jsonNumber(DurationS * 1e6).c_str(), Depth);
+                 "\"ts\": %s, \"dur\": %s, \"pid\": 1, \"tid\": %u, "
+                 "\"args\": {\"depth\": %d, \"trace_id\": %" PRIu64
+                 ", \"span_id\": %" PRIu64 ", \"parent_id\": %" PRIu64,
+                 jsonQuote(Rec.Name).c_str(),
+                 jsonNumber(Rec.StartS * 1e6).c_str(),
+                 jsonNumber(Rec.DurationS * 1e6).c_str(),
+                 Rec.Context.ThreadId, Rec.Context.Depth,
+                 Rec.Context.TraceId, Rec.Context.SpanId,
+                 Rec.Context.ParentId);
+    for (size_t I = 0; I != Rec.NumAttrs; ++I) {
+      const EventField &F = Rec.Attrs[I];
+      std::fprintf(Out, ", %s: ", jsonQuote(F.Key).c_str());
+      switch (F.FieldKind) {
+      case EventField::Kind::Double:
+        std::fputs(jsonNumber(F.DoubleValue).c_str(), Out);
+        break;
+      case EventField::Kind::Int:
+        std::fprintf(Out, "%lld", F.IntValue);
+        break;
+      case EventField::Kind::Bool:
+        std::fputs(F.BoolValue ? "true" : "false", Out);
+        break;
+      case EventField::Kind::String:
+        std::fputs(jsonQuote(F.StringValue).c_str(), Out);
+        break;
+      }
+    }
+    std::fputs("}}", Out);
+
+    // A parent open on another thread cannot enclose this slice on its
+    // own track; draw the causal edge as a flow arrow from the parent's
+    // track to this slice's start. Same-thread nesting needs none.
+    if (Rec.ParentThreadId != 0 &&
+        Rec.ParentThreadId != Rec.Context.ThreadId) {
+      separator();
+      std::fprintf(Out,
+                   "{\"name\": \"parent\", \"cat\": \"skatsim\", "
+                   "\"ph\": \"s\", \"id\": %" PRIu64
+                   ", \"ts\": %s, \"pid\": 1, \"tid\": %u}",
+                   Rec.Context.SpanId,
+                   jsonNumber(Rec.StartS * 1e6).c_str(),
+                   Rec.ParentThreadId);
+      separator();
+      std::fprintf(Out,
+                   "{\"name\": \"parent\", \"cat\": \"skatsim\", "
+                   "\"ph\": \"f\", \"bp\": \"e\", \"id\": %" PRIu64
+                   ", \"ts\": %s, \"pid\": 1, \"tid\": %u}",
+                   Rec.Context.SpanId,
+                   jsonNumber(Rec.StartS * 1e6).c_str(),
+                   Rec.Context.ThreadId);
+    }
   }
 
 protected:
@@ -149,6 +215,85 @@ private:
     First = false;
   }
   bool First = true;
+};
+
+class OtlpSpanSink final : public FileSink {
+public:
+  explicit OtlpSpanSink(std::FILE *Out) : FileSink(Out) {
+    std::fputs("{\"kind\": \"span_trace_header\", "
+               "\"schema\": \"skatsim-otlp-spans-v1\", \"version\": 1, "
+               "\"service\": \"skatsim\"}\n",
+               Out);
+  }
+
+  void instant(double TimeS, std::string_view Name,
+               const EventField *Fields, size_t NumFields) override {
+    if (!Out)
+      return;
+    std::fprintf(Out,
+                 "{\"kind\": \"span_event\", \"name\": %s, "
+                 "\"time_s\": %s",
+                 jsonQuote(Name).c_str(), jsonNumber(TimeS).c_str());
+    if (NumFields)
+      std::fprintf(Out, ", \"attributes\": %s",
+                   renderFields(Fields, NumFields).c_str());
+    std::fputs("}\n", Out);
+  }
+
+  void span(const SpanRecord &Rec) override {
+    if (!Out)
+      return;
+    std::fprintf(
+        Out,
+        "{\"kind\": \"span\", \"name\": %s, \"trace_id\": \"%s\", "
+        "\"span_id\": \"%s\", \"parent_span_id\": \"%s\", "
+        "\"start_s\": %s, \"end_s\": %s, \"duration_s\": %s, "
+        "\"depth\": %d, \"thread\": %u",
+        jsonQuote(Rec.Name).c_str(),
+        hexId(Rec.Context.TraceId, 32).c_str(),
+        hexId(Rec.Context.SpanId, 16).c_str(),
+        hexId(Rec.Context.ParentId, 16).c_str(),
+        jsonNumber(Rec.StartS).c_str(),
+        jsonNumber(Rec.StartS + Rec.DurationS).c_str(),
+        jsonNumber(Rec.DurationS).c_str(), Rec.Context.Depth,
+        Rec.Context.ThreadId);
+    if (Rec.NumAttrs)
+      std::fprintf(Out, ", \"attributes\": %s",
+                   renderFields(Rec.Attrs, Rec.NumAttrs).c_str());
+    std::fputs("}\n", Out);
+  }
+};
+
+class TeeSink final : public EventSink {
+public:
+  TeeSink(std::unique_ptr<EventSink> First,
+          std::unique_ptr<EventSink> Second)
+      : First(std::move(First)), Second(std::move(Second)) {}
+
+  void instant(double TimeS, std::string_view Name,
+               const EventField *Fields, size_t NumFields) override {
+    if (First)
+      First->instant(TimeS, Name, Fields, NumFields);
+    if (Second)
+      Second->instant(TimeS, Name, Fields, NumFields);
+  }
+
+  void span(const SpanRecord &Rec) override {
+    if (First)
+      First->span(Rec);
+    if (Second)
+      Second->span(Rec);
+  }
+
+  Status close() override {
+    Status A = First ? First->close() : Status::ok();
+    Status B = Second ? Second->close() : Status::ok();
+    return A.isOk() ? B : A;
+  }
+
+private:
+  std::unique_ptr<EventSink> First;
+  std::unique_ptr<EventSink> Second;
 };
 
 Expected<std::FILE *> openForWrite(const std::string &Path) {
@@ -176,4 +321,18 @@ rcs::telemetry::makeChromeTraceSink(const std::string &Path) {
     return Expected<std::unique_ptr<EventSink>>(Out.status());
   return std::unique_ptr<EventSink>(
       std::make_unique<ChromeTraceSink>(*Out));
+}
+
+Expected<std::unique_ptr<EventSink>>
+rcs::telemetry::makeOtlpSpanSink(const std::string &Path) {
+  Expected<std::FILE *> Out = openForWrite(Path);
+  if (!Out)
+    return Expected<std::unique_ptr<EventSink>>(Out.status());
+  return std::unique_ptr<EventSink>(std::make_unique<OtlpSpanSink>(*Out));
+}
+
+std::unique_ptr<EventSink>
+rcs::telemetry::makeTeeSink(std::unique_ptr<EventSink> First,
+                            std::unique_ptr<EventSink> Second) {
+  return std::make_unique<TeeSink>(std::move(First), std::move(Second));
 }

@@ -1,0 +1,27 @@
+//===- telemetry/Span.cpp - Causal RAII spans with attributes -----------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/Span.h"
+
+using namespace rcs;
+using namespace rcs::telemetry;
+
+Span::Span(Registry &Reg, std::string_view Name)
+    : Reg(Reg), Name(Name), Slot(Reg.spanStatsSlot(Name)),
+      StartS(Reg.nowSeconds()), Context(detail::openSpanContext(Parent)) {}
+
+Span::~Span() {
+  SpanRecord Rec;
+  Rec.StartS = StartS;
+  Rec.DurationS = Reg.nowSeconds() - StartS;
+  Rec.Name = Name;
+  Rec.Context = Context;
+  Rec.ParentThreadId = Parent.ThreadId;
+  Rec.Attrs = Attrs;
+  Rec.NumAttrs = NumAttrs;
+  detail::threadSpanContext() = Parent;
+  Reg.recordSpan(Slot, Rec);
+}

@@ -212,20 +212,19 @@ SpanStats &Registry::spanStatsSlot(std::string_view Label) {
   return It->second;
 }
 
-void Registry::recordSpan(SpanStats &Slot, double StartS, double DurationS,
-                          int Depth, std::string_view Label) {
+void Registry::recordSpan(SpanStats &Slot, const SpanRecord &Rec) {
   std::lock_guard<std::mutex> Lock(Mutex);
   if (Slot.Count == 0) {
-    Slot.MinS = DurationS;
-    Slot.MaxS = DurationS;
+    Slot.MinS = Rec.DurationS;
+    Slot.MaxS = Rec.DurationS;
   } else {
-    Slot.MinS = std::min(Slot.MinS, DurationS);
-    Slot.MaxS = std::max(Slot.MaxS, DurationS);
+    Slot.MinS = std::min(Slot.MinS, Rec.DurationS);
+    Slot.MaxS = std::max(Slot.MaxS, Rec.DurationS);
   }
   ++Slot.Count;
-  Slot.TotalS += DurationS;
+  Slot.TotalS += Rec.DurationS;
   if (Sink)
-    Sink->span(StartS, DurationS, Depth, Label);
+    Sink->span(Rec);
 }
 
 MetricsSnapshot Registry::snapshotMetrics() const {
@@ -340,18 +339,53 @@ void Registry::resetMetrics() {
 }
 
 //===----------------------------------------------------------------------===//
-// ScopedTimer
+// Span context and ScopedTimer
 //===----------------------------------------------------------------------===//
 
-namespace {
-thread_local int ActiveTimerDepth = 0;
-} // namespace
+SpanContext &detail::threadSpanContext() {
+  thread_local SpanContext Context;
+  return Context;
+}
+
+uint64_t detail::nextSpanId() {
+  static std::atomic<uint64_t> NextId{1};
+  return NextId.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint32_t detail::currentThreadId() {
+  static std::atomic<uint32_t> NextThread{1};
+  thread_local uint32_t Id =
+      NextThread.fetch_add(1, std::memory_order_relaxed);
+  return Id;
+}
+
+SpanContext detail::openSpanContext(SpanContext &Parent) {
+  SpanContext &Ctx = threadSpanContext();
+  Parent = Ctx;
+  SpanContext Mine;
+  Mine.SpanId = nextSpanId();
+  Mine.ParentId = Parent.SpanId;
+  Mine.TraceId = Parent.SpanId ? Parent.TraceId : Mine.SpanId;
+  Mine.Depth = Parent.SpanId ? Parent.Depth + 1 : 0;
+  Mine.ThreadId = currentThreadId();
+  Ctx = Mine;
+  return Mine;
+}
 
 ScopedTimer::ScopedTimer(Registry &Reg, std::string_view Label)
     : Reg(Reg), Label(Label), Slot(Reg.spanStatsSlot(Label)),
-      StartS(Reg.nowSeconds()), Depth(ActiveTimerDepth++) {}
+      StartS(Reg.nowSeconds()) {
+  (void)detail::openSpanContext(Parent);
+}
 
 ScopedTimer::~ScopedTimer() {
-  --ActiveTimerDepth;
-  Reg.recordSpan(Slot, StartS, Reg.nowSeconds() - StartS, Depth, Label);
+  SpanContext &Ctx = detail::threadSpanContext();
+  SpanRecord Rec;
+  Rec.StartS = StartS;
+  Rec.DurationS = Reg.nowSeconds() - StartS;
+  Rec.Name = Label;
+  Rec.Context = Ctx;
+  Rec.ParentThreadId = Parent.ThreadId;
+  Ctx = Parent;
+  Reg.recordSpan(Slot, Rec);
 }

@@ -169,6 +169,7 @@ struct EventField {
   bool BoolValue = false;
   std::string_view StringValue;
 
+  EventField() = default;
   EventField(std::string_view Key, double Value)
       : Key(Key), FieldKind(Kind::Double), DoubleValue(Value) {}
   EventField(std::string_view Key, int Value)
@@ -186,6 +187,40 @@ struct EventField {
       : Key(Key), FieldKind(Kind::String), StringValue(Value) {}
 };
 
+/// Causal identity of one span: which trace it belongs to, its own id,
+/// and the span it nests under. Ids are process-unique and never zero for
+/// a live span; zero means "none" (a root span has ParentId 0, a thread
+/// with no open span has SpanId 0). The context propagates through a
+/// thread-local (see Span.h) and can be carried across worker threads
+/// with ScopedSpanParent, so a sweep replicate on a pool thread still
+/// parents under the sweep root.
+struct SpanContext {
+  uint64_t TraceId = 0;
+  uint64_t SpanId = 0;
+  uint64_t ParentId = 0;
+  /// Nesting depth of this span (0 = root).
+  int Depth = 0;
+  /// Small sequential id of the thread the span ran on (1-based).
+  uint32_t ThreadId = 0;
+};
+
+/// Everything known about one completed span, handed to the sink as a
+/// unit: timing, causal identity, and the structured attributes the span
+/// collected while open. Attrs points into the emitting span's inline
+/// storage and is only valid for the duration of the call.
+struct SpanRecord {
+  double StartS = 0.0;
+  double DurationS = 0.0;
+  std::string_view Name;
+  SpanContext Context;
+  /// Thread the parent span ran on (0 when no parent); differs from
+  /// Context.ThreadId exactly when the parent was adopted across a
+  /// thread boundary.
+  uint32_t ParentThreadId = 0;
+  const EventField *Attrs = nullptr;
+  size_t NumAttrs = 0;
+};
+
 /// Destination for structured trace output. Implementations are invoked
 /// under the owning registry's lock and must not call back into it.
 class EventSink {
@@ -196,10 +231,8 @@ public:
   virtual void instant(double TimeS, std::string_view Name,
                        const EventField *Fields, size_t NumFields) = 0;
 
-  /// A completed timed span [StartS, StartS + DurationS) at nesting depth
-  /// \p Depth (0 = outermost).
-  virtual void span(double StartS, double DurationS, int Depth,
-                    std::string_view Label) = 0;
+  /// A completed span with full causal context and attributes.
+  virtual void span(const SpanRecord &Rec) = 0;
 
   /// Flushes and finalizes the output. Idempotent.
   virtual Status close() = 0;
@@ -209,9 +242,25 @@ public:
 Expected<std::unique_ptr<EventSink>> makeJsonlSink(const std::string &Path);
 
 /// Opens a Chrome trace_event-format sink (a JSON array loadable in
-/// chrome://tracing and Perfetto) writing to \p Path.
+/// chrome://tracing and Perfetto) writing to \p Path. Spans carry their
+/// trace/span/parent ids and attributes in args, land on their real
+/// thread track, and cross-thread parent/child edges are drawn as flow
+/// arrows.
 Expected<std::unique_ptr<EventSink>>
 makeChromeTraceSink(const std::string &Path);
+
+/// Opens an OTLP-style span sink: JSON-Lines, one self-identifying
+/// header line followed by one object per span/event with hex trace and
+/// span ids (docs/OBSERVABILITY.md, "OTLP-style span schema"); validated
+/// by tools/check_trace.
+Expected<std::unique_ptr<EventSink>>
+makeOtlpSpanSink(const std::string &Path);
+
+/// A sink that forwards every call to both \p First and \p Second (close
+/// statuses are combined). Lets a profiler observe spans while a trace
+/// file is also being written.
+std::unique_ptr<EventSink> makeTeeSink(std::unique_ptr<EventSink> First,
+                                       std::unique_ptr<EventSink> Second);
 
 /// A named-metric registry plus the optional event sink. Thread-safe.
 ///
@@ -276,13 +325,13 @@ public:
 
 private:
   friend class ScopedTimer;
+  friend class Span;
 
   /// Finds or creates the span aggregate for \p Label.
   SpanStats &spanStatsSlot(std::string_view Label);
   /// Folds one finished span into its aggregate and forwards it to the
   /// sink when tracing.
-  void recordSpan(SpanStats &Slot, double StartS, double DurationS,
-                  int Depth, std::string_view Label);
+  void recordSpan(SpanStats &Slot, const SpanRecord &Rec);
 
   mutable std::mutex Mutex;
   std::map<std::string, Counter, std::less<>> Counters;
@@ -294,12 +343,37 @@ private:
   std::chrono::steady_clock::time_point Epoch;
 };
 
+namespace detail {
+/// The calling thread's innermost open span context (mutable slot shared
+/// by ScopedTimer, Span and ScopedSpanParent).
+SpanContext &threadSpanContext();
+/// Process-unique span id (never zero).
+uint64_t nextSpanId();
+/// Small sequential id of the calling thread (1-based, stable for the
+/// thread's lifetime).
+uint32_t currentThreadId();
+/// Opens a new span context nested under the thread's current one (which
+/// \p Parent receives) and installs it as current. The caller must
+/// restore \p Parent on scope exit.
+SpanContext openSpanContext(SpanContext &Parent);
+} // namespace detail
+
+/// The calling thread's innermost open span context; all ids zero when no
+/// span or timer is open. Capture this to parent work handed to another
+/// thread (see ScopedSpanParent in Span.h).
+inline SpanContext currentSpanContext() {
+  return detail::threadSpanContext();
+}
+
 /// RAII wall-time span. Construction starts the clock; destruction folds
 /// the elapsed time into the registry's per-label aggregate and, when a
 /// sink is attached, emits a span event. Timers nest: each instance
-/// records its depth within the thread's currently open timers.
+/// becomes the thread's current span context while open, so spans and
+/// timers parent under each other freely.
 ///
 /// \p Label is not copied and must outlive the timer (string literals).
+/// For spans that carry structured attributes, use telemetry::Span
+/// (Span.h) instead.
 class ScopedTimer {
 public:
   explicit ScopedTimer(std::string_view Label)
@@ -314,7 +388,7 @@ private:
   std::string_view Label;
   SpanStats &Slot;
   double StartS;
-  int Depth;
+  SpanContext Parent;
 };
 
 } // namespace telemetry

@@ -7,6 +7,7 @@
 #include "thermal/Network.h"
 
 #include "support/Numerics.h"
+#include "telemetry/Span.h"
 #include "telemetry/Telemetry.h"
 
 #include <cassert>
@@ -205,9 +206,10 @@ Expected<std::vector<double>> ThermalNetwork::solveSteadyState() const {
       telemetry::Registry::global().counter("thermal.network.factorizations");
   static telemetry::Counter &ReuseCount =
       telemetry::Registry::global().counter("thermal.network.factor_reuses");
-  telemetry::ScopedTimer Timer("thermal.network.steady_solve");
+  telemetry::Span SolveSpan("thermal.network.steady_solve");
   SolveCount.add();
   ensureSymbolic();
+  SolveSpan.attr("unknowns", static_cast<long long>(Cache.NumUnknowns));
 
   std::vector<double> Temps(Nodes.size(), 0.0);
   for (size_t I = 0, E = Nodes.size(); I != E; ++I)
@@ -251,11 +253,14 @@ Expected<std::vector<double>> ThermalNetwork::solveSteadyState() const {
       }
       Cache.SteadyValid = true;
       FactorCount.add();
+      SolveSpan.attr("factor_hit", false);
     } else {
       ReuseCount.add();
+      SolveSpan.attr("factor_hit", true);
     }
     Reduced = Cache.SteadyFactor.solve(std::move(B));
   } else {
+    SolveSpan.attr("factor_hit", false);
     // Ablation path: rebuild and refactor every call (seed behavior).
     Expected<std::vector<double>> Solved =
         solveDense(assembleSteadyMatrix(), std::move(B));
@@ -281,16 +286,21 @@ Status ThermalNetwork::stepTransient(std::vector<double> &Temps,
   assert(Temps.size() == Nodes.size() && "state size mismatch");
   assert(DtS > 0 && "time step must be positive");
   // stepTransient sits in every simulator's inner loop: one relaxed
-  // atomic add, nothing else.
+  // atomic add plus one causal span (two mutex-guarded aggregate updates
+  // when no sink is attached; the bench_p1_solvers
+  // overhead_span_tracing leg gates this cost).
   static telemetry::Counter &StepCount =
       telemetry::Registry::global().counter("thermal.network.transient_steps");
   static telemetry::Counter &FactorCount =
       telemetry::Registry::global().counter("thermal.network.factorizations");
   static telemetry::Counter &ReuseCount =
       telemetry::Registry::global().counter("thermal.network.factor_reuses");
+  telemetry::Span StepSpan("thermal.network.step_transient");
   StepCount.add();
 
   ensureSymbolic();
+  StepSpan.attr("unknowns", static_cast<long long>(Cache.NumUnknowns));
+  StepSpan.attr("dt_s", DtS);
   for (size_t I = 0, E = Nodes.size(); I != E; ++I) {
     if (Nodes[I].Boundary)
       continue;
@@ -341,11 +351,14 @@ Status ThermalNetwork::stepTransient(std::vector<double> &Temps,
       Cache.TransientValid = true;
       Cache.TransientDtS = DtS;
       FactorCount.add();
+      StepSpan.attr("factor_hit", false);
     } else {
       ReuseCount.add();
+      StepSpan.attr("factor_hit", true);
     }
     Next = Cache.TransientFactor.solve(std::move(B));
   } else {
+    StepSpan.attr("factor_hit", false);
     // Ablation path: rebuild and refactor every step (seed behavior).
     Expected<std::vector<double>> Solved =
         solveDense(assembleTransientMatrix(DtS), std::move(B));

@@ -573,6 +573,54 @@ TEST(SweepTest, ReplicatesDifferUnderStochasticHazards) {
   EXPECT_GT(Binned, 0u);
 }
 
+TEST(SweepTest, ProgressIsSideChannelOnly) {
+  Scenario S = makeSweepScenario();
+  SweepConfig Plain;
+  Plain.NumReplicates = 6;
+  Plain.NumThreads = 4;
+
+  SweepConfig Observed = Plain;
+  Observed.ProgressPeriodS = 0.0; // Emit on every replicate.
+  std::vector<SweepProgress> Updates;
+  Observed.OnProgress = [&Updates](const SweepProgress &P) {
+    Updates.push_back(P);
+  };
+
+  auto A = runSweep(S, Plain);
+  auto B = runSweep(S, Observed);
+  ASSERT_TRUE(A.hasValue()) << A.message();
+  ASSERT_TRUE(B.hasValue()) << B.message();
+
+  // Observing progress must not perturb the report: bit-identical, same
+  // contract as the thread-count test above.
+  EXPECT_EQ(A->MeanAvailabilityFraction, B->MeanAvailabilityFraction);
+  EXPECT_EQ(A->MeanMaxJunctionC, B->MeanMaxJunctionC);
+  EXPECT_EQ(A->CriticalFraction, B->CriticalFraction);
+  EXPECT_EQ(A->MttfEstimateHours, B->MttfEstimateHours);
+  EXPECT_EQ(A->JunctionHistogramCounts, B->JunctionHistogramCounts);
+  ASSERT_EQ(A->Replicates.size(), B->Replicates.size());
+  for (size_t R = 0; R != A->Replicates.size(); ++R)
+    EXPECT_EQ(A->Replicates[R].AvailabilityFraction,
+              B->Replicates[R].AvailabilityFraction);
+
+  // The stream itself: one update per replicate plus the final emit,
+  // monotone in Completed, and the last one covers the whole sweep.
+  ASSERT_GE(Updates.size(), 2u);
+  for (const SweepProgress &P : Updates) {
+    EXPECT_EQ(P.Total, 6);
+    EXPECT_GE(P.ElapsedS, 0.0);
+    EXPECT_GE(P.MeanAvailabilityFraction, 0.0);
+    EXPECT_LE(P.MeanAvailabilityFraction, 1.0);
+  }
+  for (size_t I = 1; I != Updates.size(); ++I)
+    EXPECT_GE(Updates[I].Completed, Updates[I - 1].Completed);
+  EXPECT_EQ(Updates.back().Completed, 6);
+  // The final estimate converges to the report's exact mean (same
+  // samples, possibly different summation order — allow rounding).
+  EXPECT_NEAR(Updates.back().MeanAvailabilityFraction,
+              A->MeanAvailabilityFraction, 1e-12);
+}
+
 TEST(SweepTest, RejectsInvalidConfigurations) {
   Scenario S = makeSweepScenario();
   SweepConfig Config;

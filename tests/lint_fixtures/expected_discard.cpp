@@ -1,0 +1,34 @@
+//===- tests/lint_fixtures/expected_discard.cpp - expected-discard rule ---===//
+//
+// Fixture for the expected-discard rule: three findings, one suppressed,
+// and a block of consuming patterns that must stay silent. Not meant to
+// compile — skatlint never runs the compiler.
+//
+//===----------------------------------------------------------------------===//
+
+struct Status {
+  static Status ok();
+  bool isOk() const;
+};
+template <typename T> struct Expected {};
+
+Status saveReport(int Value);
+Expected<int> parseCount(const char *Text);
+
+struct Sink {
+  Status close();
+};
+
+void driver(Sink &Out) {
+  saveReport(1);   // FINDING: bare statement discards the Status
+  parseCount("2"); // FINDING: bare statement discards the Expected<int>
+  Out.close();     // FINDING: member call, result still dropped
+
+  // skatlint:ignore(expected-discard) -- shutdown path, failure is benign
+  saveReport(3);
+
+  (void)saveReport(4);         // ok: explicitly voided
+  Status Kept = saveReport(5); // ok: assigned
+  if (Kept.isOk())
+    saveReport(6); // ok: guarded statement, not statement position
+}

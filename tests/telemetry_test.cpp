@@ -184,6 +184,7 @@ struct RecordingSink : EventSink {
     double DurationS;
     int Depth;
     std::string Label;
+    SpanContext Context;
   };
   struct Instant {
     double TimeS;
@@ -208,9 +209,9 @@ struct RecordingSink : EventSink {
                                     : std::string());
     Instants.push_back(std::move(Event));
   }
-  void span(double StartS, double DurationS, int Depth,
-            std::string_view Label) override {
-    Spans.push_back({StartS, DurationS, Depth, std::string(Label)});
+  void span(const SpanRecord &Rec) override {
+    Spans.push_back({Rec.StartS, Rec.DurationS, Rec.Context.Depth,
+                     std::string(Rec.Name), Rec.Context});
   }
   Status close() override {
     if (ClosedOut)

@@ -11,11 +11,14 @@
 ///   bench_compare <baseline.json> <current.json> [--tolerance FRAC]
 ///
 /// Only ratio metrics gate — every `metrics` key starting with
-/// `speedup_`. Ratios divide out the host's absolute speed (both legs of
-/// an ablation run on the same machine, same load), so they are the only
-/// figures that transfer from the baseline-recording machine to whatever
-/// runner CI lands on. Absolute times and telemetry counters are printed
-/// for context but never gate.
+/// `speedup_` or `overhead_`. Ratios divide out the host's absolute
+/// speed (both legs of an ablation run on the same machine, same load),
+/// so they are the only figures that transfer from the baseline-recording
+/// machine to whatever runner CI lands on. Both prefixes share the
+/// higher-is-better orientation: a `speedup_` key is fast/slow, and an
+/// `overhead_` key is untouched/instrumented (1.0 = free, shrinking as
+/// the instrumentation costs more). Absolute times and telemetry
+/// counters are printed for context but never gate.
 ///
 /// A gated metric passes while
 ///
@@ -81,8 +84,8 @@ telemetry::JsonValue loadSummary(const std::string &Path) {
   return std::move(*Parsed);
 }
 
-bool isSpeedupKey(const std::string &Key) {
-  return Key.rfind("speedup_", 0) == 0;
+bool isRatioKey(const std::string &Key) {
+  return Key.rfind("speedup_", 0) == 0 || Key.rfind("overhead_", 0) == 0;
 }
 
 } // namespace
@@ -135,7 +138,7 @@ int main(int Argc, char **Argv) {
   }
 
   for (const auto &[Key, BaseValue] : BaseMetrics.Members) {
-    if (!isSpeedupKey(Key) || !BaseValue.isNumber())
+    if (!isRatioKey(Key) || !BaseValue.isNumber())
       continue;
     ++Gated;
     const telemetry::JsonValue *CurValue = CurMetrics->find(Key);
@@ -156,7 +159,7 @@ int main(int Argc, char **Argv) {
   // Context only: non-ratio numeric metrics, never gated (absolute times
   // and counter totals do not transfer across machines or rep scales).
   for (const auto &[Key, BaseValue] : BaseMetrics.Members) {
-    if (isSpeedupKey(Key) || !BaseValue.isNumber())
+    if (isRatioKey(Key) || !BaseValue.isNumber())
       continue;
     const telemetry::JsonValue *CurValue = CurMetrics->find(Key);
     if (CurValue && CurValue->isNumber())
@@ -166,7 +169,7 @@ int main(int Argc, char **Argv) {
 
   if (Gated == 0) {
     std::fprintf(stderr,
-                 "bench_compare: baseline '%s' has no speedup_* metrics\n",
+                 "bench_compare: baseline '%s' has no speedup_*/overhead_* metrics\n",
                  BaselinePath.c_str());
     return 2;
   }

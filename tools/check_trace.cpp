@@ -18,6 +18,14 @@
 ///  - fault-event traces (JSONL with a `fault_trace_header` first line,
 ///    see faults/Trace.h): header identity/count checks, chronological
 ///    event lines with known verbs, and model names on inject/clear;
+///  - OTLP-style span traces (JSONL with a `span_trace_header` first
+///    line, see telemetry/Span.h): hex trace/span ids of the right
+///    width, end >= start on every span, parent ids that resolve to a
+///    span in the same file, and at least one span;
+///  - profiler reports (a JSON document with the `skatsim-profile-v1`
+///    schema marker, written by `skatsim profile`): call-tree
+///    invariants — self <= total, children's total bounded by the
+///    parent's, min <= max — checked on every node;
 ///  - metrics snapshot streams (JSONL lines with `t_s` and `counters`):
 ///    valid lines with strictly increasing timestamps;
 ///  - Prometheus text exposition (leading `# TYPE` comment): every line a
@@ -35,6 +43,7 @@
 #include "telemetry/Json.h"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -263,6 +272,172 @@ Status validateFaultTrace(const std::vector<std::string> &Lines) {
   return Status::ok();
 }
 
+/// True when \p Id is exactly \p Digits lowercase-hex characters.
+bool validHexId(const std::string &Id, size_t Digits) {
+  if (Id.size() != Digits)
+    return false;
+  for (char C : Id)
+    if (!std::isxdigit(static_cast<unsigned char>(C)) ||
+        std::isupper(static_cast<unsigned char>(C)))
+      return false;
+  return true;
+}
+
+/// OTLP-style span trace (telemetry/Span.h): a `span_trace_header` line
+/// with the `skatsim-otlp-spans-v1` schema, then `span` / `span_event`
+/// lines. Spans carry 32-hex trace ids and 16-hex span ids, end >= start,
+/// and parent ids that resolve within the file (spans are written in
+/// completion order, so resolution runs as a second pass). \p NumSpans
+/// counts span lines.
+Status validateSpanTrace(const std::vector<std::string> &Lines,
+                         size_t &NumSpans) {
+  NumSpans = 0;
+  const std::string &Header = Lines[0];
+  Status HeaderJson = telemetry::validateJson(Header);
+  if (!HeaderJson.isOk())
+    return Status::error("header is not valid JSON: " +
+                         HeaderJson.message());
+  std::string Schema;
+  double Version = 0.0;
+  if (!findString(Header, "schema", Schema) ||
+      Schema != "skatsim-otlp-spans-v1")
+    return Status::error("header lacks the skatsim-otlp-spans-v1 schema");
+  if (!findNumber(Header, "version", Version) || !approxEqual(Version, 1.0))
+    return Status::error("header lacks version 1");
+
+  std::vector<std::string> SpanIds;
+  std::vector<std::pair<size_t, std::string>> ParentRefs;
+  for (size_t I = 1; I != Lines.size(); ++I) {
+    const std::string &Line = Lines[I];
+    std::string Where = "span line " + std::to_string(I + 1);
+    Status LineJson = telemetry::validateJson(Line);
+    if (!LineJson.isOk())
+      return Status::error(Where + " is not valid JSON: " +
+                           LineJson.message());
+    if (Line.find("\"kind\": \"span_event\"") != std::string::npos)
+      continue; // Instants interleave freely; only their JSON matters.
+    if (Line.find("\"kind\": \"span\"") == std::string::npos)
+      return Status::error(Where + " is neither a span nor a span_event");
+    std::string Name, TraceId, SpanId, ParentId;
+    if (!findString(Line, "name", Name) || Name.empty())
+      return Status::error(Where + " lacks a name");
+    if (!findString(Line, "trace_id", TraceId) || !validHexId(TraceId, 32))
+      return Status::error(Where + " lacks a 32-hex trace_id");
+    if (!findString(Line, "span_id", SpanId) || !validHexId(SpanId, 16))
+      return Status::error(Where + " lacks a 16-hex span_id");
+    if (!findString(Line, "parent_span_id", ParentId))
+      return Status::error(Where + " lacks parent_span_id");
+    if (!ParentId.empty() && !validHexId(ParentId, 16))
+      return Status::error(Where + " has a malformed parent_span_id");
+    double StartS = 0.0, EndS = 0.0, DurationS = 0.0, Depth = 0.0;
+    if (!findNumber(Line, "start_s", StartS) ||
+        !findNumber(Line, "end_s", EndS) ||
+        !findNumber(Line, "duration_s", DurationS))
+      return Status::error(Where + " lacks start_s/end_s/duration_s");
+    if (EndS < StartS || DurationS < 0.0)
+      return Status::error(Where + " ends before it starts");
+    if (!findNumber(Line, "depth", Depth) || Depth < 0.0)
+      return Status::error(Where + " lacks a non-negative depth");
+    if (ParentId.empty() != (Depth < 0.5)) // depth is integral; 0 = root
+      return Status::error(Where + " depth disagrees with parent_span_id");
+    SpanIds.push_back(SpanId);
+    if (!ParentId.empty())
+      ParentRefs.emplace_back(I + 1, ParentId);
+    ++NumSpans;
+  }
+  if (NumSpans == 0)
+    return Status::error("no spans");
+  for (const auto &[LineNo, ParentId] : ParentRefs) {
+    bool Found = false;
+    for (const std::string &Id : SpanIds)
+      if (Id == ParentId) {
+        Found = true;
+        break;
+      }
+    if (!Found)
+      return Status::error("span line " + std::to_string(LineNo) +
+                           " references parent " + ParentId +
+                           " which never completed in this trace");
+  }
+  return Status::ok();
+}
+
+/// One call-tree node of a skatsim-profile-v1 document: checks the
+/// aggregation invariants recursively and counts nodes into \p NumNodes.
+Status validateProfileNode(const telemetry::JsonValue &Node,
+                           size_t &NumNodes) {
+  ++NumNodes;
+  const telemetry::JsonValue *Name = Node.find("name");
+  if (!Name || !Name->isString() || Name->StringValue.empty())
+    return Status::error("node lacks a name");
+  std::string Where = "node '" + Name->StringValue + "'";
+  const telemetry::JsonValue *Count = Node.find("count");
+  if (!Count || !Count->isNumber() || Count->NumberValue < 1.0)
+    return Status::error(Where + " lacks a positive count");
+  const telemetry::JsonValue *TotalS = Node.find("total_s");
+  const telemetry::JsonValue *SelfS = Node.find("self_s");
+  const telemetry::JsonValue *MinS = Node.find("min_s");
+  const telemetry::JsonValue *MaxS = Node.find("max_s");
+  if (!TotalS || !TotalS->isNumber() || !SelfS || !SelfS->isNumber() ||
+      !MinS || !MinS->isNumber() || !MaxS || !MaxS->isNumber())
+    return Status::error(Where + " lacks total_s/self_s/min_s/max_s");
+  // All timing invariants get a small absolute slack: the emitter rounds
+  // through %.9g, so exact arithmetic does not survive the round trip.
+  const double TolS = 1e-9 * (1.0 + std::fabs(TotalS->NumberValue));
+  if (SelfS->NumberValue < -TolS ||
+      SelfS->NumberValue > TotalS->NumberValue + TolS)
+    return Status::error(Where + " self_s outside [0, total_s]");
+  if (MinS->NumberValue > MaxS->NumberValue + TolS)
+    return Status::error(Where + " min_s exceeds max_s");
+  if (MaxS->NumberValue > TotalS->NumberValue + TolS)
+    return Status::error(Where + " max_s exceeds total_s");
+  const telemetry::JsonValue *Children = Node.find("children");
+  if (!Children || !Children->isArray())
+    return Status::error(Where + " lacks a children array");
+  double ChildrenTotalS = 0.0;
+  for (const telemetry::JsonValue &Child : Children->Items) {
+    Status Valid = validateProfileNode(Child, NumNodes);
+    if (!Valid.isOk())
+      return Valid;
+    const telemetry::JsonValue *ChildTotal = Child.find("total_s");
+    ChildrenTotalS += ChildTotal ? ChildTotal->NumberValue : 0.0;
+  }
+  if (ChildrenTotalS > TotalS->NumberValue + TolS)
+    return Status::error(Where + " children total " +
+                         std::to_string(ChildrenTotalS) +
+                         " exceeds the node total " +
+                         std::to_string(TotalS->NumberValue));
+  return Status::ok();
+}
+
+/// skatsim-profile-v1 document (`skatsim profile`): schema marker, a
+/// non-empty call tree, and the per-node invariants above.
+Status validateProfile(const std::string &Text, size_t &NumNodes) {
+  NumNodes = 0;
+  Expected<telemetry::JsonValue> Doc = telemetry::parseJson(Text);
+  if (!Doc)
+    return Status::error("not valid JSON: " + Doc.message());
+  const telemetry::JsonValue *Schema = Doc->find("schema");
+  if (!Schema || !Schema->isString() ||
+      Schema->StringValue != "skatsim-profile-v1")
+    return Status::error("lacks the skatsim-profile-v1 schema");
+  const telemetry::JsonValue *Name = Doc->find("name");
+  if (!Name || !Name->isString() || Name->StringValue.empty())
+    return Status::error("lacks a workload name");
+  const telemetry::JsonValue *WallTimeS = Doc->find("wall_time_s");
+  if (!WallTimeS || !WallTimeS->isNumber() || WallTimeS->NumberValue < 0.0)
+    return Status::error("lacks a non-negative wall_time_s");
+  const telemetry::JsonValue *Roots = Doc->find("roots");
+  if (!Roots || !Roots->isArray() || Roots->Items.empty())
+    return Status::error("holds no call-tree roots");
+  for (const telemetry::JsonValue &Root : Roots->Items) {
+    Status Valid = validateProfileNode(Root, NumNodes);
+    if (!Valid.isOk())
+      return Valid;
+  }
+  return Status::ok();
+}
+
 /// Periodic metrics snapshots: JSONL with strictly increasing `t_s`.
 Status validateSnapshots(const std::vector<std::string> &Lines) {
   double PrevTime = 0.0;
@@ -405,6 +580,37 @@ bool checkFile(const std::string &Path) {
     }
     std::printf("check_trace: %s ok (fault trace, %zu events)\n",
                 Path.c_str(), Lines.size() - 1);
+    return true;
+  }
+
+  // OTLP-style span trace: self-identifying header line.
+  if (!Lines.empty() &&
+      Lines[0].find("\"kind\": \"span_trace_header\"") !=
+          std::string::npos) {
+    size_t NumSpans = 0;
+    Status Valid = validateSpanTrace(Lines, NumSpans);
+    if (!Valid.isOk()) {
+      std::fprintf(stderr, "check_trace: '%s' invalid span trace: %s\n",
+                   Path.c_str(), Valid.message().c_str());
+      return false;
+    }
+    std::printf("check_trace: %s ok (span trace, %zu spans)\n",
+                Path.c_str(), NumSpans);
+    return true;
+  }
+
+  // Profiler report: schema marker inside a whole-file JSON document.
+  if (Text->find("\"schema\": \"skatsim-profile-v1\"") !=
+      std::string::npos) {
+    size_t NumNodes = 0;
+    Status Valid = validateProfile(*Text, NumNodes);
+    if (!Valid.isOk()) {
+      std::fprintf(stderr, "check_trace: '%s' invalid profile: %s\n",
+                   Path.c_str(), Valid.message().c_str());
+      return false;
+    }
+    std::printf("check_trace: %s ok (profile, %zu nodes)\n", Path.c_str(),
+                NumNodes);
     return true;
   }
 

@@ -27,6 +27,9 @@
 ///    reporting; use std::strtod with end-pointer checks) and `gets`.
 ///  - float-equality: `==`/`!=` against a floating-point literal; use
 ///    rcs::approxEqual / rcs::nearZero (support/Numerics.h) instead.
+///  - expected-discard: a bare statement calling a function this file
+///    declares to return `Status` or `Expected<T>` throws the error away;
+///    check the result or cast to `(void)` to mark it deliberate.
 ///
 /// Suppression: a comment containing `skatlint:ignore(<rule>)` (or a
 /// comma-separated rule list) suppresses matching findings on its own line
@@ -554,6 +557,91 @@ void checkFloatEquality(const std::string &Path,
   }
 }
 
+/// expected-discard: a whole statement that calls a function declared in
+/// this file to return Status or Expected<T> and drops the result. The
+/// file-local declaration set keeps the token-level check honest: names
+/// from other headers never trigger. `(void)f();` passes (the walk-back
+/// below lands on `)` rather than a statement boundary), `f();` does not.
+void checkExpectedDiscard(const std::string &Path,
+                          const std::vector<Token> &Toks,
+                          const SuppressionMap &Sup, LintStats &Stats) {
+  // The first identifier of a possibly-qualified function name whose
+  // parameter list opens right after `A::B::name(`; 0 when \p TypeEnd is
+  // not followed by one.
+  auto FunctionNameAfter = [&](size_t TypeEnd) -> size_t {
+    size_t J = TypeEnd;
+    while (J + 1 < Toks.size() && Toks[J].Kind == TokenKind::Identifier &&
+           Toks[J + 1].Text == "::")
+      J += 2;
+    if (J + 1 < Toks.size() && Toks[J].Kind == TokenKind::Identifier &&
+        Toks[J + 1].Text == "(")
+      return J;
+    return 0;
+  };
+
+  // Pass 1: names this file declares (or defines) with a must-check
+  // return type.
+  std::set<std::string> MustUse;
+  for (size_t I = 0; I + 1 < Toks.size(); ++I) {
+    if (Toks[I].Kind != TokenKind::Identifier)
+      continue;
+    size_t NameAt = 0;
+    if (Toks[I].Text == "Status") {
+      NameAt = FunctionNameAfter(I + 1);
+    } else if (Toks[I].Text == "Expected" && Toks[I + 1].Text == "<") {
+      int Depth = 0;
+      size_t J = I + 1;
+      for (; J < Toks.size(); ++J) {
+        if (Toks[J].Text == "<")
+          ++Depth;
+        else if (Toks[J].Text == ">" && --Depth == 0)
+          break;
+      }
+      if (J < Toks.size())
+        NameAt = FunctionNameAfter(J + 1);
+    }
+    if (NameAt != 0)
+      MustUse.insert(Toks[NameAt].Text);
+  }
+  if (MustUse.empty())
+    return;
+
+  // Pass 2: statement-position calls of those names whose value nothing
+  // consumes.
+  for (size_t I = 1; I + 1 < Toks.size(); ++I) {
+    if (Toks[I].Kind != TokenKind::Identifier ||
+        MustUse.count(Toks[I].Text) == 0 || Toks[I + 1].Text != "(")
+      continue;
+    // Walk back over the receiver/namespace chain (`obj.`, `p->`, `ns::`)
+    // to where the statement would begin.
+    size_t S = I;
+    while (S >= 2 &&
+           (Toks[S - 1].Text == "." || Toks[S - 1].Text == "->" ||
+            Toks[S - 1].Text == "::") &&
+           Toks[S - 2].Kind == TokenKind::Identifier)
+      S -= 2;
+    const std::string &Prev = Toks[S - 1].Text;
+    if (Prev != ";" && Prev != "{" && Prev != "}")
+      continue; // Assigned, returned, cast, declared — someone looks at it.
+    // The call must be the entire statement: matching ')' then ';'.
+    int Depth = 0;
+    size_t J = I + 1;
+    for (; J < Toks.size(); ++J) {
+      if (Toks[J].Text == "(")
+        ++Depth;
+      else if (Toks[J].Text == ")" && --Depth == 0)
+        break;
+    }
+    if (J + 1 >= Toks.size() || Toks[J + 1].Text != ";")
+      continue;
+    report(Stats, Sup,
+           {Path, Toks[I].Line, "expected-discard",
+            "result of '" + Toks[I].Text +
+                "' (Status/Expected) is discarded; check it or cast to "
+                "(void)"});
+  }
+}
+
 //===----------------------------------------------------------------------===//
 // Driver
 //===----------------------------------------------------------------------===//
@@ -591,6 +679,7 @@ Status lintFile(const std::string &Path, LintStats &Stats) {
   checkRangeGuard(Path, Toks, Suppressions, Stats);
   checkBannedIdiom(Path, Toks, Suppressions, Stats);
   checkFloatEquality(Path, Toks, Suppressions, Stats);
+  checkExpectedDiscard(Path, Toks, Suppressions, Stats);
   ++Stats.FilesScanned;
   return Status::ok();
 }
@@ -603,6 +692,7 @@ void printRules() {
       "range-guard           correlations must guard their validity range\n"
       "banned-idiom          rand/srand/atof/gets are forbidden\n"
       "float-equality        ==/!= against a floating literal\n"
+      "expected-discard      a Status/Expected return dropped on the floor\n"
       "\nSuppress with: // skatlint:ignore(<rule>[,<rule>...])\n");
 }
 

@@ -13,11 +13,14 @@
 ///   skatsim rack [--ambient C] [--isolate N] [--skat-plus]
 ///   skatsim transient <design> [--hours H] [--pump-fail-h T] [--csv FILE]
 ///   skatsim setpoint <design> [--limit C]
+///   skatsim profile <command> [args...] [--profile-out FILE]
 ///
 /// Every command additionally accepts `--trace FILE` (structured event
-/// trace; `.jsonl` selects JSON Lines, anything else Chrome trace_event
-/// JSON) and `--metrics FILE` (end-of-run counter/timer snapshot). See
-/// docs/OBSERVABILITY.md.
+/// trace; `.otlp.jsonl` selects the OTLP-style span schema, other
+/// `.jsonl` JSON Lines, anything else Chrome trace_event JSON) and
+/// `--metrics FILE` (end-of-run counter/timer snapshot). `profile` wraps
+/// any other command in the span-aggregating profiler, prints the call
+/// tree and writes PROFILE_<command>.json. See docs/OBSERVABILITY.md.
 ///
 /// Designs: rigel2, taygeta, ultrascale-air, skat, skat-plus,
 /// skat-plus-naive.
@@ -41,6 +44,7 @@
 #include "support/Table.h"
 #include "support/Units.h"
 #include "telemetry/Bench.h"
+#include "telemetry/Profile.h"
 #include "telemetry/Telemetry.h"
 
 #include <cstdio>
@@ -545,7 +549,37 @@ int cmdFaultsSweep(const ArgList &Args) {
   faults::SweepConfig Config;
   Config.NumReplicates = Args.getInt("replicates", 16);
   Config.NumThreads = Args.getInt("threads", 1);
+  // Live progress is a side channel (docs/OBSERVABILITY.md): the report
+  // stays bit-identical whether or not it is enabled.
+  std::FILE *ProgressOut = nullptr;
+  std::string ProgressPath = Args.getString("progress", "");
+  if (Args.has("progress")) {
+    if (ProgressPath.empty()) {
+      std::fprintf(stderr, "progress: --progress requires a file path\n");
+      return 2;
+    }
+    ProgressOut = std::fopen(ProgressPath.c_str(), "w");
+    if (!ProgressOut) {
+      std::fprintf(stderr, "progress: cannot open '%s'\n",
+                   ProgressPath.c_str());
+      return 2;
+    }
+    Config.ProgressPeriodS = Args.getDouble("progress-period", 1.0);
+    Config.OnProgress = [ProgressOut](const faults::SweepProgress &P) {
+      std::fprintf(ProgressOut,
+                   "{\"kind\": \"sweep_progress\", \"completed\": %d, "
+                   "\"total\": %d, \"elapsed_s\": %.3f, \"eta_s\": %.3f, "
+                   "\"availability_estimate\": %.6f, \"criticals\": %d}\n",
+                   P.Completed, P.Total, P.ElapsedS, P.EtaS,
+                   P.MeanAvailabilityFraction, P.Criticals);
+      std::fflush(ProgressOut);
+    };
+  }
   Expected<faults::SweepReport> Report = faults::runSweep(*Scenario, Config);
+  if (ProgressOut) {
+    std::fclose(ProgressOut);
+    std::printf("sweep progress written to %s\n", ProgressPath.c_str());
+  }
   if (!Report) {
     std::fprintf(stderr, "error: %s\n", Report.message().c_str());
     return 1;
@@ -651,10 +685,14 @@ void printUsage() {
       " [--replicate N]\n"
       "  skatsim faults sweep <scenario.json> [--replicates N]"
       " [--threads N]\n"
-      "                 [--no-bench]  (both: [--seed N] [--hours H])\n"
+      "                 [--no-bench] [--progress FILE]"
+      " [--progress-period S]\n"
+      "                 (both: [--seed N] [--hours H])\n"
+      "  skatsim profile <command> [args...] [--profile-out FILE]\n"
       "every command also accepts:\n"
-      "  --trace FILE    structured event trace (.jsonl = JSON Lines,\n"
-      "                  otherwise Chrome trace_event JSON for Perfetto)\n"
+      "  --trace FILE    structured event trace (.otlp.jsonl = OTLP-style\n"
+      "                  spans, .jsonl = JSON Lines, otherwise Chrome\n"
+      "                  trace_event JSON for Perfetto)\n"
       "  --metrics FILE  counter/timer snapshot written at exit\n");
 }
 
@@ -685,7 +723,21 @@ int main(int Argc, char **Argv) {
     return 2;
   }
   std::string Command = Argv[1];
-  ArgList Args(Argc, Argv, 2);
+  // `skatsim profile <command> ...` wraps the inner command with the
+  // span-aggregating profiler; everything else about the command line is
+  // interpreted exactly as the inner command would.
+  bool ProfileMode = Command == "profile";
+  int ArgStart = 2;
+  if (ProfileMode) {
+    if (Argc < 3 || startsWith(Argv[2], "--")) {
+      std::fprintf(stderr, "usage: skatsim profile <command> [args...]"
+                           " [--profile-out FILE]\n");
+      return 2;
+    }
+    Command = Argv[2];
+    ArgStart = 3;
+  }
+  ArgList Args(Argc, Argv, ArgStart);
 
   telemetry::Registry &Telemetry = telemetry::Registry::global();
   if (Args.has("trace") && Args.getString("trace", "").empty()) {
@@ -697,19 +749,48 @@ int main(int Argc, char **Argv) {
     return 2;
   }
   std::string TracePath = Args.getString("trace", "");
+  std::unique_ptr<telemetry::EventSink> TraceSink;
   if (!TracePath.empty()) {
     Expected<std::unique_ptr<telemetry::EventSink>> Sink =
-        endsWith(TracePath, ".jsonl")
+        endsWith(TracePath, ".otlp.jsonl")
+            ? telemetry::makeOtlpSpanSink(TracePath)
+        : endsWith(TracePath, ".jsonl")
             ? telemetry::makeJsonlSink(TracePath)
             : telemetry::makeChromeTraceSink(TracePath);
     if (!Sink) {
       std::fprintf(stderr, "trace: %s\n", Sink.message().c_str());
       return 2;
     }
-    Telemetry.setSink(std::move(*Sink));
+    TraceSink = std::move(*Sink);
   }
+  telemetry::Profiler *Profiler = nullptr;
+  if (ProfileMode) {
+    auto Prof = std::make_unique<telemetry::Profiler>();
+    Profiler = Prof.get();
+    TraceSink = TraceSink ? telemetry::makeTeeSink(std::move(Prof),
+                                                   std::move(TraceSink))
+                          : std::move(Prof);
+  }
+  if (TraceSink)
+    Telemetry.setSink(std::move(TraceSink));
 
   int ExitCode = runCommand(Command, Args);
+
+  if (Profiler) {
+    telemetry::ProfileReport Report = Profiler->report();
+    std::printf("\n%s", telemetry::renderProfileText(Report, Command).c_str());
+    std::string ProfilePath =
+        Args.getString("profile-out", "PROFILE_" + Command + ".json");
+    Status Written =
+        telemetry::writeProfileFile(Report, Command, ProfilePath);
+    if (!Written.isOk()) {
+      std::fprintf(stderr, "profile: %s\n", Written.message().c_str());
+      if (ExitCode == 0)
+        ExitCode = 1;
+    } else {
+      std::printf("profile written to %s\n", ProfilePath.c_str());
+    }
+  }
 
   Status Closed = Telemetry.closeSink();
   if (!Closed.isOk()) {
