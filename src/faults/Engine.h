@@ -52,6 +52,16 @@ struct ScenarioOutcome {
   /// run.
   bool SafeDegradedEnd = true;
   rcsystem::AlarmLevel FinalAlarm = rcsystem::AlarmLevel::Normal;
+  /// Physics-audit totals of the run (audit::PhysicsAuditor rides along
+  /// with every scenario simulation): worst energy-closure fraction over
+  /// global and per-node residuals, worst operator-splitting coupling
+  /// fraction (rack scenarios only), warn-budget violations summed over
+  /// all invariants, and whether every invariant stayed within its
+  /// critical budget.
+  double AuditMaxEnergyFraction = 0.0;
+  double AuditMaxCouplingFraction = 0.0;
+  uint64_t AuditViolationCount = 0;
+  bool AuditWithinBudget = true;
   /// Merged chronological event timeline.
   std::vector<FaultEvent> Events;
   /// Sampled worst junction temperatures (for sweep histograms).

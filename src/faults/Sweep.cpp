@@ -140,7 +140,15 @@ Expected<SweepReport> rcs::faults::runSweep(const Scenario &S,
     Summary.FaultsInjected = Out.FaultsInjected;
     Summary.ModulesShutDown = Out.ModulesShutDown;
     Summary.SafeDegradedEnd = Out.SafeDegradedEnd;
+    Summary.AuditMaxEnergyFraction = Out.AuditMaxEnergyFraction;
+    Summary.AuditViolationCount = Out.AuditViolationCount;
+    Summary.AuditWithinBudget = Out.AuditWithinBudget;
     Report.Replicates.push_back(Summary);
+
+    Report.AuditWorstEnergyFraction = std::max(
+        Report.AuditWorstEnergyFraction, Out.AuditMaxEnergyFraction);
+    if (!Out.AuditWithinBudget)
+      ++Report.AuditBudgetBreaches;
 
     AvailabilitySum += Out.AvailabilityFraction;
     ThroughputSum += Out.ThroughputRetainedFraction;
@@ -175,6 +183,8 @@ Expected<SweepReport> rcs::faults::runSweep(const Scenario &S,
       .add(static_cast<uint64_t>(Succeeded));
   Telemetry.counter("faults.sweep.criticals")
       .add(static_cast<uint64_t>(Criticals));
+  Telemetry.counter("faults.sweep.audit_breaches")
+      .add(static_cast<uint64_t>(Report.AuditBudgetBreaches));
   for (const ReplicateSummary &Summary : Report.Replicates)
     Telemetry.histogram("faults.sweep.max_junction_C")
         .record(Summary.MaxJunctionC);

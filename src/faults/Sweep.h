@@ -73,6 +73,10 @@ struct ReplicateSummary {
   int FaultsInjected = 0;
   int ModulesShutDown = 0;
   bool SafeDegradedEnd = true;
+  /// Physics-audit fold of the replicate (see ScenarioOutcome).
+  double AuditMaxEnergyFraction = 0.0;
+  uint64_t AuditViolationCount = 0;
+  bool AuditWithinBudget = true;
 };
 
 /// Aggregated sweep results.
@@ -98,6 +102,11 @@ struct SweepReport {
   static constexpr double HistogramBinWidthC = 5.0;
   static constexpr int NumHistogramBins = 24;
   int FailedReplicates = 0; ///< Replicates that errored out entirely.
+  /// Worst audit energy-closure fraction over all replicates and the
+  /// number of replicates that blew a critical audit budget (expected 0
+  /// on a healthy solver stack at any fault severity).
+  double AuditWorstEnergyFraction = 0.0;
+  int AuditBudgetBreaches = 0;
 };
 
 /// Runs the sweep. Replicate R samples hazards on stream (scenario seed,

@@ -159,6 +159,13 @@ public:
     return solve(F, T.value(), FlowScale.value());
   }
 
+  /// Dimension-checked mirror of the explicit-options overload.
+  Expected<FlowSolution> solve(const fluids::Fluid &F, units::Celsius T,
+                               units::M3PerS FlowScale,
+                               const FlowSolveOptions &SolveOptions) const {
+    return solve(F, T.value(), FlowScale.value(), SolveOptions);
+  }
+
 private:
   struct Impl;
   std::unique_ptr<Impl> PImpl;

@@ -91,6 +91,18 @@ struct RackHydraulicsConfig {
     PumpRatedHeadPa = RatedHead.value();
     return *this;
   }
+  RackHydraulicsConfig &setChillerRating(units::Pascal RatedDrop) {
+    ChillerRatedDropPa = RatedDrop.value();
+    return *this;
+  }
+  RackHydraulicsConfig &setReturnPiping(units::Meters Length) {
+    ReturnPipeLengthM = Length.value();
+    return *this;
+  }
+  RackHydraulicsConfig &setValveOpenLoss(units::Scalar LossCoefficient) {
+    ValveOpenLossCoefficient = LossCoefficient.value();
+    return *this;
+  }
   /// @}
 };
 

@@ -46,6 +46,10 @@ RackTransientSimulator::RackTransientSimulator(RackConfig RackIn,
          "the rack transient simulator models immersion modules");
 }
 
+void RackTransientSimulator::enableAudit(const audit::DriftBudgets &Budgets) {
+  Auditor = std::make_unique<audit::PhysicsAuditor>(Budgets);
+}
+
 const std::vector<std::string> &RackTransientSimulator::flightChannels() {
   static const std::vector<std::string> Channels = {
       "water_C",  "mean_oil_C", "max_junction_C",
@@ -156,6 +160,16 @@ RackTransientSimulator::run(double DurationS) {
     return static_cast<size_t>(I) < HeatW.size() ? HeatW[I] : 0.0;
   };
 
+  if (Auditor) {
+    Auditor->noteFactorCaching(Net.factorCachingEnabled());
+    Auditor->setCriticalCallback([this](const std::string &,
+                                        double BreachTimeS) {
+      if (FlightRec)
+        FlightRec->trigger("audit budget breach", BreachTimeS);
+    });
+  }
+  std::vector<double> AuditBefore;
+
   Super.reset();
   std::vector<RackTraceSample> Trace;
   size_t NextEvent = 0;
@@ -181,9 +195,11 @@ RackTransientSimulator::run(double DurationS) {
       PlantModifier(Time, Effects);
 
     double TotalDuty = 0.0;
+    double ImplicitDuty = 0.0;
     double TotalPower = 0.0;
     double MaxJunction = -1e9;
     double ThroughputSum = 0.0;
+    double StepMaxAuditFraction = 0.0;
     int DownCount = 0;
     for (int I = 0; I != NumModules; ++I) {
       // A protected module has its supply rails cut: no dynamic power
@@ -255,6 +271,8 @@ RackTransientSimulator::run(double DurationS) {
       Net.setBoundaryTemp(WaterNode, WaterTemp);
       std::vector<double> State = {ChipTemp[I], OilTemp[I], WaterTemp,
                                    AmbientTempC};
+      if (Auditor)
+        AuditBefore = State;
       Status StepStatus = Net.stepTransient(State, Config.TimeStepS);
       if (!StepStatus.isOk())
         return Expected<std::vector<RackTraceSample>>(Status::error(
@@ -262,6 +280,17 @@ RackTransientSimulator::run(double DurationS) {
       ChipTemp[I] = State[Chips];
       OilTemp[I] = State[Bath];
       MaxJunction = std::max(MaxJunction, ChipTemp[I]);
+      // What the implicit step actually transported into the shared
+      // water boundary this step; the water inventory instead integrates
+      // the begin-of-step duty (TotalDuty), so the difference is the
+      // operator-splitting coupling drift the auditor tracks.
+      ImplicitDuty += GOilWater * (OilTemp[I] - WaterTemp);
+      if (Auditor) {
+        audit::EnergyClosure Closure = Auditor->recordThermalStep(
+            Net, AuditBefore, State, Config.TimeStepS);
+        StepMaxAuditFraction =
+            std::max(StepMaxAuditFraction, Closure.Fraction);
+      }
 
       if (Config.EnableProtection && !ShutDown[I] &&
           ChipTemp[I] >= Config.ProtectionTripC) {
@@ -280,12 +309,19 @@ RackTransientSimulator::run(double DurationS) {
     // Rack alarm bank: shared-loop water temperature and the hottest
     // junction, debounced and hysteresis-qualified. Sensor faults distort
     // what the supervisor sees, never the plant itself.
+    if (Auditor) {
+      Auditor->recordCouplingDrift(TotalDuty - ImplicitDuty, TotalPower);
+      StepSpan.attr("audit_max_fraction", StepMaxAuditFraction);
+    }
+
     double Readings[2] = {WaterTemp, MaxJunction};
     if (SensorTransform)
       SensorTransform(Time, Readings, 2);
     monitor::SupervisoryReport Report = Super.update(Time, Readings, 2);
     if (FlightRec && Report.Worst == AlarmLevel::Critical)
       FlightRec->trigger("critical alarm", Time);
+    if (Auditor)
+      Auditor->updateAlarms(Time);
 
     // External degradation policy: clock shedding, load migration and
     // staged shutdown, applied from the next step on.
@@ -360,6 +396,8 @@ RackTransientSimulator::run(double DurationS) {
       Trace.push_back(Sample);
       if (SampleCallback)
         SampleCallback(Trace.back());
+      if (Auditor)
+        Auditor->emitStreamRecord(Time);
     }
   }
 

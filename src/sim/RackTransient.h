@@ -17,6 +17,7 @@
 #ifndef RCS_SIM_RACKTRANSIENT_H
 #define RCS_SIM_RACKTRANSIENT_H
 
+#include "audit/Audit.h"
 #include "monitor/FlightRecorder.h"
 #include "monitor/Supervisor.h"
 #include "sim/Transient.h"
@@ -24,6 +25,7 @@
 #include "system/Rack.h"
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 namespace rcs {
@@ -175,6 +177,18 @@ public:
     ControlPolicy = std::move(Policy);
   }
 
+  /// Enables the physics audit for subsequent run() calls: every
+  /// module's implicit step is energy-audited, the water-loop operator
+  /// splitting drift is tracked against the coupling budget, and a
+  /// Critical budget breach triggers the attached flight recorder
+  /// ("audit budget breach"). Off by default.
+  void enableAudit(const audit::DriftBudgets &Budgets =
+                       audit::DriftBudgets());
+
+  /// The physics auditor, or nullptr when auditing is disabled.
+  audit::PhysicsAuditor *auditor() { return Auditor.get(); }
+  const audit::PhysicsAuditor *auditor() const { return Auditor.get(); }
+
   /// Channel names (and order) of flight-recorder frames.
   static const std::vector<std::string> &flightChannels();
 
@@ -192,6 +206,7 @@ private:
   std::vector<Event> Events;
   monitor::Supervisor Super;
   monitor::FlightRecorder *FlightRec = nullptr;
+  std::unique_ptr<audit::PhysicsAuditor> Auditor;
   std::function<void(const RackTraceSample &)> SampleCallback;
   RackPlantModifierFn PlantModifier;
   SensorTransformFn SensorTransform;

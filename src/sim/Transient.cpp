@@ -57,6 +57,10 @@ TransientSimulator::TransientSimulator(ModuleConfig ModuleIn,
          "the transient simulator models immersion modules");
 }
 
+void TransientSimulator::enableAudit(const audit::DriftBudgets &Budgets) {
+  Auditor = std::make_unique<audit::PhysicsAuditor>(Budgets);
+}
+
 const std::vector<std::string> &TransientSimulator::flightChannels() {
   static const std::vector<std::string> Channels = {
       "junction_C", "oil_C",      "power_W",
@@ -177,6 +181,16 @@ Expected<std::vector<TraceSample>> TransientSimulator::run(double DurationS) {
     Water->enablePropertyCache();
   }
 
+  if (Auditor) {
+    Auditor->noteFactorCaching(Net.factorCachingEnabled());
+    Auditor->setCriticalCallback(
+        [this](const std::string &, double BreachTimeS) {
+          if (FlightRec)
+            FlightRec->trigger("audit budget breach", BreachTimeS);
+        });
+  }
+  std::vector<double> AuditBefore;
+
   Super.reset();
   std::vector<TraceSample> Trace;
   size_t NextEvent = 0;
@@ -279,12 +293,21 @@ Expected<std::vector<TraceSample>> TransientSimulator::run(double DurationS) {
     Net.setHeatSource(Bath, MiscHeat);
     Net.setBoundaryTemp(WaterNode, WaterInlet);
     std::vector<double> State = {ChipTemp, OilTemp, WaterInlet};
+    if (Auditor)
+      AuditBefore = State;
     Status StepStatus = Net.stepTransient(State, Config.TimeStepS);
     if (!StepStatus.isOk())
       return Expected<std::vector<TraceSample>>(
           Status::error("transient step failed: " + StepStatus.message()));
     ChipTemp = State[Chips];
     OilTemp = State[Bath];
+
+    if (Auditor) {
+      audit::EnergyClosure Closure = Auditor->recordThermalStep(
+          Net, AuditBefore, State, Config.TimeStepS);
+      StepSpan.attr("audit_residual_w", Closure.ResidualW);
+      StepSpan.attr("audit_fraction", Closure.Fraction);
+    }
 
     StepCount.add();
     if (Telemetry.tracingEnabled())
@@ -312,6 +335,8 @@ Expected<std::vector<TraceSample>> TransientSimulator::run(double DurationS) {
       if (SensorTransform)
         SensorTransform(Time, Readings, 3);
       monitor::SupervisoryReport Report = Super.update(Time, Readings, 3);
+      if (Auditor)
+        Auditor->updateAlarms(Time);
       ControlAction Action = ControlPolicy
                                  ? ControlPolicy(Time, Report)
                                  : monitor::recommendModuleAction(Report);
@@ -362,6 +387,8 @@ Expected<std::vector<TraceSample>> TransientSimulator::run(double DurationS) {
       Trace.push_back(Sample);
       if (SampleCallback)
         SampleCallback(Trace.back());
+      if (Auditor)
+        Auditor->emitStreamRecord(Time);
     }
   }
 

@@ -18,6 +18,7 @@
 #ifndef RCS_SIM_TRANSIENT_H
 #define RCS_SIM_TRANSIENT_H
 
+#include "audit/Audit.h"
 #include "monitor/FlightRecorder.h"
 #include "monitor/Supervisor.h"
 #include "support/Status.h"
@@ -25,6 +26,7 @@
 #include "system/Monitoring.h"
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 namespace rcs {
@@ -159,6 +161,20 @@ public:
     ControlPolicy = std::move(Policy);
   }
 
+  /// Enables the physics audit for subsequent run() calls: every
+  /// implicit step's energy closure is checked against \p Budgets, the
+  /// audit alarm bank is fed each control period, and a Critical budget
+  /// breach triggers the attached flight recorder ("audit budget
+  /// breach") exactly like a plant trip. Auditing is off by default; the
+  /// cost is gated by the `overhead_audit` bench ratio.
+  void enableAudit(const audit::DriftBudgets &Budgets =
+                       audit::DriftBudgets());
+
+  /// The physics auditor, or nullptr when auditing is disabled. Attach
+  /// an `.audit.jsonl` stream or read the summary here after run().
+  audit::PhysicsAuditor *auditor() { return Auditor.get(); }
+  const audit::PhysicsAuditor *auditor() const { return Auditor.get(); }
+
   /// Channel names (and order) of flight-recorder frames.
   static const std::vector<std::string> &flightChannels();
 
@@ -176,6 +192,7 @@ private:
   std::vector<Event> Events;
   monitor::Supervisor Super;
   monitor::FlightRecorder *FlightRec = nullptr;
+  std::unique_ptr<audit::PhysicsAuditor> Auditor;
   std::function<void(const TraceSample &)> SampleCallback;
   PlantModifierFn PlantModifier;
   SensorTransformFn SensorTransform;

@@ -393,6 +393,31 @@ ThermalNetwork::boundaryHeatFlowW(NodeId Node,
   return Flow;
 }
 
+std::vector<double>
+ThermalNetwork::transientResidualsW(const std::vector<double> &Before,
+                                    const std::vector<double> &After,
+                                    double DtS) const {
+  assert(Before.size() == Nodes.size() && After.size() == Nodes.size() &&
+         "state size mismatch");
+  assert(DtS > 0.0 && "nonpositive time step");
+  std::vector<double> Residual(Nodes.size(), 0.0);
+  for (size_t I = 0, E = Nodes.size(); I != E; ++I) {
+    if (Nodes[I].Boundary)
+      continue;
+    Residual[I] =
+        Nodes[I].CapacitanceJPerK * (After[I] - Before[I]) / DtS -
+        Nodes[I].SourceW;
+  }
+  for (const Edge &Ed : Edges) {
+    double Flow = Ed.GWPerK * (After[Ed.B] - After[Ed.A]);
+    if (!Nodes[Ed.A].Boundary)
+      Residual[Ed.A] -= Flow;
+    if (!Nodes[Ed.B].Boundary)
+      Residual[Ed.B] += Flow;
+  }
+  return Residual;
+}
+
 double ThermalNetwork::steadyStateResidualW(
     const std::vector<double> &Temps) const {
   assert(Temps.size() == Nodes.size() && "state size mismatch");

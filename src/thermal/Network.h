@@ -149,6 +149,18 @@ public:
   /// near zero for a converged steady state (energy conservation check).
   double steadyStateResidualW(const std::vector<double> &Temps) const;
 
+  /// Per-node implicit-Euler energy-balance residuals of the step that
+  /// advanced \p Before to \p After over \p DtS seconds:
+  ///   R_i = C_i (After_i - Before_i) / DtS - Q_i - sum_j G_ij (After_j -
+  ///   After_i)
+  /// for internal nodes; boundary entries are zero. A converged implicit
+  /// step closes each control volume to linear-solver round-off, so the
+  /// audit layer (src/audit) can budget the drift at machine-epsilon
+  /// scale. Both states must hold one temperature per node.
+  std::vector<double> transientResidualsW(const std::vector<double> &Before,
+                                          const std::vector<double> &After,
+                                          double DtS) const;
+
 private:
   struct Node {
     std::string Name;

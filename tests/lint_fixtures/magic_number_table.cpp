@@ -1,0 +1,40 @@
+// Fixture for the magic-number-table rule: repeated floating literals in
+// braced table initializers must be hoisted into named constants (or
+// carry an inline justification). Exact expected counts live in
+// tests/CMakeLists.txt; keep them in sync when editing.
+
+namespace fixture {
+
+// Violation: 2.5 is copy-pasted four times with no named constant.
+const double FanCurveLpm[] = {
+    0.0, 2.5, 1.5, 2.5,
+    3.5, 2.5, 4.0, 2.5,
+};
+
+// Violation: the repeated ceiling 97.5 in a nested row table.
+const double EfficiencyBandTable[][2] = {
+    {10.0, 97.5},
+    {20.0, 97.5},
+    {30.0, 97.5},
+};
+
+// Clean: 0.0 / 1.0 repeats are structural padding, not magic numbers.
+const double IdentityRows[] = {1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0};
+
+// Clean: a named constant repeated by reference, the fix the rule asks for.
+constexpr double RatedSlopeWPerC = 3.75;
+const double CalibrationSlopesWPerC[] = {
+    RatedSlopeWPerC, RatedSlopeWPerC, RatedSlopeWPerC,
+    4.25, 4.75, 5.25,
+};
+
+// Clean: too few literals to count as a table; small aggregates may
+// repeat values structurally.
+const double PairMm[] = {6.5, 6.5};
+
+// Suppressed: the duplicated anchor is intentional (shared calibration
+// point between the two bands) and justified inline.
+// skatlint:ignore(magic-number-table) both bands pin the 5.5 anchor point
+const double JustifiedAnchorsMm[] = {5.5, 5.5, 5.5, 6.0, 7.0, 8.0};
+
+} // namespace fixture

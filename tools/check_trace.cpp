@@ -26,6 +26,15 @@
 ///    schema marker, written by `skatsim profile`): call-tree
 ///    invariants — self <= total, children's total bounded by the
 ///    parent's, min <= max — checked on every node;
+///  - physics-audit streams (JSONL with an `audit_trace_header` first
+///    line, see audit/Audit.h): header schema and invariant list,
+///    chronological `audit_sample` lines with non-negative fractions,
+///    well-formed `audit_alarm` transitions, and a closing
+///    `audit_summary` line;
+///  - physics-audit reports (a JSON document with the `skatsim-audit-v1`
+///    schema marker, written by `skatsim audit`): five invariant
+///    entries with mean <= max drift, budget-consistent verdicts, and a
+///    convergence block;
 ///  - metrics snapshot streams (JSONL lines with `t_s` and `counters`):
 ///    valid lines with strictly increasing timestamps;
 ///  - Prometheus text exposition (leading `# TYPE` comment): every line a
@@ -362,6 +371,155 @@ Status validateSpanTrace(const std::vector<std::string> &Lines,
   return Status::ok();
 }
 
+/// Physics-audit stream (audit/Audit.h): an `audit_trace_header` line
+/// with the `skatsim-audit-v1` schema and a non-empty invariant list,
+/// then chronologically non-decreasing `audit_sample` lines (free to
+/// interleave with `audit_alarm` transition lines), closed by exactly one
+/// `audit_summary` line as the stream's last record. \p NumSamples
+/// counts audit_sample lines.
+Status validateAuditStream(const std::vector<std::string> &Lines,
+                           size_t &NumSamples) {
+  NumSamples = 0;
+  const std::string &Header = Lines[0];
+  Status HeaderJson = telemetry::validateJson(Header);
+  if (!HeaderJson.isOk())
+    return Status::error("header is not valid JSON: " +
+                         HeaderJson.message());
+  std::string Schema;
+  size_t NumInvariants = 0;
+  if (!findString(Header, "schema", Schema) || Schema != "skatsim-audit-v1")
+    return Status::error("header lacks the skatsim-audit-v1 schema");
+  if (!countArrayItems(Header, "invariants", NumInvariants) ||
+      NumInvariants == 0)
+    return Status::error("header lacks an invariant list");
+
+  bool SawSummary = false;
+  double PrevTime = 0.0;
+  for (size_t I = 1; I != Lines.size(); ++I) {
+    const std::string &Line = Lines[I];
+    std::string Where = "audit line " + std::to_string(I + 1);
+    Status LineJson = telemetry::validateJson(Line);
+    if (!LineJson.isOk())
+      return Status::error(Where + " is not valid JSON: " +
+                           LineJson.message());
+    if (SawSummary)
+      return Status::error(Where + " follows the audit_summary line");
+    if (Line.find("\"kind\": \"audit_summary\"") != std::string::npos) {
+      double ThermalSteps = 0.0;
+      if (!findNumber(Line, "thermal_steps", ThermalSteps) ||
+          ThermalSteps < 0.0)
+        return Status::error(Where + " lacks thermal_steps");
+      if (Line.find("\"within_budget\": ") == std::string::npos)
+        return Status::error(Where + " lacks within_budget");
+      SawSummary = true;
+      continue;
+    }
+    if (Line.find("\"kind\": \"audit_alarm\"") != std::string::npos) {
+      std::string Sensor, From, To;
+      if (!findString(Line, "sensor", Sensor) || Sensor.empty())
+        return Status::error(Where + " (alarm) lacks a sensor name");
+      if (!findString(Line, "from", From) || !findString(Line, "to", To) ||
+          From == To)
+        return Status::error(Where + " (alarm) lacks a state transition");
+      continue;
+    }
+    if (Line.find("\"kind\": \"audit_sample\"") == std::string::npos)
+      return Status::error(Where + " has an unknown record kind");
+    double Time = 0.0, EnergyFraction = 0.0;
+    if (!findNumber(Line, "t_s", Time))
+      return Status::error(Where + " lacks t_s");
+    if (NumSamples > 0 && Time < PrevTime)
+      return Status::error(Where + " time " + std::to_string(Time) +
+                           " runs backwards past " +
+                           std::to_string(PrevTime));
+    PrevTime = Time;
+    if (!findNumber(Line, "energy_fraction", EnergyFraction) ||
+        EnergyFraction < 0.0)
+      return Status::error(Where +
+                           " lacks a non-negative energy_fraction");
+    if (Line.find("\"worst_level\": \"") == std::string::npos)
+      return Status::error(Where + " lacks worst_level");
+    ++NumSamples;
+  }
+  if (NumSamples == 0)
+    return Status::error("no audit samples");
+  if (!SawSummary)
+    return Status::error("stream lacks a closing audit_summary line");
+  return Status::ok();
+}
+
+/// skatsim-audit-v1 report document (`skatsim audit`): five invariant
+/// entries whose statistics are internally consistent (mean <= max,
+/// verdict matching the budgets) plus a convergence block. \p
+/// NumInvariants counts the invariant entries.
+Status validateAuditReport(const std::string &Text, size_t &NumInvariants) {
+  NumInvariants = 0;
+  Expected<telemetry::JsonValue> Doc = telemetry::parseJson(Text);
+  if (!Doc)
+    return Status::error("not valid JSON: " + Doc.message());
+  const telemetry::JsonValue *Schema = Doc->find("schema");
+  if (!Schema || !Schema->isString() ||
+      Schema->StringValue != "skatsim-audit-v1")
+    return Status::error("lacks the skatsim-audit-v1 schema");
+  const telemetry::JsonValue *Command = Doc->find("command");
+  if (!Command || !Command->isString() || Command->StringValue.empty())
+    return Status::error("lacks the audited command name");
+  const telemetry::JsonValue *WithinBudget = Doc->find("within_budget");
+  if (!WithinBudget || !WithinBudget->isBool())
+    return Status::error("lacks a boolean within_budget verdict");
+  const telemetry::JsonValue *Invariants = Doc->find("invariants");
+  if (!Invariants || !Invariants->isArray() || Invariants->Items.empty())
+    return Status::error("holds no invariant entries");
+  bool AnyInvariantFailed = false;
+  for (const telemetry::JsonValue &Inv : Invariants->Items) {
+    const telemetry::JsonValue *Name = Inv.find("name");
+    if (!Name || !Name->isString() || Name->StringValue.empty())
+      return Status::error("invariant entry lacks a name");
+    std::string Where = "invariant '" + Name->StringValue + "'";
+    const telemetry::JsonValue *Samples = Inv.find("samples");
+    const telemetry::JsonValue *MaxAbs = Inv.find("max_abs");
+    const telemetry::JsonValue *MeanAbs = Inv.find("mean_abs");
+    const telemetry::JsonValue *MaxFraction = Inv.find("max_fraction");
+    const telemetry::JsonValue *Critical = Inv.find("critical_fraction");
+    const telemetry::JsonValue *EntryOk = Inv.find("within_budget");
+    if (!Samples || !Samples->isNumber() || Samples->NumberValue < 0.0)
+      return Status::error(Where + " lacks a sample count");
+    if (!MaxAbs || !MaxAbs->isNumber() || !MeanAbs || !MeanAbs->isNumber())
+      return Status::error(Where + " lacks max_abs/mean_abs");
+    if (!MaxFraction || !MaxFraction->isNumber() ||
+        MaxFraction->NumberValue < 0.0)
+      return Status::error(Where + " lacks a non-negative max_fraction");
+    if (!Critical || !Critical->isNumber() || Critical->NumberValue <= 0.0)
+      return Status::error(Where + " lacks a positive critical_fraction");
+    if (!EntryOk || !EntryOk->isBool())
+      return Status::error(Where + " lacks a within_budget verdict");
+    const double TolAbs = 1e-9 * (1.0 + std::fabs(MaxAbs->NumberValue));
+    if (MeanAbs->NumberValue > MaxAbs->NumberValue + TolAbs)
+      return Status::error(Where + " mean_abs exceeds max_abs");
+    bool Expected = MaxFraction->NumberValue <= Critical->NumberValue;
+    if (EntryOk->BoolValue != Expected)
+      return Status::error(Where +
+                           " verdict disagrees with its budgets");
+    if (!EntryOk->BoolValue)
+      AnyInvariantFailed = true;
+    ++NumInvariants;
+  }
+  if (AnyInvariantFailed && WithinBudget->BoolValue)
+    return Status::error("within_budget is true despite a failed "
+                         "invariant");
+  const telemetry::JsonValue *Convergence = Doc->find("convergence");
+  if (!Convergence || !Convergence->isObject())
+    return Status::error("lacks a convergence block");
+  for (const char *Key : {"thermal_steps", "flow_solves",
+                          "max_newton_iterations",
+                          "non_monotone_residuals", "unconverged_solves"}) {
+    const telemetry::JsonValue *Value = Convergence->find(Key);
+    if (!Value || !Value->isNumber() || Value->NumberValue < 0.0)
+      return Status::error(std::string("convergence block lacks ") + Key);
+  }
+  return Status::ok();
+}
+
 /// One call-tree node of a skatsim-profile-v1 document: checks the
 /// aggregation invariants recursively and counts nodes into \p NumNodes.
 Status validateProfileNode(const telemetry::JsonValue &Node,
@@ -596,6 +754,38 @@ bool checkFile(const std::string &Path) {
     }
     std::printf("check_trace: %s ok (span trace, %zu spans)\n",
                 Path.c_str(), NumSpans);
+    return true;
+  }
+
+  // Physics-audit stream: self-identifying header line.
+  if (!Lines.empty() &&
+      Lines[0].find("\"kind\": \"audit_trace_header\"") !=
+          std::string::npos) {
+    size_t NumSamples = 0;
+    Status Valid = validateAuditStream(Lines, NumSamples);
+    if (!Valid.isOk()) {
+      std::fprintf(stderr, "check_trace: '%s' invalid audit stream: %s\n",
+                   Path.c_str(), Valid.message().c_str());
+      return false;
+    }
+    std::printf("check_trace: %s ok (audit stream, %zu samples)\n",
+                Path.c_str(), NumSamples);
+    return true;
+  }
+
+  // Physics-audit report: schema marker inside a whole-file JSON document
+  // (the JSONL audit stream shares the schema string but is caught by its
+  // header line above).
+  if (Text->find("\"schema\": \"skatsim-audit-v1\"") != std::string::npos) {
+    size_t NumInvariants = 0;
+    Status Valid = validateAuditReport(*Text, NumInvariants);
+    if (!Valid.isOk()) {
+      std::fprintf(stderr, "check_trace: '%s' invalid audit report: %s\n",
+                   Path.c_str(), Valid.message().c_str());
+      return false;
+    }
+    std::printf("check_trace: %s ok (audit report, %zu invariants)\n",
+                Path.c_str(), NumInvariants);
     return true;
   }
 

@@ -30,6 +30,10 @@
 ///  - expected-discard: a bare statement calling a function this file
 ///    declares to return `Status` or `Expected<T>` throws the error away;
 ///    check the result or cast to `(void)` to mark it deliberate.
+///  - magic-number-table: a non-trivial floating literal repeated three or
+///    more times inside one braced table initializer is a copy-pasted
+///    magic number; hoist it into a named constant (or justify the
+///    repetition with a suppression) so the table has one source of truth.
 ///
 /// Suppression: a comment containing `skatlint:ignore(<rule>)` (or a
 /// comma-separated rule list) suppresses matching findings on its own line
@@ -642,6 +646,70 @@ void checkExpectedDiscard(const std::string &Path,
   }
 }
 
+/// magic-number-table: a floating literal repeated inside one braced
+/// initializer. Findings anchor at the initializer's opening brace, so a
+/// single `skatlint:ignore(magic-number-table)` comment above the table
+/// justifies every repeat it contains.
+void checkMagicNumberTable(const std::string &Path,
+                           const std::vector<Token> &Toks,
+                           const SuppressionMap &Sup, LintStats &Stats) {
+  // Fewer literals than this is a small aggregate initializer, not a
+  // data table; repetition there is usually structural.
+  constexpr int MinTableLiterals = 6;
+  constexpr int MinRepeats = 3;
+  // Structural values that legitimately pad tables.
+  auto IsTrivial = [](const std::string &Text) {
+    return Text == "0.0" || Text == "1.0" || Text == "0.5" || Text == "2.0" ||
+           Text == "10.0" || Text == "100.0" || Text == "1e-3" ||
+           Text == "1e-6" || Text == "1e-9" || Text == "1e3" ||
+           Text == "1e6" || Text == "1e9";
+  };
+  for (size_t I = 0; I + 1 < Toks.size(); ++I) {
+    if (Toks[I].Text != "=" || Toks[I + 1].Text != "{")
+      continue;
+    size_t Open = I + 1;
+    // First-seen order, so reports are deterministic by table position.
+    std::vector<std::pair<std::string, int>> Counts;
+    int NumLiterals = 0;
+    int Depth = 0;
+    size_t J = Open;
+    for (; J < Toks.size(); ++J) {
+      if (Toks[J].Text == "{") {
+        ++Depth;
+        continue;
+      }
+      if (Toks[J].Text == "}" && --Depth == 0)
+        break;
+      if (!isFloatLiteral(Toks[J]))
+        continue;
+      ++NumLiterals;
+      auto It = std::find_if(Counts.begin(), Counts.end(),
+                             [&](const auto &E) {
+                               return E.first == Toks[J].Text;
+                             });
+      if (It == Counts.end())
+        Counts.push_back({Toks[J].Text, 1});
+      else
+        ++It->second;
+    }
+    if (J >= Toks.size())
+      break;
+    if (NumLiterals >= MinTableLiterals) {
+      for (const auto &[Text, N] : Counts) {
+        if (N < MinRepeats || IsTrivial(Text))
+          continue;
+        report(Stats, Sup,
+               {Path, Toks[Open].Line, "magic-number-table",
+                "literal '" + Text + "' repeats " + std::to_string(N) +
+                    " times in this initializer; hoist it into a named "
+                    "constant or justify with "
+                    "skatlint:ignore(magic-number-table)"});
+      }
+    }
+    I = J;
+  }
+}
+
 //===----------------------------------------------------------------------===//
 // Driver
 //===----------------------------------------------------------------------===//
@@ -680,6 +748,7 @@ Status lintFile(const std::string &Path, LintStats &Stats) {
   checkBannedIdiom(Path, Toks, Suppressions, Stats);
   checkFloatEquality(Path, Toks, Suppressions, Stats);
   checkExpectedDiscard(Path, Toks, Suppressions, Stats);
+  checkMagicNumberTable(Path, Toks, Suppressions, Stats);
   ++Stats.FilesScanned;
   return Status::ok();
 }
@@ -693,6 +762,8 @@ void printRules() {
       "banned-idiom          rand/srand/atof/gets are forbidden\n"
       "float-equality        ==/!= against a floating literal\n"
       "expected-discard      a Status/Expected return dropped on the floor\n"
+      "magic-number-table    a floating literal repeated >= 3 times in one\n"
+      "                      table initializer; name it or justify it\n"
       "\nSuppress with: // skatlint:ignore(<rule>[,<rule>...])\n");
 }
 

@@ -14,23 +14,30 @@
 ///   skatsim transient <design> [--hours H] [--pump-fail-h T] [--csv FILE]
 ///   skatsim setpoint <design> [--limit C]
 ///   skatsim profile <command> [args...] [--profile-out FILE]
+///   skatsim audit <command> [args...] [--audit-out FILE]
+///                 [--audit-trace FILE]
 ///
 /// Every command additionally accepts `--trace FILE` (structured event
 /// trace; `.otlp.jsonl` selects the OTLP-style span schema, other
 /// `.jsonl` JSON Lines, anything else Chrome trace_event JSON) and
 /// `--metrics FILE` (end-of-run counter/timer snapshot). `profile` wraps
 /// any other command in the span-aggregating profiler, prints the call
-/// tree and writes PROFILE_<command>.json. See docs/OBSERVABILITY.md.
+/// tree and writes PROFILE_<command>.json. `audit` wraps a command in the
+/// physics auditor (docs/AUDIT.md), prints the invariant closure table
+/// and writes AUDIT_<command>.json. See docs/OBSERVABILITY.md.
 ///
 /// Designs: rigel2, taygeta, ultrascale-air, skat, skat-plus,
 /// skat-plus-naive.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "audit/Audit.h"
 #include "core/ConfigIO.h"
 #include "core/DesignSpace.h"
 #include "core/Designs.h"
 #include "faults/Engine.h"
+#include "fluids/Fluid.h"
+#include "hydraulics/Manifold.h"
 #include "faults/Scenario.h"
 #include "faults/Sweep.h"
 #include "faults/Trace.h"
@@ -101,6 +108,66 @@ private:
   std::map<std::string, std::string> Flags;
   std::vector<std::string> Positional;
 };
+
+/// `skatsim audit <command>` state, set in main() before dispatch: the
+/// wrapped command runs with a physics auditor armed and finishes by
+/// printing the closure table and writing AUDIT_<command>.json.
+bool AuditMode = false;
+audit::DriftBudgets AuditBudgets;
+
+/// Arms \p Sim's auditor when running under `skatsim audit` and attaches
+/// the --audit-trace stream. Returns the auditor (nullptr outside audit
+/// mode) for finishAudit.
+template <typename SimT>
+audit::PhysicsAuditor *maybeEnableAudit(SimT &Sim, const ArgList &Args) {
+  if (!AuditMode)
+    return nullptr;
+  Sim.enableAudit(AuditBudgets);
+  std::string TracePath = Args.getString("audit-trace", "");
+  if (!TracePath.empty()) {
+    Status Attached = Sim.auditor()->attachStream(TracePath);
+    if (!Attached.isOk())
+      std::fprintf(stderr, "audit: %s\n", Attached.message().c_str());
+  }
+  return Sim.auditor();
+}
+
+/// Closes the audit of one command: finishes the stream, prints the
+/// closure table and writes the report. Returns the exit code the audit
+/// asks for (1 = a critical budget blown or an artifact unwritable).
+int finishAudit(audit::PhysicsAuditor *Auditor, const std::string &Command,
+                const ArgList &Args) {
+  if (!Auditor)
+    return 0;
+  int Code = 0;
+  if (Auditor->streaming()) {
+    Status Finished = Auditor->finishStream();
+    if (!Finished.isOk()) {
+      std::fprintf(stderr, "audit: %s\n", Finished.message().c_str());
+      Code = 1;
+    } else {
+      std::printf("audit stream written to %s\n",
+                  Args.getString("audit-trace", "").c_str());
+    }
+  }
+  const audit::AuditSummary &Summary = Auditor->summary();
+  std::printf("\nphysics audit (%s):\n%s", Command.c_str(),
+              audit::formatClosureTable(Summary, Auditor->budgets()).c_str());
+  std::string ReportPath =
+      Args.getString("audit-out", "AUDIT_" + Command + ".json");
+  Status Written = audit::writeAuditReport(ReportPath, Command, Summary,
+                                           Auditor->budgets());
+  if (!Written.isOk()) {
+    std::fprintf(stderr, "audit: %s\n", Written.message().c_str());
+    return 1;
+  }
+  std::printf("audit report written to %s\n", ReportPath.c_str());
+  if (!Summary.withinBudgets(Auditor->budgets())) {
+    std::fprintf(stderr, "audit: drift exceeded a critical budget\n");
+    return 1;
+  }
+  return Code;
+}
 
 Expected<ModuleConfig> designByName(const std::string &Name) {
   std::string Key = toLower(Name);
@@ -226,6 +293,28 @@ int cmdRack(const ArgList &Args) {
   std::printf("%s", T.render().c_str());
   for (const std::string &Warning : Report->Warnings)
     std::printf("warning: %s\n", Warning.c_str());
+
+  // Audit mode additionally solves the rack primary loop standalone and
+  // checks the hydraulic invariants of the solution (continuity, edge
+  // pressure closure, Newton health) against the drift budgets.
+  if (AuditMode) {
+    audit::PhysicsAuditor Auditor(AuditBudgets);
+    hydraulics::RackHydraulics Loop =
+        hydraulics::buildRackPrimaryLoop(Config.Hydraulics);
+    auto Water = fluids::makeWater();
+    double FlowScale = Config.Hydraulics.PumpRatedFlowM3PerS;
+    Expected<hydraulics::FlowSolution> Solution = Loop.Network.solve(
+        *Water, Config.ChillerSupplyTempC, FlowScale);
+    if (!Solution) {
+      std::fprintf(stderr, "audit: hydraulic solve failed: %s\n",
+                   Solution.message().c_str());
+      return 1;
+    }
+    Auditor.recordFlowSolution(Loop.Network, *Solution, *Water,
+                               Config.ChillerSupplyTempC, FlowScale);
+    Auditor.updateAlarms(0.0);
+    return finishAudit(&Auditor, "rack", Args);
+  }
   return 0;
 }
 
@@ -249,6 +338,7 @@ int cmdTransient(const ArgList &Args) {
   if (Args.has("pump-fail-h"))
     Simulator.schedulePumpSpeed(Args.getDouble("pump-fail-h", 1.0) * 3600.0,
                                 0.0);
+  audit::PhysicsAuditor *Auditor = maybeEnableAudit(Simulator, Args);
   Expected<std::vector<sim::TraceSample>> Trace =
       Simulator.run(Hours * 3600.0);
   if (!Trace) {
@@ -279,7 +369,7 @@ int cmdTransient(const ArgList &Args) {
               Last.TimeS / 3600.0, Last.MaxJunctionTempC, Last.OilTempC,
               Last.TotalPowerW / 1000.0, alarmLevelName(Last.Alarm),
               Last.ShutDown ? " (shut down)" : "");
-  return 0;
+  return finishAudit(Auditor, "transient", Args);
 }
 
 /// Shared tail of `skatsim monitor`: reports the flight recorder and
@@ -379,6 +469,7 @@ int cmdMonitor(const ArgList &Args) {
           sim::RackTransientSimulator::flightChannels(), FlightConfig);
       Simulator.attachFlightRecorder(Recorder.get());
     }
+    audit::PhysicsAuditor *Auditor = maybeEnableAudit(Simulator, Args);
     Simulator.supervisor().setTransitionCallback(PrintTransition);
     if (Snapshots)
       Simulator.setSampleCallback([&](const sim::RackTraceSample &S) {
@@ -399,8 +490,10 @@ int cmdMonitor(const ArgList &Args) {
                 Last.TimeS / 3600.0, Last.WaterTempC,
                 Last.MaxJunctionTempC, Last.ModulesShutDown,
                 alarmLevelName(Last.Alarm));
-    return finishMonitor(Args, Recorder.get(), Snapshots.get(),
-                         Simulator.supervisor().allTransitions().size());
+    int Code = finishMonitor(Args, Recorder.get(), Snapshots.get(),
+                             Simulator.supervisor().allTransitions().size());
+    int AuditCode = finishAudit(Auditor, "monitor", Args);
+    return Code != 0 ? Code : AuditCode;
   }
 
   Expected<ModuleConfig> Config = designByName(Args.positional()[0]);
@@ -429,6 +522,7 @@ int cmdMonitor(const ArgList &Args) {
         sim::TransientSimulator::flightChannels(), FlightConfig);
     Simulator.attachFlightRecorder(Recorder.get());
   }
+  audit::PhysicsAuditor *Auditor = maybeEnableAudit(Simulator, Args);
   Simulator.supervisor().setTransitionCallback(PrintTransition);
   if (Snapshots)
     Simulator.setSampleCallback([&](const sim::TraceSample &S) {
@@ -447,8 +541,10 @@ int cmdMonitor(const ArgList &Args) {
               Last.TimeS / 3600.0, Last.MaxJunctionTempC, Last.OilTempC,
               alarmLevelName(Last.Alarm),
               Last.ShutDown ? " (shut down)" : "");
-  return finishMonitor(Args, Recorder.get(), Snapshots.get(),
-                       Simulator.supervisor().allTransitions().size());
+  int Code = finishMonitor(Args, Recorder.get(), Snapshots.get(),
+                           Simulator.supervisor().allTransitions().size());
+  int AuditCode = finishAudit(Auditor, "monitor", Args);
+  return Code != 0 ? Code : AuditCode;
 }
 
 int cmdSetpoint(const ArgList &Args) {
@@ -522,6 +618,11 @@ int cmdFaultsRun(const ArgList &Args) {
               Outcome->ActionsTaken, Outcome->ModulesShutDown);
   std::printf("  safe degraded end     %s\n",
               Outcome->SafeDegradedEnd ? "yes" : "NO");
+  std::printf("  physics audit         max energy frac %.3e, violations "
+              "%llu, within budget %s\n",
+              Outcome->AuditMaxEnergyFraction,
+              static_cast<unsigned long long>(Outcome->AuditViolationCount),
+              Outcome->AuditWithinBudget ? "yes" : "NO");
   std::printf("event timeline (%zu events):\n", Outcome->Events.size());
   for (const faults::FaultEvent &Event : Outcome->Events)
     std::printf("  %9.1f s  %-8s %-20s %s\n", Event.TimeS,
@@ -603,6 +704,10 @@ int cmdFaultsSweep(const ArgList &Args) {
                 Report->MttfEstimateHours);
   else
     std::printf("  MTTF estimate     beyond horizon (no Criticals)\n");
+  std::printf("  physics audit     worst energy frac %.3e, budget "
+              "breaches %d\n",
+              Report->AuditWorstEnergyFraction,
+              Report->AuditBudgetBreaches);
   if (Report->FailedReplicates != 0)
     std::printf("  FAILED replicates %d\n", Report->FailedReplicates);
   uint64_t BinnedSamples = 0;
@@ -635,6 +740,9 @@ int cmdFaultsSweep(const ArgList &Args) {
     Bench.addMetric("critical_fraction", Report->CriticalFraction);
     Bench.addMetric("mttf_estimate_h", Report->MttfEstimateHours);
     Bench.addMetric("failed_replicates", Report->FailedReplicates);
+    Bench.addMetric("audit_worst_energy_fraction",
+                    Report->AuditWorstEnergyFraction);
+    Bench.addMetric("audit_budget_breaches", Report->AuditBudgetBreaches);
     Bench.writeOrWarn(Report->FailedReplicates == 0);
     std::printf("bench summary written to %s\n", Bench.path().c_str());
   }
@@ -689,6 +797,11 @@ void printUsage() {
       " [--progress-period S]\n"
       "                 (both: [--seed N] [--hours H])\n"
       "  skatsim profile <command> [args...] [--profile-out FILE]\n"
+      "  skatsim audit <command> [args...] [--audit-out FILE]"
+      " [--audit-trace FILE]\n"
+      "                [--audit-energy-warn F] [--audit-energy-critical F]\n"
+      "                [--audit-coupling-warn F]"
+      " [--audit-coupling-critical F]\n"
       "every command also accepts:\n"
       "  --trace FILE    structured event trace (.otlp.jsonl = OTLP-style\n"
       "                  spans, .jsonl = JSON Lines, otherwise Chrome\n"
@@ -737,7 +850,38 @@ int main(int Argc, char **Argv) {
     Command = Argv[2];
     ArgStart = 3;
   }
+  // `skatsim audit <command> ...` runs the inner command with the physics
+  // auditor armed (audit/Audit.h): conservation and convergence drift are
+  // checked against budgets, the closure table is printed, and
+  // AUDIT_<command>.json is written. A blown critical budget fails the
+  // process.
+  if (Command == "audit") {
+    if (ArgStart >= Argc || startsWith(Argv[ArgStart], "--")) {
+      std::fprintf(stderr,
+                   "usage: skatsim audit <command> [args...]"
+                   " [--audit-out FILE] [--audit-trace FILE]\n");
+      return 2;
+    }
+    AuditMode = true;
+    Command = Argv[ArgStart];
+    ++ArgStart;
+  }
   ArgList Args(Argc, Argv, ArgStart);
+  if (AuditMode) {
+    AuditBudgets.EnergyFractionWarn = units::Scalar(Args.getDouble(
+        "audit-energy-warn", AuditBudgets.EnergyFractionWarn.value()));
+    AuditBudgets.EnergyFractionCritical = units::Scalar(Args.getDouble(
+        "audit-energy-critical",
+        AuditBudgets.EnergyFractionCritical.value()));
+    AuditBudgets.EnergyNodeFractionWarn = AuditBudgets.EnergyFractionWarn;
+    AuditBudgets.EnergyNodeFractionCritical =
+        AuditBudgets.EnergyFractionCritical;
+    AuditBudgets.CouplingFractionWarn = units::Scalar(Args.getDouble(
+        "audit-coupling-warn", AuditBudgets.CouplingFractionWarn.value()));
+    AuditBudgets.CouplingFractionCritical = units::Scalar(Args.getDouble(
+        "audit-coupling-critical",
+        AuditBudgets.CouplingFractionCritical.value()));
+  }
 
   telemetry::Registry &Telemetry = telemetry::Registry::global();
   if (Args.has("trace") && Args.getString("trace", "").empty()) {
