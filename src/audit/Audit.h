@@ -192,6 +192,12 @@ public:
   /// Invoked once per alarm transition whose new level is Critical, with
   /// the sensor name and time — wire this to FlightRecorder::trigger so
   /// budget breaches dump evidence like plant trips.
+  ///
+  /// Threading: the callback fires synchronously on the thread calling
+  /// updateAlarms(). An auditor is thread-confined to its simulator —
+  /// sweep replicates each own one — so the callback needs no internal
+  /// locking, but any state it shares across replicates must be atomic
+  /// or `RCS_GUARDED_BY` an `rcs::Mutex` (support/ThreadSafety.h).
   void setCriticalCallback(
       std::function<void(const std::string &Sensor, double TimeS)> Callback);
 

@@ -7,12 +7,12 @@
 #include "faults/Sweep.h"
 
 #include "support/Parallel.h"
+#include "support/ThreadSafety.h"
 #include "telemetry/Span.h"
 #include "telemetry/Telemetry.h"
 
 #include <algorithm>
 #include <cmath>
-#include <mutex>
 
 using namespace rcs;
 using namespace rcs::faults;
@@ -38,20 +38,25 @@ Expected<SweepReport> rcs::faults::runSweep(const Scenario &S,
   // replicate order and never reads them, so enabling progress cannot
   // change the report.
   struct ProgressState {
-    std::mutex Mutex;
-    double StartS = 0.0;
-    double LastEmitS = 0.0;
-    int Completed = 0;
-    int Criticals = 0;
-    double AvailabilitySum = 0.0;
+    rcs::Mutex Mutex;
+    double StartS RCS_GUARDED_BY(Mutex) = 0.0;
+    double LastEmitS RCS_GUARDED_BY(Mutex) = 0.0;
+    int Completed RCS_GUARDED_BY(Mutex) = 0;
+    int Criticals RCS_GUARDED_BY(Mutex) = 0;
+    double AvailabilitySum RCS_GUARDED_BY(Mutex) = 0.0;
   };
   ProgressState Progress;
-  Progress.StartS = Telemetry.nowSeconds();
-  Progress.LastEmitS = Progress.StartS;
+  {
+    // Locked even though workers have not started yet: it costs one
+    // uncontended acquire and keeps the thread-safety analysis exact.
+    rcs::LockGuard Lock(Progress.Mutex);
+    Progress.StartS = Telemetry.nowSeconds();
+    Progress.LastEmitS = Progress.StartS;
+  }
   auto NoteReplicateDone = [&](const ScenarioOutcome *Out, bool Final) {
     SweepProgress Snapshot;
     {
-      std::lock_guard<std::mutex> Lock(Progress.Mutex);
+      rcs::LockGuard Lock(Progress.Mutex);
       if (Out) {
         ++Progress.Completed;
         Progress.AvailabilitySum += Out->AvailabilityFraction;

@@ -12,6 +12,16 @@
 /// states instead of raw classifications, so a single noisy sample at a
 /// threshold boundary no longer toggles pump speed or clocks.
 ///
+/// Threading contract: a Supervisor is thread-confined, like the
+/// simulators that own one — update()/acknowledgeAll()/reset() must all
+/// come from the same thread, and transition callbacks run synchronously
+/// on that thread. When sweep replicates run on the support/Parallel.h
+/// pool, each replicate constructs its own Supervisor, so banks never
+/// cross threads; anything a callback touches that *is* shared across
+/// replicates (telemetry, progress tallies) must be atomic or
+/// `RCS_GUARDED_BY` an `rcs::Mutex` (support/ThreadSafety.h) — the
+/// telemetry::Registry the bank reports to already is.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RCS_MONITOR_SUPERVISOR_H

@@ -12,6 +12,18 @@
 /// then performed sequentially by the caller, which keeps results bit-exact
 /// regardless of thread count or scheduling.
 ///
+/// Memory-visibility contract (checked by the TSan CI leg and, for
+/// lock-based state, Clang's `-Wthread-safety` via support/ThreadSafety.h):
+///  - thread creation inside parallelFor happens-after everything the
+///    caller did before the call, and the final joins happen-before it
+///    returns — so slots written by workers are safe to read afterwards
+///    without synchronization, provided no two items share a slot;
+///  - each item index is claimed exactly once, so per-item slots are
+///    thread-confined while the loop runs;
+///  - any state shared *across* items (progress tallies, caches,
+///    observer callbacks) must be `RCS_GUARDED_BY` an `rcs::Mutex` or
+///    atomic — see faults/Sweep.cpp's ProgressState for the pattern.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RCS_SUPPORT_PARALLEL_H

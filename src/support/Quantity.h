@@ -178,6 +178,10 @@ using WattsPerKelvin =
     Quantity<Dimension<2, 1, -3, -1>>;               ///< Conductance, UA.
 using KelvinPerWatt =
     Quantity<Dimension<-2, -1, 3, 1>>;               ///< Thermal resistance.
+using KelvinPerPascal =
+    Quantity<Dimension<1, -1, 2, 1>>;                ///< Temperature cost of
+                                                     ///< pressure (sweep
+                                                     ///< score weights).
 using JoulesPerKelvin =
     Quantity<Dimension<2, 1, -2, -1>>;               ///< Heat capacitance.
 using JoulesPerKgKelvin =
@@ -353,6 +357,12 @@ static_assert(std::is_same_v<decltype(PascalSeconds(1e-3) / KgPerM3(1000.0)),
 static_assert(std::is_same_v<decltype(1.0 / WattsPerKelvin(4.0)),
                              KelvinPerWatt>,
               "1 / G must be a resistance");
+static_assert(std::is_same_v<decltype(TempDelta(2.0) / Pascal(10000.0)),
+                             KelvinPerPascal>,
+              "dT / dP must be a pressure weight");
+static_assert(std::is_same_v<decltype(KelvinPerPascal(2e-4) * Pascal(500.0)),
+                             TempDelta>,
+              "weight * dP must be a temperature cost");
 static_assert(std::is_same_v<decltype(Pascal(100.0) * M3PerS(0.02)), Watts>,
               "dP * Q must be a hydraulic power");
 // skatlint:ignore(float-equality) -- exact constexpr arithmetic on

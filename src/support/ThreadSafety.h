@@ -1,0 +1,120 @@
+//===- support/ThreadSafety.h - Clang thread-safety annotations -*- C++ -*-===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Clang `-Wthread-safety` annotation macros plus the annotated mutex
+/// wrappers every lock in `src/` must go through (enforced by the
+/// skatlint `raw-mutex` rule; see docs/STATIC_ANALYSIS.md).
+///
+/// The macros expand to Clang capability attributes under Clang and to
+/// nothing elsewhere, so GCC builds are unaffected while the CI Clang
+/// legs (`SKATSIM_WERROR=ON` promotes `-Wthread-safety` to an error)
+/// statically prove that every access to a `RCS_GUARDED_BY` member
+/// happens with its mutex held. `tests/threadsafety_misuse.cpp` is the
+/// negative-compile proof that a violation fails the Clang build.
+///
+/// Conventions:
+///  - protected state is declared `RCS_GUARDED_BY(Mutex)` right where it
+///    lives, so the locking contract is visible at the declaration;
+///  - private helpers that assume the lock is already held are declared
+///    `RCS_REQUIRES(Mutex)` instead of re-locking;
+///  - code that must opt out (e.g. a once-only init before threads
+///    exist) uses a scoped `rcs::LockGuard` anyway — it is cheap and
+///    keeps the analysis airtight — or, as a last resort,
+///    `RCS_NO_THREAD_SAFETY_ANALYSIS` with a justification comment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_SUPPORT_THREADSAFETY_H
+#define RCS_SUPPORT_THREADSAFETY_H
+
+#include <mutex>
+
+#if defined(__clang__) && !defined(SWIG)
+#define RCS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define RCS_THREAD_ANNOTATION(x) // no-op outside Clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex" in diagnostics).
+#define RCS_CAPABILITY(x) RCS_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define RCS_SCOPED_CAPABILITY RCS_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member may only be read or written with \p x held.
+#define RCS_GUARDED_BY(x) RCS_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* may only be accessed with \p x held.
+#define RCS_PT_GUARDED_BY(x) RCS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the listed capabilities to be held on entry (and
+/// does not release them).
+#define RCS_REQUIRES(...) \
+  RCS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities (held on return).
+#define RCS_ACQUIRE(...) \
+  RCS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities (or, with no argument on a
+/// scoped capability, whatever the object holds).
+#define RCS_RELEASE(...) \
+  RCS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function attempts the acquisition; the first argument is the return
+/// value that means success.
+#define RCS_TRY_ACQUIRE(...) \
+  RCS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the listed capabilities (deadlock guard for
+/// functions that acquire them internally).
+#define RCS_EXCLUDES(...) RCS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Escape hatch: disables the analysis for one function. Every use needs
+/// an adjacent justification comment.
+#define RCS_NO_THREAD_SAFETY_ANALYSIS \
+  RCS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace rcs {
+
+/// An annotated `std::mutex`: identical cost, but Clang knows it is a
+/// capability, so `RCS_GUARDED_BY(SomeMutex)` members are statically
+/// checked against it. All of `src/` locks through this wrapper (the
+/// skatlint `raw-mutex` rule rejects bare `std::mutex`).
+class RCS_CAPABILITY("mutex") Mutex {
+public:
+  Mutex() = default;
+  Mutex(const Mutex &) = delete;
+  Mutex &operator=(const Mutex &) = delete;
+
+  void lock() RCS_ACQUIRE() { Raw.lock(); }
+  void unlock() RCS_RELEASE() { Raw.unlock(); }
+  bool tryLock() RCS_TRY_ACQUIRE(true) { return Raw.try_lock(); }
+
+private:
+  // The single sanctioned raw mutex: every other lock in src/ goes
+  // through this wrapper so the annotations see it.
+  std::mutex Raw; // skatlint:ignore(raw-mutex) -- wrapper implementation
+};
+
+/// RAII scoped lock over rcs::Mutex, annotated so Clang tracks the
+/// critical section (including early returns). Mirrors std::lock_guard:
+/// no unlock-before-destruction, no try semantics.
+class RCS_SCOPED_CAPABILITY LockGuard {
+public:
+  explicit LockGuard(Mutex &M) RCS_ACQUIRE(M) : M(M) { M.lock(); }
+  ~LockGuard() RCS_RELEASE() { M.unlock(); }
+  LockGuard(const LockGuard &) = delete;
+  LockGuard &operator=(const LockGuard &) = delete;
+
+private:
+  Mutex &M;
+};
+
+} // namespace rcs
+
+#endif // RCS_SUPPORT_THREADSAFETY_H

@@ -35,7 +35,10 @@ void BenchReport::addMetric(std::string_view Key, std::string_view Value) {
 }
 
 std::string BenchReport::path() const {
-  const char *Dir = std::getenv("SKATSIM_BENCH_DIR");
+  // Read once from the bench main thread; nothing in skatsim calls
+  // setenv, so the getenv race concurrency-mt-unsafe guards against
+  // cannot occur.
+  const char *Dir = std::getenv("SKATSIM_BENCH_DIR"); // NOLINT(concurrency-mt-unsafe)
   std::string Prefix = Dir && *Dir ? std::string(Dir) + "/" : "";
   return Prefix + "BENCH_" + Name + ".json";
 }

@@ -27,17 +27,19 @@ struct Profiler::AggNode {
 };
 
 struct Profiler::Impl {
-  mutable std::mutex Mutex;
+  mutable rcs::Mutex Mutex;
   /// Completed root spans (ParentId 0), merged by name.
-  std::map<std::string, AggNode, std::less<>> Roots;
+  std::map<std::string, AggNode, std::less<>> Roots RCS_GUARDED_BY(Mutex);
   /// Completed subtrees waiting for their parent span to finish, keyed
   /// by that parent's span id.
-  std::map<uint64_t, std::map<std::string, AggNode, std::less<>>> Pending;
+  std::map<uint64_t, std::map<std::string, AggNode, std::less<>>> Pending
+      RCS_GUARDED_BY(Mutex);
   /// Duration distribution per span name, for p50/p95/p99.
-  std::map<std::string, Histogram, std::less<>> ByName;
-  bool SeenSpan = false;
-  double FirstStartS = 0.0;
-  double LastEndS = 0.0;
+  std::map<std::string, Histogram, std::less<>> ByName
+      RCS_GUARDED_BY(Mutex);
+  bool SeenSpan RCS_GUARDED_BY(Mutex) = false;
+  double FirstStartS RCS_GUARDED_BY(Mutex) = 0.0;
+  double LastEndS RCS_GUARDED_BY(Mutex) = 0.0;
 };
 
 namespace {
@@ -82,7 +84,7 @@ void Profiler::instant(double, std::string_view, const EventField *,
 Status Profiler::close() { return Status::ok(); }
 
 void Profiler::span(const SpanRecord &Rec) {
-  std::lock_guard<std::mutex> Lock(State->Mutex);
+  LockGuard Lock(State->Mutex);
 
   double EndS = Rec.StartS + Rec.DurationS;
   if (!State->SeenSpan) {
@@ -179,7 +181,7 @@ ProfileNode toProfileNode(const std::string &Name, const AggNode &Node,
 } // namespace
 
 ProfileReport Profiler::report() const {
-  std::lock_guard<std::mutex> Lock(State->Mutex);
+  LockGuard Lock(State->Mutex);
 
   // Orphans — spans whose parent never closed (still open at snapshot
   // time, or mis-nested) — surface at root level instead of vanishing.

@@ -34,7 +34,7 @@ double Histogram::bucketLowerBound(int Bucket) {
 }
 
 void Histogram::record(double Sample) {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  LockGuard Lock(Mutex);
   if (Count == 0) {
     Min = Sample;
     Max = Sample;
@@ -48,33 +48,33 @@ void Histogram::record(double Sample) {
 }
 
 uint64_t Histogram::count() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  LockGuard Lock(Mutex);
   return Count;
 }
 
 double Histogram::sum() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  LockGuard Lock(Mutex);
   return Sum;
 }
 
 double Histogram::mean() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  LockGuard Lock(Mutex);
   return Count == 0 ? 0.0 : Sum / static_cast<double>(Count);
 }
 
 double Histogram::minValue() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  LockGuard Lock(Mutex);
   return Count == 0 ? 0.0 : Min;
 }
 
 double Histogram::maxValue() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  LockGuard Lock(Mutex);
   return Count == 0 ? 0.0 : Max;
 }
 
 uint64_t Histogram::bucketCount(int Bucket) const {
   assert(Bucket >= 0 && Bucket < NumBuckets && "bucket out of range");
-  std::lock_guard<std::mutex> Lock(Mutex);
+  LockGuard Lock(Mutex);
   return Buckets[Bucket];
 }
 
@@ -111,7 +111,7 @@ double Histogram::quantileLocked(double Q) const {
 }
 
 double Histogram::quantile(double Q) const {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  LockGuard Lock(Mutex);
   return quantileLocked(Q);
 }
 
@@ -133,7 +133,7 @@ Registry &Registry::global() {
 }
 
 Counter &Registry::counter(std::string_view Name) {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  LockGuard Lock(Mutex);
   auto It = Counters.find(Name);
   if (It == Counters.end())
     It = Counters
@@ -144,7 +144,7 @@ Counter &Registry::counter(std::string_view Name) {
 }
 
 Gauge &Registry::gauge(std::string_view Name) {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  LockGuard Lock(Mutex);
   auto It = Gauges.find(Name);
   if (It == Gauges.end())
     It = Gauges
@@ -155,7 +155,7 @@ Gauge &Registry::gauge(std::string_view Name) {
 }
 
 Histogram &Registry::histogram(std::string_view Name) {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  LockGuard Lock(Mutex);
   auto It = Histograms.find(Name);
   if (It == Histograms.end())
     It = Histograms
@@ -166,7 +166,7 @@ Histogram &Registry::histogram(std::string_view Name) {
 }
 
 SpanStats Registry::timerStats(std::string_view Label) const {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  LockGuard Lock(Mutex);
   auto It = Spans.find(Label);
   return It == Spans.end() ? SpanStats() : It->second;
 }
@@ -179,7 +179,7 @@ double Registry::nowSeconds() const {
 
 void Registry::setSink(std::unique_ptr<EventSink> NewSink) {
   (void)closeSink();
-  std::lock_guard<std::mutex> Lock(Mutex);
+  LockGuard Lock(Mutex);
   Sink = std::move(NewSink);
   TracingOn.store(Sink != nullptr, std::memory_order_relaxed);
 }
@@ -187,7 +187,7 @@ void Registry::setSink(std::unique_ptr<EventSink> NewSink) {
 Status Registry::closeSink() {
   std::unique_ptr<EventSink> Old;
   {
-    std::lock_guard<std::mutex> Lock(Mutex);
+    LockGuard Lock(Mutex);
     Old = std::move(Sink);
     TracingOn.store(false, std::memory_order_relaxed);
   }
@@ -199,13 +199,13 @@ void Registry::emitEvent(std::string_view Name,
   if (!tracingEnabled())
     return;
   double TimeS = nowSeconds();
-  std::lock_guard<std::mutex> Lock(Mutex);
+  LockGuard Lock(Mutex);
   if (Sink)
     Sink->instant(TimeS, Name, Fields.begin(), Fields.size());
 }
 
 SpanStats &Registry::spanStatsSlot(std::string_view Label) {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  LockGuard Lock(Mutex);
   auto It = Spans.find(Label);
   if (It == Spans.end())
     It = Spans.emplace(std::string(Label), SpanStats()).first;
@@ -213,7 +213,7 @@ SpanStats &Registry::spanStatsSlot(std::string_view Label) {
 }
 
 void Registry::recordSpan(SpanStats &Slot, const SpanRecord &Rec) {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  LockGuard Lock(Mutex);
   if (Slot.Count == 0) {
     Slot.MinS = Rec.DurationS;
     Slot.MaxS = Rec.DurationS;
@@ -228,7 +228,7 @@ void Registry::recordSpan(SpanStats &Slot, const SpanRecord &Rec) {
 }
 
 MetricsSnapshot Registry::snapshotMetrics() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  LockGuard Lock(Mutex);
   MetricsSnapshot Snapshot;
   Snapshot.Counters.reserve(Counters.size());
   for (const auto &[Name, C] : Counters)
@@ -238,7 +238,7 @@ MetricsSnapshot Registry::snapshotMetrics() const {
     Snapshot.Gauges.emplace_back(Name, G.value());
   Snapshot.Histograms.reserve(Histograms.size());
   for (const auto &[Name, H] : Histograms) {
-    std::lock_guard<std::mutex> HLock(H.Mutex);
+    LockGuard HLock(H.Mutex);
     HistogramSnapshot S;
     S.Count = H.Count;
     S.Sum = H.Sum;
@@ -257,7 +257,7 @@ MetricsSnapshot Registry::snapshotMetrics() const {
 }
 
 std::string Registry::metricsJson() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  LockGuard Lock(Mutex);
   std::string Out = "{\n  \"counters\": {";
   bool First = true;
   for (const auto &[Name, C] : Counters) {
@@ -282,7 +282,7 @@ std::string Registry::metricsJson() const {
   for (const auto &[Name, H] : Histograms) {
     Out += First ? "\n" : ",\n";
     First = false;
-    std::lock_guard<std::mutex> HLock(H.Mutex);
+    LockGuard HLock(H.Mutex);
     Out += "    " + jsonQuote(Name) + ": {\"count\": " +
            std::to_string(H.Count) + ", \"sum\": " + jsonNumber(H.Sum) +
            ", \"min\": " + jsonNumber(H.Count ? H.Min : 0.0) +
@@ -323,13 +323,13 @@ Status Registry::writeMetricsFile(const std::string &Path) const {
 }
 
 void Registry::resetMetrics() {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  LockGuard Lock(Mutex);
   for (auto &[Name, C] : Counters)
     C.Value.store(0, std::memory_order_relaxed);
   for (auto &[Name, G] : Gauges)
     G.Value.store(0.0, std::memory_order_relaxed);
   for (auto &[Name, H] : Histograms) {
-    std::lock_guard<std::mutex> HLock(H.Mutex);
+    LockGuard HLock(H.Mutex);
     H.Count = 0;
     H.Sum = H.Min = H.Max = 0.0;
     std::fill(std::begin(H.Buckets), std::end(H.Buckets), 0);

@@ -29,6 +29,7 @@
 #define RCS_TELEMETRY_TELEMETRY_H
 
 #include "support/Status.h"
+#include "support/ThreadSafety.h"
 
 #include <atomic>
 #include <chrono>
@@ -36,7 +37,6 @@
 #include <initializer_list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -117,13 +117,13 @@ public:
 
 private:
   friend class Registry;
-  double quantileLocked(double Q) const; ///< Mutex must be held.
-  mutable std::mutex Mutex;
-  uint64_t Count = 0;
-  double Sum = 0.0;
-  double Min = 0.0;
-  double Max = 0.0;
-  uint64_t Buckets[NumBuckets] = {};
+  double quantileLocked(double Q) const RCS_REQUIRES(Mutex);
+  mutable rcs::Mutex Mutex;
+  uint64_t Count RCS_GUARDED_BY(Mutex) = 0;
+  double Sum RCS_GUARDED_BY(Mutex) = 0.0;
+  double Min RCS_GUARDED_BY(Mutex) = 0.0;
+  double Max RCS_GUARDED_BY(Mutex) = 0.0;
+  uint64_t Buckets[NumBuckets] RCS_GUARDED_BY(Mutex) = {};
 };
 
 /// Aggregated wall time of all ScopedTimer spans sharing one label.
@@ -333,14 +333,19 @@ private:
   /// sink when tracing.
   void recordSpan(SpanStats &Slot, const SpanRecord &Rec);
 
-  mutable std::mutex Mutex;
-  std::map<std::string, Counter, std::less<>> Counters;
-  std::map<std::string, Gauge, std::less<>> Gauges;
-  std::map<std::string, Histogram, std::less<>> Histograms;
-  std::map<std::string, SpanStats, std::less<>> Spans;
-  std::unique_ptr<EventSink> Sink;
+  // Lock order: Registry::Mutex before any Histogram::Mutex (snapshot
+  // and reset hold both); nothing ever locks them the other way.
+  mutable rcs::Mutex Mutex;
+  std::map<std::string, Counter, std::less<>> Counters
+      RCS_GUARDED_BY(Mutex);
+  std::map<std::string, Gauge, std::less<>> Gauges RCS_GUARDED_BY(Mutex);
+  std::map<std::string, Histogram, std::less<>> Histograms
+      RCS_GUARDED_BY(Mutex);
+  std::map<std::string, SpanStats, std::less<>> Spans
+      RCS_GUARDED_BY(Mutex);
+  std::unique_ptr<EventSink> Sink RCS_GUARDED_BY(Mutex);
   std::atomic<bool> TracingOn{false};
-  std::chrono::steady_clock::time_point Epoch;
+  std::chrono::steady_clock::time_point Epoch; ///< Immutable after init.
 };
 
 namespace detail {

@@ -1,0 +1,41 @@
+//===- tests/lint_fixtures/raw_mutex.cpp - raw-mutex rule -----------------===//
+//
+// Fixture for the raw-mutex rule: four findings, one suppressed, and a
+// block of wrapper-based patterns that must stay silent. Not meant to
+// compile — skatlint never runs the compiler.
+//
+//===----------------------------------------------------------------------===//
+
+#include <mutex> // ok: preprocessor lines never tokenize
+
+namespace rcs {
+class Mutex {};
+class LockGuard {};
+} // namespace rcs
+
+struct BadCache {
+  std::mutex Lock;               // FINDING: raw mutex member
+  std::condition_variable Ready; // FINDING: raw condvar member
+  int Hits = 0;
+};
+
+void badTouch(BadCache &Cache) {
+  std::lock_guard<std::mutex> Guard(Cache.Lock); // FINDING x2: guard + type arg
+  ++Cache.Hits;
+}
+
+// skatlint:ignore(raw-mutex) -- fixture: sanctioned wrapper internals
+std::mutex TheOneRawMutex;
+
+struct GoodCache {
+  rcs::Mutex Lock; // ok: annotated wrapper
+  int Hits = 0;
+};
+
+void goodTouch(GoodCache &Cache) {
+  rcs::LockGuard Guard(Cache.Lock); // ok: annotated scoped lock
+  ++Cache.Hits;
+}
+
+// ok: the word mutex outside std:: qualification (comments, identifiers)
+void describeMutexPolicy(int MutexCount);

@@ -1,0 +1,48 @@
+//===- tests/lint_fixtures/unguarded_shared_static.cpp --------------------===//
+//
+// Fixture for the unguarded-shared-static rule: four findings, one
+// suppressed, and a block of safe static patterns that must stay silent.
+// Not meant to compile — skatlint never runs the compiler.
+//
+//===----------------------------------------------------------------------===//
+
+#define RCS_GUARDED_BY(x)
+
+namespace rcs {
+class Mutex {};
+} // namespace rcs
+
+static int GlobalHitCount;        // FINDING: file-scope mutable static
+static double LastSampleBuffer[8]; // FINDING: file-scope mutable array
+
+namespace cache {
+static long EvictionTally = 0; // FINDING: namespace-scope mutable static
+} // namespace cache
+
+struct Registry {
+  static Registry *ActiveInstance; // FINDING: class-scope mutable static
+
+  // skatlint:ignore(unguarded-shared-static) -- fixture: init-once before threads
+  static int BootPhase;
+};
+
+// --- safe patterns below: none of these may fire -------------------------
+
+static const int MaxRetries = 3;             // ok: const
+static constexpr double TickSeconds = 0.25;  // ok: constexpr
+static thread_local int ReentryDepth = 0;    // ok: thread-confined
+static std::atomic<int> LiveWorkers{0};      // ok: atomic
+static std::once_flag InitOnce;              // ok: once_flag
+static rcs::Mutex TallyMutex;                // ok: a mutex is the guard
+static int GuardedTally RCS_GUARDED_BY(TallyMutex); // ok: annotated
+
+static int nextSequence();   // ok: function declaration
+static int bumpAndGet() {    // ok: function definition
+  static int Sequence = 0;   // ok: function-local static (magic static)
+  return ++Sequence;
+}
+
+class Histogram {
+  static constexpr int NumBuckets = 18; // ok: class-scope constexpr
+  static double lowerBound(int Bucket); // ok: static member function
+};

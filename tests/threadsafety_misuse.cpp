@@ -1,0 +1,71 @@
+//===- tests/threadsafety_misuse.cpp - Thread-safety negcompile -----------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Positive/negative control for the Clang -Wthread-safety analysis over
+// support/ThreadSafety.h. Compiled macro-free into thread_safety_test it
+// must build warning-free: every access below follows the lock
+// discipline the annotations declare. The negcompile_threadsafety_*
+// ctest entries (Clang only) rebuild this file with one TS_* macro
+// defined, enabling a single discipline violation that
+// -Werror=thread-safety must reject — proving the annotations are live,
+// not decorative.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadSafety.h"
+
+namespace {
+
+/// The canonical annotated shape used across src/: a mutex plus the
+/// state it guards, with every access under RCS_GUARDED_BY discipline.
+class GuardedTally {
+public:
+  void bump() {
+    rcs::LockGuard Lock(Mutex);
+    ++Value;
+  }
+
+  int read() const {
+    rcs::LockGuard Lock(Mutex);
+    return Value;
+  }
+
+  /// Callers must already hold the lock; read() shows the conforming
+  /// call pattern.
+  int readLocked() const RCS_REQUIRES(Mutex) { return Value; }
+
+#ifdef TS_READ_WITHOUT_LOCK
+  // VIOLATION: reads guarded state with no lock held. Clang:
+  // "reading variable 'Value' requires holding mutex 'Mutex'".
+  int racyRead() const { return Value; }
+#endif
+
+#ifdef TS_REQUIRES_NOT_HELD
+  // VIOLATION: calls a RCS_REQUIRES member without acquiring the lock.
+  // Clang: "calling function 'readLocked' requires holding mutex".
+  int skipLock() const { return readLocked(); }
+#endif
+
+private:
+  mutable rcs::Mutex Mutex;
+  int Value RCS_GUARDED_BY(Mutex) = 0;
+};
+
+} // namespace
+
+namespace rcs {
+
+/// Anchors the control class so the object file exercises the
+/// conforming paths; referenced from thread_safety_test to keep the
+/// linker honest.
+int threadSafetyMisuseAnchor() {
+  GuardedTally Tally;
+  Tally.bump();
+  Tally.bump();
+  return Tally.read();
+}
+
+} // namespace rcs

@@ -34,6 +34,12 @@
 ///    more times inside one braced table initializer is a copy-pasted
 ///    magic number; hoist it into a named constant (or justify the
 ///    repetition with a suppression) so the table has one source of truth.
+///  - raw-mutex: direct use of std::mutex/std::lock_guard (and friends)
+///    bypasses the Clang thread-safety analysis; lock through rcs::Mutex /
+///    rcs::LockGuard (support/ThreadSafety.h) or justify a suppression.
+///  - unguarded-shared-static: a mutable static at namespace or class
+///    scope is reachable from every thread; it must be RCS_GUARDED_BY a
+///    mutex, atomic, const/constexpr, or carry a justified suppression.
 ///
 /// Suppression: a comment containing `skatlint:ignore(<rule>)` (or a
 /// comma-separated rule list) suppresses matching findings on its own line
@@ -710,6 +716,129 @@ void checkMagicNumberTable(const std::string &Path,
   }
 }
 
+/// raw-mutex: `std::mutex` and the rest of the raw locking vocabulary are
+/// invisible to Clang's thread-safety analysis; all of src/ locks through
+/// the annotated rcs::Mutex / rcs::LockGuard wrappers instead
+/// (support/ThreadSafety.h), so `RCS_GUARDED_BY` members are actually
+/// checked. `#include <mutex>` lines do not trigger (the tokenizer drops
+/// preprocessor lines); only spelled-out std:: lock types do.
+void checkRawMutex(const std::string &Path, const std::vector<Token> &Toks,
+                   const SuppressionMap &Sup, LintStats &Stats) {
+  static const char *const RawLockTypes[] = {
+      "mutex",          "timed_mutex",
+      "recursive_mutex", "recursive_timed_mutex",
+      "shared_mutex",   "shared_timed_mutex",
+      "lock_guard",     "unique_lock",
+      "scoped_lock",    "shared_lock",
+      "condition_variable", "condition_variable_any",
+  };
+  for (size_t I = 0; I + 2 < Toks.size(); ++I) {
+    if (Toks[I].Kind != TokenKind::Identifier || Toks[I].Text != "std" ||
+        Toks[I + 1].Text != "::" ||
+        Toks[I + 2].Kind != TokenKind::Identifier)
+      continue;
+    for (const char *Type : RawLockTypes) {
+      if (Toks[I + 2].Text == Type) {
+        report(Stats, Sup,
+               {Path, Toks[I].Line, "raw-mutex",
+                "'std::" + Toks[I + 2].Text +
+                    "' bypasses the thread-safety annotations; use "
+                    "rcs::Mutex / rcs::LockGuard (support/ThreadSafety.h) "
+                    "or justify a suppression"});
+        break;
+      }
+    }
+  }
+}
+
+/// unguarded-shared-static: mutable `static` state at file, namespace or
+/// class scope is shared by every thread that touches the library. The
+/// declaration must make its synchronization visible: RCS_GUARDED_BY /
+/// RCS_PT_GUARDED_BY, std::atomic / std::once_flag, an rcs::Mutex itself,
+/// const/constexpr/constinit immutability, or thread_local confinement.
+/// Function-local statics are not flagged (magic statics are
+/// init-thread-safe, and the repo's are all immutable-after-init or
+/// atomic — the raw-mutex and guarded-by layers cover their contents).
+void checkUnguardedSharedStatic(const std::string &Path,
+                                const std::vector<Token> &Toks,
+                                const SuppressionMap &Sup,
+                                LintStats &Stats) {
+  enum class Scope { Namespace, Class, Other };
+  // Classifies the region that opens with the `{` at \p Open by scanning
+  // back to the previous statement/brace boundary: `namespace ... {`,
+  // `class/struct/union/enum ... {`, anything else (function bodies,
+  // control flow, lambdas, braced initializers).
+  auto ClassifyBrace = [&](size_t Open) {
+    for (size_t K = Open; K-- > 0;) {
+      const Token &T = Toks[K];
+      if (T.Text == ";" || T.Text == "{" || T.Text == "}" || T.Text == ")")
+        break;
+      if (T.Kind != TokenKind::Identifier)
+        continue;
+      if (T.Text == "namespace")
+        return Scope::Namespace;
+      if (T.Text == "class" || T.Text == "struct" || T.Text == "union" ||
+          T.Text == "enum")
+        return Scope::Class;
+    }
+    return Scope::Other;
+  };
+
+  std::vector<Scope> Stack;
+  for (size_t I = 0; I < Toks.size(); ++I) {
+    if (Toks[I].Text == "{") {
+      Stack.push_back(ClassifyBrace(I));
+      continue;
+    }
+    if (Toks[I].Text == "}") {
+      if (!Stack.empty())
+        Stack.pop_back();
+      continue;
+    }
+    if (Toks[I].Kind != TokenKind::Identifier || Toks[I].Text != "static")
+      continue;
+    bool SharedScope =
+        Stack.empty() || Stack.back() == Scope::Namespace ||
+        Stack.back() == Scope::Class;
+    if (!SharedScope)
+      continue;
+
+    // Walk the declaration. A declarator followed by `(` before any `=`
+    // is a function (fine); immunity words make the sharing safe.
+    bool Safe = false;
+    std::string Name = "declaration";
+    size_t J = I + 1;
+    for (; J < Toks.size(); ++J) {
+      const std::string &T = Toks[J].Text;
+      if (T == ";" || T == "=" || T == "{")
+        break;
+      if (Toks[J].Kind == TokenKind::Identifier) {
+        if (T == "const" || T == "constexpr" || T == "constinit" ||
+            T == "thread_local" || T == "atomic" || T == "once_flag" ||
+            T == "Mutex" || T == "RCS_GUARDED_BY" ||
+            T == "RCS_PT_GUARDED_BY") {
+          Safe = true;
+          break;
+        }
+        Name = T;
+        if (J + 1 < Toks.size() && Toks[J + 1].Text == "(") {
+          Safe = true; // function declaration/definition
+          break;
+        }
+      }
+    }
+    if (Safe)
+      continue;
+    report(Stats, Sup,
+           {Path, Toks[I].Line, "unguarded-shared-static",
+            "mutable shared static '" + Name +
+                "' has no visible synchronization; mark it "
+                "RCS_GUARDED_BY(<mutex>), make it atomic/const, or "
+                "justify with skatlint:ignore(unguarded-shared-static)"});
+    I = J;
+  }
+}
+
 //===----------------------------------------------------------------------===//
 // Driver
 //===----------------------------------------------------------------------===//
@@ -749,6 +878,8 @@ Status lintFile(const std::string &Path, LintStats &Stats) {
   checkFloatEquality(Path, Toks, Suppressions, Stats);
   checkExpectedDiscard(Path, Toks, Suppressions, Stats);
   checkMagicNumberTable(Path, Toks, Suppressions, Stats);
+  checkRawMutex(Path, Toks, Suppressions, Stats);
+  checkUnguardedSharedStatic(Path, Toks, Suppressions, Stats);
   ++Stats.FilesScanned;
   return Status::ok();
 }
@@ -764,6 +895,10 @@ void printRules() {
       "expected-discard      a Status/Expected return dropped on the floor\n"
       "magic-number-table    a floating literal repeated >= 3 times in one\n"
       "                      table initializer; name it or justify it\n"
+      "raw-mutex             std::mutex/std::lock_guard bypass the\n"
+      "                      annotations; use rcs::Mutex / rcs::LockGuard\n"
+      "unguarded-shared-static  a mutable namespace/class-scope static\n"
+      "                      needs RCS_GUARDED_BY, atomic, or const\n"
       "\nSuppress with: // skatlint:ignore(<rule>[,<rule>...])\n");
 }
 
