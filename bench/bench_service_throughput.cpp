@@ -1,0 +1,194 @@
+//===- bench/bench_service_throughput.cpp - Scenario-service benchmark --------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Throughput and latency of the `skatsim serve` scenario service
+/// (service/Service.h), driven through the in-process API so the numbers
+/// measure evaluation and dispatch, not socket I/O. Two legs run the same
+/// batch of transient requests against one plant configuration:
+///
+///  - cold: the shared solver cache disabled, so every request rebuilds
+///    its fluid tables and thermal network from scratch (the seed
+///    one-shot-CLI cost model);
+///  - warm: the keyed service::SolverCacheRegistry enabled and primed,
+///    so requests lease warmed sim::TransientSolverAssets.
+///
+/// The ratio cold/warm per scenario is `speedup_service_cache`, gated by
+/// tools/bench_compare against bench/baselines/. Latency quantiles come
+/// from the service.request.latency_s histogram over the warm leg.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Service.h"
+#include "support/Parallel.h"
+#include "telemetry/Bench.h"
+#include "telemetry/Telemetry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace rcs;
+
+namespace {
+
+/// Repetition scale from SKATSIM_BENCH_REPS (default 1.0; CI smoke runs
+/// set a fraction to keep the job fast).
+double benchRepScale() {
+  const char *Env = std::getenv("SKATSIM_BENCH_REPS");
+  if (!Env || !*Env)
+    return 1.0;
+  char *End = nullptr;
+  double Scale = std::strtod(Env, &End);
+  return End != Env && Scale > 0.0 ? Scale : 1.0;
+}
+
+/// Best-of-\p Rounds wall time of \p Body in seconds.
+template <typename Fn> double bestWallTimeS(int Rounds, Fn &&Body) {
+  double Best = 1e300;
+  for (int Round = 0; Round != Rounds; ++Round) {
+    auto Start = std::chrono::steady_clock::now();
+    Body();
+    std::chrono::duration<double> Elapsed =
+        std::chrono::steady_clock::now() - Start;
+    Best = std::min(Best, Elapsed.count());
+  }
+  return Best;
+}
+
+/// One transient request line for the shared bench plant. Every request
+/// names the same design and step so the warm leg hits one cache key.
+std::string makeRequest(int Index, double Hours) {
+  char Line[192];
+  std::snprintf(Line, sizeof(Line),
+                "{\"kind\": \"service_request\", \"id\": \"q%d\", "
+                "\"type\": \"transient\", \"design\": \"skat\", "
+                "\"hours\": %.6f, \"dt_s\": 2}",
+                Index, Hours);
+  return Line;
+}
+
+/// Submits \p Requests and drains until the service runs dry. Aborts the
+/// bench on any error response: a failing scenario would turn the
+/// throughput numbers into fiction.
+void runBatch(service::ScenarioService &Service,
+              const std::vector<std::string> &Requests) {
+  for (const std::string &Line : Requests) {
+    if (auto Immediate = Service.submit(Line)) {
+      std::fprintf(stderr, "bench: immediate error response: %s\n",
+                   Immediate->c_str());
+      std::exit(1);
+    }
+  }
+  std::vector<std::string> Responses;
+  while (Service.drain(Responses))
+    ;
+  for (const std::string &Line : Responses)
+    if (Line.find("\"ok\": true") == std::string::npos) {
+      std::fprintf(stderr, "bench: error response: %s\n", Line.c_str());
+      std::exit(1);
+    }
+}
+
+/// Seconds for one batch of \p Requests on a fresh service configured by
+/// \p Config. The service (and with it the cache) lives across the
+/// best-of rounds, so the warm leg stays warm after priming.
+double timeServiceLegS(const service::ServeConfig &Config,
+                       const std::vector<std::string> &Requests,
+                       service::SolverCacheStats *StatsOut) {
+  service::ScenarioService Service(Config);
+  if (Config.UseSolverCache) {
+    // Prime outside the clock: the first request pays the cold build.
+    std::vector<std::string> Prime(Requests.begin(), Requests.begin() + 1);
+    runBatch(Service, Prime);
+  }
+  double Best = bestWallTimeS(3, [&] { runBatch(Service, Requests); });
+  if (StatsOut)
+    *StatsOut = Service.cacheStats();
+  return Best;
+}
+
+} // namespace
+
+int main() {
+  telemetry::BenchReport Bench("service_throughput");
+
+  double RepScale = benchRepScale();
+  // 0.02 h at dt 2 s = 36 transient steps per request: long enough that
+  // the solve is real work, short enough that the asset build the cache
+  // amortizes still dominates the ratio.
+  const double Hours = 0.02;
+  const int NumRequests = std::max(6, static_cast<int>(24 * RepScale));
+
+  std::vector<std::string> Requests;
+  for (int I = 0; I != NumRequests; ++I)
+    Requests.push_back(makeRequest(I, Hours));
+
+  service::ServeConfig Config;
+  // Single worker: the ablation measures per-request cache savings, and
+  // one thread keeps the ratio independent of host core count.
+  Config.NumThreads = 1;
+  Config.MaxBatch = NumRequests;
+  Config.MaxQueueDepth = NumRequests * 2;
+
+  service::ServeConfig ColdConfig = Config;
+  ColdConfig.UseSolverCache = false;
+  double ColdS = timeServiceLegS(ColdConfig, Requests, nullptr);
+
+  telemetry::Registry &Telemetry = telemetry::Registry::global();
+  Telemetry.resetMetrics(); // Quantiles below cover the warm leg only.
+  service::SolverCacheStats CacheStats;
+  double WarmS = timeServiceLegS(Config, Requests, &CacheStats);
+
+  double ColdRate = NumRequests / ColdS;
+  double WarmRate = NumRequests / WarmS;
+  double Speedup = ColdS / WarmS;
+  double HitRate =
+      CacheStats.Hits + CacheStats.Misses == 0
+          ? 0.0
+          : static_cast<double>(CacheStats.Hits) /
+                static_cast<double>(CacheStats.Hits + CacheStats.Misses);
+  std::printf("service throughput: cold %.1f/s, warm %.1f/s, cache "
+              "speedup %.2fx (hit rate %.2f)\n",
+              ColdRate, WarmRate, Speedup, HitRate);
+
+  telemetry::Histogram &Latency =
+      Telemetry.histogram("service.request.latency_s");
+  double P50Ms = Latency.p50() * 1e3;
+  double P95Ms = Latency.p95() * 1e3;
+  double P99Ms = Latency.p99() * 1e3;
+  std::printf("warm latency: p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n",
+              P50Ms, P95Ms, P99Ms);
+
+  // The speedup ratio is the load-bearing check; everything else in the
+  // report is context. bench_compare gates the ratio against the recorded
+  // baseline, so here we only require the cache to not be a slowdown.
+  bool Passed = Speedup > 1.0 && CacheStats.Hits > 0;
+  if (!Passed)
+    std::fprintf(stderr,
+                 "bench: warm path is not faster than cold (%.2fx)\n",
+                 Speedup);
+
+  Bench.addMetric("requests_per_leg", static_cast<long long>(NumRequests));
+  Bench.addMetric("transient_hours_per_request", Hours);
+  Bench.addMetric("cold_batch_s", ColdS);
+  Bench.addMetric("warm_batch_s", WarmS);
+  Bench.addMetric("scenarios_per_s_cold", ColdRate);
+  Bench.addMetric("scenarios_per_s_warm", WarmRate);
+  Bench.addMetric("speedup_service_cache", Speedup);
+  Bench.addMetric("cache_hit_rate", HitRate);
+  Bench.addMetric("cache_hits", static_cast<long long>(CacheStats.Hits));
+  Bench.addMetric("cache_misses",
+                  static_cast<long long>(CacheStats.Misses));
+  Bench.addMetric("latency_p50_ms", P50Ms);
+  Bench.addMetric("latency_p95_ms", P95Ms);
+  Bench.addMetric("latency_p99_ms", P99Ms);
+  Bench.writeOrWarn(Passed);
+  return Passed ? 0 : 1;
+}

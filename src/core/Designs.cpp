@@ -13,9 +13,30 @@
 
 #include "core/Designs.h"
 
+#include "support/StringUtils.h"
+
 using namespace rcs;
 using namespace rcs::core;
 using namespace rcs::rcsystem;
+
+Expected<ModuleConfig> rcs::core::designModuleByName(
+    const std::string &Name) {
+  std::string Key = toLower(Name);
+  if (Key == "rigel2")
+    return makeRigel2Module();
+  if (Key == "taygeta")
+    return makeTaygetaModule();
+  if (Key == "ultrascale-air")
+    return makeUltraScaleAirModule();
+  if (Key == "skat")
+    return makeSkatModule();
+  if (Key == "skat-plus")
+    return makeSkatPlusModule();
+  if (Key == "skat-plus-naive")
+    return makeSkatPlusNaiveModule();
+  return Expected<ModuleConfig>::error("unknown design '" + Name +
+                                       "'; run 'skatsim list'");
+}
 
 ExternalConditions rcs::core::makeNominalConditions() {
   ExternalConditions Conditions;

@@ -37,6 +37,11 @@ namespace core {
 /// 25 C room, 18 C chilled water.
 rcsystem::ExternalConditions makeNominalConditions();
 
+/// Resolves a design name as the CLI and the scenario service spell it
+/// ("rigel2", "taygeta", "ultrascale-air", "skat", "skat-plus",
+/// "skat-plus-naive"; case-insensitive) to its module configuration.
+Expected<rcsystem::ModuleConfig> designModuleByName(const std::string &Name);
+
 /// The air-cooled Virtex-6 computational module (CM Rigel-2).
 rcsystem::ModuleConfig makeRigel2Module();
 

@@ -17,6 +17,7 @@
 #include "sim/Transient.h"
 
 #include "fluids/Fluid.h"
+#include "sim/SolverAssets.h"
 #include "hydraulics/HeatExchanger.h"
 #include "thermal/HeatSink.h"
 #include "thermal/Interface.h"
@@ -114,18 +115,22 @@ Expected<std::vector<TraceSample>> TransientSimulator::run(double DurationS) {
                      return A.TimeS < B.TimeS;
                    });
 
-  // Static pieces of the model.
+  // Static pieces of the model. The solver-heavy state (fluids with
+  // their property caches, the persistent two-node network) lives in
+  // TransientSolverAssets so a service can keep it warm across runs; a
+  // standalone run builds a private copy, which is the construction this
+  // loop used to perform inline.
   Ccb Board(Module.Board);
   const fpga::FpgaSpec &Spec = Board.fpgaSpec();
   fpga::FpgaPowerModel PowerModel(Spec);
-  auto Oil = Module.Immersion.CoolantKind ==
-                     ImmersionCoolingConfig::Coolant::MineralOilMd45
-                 ? fluids::makeMineralOilMd45()
-             : Module.Immersion.CoolantKind ==
-                     ImmersionCoolingConfig::Coolant::WhiteMineralOil
-                 ? fluids::makeWhiteMineralOil()
-                 : fluids::makeEngineeredDielectric();
-  auto Water = fluids::makeWater();
+  std::unique_ptr<TransientSolverAssets> OwnAssets;
+  TransientSolverAssets *Assets = SharedAssets;
+  if (!Assets) {
+    OwnAssets = std::make_unique<TransientSolverAssets>(Module, Config);
+    Assets = OwnAssets.get();
+  }
+  fluids::Fluid &Oil = Assets->oil();
+  fluids::Fluid &Water = Assets->water();
   thermal::PinFinHeatSink Sink("sink", Module.Immersion.SinkGeometry);
   thermal::ThermalInterface Tim =
       Module.Immersion.Tim == ImmersionCoolingConfig::TimKind::SiliconeGrease
@@ -152,34 +157,21 @@ Expected<std::vector<TraceSample>> TransientSimulator::run(double DurationS) {
   double WaterInlet = Conditions.WaterInletTempC;
   double WaterFlow = Conditions.WaterFlowM3PerS;
 
-  double ChipCapacitance = NumFpgas * Config.ChipCapacitancePerFpgaJPerK;
-  double FullOilCapacitance = Config.OilVolumeM3 *
-                              Oil->volumetricHeatCapacityJPerM3K(35.0);
+  double FullOilCapacitance = Assets->fullOilCapacitanceJPerK();
 
   double OilTemp = WaterInlet + 4.0;
   double ChipTemp = OilTemp + 5.0;
 
-  // Persistent two-node network: built once, mutated in place each step so
-  // the solver's symbolic phase (unknown indexing, pivot order) survives
-  // the whole run. The temperature-dependent conductances still change
-  // every step, so the numeric factorization refreshes, but nothing is
-  // re-allocated or re-indexed.
-  thermal::ThermalNetwork Net;
-  thermal::NodeId Chips = Net.addNode("chips", ChipCapacitance);
-  thermal::NodeId Bath = Net.addNode("oil", FullOilCapacitance);
-  thermal::NodeId WaterNode = Net.addBoundaryNode("water", WaterInlet);
-  Net.addConductance(Chips, Bath, 1.0);
-  Net.addConductance(Bath, WaterNode, 1.0);
-  Net.addHeatSource(Chips, 0.0);
-  Net.addHeatSource(Bath, 0.0);
-
-  // Property lookups dominate the per-step conductance evaluation; the
-  // uniform-grid cache makes them O(1) (agreement with the exact tables is
-  // covered by the solver-equivalence tests).
-  if (Config.UseFluidPropertyCache) {
-    Oil->enablePropertyCache();
-    Water->enablePropertyCache();
-  }
+  // Persistent two-node network: built once (in the assets), mutated in
+  // place each step so the solver's symbolic phase (unknown indexing,
+  // pivot order) survives the whole run — and, when the assets are
+  // shared, across runs. The temperature-dependent conductances still
+  // change every step, so the numeric factorization refreshes, but
+  // nothing is re-allocated or re-indexed.
+  thermal::ThermalNetwork &Net = Assets->network();
+  thermal::NodeId Chips = Assets->chipsNode();
+  thermal::NodeId Bath = Assets->bathNode();
+  thermal::NodeId WaterNode = Assets->waterBoundaryNode();
 
   if (Auditor) {
     Auditor->noteFactorCaching(Net.factorCachingEnabled());
@@ -259,15 +251,15 @@ Expected<std::vector<TraceSample>> TransientSimulator::run(double DurationS) {
                      (ShutDown ? 0.1 : 1.0) +
                  Effects.ExtraHeatW;
 
-      double SinkR = Sink.thermalResistanceKPerW(*Oil, OilTemp, Velocity,
+      double SinkR = Sink.thermalResistanceKPerW(Oil, OilTemp, Velocity,
                                                  ChipTemp);
       double PerFpgaR = Spec.ThetaJcKPerW + TimR + SinkR;
       GChipOil = NumFpgas / PerFpgaR;
 
-      double COil = Flow * Oil->densityKgPerM3(OilTemp) *
-                    Oil->specificHeatJPerKgK(OilTemp);
+      double COil = Flow * Oil.densityKgPerM3(OilTemp) *
+                    Oil.specificHeatJPerKgK(OilTemp);
       double CWater = hydraulics::PlateHeatExchanger::capacityRateWPerK(
-          *Water, WaterFlow, WaterInlet);
+          Water, WaterFlow, WaterInlet);
       if (COil > 0.0 && CWater > 0.0) {
         double CMin = std::min(COil, CWater);
         double CMax = std::max(COil, CWater);

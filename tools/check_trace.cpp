@@ -35,6 +35,17 @@
 ///    schema marker, written by `skatsim audit`): five invariant
 ///    entries with mean <= max drift, budget-consistent verdicts, and a
 ///    convergence block;
+///  - service request streams (JSONL whose first line is a
+///    `service_request` object, see service/Protocol.h): known scenario
+///    types with the design/scenario fields each type requires;
+///  - service response streams (JSONL with a `service_header` first line
+///    carrying the `skatsim-service-v1` schema): per-line success/error
+///    shape checks and a closing `service_summary` whose counts
+///    reconcile with the counted response lines;
+///  - bench reports (a JSON document with a `bench` name and
+///    `wall_time_s`, written through telemetry::BenchReport): verdict,
+///    wall time and a non-empty metrics object; the service-throughput
+///    report additionally needs its throughput/ablation/latency keys;
 ///  - metrics snapshot streams (JSONL lines with `t_s` and `counters`):
 ///    valid lines with strictly increasing timestamps;
 ///  - Prometheus text exposition (leading `# TYPE` comment): every line a
@@ -596,6 +607,220 @@ Status validateProfile(const std::string &Text, size_t &NumNodes) {
   return Status::ok();
 }
 
+/// Service request stream (service/Protocol.h): JSONL of
+/// `service_request` lines as fed to `skatsim serve`. Every line needs a
+/// non-empty id and a known scenario type; steady/transient requests
+/// name a design, faults requests name a scenario file. \p NumRequests
+/// counts request lines.
+Status validateServiceRequests(const std::vector<std::string> &Lines,
+                               size_t &NumRequests) {
+  NumRequests = 0;
+  for (size_t I = 0; I != Lines.size(); ++I) {
+    const std::string &Line = Lines[I];
+    std::string Where = "request line " + std::to_string(I + 1);
+    Status LineJson = telemetry::validateJson(Line);
+    if (!LineJson.isOk())
+      return Status::error(Where + " is not valid JSON: " +
+                           LineJson.message());
+    if (Line.find("\"kind\": \"service_request\"") == std::string::npos)
+      return Status::error(Where + " is not a service_request object");
+    std::string Id, Type;
+    if (!findString(Line, "id", Id) || Id.empty())
+      return Status::error(Where + " lacks a request id");
+    if (!findString(Line, "type", Type))
+      return Status::error(Where + " lacks a scenario type");
+    if (Type != "steady" && Type != "transient" && Type != "faults")
+      return Status::error(Where + " has unknown scenario type '" + Type +
+                           "'");
+    std::string Subject;
+    if (Type == "faults") {
+      if (!findString(Line, "scenario", Subject) || Subject.empty())
+        return Status::error(Where + " (faults) lacks a scenario path");
+    } else if (!findString(Line, "design", Subject) || Subject.empty()) {
+      return Status::error(Where + " (" + Type + ") lacks a design name");
+    }
+    ++NumRequests;
+  }
+  if (NumRequests == 0)
+    return Status::error("no requests");
+  return Status::ok();
+}
+
+/// Service response stream (service/Protocol.h): a `service_header` line
+/// with the `skatsim-service-v1` schema, then `service_response` lines —
+/// successes carry a cache state, latency and result object; failures a
+/// known error kind and message — closed by a `service_summary` line
+/// whose counts reconcile with the counted responses. \p NumResponses
+/// counts response lines.
+Status validateServiceResponses(const std::vector<std::string> &Lines,
+                                size_t &NumResponses) {
+  NumResponses = 0;
+  const std::string &Header = Lines[0];
+  Status HeaderJson = telemetry::validateJson(Header);
+  if (!HeaderJson.isOk())
+    return Status::error("header is not valid JSON: " +
+                         HeaderJson.message());
+  std::string Schema;
+  double Version = 0.0;
+  if (!findString(Header, "schema", Schema) ||
+      Schema != "skatsim-service-v1")
+    return Status::error("header lacks the skatsim-service-v1 schema");
+  if (!findNumber(Header, "version", Version) || !approxEqual(Version, 1.0))
+    return Status::error("header lacks version 1");
+
+  size_t OkLines = 0, ErrorLines = 0, QueueFullLines = 0,
+         TimeoutLines = 0;
+  bool SawSummary = false;
+  std::string SummaryLine;
+  for (size_t I = 1; I != Lines.size(); ++I) {
+    const std::string &Line = Lines[I];
+    std::string Where = "response line " + std::to_string(I + 1);
+    Status LineJson = telemetry::validateJson(Line);
+    if (!LineJson.isOk())
+      return Status::error(Where + " is not valid JSON: " +
+                           LineJson.message());
+    if (SawSummary)
+      return Status::error(Where + " follows the service_summary line");
+    if (Line.find("\"kind\": \"service_summary\"") != std::string::npos) {
+      SawSummary = true;
+      SummaryLine = Line;
+      continue;
+    }
+    if (Line.find("\"kind\": \"service_response\"") == std::string::npos)
+      return Status::error(Where + " has an unknown record kind");
+    if (Line.find("\"id\": \"") == std::string::npos)
+      return Status::error(Where + " lacks an id");
+    bool Ok = Line.find("\"ok\": true") != std::string::npos;
+    if (!Ok && Line.find("\"ok\": false") == std::string::npos)
+      return Status::error(Where + " lacks a boolean ok verdict");
+    if (Ok) {
+      std::string Cache;
+      double LatencyS = 0.0;
+      if (!findString(Line, "cache", Cache) ||
+          (Cache != "warm" && Cache != "cold" && Cache != "bypass"))
+        return Status::error(Where + " lacks a warm/cold/bypass cache "
+                                     "state");
+      if (!findNumber(Line, "latency_s", LatencyS) || LatencyS < 0.0)
+        return Status::error(Where + " lacks a non-negative latency_s");
+      if (Line.find("\"result\": {") == std::string::npos)
+        return Status::error(Where + " lacks a result object");
+      ++OkLines;
+    } else {
+      std::string Kind, Message;
+      if (!findString(Line, "error_kind", Kind))
+        return Status::error(Where + " lacks error_kind");
+      if (Kind != "parse" && Kind != "queue_full" && Kind != "timeout" &&
+          Kind != "evaluation")
+        return Status::error(Where + " has unknown error kind '" + Kind +
+                             "'");
+      if (!findString(Line, "error", Message) || Message.empty())
+        return Status::error(Where + " lacks an error message");
+      QueueFullLines += Kind == "queue_full";
+      TimeoutLines += Kind == "timeout";
+      ++ErrorLines;
+    }
+    ++NumResponses;
+  }
+  if (NumResponses == 0)
+    return Status::error("no responses");
+  if (!SawSummary)
+    return Status::error("stream lacks a closing service_summary line");
+
+  // Reconcile the summary against the counted lines. The summary holds
+  // daemon-lifetime totals, and a stdin/file session is the daemon's
+  // whole life, so strict equality is the contract here.
+  double Requests = 0.0, OkCount = 0.0, ErrorCount = 0.0, Rejected = 0.0,
+         TimedOut = 0.0;
+  if (!findNumber(SummaryLine, "requests", Requests) ||
+      !findNumber(SummaryLine, "ok", OkCount) ||
+      !findNumber(SummaryLine, "errors", ErrorCount) ||
+      !findNumber(SummaryLine, "rejected", Rejected) ||
+      !findNumber(SummaryLine, "timed_out", TimedOut))
+    return Status::error("summary lacks requests/ok/errors/rejected/"
+                         "timed_out counts");
+  if (SummaryLine.find("\"cache_hits\": ") == std::string::npos ||
+      SummaryLine.find("\"cache_misses\": ") == std::string::npos)
+    return Status::error("summary lacks cache_hits/cache_misses");
+  if (static_cast<size_t>(OkCount) != OkLines)
+    return Status::error("summary declares " +
+                         std::to_string(static_cast<size_t>(OkCount)) +
+                         " ok but the stream holds " +
+                         std::to_string(OkLines));
+  if (static_cast<size_t>(ErrorCount) != ErrorLines)
+    return Status::error("summary declares " +
+                         std::to_string(static_cast<size_t>(ErrorCount)) +
+                         " errors but the stream holds " +
+                         std::to_string(ErrorLines));
+  if (!approxEqual(Requests, OkCount + ErrorCount))
+    return Status::error("summary requests do not equal ok + errors");
+  if (static_cast<size_t>(Rejected) != QueueFullLines)
+    return Status::error("summary rejected count disagrees with the "
+                         "queue_full responses");
+  if (static_cast<size_t>(TimedOut) != TimeoutLines)
+    return Status::error("summary timed_out count disagrees with the "
+                         "timeout responses");
+  return Status::ok();
+}
+
+/// Bench report document (telemetry/Bench.h, written by the bench
+/// binaries): bench name, boolean verdict, non-negative wall time and a
+/// non-empty metrics object. The service-throughput report additionally
+/// carries throughput, cache-ablation and latency-quantile metrics with
+/// ordered quantiles. \p NumMetrics counts metric entries.
+Status validateBenchReport(const std::string &Text, size_t &NumMetrics) {
+  NumMetrics = 0;
+  Expected<telemetry::JsonValue> Doc = telemetry::parseJson(Text);
+  if (!Doc)
+    return Status::error("not valid JSON: " + Doc.message());
+  const telemetry::JsonValue *Name = Doc->find("bench");
+  if (!Name || !Name->isString() || Name->StringValue.empty())
+    return Status::error("lacks a bench name");
+  const telemetry::JsonValue *Passed = Doc->find("passed");
+  if (!Passed || !Passed->isBool())
+    return Status::error("lacks a boolean passed verdict");
+  const telemetry::JsonValue *WallTimeS = Doc->find("wall_time_s");
+  if (!WallTimeS || !WallTimeS->isNumber() || WallTimeS->NumberValue < 0.0)
+    return Status::error("lacks a non-negative wall_time_s");
+  const telemetry::JsonValue *Metrics = Doc->find("metrics");
+  if (!Metrics || !Metrics->isObject() || Metrics->Members.empty())
+    return Status::error("holds no metrics");
+  NumMetrics = Metrics->Members.size();
+  for (const auto &[Key, Value] : Metrics->Members)
+    if (Key.empty())
+      return Status::error("holds a metric with an empty key");
+
+  if (Name->StringValue != "service_throughput")
+    return Status::ok();
+  // The service-throughput contract (docs/SERVICE.md): cold and warm
+  // scenario rates, the gated cache-ablation ratio, the hit rate and
+  // ordered latency quantiles.
+  auto Number = [&](const char *Key) -> const telemetry::JsonValue * {
+    const telemetry::JsonValue *Value = Metrics->find(Key);
+    return Value && Value->isNumber() ? Value : nullptr;
+  };
+  for (const char *Key :
+       {"scenarios_per_s_cold", "scenarios_per_s_warm",
+        "speedup_service_cache"}) {
+    const telemetry::JsonValue *Value = Number(Key);
+    if (!Value || Value->NumberValue <= 0.0)
+      return Status::error(std::string("lacks a positive ") + Key);
+  }
+  const telemetry::JsonValue *HitRate = Number("cache_hit_rate");
+  if (!HitRate || HitRate->NumberValue < 0.0 ||
+      HitRate->NumberValue > 1.0)
+    return Status::error("lacks a cache_hit_rate in [0, 1]");
+  const telemetry::JsonValue *P50 = Number("latency_p50_ms");
+  const telemetry::JsonValue *P95 = Number("latency_p95_ms");
+  const telemetry::JsonValue *P99 = Number("latency_p99_ms");
+  if (!P50 || !P95 || !P99 || P50->NumberValue < 0.0)
+    return Status::error("lacks latency_p50/p95/p99_ms quantiles");
+  const double TolMs = 1e-9 * (1.0 + std::fabs(P99->NumberValue));
+  if (P50->NumberValue > P95->NumberValue + TolMs ||
+      P95->NumberValue > P99->NumberValue + TolMs)
+    return Status::error("latency quantiles are not ordered");
+  return Status::ok();
+}
+
 /// Periodic metrics snapshots: JSONL with strictly increasing `t_s`.
 Status validateSnapshots(const std::vector<std::string> &Lines) {
   double PrevTime = 0.0;
@@ -773,6 +998,38 @@ bool checkFile(const std::string &Path) {
     return true;
   }
 
+  // Service response stream: self-identifying header line.
+  if (!Lines.empty() &&
+      Lines[0].find("\"kind\": \"service_header\"") != std::string::npos) {
+    size_t NumResponses = 0;
+    Status Valid = validateServiceResponses(Lines, NumResponses);
+    if (!Valid.isOk()) {
+      std::fprintf(stderr,
+                   "check_trace: '%s' invalid service responses: %s\n",
+                   Path.c_str(), Valid.message().c_str());
+      return false;
+    }
+    std::printf("check_trace: %s ok (service responses, %zu lines)\n",
+                Path.c_str(), NumResponses);
+    return true;
+  }
+
+  // Service request stream: every line is a service_request object.
+  if (!Lines.empty() &&
+      Lines[0].find("\"kind\": \"service_request\"") != std::string::npos) {
+    size_t NumRequests = 0;
+    Status Valid = validateServiceRequests(Lines, NumRequests);
+    if (!Valid.isOk()) {
+      std::fprintf(stderr,
+                   "check_trace: '%s' invalid service requests: %s\n",
+                   Path.c_str(), Valid.message().c_str());
+      return false;
+    }
+    std::printf("check_trace: %s ok (service requests, %zu lines)\n",
+                Path.c_str(), NumRequests);
+    return true;
+  }
+
   // Physics-audit report: schema marker inside a whole-file JSON document
   // (the JSONL audit stream shares the schema string but is caught by its
   // header line above).
@@ -801,6 +1058,21 @@ bool checkFile(const std::string &Path) {
     }
     std::printf("check_trace: %s ok (profile, %zu nodes)\n", Path.c_str(),
                 NumNodes);
+    return true;
+  }
+
+  // Bench report: whole-file JSON document led by the bench name.
+  if (Text->find("\"bench\": \"") != std::string::npos &&
+      Text->find("\"wall_time_s\": ") != std::string::npos) {
+    size_t NumMetrics = 0;
+    Status Valid = validateBenchReport(*Text, NumMetrics);
+    if (!Valid.isOk()) {
+      std::fprintf(stderr, "check_trace: '%s' invalid bench report: %s\n",
+                   Path.c_str(), Valid.message().c_str());
+      return false;
+    }
+    std::printf("check_trace: %s ok (bench report, %zu metrics)\n",
+                Path.c_str(), NumMetrics);
     return true;
   }
 

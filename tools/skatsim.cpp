@@ -43,6 +43,8 @@
 #include "faults/Trace.h"
 #include "monitor/Exposition.h"
 #include "monitor/FlightRecorder.h"
+#include "service/Protocol.h"
+#include "service/Service.h"
 #include "sim/RackTransient.h"
 #include "sim/Transient.h"
 #include "support/Csv.h"
@@ -54,14 +56,24 @@
 #include "telemetry/Profile.h"
 #include "telemetry/Telemetry.h"
 
+#include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
 
 using namespace rcs;
 using namespace rcs::rcsystem;
@@ -170,21 +182,8 @@ int finishAudit(audit::PhysicsAuditor *Auditor, const std::string &Command,
 }
 
 Expected<ModuleConfig> designByName(const std::string &Name) {
-  std::string Key = toLower(Name);
-  if (Key == "rigel2")
-    return core::makeRigel2Module();
-  if (Key == "taygeta")
-    return core::makeTaygetaModule();
-  if (Key == "ultrascale-air")
-    return core::makeUltraScaleAirModule();
-  if (Key == "skat")
-    return core::makeSkatModule();
-  if (Key == "skat-plus")
-    return core::makeSkatPlusModule();
-  if (Key == "skat-plus-naive")
-    return core::makeSkatPlusNaiveModule();
-  return Expected<ModuleConfig>::error("unknown design '" + Name +
-                                       "'; run 'skatsim list'");
+  // One name table for the CLI and the scenario service alike.
+  return core::designModuleByName(Name);
 }
 
 int cmdList() {
@@ -769,6 +768,234 @@ int cmdFaults(const ArgList &Args) {
   return 2;
 }
 
+//===----------------------------------------------------------------------===//
+// serve: the scenario-service daemon (docs/SERVICE.md)
+//===----------------------------------------------------------------------===//
+
+/// Runs one JSONL session over a stream pair: emits the header line,
+/// submits each request line (flushing full batches through the pool),
+/// drains the tail, and closes with the daemon-lifetime summary.
+int serveStream(service::ScenarioService &Service, std::FILE *In,
+                std::FILE *Out) {
+  auto Emit = [Out](const std::string &Line) {
+    std::fputs(Line.c_str(), Out);
+    std::fputc('\n', Out);
+  };
+  Emit(service::renderServiceHeader());
+  std::fflush(Out);
+  std::vector<std::string> Ready;
+  size_t Queued = 0;
+  auto Flush = [&]() {
+    Ready.clear();
+    size_t Drained = Service.drain(Ready);
+    Queued -= std::min(Queued, Drained);
+    for (const std::string &Line : Ready)
+      Emit(Line);
+    std::fflush(Out);
+    return Drained;
+  };
+  char *Buffer = nullptr;
+  size_t Capacity = 0;
+  ssize_t Length;
+  while ((Length = getline(&Buffer, &Capacity, In)) != -1) {
+    std::string_view Line(Buffer, static_cast<size_t>(Length));
+    while (!Line.empty() && (Line.back() == '\n' || Line.back() == '\r'))
+      Line.remove_suffix(1);
+    if (Line.empty())
+      continue;
+    // Parse errors and queue-full rejections answer immediately; queued
+    // requests answer from the next batch drain, in submission order.
+    std::optional<std::string> Immediate = Service.submit(Line);
+    if (Immediate) {
+      Emit(*Immediate);
+      std::fflush(Out);
+    } else if (++Queued >=
+               static_cast<size_t>(Service.config().MaxBatch)) {
+      Flush();
+    }
+  }
+  std::free(Buffer);
+  while (Flush() != 0)
+    ;
+  Emit(service::renderServiceSummary(Service.summary()));
+  return std::fflush(Out) == 0 ? 0 : 1;
+}
+
+/// Accept loop for --port (loopback TCP) and --socket (Unix domain):
+/// one JSONL session per connection, sessions served sequentially so the
+/// evaluation pool is never oversubscribed.
+int serveSocket(service::ScenarioService &Service, const ArgList &Args) {
+  std::string SocketPath = Args.getString("socket", "");
+  int Listener = -1;
+  if (!SocketPath.empty()) {
+    sockaddr_un Addr{};
+    if (SocketPath.size() >= sizeof(Addr.sun_path)) {
+      std::fprintf(stderr, "serve: socket path too long\n");
+      return 2;
+    }
+    Listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (Listener < 0) {
+      std::fprintf(stderr, "serve: socket: %s\n", std::strerror(errno));
+      return 1;
+    }
+    Addr.sun_family = AF_UNIX;
+    std::strncpy(Addr.sun_path, SocketPath.c_str(),
+                 sizeof(Addr.sun_path) - 1);
+    ::unlink(SocketPath.c_str());
+    if (::bind(Listener, reinterpret_cast<sockaddr *>(&Addr),
+               sizeof(Addr)) != 0) {
+      std::fprintf(stderr, "serve: bind %s: %s\n", SocketPath.c_str(),
+                   std::strerror(errno));
+      ::close(Listener);
+      return 1;
+    }
+  } else {
+    Listener = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (Listener < 0) {
+      std::fprintf(stderr, "serve: socket: %s\n", std::strerror(errno));
+      return 1;
+    }
+    int One = 1;
+    ::setsockopt(Listener, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+    sockaddr_in Addr{};
+    Addr.sin_family = AF_INET;
+    Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    Addr.sin_port =
+        htons(static_cast<uint16_t>(Args.getInt("port", 0)));
+    if (::bind(Listener, reinterpret_cast<sockaddr *>(&Addr),
+               sizeof(Addr)) != 0) {
+      std::fprintf(stderr, "serve: bind: %s\n", std::strerror(errno));
+      ::close(Listener);
+      return 1;
+    }
+  }
+  if (::listen(Listener, 8) != 0) {
+    std::fprintf(stderr, "serve: listen: %s\n", std::strerror(errno));
+    ::close(Listener);
+    return 1;
+  }
+  if (!SocketPath.empty()) {
+    std::fprintf(stderr, "serve: listening on %s\n", SocketPath.c_str());
+  } else {
+    // Report the bound port (--port 0 asks the kernel for one).
+    sockaddr_in Bound{};
+    socklen_t BoundLen = sizeof(Bound);
+    ::getsockname(Listener, reinterpret_cast<sockaddr *>(&Bound),
+                  &BoundLen);
+    std::fprintf(stderr, "serve: listening on 127.0.0.1:%u\n",
+                 ntohs(Bound.sin_port));
+  }
+  std::fflush(stderr);
+
+  int MaxConns = Args.getInt("max-conns", 0);
+  int Served = 0;
+  int Code = 0;
+  while (MaxConns <= 0 || Served < MaxConns) {
+    int Conn = ::accept(Listener, nullptr, nullptr);
+    if (Conn < 0) {
+      if (errno == EINTR)
+        continue;
+      std::fprintf(stderr, "serve: accept: %s\n", std::strerror(errno));
+      Code = 1;
+      break;
+    }
+    std::FILE *In = ::fdopen(Conn, "r");
+    std::FILE *Out = In ? ::fdopen(::dup(Conn), "w") : nullptr;
+    if (!In || !Out) {
+      std::fprintf(stderr, "serve: fdopen failed for connection\n");
+      if (In)
+        std::fclose(In);
+      else
+        ::close(Conn);
+      ++Served;
+      continue;
+    }
+    serveStream(Service, In, Out);
+    std::fclose(Out);
+    std::fclose(In);
+    ++Served;
+  }
+  ::close(Listener);
+  if (!SocketPath.empty())
+    ::unlink(SocketPath.c_str());
+  return Code;
+}
+
+int cmdServe(const ArgList &Args) {
+  service::ServeConfig Config;
+  Config.NumThreads = Args.getInt("threads", 0);
+  Config.MaxBatch = std::max(1, Args.getInt("batch", 8));
+  Config.MaxQueueDepth =
+      static_cast<size_t>(std::max(1, Args.getInt("queue", 64)));
+  Config.DefaultTimeoutS = Args.getDouble("timeout-s", 30.0);
+  Config.CacheMaxEntries =
+      static_cast<size_t>(std::max(1, Args.getInt("cache", 16)));
+  Config.UseSolverCache = !Args.has("no-cache");
+  Config.TransientDtS = Args.getDouble("dt-s", 2.0);
+  if (Args.has("water"))
+    Config.setWaterSetpoint(units::Celsius(Args.getDouble("water", 18.0)));
+  if (Args.has("ambient"))
+    Config.setAmbientSetpoint(
+        units::Celsius(Args.getDouble("ambient", 25.0)));
+  service::ScenarioService Service(Config);
+
+  int Code;
+  if (Args.has("port") || Args.has("socket")) {
+    Code = serveSocket(Service, Args);
+  } else {
+    std::FILE *In = stdin;
+    std::string InPath = Args.getString("in", "");
+    if (!InPath.empty()) {
+      In = std::fopen(InPath.c_str(), "r");
+      if (!In) {
+        std::fprintf(stderr, "serve: cannot open '%s'\n", InPath.c_str());
+        return 2;
+      }
+    }
+    std::FILE *Out = stdout;
+    std::string OutPath = Args.getString("out", "");
+    if (!OutPath.empty()) {
+      Out = std::fopen(OutPath.c_str(), "w");
+      if (!Out) {
+        std::fprintf(stderr, "serve: cannot open '%s'\n", OutPath.c_str());
+        if (In != stdin)
+          std::fclose(In);
+        return 2;
+      }
+    }
+    Code = serveStream(Service, In, Out);
+    if (In != stdin)
+      std::fclose(In);
+    if (Out != stdout)
+      std::fclose(Out);
+  }
+
+  service::ServiceSummary Totals = Service.summary();
+  service::SolverCacheStats CacheStats = Service.cacheStats();
+  std::fprintf(stderr,
+               "serve: %llu requests (%llu ok, %llu errors, %llu rejected, "
+               "%llu timed out), cache %llu hits / %llu misses\n",
+               static_cast<unsigned long long>(Totals.Requests),
+               static_cast<unsigned long long>(Totals.OkCount),
+               static_cast<unsigned long long>(Totals.ErrorCount),
+               static_cast<unsigned long long>(Totals.Rejected),
+               static_cast<unsigned long long>(Totals.TimedOut),
+               static_cast<unsigned long long>(CacheStats.Hits),
+               static_cast<unsigned long long>(CacheStats.Misses));
+  std::string PromPath = Args.getString("prom", "");
+  if (!PromPath.empty()) {
+    Status Written = monitor::writePrometheusFile(
+        telemetry::Registry::global(), PromPath);
+    if (!Written.isOk()) {
+      std::fprintf(stderr, "prom: %s\n", Written.message().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "serve: Prometheus exposition written to %s\n",
+                 PromPath.c_str());
+  }
+  return Code;
+}
+
 void printUsage() {
   std::fprintf(
       stderr,
@@ -796,6 +1023,13 @@ void printUsage() {
       "                 [--no-bench] [--progress FILE]"
       " [--progress-period S]\n"
       "                 (both: [--seed N] [--hours H])\n"
+      "  skatsim serve [--in FILE] [--out FILE] [--port N |"
+      " --socket PATH]\n"
+      "                [--max-conns N] [--threads N] [--batch N]"
+      " [--queue N]\n"
+      "                [--timeout-s S] [--cache N | --no-cache]"
+      " [--dt-s S]\n"
+      "                [--water C] [--ambient C] [--prom FILE]\n"
       "  skatsim profile <command> [args...] [--profile-out FILE]\n"
       "  skatsim audit <command> [args...] [--audit-out FILE]"
       " [--audit-trace FILE]\n"
@@ -824,6 +1058,8 @@ int runCommand(const std::string &Command, const ArgList &Args) {
     return cmdSetpoint(Args);
   if (Command == "faults")
     return cmdFaults(Args);
+  if (Command == "serve")
+    return cmdServe(Args);
   printUsage();
   return 2;
 }
