@@ -28,8 +28,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 using namespace rcs;
 
@@ -209,9 +211,13 @@ template <typename Fn> double bestWallTimeS(int Rounds, Fn &&Body) {
 
 /// Seconds for \p Steps transient ladder steps with/without factor reuse.
 /// 256 rungs = 512 unknowns: rack-scale, where the O(n^3) refactor the
-/// cache avoids dominates the O(n^2) backsolve it must still run.
+/// cache avoids dominates the O(n^2) backsolve it must still run. Pinned
+/// to the dense kernel: this leg measures factor *reuse*, and letting the
+/// cached leg route through the sparse solver would conflate the two
+/// ablations (the sparse-vs-dense ratio has its own legs below).
 double timeTransientLadderS(bool Caching, int Steps) {
   thermal::ThermalNetwork Net = makeLadderNetwork(256);
+  Net.setSparseSolver(false);
   Net.setFactorCaching(Caching);
   std::vector<double> Temps(Net.numNodes(), 30.0);
   (void)Net.stepTransient(Temps, 1.0); // Prime the cache outside the clock.
@@ -266,6 +272,7 @@ double timeRackNewtonS(bool Overhaul, int Solves) {
 /// overhead_span_tracing: 1.0 = auditing is free.
 double timeTransientLadderAuditedS(int Steps) {
   thermal::ThermalNetwork Net = makeLadderNetwork(256);
+  Net.setSparseSolver(false); // Matches the un-audited dense leg above.
   Net.setFactorCaching(true);
   std::vector<double> Temps(Net.numNodes(), 30.0);
   (void)Net.stepTransient(Temps, 1.0); // Prime the cache outside the clock.
@@ -280,6 +287,89 @@ double timeTransientLadderAuditedS(int Steps) {
       benchmark::DoNotOptimize(Closure);
     }
   });
+}
+
+/// One steady leg of the sparse-vs-dense thermal ladder: per-solve time
+/// under the fleet-tuning access pattern — a conductance trim between
+/// solves forces a numeric refactorization while the pattern (and the
+/// sparse symbolic analysis) never changes. The untrimmed priming solve
+/// doubles as the agreement probe for the max-diff shape check.
+struct SteadyLegResult {
+  double PerSolveS = 0.0;
+  std::vector<double> PrimeTemps;
+  size_t FactorBytes = 0;
+};
+
+SteadyLegResult runSteadyLadderLeg(bool Sparse, int Unknowns, int Solves,
+                                   int Rounds) {
+  thermal::ThermalNetwork Net = makeLadderNetwork(Unknowns / 2);
+  Net.setSparseSolver(Sparse);
+  if (Sparse)
+    Net.setSparseThreshold(1); // The 64-unknown rung sits below the default.
+  SteadyLegResult Result;
+  // Prime outside the clock: pattern + symbolic analysis (sparse) or the
+  // first dense factor.
+  if (auto Prime = Net.solveSteadyState())
+    Result.PrimeTemps = *Prime;
+  int TrimTick = 0;
+  Result.PerSolveS = bestWallTimeS(Rounds, [&] {
+    for (int I = 0; I != Solves; ++I) {
+      double Trim = ++TrimTick % 2 != 0 ? 0.55 : 0.5;
+      Net.setConductance(3, 1, Trim); // Rung 1's board-coupling edge.
+      auto Temps = Net.solveSteadyState();
+      benchmark::DoNotOptimize(Temps);
+    }
+  });
+  Result.PerSolveS /= Solves;
+  Result.FactorBytes = Net.solverMemoryBytes();
+  return Result;
+}
+
+/// Per-step transient time on the \p Unknowns-unknown ladder at a fixed
+/// dt: both paths reuse their cached factor, so this isolates the
+/// per-step backsolve — dense O(n^2) vs sparse O(nnz(L)).
+double timeLadderTransientPerStepS(bool Sparse, int Unknowns, int Steps,
+                                   int Rounds) {
+  thermal::ThermalNetwork Net = makeLadderNetwork(Unknowns / 2);
+  Net.setSparseSolver(Sparse);
+  if (Sparse)
+    Net.setSparseThreshold(1);
+  std::vector<double> Temps(Net.numNodes(), 30.0);
+  (void)Net.stepTransient(Temps, 1.0); // Prime the factor outside the clock.
+  return bestWallTimeS(Rounds, [&] {
+           for (int I = 0; I != Steps; ++I)
+             (void)Net.stepTransient(Temps, 1.0);
+         }) /
+         Steps;
+}
+
+/// Seconds per coupled immersion-module solve: seed path (cold fixed
+/// point from the nameplate guess every solve) vs warm-started path
+/// (ModuleSolveOptions::WarmStart seeded from the previous report, the
+/// trim-loop / design-sweep access pattern). The prime solve stays
+/// outside the clock, like the hydraulic warm-start leg.
+double timeModuleSolveS(bool Warm, int Solves) {
+  rcsystem::ComputationalModule Module(core::makeSkatModule());
+  auto Conditions = core::makeNominalConditions();
+  const fpga::WorkloadPoint Load = Module.config().Load;
+  rcsystem::ModuleThermalReport Prior;
+  if (Warm) {
+    auto Primer = Module.solveSteadyState(Conditions, Load);
+    if (Primer)
+      Prior = *Primer;
+  }
+  return bestWallTimeS(3, [&] {
+           for (int I = 0; I != Solves; ++I) {
+             rcsystem::ModuleSolveOptions Options;
+             if (Warm && !Prior.Fpgas.empty())
+               Options.WarmStart = &Prior;
+             auto Report = Module.solveSteadyState(Conditions, Load, Options);
+             benchmark::DoNotOptimize(Report);
+             if (Warm && Report)
+               Prior = *Report;
+           }
+         }) /
+         Solves;
 }
 
 /// A deterministic module-level reliability campaign for the sweep
@@ -371,6 +461,93 @@ int main(int Argc, char **Argv) {
          "audited)\n",
          AuditOverhead);
 
+  // Sparse-vs-dense thermal ladder: the fleet-scale ablation. Steady legs
+  // time the tuning access pattern (conductance trim -> numeric refactor
+  // between solves); the transient legs time the factor-reuse hot loop at
+  // a fixed dt. Dense work grows O(n^3) per refactor, so the 4096-unknown
+  // dense leg runs one solve in one round — it clocks seconds of work and
+  // needs no best-of averaging.
+  struct LadderPoint {
+    int Unknowns;
+    int DenseSolves;
+    int DenseRounds;
+  };
+  const LadderPoint Ladder[] = {{64, 8, 3}, {512, 4, 3}, {4096, 1, 1}};
+  const int SparseSolves = std::max(4, static_cast<int>(16 * RepScale));
+  double DenseSteadyGateS = 0.0, SparseSteadyGateS = 0.0;
+  double LadderMaxDiffC = 0.0;
+  bool LadderOk = true;
+  size_t DenseBytesGate = 0, SparseBytesGate = 0;
+  for (const LadderPoint &Point : Ladder) {
+    SteadyLegResult Dense = runSteadyLadderLeg(
+        false, Point.Unknowns, Point.DenseSolves, Point.DenseRounds);
+    SteadyLegResult Sparse =
+        runSteadyLadderLeg(true, Point.Unknowns, SparseSolves, 3);
+    LadderOk = LadderOk && Dense.PerSolveS > 0.0 && Sparse.PerSolveS > 0.0 &&
+               !Dense.PrimeTemps.empty() &&
+               Dense.PrimeTemps.size() == Sparse.PrimeTemps.size();
+    for (size_t I = 0; I != Dense.PrimeTemps.size() &&
+                       I != Sparse.PrimeTemps.size();
+         ++I)
+      LadderMaxDiffC =
+          std::max(LadderMaxDiffC,
+                   std::fabs(Dense.PrimeTemps[I] - Sparse.PrimeTemps[I]));
+    printf("ablation: sparse steady at %d unknowns %.2fx (dense %.3f ms, "
+           "sparse %.3f ms, factors %zu vs %zu kB)\n",
+           Point.Unknowns, Dense.PerSolveS / Sparse.PerSolveS,
+           Dense.PerSolveS * 1e3, Sparse.PerSolveS * 1e3,
+           Dense.FactorBytes / 1024, Sparse.FactorBytes / 1024);
+    std::string Suffix = std::to_string(Point.Unknowns);
+    Bench.addMetric("thermal_dense_steady_" + Suffix + "_s", Dense.PerSolveS);
+    Bench.addMetric("thermal_sparse_steady_" + Suffix + "_s",
+                    Sparse.PerSolveS);
+    Bench.addMetric("thermal_dense_factor_bytes_" + Suffix,
+                    static_cast<long long>(Dense.FactorBytes));
+    Bench.addMetric("thermal_sparse_factor_bytes_" + Suffix,
+                    static_cast<long long>(Sparse.FactorBytes));
+    if (Point.Unknowns == 4096) {
+      DenseSteadyGateS = Dense.PerSolveS;
+      SparseSteadyGateS = Sparse.PerSolveS;
+      DenseBytesGate = Dense.FactorBytes;
+      SparseBytesGate = Sparse.FactorBytes;
+    }
+  }
+  double SparseSteadySpeedup = DenseSteadyGateS / SparseSteadyGateS;
+
+  // Transient at the gate size: per-step cost with the factor cached.
+  const int DenseTransientSteps = std::max(3, static_cast<int>(20 * RepScale));
+  const int SparseTransientSteps =
+      std::max(16, static_cast<int>(200 * RepScale));
+  double DenseStep4096S =
+      timeLadderTransientPerStepS(false, 4096, DenseTransientSteps, 3);
+  double SparseStep4096S =
+      timeLadderTransientPerStepS(true, 4096, SparseTransientSteps, 3);
+  double SparseTransientSpeedup = DenseStep4096S / SparseStep4096S;
+  printf("ablation: sparse transient step at 4096 unknowns %.2fx (dense "
+         "%.3f ms, sparse %.3f ms)\n",
+         SparseTransientSpeedup, DenseStep4096S * 1e3, SparseStep4096S * 1e3);
+
+  // Past the dense envelope: the 8192-unknown rung runs sparse only (a
+  // dense factor would need 512 MB and minutes of refactor time).
+  SteadyLegResult Sparse8k = runSteadyLadderLeg(
+      true, 8192, std::max(2, static_cast<int>(8 * RepScale)), 3);
+  double SparseStep8192S = timeLadderTransientPerStepS(
+      true, 8192, std::max(8, static_cast<int>(100 * RepScale)), 3);
+  printf("ablation: sparse-only at 8192 unknowns: steady %.3f ms, step "
+         "%.3f ms, factors %zu kB\n",
+         Sparse8k.PerSolveS * 1e3, SparseStep8192S * 1e3,
+         Sparse8k.FactorBytes / 1024);
+
+  // Coupled-module fixed point: cold nameplate start vs warm start from
+  // the previous report.
+  const int ModuleSolves = std::max(3, static_cast<int>(10 * RepScale));
+  double ModuleColdS = timeModuleSolveS(false, ModuleSolves);
+  double ModuleWarmS = timeModuleSolveS(true, ModuleSolves);
+  double ModuleSpeedup = ModuleColdS / ModuleWarmS;
+  printf("ablation: coupled module solve %.2fx (cold start %.2f ms, warm "
+         "start %.2f ms)\n",
+         ModuleSpeedup, ModuleColdS * 1e3, ModuleWarmS * 1e3);
+
   // Reliability-sweep scaling: serial vs all-hardware-threads runs of the
   // same campaign. On a single-core host both legs run inline and the
   // ratio sits near 1.0; the gate compares against a baseline recorded on
@@ -397,6 +574,18 @@ int main(int Argc, char **Argv) {
   Bench.addMetric("overhead_span_tracing", TracingOverhead);
   Bench.addMetric("transient_ladder_audited_s", TransientAuditedS);
   Bench.addMetric("overhead_audit", AuditOverhead);
+  Bench.addMetric("speedup_thermal_sparse_steady", SparseSteadySpeedup);
+  Bench.addMetric("speedup_thermal_sparse_transient", SparseTransientSpeedup);
+  Bench.addMetric("thermal_dense_transient_step_4096_s", DenseStep4096S);
+  Bench.addMetric("thermal_sparse_transient_step_4096_s", SparseStep4096S);
+  Bench.addMetric("thermal_sparse_steady_8192_s", Sparse8k.PerSolveS);
+  Bench.addMetric("thermal_sparse_transient_step_8192_s", SparseStep8192S);
+  Bench.addMetric("thermal_sparse_factor_bytes_8192",
+                  static_cast<long long>(Sparse8k.FactorBytes));
+  Bench.addMetric("thermal_sparse_dense_max_diff_c", LadderMaxDiffC);
+  Bench.addMetric("speedup_coupled_module_solve", ModuleSpeedup);
+  Bench.addMetric("module_solve_cold_s", ModuleColdS);
+  Bench.addMetric("module_solve_warm_s", ModuleWarmS);
   Bench.addMetric("sweep_serial_s", SweepSerialS);
   Bench.addMetric("sweep_parallel_s", SweepParallelS);
   Bench.addMetric("speedup_sweep_parallel", SweepSpeedup);
@@ -424,7 +613,11 @@ int main(int Argc, char **Argv) {
   bool Ok = TransientSeedS > 0.0 && TransientCachedS > 0.0 &&
             NewtonSeedS > 0.0 && NewtonOverhaulS > 0.0 &&
             TransientTracedS > 0.0 && TransientAuditedS > 0.0 &&
-            SweepSerialS > 0.0 && SweepParallelS > 0.0;
+            SweepSerialS > 0.0 && SweepParallelS > 0.0 && LadderOk &&
+            DenseStep4096S > 0.0 && SparseStep4096S > 0.0 &&
+            Sparse8k.PerSolveS > 0.0 && SparseStep8192S > 0.0 &&
+            ModuleColdS > 0.0 && ModuleWarmS > 0.0 &&
+            LadderMaxDiffC < 1e-4 && DenseBytesGate > SparseBytesGate;
   Bench.writeOrWarn(Ok);
   return Ok ? 0 : 1;
 }

@@ -127,6 +127,7 @@ struct AuditSummary {
   uint64_t NonMonotoneResiduals = 0;
   uint64_t UnconvergedSolves = 0;
   bool FactorCachingEnabled = true;
+  bool SparseSolverEnabled = true;
 
   /// True when every invariant stayed at or below its critical budget and
   /// every hydraulic solve converged.
@@ -181,6 +182,12 @@ public:
   /// Records the thermal factor-cache configuration (once per run).
   void noteFactorCaching(bool Enabled) {
     Summary.FactorCachingEnabled = Enabled;
+  }
+
+  /// Records the thermal sparse-solver configuration (once per run), so
+  /// reports say which linear-algebra path produced the audited residuals.
+  void noteSparseSolver(bool Enabled) {
+    Summary.SparseSolverEnabled = Enabled;
   }
 
   /// Feeds the alarm bank the latest per-invariant fractions (sensor

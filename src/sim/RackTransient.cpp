@@ -162,6 +162,7 @@ RackTransientSimulator::run(double DurationS) {
 
   if (Auditor) {
     Auditor->noteFactorCaching(Net.factorCachingEnabled());
+    Auditor->noteSparseSolver(Net.sparseSolverEnabled());
     Auditor->setCriticalCallback([this](const std::string &,
                                         double BreachTimeS) {
       if (FlightRec)

@@ -1,0 +1,327 @@
+//===- support/SparseMatrix.cpp - Sparse linear algebra --------------------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SparseMatrix.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+using namespace rcs;
+
+//===----------------------------------------------------------------------===//
+// SparseCsr
+//===----------------------------------------------------------------------===//
+
+SparseCsr SparseCsr::fromTriplets(size_t N,
+                                  const std::vector<Triplet> &Entries) {
+  SparseCsr A;
+  A.N = N;
+  A.RowPtr.assign(N + 1, 0);
+  for (const Triplet &T : Entries) {
+    assert(T.Row < N && T.Col < N && "triplet index out of range");
+    ++A.RowPtr[T.Row + 1];
+  }
+  for (size_t I = 0; I != N; ++I)
+    A.RowPtr[I + 1] += A.RowPtr[I];
+
+  // Bucket by row in input order, then sort each row by column with a
+  // stable sort so duplicate coordinates stay in input order and sum
+  // deterministically.
+  std::vector<size_t> Cursor(A.RowPtr.begin(), A.RowPtr.end() - 1);
+  std::vector<std::pair<size_t, double>> Cells(Entries.size());
+  for (const Triplet &T : Entries)
+    Cells[Cursor[T.Row]++] = {T.Col, T.Value};
+  for (size_t I = 0; I != N; ++I)
+    std::stable_sort(Cells.begin() + static_cast<ptrdiff_t>(A.RowPtr[I]),
+                     Cells.begin() + static_cast<ptrdiff_t>(A.RowPtr[I + 1]),
+                     [](const std::pair<size_t, double> &L,
+                        const std::pair<size_t, double> &R) {
+                       return L.first < R.first;
+                     });
+
+  // Compress duplicates left-to-right.
+  std::vector<size_t> NewRowPtr(N + 1, 0);
+  A.ColIdx.reserve(Cells.size());
+  A.Values.reserve(Cells.size());
+  for (size_t I = 0; I != N; ++I) {
+    size_t Begin = A.RowPtr[I], End = A.RowPtr[I + 1];
+    for (size_t P = Begin; P != End;) {
+      size_t Col = Cells[P].first;
+      double Sum = Cells[P].second;
+      for (++P; P != End && Cells[P].first == Col; ++P)
+        Sum += Cells[P].second;
+      A.ColIdx.push_back(Col);
+      A.Values.push_back(Sum);
+    }
+    NewRowPtr[I + 1] = A.ColIdx.size();
+  }
+  A.RowPtr = std::move(NewRowPtr);
+  return A;
+}
+
+double SparseCsr::at(size_t Row, size_t Col) const {
+  assert(Row < N && Col < N && "sparse index out of range");
+  auto Begin = ColIdx.begin() + static_cast<ptrdiff_t>(RowPtr[Row]);
+  auto End = ColIdx.begin() + static_cast<ptrdiff_t>(RowPtr[Row + 1]);
+  auto It = std::lower_bound(Begin, End, Col);
+  if (It == End || *It != Col)
+    return 0.0;
+  return Values[static_cast<size_t>(It - ColIdx.begin())];
+}
+
+bool SparseCsr::samePattern(const SparseCsr &Other) const {
+  return N == Other.N && RowPtr == Other.RowPtr && ColIdx == Other.ColIdx;
+}
+
+std::vector<double> SparseCsr::apply(const std::vector<double> &X) const {
+  assert(X.size() == N && "vector size mismatch");
+  std::vector<double> Y(N, 0.0);
+  for (size_t I = 0; I != N; ++I) {
+    double Sum = 0.0;
+    for (size_t P = RowPtr[I], E = RowPtr[I + 1]; P != E; ++P)
+      Sum += Values[P] * X[ColIdx[P]];
+    Y[I] = Sum;
+  }
+  return Y;
+}
+
+//===----------------------------------------------------------------------===//
+// Reverse Cuthill-McKee ordering
+//===----------------------------------------------------------------------===//
+
+std::vector<size_t> rcs::reverseCuthillMcKee(const SparseCsr &A) {
+  size_t N = A.rows();
+  const std::vector<size_t> &RowPtr = A.rowPtr();
+  const std::vector<size_t> &ColIdx = A.colIdx();
+
+  // Off-diagonal degree of each node.
+  std::vector<size_t> Degree(N, 0);
+  for (size_t I = 0; I != N; ++I)
+    for (size_t P = RowPtr[I], E = RowPtr[I + 1]; P != E; ++P)
+      if (ColIdx[P] != I)
+        ++Degree[I];
+
+  // Component seeds in (degree, index) order: peripheral low-degree
+  // starts keep the level sets — and the bandwidth — narrow.
+  std::vector<size_t> Seeds(N);
+  for (size_t I = 0; I != N; ++I)
+    Seeds[I] = I;
+  std::sort(Seeds.begin(), Seeds.end(), [&](size_t L, size_t R) {
+    return Degree[L] != Degree[R] ? Degree[L] < Degree[R] : L < R;
+  });
+
+  std::vector<bool> Visited(N, false);
+  std::vector<size_t> Order;
+  Order.reserve(N);
+  std::vector<size_t> Neighbors;
+  for (size_t Seed : Seeds) {
+    if (Visited[Seed])
+      continue;
+    size_t Head = Order.size();
+    Order.push_back(Seed);
+    Visited[Seed] = true;
+    while (Head != Order.size()) {
+      size_t U = Order[Head++];
+      Neighbors.clear();
+      for (size_t P = RowPtr[U], E = RowPtr[U + 1]; P != E; ++P) {
+        size_t V = ColIdx[P];
+        if (V != U && !Visited[V])
+          Neighbors.push_back(V);
+      }
+      std::sort(Neighbors.begin(), Neighbors.end(),
+                [&](size_t L, size_t R) {
+                  return Degree[L] != Degree[R] ? Degree[L] < Degree[R]
+                                                : L < R;
+                });
+      for (size_t V : Neighbors) {
+        Visited[V] = true;
+        Order.push_back(V);
+      }
+    }
+  }
+  std::reverse(Order.begin(), Order.end());
+  return Order;
+}
+
+std::vector<size_t>
+rcs::invertPermutation(const std::vector<size_t> &Perm) {
+  std::vector<size_t> Inv(Perm.size(), 0);
+  for (size_t I = 0, E = Perm.size(); I != E; ++I) {
+    assert(Perm[I] < Perm.size() && "permutation entry out of range");
+    Inv[Perm[I]] = I;
+  }
+  return Inv;
+}
+
+//===----------------------------------------------------------------------===//
+// SparseLdlt
+//===----------------------------------------------------------------------===//
+
+Status SparseLdlt::analyze(const SparseCsr &A, bool UseOrdering) {
+  reset();
+  NumRows = A.rows();
+  if (UseOrdering) {
+    Perm = reverseCuthillMcKee(A);
+  } else {
+    Perm.resize(NumRows);
+    for (size_t I = 0; I != NumRows; ++I)
+      Perm[I] = I;
+  }
+  PermInv = invertPermutation(Perm);
+
+  // Elimination tree and column counts of L over the permuted pattern
+  // (up-looking symbolic phase): for each row K, every nonzero column J
+  // below the diagonal contributes L entries along the path from J to K
+  // in the partially built tree.
+  const std::vector<size_t> &RowPtr = A.rowPtr();
+  const std::vector<size_t> &ColIdx = A.colIdx();
+  Parent.assign(NumRows, SIZE_MAX);
+  Flag.assign(NumRows, SIZE_MAX);
+  std::vector<size_t> ColNnz(NumRows, 0);
+  for (size_t K = 0; K != NumRows; ++K) {
+    Flag[K] = K;
+    size_t Old = Perm[K];
+    for (size_t P = RowPtr[Old], E = RowPtr[Old + 1]; P != E; ++P) {
+      size_t J = PermInv[ColIdx[P]];
+      if (J >= K)
+        continue;
+      while (Flag[J] != K) {
+        if (Parent[J] == SIZE_MAX)
+          Parent[J] = K;
+        ++ColNnz[J];
+        Flag[J] = K;
+        J = Parent[J];
+      }
+    }
+  }
+  LColPtr.assign(NumRows + 1, 0);
+  for (size_t I = 0; I != NumRows; ++I)
+    LColPtr[I + 1] = LColPtr[I] + ColNnz[I];
+
+  LRowIdx.assign(LColPtr[NumRows], 0);
+  LValues.assign(LColPtr[NumRows], 0.0);
+  Diag.assign(NumRows, 0.0);
+  Pattern.assign(NumRows, 0);
+  NextInCol.assign(NumRows, 0);
+  Work.assign(NumRows, 0.0);
+  Analyzed = true;
+  return Status::ok();
+}
+
+Status SparseLdlt::factorize(const SparseCsr &A) {
+  if (!Analyzed)
+    return Status::error("sparse factorize before symbolic analysis");
+  if (A.rows() != NumRows)
+    return Status::error("sparse factorize pattern mismatch");
+  Valid = false;
+
+  const std::vector<size_t> &RowPtr = A.rowPtr();
+  const std::vector<size_t> &ColIdx = A.colIdx();
+  const std::vector<double> &Values = A.values();
+
+  // Flag carries marks from the symbolic phase (and prior numeric
+  // phases) that alias this pass's row indices; reset so the reach walk
+  // below sees every path node exactly once.
+  Flag.assign(NumRows, SIZE_MAX);
+  for (size_t K = 0; K != NumRows; ++K) {
+    // Gather the permuted row K into the dense work vector and collect
+    // its elimination-tree reach, top of Pattern downwards, so the
+    // updates below run in ascending column order.
+    size_t Top = NumRows;
+    Flag[K] = K;
+    NextInCol[K] = LColPtr[K];
+    Diag[K] = 0.0;
+    size_t Old = Perm[K];
+    for (size_t P = RowPtr[Old], E = RowPtr[Old + 1]; P != E; ++P) {
+      size_t J = PermInv[ColIdx[P]];
+      if (J > K)
+        continue;
+      Work[J] += Values[P];
+      size_t Len = 0;
+      while (Flag[J] != K) {
+        Pattern[Len++] = J;
+        Flag[J] = K;
+        J = Parent[J];
+      }
+      while (Len > 0)
+        Pattern[--Top] = Pattern[--Len];
+    }
+    Diag[K] = Work[K];
+    Work[K] = 0.0;
+    for (size_t S = Top; S != NumRows; ++S) {
+      size_t J = Pattern[S];
+      double Yj = Work[J];
+      Work[J] = 0.0;
+      size_t PEnd = NextInCol[J];
+      for (size_t P = LColPtr[J]; P != PEnd; ++P)
+        Work[LRowIdx[P]] -= LValues[P] * Yj;
+      double Lkj = Yj / Diag[J];
+      Diag[K] -= Lkj * Yj;
+      LRowIdx[PEnd] = K;
+      LValues[PEnd] = Lkj;
+      NextInCol[J] = PEnd + 1;
+    }
+    if (!(Diag[K] > 0.0))
+      return Status::error("singular matrix in sparse LDLt factorization "
+                           "(nonpositive pivot at unknown " +
+                           std::to_string(Perm[K]) + ")");
+  }
+  Valid = true;
+  return Status::ok();
+}
+
+std::vector<double> SparseLdlt::solve(std::vector<double> B) const {
+  assert(Valid && "solve on an invalid sparse factorization");
+  assert(B.size() == NumRows && "rhs size mismatch");
+  std::vector<double> X(NumRows);
+  for (size_t K = 0; K != NumRows; ++K)
+    X[K] = B[Perm[K]];
+  // Forward substitution with unit lower triangular L.
+  for (size_t J = 0; J != NumRows; ++J) {
+    double Xj = X[J];
+    for (size_t P = LColPtr[J], E = LColPtr[J + 1]; P != E; ++P)
+      X[LRowIdx[P]] -= LValues[P] * Xj;
+  }
+  for (size_t K = 0; K != NumRows; ++K)
+    X[K] /= Diag[K];
+  // Backward substitution with L^T.
+  for (size_t J = NumRows; J-- != 0;) {
+    double Sum = X[J];
+    for (size_t P = LColPtr[J], E = LColPtr[J + 1]; P != E; ++P)
+      Sum -= LValues[P] * X[LRowIdx[P]];
+    X[J] = Sum;
+  }
+  for (size_t K = 0; K != NumRows; ++K)
+    B[Perm[K]] = X[K];
+  return B;
+}
+
+size_t SparseLdlt::memoryBytes() const {
+  return (Perm.capacity() + PermInv.capacity() + Parent.capacity() +
+          LColPtr.capacity() + LRowIdx.capacity() + Flag.capacity() +
+          Pattern.capacity() + NextInCol.capacity()) *
+             sizeof(size_t) +
+         (LValues.capacity() + Diag.capacity() + Work.capacity()) *
+             sizeof(double);
+}
+
+void SparseLdlt::reset() {
+  NumRows = 0;
+  Analyzed = false;
+  Valid = false;
+  Perm.clear();
+  PermInv.clear();
+  Parent.clear();
+  LColPtr.clear();
+  LRowIdx.clear();
+  LValues.clear();
+  Diag.clear();
+  Flag.clear();
+  Pattern.clear();
+  NextInCol.clear();
+  Work.clear();
+}

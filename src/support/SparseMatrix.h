@@ -1,0 +1,175 @@
+//===- support/SparseMatrix.h - Sparse linear algebra -----------*- C++ -*-===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sparse linear algebra for fleet-scale networks: compressed-sparse-row
+/// storage with triplet assembly, a reverse Cuthill-McKee fill-reducing
+/// ordering, and an LDL^T factorization with an explicit symbolic/numeric
+/// split. The thermal network matrices (graph Laplacians plus positive
+/// diagonals) are symmetric positive definite, so LDL^T without pivoting
+/// is stable; the symbolic phase (ordering + elimination tree + fill
+/// counts) depends only on the sparsity pattern and is reused across
+/// numeric refactorizations, which is what makes conductance edits cheap
+/// at 10k+ unknowns (docs/PERFORMANCE.md).
+///
+/// Dense problems stay on support/Numerics.h; this layer takes over above
+/// the ThermalNetwork sparse threshold.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_SUPPORT_SPARSEMATRIX_H
+#define RCS_SUPPORT_SPARSEMATRIX_H
+
+#include "support/Status.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace rcs {
+
+/// One (row, column, value) entry of a matrix under assembly.
+struct Triplet {
+  size_t Row = 0;
+  size_t Col = 0;
+  double Value = 0.0;
+};
+
+/// A square sparse matrix in compressed-sparse-row form. Rows are sorted
+/// by column index with no duplicates; assembly from triplets sums
+/// duplicate coordinates deterministically.
+class SparseCsr {
+public:
+  SparseCsr() = default;
+
+  /// Builds an N x N matrix from \p Entries. Duplicate (row, col)
+  /// coordinates are summed in input order, so repeated assembly of the
+  /// same element list is bit-reproducible.
+  static SparseCsr fromTriplets(size_t N, const std::vector<Triplet> &Entries);
+
+  size_t rows() const { return N; }
+  size_t nnz() const { return ColIdx.size(); }
+
+  /// Row extents: row I spans [RowPtr[I], RowPtr[I+1]) of ColIdx/Values.
+  const std::vector<size_t> &rowPtr() const { return RowPtr; }
+  const std::vector<size_t> &colIdx() const { return ColIdx; }
+  const std::vector<double> &values() const { return Values; }
+  std::vector<double> &values() { return Values; }
+
+  /// Entry (Row, Col), zero when not stored. O(log nnz(Row)).
+  double at(size_t Row, size_t Col) const;
+
+  /// True when \p Other has the identical sparsity pattern (same N, same
+  /// RowPtr, same ColIdx); values are free to differ.
+  bool samePattern(const SparseCsr &Other) const;
+
+  /// Matrix-vector product; \p X must have rows() entries.
+  std::vector<double> apply(const std::vector<double> &X) const;
+
+  /// Heap bytes held by the index and value arrays.
+  size_t memoryBytes() const {
+    return RowPtr.capacity() * sizeof(size_t) +
+           ColIdx.capacity() * sizeof(size_t) +
+           Values.capacity() * sizeof(double);
+  }
+
+private:
+  size_t N = 0;
+  std::vector<size_t> RowPtr; // N + 1 entries.
+  std::vector<size_t> ColIdx; // nnz entries, sorted within each row.
+  std::vector<double> Values; // nnz entries.
+};
+
+/// Reverse Cuthill-McKee fill-reducing ordering of the symmetric pattern
+/// of \p A: breadth-first from a minimum-degree seed per component with
+/// neighbors visited in (degree, index) order, then reversed. Returns a
+/// permutation with Perm[New] = Old. Deterministic for a given pattern;
+/// on the banded ladder/fleet graphs this keeps the factor bandwidth —
+/// and therefore the fill — near the natural chain width.
+std::vector<size_t> reverseCuthillMcKee(const SparseCsr &A);
+
+/// Inverse of a Perm[New] = Old permutation: Inv[Old] = New.
+std::vector<size_t> invertPermutation(const std::vector<size_t> &Perm);
+
+/// A sparse LDL^T factorization (A = L D L^T, L unit lower triangular)
+/// with the symbolic and numeric phases split:
+///
+///  - analyze() consumes only the sparsity pattern: it picks the
+///    fill-reducing ordering, builds the elimination tree and counts the
+///    nonzeros of each column of L. Invalidated only by topology changes.
+///  - factorize() consumes the values of a matrix with the analyzed
+///    pattern and fills L and D, reusing the elimination tree. This is
+///    the only phase a conductance/capacitance/time-step edit repeats.
+///  - solve() replays P^T (L D L^T) P against a right-hand side.
+///
+/// The split is the up-looking algorithm of Davis's LDL: the numeric
+/// phase re-walks each row's elimination-tree reach, so no per-row
+/// pattern arrays are stored beyond the tree and column counts.
+class SparseLdlt {
+public:
+  SparseLdlt() = default;
+
+  /// Symbolic phase over \p A's pattern. \p UseOrdering selects the
+  /// reverse Cuthill-McKee permutation (on by default); off factors in
+  /// natural order, which the ordering round-trip tests compare against.
+  Status analyze(const SparseCsr &A, bool UseOrdering = true);
+
+  /// True after a successful analyze().
+  bool analyzed() const { return Analyzed; }
+
+  /// Numeric phase: factors \p A, which must have the pattern analyze()
+  /// saw. Fails when the matrix is not positive definite — for thermal
+  /// networks that means an internal node with no path to any boundary.
+  Status factorize(const SparseCsr &A);
+
+  /// True after a successful factorize().
+  bool valid() const { return Valid; }
+
+  /// Number of unknowns of the analyzed system (0 before analyze()).
+  size_t size() const { return Analyzed ? NumRows : 0; }
+
+  /// Nonzeros of the L factor, diagonal excluded (0 before analyze()).
+  size_t factorNnz() const { return Analyzed ? LColPtr.back() : 0; }
+
+  /// Solves A * X = B using the stored factors. Requires valid().
+  std::vector<double> solve(std::vector<double> B) const;
+
+  /// The fill-reducing permutation, Perm[New] = Old (identity when
+  /// ordering is disabled). Valid after analyze().
+  const std::vector<size_t> &permutation() const { return Perm; }
+
+  /// Heap bytes held by the symbolic products, workspaces and factors.
+  size_t memoryBytes() const;
+
+  /// Drops both phases.
+  void reset();
+
+private:
+  size_t NumRows = 0;
+  bool Analyzed = false;
+  bool Valid = false;
+
+  // Symbolic products.
+  std::vector<size_t> Perm;    // Perm[New] = Old.
+  std::vector<size_t> PermInv; // PermInv[Old] = New.
+  std::vector<size_t> Parent;  // Elimination tree (SIZE_MAX = root).
+  std::vector<size_t> LColPtr; // Column extents of L (N + 1 entries).
+
+  // Numeric factors: L strictly lower triangular in compressed-sparse-
+  // column form (column J spans [LColPtr[J], LColPtr[J+1])), D diagonal.
+  std::vector<size_t> LRowIdx;
+  std::vector<double> LValues;
+  std::vector<double> Diag;
+
+  // Workspaces reused across factorize() calls (sized in analyze()).
+  std::vector<size_t> Flag;
+  std::vector<size_t> Pattern;
+  std::vector<size_t> NextInCol;
+  std::vector<double> Work;
+};
+
+} // namespace rcs
+
+#endif // RCS_SUPPORT_SPARSEMATRIX_H

@@ -101,7 +101,8 @@ static void finalizeLimits(const fpga::FpgaSpec &Spec,
 Expected<ModuleThermalReport>
 rcs::rcsystem::solveAirCooledModule(const ModuleConfig &Module,
                                     const ExternalConditions &Conditions,
-                                    const fpga::WorkloadPoint &Load) {
+                                    const fpga::WorkloadPoint &Load,
+                                    const ModuleSolveOptions &Options) {
   const AirCoolingConfig &Cfg = Module.Air;
   if (Cfg.AirflowM3PerS <= 0.0 || Cfg.FlowAreaM2 <= 0.0)
     return Expected<ModuleThermalReport>::error(
@@ -111,6 +112,8 @@ rcs::rcsystem::solveAirCooledModule(const ModuleConfig &Module,
   const fpga::FpgaSpec &Spec = Board.fpgaSpec();
   fpga::FpgaPowerModel PowerModel(Spec);
   auto Air = fluids::makeAir();
+  if (Options.UseFluidPropertyCache)
+    Air->enablePropertyCache();
   thermal::PlateFinHeatSink Sink("air sink", Cfg.SinkGeometry);
 
   double PackageArea = Spec.PackageSizeM * Spec.PackageSizeM;
@@ -130,6 +133,11 @@ rcs::rcsystem::solveAirCooledModule(const ModuleConfig &Module,
 
   double BoardHeat =
       Board.computeFpgaCount() * Spec.DynamicPowerMaxW; // Initial guess.
+  if (const ModuleThermalReport *Warm = Options.WarmStart;
+      Warm && Warm->ItPowerW > 0.0 &&
+      Warm->Fpgas.size() == static_cast<size_t>(Module.NumCcbs) *
+                                Board.computeFpgaCount())
+    BoardHeat = Warm->ItPowerW / Module.NumCcbs;
   double TjFront = 0.0, TjBack = 0.0, PFront = 0.0, PBack = 0.0;
   double RFront = 0.0, RBack = 0.0;
   double FrontRef = Inlet, BackRef = Inlet;
@@ -201,7 +209,8 @@ rcs::rcsystem::solveAirCooledModule(const ModuleConfig &Module,
 Expected<ModuleThermalReport>
 rcs::rcsystem::solveColdPlateModule(const ModuleConfig &Module,
                                     const ExternalConditions &Conditions,
-                                    const fpga::WorkloadPoint &Load) {
+                                    const fpga::WorkloadPoint &Load,
+                                    const ModuleSolveOptions &Options) {
   const ColdPlateCoolingConfig &Cfg = Module.ColdPlate;
   if (Cfg.WaterFlowM3PerS <= 0.0)
     return Expected<ModuleThermalReport>::error(
@@ -211,6 +220,8 @@ rcs::rcsystem::solveColdPlateModule(const ModuleConfig &Module,
   const fpga::FpgaSpec &Spec = Board.fpgaSpec();
   fpga::FpgaPowerModel PowerModel(Spec);
   auto Water = fluids::makeWater();
+  if (Options.UseFluidPropertyCache)
+    Water->enablePropertyCache();
 
   double PackageArea = Spec.PackageSizeM * Spec.PackageSizeM;
   double TimR = thermal::ThermalInterface::makeSiliconeGrease(PackageArea)
@@ -228,6 +239,16 @@ rcs::rcsystem::solveColdPlateModule(const ModuleConfig &Module,
   std::vector<double> ChipPower(N, Spec.DynamicPowerMaxW);
   std::vector<double> ChipTj(N, Inlet + 20.0);
   std::vector<double> LocalWater(N, Inlet);
+  if (const ModuleThermalReport *Warm = Options.WarmStart;
+      Warm && Warm->Fpgas.size() ==
+                  static_cast<size_t>(Module.NumCcbs) * N) {
+    // Boards are identical in this solver; board 0's states seed all.
+    for (int I = 0; I != N; ++I) {
+      ChipPower[I] = Warm->Fpgas[I].PowerW;
+      ChipTj[I] = Warm->Fpgas[I].JunctionTempC;
+      LocalWater[I] = Warm->Fpgas[I].LocalCoolantTempC;
+    }
+  }
   for (int Iter = 0; Iter != 100; ++Iter) {
     double Cumulative = 0.0;
     double MaxChange = 0.0;
@@ -297,7 +318,8 @@ rcs::rcsystem::solveColdPlateModule(const ModuleConfig &Module,
 Expected<ModuleThermalReport>
 rcs::rcsystem::solveImmersionModule(const ModuleConfig &Module,
                                     const ExternalConditions &Conditions,
-                                    const fpga::WorkloadPoint &Load) {
+                                    const fpga::WorkloadPoint &Load,
+                                    const ModuleSolveOptions &Options) {
   const ImmersionCoolingConfig &Cfg = Module.Immersion;
   if (Cfg.BathFlowAreaM2 <= 0.0)
     return Expected<ModuleThermalReport>::error(
@@ -308,6 +330,10 @@ rcs::rcsystem::solveImmersionModule(const ModuleConfig &Module,
   fpga::FpgaPowerModel PowerModel(Spec);
   auto Oil = makeCoolant(Cfg.CoolantKind);
   auto Water = fluids::makeWater();
+  if (Options.UseFluidPropertyCache) {
+    Oil->enablePropertyCache();
+    Water->enablePropertyCache();
+  }
   thermal::PinFinHeatSink Sink("immersion sink", Cfg.SinkGeometry);
 
   double PackageArea = Spec.PackageSizeM * Spec.PackageSizeM;
@@ -365,6 +391,19 @@ rcs::rcsystem::solveImmersionModule(const ModuleConfig &Module,
   std::vector<double> BoardTj(Boards, OilCold + 15.0);
   std::vector<double> BoardChipPower(Boards, Spec.DynamicPowerMaxW);
   std::vector<double> BoardR(Boards, 0.2);
+  if (const ModuleThermalReport *Warm = Options.WarmStart;
+      Warm && Warm->TotalHeatW > 0.0 &&
+      Warm->Fpgas.size() == static_cast<size_t>(Boards) * N &&
+      Warm->PerBoardCoolantTempC.size() == static_cast<size_t>(Boards)) {
+    TotalHeat = Warm->TotalHeatW;
+    OilCold = Warm->CoolantColdTempC;
+    for (int B = 0; B != Boards; ++B) {
+      const FpgaThermalState &Chip = Warm->Fpgas[static_cast<size_t>(B) * N];
+      BoardLocal[B] = Warm->PerBoardCoolantTempC[B];
+      BoardTj[B] = Chip.JunctionTempC;
+      BoardChipPower[B] = Chip.PowerW;
+    }
+  }
 
   double PsuLoss = 0.0;
   for (int Iter = 0; Iter != 120; ++Iter) {

@@ -113,6 +113,30 @@ struct ExternalConditions {
   double WaterFlowM3PerS = 8.0e-4;
 };
 
+// Forward declaration for ModuleSolveOptions::WarmStart.
+struct ModuleThermalReport;
+
+/// Options for the module steady-state cooling solvers.
+struct ModuleSolveOptions {
+  /// Cache fluid property evaluations inside the solver's fixed-point
+  /// loops (see fluids::Fluid::enablePropertyCache). Off by default so
+  /// results evaluate the exact property tables; the cached grid agrees
+  /// only to floating-point rounding (~1e-15 relative). Opt in where
+  /// repeated-solve throughput matters (sweeps, design exploration).
+  bool UseFluidPropertyCache = false;
+
+  /// Warm-start the coupled heat/temperature fixed point from a prior
+  /// report of the *same module shape* — the trim-loop and design-sweep
+  /// pattern, mirroring FlowSolveOptions::WarmStartPressuresPa. The
+  /// solver seeds its iteration state (total heat, per-board chip power
+  /// and coolant temperatures) from the report instead of the nameplate
+  /// guess, converging in 1-2 sweeps instead of tens. Ignored when null
+  /// or when the report's shape does not match the module; like the
+  /// hydraulic warm start, the result agrees with a cold solve to the
+  /// fixed point's convergence tolerance, not bit-for-bit.
+  const ModuleThermalReport *WarmStart = nullptr;
+};
+
 /// Thermal state of one compute FPGA.
 struct FpgaThermalState {
   double JunctionTempC = 0.0;
@@ -171,19 +195,22 @@ struct ModuleConfig;
 Expected<ModuleThermalReport>
 solveAirCooledModule(const ModuleConfig &Module,
                      const ExternalConditions &Conditions,
-                     const fpga::WorkloadPoint &Load);
+                     const fpga::WorkloadPoint &Load,
+                     const ModuleSolveOptions &Options = ModuleSolveOptions());
 
 /// Solves a cold-plate (closed-loop) module.
 Expected<ModuleThermalReport>
 solveColdPlateModule(const ModuleConfig &Module,
                      const ExternalConditions &Conditions,
-                     const fpga::WorkloadPoint &Load);
+                     const fpga::WorkloadPoint &Load,
+                     const ModuleSolveOptions &Options = ModuleSolveOptions());
 
 /// Solves an immersion (open-loop) module.
 Expected<ModuleThermalReport>
 solveImmersionModule(const ModuleConfig &Module,
                      const ExternalConditions &Conditions,
-                     const fpga::WorkloadPoint &Load);
+                     const fpga::WorkloadPoint &Load,
+                     const ModuleSolveOptions &Options = ModuleSolveOptions());
 
 } // namespace rcsystem
 } // namespace rcs

@@ -39,15 +39,15 @@ Expected<ModuleThermalReport> ComputationalModule::solveSteadyState(
 }
 
 Expected<ModuleThermalReport> ComputationalModule::solveSteadyState(
-    const ExternalConditions &Conditions,
-    const fpga::WorkloadPoint &Load) const {
+    const ExternalConditions &Conditions, const fpga::WorkloadPoint &Load,
+    const ModuleSolveOptions &Options) const {
   switch (Config.Cooling) {
   case CoolingKind::ForcedAir:
-    return solveAirCooledModule(Config, Conditions, Load);
+    return solveAirCooledModule(Config, Conditions, Load, Options);
   case CoolingKind::ColdPlate:
-    return solveColdPlateModule(Config, Conditions, Load);
+    return solveColdPlateModule(Config, Conditions, Load, Options);
   case CoolingKind::Immersion:
-    return solveImmersionModule(Config, Conditions, Load);
+    return solveImmersionModule(Config, Conditions, Load, Options);
   }
   assert(false && "unknown cooling kind");
   return Expected<ModuleThermalReport>::error("unknown cooling kind");

@@ -66,10 +66,14 @@ public:
   Expected<ModuleThermalReport>
   solveSteadyState(const ExternalConditions &Conditions) const;
 
-  /// Steady state under an explicit workload.
+  /// Steady state under an explicit workload. \p Options tunes solver
+  /// internals (e.g. the fluid property cache for repeated-solve
+  /// throughput) without changing the physical configuration.
   Expected<ModuleThermalReport>
   solveSteadyState(const ExternalConditions &Conditions,
-                   const fpga::WorkloadPoint &Load) const;
+                   const fpga::WorkloadPoint &Load,
+                   const ModuleSolveOptions &Options =
+                       ModuleSolveOptions()) const;
 
 private:
   ModuleConfig Config;

@@ -1,0 +1,50 @@
+//===- thermal/Fleet.cpp - Datacenter-scale fleet thermal networks ---------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "thermal/Fleet.h"
+
+#include <string>
+
+using namespace rcs;
+using namespace rcs::thermal;
+
+size_t rcs::thermal::fleetUnknowns(const FleetConfig &Config) {
+  return Config.NumRacks * (1 + 2 * Config.ModulesPerRack);
+}
+
+FleetNetwork rcs::thermal::buildFleetNetwork(const FleetConfig &Config) {
+  FleetNetwork Fleet;
+  Fleet.RackLoops.reserve(Config.NumRacks);
+  Fleet.Chips.reserve(Config.NumRacks * Config.ModulesPerRack);
+  Fleet.Plates.reserve(Config.NumRacks * Config.ModulesPerRack);
+
+  Fleet.Facility =
+      Fleet.Net.addBoundaryNode("facility", Config.FacilityWaterTemp);
+  for (size_t R = 0; R != Config.NumRacks; ++R) {
+    std::string RackName = "rack" + std::to_string(R);
+    NodeId Loop =
+        Fleet.Net.addNode(RackName + ".loop", Config.LoopCapacitance);
+    Fleet.Net.addConductance(Loop, Fleet.Facility, Config.LoopToFacility);
+    if (R != 0)
+      Fleet.Net.addConductance(Fleet.RackLoops[R - 1], Loop,
+                               Config.RackCoupling);
+    Fleet.RackLoops.push_back(Loop);
+
+    for (size_t M = 0; M != Config.ModulesPerRack; ++M) {
+      std::string ModuleName = RackName + ".cm" + std::to_string(M);
+      NodeId Plate =
+          Fleet.Net.addNode(ModuleName + ".plate", Config.PlateCapacitance);
+      NodeId Chip =
+          Fleet.Net.addNode(ModuleName + ".chip", Config.ChipCapacitance);
+      Fleet.Net.addConductance(Chip, Plate, Config.ChipToPlate);
+      Fleet.Net.addConductance(Plate, Loop, Config.PlateToLoop);
+      Fleet.Net.addHeatSource(Chip, Config.ModulePower);
+      Fleet.Plates.push_back(Plate);
+      Fleet.Chips.push_back(Chip);
+    }
+  }
+  return Fleet;
+}

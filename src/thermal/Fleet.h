@@ -1,0 +1,80 @@
+//===- thermal/Fleet.h - Datacenter-scale fleet thermal networks -*- C++ -*-===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builder for datacenter-scale thermal networks: N racks of M modules
+/// each, every module a chip + cold-plate pair feeding the rack coolant
+/// loop, every loop rejecting heat to one facility-water boundary, with
+/// neighbor-rack coupling along the row. The resulting reduced systems
+/// (N * (1 + 2M) unknowns — 4k+ at a few hundred racks) are what the
+/// sparse LDL^T path in support/SparseMatrix.h exists for; the dense path
+/// is O(n^3) per factorization and infeasible at this scale.
+///
+/// All public knobs are dimension-checked quantities (support/Quantity.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCS_THERMAL_FLEET_H
+#define RCS_THERMAL_FLEET_H
+
+#include "support/Quantity.h"
+#include "thermal/Network.h"
+
+#include <vector>
+
+namespace rcs {
+namespace thermal {
+
+/// Shape and lumped parameters of a fleet thermal model. Defaults sketch
+/// a skat-like rack row: 8-FPGA immersion modules at 850 W, rack CDUs on
+/// shared facility water at 18 C.
+struct FleetConfig {
+  size_t NumRacks = 32;
+  size_t ModulesPerRack = 8;
+
+  /// Facility chilled-water boundary temperature.
+  units::Celsius FacilityWaterTemp{18.0};
+  /// Heat injected at each module's chip node.
+  units::Watts ModulePower{850.0};
+  /// Lumped capacitance of a module's dies + package.
+  units::JoulesPerKelvin ChipCapacitance{120.0};
+  /// Lumped capacitance of a module's cold plate / bath interface.
+  units::JoulesPerKelvin PlateCapacitance{420.0};
+  /// Coolant inventory of one rack loop.
+  units::JoulesPerKelvin LoopCapacitance{5200.0};
+  /// Chip to cold-plate conductance per module.
+  units::WattsPerKelvin ChipToPlate{55.0};
+  /// Cold plate to rack-loop conductance per module.
+  units::WattsPerKelvin PlateToLoop{34.0};
+  /// Rack loop to facility water conductance (the CDU).
+  units::WattsPerKelvin LoopToFacility{480.0};
+  /// Neighbor-rack loop coupling along the row (shared return manifold).
+  units::WattsPerKelvin RackCoupling{6.0};
+};
+
+/// A built fleet network plus the node handles a driver needs: the
+/// facility boundary, one loop node per rack, and chip/plate nodes in
+/// rack-major order (rack R, module M at index R * ModulesPerRack + M).
+struct FleetNetwork {
+  ThermalNetwork Net;
+  NodeId Facility = 0;
+  std::vector<NodeId> RackLoops;
+  std::vector<NodeId> Chips;
+  std::vector<NodeId> Plates;
+};
+
+/// Unknown count of the reduced system for \p Config:
+/// NumRacks * (1 + 2 * ModulesPerRack).
+size_t fleetUnknowns(const FleetConfig &Config);
+
+/// Builds the fleet network for \p Config. Deterministic: the same
+/// config always produces the same node ordering and edge list.
+FleetNetwork buildFleetNetwork(const FleetConfig &Config);
+
+} // namespace thermal
+} // namespace rcs
+
+#endif // RCS_THERMAL_FLEET_H

@@ -42,13 +42,16 @@ void ThermalNetwork::addConductance(NodeId A, NodeId B, double GWPerK) {
   assert(GWPerK > 0 && "conductance must be positive");
   invalidateNumeric();
   // Accumulate into an existing edge when present to keep the edge list
-  // compact for repeatedly-built film coefficients.
+  // compact for repeatedly-built film coefficients. Accumulation keeps
+  // the sparsity pattern; only a genuinely new edge dirties the sparse
+  // symbolic analysis.
   for (Edge &E : Edges) {
     if ((E.A == A && E.B == B) || (E.A == B && E.B == A)) {
       E.GWPerK += GWPerK;
       return;
     }
   }
+  invalidateSparsePattern();
   Edges.push_back({A, B, GWPerK});
 }
 
@@ -91,8 +94,9 @@ void ThermalNetwork::setCapacitance(NodeId Node, double CapacitanceJPerK) {
   assert(CapacitanceJPerK >= 0 && "negative thermal capacitance");
   Nodes[Node].CapacitanceJPerK = CapacitanceJPerK;
   // Capacitance enters only the implicit-Euler matrix; the steady-state
-  // factor stays valid.
+  // factors (dense and sparse) stay valid.
   Cache.TransientValid = false;
+  Cache.SparseTransientValid = false;
 }
 
 void ThermalNetwork::setFactorCaching(bool Enabled) {
@@ -100,8 +104,37 @@ void ThermalNetwork::setFactorCaching(bool Enabled) {
   if (!Enabled) {
     Cache.SteadyFactor.reset();
     Cache.TransientFactor.reset();
+    Cache.SparseSteady.reset();
+    Cache.SparseTransient.reset();
+    invalidateSparsePattern();
     invalidateNumeric();
   }
+}
+
+void ThermalNetwork::setSparseSolver(bool Enabled) {
+  SparseEnabled = Enabled;
+  if (!Enabled) {
+    Cache.SparseSteady.reset();
+    Cache.SparseTransient.reset();
+    invalidateSparsePattern();
+  }
+}
+
+void ThermalNetwork::setSparseThreshold(size_t MinUnknowns) {
+  SparseThresholdUnknowns = MinUnknowns;
+}
+
+size_t ThermalNetwork::solverMemoryBytes() const {
+  size_t Bytes = 0;
+  if (Cache.SteadyFactor.valid())
+    Bytes +=
+        Cache.SteadyFactor.size() * Cache.SteadyFactor.size() * sizeof(double);
+  if (Cache.TransientFactor.valid())
+    Bytes += Cache.TransientFactor.size() * Cache.TransientFactor.size() *
+             sizeof(double);
+  Bytes += Cache.SparseSteady.memoryBytes();
+  Bytes += Cache.SparseTransient.memoryBytes();
+  return Bytes;
 }
 
 const std::string &ThermalNetwork::nodeName(NodeId Node) const {
@@ -145,6 +178,22 @@ void ThermalNetwork::ensureSymbolic() const {
   Cache.SymbolicValid = true;
   Cache.SteadyValid = false;
   Cache.TransientValid = false;
+  Cache.SparsePatternValid = false;
+  Cache.SparseSteadyValid = false;
+  Cache.SparseTransientValid = false;
+}
+
+void ThermalNetwork::ensureSparsePattern() const {
+  if (Cache.SparsePatternValid)
+    return;
+  // Topology changed since the last sparse solve: drop both symbolic
+  // analyses so the next factorize re-runs ordering + elimination tree
+  // over the current pattern.
+  Cache.SparseSteady.reset();
+  Cache.SparseTransient.reset();
+  Cache.SparseSteadyValid = false;
+  Cache.SparseTransientValid = false;
+  Cache.SparsePatternValid = true;
 }
 
 Matrix ThermalNetwork::assembleSteadyMatrix() const {
@@ -199,6 +248,42 @@ Matrix ThermalNetwork::assembleTransientMatrix(double DtS) const {
   return A;
 }
 
+SparseCsr ThermalNetwork::assembleSparse(double DtS) const {
+  // Emit the structural diagonal first — value C/dt for the transient
+  // system, zero for steady — then the edge contributions in edge order.
+  // fromTriplets sums duplicates in input order, so repeated assembly is
+  // bit-reproducible, and because the coordinate list is identical for
+  // every DtS (including the steady DtS < 0 case) the steady and
+  // transient factors share one symbolic analysis.
+  std::vector<Triplet> Entries;
+  Entries.reserve(Cache.NumUnknowns + 4 * Edges.size());
+  for (size_t I = 0, E = Nodes.size(); I != E; ++I) {
+    if (Nodes[I].Boundary)
+      continue;
+    double DiagValue = DtS > 0.0 ? Nodes[I].CapacitanceJPerK / DtS : 0.0;
+    Entries.push_back({Cache.UnknownIndex[I], Cache.UnknownIndex[I], DiagValue});
+  }
+  for (const Edge &Ed : Edges) {
+    bool ABound = Nodes[Ed.A].Boundary;
+    bool BBound = Nodes[Ed.B].Boundary;
+    if (ABound && BBound)
+      continue;
+    if (!ABound) {
+      size_t IA = Cache.UnknownIndex[Ed.A];
+      Entries.push_back({IA, IA, Ed.GWPerK});
+      if (!BBound)
+        Entries.push_back({IA, Cache.UnknownIndex[Ed.B], -Ed.GWPerK});
+    }
+    if (!BBound) {
+      size_t IB = Cache.UnknownIndex[Ed.B];
+      Entries.push_back({IB, IB, Ed.GWPerK});
+      if (!ABound)
+        Entries.push_back({IB, Cache.UnknownIndex[Ed.A], -Ed.GWPerK});
+    }
+  }
+  return SparseCsr::fromTriplets(Cache.NumUnknowns, Entries);
+}
+
 Expected<std::vector<double>> ThermalNetwork::solveSteadyState() const {
   static telemetry::Counter &SolveCount =
       telemetry::Registry::global().counter("thermal.network.steady_solves");
@@ -238,7 +323,41 @@ Expected<std::vector<double>> ThermalNetwork::solveSteadyState() const {
   }
 
   std::vector<double> Reduced;
-  if (CachingEnabled) {
+  if (useSparsePath()) {
+    static telemetry::Counter &SparseCount =
+        telemetry::Registry::global().counter("thermal.network.sparse_solves");
+    static telemetry::Counter &SymbolicCount =
+        telemetry::Registry::global().counter(
+            "thermal.network.sparse_symbolic");
+    SparseCount.add();
+    SolveSpan.attr("sparse", true);
+    ensureSparsePattern();
+    if (!Cache.SparseSteadyValid) {
+      SparseCsr A = assembleSparse(-1.0);
+      if (!Cache.SparseSteady.analyzed()) {
+        // Symbolic phase: ordering + elimination tree, pattern-only work
+        // reused across every numeric refactorization below.
+        (void)Cache.SparseSteady.analyze(A);
+        SymbolicCount.add();
+      }
+      Status Factored = Cache.SparseSteady.factorize(A);
+      if (!Factored) {
+        telemetry::Registry::global()
+            .counter("thermal.network.solve_failures")
+            .add();
+        return Expected<std::vector<double>>::error(
+            "thermal network is singular: an internal node has no path to "
+            "any boundary (" + Factored.message() + ")");
+      }
+      Cache.SparseSteadyValid = true;
+      FactorCount.add();
+      SolveSpan.attr("factor_hit", false);
+    } else {
+      ReuseCount.add();
+      SolveSpan.attr("factor_hit", true);
+    }
+    Reduced = Cache.SparseSteady.solve(std::move(B));
+  } else if (CachingEnabled) {
     // Numeric phase, matrix: refactor only when a mutator dirtied the
     // conductances since the factorization was built.
     if (!Cache.SteadyValid) {
@@ -338,7 +457,41 @@ Status ThermalNetwork::stepTransient(std::vector<double> &Temps,
   }
 
   std::vector<double> Next;
-  if (CachingEnabled) {
+  if (useSparsePath()) {
+    static telemetry::Counter &SparseCount =
+        telemetry::Registry::global().counter("thermal.network.sparse_solves");
+    static telemetry::Counter &SymbolicCount =
+        telemetry::Registry::global().counter(
+            "thermal.network.sparse_symbolic");
+    SparseCount.add();
+    StepSpan.attr("sparse", true);
+    ensureSparsePattern();
+    // skatlint:ignore(float-equality) -- dt is a cache key here, not a
+    // physics comparison: any bitwise change must trigger a refactor.
+    bool SameDt = DtS == Cache.SparseTransientDtS;
+    if (!Cache.SparseTransientValid || !SameDt) {
+      SparseCsr A = assembleSparse(DtS);
+      if (!Cache.SparseTransient.analyzed()) {
+        // Symbolic phase, shared pattern with the steady system: survives
+        // conductance/capacitance/dt edits, redone only on topology
+        // changes.
+        (void)Cache.SparseTransient.analyze(A);
+        SymbolicCount.add();
+      }
+      Status Factored = Cache.SparseTransient.factorize(A);
+      if (!Factored)
+        return Status::error("transient thermal step failed: " +
+                             Factored.message());
+      Cache.SparseTransientValid = true;
+      Cache.SparseTransientDtS = DtS;
+      FactorCount.add();
+      StepSpan.attr("factor_hit", false);
+    } else {
+      ReuseCount.add();
+      StepSpan.attr("factor_hit", true);
+    }
+    Next = Cache.SparseTransient.solve(std::move(B));
+  } else if (CachingEnabled) {
     // skatlint:ignore(float-equality) -- dt is a cache key here, not a
     // physics comparison: any bitwise change must trigger a refactor.
     bool SameDt = DtS == Cache.TransientDtS;

@@ -21,6 +21,7 @@
 
 #include "support/Numerics.h"
 #include "support/Quantity.h"
+#include "support/SparseMatrix.h"
 #include "support/Status.h"
 
 #include <string>
@@ -82,6 +83,39 @@ public:
 
   /// True when factorization caching is enabled.
   bool factorCachingEnabled() const { return CachingEnabled; }
+
+  /// Enables or disables the sparse solve path (on by default).
+  ///
+  /// With the sparse solver on, networks at or above the threshold (see
+  /// setSparseThreshold) assemble directly into CSR and solve through a
+  /// split-phase LDL^T (support/SparseMatrix.h); smaller networks — and
+  /// everything when this is off — stay on the bit-exact dense
+  /// `LuFactorization` path. The two paths agree to linear-solver
+  /// round-off, not bitwise (tests/solver_equivalence_test.cpp pins the
+  /// tolerance); disabling is the benchmark ablation leg, mirroring
+  /// setFactorCaching.
+  void setSparseSolver(bool Enabled);
+
+  /// True when the sparse solve path is enabled.
+  bool sparseSolverEnabled() const { return SparseEnabled; }
+
+  /// Unknown count at which solves switch to the sparse path.
+  ///
+  /// Below \p MinUnknowns the dense factor wins on constant factors; the
+  /// default (128) is where the CSR path starts paying for itself on the
+  /// ladder benchmarks (docs/PERFORMANCE.md).
+  void setSparseThreshold(size_t MinUnknowns);
+
+  /// The sparse-path switch-over threshold in unknowns.
+  size_t sparseThresholdUnknowns() const { return SparseThresholdUnknowns; }
+
+  /// Default sparse switch-over threshold in unknowns.
+  static constexpr size_t DefaultSparseThresholdUnknowns = 128;
+
+  /// Approximate heap bytes held by the cached solver factors: a dense LU
+  /// holds N*N coefficients; the sparse factors report their index and
+  /// value arrays. Feeds the peak-matrix-bytes metric in bench_p1_solvers.
+  size_t solverMemoryBytes() const;
 
   /// \name Dimension-checked builders
   /// Typed mirrors of the setters above (see support/Quantity.h). A
@@ -196,24 +230,59 @@ private:
     LuFactorization TransientFactor;
     bool TransientValid = false;
     double TransientDtS = -1.0; // Time step the transient factor was built for.
+
+    // Sparse path. The steady and transient systems share one sparsity
+    // pattern (the structural diagonal is always assembled, value zero if
+    // need be), so each SparseLdlt's symbolic products survive every
+    // mutation short of topology changes: RHS setters touch nothing,
+    // conductance/capacitance/dt edits drop only the numeric flags below,
+    // node or edge insertion clears PatternValid and forces both objects
+    // through a fresh analyze().
+    bool SparsePatternValid = false;
+    SparseLdlt SparseSteady;
+    bool SparseSteadyValid = false;
+    SparseLdlt SparseTransient;
+    bool SparseTransientValid = false;
+    double SparseTransientDtS = -1.0;
   };
   mutable SolverCache Cache;
   bool CachingEnabled = true;
+  bool SparseEnabled = true;
+  size_t SparseThresholdUnknowns = DefaultSparseThresholdUnknowns;
 
   void invalidateSymbolic() {
     Cache.SymbolicValid = false;
+    invalidateSparsePattern();
     invalidateNumeric();
   }
   void invalidateNumeric() {
     Cache.SteadyValid = false;
     Cache.TransientValid = false;
+    Cache.SparseSteadyValid = false;
+    Cache.SparseTransientValid = false;
+  }
+  void invalidateSparsePattern() {
+    Cache.SparsePatternValid = false;
+    Cache.SparseSteadyValid = false;
+    Cache.SparseTransientValid = false;
+  }
+  /// True when this solve should route through the sparse path.
+  bool useSparsePath() const {
+    return CachingEnabled && SparseEnabled &&
+           Cache.NumUnknowns >= SparseThresholdUnknowns;
   }
   /// Rebuilds the unknown indexing when stale.
   void ensureSymbolic() const;
+  /// Drops stale sparse symbolic products after a topology change.
+  void ensureSparsePattern() const;
   /// Assembles the reduced steady-state matrix (Laplacian over unknowns).
   Matrix assembleSteadyMatrix() const;
   /// Assembles the implicit-Euler matrix C/dt + L for \p DtS.
   Matrix assembleTransientMatrix(double DtS) const;
+  /// CSR twins of the assemblers above. DtS < 0 selects the steady system
+  /// (structural zero diagonal); both emit the same coordinate list so
+  /// the two factors share one symbolic analysis.
+  SparseCsr assembleSparse(double DtS) const;
 };
 
 } // namespace thermal

@@ -137,6 +137,88 @@ TEST(AuditTest, CorruptedStepStateBlowsTheEnergyBudget) {
   EXPECT_FALSE(Auditor.summary().withinBudgets(Auditor.budgets()));
 }
 
+namespace {
+
+/// A ladder network big enough to route through the sparse LDL^T path
+/// (unknowns above the default sparse threshold).
+thermal::ThermalNetwork makeSparseLadder(size_t NumInternal) {
+  thermal::ThermalNetwork Net;
+  thermal::NodeId Coolant = Net.addBoundaryNode("coolant", 30.0);
+  thermal::NodeId Prev = Coolant;
+  for (size_t I = 0; I != NumInternal; ++I) {
+    thermal::NodeId Node = Net.addNode("n" + std::to_string(I),
+                                       80.0 + 2.0 * (I % 11));
+    Net.addConductance(Prev, Node, 1.5 + 0.05 * (I % 7));
+    Net.addHeatSource(Node, 4.0 + 0.25 * (I % 5));
+    Prev = Node;
+  }
+  return Net;
+}
+
+} // namespace
+
+TEST(AuditTest, SparseSolvePathClosesAtMachineEps) {
+  // Energy-closure coverage of the sparse path from day one: the audit
+  // residuals are re-derived from the network, so they check the sparse
+  // factorization end-to-end, not just against the dense path.
+  thermal::ThermalNetwork Net = makeSparseLadder(256);
+  ASSERT_TRUE(Net.sparseSolverEnabled());
+  ASSERT_GE(Net.numNodes() - 1, Net.sparseThresholdUnknowns());
+
+  PhysicsAuditor Auditor((DriftBudgets()));
+  Auditor.noteSparseSolver(Net.sparseSolverEnabled());
+  std::vector<double> State(Net.numNodes(), 30.0);
+  for (int Step = 0; Step != 20; ++Step) {
+    std::vector<double> Before = State;
+    ASSERT_TRUE(Net.stepTransient(State, 5.0).isOk());
+    EnergyClosure Closure = Auditor.recordThermalStep(Net, Before, State, 5.0);
+    EXPECT_LT(Closure.Fraction, 1e-9) << "step " << Step;
+  }
+  const AuditSummary &Summary = Auditor.summary();
+  EXPECT_EQ(Summary.ThermalSteps, 20u);
+  EXPECT_LT(Summary.Energy.MaxFraction, 1e-9);
+  EXPECT_LT(Summary.EnergyNode.MaxFraction, 1e-9);
+  EXPECT_TRUE(Summary.SparseSolverEnabled);
+  EXPECT_TRUE(Summary.withinBudgets(Auditor.budgets()));
+}
+
+TEST(AuditTest, SparseSolvePathBreachesATightEnergyBudget) {
+  // Same sparse-path plant, but with budgets squeezed below an injected
+  // drift: the breach must be caught and attributed.
+  thermal::ThermalNetwork Net = makeSparseLadder(256);
+
+  DriftBudgets Tight;
+  Tight.EnergyFractionWarn = units::Scalar(1e-13);
+  Tight.EnergyFractionCritical = units::Scalar(1e-12);
+  PhysicsAuditor Auditor(Tight);
+  Auditor.noteSparseSolver(Net.sparseSolverEnabled());
+
+  std::vector<double> State(Net.numNodes(), 30.0);
+  // Corrupt one node by a milli-Kelvin each step: tiny against the
+  // temperatures, huge against a 1e-12 closure budget. The alarm bank
+  // debounces (DebounceSamples), so the excursion must persist across
+  // several audited steps before the sensor may latch Critical.
+  for (int Step = 0; Step != 4; ++Step) {
+    std::vector<double> Before = State;
+    ASSERT_TRUE(Net.stepTransient(State, 5.0).isOk());
+    std::vector<double> Corrupted = State;
+    Corrupted[5] += 1e-3;
+    EnergyClosure Broken =
+        Auditor.recordThermalStep(Net, Before, Corrupted, 5.0);
+    EXPECT_GT(Broken.Fraction, Tight.EnergyFractionCritical.value());
+    State = Corrupted;
+    (void)Auditor.updateAlarms(5.0 * (Step + 1));
+  }
+  bool SawCritical = false;
+  for (const monitor::AlarmTransition &T :
+       Auditor.supervisor().allTransitions())
+    SawCritical |= T.Sensor == "audit.energy_fraction" &&
+                   T.To == monitor::AlarmState::Critical;
+  EXPECT_TRUE(SawCritical);
+  EXPECT_GT(Auditor.summary().Energy.Violations, 0u);
+  EXPECT_FALSE(Auditor.summary().withinBudgets(Tight));
+}
+
 TEST(AuditTest, BudgetBreachTripsAlarmAndFlightRecorder) {
   sim::RackTransientSimulator Simulator(core::makeSkatRack(), 25.0);
 

@@ -13,16 +13,21 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "core/Designs.h"
 #include "fluids/Fluid.h"
 #include "hydraulics/InternalLoop.h"
+#include "system/Module.h"
 #include "hydraulics/Manifold.h"
 #include "support/Interp.h"
 #include "support/Numerics.h"
+#include "telemetry/Telemetry.h"
 #include "thermal/Network.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 using namespace rcs;
@@ -257,6 +262,192 @@ TEST(ThermalEquivalenceTest, SingularNetworkStillReportsTheSeedError) {
 }
 
 //===----------------------------------------------------------------------===//
+// Thermal network: sparse LDL^T path vs the dense path
+//===----------------------------------------------------------------------===//
+
+// The sparse path is tolerance-equivalent to the dense path, not bitwise:
+// the fill-reducing permutation changes the elimination order. The
+// tolerances mirror the hydraulic analytic-vs-FD pattern below.
+
+namespace {
+
+/// Forces every solve of \p Net through the sparse path.
+void forceSparse(ThermalNetwork &Net) {
+  Net.setSparseSolver(true);
+  Net.setSparseThreshold(1);
+}
+
+} // namespace
+
+TEST(SparseEquivalenceTest, SteadyStateMatchesDenseAcrossLadderSizes) {
+  for (int N : {8, 32, 64, 128, 256}) {
+    ThermalNetwork Sparse, Dense;
+    buildLadder(Sparse, N);
+    buildLadder(Dense, N);
+    forceSparse(Sparse);
+    Dense.setSparseSolver(false);
+
+    Expected<std::vector<double>> A = Sparse.solveSteadyState();
+    Expected<std::vector<double>> B = Dense.solveSteadyState();
+    ASSERT_TRUE(A);
+    ASSERT_TRUE(B);
+    ASSERT_EQ(A->size(), B->size());
+    for (size_t I = 0; I != A->size(); ++I)
+      EXPECT_NEAR((*A)[I], (*B)[I], 1e-7 * std::max(1.0, std::fabs((*B)[I])))
+          << "N=" << N << " node " << I;
+    // Both must satisfy energy conservation at the same scale.
+    EXPECT_NEAR(Sparse.steadyStateResidualW(*A), 0.0, 1e-6);
+  }
+}
+
+TEST(SparseEquivalenceTest, TransientTrajectoriesMatchThroughEveryMutatorClass) {
+  ThermalNetwork Sparse, Dense;
+  LadderHandles HS = buildLadder(Sparse, 48);
+  LadderHandles HD = buildLadder(Dense, 48);
+  forceSparse(Sparse);
+  Dense.setSparseSolver(false);
+
+  std::vector<double> StateA(Sparse.numNodes(), 22.0);
+  std::vector<double> StateB = StateA;
+  double DtS = 2.0;
+  for (int Step = 0; Step != 60; ++Step) {
+    // Every mutator class mid-run: conductance edit (numeric-only
+    // refactorization), capacitance edit (transient numeric only), a new
+    // edge (pattern change, symbolic redo), and a dt change.
+    if (Step == 15) {
+      Sparse.setConductance(HS.Internal[2], HS.Internal[3], 7.5);
+      Dense.setConductance(HD.Internal[2], HD.Internal[3], 7.5);
+    }
+    if (Step == 25) {
+      Sparse.setCapacitance(HS.Internal[5], 90.0);
+      Dense.setCapacitance(HD.Internal[5], 90.0);
+    }
+    if (Step == 35) {
+      Sparse.addConductance(HS.Internal[10], HS.Internal[40], 1.25);
+      Dense.addConductance(HD.Internal[10], HD.Internal[40], 1.25);
+    }
+    if (Step == 45)
+      DtS = 0.5;
+    // RHS-only mutations every step keep the factors warm on both paths.
+    Sparse.setHeatSource(HS.Internal[0], 5.0 + 0.1 * Step);
+    Dense.setHeatSource(HD.Internal[0], 5.0 + 0.1 * Step);
+    Sparse.setBoundaryTemp(HS.Boundary, 20.0 + 0.02 * Step);
+    Dense.setBoundaryTemp(HD.Boundary, 20.0 + 0.02 * Step);
+    ASSERT_TRUE(Sparse.stepTransient(StateA, DtS).isOk());
+    ASSERT_TRUE(Dense.stepTransient(StateB, DtS).isOk());
+    for (size_t I = 0; I != StateA.size(); ++I)
+      EXPECT_NEAR(StateA[I], StateB[I],
+                  1e-7 * std::max(1.0, std::fabs(StateB[I])))
+          << "step " << Step << " node " << I;
+  }
+}
+
+TEST(SparseEquivalenceTest, RhsOnlyMutationsReuseTheNumericFactor) {
+  ThermalNetwork Net;
+  LadderHandles H = buildLadder(Net, 160);
+  forceSparse(Net);
+
+  // Prime both factors, then mutate only the right-hand side: the
+  // telemetry factorization counter must not move (the acceptance
+  // criterion for the symbolic/numeric split).
+  ASSERT_TRUE(Net.solveSteadyState());
+  std::vector<double> State(Net.numNodes(), 22.0);
+  ASSERT_TRUE(Net.stepTransient(State, 1.0).isOk());
+
+  telemetry::Counter &Factorizations =
+      telemetry::Registry::global().counter("thermal.network.factorizations");
+  telemetry::Counter &Reuses =
+      telemetry::Registry::global().counter("thermal.network.factor_reuses");
+  uint64_t FactorsBefore = Factorizations.value();
+  uint64_t ReusesBefore = Reuses.value();
+  for (int Round = 0; Round != 5; ++Round) {
+    Net.setHeatSource(H.Internal[7], 10.0 + Round);
+    Net.setBoundaryTemp(H.Boundary, 18.0 + 0.5 * Round);
+    ASSERT_TRUE(Net.solveSteadyState());
+    ASSERT_TRUE(Net.stepTransient(State, 1.0).isOk());
+  }
+  EXPECT_EQ(Factorizations.value(), FactorsBefore)
+      << "RHS-only mutations must reuse the numeric factor";
+  EXPECT_EQ(Reuses.value(), ReusesBefore + 10);
+}
+
+TEST(SparseEquivalenceTest, ConductanceEditRefactorsNumericOnly) {
+  ThermalNetwork Net;
+  LadderHandles H = buildLadder(Net, 160);
+  forceSparse(Net);
+  ASSERT_TRUE(Net.solveSteadyState());
+
+  telemetry::Counter &Symbolic =
+      telemetry::Registry::global().counter("thermal.network.sparse_symbolic");
+  telemetry::Counter &Factorizations =
+      telemetry::Registry::global().counter("thermal.network.factorizations");
+  uint64_t SymbolicBefore = Symbolic.value();
+  uint64_t FactorsBefore = Factorizations.value();
+
+  // Value edit on an existing edge: numeric refactorization, no symbolic.
+  Net.setConductance(H.Internal[3], H.Internal[4], 9.0);
+  ASSERT_TRUE(Net.solveSteadyState());
+  EXPECT_EQ(Symbolic.value(), SymbolicBefore);
+  EXPECT_EQ(Factorizations.value(), FactorsBefore + 1);
+
+  // A new edge changes the pattern: the symbolic analysis must rerun.
+  Net.addConductance(H.Internal[0], H.Internal[100], 0.75);
+  ASSERT_TRUE(Net.solveSteadyState());
+  EXPECT_EQ(Symbolic.value(), SymbolicBefore + 1);
+  EXPECT_EQ(Factorizations.value(), FactorsBefore + 2);
+}
+
+TEST(SparseEquivalenceTest, SingularNetworkReportsTheSeedError) {
+  // Orphan internal node: the sparse path must report the same seed
+  // error message as the dense paths.
+  for (bool UseSparse : {true, false}) {
+    ThermalNetwork Net;
+    Net.setSparseSolver(UseSparse);
+    Net.setSparseThreshold(1);
+    Net.addBoundaryNode("sink", 20.0);
+    Net.addNode("orphan", 10.0);
+    Net.addNode("connected", 10.0);
+    Net.addConductance(0, 2, 2.0);
+    Expected<std::vector<double>> Result = Net.solveSteadyState();
+    ASSERT_FALSE(Result);
+    EXPECT_NE(Result.message().find("thermal network is singular"),
+              std::string::npos)
+        << "sparse=" << UseSparse;
+  }
+}
+
+TEST(SparseEquivalenceTest, BelowThresholdStaysOnTheBitExactDensePath) {
+  // With the default threshold, a small network solves dense whether the
+  // sparse solver is enabled or not — bit-identical results.
+  ThermalNetwork WithSparse, WithoutSparse;
+  buildLadder(WithSparse, 16);
+  buildLadder(WithoutSparse, 16);
+  ASSERT_TRUE(WithSparse.sparseSolverEnabled());
+  WithoutSparse.setSparseSolver(false);
+  EXPECT_EQ(WithSparse.sparseThresholdUnknowns(),
+            ThermalNetwork::DefaultSparseThresholdUnknowns);
+
+  Expected<std::vector<double>> A = WithSparse.solveSteadyState();
+  Expected<std::vector<double>> B = WithoutSparse.solveSteadyState();
+  ASSERT_TRUE(A);
+  ASSERT_TRUE(B);
+  for (size_t I = 0; I != A->size(); ++I)
+    EXPECT_EQ((*A)[I], (*B)[I]);
+}
+
+TEST(SparseEquivalenceTest, SparseFactorsUseLessMemoryThanDense) {
+  ThermalNetwork Sparse, Dense;
+  buildLadder(Sparse, 256);
+  buildLadder(Dense, 256);
+  forceSparse(Sparse);
+  Dense.setSparseSolver(false);
+  ASSERT_TRUE(Sparse.solveSteadyState());
+  ASSERT_TRUE(Dense.solveSteadyState());
+  EXPECT_GT(Sparse.solverMemoryBytes(), 0u);
+  EXPECT_LT(Sparse.solverMemoryBytes(), Dense.solverMemoryBytes() / 4);
+}
+
+//===----------------------------------------------------------------------===//
 // Hydraulic network: analytic Jacobian and warm starts vs the FD seed path
 //===----------------------------------------------------------------------===//
 
@@ -346,6 +537,65 @@ TEST(HydraulicEquivalenceTest, WrongSizedWarmStartIsIgnored) {
   ASSERT_TRUE(Reference);
   for (size_t E = 0; E != Reference->EdgeFlowsM3PerS.size(); ++E)
     EXPECT_EQ(Solution->EdgeFlowsM3PerS[E], Reference->EdgeFlowsM3PerS[E]);
+}
+
+//===----------------------------------------------------------------------===//
+// Coupled module solve: warm start vs cold fixed point
+//===----------------------------------------------------------------------===//
+
+TEST(ModuleEquivalenceTest, WarmStartMatchesColdSolveOnEveryCoolingKind) {
+  auto Conditions = core::makeNominalConditions();
+  std::vector<rcsystem::ModuleConfig> Configs = {core::makeSkatModule(),
+                                                 core::makeTaygetaModule()};
+  Configs.push_back(core::makeSkatModule());
+  Configs.back().Cooling = rcsystem::CoolingKind::ColdPlate;
+  for (const rcsystem::ModuleConfig &Config : Configs) {
+    rcsystem::ComputationalModule Module(Config);
+    auto Cold = Module.solveSteadyState(Conditions);
+    ASSERT_TRUE(Cold) << Config.Name;
+
+    rcsystem::ModuleSolveOptions Options;
+    Options.WarmStart = &*Cold;
+    auto Warm = Module.solveSteadyState(Conditions, Config.Load, Options);
+    ASSERT_TRUE(Warm) << Config.Name;
+    // Both runs converge the same damped fixed point to its internal
+    // tolerance; the warm one just starts at the answer.
+    EXPECT_NEAR(Warm->MaxJunctionTempC, Cold->MaxJunctionTempC, 1e-5)
+        << Config.Name;
+    EXPECT_NEAR(Warm->TotalHeatW, Cold->TotalHeatW,
+                1e-6 * Cold->TotalHeatW)
+        << Config.Name;
+    EXPECT_NEAR(Warm->CoolantHotTempC, Cold->CoolantHotTempC, 1e-5)
+        << Config.Name;
+    ASSERT_EQ(Warm->Fpgas.size(), Cold->Fpgas.size()) << Config.Name;
+    for (size_t I = 0; I != Cold->Fpgas.size(); ++I)
+      EXPECT_NEAR(Warm->Fpgas[I].JunctionTempC, Cold->Fpgas[I].JunctionTempC,
+                  1e-5)
+          << Config.Name << " fpga " << I;
+  }
+}
+
+TEST(ModuleEquivalenceTest, MismatchedWarmStartIsIgnoredBitExactly) {
+  auto Conditions = core::makeNominalConditions();
+  rcsystem::ComputationalModule Module(core::makeSkatModule());
+  auto Cold = Module.solveSteadyState(Conditions);
+  ASSERT_TRUE(Cold);
+
+  // A report from a differently-shaped module must not seed anything.
+  rcsystem::ModuleConfig SmallConfig = core::makeSkatModule();
+  SmallConfig.NumCcbs = 2;
+  rcsystem::ComputationalModule Small(SmallConfig);
+  auto SmallReport = Small.solveSteadyState(Conditions);
+  ASSERT_TRUE(SmallReport);
+
+  rcsystem::ModuleSolveOptions Stale;
+  Stale.WarmStart = &*SmallReport;
+  auto Guarded =
+      Module.solveSteadyState(Conditions, Module.config().Load, Stale);
+  ASSERT_TRUE(Guarded);
+  EXPECT_EQ(Guarded->MaxJunctionTempC, Cold->MaxJunctionTempC);
+  EXPECT_EQ(Guarded->TotalHeatW, Cold->TotalHeatW);
+  EXPECT_EQ(Guarded->CoolantColdTempC, Cold->CoolantColdTempC);
 }
 
 //===----------------------------------------------------------------------===//

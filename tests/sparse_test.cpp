@@ -1,0 +1,362 @@
+//===- tests/sparse_test.cpp - Sparse linear algebra unit coverage ---------===//
+//
+// Part of skatsim. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Unit coverage for support/SparseMatrix.h: CSR triplet assembly
+/// (duplicate summation, sorted rows, pattern identity), the reverse
+/// Cuthill-McKee ordering (valid permutation, bandwidth reduction,
+/// determinism), and the split-phase LDL^T factorization (dense
+/// cross-check, symbolic reuse across numeric refactorizations, ordering
+/// on/off agreement, singular detection).
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Numerics.h"
+#include "support/SparseMatrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+using namespace rcs;
+
+namespace {
+
+/// A deterministic SPD test matrix: 1D Laplacian chain with a varied
+/// positive diagonal shift and a few longer-range couplings, mimicking
+/// the thermal ladder structure.
+SparseCsr makeSpdChain(size_t N) {
+  std::vector<Triplet> Entries;
+  for (size_t I = 0; I != N; ++I)
+    Entries.push_back({I, I, 4.0 + 0.1 * static_cast<double>(I % 7)});
+  for (size_t I = 0; I + 1 != N; ++I) {
+    Entries.push_back({I, I + 1, -1.0});
+    Entries.push_back({I + 1, I, -1.0});
+  }
+  // Longer-range couplings every 5 nodes exercise fill-in.
+  for (size_t I = 0; I + 5 < N; I += 5) {
+    Entries.push_back({I, I + 5, -0.5});
+    Entries.push_back({I + 5, I, -0.5});
+    Entries.push_back({I, I, 0.5});
+    Entries.push_back({I + 5, I + 5, 0.5});
+  }
+  return SparseCsr::fromTriplets(N, Entries);
+}
+
+Matrix toDense(const SparseCsr &A) {
+  Matrix D(A.rows(), A.rows());
+  for (size_t I = 0; I != A.rows(); ++I)
+    for (size_t P = A.rowPtr()[I]; P != A.rowPtr()[I + 1]; ++P)
+      D.at(I, A.colIdx()[P]) = A.values()[P];
+  return D;
+}
+
+std::vector<double> makeRhs(size_t N) {
+  std::vector<double> B(N);
+  for (size_t I = 0; I != N; ++I)
+    B[I] = std::sin(0.7 * static_cast<double>(I) + 0.3) + 2.0;
+  return B;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// CSR assembly
+//===----------------------------------------------------------------------===//
+
+TEST(SparseCsrTest, TripletAssemblySortsRowsAndSumsDuplicates) {
+  std::vector<Triplet> Entries = {
+      {1, 2, 3.0}, {0, 0, 1.0}, {1, 0, -2.0}, {1, 2, 0.5},
+      {2, 1, 4.0}, {0, 0, 0.25}, {2, 2, 5.0},
+  };
+  SparseCsr A = SparseCsr::fromTriplets(3, Entries);
+  EXPECT_EQ(A.rows(), 3u);
+  EXPECT_EQ(A.nnz(), 5u);
+  EXPECT_DOUBLE_EQ(A.at(0, 0), 1.25);
+  EXPECT_DOUBLE_EQ(A.at(1, 0), -2.0);
+  EXPECT_DOUBLE_EQ(A.at(1, 2), 3.5);
+  EXPECT_DOUBLE_EQ(A.at(2, 1), 4.0);
+  EXPECT_DOUBLE_EQ(A.at(2, 2), 5.0);
+  EXPECT_DOUBLE_EQ(A.at(0, 2), 0.0);
+  // Rows sorted by column index.
+  for (size_t I = 0; I != A.rows(); ++I)
+    for (size_t P = A.rowPtr()[I] + 1; P < A.rowPtr()[I + 1]; ++P)
+      EXPECT_LT(A.colIdx()[P - 1], A.colIdx()[P]);
+}
+
+TEST(SparseCsrTest, EmptyAndZeroSized) {
+  SparseCsr Zero = SparseCsr::fromTriplets(0, {});
+  EXPECT_EQ(Zero.rows(), 0u);
+  EXPECT_EQ(Zero.nnz(), 0u);
+
+  SparseCsr Empty = SparseCsr::fromTriplets(4, {});
+  EXPECT_EQ(Empty.rows(), 4u);
+  EXPECT_EQ(Empty.nnz(), 0u);
+  EXPECT_DOUBLE_EQ(Empty.at(2, 3), 0.0);
+}
+
+TEST(SparseCsrTest, SamePatternIgnoresValues) {
+  SparseCsr A = SparseCsr::fromTriplets(2, {{0, 0, 1.0}, {1, 1, 2.0}});
+  SparseCsr B = SparseCsr::fromTriplets(2, {{0, 0, -9.0}, {1, 1, 7.0}});
+  SparseCsr C = SparseCsr::fromTriplets(2, {{0, 0, 1.0}, {1, 0, 2.0}});
+  EXPECT_TRUE(A.samePattern(B));
+  EXPECT_FALSE(A.samePattern(C));
+}
+
+TEST(SparseCsrTest, AssemblyIsBitReproducible) {
+  SparseCsr A = makeSpdChain(64);
+  SparseCsr B = makeSpdChain(64);
+  EXPECT_TRUE(A.samePattern(B));
+  ASSERT_EQ(A.nnz(), B.nnz());
+  for (size_t P = 0; P != A.nnz(); ++P)
+    EXPECT_EQ(A.values()[P], B.values()[P]);
+}
+
+TEST(SparseCsrTest, ApplyMatchesDense) {
+  SparseCsr A = makeSpdChain(37);
+  Matrix D = toDense(A);
+  std::vector<double> X = makeRhs(37);
+  std::vector<double> Y = A.apply(X);
+  for (size_t I = 0; I != 37u; ++I) {
+    double Want = 0.0;
+    for (size_t J = 0; J != 37u; ++J)
+      Want += D.at(I, J) * X[J];
+    EXPECT_NEAR(Y[I], Want, 1e-12);
+  }
+}
+
+TEST(SparseCsrTest, MemoryBytesTracksArrays) {
+  SparseCsr A = makeSpdChain(64);
+  EXPECT_GE(A.memoryBytes(),
+            A.nnz() * (sizeof(size_t) + sizeof(double)) +
+                (A.rows() + 1) * sizeof(size_t));
+}
+
+//===----------------------------------------------------------------------===//
+// Reverse Cuthill-McKee ordering
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Half bandwidth of the symmetric pattern of A under Perm[New] = Old.
+size_t permutedBandwidth(const SparseCsr &A, const std::vector<size_t> &Perm) {
+  std::vector<size_t> Inv = invertPermutation(Perm);
+  size_t Band = 0;
+  for (size_t I = 0; I != A.rows(); ++I)
+    for (size_t P = A.rowPtr()[I]; P != A.rowPtr()[I + 1]; ++P) {
+      size_t NewI = Inv[I], NewJ = Inv[A.colIdx()[P]];
+      size_t Width = NewI > NewJ ? NewI - NewJ : NewJ - NewI;
+      Band = Width > Band ? Width : Band;
+    }
+  return Band;
+}
+
+} // namespace
+
+TEST(OrderingTest, RcmIsAValidPermutation) {
+  SparseCsr A = makeSpdChain(101);
+  std::vector<size_t> Perm = reverseCuthillMcKee(A);
+  ASSERT_EQ(Perm.size(), 101u);
+  std::vector<bool> Seen(101, false);
+  for (size_t Old : Perm) {
+    ASSERT_LT(Old, 101u);
+    EXPECT_FALSE(Seen[Old]);
+    Seen[Old] = true;
+  }
+}
+
+TEST(OrderingTest, RcmReducesBandwidthOfAShuffledChain) {
+  // A chain labeled by a stride permutation has bandwidth ~N/stride
+  // in natural order; RCM should recover a near-chain bandwidth.
+  constexpr size_t N = 96;
+  constexpr size_t Stride = 7; // coprime with 96
+  std::vector<size_t> Label(N);
+  for (size_t I = 0; I != N; ++I)
+    Label[I] = (I * Stride) % N;
+  std::vector<Triplet> Entries;
+  for (size_t I = 0; I != N; ++I)
+    Entries.push_back({Label[I], Label[I], 3.0});
+  for (size_t I = 0; I + 1 != N; ++I) {
+    Entries.push_back({Label[I], Label[I + 1], -1.0});
+    Entries.push_back({Label[I + 1], Label[I], -1.0});
+  }
+  SparseCsr A = SparseCsr::fromTriplets(N, Entries);
+
+  std::vector<size_t> Identity(N);
+  for (size_t I = 0; I != N; ++I)
+    Identity[I] = I;
+  size_t NaturalBand = permutedBandwidth(A, Identity);
+  size_t RcmBand = permutedBandwidth(A, reverseCuthillMcKee(A));
+  EXPECT_LT(RcmBand, NaturalBand);
+  EXPECT_LE(RcmBand, 2u); // A path graph reorders to bandwidth 1.
+}
+
+TEST(OrderingTest, RcmIsDeterministic) {
+  SparseCsr A = makeSpdChain(80);
+  EXPECT_EQ(reverseCuthillMcKee(A), reverseCuthillMcKee(A));
+}
+
+TEST(OrderingTest, InvertPermutationRoundTrips) {
+  SparseCsr A = makeSpdChain(53);
+  std::vector<size_t> Perm = reverseCuthillMcKee(A);
+  std::vector<size_t> Inv = invertPermutation(Perm);
+  for (size_t NewI = 0; NewI != Perm.size(); ++NewI)
+    EXPECT_EQ(Inv[Perm[NewI]], NewI);
+  EXPECT_EQ(invertPermutation(Inv), Perm);
+}
+
+//===----------------------------------------------------------------------===//
+// Split-phase LDL^T
+//===----------------------------------------------------------------------===//
+
+TEST(SparseLdltTest, MatchesDenseSolve) {
+  for (size_t N : {1u, 2u, 5u, 17u, 64u, 131u}) {
+    SparseCsr A = makeSpdChain(N);
+    SparseLdlt F;
+    ASSERT_TRUE(F.analyze(A).isOk());
+    ASSERT_TRUE(F.factorize(A).isOk());
+    EXPECT_TRUE(F.valid());
+    EXPECT_EQ(F.size(), N);
+
+    std::vector<double> B = makeRhs(N);
+    std::vector<double> X = F.solve(B);
+    Expected<std::vector<double>> Dense = solveDense(toDense(A), B);
+    ASSERT_TRUE(Dense.hasValue());
+    for (size_t I = 0; I != N; ++I)
+      EXPECT_NEAR(X[I], (*Dense)[I], 1e-9) << "N=" << N << " I=" << I;
+  }
+}
+
+TEST(SparseLdltTest, ResidualIsTiny) {
+  SparseCsr A = makeSpdChain(256);
+  SparseLdlt F;
+  ASSERT_TRUE(F.analyze(A).isOk());
+  ASSERT_TRUE(F.factorize(A).isOk());
+  std::vector<double> B = makeRhs(256);
+  std::vector<double> X = F.solve(B);
+  std::vector<double> R = A.apply(X);
+  for (size_t I = 0; I != 256u; ++I)
+    EXPECT_NEAR(R[I], B[I], 1e-10);
+}
+
+TEST(SparseLdltTest, SymbolicReuseAcrossNumericRefactorizations) {
+  SparseCsr A = makeSpdChain(128);
+  SparseLdlt F;
+  ASSERT_TRUE(F.analyze(A).isOk());
+  size_t Nnz = F.factorNnz();
+  const std::vector<size_t> &Perm = F.permutation();
+  std::vector<size_t> PermCopy(Perm.begin(), Perm.end());
+
+  // Re-factor with scaled values on the identical pattern: the symbolic
+  // products must be untouched and solutions must scale exactly.
+  ASSERT_TRUE(F.factorize(A).isOk());
+  std::vector<double> B = makeRhs(128);
+  std::vector<double> X1 = F.solve(B);
+
+  SparseCsr Scaled = A;
+  for (double &V : Scaled.values())
+    V *= 2.0;
+  ASSERT_TRUE(F.factorize(Scaled).isOk());
+  EXPECT_EQ(F.factorNnz(), Nnz);
+  EXPECT_EQ(F.permutation(), PermCopy);
+  std::vector<double> X2 = F.solve(B);
+  for (size_t I = 0; I != 128u; ++I)
+    EXPECT_NEAR(X2[I], 0.5 * X1[I], 1e-10);
+}
+
+TEST(SparseLdltTest, RepeatedFactorizeIsBitIdentical) {
+  // The numeric phase resets its workspaces: factoring the same values
+  // twice must produce bitwise-identical solutions.
+  SparseCsr A = makeSpdChain(97);
+  SparseLdlt F;
+  ASSERT_TRUE(F.analyze(A).isOk());
+  ASSERT_TRUE(F.factorize(A).isOk());
+  std::vector<double> X1 = F.solve(makeRhs(97));
+  ASSERT_TRUE(F.factorize(A).isOk());
+  std::vector<double> X2 = F.solve(makeRhs(97));
+  for (size_t I = 0; I != 97u; ++I)
+    EXPECT_EQ(X1[I], X2[I]);
+}
+
+TEST(SparseLdltTest, OrderingOnAndOffAgree) {
+  SparseCsr A = makeSpdChain(119);
+  std::vector<double> B = makeRhs(119);
+
+  SparseLdlt Ordered, Natural;
+  ASSERT_TRUE(Ordered.analyze(A, /*UseOrdering=*/true).isOk());
+  ASSERT_TRUE(Natural.analyze(A, /*UseOrdering=*/false).isOk());
+  ASSERT_TRUE(Ordered.factorize(A).isOk());
+  ASSERT_TRUE(Natural.factorize(A).isOk());
+
+  // Natural ordering is the identity permutation.
+  for (size_t I = 0; I != 119u; ++I)
+    EXPECT_EQ(Natural.permutation()[I], I);
+
+  std::vector<double> XO = Ordered.solve(B);
+  std::vector<double> XN = Natural.solve(B);
+  for (size_t I = 0; I != 119u; ++I)
+    EXPECT_NEAR(XO[I], XN[I], 1e-9);
+}
+
+TEST(SparseLdltTest, FactorNnzNeverExceedsDense) {
+  SparseCsr A = makeSpdChain(200);
+  SparseLdlt F;
+  ASSERT_TRUE(F.analyze(A).isOk());
+  // Strictly-lower dense count.
+  EXPECT_LT(F.factorNnz(), 200u * 199u / 2u);
+  // The chain-plus-skips pattern should stay near-banded under RCM.
+  EXPECT_LT(F.factorNnz(), 10u * 200u);
+}
+
+TEST(SparseLdltTest, SingularMatrixIsRejected) {
+  // Zero diagonal row: the thermal analog of an internal node with no
+  // path to any boundary.
+  std::vector<Triplet> Entries = {
+      {0, 0, 2.0}, {0, 1, -1.0}, {1, 0, -1.0}, {1, 1, 2.0}, {2, 2, 0.0},
+  };
+  SparseCsr A = SparseCsr::fromTriplets(3, Entries);
+  SparseLdlt F;
+  ASSERT_TRUE(F.analyze(A).isOk());
+  Status Factored = F.factorize(A);
+  EXPECT_FALSE(Factored.isOk());
+  EXPECT_NE(Factored.message().find("singular"), std::string::npos);
+  EXPECT_FALSE(F.valid());
+}
+
+TEST(SparseLdltTest, FactorizeBeforeAnalyzeFails) {
+  SparseCsr A = makeSpdChain(8);
+  SparseLdlt F;
+  EXPECT_FALSE(F.factorize(A).isOk());
+}
+
+TEST(SparseLdltTest, ResetDropsBothPhases) {
+  SparseCsr A = makeSpdChain(32);
+  SparseLdlt F;
+  ASSERT_TRUE(F.analyze(A).isOk());
+  ASSERT_TRUE(F.factorize(A).isOk());
+  F.reset();
+  EXPECT_FALSE(F.analyzed());
+  EXPECT_FALSE(F.valid());
+  EXPECT_EQ(F.size(), 0u);
+  EXPECT_EQ(F.factorNnz(), 0u);
+}
+
+TEST(SparseLdltTest, ZeroSizedSystem) {
+  SparseCsr A = SparseCsr::fromTriplets(0, {});
+  SparseLdlt F;
+  ASSERT_TRUE(F.analyze(A).isOk());
+  ASSERT_TRUE(F.factorize(A).isOk());
+  EXPECT_TRUE(F.solve({}).empty());
+}
+
+TEST(SparseLdltTest, MemoryBytesIsPopulatedAfterAnalyze) {
+  SparseCsr A = makeSpdChain(64);
+  SparseLdlt F;
+  EXPECT_EQ(F.memoryBytes(), 0u);
+  ASSERT_TRUE(F.analyze(A).isOk());
+  EXPECT_GT(F.memoryBytes(), 64u * sizeof(double));
+}

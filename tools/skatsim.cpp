@@ -55,6 +55,7 @@
 #include "telemetry/Bench.h"
 #include "telemetry/Profile.h"
 #include "telemetry/Telemetry.h"
+#include "thermal/Fleet.h"
 
 #include <algorithm>
 #include <cerrno>
@@ -314,6 +315,107 @@ int cmdRack(const ArgList &Args) {
     Auditor.updateAlarms(0.0);
     return finishAudit(&Auditor, "rack", Args);
   }
+  return 0;
+}
+
+int cmdFleet(const ArgList &Args) {
+  thermal::FleetConfig Config;
+  Config.NumRacks = static_cast<size_t>(Args.getInt("racks", 64));
+  Config.ModulesPerRack = static_cast<size_t>(Args.getInt("modules", 8));
+  if (Config.NumRacks == 0 || Config.ModulesPerRack == 0) {
+    std::fprintf(stderr,
+                 "usage: skatsim fleet [--racks N] [--modules M] "
+                 "[--minutes T] [--dt-s S] [--water C] [--excursion-c C] "
+                 "[--dense]\n");
+    return 2;
+  }
+  Config.FacilityWaterTemp = units::Celsius(Args.getDouble("water", 18.0));
+  thermal::FleetNetwork Fleet = thermal::buildFleetNetwork(Config);
+  thermal::ThermalNetwork &Net = Fleet.Net;
+  if (Args.has("dense"))
+    Net.setSparseSolver(false);
+
+  std::printf("fleet: %zu racks x %zu modules, %zu unknowns, sparse %s "
+              "(threshold %zu)\n",
+              Config.NumRacks, Config.ModulesPerRack,
+              thermal::fleetUnknowns(Config),
+              Net.sparseSolverEnabled() ? "on" : "off",
+              Net.sparseThresholdUnknowns());
+
+  Expected<std::vector<double>> Steady = Net.solveSteadyState();
+  if (!Steady) {
+    std::fprintf(stderr, "fleet solve failed: %s\n",
+                 Steady.message().c_str());
+    return 1;
+  }
+  double MaxChipC = 0.0;
+  for (thermal::NodeId Chip : Fleet.Chips)
+    MaxChipC = std::max(MaxChipC, (*Steady)[Chip]);
+  double MaxLoopC = 0.0;
+  for (thermal::NodeId Loop : Fleet.RackLoops)
+    MaxLoopC = std::max(MaxLoopC, (*Steady)[Loop]);
+
+  Table T({"quantity", "value"});
+  T.addRow({"total IT heat",
+            formatString("%.1f kW", Net.totalSourcePowerW() / 1000.0)});
+  T.addRow({"facility heat pickup",
+            formatString("%.1f kW",
+                         Net.boundaryHeatFlowW(Fleet.Facility, *Steady) /
+                             1000.0)});
+  T.addRow({"hottest chip", formatString("%.1f C", MaxChipC)});
+  T.addRow({"hottest rack loop", formatString("%.1f C", MaxLoopC)});
+  T.addRow({"steady residual",
+            formatString("%.2e W", Net.steadyStateResidualW(*Steady))});
+  T.addRow({"solver factor memory",
+            formatString("%.1f kB", Net.solverMemoryBytes() / 1024.0)});
+  std::printf("%s", T.render().c_str());
+
+  // Transient leg: a facility-water excursion ridden out step by step.
+  // The implicit-Euler factor is built once; the excursion itself only
+  // touches the right-hand side.
+  std::unique_ptr<audit::PhysicsAuditor> Auditor;
+  if (AuditMode) {
+    Auditor = std::make_unique<audit::PhysicsAuditor>(AuditBudgets);
+    Auditor->noteFactorCaching(Net.factorCachingEnabled());
+    Auditor->noteSparseSolver(Net.sparseSolverEnabled());
+    std::string TracePath = Args.getString("audit-trace", "");
+    if (!TracePath.empty()) {
+      Status Attached = Auditor->attachStream(TracePath);
+      if (!Attached.isOk())
+        std::fprintf(stderr, "audit: %s\n", Attached.message().c_str());
+    }
+  }
+  double Minutes = Args.getDouble("minutes", 10.0);
+  double DtS = Args.getDouble("dt-s", 5.0);
+  int Steps = std::max(1, static_cast<int>(Minutes * 60.0 / DtS));
+  Net.setBoundaryTemp(Fleet.Facility,
+                      units::Celsius(Args.getDouble("water", 18.0) +
+                                     Args.getDouble("excursion-c", 6.0)));
+  std::vector<double> Temps = *Steady;
+  double WorstChipC = MaxChipC;
+  for (int Step = 0; Step != Steps; ++Step) {
+    std::vector<double> Before = Temps;
+    Status Stepped = Net.stepTransient(Temps, DtS);
+    if (!Stepped.isOk()) {
+      std::fprintf(stderr, "fleet step failed: %s\n",
+                   Stepped.message().c_str());
+      return 1;
+    }
+    for (thermal::NodeId Chip : Fleet.Chips)
+      WorstChipC = std::max(WorstChipC, Temps[Chip]);
+    if (Auditor) {
+      Auditor->recordThermalStep(Net, Before, Temps, DtS);
+      double TimeS = DtS * (Step + 1);
+      Auditor->updateAlarms(TimeS);
+      Auditor->emitStreamRecord(TimeS);
+    }
+  }
+  std::printf("after %.0f min at +%.1f C facility water: hottest chip "
+              "%.1f C (was %.1f C)\n",
+              Minutes, Args.getDouble("excursion-c", 6.0), WorstChipC,
+              MaxChipC);
+  if (AuditMode)
+    return finishAudit(Auditor.get(), "fleet", Args);
   return 0;
 }
 
@@ -1005,6 +1107,8 @@ void printUsage() {
       "  skatsim solve <design>|--config FILE [--ambient C] [--water C]"
       " [--water-lpm L] [--util U] [--clock F]\n"
       "  skatsim rack [--ambient C] [--isolate N] [--skat-plus]\n"
+      "  skatsim fleet [--racks N] [--modules M] [--minutes T] [--dt-s S]\n"
+      "                [--water C] [--excursion-c C] [--dense]\n"
       "  skatsim transient <design> [--hours H] [--pump-fail-h T]"
       " [--csv FILE]\n"
       "  skatsim monitor <design>|--rack [--hours H] [--pump-fail-h T]\n"
@@ -1050,6 +1154,8 @@ int runCommand(const std::string &Command, const ArgList &Args) {
     return cmdSolve(Args);
   if (Command == "rack")
     return cmdRack(Args);
+  if (Command == "fleet")
+    return cmdFleet(Args);
   if (Command == "transient")
     return cmdTransient(Args);
   if (Command == "monitor")
